@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the numerical substrate: convolution
+//! forward/backward, the `O(k)` top-k buffer vs a full sort, masked SGD
+//! steps, and BN-adaptation forward passes. These back the DESIGN.md
+//! ablation "top-k buffer vs full sort".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ft_nn::models::SmallCnn;
+use ft_nn::optim::{Sgd, SgdConfig};
+use ft_nn::{Mode, Model};
+use ft_sparse::{Mask, SparseLayout, TopKBuffer};
+use ft_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn conv_benches(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut model = SmallCnn::new(&mut rng, 8, 10, 3, 16);
+    let x = ft_tensor::normal(&mut rng, &[8, 3, 16, 16], 0.0, 1.0);
+    c.bench_function("small_cnn_forward_b8", |b| {
+        b.iter(|| black_box(model.forward(&x, Mode::Train)))
+    });
+    c.bench_function("small_cnn_forward_backward_b8", |b| {
+        b.iter(|| {
+            let y = model.forward(&x, Mode::Train);
+            model.backward(&Tensor::ones(y.shape()));
+            model.zero_grad();
+        })
+    });
+}
+
+fn topk_benches(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let values: Vec<f32> = (0..100_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let k = 512;
+    c.bench_function("topk_buffer_100k_k512", |b| {
+        b.iter(|| {
+            let mut buf = TopKBuffer::new(k);
+            buf.extend_from_slice(black_box(&values));
+            black_box(buf.into_sorted())
+        })
+    });
+    c.bench_function("full_sort_100k_k512", |b| {
+        b.iter_batched(
+            || values.iter().cloned().enumerate().collect::<Vec<_>>(),
+            |mut all| {
+                all.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+                all.truncate(k);
+                black_box(all)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn sgd_benches(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut model = SmallCnn::new(&mut rng, 8, 10, 3, 16);
+    let layout = ft_nn::sparse_layout(&model);
+    let mut mask = Mask::ones(&layout);
+    for l in 0..layout.num_layers() {
+        for i in (0..layout.layer(l).len).step_by(2) {
+            mask.set(l, i, false);
+        }
+    }
+    let mut sgd = Sgd::new(SgdConfig::default());
+    c.bench_function("masked_sgd_step", |b| {
+        b.iter(|| sgd.step(black_box(&mut model), Some(&mask)))
+    });
+}
+
+fn bn_adapt_benches(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut model = SmallCnn::new(&mut rng, 8, 10, 3, 16);
+    model.set_bn_momentum(1.0);
+    let x = ft_tensor::normal(&mut rng, &[32, 3, 16, 16], 0.0, 1.0);
+    c.bench_function("bn_adaptation_pass_b32", |b| {
+        b.iter(|| black_box(model.forward(&x, Mode::Train)))
+    });
+}
+
+fn mask_benches(c: &mut Criterion) {
+    let layout = SparseLayout::new(vec![("w".into(), 1_000_000)]);
+    let mask = Mask::ones(&layout);
+    c.bench_function("mask_density_1m", |b| b.iter(|| black_box(mask.density())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = conv_benches, topk_benches, sgd_benches, bn_adapt_benches, mask_benches
+}
+criterion_main!(benches);

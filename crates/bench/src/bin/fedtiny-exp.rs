@@ -1,0 +1,233 @@
+//! `fedtiny-exp` — run any single federated pruning experiment from the
+//! command line and print the result as JSON.
+//!
+//! ```bash
+//! cargo run --release -p ft-bench --bin fedtiny-exp -- \
+//!     --method fedtiny --dataset cifar10 --model resnet18 \
+//!     --density 0.05 --scale lab --seed 0
+//! ```
+//!
+//! Methods: `fedtiny`, `vanilla`, `adaptive_bn`, `vanilla+prog`,
+//! `small_model`, `fedavg`, `flpqsu`, `snip`, `synflow`, `grasp`,
+//! `prunefl`, `feddst`, `lotteryfl`.
+
+use ft_bench::{run_method, Method, Scale, ScaleKind};
+use ft_data::DatasetProfile;
+use ft_pruning::BaselineMethod;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    method: Method,
+    dataset: DatasetProfile,
+    model: String,
+    density: f32,
+    scale: ScaleKind,
+    seed: u64,
+    alpha: Option<f64>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scale = Scale::new(opts.scale);
+    let env = match opts.alpha {
+        Some(a) => scale.env_with_alpha(opts.dataset, a, opts.seed),
+        None => scale.env(opts.dataset, opts.seed),
+    };
+    let spec = match opts.model.as_str() {
+        "resnet18" => scale.resnet(),
+        "vgg11" => scale.vgg(),
+        "small_cnn" => scale.small_cnn(),
+        other => {
+            eprintln!("error: unknown model '{other}' (resnet18 | vgg11 | small_cnn)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run_method(&env, &spec, opts.method, opts.density);
+    match serde_json::to_string_pretty(&result) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error serializing result: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut method = None;
+    let mut dataset = DatasetProfile::Cifar10;
+    let mut model = "resnet18".to_string();
+    let mut density = 0.05f32;
+    let mut scale = ScaleKind::from_env();
+    let mut seed = 0u64;
+    let mut alpha = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--method" => method = Some(parse_method(value()?)?),
+            "--dataset" => dataset = parse_dataset(value()?)?,
+            "--model" => model = value()?.clone(),
+            "--density" => {
+                density = value()?.parse().map_err(|e| format!("bad density: {e}"))?;
+                if !(0.0..=1.0).contains(&density) || density == 0.0 {
+                    return Err(format!("density must be in (0, 1], got {density}"));
+                }
+            }
+            "--scale" => {
+                scale = match value()?.as_str() {
+                    "smoke" => ScaleKind::Smoke,
+                    "lab" => ScaleKind::Lab,
+                    "paper" => ScaleKind::Paper,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--alpha" => alpha = Some(value()?.parse().map_err(|e| format!("bad alpha: {e}"))?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Options {
+        method: method.ok_or("--method is required")?,
+        dataset,
+        model,
+        density,
+        scale,
+        seed,
+        alpha,
+    })
+}
+
+fn parse_method(name: &str) -> Result<Method, String> {
+    Ok(match name {
+        "fedtiny" => Method::FedTiny,
+        "vanilla" => Method::Vanilla,
+        "adaptive_bn" => Method::AdaptiveBnOnly,
+        "vanilla+prog" => Method::VanillaProgressive,
+        "small_model" => Method::SmallModel,
+        "fedavg" => Method::Baseline(BaselineMethod::FedAvgDense),
+        "flpqsu" => Method::Baseline(BaselineMethod::FlPqsu),
+        "snip" => Method::Baseline(BaselineMethod::Snip),
+        "synflow" => Method::Baseline(BaselineMethod::SynFlow),
+        "grasp" => Method::Baseline(BaselineMethod::Grasp),
+        "prunefl" => Method::Baseline(BaselineMethod::PruneFl),
+        "feddst" => Method::Baseline(BaselineMethod::FedDst),
+        "lotteryfl" => Method::Baseline(BaselineMethod::LotteryFl),
+        other => return Err(format!("unknown method '{other}'")),
+    })
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetProfile, String> {
+    Ok(match name {
+        "cifar10" => DatasetProfile::Cifar10,
+        "cifar100" => DatasetProfile::Cifar100,
+        "cinic10" => DatasetProfile::Cinic10,
+        "svhn" => DatasetProfile::Svhn,
+        other => return Err(format!("unknown dataset '{other}'")),
+    })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: fedtiny-exp --method <name> [--dataset cifar10|cifar100|cinic10|svhn]\n\
+         \x20                [--model resnet18|vgg11|small_cnn] [--density 0.05]\n\
+         \x20                [--scale smoke|lab|paper] [--seed 0] [--alpha 0.5]\n\
+         methods: fedtiny vanilla adaptive_bn vanilla+prog small_model fedavg\n\
+         \x20        flpqsu snip synflow grasp prunefl feddst lotteryfl"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command() {
+        let o = parse(&s(&[
+            "--method",
+            "fedtiny",
+            "--dataset",
+            "svhn",
+            "--model",
+            "vgg11",
+            "--density",
+            "0.01",
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--alpha",
+            "0.3",
+        ]))
+        .expect("valid");
+        assert_eq!(o.method, Method::FedTiny);
+        assert_eq!(o.dataset, DatasetProfile::Svhn);
+        assert_eq!(o.model, "vgg11");
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.alpha, Some(0.3));
+    }
+
+    #[test]
+    fn method_is_required() {
+        assert!(parse(&s(&["--density", "0.1"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_density() {
+        assert!(parse(&s(&["--method", "snip", "--density", "0"])).is_err());
+        assert!(parse(&s(&["--method", "snip", "--density", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(parse(&s(&["--method", "nope"])).is_err());
+        assert!(parse(&s(&["--bogus", "1"])).is_err());
+        assert!(parse(&s(&["--method", "snip", "--dataset", "imagenet"])).is_err());
+    }
+
+    #[test]
+    fn every_documented_method_parses() {
+        for m in [
+            "fedtiny",
+            "vanilla",
+            "adaptive_bn",
+            "vanilla+prog",
+            "small_model",
+            "fedavg",
+            "flpqsu",
+            "snip",
+            "synflow",
+            "grasp",
+            "prunefl",
+            "feddst",
+            "lotteryfl",
+        ] {
+            assert!(parse_method(m).is_ok(), "{m}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared harness support for the experiment benches in `benches/`.
+//!
+//! Every table and figure of the paper has a `harness = false` bench target
+//! that runs the corresponding experiment at a configurable scale and prints
+//! the paper-style rows. The scale is chosen via the `FT_SCALE` environment
+//! variable:
+//!
+//! - `FT_SCALE=smoke` — seconds; sanity-checks the wiring.
+//! - `FT_SCALE=lab` (default) — minutes; laptop-scale reproduction whose
+//!   *orderings and crossovers* mirror the paper.
+//! - `FT_SCALE=paper` — the paper's settings (K = 10, 300 rounds, width 1.0,
+//!   32 px); hours to days on a CPU, provided for completeness.
+
+pub mod methods;
+pub mod scale;
+pub mod table;
+
+pub use methods::{run_method, Method};
+pub use scale::{Scale, ScaleKind};
+pub use table::Table;

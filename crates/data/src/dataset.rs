@@ -1,0 +1,266 @@
+//! In-memory labelled image datasets and batching.
+
+use ft_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled image dataset stored as one flat `f32` buffer.
+///
+/// Images use `[c, h, w]` layout per sample; batches come out as
+/// `[n, c, h, w]` tensors ready for the models in `ft-nn`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    images: Vec<f32>,
+    labels: Vec<usize>,
+    channels: usize,
+    height: usize,
+    width: usize,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Wraps raw buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes are inconsistent or any label is out of range.
+    pub fn new(
+        images: Vec<f32>,
+        labels: Vec<usize>,
+        channels: usize,
+        height: usize,
+        width: usize,
+        classes: usize,
+    ) -> Self {
+        let sample = channels * height * width;
+        assert!(sample > 0, "sample size must be positive");
+        assert_eq!(
+            images.len(),
+            labels.len() * sample,
+            "images/labels size mismatch"
+        );
+        assert!(labels.iter().all(|&y| y < classes), "label out of range");
+        Dataset {
+            images,
+            labels,
+            channels,
+            height,
+            width,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `[channels, height, width]` of each sample.
+    pub fn sample_shape(&self) -> [usize; 3] {
+        [self.channels, self.height, self.width]
+    }
+
+    /// Labels slice.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Assembles the samples at `indices` into a `[n, c, h, w]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let sample = self.channels * self.height * self.width;
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&self.images[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(
+                data,
+                &[indices.len(), self.channels, self.height, self.width],
+            ),
+            labels,
+        )
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let idx: Vec<usize> = (0..self.len()).collect();
+        self.batch(&idx)
+    }
+
+    /// A new dataset containing only the samples at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let sample = self.channels * self.height * self.width;
+        let mut images = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            images.extend_from_slice(&self.images[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images,
+            labels,
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            classes: self.classes,
+        }
+    }
+
+    /// Samples a development split of `ceil(frac · len)` examples without
+    /// replacement — the `D̂_k ⊂ D_k` of Alg. 1 (ratio 0.1 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `(0, 1]`.
+    pub fn dev_split<R: Rng + ?Sized>(&self, rng: &mut R, frac: f32) -> Dataset {
+        assert!(
+            frac > 0.0 && frac <= 1.0,
+            "dev fraction must be in (0,1], got {frac}"
+        );
+        let n = ((self.len() as f32 * frac).ceil() as usize).clamp(1.min(self.len()), self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        self.subset(&idx)
+    }
+
+    /// Iterates shuffled mini-batches of size `batch_size`.
+    pub fn iter_batches<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        batch_size: usize,
+    ) -> BatchIter<'a> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        BatchIter {
+            dataset: self,
+            order: idx,
+            batch_size: batch_size.max(1),
+            pos: 0,
+        }
+    }
+
+    /// Per-class sample counts (length = `classes`).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.classes];
+        for &y in &self.labels {
+            h[y] += 1;
+        }
+        h
+    }
+}
+
+/// Iterator over shuffled mini-batches of a [`Dataset`].
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let batch = self.dataset.batch(&self.order[self.pos..end]);
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ds() -> Dataset {
+        // 4 samples of 1x2x2, labels 0..=3 over 4 classes.
+        let images: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        Dataset::new(images, vec![0, 1, 2, 3], 1, 2, 2, 4)
+    }
+
+    #[test]
+    fn batch_layout() {
+        let d = ds();
+        let (x, y) = d.batch(&[1, 3]);
+        assert_eq!(x.shape(), &[2, 1, 2, 2]);
+        assert_eq!(y, vec![1, 3]);
+        assert_eq!(x.data()[0], 4.0); // first pixel of sample 1
+    }
+
+    #[test]
+    fn subset_preserves_meta() {
+        let d = ds().subset(&[0, 2]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.classes(), 4);
+        assert_eq!(d.labels(), &[0, 2]);
+    }
+
+    #[test]
+    fn dev_split_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let d = ds();
+        let dev = d.dev_split(&mut rng, 0.5);
+        assert_eq!(dev.len(), 2);
+        let dev_small = d.dev_split(&mut rng, 0.1);
+        assert_eq!(dev_small.len(), 1); // ceil + floor at 1
+    }
+
+    #[test]
+    fn batches_cover_all_samples_once() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = ds();
+        let mut seen = 0;
+        for (x, y) in d.iter_batches(&mut rng, 3) {
+            assert_eq!(x.shape()[0], y.len());
+            seen += y.len();
+        }
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let d = Dataset::new(vec![0.0; 3 * 4], vec![1, 1, 2], 1, 2, 2, 3);
+        assert_eq!(d.class_histogram(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_inconsistent_buffers() {
+        let _ = Dataset::new(vec![0.0; 5], vec![0], 1, 2, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let _ = Dataset::new(vec![0.0; 4], vec![7], 1, 2, 2, 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Dirichlet non-iid partitioning of a dataset across devices.
+
+use rand::Rng;
+
+/// Splits sample indices across `k` devices with class proportions drawn
+/// from `Dirichlet(α)` per class (the standard label-skew protocol the paper
+/// uses with α = 0.5; lower α = more heterogeneous).
+///
+/// Every device is guaranteed at least one sample: after the draw, empty
+/// devices steal one sample from the largest device (rare for reasonable α
+/// and dataset sizes, but the simulator requires nonempty local datasets).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `alpha <= 0`, or there are fewer samples than
+/// devices.
+pub fn dirichlet_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    labels: &[usize],
+    classes: usize,
+    k: usize,
+    alpha: f64,
+) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one device");
+    assert!(alpha > 0.0, "Dirichlet alpha must be positive, got {alpha}");
+    assert!(
+        labels.len() >= k,
+        "fewer samples ({}) than devices ({k})",
+        labels.len()
+    );
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < classes, "label {y} out of range");
+        per_class[y].push(i);
+    }
+
+    let mut devices: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for idxs in per_class.iter().filter(|v| !v.is_empty()) {
+        let props = dirichlet(rng, alpha, k);
+        // Convert proportions to cut points over this class's samples.
+        let n = idxs.len();
+        let mut cuts = Vec::with_capacity(k);
+        let mut acc = 0.0f64;
+        for &p in &props {
+            acc += p;
+            cuts.push(((acc * n as f64).round() as usize).min(n));
+        }
+        let mut start = 0usize;
+        for (d, &end) in cuts.iter().enumerate() {
+            for &sample in &idxs[start..end.max(start)] {
+                devices[d].push(sample);
+            }
+            start = end.max(start);
+        }
+    }
+
+    // Re-balance: no device may be empty.
+    for d in 0..k {
+        if devices[d].is_empty() {
+            let donor = (0..k).max_by_key(|&j| devices[j].len()).expect("k > 0");
+            assert!(
+                devices[donor].len() > 1,
+                "not enough samples to cover all devices"
+            );
+            let moved = devices[donor].pop().expect("donor nonempty");
+            devices[d].push(moved);
+        }
+    }
+    devices
+}
+
+/// Samples a `Dirichlet(α, …, α)` vector of length `k` via normalized
+/// Gamma(α, 1) draws.
+fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| gamma_sample(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Numerically degenerate (extremely small alpha): put all mass on a
+        // random device.
+        let mut v = vec![0.0; k];
+        v[rng.gen_range(0..k)] = 1.0;
+        return v;
+    }
+    draws.into_iter().map(|d| d / sum).collect()
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler; handles shape < 1 by boosting.
+fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^{1/a}
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal64(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn normal64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn labels(classes: usize, per_class: usize) -> Vec<usize> {
+        (0..classes)
+            .flat_map(|c| std::iter::repeat_n(c, per_class))
+            .collect()
+    }
+
+    #[test]
+    fn covers_every_sample_exactly_once() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let y = labels(10, 20);
+        let parts = dirichlet_partition(&mut rng, &y, 10, 5, 0.5);
+        let mut all: Vec<usize> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_empty_devices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for alpha in [0.1, 0.5, 10.0] {
+            let y = labels(10, 10);
+            let parts = dirichlet_partition(&mut rng, &y, 10, 8, alpha);
+            assert!(parts.iter().all(|p| !p.is_empty()), "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn low_alpha_is_more_skewed_than_high_alpha() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let y = labels(10, 100);
+        let skew = |parts: &[Vec<usize>], y: &[usize]| -> f64 {
+            // Mean per-device entropy of class distribution (lower = more skew).
+            let mut total = 0.0;
+            for p in parts {
+                let mut h = [0usize; 10];
+                for &i in p {
+                    h[y[i]] += 1;
+                }
+                let n: usize = h.iter().sum();
+                let ent: f64 = h
+                    .iter()
+                    .filter(|&&c| c > 0)
+                    .map(|&c| {
+                        let q = c as f64 / n as f64;
+                        -q * q.ln()
+                    })
+                    .sum();
+                total += ent;
+            }
+            total / parts.len() as f64
+        };
+        let skewed = dirichlet_partition(&mut rng, &y, 10, 10, 0.1);
+        let uniform = dirichlet_partition(&mut rng, &y, 10, 10, 100.0);
+        assert!(
+            skew(&skewed, &y) < skew(&uniform, &y),
+            "entropy ordering violated"
+        );
+    }
+
+    #[test]
+    fn gamma_sampler_mean_is_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for shape in [0.5, 1.0, 4.0] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| gamma_sample(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let v = dirichlet(&mut rng, 0.5, 7);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(v.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = dirichlet_partition(&mut rng, &[0, 1], 2, 2, 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! FedTiny: distributed pruning towards tiny neural networks in federated
+//! learning (Huang et al., ICDCS 2023).
+//!
+//! The two modules of the paper, built on the `ft-fl` simulator:
+//!
+//! - [`selection`] — **adaptive batch-normalization selection** (Alg. 1):
+//!   the server magnitude-prunes a pool of candidate subnetworks with
+//!   noisy layer-wise densities; devices re-estimate BN statistics on local
+//!   development splits; the server aggregates the statistics, devices score
+//!   the recalibrated candidates by local loss, and the candidate with the
+//!   lowest weighted loss becomes the coarse-pruned model. The module also
+//!   implements *vanilla selection* (no BN recalibration) for the Fig. 4
+//!   ablation.
+//! - [`progressive`] — **progressive pruning** (Alg. 2): sparse FedAvg
+//!   fine-tuning interleaved with RigL-style grow/prune adjustments, one
+//!   layer *block* at a time (backward order), with devices uploading only
+//!   the top-`a_t^l` gradient magnitudes of pruned coordinates through an
+//!   `O(a)` buffer.
+//!
+//! [`run_fedtiny`] wires both together into the end-to-end pipeline and
+//! returns the same [`ft_fl::RunResult`] the baselines produce.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedtiny::{FedTinyConfig, run_fedtiny};
+//! use ft_fl::ExperimentEnv;
+//!
+//! let env = ExperimentEnv::tiny_for_tests(0);
+//! let cfg = FedTinyConfig::tiny_for_tests(0.2);
+//! let result = run_fedtiny(&env, &cfg);
+//! assert!(result.final_density <= 0.21);
+//! ```
+
+pub mod progressive;
+pub mod selection;
+
+mod runner;
+
+pub use progressive::{Granularity, ProgressiveConfig};
+pub use runner::{run_fedtiny, FedTinyConfig, SelectionMode};
+pub use selection::{
+    adaptive_bn_selection, generate_candidate_pool, vanilla_selection, SelectionConfig,
+    SelectionOutcome,
+};

@@ -1,0 +1,295 @@
+//! End-to-end FedTiny pipeline and its ablation variants.
+
+use crate::progressive::{progressive_adjust, ProgressiveConfig};
+use crate::selection::{
+    adaptive_bn_selection, generate_candidate_pool, vanilla_selection, SelectionConfig,
+};
+use ft_fl::{run_federated_rounds, CostLedger, ExperimentEnv, ModelSpec, RunResult};
+use ft_metrics::{densities_from_mask, device_memory_bytes, ExtraMemory};
+use ft_nn::{apply_mask, Model};
+use ft_sparse::Mask;
+use serde::{Deserialize, Serialize};
+
+/// Which coarse-pruning selection the pipeline uses (Fig. 4 ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionMode {
+    /// Algorithm 1 (BN recalibration before scoring) — FedTiny's default.
+    AdaptiveBn,
+    /// Score candidates without BN recalibration.
+    Vanilla,
+}
+
+/// Full FedTiny configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FedTinyConfig {
+    /// Architecture to train.
+    pub model: ModelSpec,
+    /// Target overall density `d_target`.
+    pub d_target: f32,
+    /// Candidate pool size `C`.
+    pub pool_size: usize,
+    /// Uniform-noise half-width for candidate densities.
+    pub noise_spread: f32,
+    /// Coarse-pruning selection variant.
+    pub selection: SelectionMode,
+    /// Progressive pruning; `None` fine-tunes the coarse-pruned model only
+    /// (the "selection only" ablation arms).
+    pub progressive: Option<ProgressiveConfig>,
+    /// Evaluate the global model every this many rounds (plus the final
+    /// round).
+    pub eval_every: usize,
+}
+
+impl FedTinyConfig {
+    /// Paper defaults at a target density (pool `C* = 0.1/d`, adaptive BN,
+    /// block-backward progressive pruning, `ΔR = 10`, `R_stop = 100`).
+    pub fn paper_default(model: ModelSpec, d_target: f32, local_epochs: usize) -> Self {
+        FedTinyConfig {
+            model,
+            d_target,
+            pool_size: SelectionConfig::optimal_pool_size(d_target),
+            noise_spread: 0.5,
+            selection: SelectionMode::AdaptiveBn,
+            progressive: Some(ProgressiveConfig::paper_default(local_epochs)),
+            eval_every: 10,
+        }
+    }
+
+    /// Millisecond-scale config for unit tests.
+    pub fn tiny_for_tests(d_target: f32) -> Self {
+        FedTinyConfig {
+            model: ModelSpec::small_cnn_test(),
+            d_target,
+            pool_size: 3,
+            noise_spread: 0.5,
+            selection: SelectionMode::AdaptiveBn,
+            progressive: Some(ProgressiveConfig::tiny_for_tests()),
+            eval_every: 2,
+        }
+    }
+}
+
+impl Default for FedTinyConfig {
+    fn default() -> Self {
+        Self::paper_default(
+            ModelSpec::ResNet18 {
+                width: 1.0,
+                input: 32,
+            },
+            0.01,
+            5,
+        )
+    }
+}
+
+/// Runs the full FedTiny pipeline on an environment: coarse-pruning
+/// selection, then sparse federated fine-tuning with (optional) progressive
+/// grow/prune adjustments.
+///
+/// Returns the uniform [`RunResult`] used by every method in the workspace.
+pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
+    let mut global = env.build_model(&cfg.model);
+    let sel_cfg = SelectionConfig {
+        d_target: cfg.d_target,
+        pool_size: cfg.pool_size,
+        noise_spread: cfg.noise_spread,
+        seed: env.cfg.seed,
+    };
+
+    // --- Module 1: coarse pruning by candidate selection.
+    let pool = generate_candidate_pool(global.as_ref(), &sel_cfg);
+    let outcome = match cfg.selection {
+        SelectionMode::AdaptiveBn => adaptive_bn_selection(global.as_ref(), env, &pool),
+        SelectionMode::Vanilla => vanilla_selection(global.as_ref(), env, &pool),
+    };
+    let mut mask = outcome.mask.clone();
+    apply_mask(global.as_mut(), &mask);
+
+    let mut ledger = CostLedger::new();
+    ledger.add_extra_flops(outcome.extra_flops);
+    ledger.add_comm(outcome.comm_bytes);
+
+    // --- Module 2: sparse FedAvg + progressive pruning.
+    let (history, max_buffer) = run_sparse_rounds(
+        global.as_mut(),
+        &mut mask,
+        env,
+        cfg.progressive.as_ref(),
+        cfg.eval_every,
+        &mut ledger,
+    );
+
+    let accuracy = *history.last().expect("at least one evaluation");
+    let arch = global.arch();
+    let densities = densities_from_mask(&mask);
+    RunResult {
+        method: method_name(cfg),
+        accuracy,
+        history,
+        final_density: mask.density(),
+        max_round_flops: ledger.max_round_flops(),
+        memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::TopKBuffer(max_buffer)),
+        comm_bytes: ledger.total_comm_bytes(),
+        extra_flops: ledger.extra_flops(),
+    }
+}
+
+/// The shared sparse-FedAvg round loop (also used by ablations): trains,
+/// aggregates, optionally adjusts the mask, and evaluates periodically.
+/// Returns the accuracy history and the largest top-k buffer used.
+pub(crate) fn run_sparse_rounds(
+    global: &mut dyn Model,
+    mask: &mut Mask,
+    env: &ExperimentEnv,
+    progressive: Option<&ProgressiveConfig>,
+    eval_every: usize,
+    ledger: &mut CostLedger,
+) -> (Vec<f32>, usize) {
+    let mut max_buffer = 0usize;
+    let mut adjustment_counter = 0usize;
+    let units = progressive.map(|p| p.units(global, mask.num_layers()));
+
+    let history = {
+        let mut hook = |model: &mut dyn Model,
+                        mask: &mut Mask,
+                        round: usize,
+                        ledger: &mut CostLedger|
+         -> f64 {
+            // Progressive adjustment (Alg. 2 lines 10–26).
+            let (Some(pcfg), Some(units)) = (progressive, units.as_ref()) else {
+                return 0.0;
+            };
+            if round < pcfg.start_round || !pcfg.schedule.adjusts_at(round) {
+                return 0.0;
+            }
+            let unit = &units[adjustment_counter % units.len()];
+            let report = progressive_adjust(model, mask, env, pcfg, unit, round);
+            if report.adjusted.is_empty() {
+                return 0.0;
+            }
+            adjustment_counter += 1;
+            max_buffer = max_buffer.max(report.max_buffer);
+            ledger.add_comm(report.comm_bytes);
+            report.extra_flops
+        };
+        run_federated_rounds(global, mask, env, eval_every, ledger, &mut hook)
+    };
+    (history, max_buffer)
+}
+
+fn method_name(cfg: &FedTinyConfig) -> String {
+    match (cfg.selection, cfg.progressive.is_some()) {
+        (SelectionMode::AdaptiveBn, true) => "fedtiny".into(),
+        (SelectionMode::AdaptiveBn, false) => "adaptive_bn_selection".into(),
+        (SelectionMode::Vanilla, true) => "vanilla+progressive".into(),
+        (SelectionMode::Vanilla, false) => "vanilla".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedtiny_end_to_end() {
+        let env = ExperimentEnv::tiny_for_tests(0);
+        let cfg = FedTinyConfig::tiny_for_tests(0.3);
+        let result = run_fedtiny(&env, &cfg);
+        assert_eq!(result.method, "fedtiny");
+        assert!(
+            result.final_density <= 0.31,
+            "density {}",
+            result.final_density
+        );
+        assert!((0.0..=1.0).contains(&result.accuracy));
+        assert!(!result.history.is_empty());
+        assert!(result.max_round_flops > 0.0);
+        assert!(result.memory_bytes > 0.0);
+        assert!(result.comm_bytes > 0.0);
+        assert!(result.extra_flops > 0.0);
+    }
+
+    #[test]
+    fn ablation_arms_have_distinct_names() {
+        let mut cfg = FedTinyConfig::tiny_for_tests(0.3);
+        cfg.selection = SelectionMode::Vanilla;
+        cfg.progressive = None;
+        let env = ExperimentEnv::tiny_for_tests(1);
+        let result = run_fedtiny(&env, &cfg);
+        assert_eq!(result.method, "vanilla");
+        assert!(result.final_density <= 0.31);
+    }
+
+    #[test]
+    fn no_progressive_keeps_selected_mask() {
+        let env = ExperimentEnv::tiny_for_tests(2);
+        let mut cfg = FedTinyConfig::tiny_for_tests(0.4);
+        cfg.progressive = None;
+        let result = run_fedtiny(&env, &cfg);
+        // Density unchanged by fine-tuning alone.
+        assert!(
+            result.final_density <= 0.41,
+            "density {}",
+            result.final_density
+        ); // ceil rounding adds <1 weight/layer
+        assert_eq!(result.method, "adaptive_bn_selection");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = FedTinyConfig::tiny_for_tests(0.3);
+        let a = run_fedtiny(&ExperimentEnv::tiny_for_tests(5), &cfg);
+        let b = run_fedtiny(&ExperimentEnv::tiny_for_tests(5), &cfg);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.final_density, b.final_density);
+    }
+
+    #[test]
+    fn every_granularity_trains() {
+        // Table III coverage in unit form: all granularity x order combos
+        // run end-to-end and keep the density budget.
+        use crate::progressive::Granularity;
+        let env = ExperimentEnv::tiny_for_tests(7);
+        for granularity in [Granularity::Layer, Granularity::Block, Granularity::Entire] {
+            for backward in [true, false] {
+                let mut cfg = FedTinyConfig::tiny_for_tests(0.3);
+                if let Some(p) = &mut cfg.progressive {
+                    p.granularity = granularity;
+                    p.backward_order = backward;
+                }
+                let r = run_fedtiny(&env, &cfg);
+                assert!(
+                    r.final_density <= 0.31,
+                    "{granularity:?}/{backward}: density {}",
+                    r.final_density
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn start_round_delays_first_adjustment() {
+        // With start_round beyond R_stop no adjustment ever fires, so the
+        // selected mask survives unchanged (same as progressive = None).
+        let env = ExperimentEnv::tiny_for_tests(8);
+        let mut delayed = FedTinyConfig::tiny_for_tests(0.3);
+        if let Some(p) = &mut delayed.progressive {
+            p.start_round = 100;
+        }
+        let mut none = delayed;
+        none.progressive = None;
+        let a = run_fedtiny(&env, &delayed);
+        let b = run_fedtiny(&env, &none);
+        assert_eq!(a.final_density, b.final_density);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn paper_default_wiring() {
+        let cfg = FedTinyConfig::default();
+        assert_eq!(cfg.pool_size, 10); // C* = 0.1 / 0.01
+        assert!(matches!(cfg.selection, SelectionMode::AdaptiveBn));
+        assert!(cfg.progressive.is_some());
+    }
+}

@@ -1,0 +1,124 @@
+//! Server-side aggregation: FedAvg over flat parameters and BN statistics.
+
+use ft_nn::BnStats;
+
+/// Weighted average of flat parameter vectors (FedAvg).
+///
+/// Weights are normalized internally, so callers may pass raw dataset sizes.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, lengths differ, or the weight sum is zero.
+pub fn fedavg(updates: &[(Vec<f32>, f64)]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "fedavg needs at least one update");
+    let n = updates[0].0.len();
+    let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
+    assert!(total_w > 0.0, "fedavg weights sum to zero");
+    let mut out = vec![0.0f64; n];
+    for (params, w) in updates {
+        assert_eq!(params.len(), n, "fedavg parameter length mismatch");
+        let wn = *w / total_w;
+        for (o, &p) in out.iter_mut().zip(params.iter()) {
+            *o += wn * p as f64;
+        }
+    }
+    out.into_iter().map(|v| v as f32).collect()
+}
+
+/// Weighted average of per-layer BatchNorm statistics (Eq. 4):
+/// `µ = Σ_k (|D̂_k|/Σ|D̂_j|) µ_k` and likewise for `σ²`.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or the layer structures differ.
+pub fn aggregate_bn_stats(updates: &[(Vec<BnStats>, f64)]) -> Vec<BnStats> {
+    assert!(
+        !updates.is_empty(),
+        "bn aggregation needs at least one update"
+    );
+    let layers = updates[0].0.len();
+    let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
+    assert!(total_w > 0.0, "bn aggregation weights sum to zero");
+    let mut out: Vec<BnStats> = updates[0]
+        .0
+        .iter()
+        .map(|s| BnStats {
+            mean: vec![0.0; s.mean.len()],
+            var: vec![0.0; s.var.len()],
+        })
+        .collect();
+    for (stats, w) in updates {
+        assert_eq!(stats.len(), layers, "bn layer count mismatch");
+        let wn = (*w / total_w) as f32;
+        for (o, s) in out.iter_mut().zip(stats.iter()) {
+            assert_eq!(o.mean.len(), s.mean.len(), "bn channel count mismatch");
+            for (om, &sm) in o.mean.iter_mut().zip(s.mean.iter()) {
+                *om += wn * sm;
+            }
+            for (ov, &sv) in o.var.iter_mut().zip(s.var.iter()) {
+                *ov += wn * sv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fedavg_weighted_mean() {
+        let got = fedavg(&[(vec![1.0, 0.0], 1.0), (vec![0.0, 1.0], 3.0)]);
+        assert!((got[0] - 0.25).abs() < 1e-6);
+        assert!((got[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fedavg_unnormalized_weights_ok() {
+        let a = fedavg(&[(vec![2.0], 10.0), (vec![4.0], 30.0)]);
+        let b = fedavg(&[(vec![2.0], 0.25), (vec![4.0], 0.75)]);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fedavg_rejects_ragged() {
+        let _ = fedavg(&[(vec![1.0], 1.0), (vec![1.0, 2.0], 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one update")]
+    fn fedavg_rejects_empty() {
+        let _ = fedavg(&[]);
+    }
+
+    #[test]
+    fn bn_aggregation_weighted() {
+        let a = vec![BnStats {
+            mean: vec![1.0, 2.0],
+            var: vec![1.0, 1.0],
+        }];
+        let b = vec![BnStats {
+            mean: vec![3.0, 4.0],
+            var: vec![3.0, 3.0],
+        }];
+        let got = aggregate_bn_stats(&[(a, 1.0), (b, 1.0)]);
+        assert_eq!(got[0].mean, vec![2.0, 3.0]);
+        assert_eq!(got[0].var, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn bn_aggregation_respects_dataset_sizes() {
+        let a = vec![BnStats {
+            mean: vec![0.0],
+            var: vec![0.0],
+        }];
+        let b = vec![BnStats {
+            mean: vec![10.0],
+            var: vec![10.0],
+        }];
+        let got = aggregate_bn_stats(&[(a, 9.0), (b, 1.0)]);
+        assert!((got[0].mean[0] - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,119 @@
+//! Federated-learning run configuration.
+
+use ft_nn::optim::SgdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Shared federated-learning knobs (Sec. IV-A1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlConfig {
+    /// Number of participating devices `K` (paper: 10).
+    pub devices: usize,
+    /// Total FL rounds (paper: 300, or 200 for SVHN).
+    pub rounds: usize,
+    /// Local epochs per round `E` (paper: 5).
+    pub local_epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Local SGD hyperparameters.
+    pub sgd: SgdConfig,
+    /// Dirichlet concentration for the non-iid split (paper: 0.5).
+    pub alpha: f64,
+    /// Fraction of local data sampled as the development split `D̂_k`
+    /// for BN adaptation (paper: 0.1).
+    pub dev_fraction: f32,
+    /// Fraction of devices participating per round (1.0 = all devices, the
+    /// paper's setting; lower values model realistic partial participation).
+    pub participation: f32,
+    /// FedProx proximal coefficient µ; 0 disables the proximal term (the
+    /// paper uses plain FedAvg). When set, each local step adds
+    /// `µ(θ − θ_global)` to the gradient.
+    pub prox_mu: f32,
+    /// Per-round multiplicative learning-rate decay (1.0 = constant lr).
+    pub lr_decay: f32,
+    /// Run devices on parallel OS threads.
+    pub parallel: bool,
+    /// Master seed for the whole run.
+    pub seed: u64,
+}
+
+impl FlConfig {
+    /// The paper's settings (expensive; used by `FT_SCALE=paper` benches).
+    pub fn paper_default() -> Self {
+        FlConfig {
+            devices: 10,
+            rounds: 300,
+            local_epochs: 5,
+            batch_size: 64,
+            sgd: SgdConfig::default(),
+            alpha: 0.5,
+            dev_fraction: 0.1,
+            participation: 1.0,
+            prox_mu: 0.0,
+            lr_decay: 1.0,
+            parallel: true,
+            seed: 0,
+        }
+    }
+
+    /// Laptop-scale settings the bench harnesses default to.
+    pub fn bench_default() -> Self {
+        FlConfig {
+            devices: 6,
+            rounds: 40,
+            local_epochs: 2,
+            batch_size: 32,
+            sgd: SgdConfig {
+                lr: 0.08,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                clip_norm: 2.0,
+            },
+            alpha: 0.5,
+            dev_fraction: 0.2,
+            participation: 1.0,
+            prox_mu: 0.0,
+            lr_decay: 1.0,
+            parallel: true,
+            seed: 0,
+        }
+    }
+
+    /// Millisecond-scale settings for unit tests.
+    pub fn tiny_for_tests() -> Self {
+        FlConfig {
+            devices: 3,
+            rounds: 4,
+            local_epochs: 1,
+            batch_size: 16,
+            sgd: SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                clip_norm: 0.0,
+            },
+            alpha: 0.5,
+            dev_fraction: 0.5,
+            participation: 1.0,
+            prox_mu: 0.0,
+            lr_decay: 1.0,
+            parallel: false,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = FlConfig::paper_default();
+        assert_eq!(p.devices, 10);
+        assert_eq!(p.rounds, 300);
+        assert_eq!(p.local_epochs, 5);
+        assert_eq!(p.batch_size, 64);
+        let t = FlConfig::tiny_for_tests();
+        assert!(t.rounds < 10 && t.devices <= 4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment environment: data generation + federated split.
+
+use crate::config::FlConfig;
+use crate::spec::ModelSpec;
+use ft_data::{dirichlet_partition, Dataset, DatasetProfile, SynthConfig};
+use ft_nn::Model;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A fully-prepared federated experiment: per-device training datasets (from
+/// a Dirichlet non-iid split), the central test set, and the run
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct ExperimentEnv {
+    /// Local training datasets, one per device.
+    pub parts: Vec<Dataset>,
+    /// Held-out test dataset.
+    pub test: Dataset,
+    /// A server-side "public one-shot dataset" `D_s` (Sec. IV-A3) used by
+    /// SNIP/PruneFL-style server pruning — a small iid sample.
+    pub server_public: Dataset,
+    /// Run configuration.
+    pub cfg: FlConfig,
+    /// Which dataset profile generated the data.
+    pub profile: DatasetProfile,
+}
+
+impl ExperimentEnv {
+    /// Generates data with `synth` and splits it across `cfg.devices`
+    /// devices with `Dirichlet(cfg.alpha)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated corpus has fewer samples than devices.
+    pub fn new(synth: SynthConfig, cfg: FlConfig) -> Self {
+        let (train, test) = synth.generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9a97_1710);
+        let parts_idx = dirichlet_partition(
+            &mut rng,
+            train.labels(),
+            train.classes(),
+            cfg.devices,
+            cfg.alpha,
+        );
+        let parts: Vec<Dataset> = parts_idx.iter().map(|idx| train.subset(idx)).collect();
+        // Server public data: an iid sample of ~10% of the corpus.
+        let server_public = train.dev_split(&mut rng, 0.1);
+        ExperimentEnv {
+            parts,
+            test,
+            server_public,
+            cfg,
+            profile: synth.profile,
+        }
+    }
+
+    /// Millisecond-scale environment for unit tests.
+    pub fn tiny_for_tests(seed: u64) -> Self {
+        let mut cfg = FlConfig::tiny_for_tests();
+        cfg.seed = seed;
+        let synth = SynthConfig::tiny_for_tests(DatasetProfile::Cifar10, seed);
+        Self::new(synth, cfg)
+    }
+
+    /// Laptop-scale environment matching the bench defaults.
+    pub fn bench_default(profile: DatasetProfile, seed: u64) -> Self {
+        let mut cfg = FlConfig::bench_default();
+        cfg.seed = seed;
+        let synth = SynthConfig::bench_default(profile, seed);
+        Self::new(synth, cfg)
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total training samples across devices.
+    pub fn total_train_samples(&self) -> usize {
+        self.parts.iter().map(Dataset::len).sum()
+    }
+
+    /// Relative dataset weights `|D_k| / Σ|D_j|` used by every aggregation
+    /// in the paper (Eqs. 4 and 7).
+    pub fn device_weights(&self) -> Vec<f64> {
+        let total = self.total_train_samples() as f64;
+        self.parts.iter().map(|d| d.len() as f64 / total).collect()
+    }
+
+    /// Builds the model for this environment (input channels/classes come
+    /// from the data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's input resolution differs from the data's.
+    pub fn build_model(&self, spec: &ModelSpec) -> Box<dyn Model> {
+        let [c, h, _w] = self.test.sample_shape();
+        assert_eq!(
+            h,
+            spec.input_size(),
+            "model expects {} inputs but data is {h}px",
+            spec.input_size()
+        );
+        spec.build(c, self.test.classes(), self.cfg.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_env_is_consistent() {
+        let env = ExperimentEnv::tiny_for_tests(0);
+        assert_eq!(env.num_devices(), 3);
+        assert!(env.parts.iter().all(|p| !p.is_empty()));
+        assert_eq!(env.test.classes(), 10);
+        assert!(!env.server_public.is_empty());
+        let w = env.device_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ExperimentEnv::tiny_for_tests(3);
+        let b = ExperimentEnv::tiny_for_tests(3);
+        assert_eq!(a.parts[0].labels(), b.parts[0].labels());
+    }
+
+    #[test]
+    fn build_model_checks_resolution() {
+        let env = ExperimentEnv::tiny_for_tests(0);
+        let m = env.build_model(&ModelSpec::small_cnn_test());
+        assert_eq!(m.arch().input, [3, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "but data is")]
+    fn build_model_rejects_resolution_mismatch() {
+        let env = ExperimentEnv::tiny_for_tests(0);
+        let _ = env.build_model(&ModelSpec::ResNet18 {
+            width: 0.125,
+            input: 16,
+        });
+    }
+}

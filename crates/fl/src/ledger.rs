@@ -1,0 +1,123 @@
+//! Cost bookkeeping and the uniform result type every method runner returns.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-round device costs over a run.
+///
+/// The paper reports the *maximum* per-round training FLOPs (whether any
+/// round overwhelms a constrained device) and total communication.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    round_flops: Vec<f64>,
+    comm_bytes: f64,
+    extra_flops: f64,
+}
+
+impl CostLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the per-device training FLOPs of one round.
+    pub fn record_round_flops(&mut self, flops: f64) {
+        self.round_flops.push(flops);
+    }
+
+    /// Adds communication volume (bytes, any direction).
+    pub fn add_comm(&mut self, bytes: f64) {
+        self.comm_bytes += bytes;
+    }
+
+    /// Adds one-off extra computation (e.g. Alg. 1's BN adaptation passes).
+    pub fn add_extra_flops(&mut self, flops: f64) {
+        self.extra_flops += flops;
+    }
+
+    /// Maximum training FLOPs over all recorded rounds (Table I's "Max
+    /// Training FLOPs"), zero if nothing was recorded.
+    pub fn max_round_flops(&self) -> f64 {
+        self.round_flops.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total communication in bytes.
+    pub fn total_comm_bytes(&self) -> f64 {
+        self.comm_bytes
+    }
+
+    /// Total extra FLOPs (Table II's "Extra FLOPs in selection").
+    pub fn extra_flops(&self) -> f64 {
+        self.extra_flops
+    }
+
+    /// Number of recorded rounds.
+    pub fn rounds(&self) -> usize {
+        self.round_flops.len()
+    }
+}
+
+/// The uniform outcome of one federated pruning run, shared by FedTiny and
+/// every baseline so the bench harnesses can tabulate them side by side.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Human-readable method name (e.g. `"fedtiny"`, `"snip"`).
+    pub method: String,
+    /// Final top-1 accuracy on the test set.
+    pub accuracy: f32,
+    /// Accuracy after each evaluation point (typically once per round).
+    pub history: Vec<f32>,
+    /// Overall density of the final mask (1.0 for dense methods).
+    pub final_density: f32,
+    /// Maximum per-round per-device training FLOPs.
+    pub max_round_flops: f64,
+    /// Device memory footprint in bytes (model + method-specific extras).
+    pub memory_bytes: f64,
+    /// Total communication volume in bytes.
+    pub comm_bytes: f64,
+    /// Extra FLOPs outside training rounds (e.g. BN selection).
+    pub extra_flops: f64,
+}
+
+impl RunResult {
+    /// Best accuracy seen at any evaluation point (the paper reports final
+    /// accuracy; best-seen is exposed for diagnostics).
+    pub fn best_accuracy(&self) -> f32 {
+        self.history.iter().cloned().fold(self.accuracy, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_max_and_totals() {
+        let mut l = CostLedger::new();
+        assert_eq!(l.max_round_flops(), 0.0);
+        l.record_round_flops(10.0);
+        l.record_round_flops(30.0);
+        l.record_round_flops(20.0);
+        l.add_comm(100.0);
+        l.add_comm(50.0);
+        l.add_extra_flops(5.0);
+        assert_eq!(l.max_round_flops(), 30.0);
+        assert_eq!(l.total_comm_bytes(), 150.0);
+        assert_eq!(l.extra_flops(), 5.0);
+        assert_eq!(l.rounds(), 3);
+    }
+
+    #[test]
+    fn best_accuracy_scans_history() {
+        let r = RunResult {
+            method: "x".into(),
+            accuracy: 0.5,
+            history: vec![0.2, 0.7, 0.6],
+            final_density: 0.01,
+            max_round_flops: 0.0,
+            memory_bytes: 0.0,
+            comm_bytes: 0.0,
+            extra_flops: 0.0,
+        };
+        assert_eq!(r.best_accuracy(), 0.7);
+    }
+}

@@ -1,0 +1,44 @@
+//! Federated-learning simulator: devices, FedAvg aggregation, local SGD,
+//! evaluation, and cost bookkeeping.
+//!
+//! Every pruning method in this workspace — the baselines in `ft-pruning`
+//! and FedTiny itself — is built from the primitives here:
+//!
+//! - [`ExperimentEnv`] — a generated dataset, its Dirichlet non-iid split
+//!   across `K` devices, and the shared [`FlConfig`].
+//! - [`local_train`] / [`train_devices_parallel`] — `E` epochs of (masked)
+//!   SGD per device, optionally fanned out over OS threads.
+//! - [`fedavg`] / [`aggregate_bn_stats`] — size-weighted averaging of flat
+//!   parameter vectors and of BatchNorm running statistics (Eqs. 4 and 7).
+//! - [`evaluate`] — top-1 accuracy of the global model on the test split.
+//! - [`CostLedger`] / [`RunResult`] — per-round FLOPs/communication records
+//!   and the uniform result struct every method runner returns.
+//!
+//! # Examples
+//!
+//! ```
+//! use ft_fl::{evaluate, ExperimentEnv, ModelSpec};
+//!
+//! let env = ExperimentEnv::tiny_for_tests(7);
+//! let mut model = env.build_model(&ModelSpec::small_cnn_test());
+//! let acc = evaluate(model.as_mut(), &env.test);
+//! assert!(acc >= 0.0 && acc <= 1.0);
+//! ```
+
+mod aggregate;
+mod config;
+mod env;
+mod ledger;
+mod rounds;
+mod spec;
+mod train;
+
+pub use aggregate::{aggregate_bn_stats, fedavg};
+pub use config::FlConfig;
+pub use env::ExperimentEnv;
+pub use ledger::{CostLedger, RunResult};
+pub use rounds::{no_hook, run_federated_rounds, schedule_fits, RoundHook};
+pub use spec::ModelSpec;
+pub use train::{
+    eval_loss, evaluate, local_train, local_train_prox, train_devices_parallel, DeviceUpdate,
+};

@@ -1,0 +1,282 @@
+//! Device-side local training and model evaluation.
+
+use crate::config::FlConfig;
+use ft_data::Dataset;
+use ft_nn::loss::{cross_entropy_loss_only, softmax_cross_entropy};
+use ft_nn::optim::Sgd;
+use ft_nn::{accuracy, flat_params, BnStats, Mode, Model};
+use ft_sparse::Mask;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// What a device sends back after local training: its parameters, refreshed
+/// BN statistics, and its dataset size (the FedAvg weight).
+#[derive(Clone, Debug)]
+pub struct DeviceUpdate {
+    /// Flat parameter vector after `E` local epochs.
+    pub params: Vec<f32>,
+    /// BatchNorm running statistics after local training.
+    pub bn: Vec<BnStats>,
+    /// `|D_k|`.
+    pub samples: usize,
+}
+
+/// Runs `epochs` of mini-batch SGD on `model` over `data`, with gradients
+/// masked by `mask` when given (Eq. 5). The RNG drives batch shuffling only.
+pub fn local_train(
+    model: &mut dyn Model,
+    data: &Dataset,
+    mask: Option<&Mask>,
+    epochs: usize,
+    batch_size: usize,
+    sgd: &mut Sgd,
+    rng: &mut ChaCha8Rng,
+) {
+    local_train_prox(model, data, mask, epochs, batch_size, sgd, rng, 0.0);
+}
+
+/// [`local_train`] with an optional FedProx proximal term: when `mu > 0`,
+/// each step adds `µ(θ − θ_global)` to the gradient, where `θ_global` is the
+/// model's state at entry (Li et al., "Federated Optimization in
+/// Heterogeneous Networks").
+#[allow(clippy::too_many_arguments)]
+pub fn local_train_prox(
+    model: &mut dyn Model,
+    data: &Dataset,
+    mask: Option<&Mask>,
+    epochs: usize,
+    batch_size: usize,
+    sgd: &mut Sgd,
+    rng: &mut ChaCha8Rng,
+    mu: f32,
+) {
+    let anchor = if mu > 0.0 {
+        Some(flat_params(model))
+    } else {
+        None
+    };
+    for _ in 0..epochs {
+        for (x, y) in data.iter_batches(rng, batch_size) {
+            let logits = model.forward(&x, Mode::Train);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            model.backward(&grad);
+            if let Some(anchor) = &anchor {
+                add_proximal_term(model, anchor, mu);
+            }
+            sgd.step(model, mask);
+            model.zero_grad();
+        }
+    }
+}
+
+/// Adds `µ(θ − θ_anchor)` to every gradient accumulator.
+fn add_proximal_term(model: &mut dyn Model, anchor: &[f32], mu: f32) {
+    let mut offset = 0;
+    for p in model.params_mut() {
+        let n = p.len();
+        let a = &anchor[offset..offset + n];
+        for ((g, w), &w0) in p
+            .grad
+            .data_mut()
+            .iter_mut()
+            .zip(p.data.data().iter())
+            .zip(a.iter())
+        {
+            *g += mu * (w - w0);
+        }
+        offset += n;
+    }
+}
+
+/// Trains every device from the same global model and returns their updates
+/// in device order. Uses one OS thread per device when `cfg.parallel`.
+///
+/// Device RNGs are derived from `(cfg.seed, round, device)` so parallel and
+/// sequential execution produce identical results.
+pub fn train_devices_parallel(
+    global: &dyn Model,
+    parts: &[Dataset],
+    mask: Option<&Mask>,
+    cfg: &FlConfig,
+    round: usize,
+) -> Vec<DeviceUpdate> {
+    let run_one = |k: usize, data: &Dataset| -> DeviceUpdate {
+        let mut model = global.clone_model();
+        let mut sgd_cfg = cfg.sgd;
+        if cfg.lr_decay != 1.0 {
+            sgd_cfg.lr *= cfg.lr_decay.powi(round as i32);
+        }
+        let mut sgd = Sgd::new(sgd_cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            cfg.seed ^ (round as u64).wrapping_mul(0x9e37_79b9) ^ (k as u64) << 32,
+        );
+        local_train_prox(
+            model.as_mut(),
+            data,
+            mask,
+            cfg.local_epochs,
+            cfg.batch_size,
+            &mut sgd,
+            &mut rng,
+            cfg.prox_mu,
+        );
+        DeviceUpdate {
+            params: flat_params(model.as_ref()),
+            bn: model.bn_stats().into_iter().cloned().collect(),
+            samples: data.len(),
+        }
+    };
+
+    if cfg.parallel && parts.len() > 1 {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .enumerate()
+                .map(|(k, data)| scope.spawn(move |_| run_one(k, data)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed")
+    } else {
+        parts
+            .iter()
+            .enumerate()
+            .map(|(k, d)| run_one(k, d))
+            .collect()
+    }
+}
+
+/// Top-1 accuracy on a dataset in `Eval` mode, batched to bound memory.
+pub fn evaluate(model: &mut dyn Model, data: &Dataset) -> f32 {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let mut correct = 0.0f64;
+    let mut seen = 0usize;
+    let n = data.len();
+    let bs = 64;
+    let mut i = 0;
+    while i < n {
+        let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
+        let (x, y) = data.batch(&idx);
+        let logits = model.forward(&x, Mode::Eval);
+        correct += accuracy(&logits, &y) as f64 * y.len() as f64;
+        seen += y.len();
+        i += bs;
+    }
+    (correct / seen as f64) as f32
+}
+
+/// Mean cross-entropy loss on a dataset in `Eval` mode (Alg. 1 line 19).
+pub fn eval_loss(model: &mut dyn Model, data: &Dataset) -> f32 {
+    assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+    let mut total = 0.0f64;
+    let mut seen = 0usize;
+    let n = data.len();
+    let bs = 64;
+    let mut i = 0;
+    while i < n {
+        let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
+        let (x, y) = data.batch(&idx);
+        let logits = model.forward(&x, Mode::Eval);
+        total += cross_entropy_loss_only(&logits, &y) as f64 * y.len() as f64;
+        seen += y.len();
+        i += bs;
+    }
+    (total / seen as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ExperimentEnv;
+    use crate::spec::ModelSpec;
+    use ft_nn::optim::SgdConfig;
+    use ft_nn::{apply_mask, sparse_layout};
+
+    #[test]
+    fn local_train_reduces_loss() {
+        let env = ExperimentEnv::tiny_for_tests(1);
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let data = &env.parts[0];
+        let before = eval_loss(model.as_mut(), data);
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        local_train(model.as_mut(), data, None, 8, 8, &mut sgd, &mut rng);
+        let after = eval_loss(model.as_mut(), data);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let env = ExperimentEnv::tiny_for_tests(2);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut cfg_par = env.cfg;
+        cfg_par.parallel = true;
+        let mut cfg_seq = env.cfg;
+        cfg_seq.parallel = false;
+        let a = train_devices_parallel(model.as_ref(), &env.parts, None, &cfg_par, 3);
+        let b = train_devices_parallel(model.as_ref(), &env.parts, None, &cfg_seq, 3);
+        assert_eq!(a.len(), b.len());
+        for (ua, ub) in a.iter().zip(b.iter()) {
+            assert_eq!(ua.params, ub.params, "parallel/sequential divergence");
+            assert_eq!(ua.samples, ub.samples);
+        }
+    }
+
+    #[test]
+    fn masked_training_preserves_sparsity() {
+        let env = ExperimentEnv::tiny_for_tests(3);
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let layout = sparse_layout(model.as_ref());
+        let mut mask = Mask::ones(&layout);
+        for i in 0..layout.layer(0).len {
+            if i % 2 == 0 {
+                mask.set(0, i, false);
+            }
+        }
+        apply_mask(model.as_mut(), &mask);
+        let updates = train_devices_parallel(model.as_ref(), &env.parts, Some(&mask), &env.cfg, 0);
+        // Check pruned coordinates stayed zero in every device update.
+        let mut offset = 0;
+        for p in model.params() {
+            if p.prunable {
+                break;
+            }
+            offset += p.len();
+        }
+        for u in &updates {
+            for i in 0..layout.layer(0).len {
+                if i % 2 == 0 {
+                    assert_eq!(u.params[offset + i], 0.0, "pruned weight moved on device");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_bounds() {
+        let env = ExperimentEnv::tiny_for_tests(4);
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let acc = evaluate(model.as_mut(), &env.test);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn device_updates_carry_bn_stats() {
+        let env = ExperimentEnv::tiny_for_tests(5);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let updates = train_devices_parallel(model.as_ref(), &env.parts, None, &env.cfg, 0);
+        assert_eq!(updates.len(), env.num_devices());
+        assert!(!updates[0].bn.is_empty());
+        // Training must have moved the BN statistics away from init.
+        assert!(updates[0]
+            .bn
+            .iter()
+            .any(|s| s.mean.iter().any(|&m| m != 0.0)));
+    }
+}

@@ -1,0 +1,81 @@
+//! Communication-cost accounting (Fig. 5 and the Alg. 1 overhead analysis).
+
+use crate::memory::{prunable_lens, unprunable_params};
+use ft_nn::{ArchInfo, LayerArch};
+
+/// Bytes to transfer one sparse model: surviving prunable weights as
+/// (value, index) pairs plus the dense unprunable parameters as values.
+///
+/// # Panics
+///
+/// Panics if `densities.len()` differs from the number of prunable layers.
+pub fn sparse_model_bytes(arch: &ArchInfo, densities: &[f32]) -> f64 {
+    let lens = prunable_lens(arch);
+    assert_eq!(
+        lens.len(),
+        densities.len(),
+        "densities must cover every prunable layer"
+    );
+    let nnz: f64 = lens
+        .iter()
+        .zip(densities.iter())
+        .map(|(&n, &d)| n as f64 * d.clamp(0.0, 1.0) as f64)
+        .sum();
+    8.0 * nnz + 4.0 * unprunable_params(arch) as f64
+}
+
+/// Bytes to transfer the dense model (plain values, no indices needed).
+pub fn dense_download_bytes(arch: &ArchInfo) -> f64 {
+    4.0 * crate::memory::total_params(arch) as f64
+}
+
+/// Bytes of one full set of batch-normalization statistics (mean + variance
+/// per channel) — what each device uploads per candidate in Alg. 1.
+pub fn bn_stats_bytes(arch: &ArchInfo) -> f64 {
+    let channels: usize = arch
+        .layers
+        .iter()
+        .map(|l| match l {
+            LayerArch::BatchNorm { channels, .. } => *channels,
+            _ => 0,
+        })
+        .sum();
+    (2 * channels * 4) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::arch;
+
+    #[test]
+    fn sparse_transfer_scales_with_density() {
+        let a = arch();
+        let full = sparse_model_bytes(&a, &[1.0, 1.0]);
+        let tiny = sparse_model_bytes(&a, &[0.01, 0.01]);
+        assert!(tiny < full / 2.0);
+        // Unprunable floor stays.
+        assert!(tiny >= 4.0 * unprunable_params(&a) as f64);
+    }
+
+    #[test]
+    fn dense_download_counts_everything() {
+        let a = arch();
+        assert_eq!(
+            dense_download_bytes(&a),
+            4.0 * crate::total_params(&a) as f64
+        );
+    }
+
+    #[test]
+    fn bn_bytes_by_hand() {
+        // Channels: 8 + 16 = 24; mean+var = 48 floats = 192 bytes.
+        assert_eq!(bn_stats_bytes(&arch()), 192.0);
+    }
+
+    #[test]
+    fn bn_stats_are_cheap_relative_to_model() {
+        let a = arch();
+        assert!(bn_stats_bytes(&a) < sparse_model_bytes(&a, &[1.0, 1.0]) / 10.0);
+    }
+}

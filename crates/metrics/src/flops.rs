@@ -1,0 +1,144 @@
+//! Per-sample FLOPs accounting.
+
+use ft_nn::{ArchInfo, LayerArch};
+
+/// Forward FLOPs of one layer at weight density `d` for a single sample.
+///
+/// Convolutions and linears scale linearly with density (skipped
+/// multiply-accumulates); BatchNorm is unaffected by weight sparsity.
+pub fn layer_forward_flops(layer: &LayerArch, density: f32) -> f64 {
+    let d = density.clamp(0.0, 1.0) as f64;
+    match layer {
+        LayerArch::Conv {
+            in_c,
+            out_c,
+            kernel,
+            out_h,
+            out_w,
+            ..
+        } => 2.0 * (*kernel * *kernel * *in_c * *out_c * *out_h * *out_w) as f64 * d,
+        LayerArch::Linear {
+            in_dim, out_dim, ..
+        } => 2.0 * (*in_dim * *out_dim) as f64 * d,
+        LayerArch::BatchNorm { channels, spatial } => {
+            // subtract mean, divide by std, scale, shift ≈ 4 ops/position.
+            4.0 * (*channels * *spatial) as f64
+        }
+    }
+}
+
+/// Dense forward FLOPs per sample.
+pub fn forward_flops_dense(arch: &ArchInfo) -> f64 {
+    arch.layers
+        .iter()
+        .map(|l| layer_forward_flops(l, 1.0))
+        .sum()
+}
+
+/// Forward FLOPs per sample with per-layer densities applied to prunable
+/// layers (`densities` is indexed by `prunable_idx`; unprunable layers stay
+/// dense).
+///
+/// # Panics
+///
+/// Panics if a `prunable_idx` exceeds `densities.len()`.
+pub fn forward_flops(arch: &ArchInfo, densities: &[f32]) -> f64 {
+    arch.layers
+        .iter()
+        .map(|l| {
+            let d = match prunable_idx(l) {
+                Some(i) => {
+                    assert!(
+                        i < densities.len(),
+                        "density vector too short for layer {i}"
+                    );
+                    densities[i]
+                }
+                None => 1.0,
+            };
+            layer_forward_flops(l, d)
+        })
+        .sum()
+}
+
+/// Backward FLOPs per sample (≈ 2× forward: input gradient + weight
+/// gradient).
+pub fn backward_flops(arch: &ArchInfo, densities: &[f32]) -> f64 {
+    2.0 * forward_flops(arch, densities)
+}
+
+/// Training FLOPs per sample (forward + backward ≈ 3× forward).
+pub fn training_flops(arch: &ArchInfo, densities: &[f32]) -> f64 {
+    3.0 * forward_flops(arch, densities)
+}
+
+fn prunable_idx(layer: &LayerArch) -> Option<usize> {
+    match layer {
+        LayerArch::Conv { prunable_idx, .. } | LayerArch::Linear { prunable_idx, .. } => {
+            *prunable_idx
+        }
+        LayerArch::BatchNorm { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::arch;
+
+    #[test]
+    fn dense_counts_by_hand() {
+        let a = arch();
+        // conv1: 2*9*3*8*64 = 27648; bn1: 4*8*64 = 2048;
+        // conv2: 2*9*8*16*16 = 36864; bn2: 4*16*16 = 1024;
+        // fc1: 2*256*10 = 5120; fc2: 2*10*10 = 200.
+        let expect = 27648.0 + 2048.0 + 36864.0 + 1024.0 + 5120.0 + 200.0;
+        assert_eq!(forward_flops_dense(&a), expect);
+    }
+
+    #[test]
+    fn density_scales_only_prunable_layers() {
+        let a = arch();
+        let dense = forward_flops_dense(&a);
+        let sparse = forward_flops(&a, &[0.0, 0.0]);
+        // Zero density removes conv2 + fc1 contributions entirely.
+        assert_eq!(sparse, dense - 36864.0 - 5120.0);
+    }
+
+    #[test]
+    fn training_is_three_times_forward() {
+        let a = arch();
+        let d = [0.5, 0.5];
+        assert_eq!(training_flops(&a, &d), 3.0 * forward_flops(&a, &d));
+        assert_eq!(backward_flops(&a, &d), 2.0 * forward_flops(&a, &d));
+    }
+
+    #[test]
+    fn density_clamps() {
+        let a = arch();
+        assert_eq!(forward_flops(&a, &[2.0, 2.0]), forward_flops_dense(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_short_density_vector() {
+        let _ = forward_flops(&arch(), &[0.5]);
+    }
+
+    #[test]
+    fn resnet18_dense_flops_order_of_magnitude() {
+        use ft_nn::models::ResNet18;
+        use ft_nn::Model;
+        use rand::SeedableRng;
+        let m = ResNet18::new(
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(0),
+            1.0,
+            10,
+            3,
+            32,
+        );
+        let f = forward_flops_dense(&m.arch());
+        // CIFAR ResNet18 forward ≈ 0.5–0.6 GFLOPs (1.1 GMACs x ~0.5).
+        assert!((3e8..2e9).contains(&f), "got {f:e}");
+    }
+}

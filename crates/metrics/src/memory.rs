@@ -1,0 +1,189 @@
+//! Device memory-footprint accounting.
+
+use ft_nn::{ArchInfo, LayerArch};
+
+/// Method-specific additional memory a device must hold beyond the sparse
+/// model itself (Table I's differentiator between methods).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExtraMemory {
+    /// Nothing beyond the sparse model (SNIP, SynFlow, FL-PQSU after
+    /// pruning).
+    None,
+    /// Dense importance scores for every parameter (PruneFL keeps full-size
+    /// aggregated gradients: 4 bytes × total parameters).
+    DenseScores,
+    /// The device trains the *dense* model (LotteryFL): weight + gradient
+    /// for every parameter.
+    DenseTraining,
+    /// FedTiny's `O(a)` top-k gradient buffer: `k` (index, value) pairs.
+    TopKBuffer(usize),
+    /// A binary mask over all prunable weights (FedDST mask adjustment).
+    MaskBits,
+}
+
+/// Total scalar parameters of the architecture (weights + biases + BN
+/// affine).
+pub fn total_params(arch: &ArchInfo) -> usize {
+    arch.layers
+        .iter()
+        .map(|l| match l {
+            LayerArch::Conv {
+                in_c,
+                out_c,
+                kernel,
+                ..
+            } => in_c * out_c * kernel * kernel,
+            LayerArch::Linear {
+                in_dim, out_dim, ..
+            } => in_dim * out_dim + out_dim,
+            LayerArch::BatchNorm { channels, .. } => 2 * channels,
+        })
+        .sum()
+}
+
+/// Lengths of the prunable weight tensors, indexed by `prunable_idx`.
+pub fn prunable_lens(arch: &ArchInfo) -> Vec<usize> {
+    let mut pairs: Vec<(usize, usize)> = arch
+        .layers
+        .iter()
+        .filter_map(|l| match l {
+            LayerArch::Conv {
+                in_c,
+                out_c,
+                kernel,
+                prunable_idx: Some(i),
+                ..
+            } => Some((*i, in_c * out_c * kernel * kernel)),
+            LayerArch::Linear {
+                in_dim,
+                out_dim,
+                prunable_idx: Some(i),
+                ..
+            } => Some((*i, in_dim * out_dim)),
+            _ => None,
+        })
+        .collect();
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, n)| n).collect()
+}
+
+/// Scalar parameters that never participate in pruning.
+pub fn unprunable_params(arch: &ArchInfo) -> usize {
+    total_params(arch) - prunable_lens(arch).iter().sum::<usize>()
+}
+
+/// Device memory footprint in bytes for local *training* at the given
+/// per-layer densities.
+///
+/// Accounting: surviving prunable weights cost 12 bytes (value + index +
+/// gradient); unprunable parameters cost 8 bytes (value + gradient); plus
+/// the method-specific [`ExtraMemory`].
+///
+/// # Panics
+///
+/// Panics if `densities.len()` differs from the number of prunable layers.
+pub fn device_memory_bytes(arch: &ArchInfo, densities: &[f32], extra: ExtraMemory) -> f64 {
+    let lens = prunable_lens(arch);
+    assert_eq!(
+        lens.len(),
+        densities.len(),
+        "densities must cover every prunable layer"
+    );
+    let nnz: f64 = lens
+        .iter()
+        .zip(densities.iter())
+        .map(|(&n, &d)| n as f64 * d.clamp(0.0, 1.0) as f64)
+        .sum();
+    let base = 12.0 * nnz + 8.0 * unprunable_params(arch) as f64;
+    let total = total_params(arch) as f64;
+    let extra_bytes = match extra {
+        ExtraMemory::None => 0.0,
+        ExtraMemory::DenseScores => 4.0 * total,
+        ExtraMemory::DenseTraining => {
+            // Dense weight+grad replaces the sparse storage entirely.
+            return 8.0 * total;
+        }
+        ExtraMemory::TopKBuffer(k) => 8.0 * k as f64,
+        ExtraMemory::MaskBits => lens.iter().sum::<usize>() as f64 / 8.0,
+    };
+    base + extra_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::arch;
+
+    #[test]
+    fn total_params_by_hand() {
+        // conv1 3*8*9=216, bn1 16, conv2 8*16*9=1152, bn2 32,
+        // fc1 256*10+10=2570, fc2 10*10+10=110.
+        assert_eq!(total_params(&arch()), 216 + 16 + 1152 + 32 + 2570 + 110);
+    }
+
+    #[test]
+    fn prunable_lens_ordered() {
+        assert_eq!(prunable_lens(&arch()), vec![1152, 2560]);
+        assert_eq!(
+            unprunable_params(&arch()),
+            total_params(&arch()) - 1152 - 2560
+        );
+    }
+
+    #[test]
+    fn memory_shrinks_with_density() {
+        let a = arch();
+        let dense = device_memory_bytes(&a, &[1.0, 1.0], ExtraMemory::None);
+        let sparse = device_memory_bytes(&a, &[0.01, 0.01], ExtraMemory::None);
+        assert!(sparse < dense / 2.0, "{sparse} vs {dense}");
+    }
+
+    #[test]
+    fn dense_scores_add_full_model() {
+        let a = arch();
+        let d = [0.01, 0.01];
+        let none = device_memory_bytes(&a, &d, ExtraMemory::None);
+        let scores = device_memory_bytes(&a, &d, ExtraMemory::DenseScores);
+        assert!((scores - none - 4.0 * total_params(&a) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_training_ignores_density() {
+        let a = arch();
+        let m1 = device_memory_bytes(&a, &[0.01, 0.01], ExtraMemory::DenseTraining);
+        let m2 = device_memory_bytes(&a, &[1.0, 1.0], ExtraMemory::DenseTraining);
+        assert_eq!(m1, m2);
+        assert_eq!(m1, 8.0 * total_params(&a) as f64);
+    }
+
+    #[test]
+    fn topk_buffer_is_tiny() {
+        let a = arch();
+        let d = [0.01, 0.01];
+        let none = device_memory_bytes(&a, &d, ExtraMemory::None);
+        let topk = device_memory_bytes(&a, &d, ExtraMemory::TopKBuffer(64));
+        assert_eq!(topk - none, 8.0 * 64.0);
+    }
+
+    #[test]
+    fn paper_scale_resnet_memory_factor() {
+        // At density 0.01, Table I reports ~3% of the dense footprint for
+        // ResNet18. Our accounting should land in the same ballpark.
+        use ft_nn::models::ResNet18;
+        use ft_nn::Model;
+        use rand::SeedableRng;
+        let m = ResNet18::new(
+            &mut rand_chacha::ChaCha8Rng::seed_from_u64(0),
+            1.0,
+            10,
+            3,
+            32,
+        );
+        let a = m.arch();
+        let lens = prunable_lens(&a);
+        let dense = device_memory_bytes(&a, &vec![1.0; lens.len()], ExtraMemory::None);
+        let sparse = device_memory_bytes(&a, &vec![0.01; lens.len()], ExtraMemory::None);
+        let factor = sparse / dense;
+        assert!(factor < 0.08, "sparse/dense memory factor {factor}");
+    }
+}

@@ -1,0 +1,1093 @@
+//! Concrete layers with manual forward/backward passes.
+//!
+//! Every layer caches what its backward pass needs during `forward`, so a
+//! model's backward pass is simply the layers' backward calls in reverse
+//! order. Parameter gradients *accumulate* into [`Param::grad`]; call
+//! [`Param::zero_grad`] (or `Model::zero_grad`) between batches.
+
+use crate::param::{Param, ParamKind};
+use ft_tensor::{
+    avg_pool_global, avg_pool_global_backward, col2im, im2col, kaiming_normal, matmul_into,
+    matmul_nt_into, matmul_tn_into, max_pool2x2, max_pool2x2_backward, ConvGeom, Tensor,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Forward-pass mode.
+///
+/// `Train` uses batch statistics in BatchNorm and updates the running
+/// statistics — this is also the mode used for FedTiny's *BN adaptation*
+/// forward passes (parameters frozen, statistics refreshed). `Eval` uses the
+/// stored running statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Batch statistics; running statistics are updated.
+    Train,
+    /// Running statistics; nothing is updated.
+    Eval,
+}
+
+/// Running statistics of one BatchNorm layer.
+///
+/// These are the `µ, σ` the FedTiny selection module aggregates across
+/// devices (Alg. 1 lines 10–13).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BnStats {
+    /// Per-channel running mean.
+    pub mean: Vec<f32>,
+    /// Per-channel running variance.
+    pub var: Vec<f32>,
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution with square kernels, computed via im2col + matmul.
+///
+/// Bias-free by convention in this workspace (every conv is followed by
+/// BatchNorm, which supplies the shift).
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Kernel weights `[out_c, in_c, k, k]`.
+    pub w: Param,
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Clone, Debug)]
+struct ConvCache {
+    cols: Tensor, // [n, col_rows, col_cols]
+    geom: ConvGeom,
+    batch: usize,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// `prunable` marks whether the weight participates in pruning masks
+    /// (the input layer of a model passes `false`).
+    #[allow(clippy::too_many_arguments)] // geometry is naturally positional
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        prunable: bool,
+        name: &str,
+    ) -> Self {
+        let w = Param::new(
+            kaiming_normal(rng, &[out_c, in_c, kernel, kernel]),
+            ParamKind::ConvWeight,
+            prunable,
+            format!("{name}.w"),
+        );
+        Conv2d {
+            w,
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// `(in_c, out_c, kernel, stride, pad)` geometry tuple.
+    pub fn geometry(&self) -> (usize, usize, usize, usize, usize) {
+        (self.in_c, self.out_c, self.kernel, self.stride, self.pad)
+    }
+
+    /// Forward pass over `[n, in_c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank-4 or the channel count differs.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "conv input must be [n,c,h,w]");
+        assert_eq!(
+            s[1], self.in_c,
+            "conv expected {} input channels, got {}",
+            self.in_c, s[1]
+        );
+        let (n, h, w) = (s[0], s[2], s[3]);
+        let geom = ConvGeom {
+            in_c: self.in_c,
+            in_h: h,
+            in_w: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        };
+        let (cr, cc) = (geom.col_rows(), geom.col_cols());
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let mut cols = Tensor::zeros(&[n, cr, cc]);
+        let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let wmat = self.w.data.reshaped(&[self.out_c, cr]);
+        let sample = self.in_c * h * w;
+        for i in 0..n {
+            let xi = &x.data()[i * sample..(i + 1) * sample];
+            let col_slice = &mut cols.data_mut()[i * cr * cc..(i + 1) * cr * cc];
+            im2col(xi, &geom, col_slice);
+            let col_t = Tensor::from_vec(col_slice.to_vec(), &[cr, cc]);
+            let mut out_mat = Tensor::zeros(&[self.out_c, cc]);
+            matmul_into(&wmat, &col_t, &mut out_mat);
+            let dst = &mut out.data_mut()[i * self.out_c * cc..(i + 1) * self.out_c * cc];
+            dst.copy_from_slice(out_mat.data());
+        }
+        self.cache = Some(ConvCache {
+            cols,
+            geom,
+            batch: n,
+        });
+        out
+    }
+
+    /// Backward pass: accumulates `w.grad` and returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called before forward");
+        let geom = cache.geom;
+        let (cr, cc) = (geom.col_rows(), geom.col_cols());
+        let n = cache.batch;
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_c, geom.out_h(), geom.out_w()],
+            "conv grad_out shape mismatch"
+        );
+        let wmat = self.w.data.reshaped(&[self.out_c, cr]);
+        let mut grad_w = Tensor::zeros(&[self.out_c, cr]);
+        let mut gx = Tensor::zeros(&[n, geom.in_c, geom.in_h, geom.in_w]);
+        let sample = geom.in_c * geom.in_h * geom.in_w;
+        for i in 0..n {
+            let go = Tensor::from_vec(
+                grad_out.data()[i * self.out_c * cc..(i + 1) * self.out_c * cc].to_vec(),
+                &[self.out_c, cc],
+            );
+            let col = Tensor::from_vec(
+                cache.cols.data()[i * cr * cc..(i + 1) * cr * cc].to_vec(),
+                &[cr, cc],
+            );
+            // dW += dY · colᵀ   ([oc,cc] x [cr,cc]ᵀ → [oc,cr])
+            matmul_nt_into(&go, &col, &mut grad_w);
+            // dCol = Wᵀ · dY    ([oc,cr]ᵀ x [oc,cc] → [cr,cc])
+            let mut grad_col = Tensor::zeros(&[cr, cc]);
+            matmul_tn_into(&wmat, &go, &mut grad_col);
+            let gx_slice = &mut gx.data_mut()[i * sample..(i + 1) * sample];
+            col2im(grad_col.data(), &geom, gx_slice);
+        }
+        self.w
+            .grad
+            .add_assign(&grad_w.reshaped(self.w.data.shape()));
+        gx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2d
+// ---------------------------------------------------------------------------
+
+/// Batch normalization over the channel dimension of `[n, c, h, w]`.
+///
+/// In `Train` mode the layer normalizes with batch statistics and updates
+/// the running statistics with momentum (`running = (1-m)·running +
+/// m·batch`). FedTiny's adaptive selection performs exactly this forward
+/// pass with frozen parameters to re-estimate `µ, σ` on device data.
+#[derive(Clone, Debug)]
+pub struct BatchNorm2d {
+    /// Scale `γ`, initialized to 1.
+    pub gamma: Param,
+    /// Shift `β`, initialized to 0.
+    pub beta: Param,
+    /// Running statistics used in `Eval` mode.
+    pub stats: BnStats,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    batch_shape: Vec<usize>,
+    /// Whether normalization used batch statistics (Train) — the backward
+    /// pass then includes the statistic-dependent terms — or fixed running
+    /// statistics (Eval), where the statistics are constants.
+    batch_mode: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a BatchNorm layer over `channels` channels with the standard
+    /// momentum of 0.1 and epsilon 1e-5.
+    pub fn new(channels: usize, name: &str) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(
+                Tensor::ones(&[channels]),
+                ParamKind::BnGamma,
+                false,
+                format!("{name}.gamma"),
+            ),
+            beta: Param::new(
+                Tensor::zeros(&[channels]),
+                ParamKind::BnBeta,
+                false,
+                format!("{name}.beta"),
+            ),
+            stats: BnStats {
+                mean: vec![0.0; channels],
+                var: vec![1.0; channels],
+            },
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Overrides the running-statistics momentum.
+    ///
+    /// FedTiny's BN adaptation (Alg. 1 line 5) sets momentum to 1.0 so a
+    /// single forward pass over the development split replaces the running
+    /// statistics with that split's exact batch statistics.
+    pub fn set_momentum(&mut self, momentum: f32) {
+        self.momentum = momentum.clamp(0.0, 1.0);
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[n, c, h, w]` with matching channels.
+    #[allow(clippy::needless_range_loop)] // index math mirrors the NCHW layout
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let s = x.shape().to_vec();
+        assert_eq!(s.len(), 4, "batchnorm input must be [n,c,h,w]");
+        assert_eq!(s[1], self.channels, "batchnorm channel mismatch");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let xd = x.data();
+        let mut out = Tensor::zeros(&s);
+
+        match mode {
+            Mode::Train => {
+                let mut mean = vec![0.0f32; c];
+                let mut var = vec![0.0f32; c];
+                for ci in 0..c {
+                    let mut sum = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        sum += xd[base..base + plane].iter().sum::<f32>();
+                    }
+                    mean[ci] = sum / count;
+                }
+                for ci in 0..c {
+                    let m = mean[ci];
+                    let mut sq = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        sq += xd[base..base + plane]
+                            .iter()
+                            .map(|&v| (v - m) * (v - m))
+                            .sum::<f32>();
+                    }
+                    var[ci] = sq / count;
+                }
+                for ci in 0..c {
+                    self.stats.mean[ci] =
+                        (1.0 - self.momentum) * self.stats.mean[ci] + self.momentum * mean[ci];
+                    self.stats.var[ci] =
+                        (1.0 - self.momentum) * self.stats.var[ci] + self.momentum * var[ci];
+                }
+                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+                let mut xhat = Tensor::zeros(&s);
+                {
+                    let xh = xhat.data_mut();
+                    let od = out.data_mut();
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * plane;
+                            let (m, is) = (mean[ci], inv_std[ci]);
+                            let (g, b) = (self.gamma.data.data()[ci], self.beta.data.data()[ci]);
+                            for idx in base..base + plane {
+                                let xn = (xd[idx] - m) * is;
+                                xh[idx] = xn;
+                                od[idx] = g * xn + b;
+                            }
+                        }
+                    }
+                }
+                self.cache = Some(BnCache {
+                    xhat,
+                    inv_std,
+                    batch_shape: s,
+                    batch_mode: true,
+                });
+            }
+            Mode::Eval => {
+                let inv_std: Vec<f32> = self
+                    .stats
+                    .var
+                    .iter()
+                    .map(|&v| 1.0 / (v + self.eps).sqrt())
+                    .collect();
+                let mut xhat = Tensor::zeros(&s);
+                {
+                    let xh = xhat.data_mut();
+                    let od = out.data_mut();
+                    for ni in 0..n {
+                        for ci in 0..c {
+                            let base = (ni * c + ci) * plane;
+                            let m = self.stats.mean[ci];
+                            let is = inv_std[ci];
+                            let (g, b) = (self.gamma.data.data()[ci], self.beta.data.data()[ci]);
+                            for idx in base..base + plane {
+                                let xn = (xd[idx] - m) * is;
+                                xh[idx] = xn;
+                                od[idx] = g * xn + b;
+                            }
+                        }
+                    }
+                }
+                self.cache = Some(BnCache {
+                    xhat,
+                    inv_std,
+                    batch_shape: s,
+                    batch_mode: false,
+                });
+            }
+        }
+        out
+    }
+
+    /// Backward pass. After a `Train`-mode forward the full batch-statistic
+    /// gradient is used; after an `Eval`-mode forward the running statistics
+    /// are constants, so `∂y/∂x = γ/σ` (used e.g. by SynFlow's linearized
+    /// probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm2d::backward requires a forward first");
+        let s = cache.batch_shape;
+        assert_eq!(
+            grad_out.shape(),
+            &s[..],
+            "batchnorm grad_out shape mismatch"
+        );
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let god = grad_out.data();
+        let xh = cache.xhat.data();
+
+        let mut gx = Tensor::zeros(&s);
+        for ci in 0..c {
+            // Per-channel reductions.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for idx in base..base + plane {
+                    sum_dy += god[idx];
+                    sum_dy_xhat += god[idx] * xh[idx];
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            let g = self.gamma.data.data()[ci];
+            let is = cache.inv_std[ci];
+            let gxd = gx.data_mut();
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for idx in base..base + plane {
+                    gxd[idx] = if cache.batch_mode {
+                        g * is / count * (count * god[idx] - sum_dy - xh[idx] * sum_dy_xhat)
+                    } else {
+                        g * is * god[idx]
+                    };
+                }
+            }
+        }
+        gx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Fully-connected layer `y = x Wᵀ + b` over `[n, in]`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weights `[out, in]`.
+    pub w: Param,
+    /// Bias `[out]`.
+    pub b: Param,
+    in_dim: usize,
+    out_dim: usize,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized linear layer.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_dim: usize,
+        out_dim: usize,
+        prunable: bool,
+        name: &str,
+    ) -> Self {
+        Linear {
+            w: Param::new(
+                kaiming_normal(rng, &[out_dim, in_dim]),
+                ParamKind::LinearWeight,
+                prunable,
+                format!("{name}.w"),
+            ),
+            b: Param::new(
+                Tensor::zeros(&[out_dim]),
+                ParamKind::Bias,
+                false,
+                format!("{name}.b"),
+            ),
+            in_dim,
+            out_dim,
+            cache: None,
+        }
+    }
+
+    /// `(in_dim, out_dim)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.in_dim, self.out_dim)
+    }
+
+    /// Forward pass over `[n, in]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "linear input must be [n, in]");
+        assert_eq!(x.shape()[1], self.in_dim, "linear input dim mismatch");
+        let n = x.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.out_dim]);
+        matmul_nt_into(x, &self.w.data, &mut out);
+        let od = out.data_mut();
+        for i in 0..n {
+            for (j, &bv) in self.b.data.data().iter().enumerate() {
+                od[i * self.out_dim + j] += bv;
+            }
+        }
+        self.cache = Some(x.clone());
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache
+            .take()
+            .expect("Linear::backward called before forward");
+        let n = x.shape()[0];
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_dim],
+            "linear grad_out shape mismatch"
+        );
+        // dW += dYᵀ · X   ([n,out]ᵀ x [n,in] → [out,in])
+        matmul_tn_into(grad_out, &x, &mut self.w.grad);
+        // db += column sums of dY
+        let bd = self.b.grad.data_mut();
+        for row in grad_out.data().chunks_exact(self.out_dim) {
+            for (b, &g) in bd.iter_mut().zip(row.iter()) {
+                *b += g;
+            }
+        }
+        // dX = dY · W   ([n,out] x [out,in] → [n,in])
+        let mut gx = Tensor::zeros(&[n, self.in_dim]);
+        matmul_into(grad_out, &self.w.data, &mut gx);
+        gx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stateless layers
+// ---------------------------------------------------------------------------
+
+/// ReLU activation.
+#[derive(Clone, Debug, Default)]
+pub struct Relu {
+    cache: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { cache: None }
+    }
+
+    /// Forward pass (any shape).
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        let out = x.map(|v| v.max(0.0));
+        self.cache = Some(mask);
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched shape.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .cache
+            .take()
+            .expect("Relu::backward called before forward");
+        assert_eq!(grad_out.numel(), mask.len(), "relu grad shape mismatch");
+        let mut g = grad_out.clone();
+        for (v, &alive) in g.data_mut().iter_mut().zip(mask.iter()) {
+            if !alive {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Clone, Debug, Default)]
+pub struct MaxPool2x2 {
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2x2 {
+    /// Creates a pooling layer.
+    pub fn new() -> Self {
+        MaxPool2x2 { cache: None }
+    }
+
+    /// Forward pass over `[n, c, h, w]`.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let (out, arg) = max_pool2x2(x);
+        self.cache = Some((arg, x.shape().to_vec()));
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, shape) = self
+            .cache
+            .take()
+            .expect("MaxPool2x2::backward before forward");
+        max_pool2x2_backward(grad_out, &arg, &shape)
+    }
+}
+
+/// Global average pooling `[n, c, h, w] → [n, c]`.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalAvgPool {
+    cache: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cache: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.cache = Some(x.shape().to_vec());
+        avg_pool_global(x)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cache
+            .take()
+            .expect("GlobalAvgPool::backward before forward");
+        avg_pool_global_backward(grad_out, &shape)
+    }
+}
+
+/// Flattens `[n, ...] → [n, prod(...)]`.
+#[derive(Clone, Debug, Default)]
+pub struct Flatten {
+    cache: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cache: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        self.cache = Some(x.shape().to_vec());
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.reshaped(&[n, rest])
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cache.take().expect("Flatten::backward before forward");
+        grad_out.reshaped(&shape)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AnyLayer + Sequential
+// ---------------------------------------------------------------------------
+
+/// A closed sum of every layer type, enabling heterogeneous [`Sequential`]
+/// stacks without trait objects (and therefore cheap cloning).
+#[derive(Clone, Debug)]
+pub enum AnyLayer {
+    /// Convolution.
+    Conv(Conv2d),
+    /// Batch normalization.
+    Bn(BatchNorm2d),
+    /// ReLU.
+    Relu(Relu),
+    /// 2×2 max pooling.
+    MaxPool(MaxPool2x2),
+    /// Global average pooling.
+    GlobalAvg(GlobalAvgPool),
+    /// Flatten.
+    Flatten(Flatten),
+    /// Fully-connected.
+    Linear(Linear),
+}
+
+impl AnyLayer {
+    /// Forward dispatch.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        match self {
+            AnyLayer::Conv(l) => l.forward(x, mode),
+            AnyLayer::Bn(l) => l.forward(x, mode),
+            AnyLayer::Relu(l) => l.forward(x, mode),
+            AnyLayer::MaxPool(l) => l.forward(x, mode),
+            AnyLayer::GlobalAvg(l) => l.forward(x, mode),
+            AnyLayer::Flatten(l) => l.forward(x, mode),
+            AnyLayer::Linear(l) => l.forward(x, mode),
+        }
+    }
+
+    /// Backward dispatch.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match self {
+            AnyLayer::Conv(l) => l.backward(grad),
+            AnyLayer::Bn(l) => l.backward(grad),
+            AnyLayer::Relu(l) => l.backward(grad),
+            AnyLayer::MaxPool(l) => l.backward(grad),
+            AnyLayer::GlobalAvg(l) => l.backward(grad),
+            AnyLayer::Flatten(l) => l.backward(grad),
+            AnyLayer::Linear(l) => l.backward(grad),
+        }
+    }
+
+    /// Immutable references to the layer's parameters, in a fixed order.
+    pub fn params(&self) -> Vec<&Param> {
+        match self {
+            AnyLayer::Conv(l) => vec![&l.w],
+            AnyLayer::Bn(l) => vec![&l.gamma, &l.beta],
+            AnyLayer::Linear(l) => vec![&l.w, &l.b],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Mutable references to the layer's parameters, in the same order as
+    /// [`AnyLayer::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            AnyLayer::Conv(l) => vec![&mut l.w],
+            AnyLayer::Bn(l) => vec![&mut l.gamma, &mut l.beta],
+            AnyLayer::Linear(l) => vec![&mut l.w, &mut l.b],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The BN statistics if this is a BatchNorm layer.
+    pub fn bn_stats(&self) -> Option<&BnStats> {
+        match self {
+            AnyLayer::Bn(l) => Some(&l.stats),
+            _ => None,
+        }
+    }
+
+    /// Mutable BN statistics if this is a BatchNorm layer.
+    pub fn bn_stats_mut(&mut self) -> Option<&mut BnStats> {
+        match self {
+            AnyLayer::Bn(l) => Some(&mut l.stats),
+            _ => None,
+        }
+    }
+
+    /// Sets the BN momentum if this is a BatchNorm layer.
+    pub fn set_bn_momentum(&mut self, momentum: f32) {
+        if let AnyLayer::Bn(l) = self {
+            l.set_momentum(momentum);
+        }
+    }
+}
+
+/// An ordered stack of layers executed front to back.
+#[derive(Clone, Debug, Default)]
+pub struct Sequential {
+    /// The layers, in execution order.
+    pub layers: Vec<AnyLayer>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(&mut self, layer: AnyLayer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Forward through every layer.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Backward through every layer in reverse.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut cur = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    /// All parameters in execution order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// All parameters, mutably, in execution order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// BN statistics of every BatchNorm layer, in order.
+    pub fn bn_stats(&self) -> Vec<&BnStats> {
+        self.layers.iter().filter_map(|l| l.bn_stats()).collect()
+    }
+
+    /// Mutable BN statistics of every BatchNorm layer, in order.
+    pub fn bn_stats_mut(&mut self) -> Vec<&mut BnStats> {
+        self.layers
+            .iter_mut()
+            .filter_map(|l| l.bn_stats_mut())
+            .collect()
+    }
+
+    /// Sets the BN momentum of every BatchNorm layer.
+    pub fn set_bn_momentum(&mut self, momentum: f32) {
+        for l in &mut self.layers {
+            l.set_bn_momentum(momentum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_tensor::assert_close;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    /// Finite-difference gradient check for a scalar loss = sum(forward(x)).
+    fn grad_check_conv() {
+        // implemented in numeric tests below
+    }
+
+    #[test]
+    fn conv_forward_shape() {
+        let mut c = Conv2d::new(&mut rng(), 3, 5, 3, 1, 1, true, "c");
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let y = c.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 5, 8, 8]);
+        let mut c2 = Conv2d::new(&mut rng(), 3, 4, 3, 2, 1, true, "c2");
+        let y2 = c2.forward(&x, Mode::Train);
+        assert_eq!(y2.shape(), &[2, 4, 4, 4]);
+        let _ = grad_check_conv;
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = rng();
+        let mut c = Conv2d::new(&mut rng, 2, 3, 3, 1, 1, true, "c");
+        let x = ft_tensor::normal(&mut rng, &[1, 2, 4, 4], 0.0, 1.0);
+        let y = c.forward(&x, Mode::Train);
+        let gy = Tensor::ones(y.shape());
+        let gx = c.backward(&gy);
+
+        // Finite differences wrt input.
+        let eps = 1e-3;
+        for check in [0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[check] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[check] -= eps;
+            let yp = c.forward(&xp, Mode::Train).sum();
+            let _ = c.backward(&Tensor::ones(&[1, 3, 4, 4])); // clear cache
+            let ym = c.forward(&xm, Mode::Train).sum();
+            let _ = c.backward(&Tensor::ones(&[1, 3, 4, 4]));
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (gx.data()[check] - num).abs() < 1e-2,
+                "input grad {} vs numeric {}",
+                gx.data()[check],
+                num
+            );
+        }
+
+        // Finite differences wrt a few weights.
+        let mut c2 = Conv2d::new(&mut rng, 2, 3, 3, 1, 1, true, "c");
+        let _ = c2.forward(&x, Mode::Train);
+        let gw = {
+            let _ = c2.backward(&Tensor::ones(&[1, 3, 4, 4]));
+            c2.w.grad.clone()
+        };
+        for check in [0usize, 10, 25] {
+            let orig = c2.w.data.data()[check];
+            c2.w.data.data_mut()[check] = orig + eps;
+            let yp = c2.forward(&x, Mode::Train).sum();
+            let _ = c2.backward(&Tensor::ones(&[1, 3, 4, 4]));
+            c2.w.data.data_mut()[check] = orig - eps;
+            let ym = c2.forward(&x, Mode::Train).sum();
+            let _ = c2.backward(&Tensor::ones(&[1, 3, 4, 4]));
+            c2.w.data.data_mut()[check] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (gw.data()[check] - num).abs() < 1e-2,
+                "weight grad {} vs numeric {}",
+                gw.data()[check],
+                num
+            );
+        }
+    }
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut l = Linear::new(&mut rng(), 3, 2, true, "fc");
+        l.w.data = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5], &[2, 3]);
+        l.b.data = Tensor::from_vec(vec![0.1, -0.1], &[2]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = l.forward(&x, Mode::Train);
+        assert_close(y.data(), &[1.0 - 3.0 + 0.1, 6.0 * 0.5 - 0.1], 1e-6);
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let mut rng = rng();
+        let mut l = Linear::new(&mut rng, 4, 3, true, "fc");
+        let x = ft_tensor::normal(&mut rng, &[2, 4], 0.0, 1.0);
+        let y = l.forward(&x, Mode::Train);
+        let gx = l.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-3;
+        for check in 0..8 {
+            let mut xp = x.clone();
+            xp.data_mut()[check] += eps;
+            let yp = l.forward(&xp, Mode::Train).sum();
+            let _ = l.backward(&Tensor::ones(&[2, 3]));
+            let mut xm = x.clone();
+            xm.data_mut()[check] -= eps;
+            let ym = l.forward(&xm, Mode::Train).sum();
+            let _ = l.backward(&Tensor::ones(&[2, 3]));
+            let num = (yp - ym) / (2.0 * eps);
+            assert!((gx.data()[check] - num).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bn_train_normalizes_batch() {
+        let mut bn = BatchNorm2d::new(2, "bn");
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
+        let y = bn.forward(&x, Mode::Train);
+        // Each channel should be ~zero-mean, unit-var after normalization.
+        for c in 0..2 {
+            let ch: Vec<f32> = (0..4).map(|i| y.data()[c * 4 + i]).collect();
+            let mean: f32 = ch.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+        }
+        // Running stats moved toward batch stats.
+        assert!(bn.stats.mean[0] > 0.0);
+        assert!(bn.stats.mean[1] > bn.stats.mean[0]);
+    }
+
+    #[test]
+    fn bn_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1, "bn");
+        bn.stats.mean = vec![5.0];
+        bn.stats.var = vec![4.0];
+        let x = Tensor::from_vec(vec![5.0, 7.0], &[2, 1, 1, 1]);
+        let y = bn.forward(&x, Mode::Eval);
+        assert_close(y.data(), &[0.0, 2.0 / (4.0f32 + 1e-5).sqrt()], 1e-4);
+    }
+
+    #[test]
+    fn bn_gradient_check() {
+        let mut rng = rng();
+        let mut bn = BatchNorm2d::new(2, "bn");
+        let x = ft_tensor::normal(&mut rng, &[2, 2, 2, 2], 1.0, 2.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Loss = sum(y * w) for a fixed random w so the gradient is nontrivial.
+        let wv = ft_tensor::normal(&mut rng, &[16], 0.0, 1.0);
+        let gy = Tensor::from_vec(wv.data().to_vec(), y.shape());
+        let gx = bn.backward(&gy);
+        let eps = 2e-3;
+        for check in [0usize, 5, 11, 15] {
+            let mut bn2 = BatchNorm2d::new(2, "bn");
+            let mut xp = x.clone();
+            xp.data_mut()[check] += eps;
+            let yp = bn2.forward(&xp, Mode::Train).mul(&gy).sum();
+            let mut xm = x.clone();
+            xm.data_mut()[check] -= eps;
+            let ym = bn2.forward(&xm, Mode::Train).mul(&gy).sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (gx.data()[check] - num).abs() < 2e-2,
+                "bn input grad {} vs numeric {}",
+                gx.data()[check],
+                num
+            );
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, 0.0], &[3]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0]);
+        let g = r.backward(&Tensor::ones(&[3]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut rng = rng();
+        let mut seq = Sequential::new();
+        seq.push(AnyLayer::Conv(Conv2d::new(
+            &mut rng, 1, 2, 3, 1, 1, true, "c",
+        )))
+        .push(AnyLayer::Bn(BatchNorm2d::new(2, "bn")))
+        .push(AnyLayer::Relu(Relu::new()))
+        .push(AnyLayer::Flatten(Flatten::new()))
+        .push(AnyLayer::Linear(Linear::new(
+            &mut rng,
+            2 * 16,
+            4,
+            true,
+            "fc",
+        )));
+        let x = ft_tensor::normal(&mut rng, &[3, 1, 4, 4], 0.0, 1.0);
+        let y = seq.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[3, 4]);
+        let gx = seq.backward(&Tensor::ones(&[3, 4]));
+        assert_eq!(gx.shape(), &[3, 1, 4, 4]);
+        assert_eq!(seq.params().len(), 1 + 2 + 2); // conv w, bn γβ, fc w+b
+        assert_eq!(seq.bn_stats().len(), 1);
+    }
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut p = MaxPool2x2::new();
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let g = p.backward(&Tensor::ones(y.shape()));
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_layer() {
+        let mut p = GlobalAvgPool::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_close(y.data(), &[1.0; 6], 1e-6);
+    }
+}

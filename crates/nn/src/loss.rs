@@ -1,0 +1,143 @@
+//! Softmax cross-entropy loss.
+
+use ft_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch and the gradient with
+/// respect to the logits.
+///
+/// `logits` has shape `[n, classes]`; `labels` holds `n` class indices.
+/// Returns `(mean_loss, grad_logits)` where `grad_logits = (softmax - onehot)
+/// / n`, ready to feed into `Model::backward`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use ft_nn::loss::softmax_cross_entropy;
+/// use ft_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+/// assert!(loss > 0.0 && loss < 0.2);
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [n, classes]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "labels/batch size mismatch");
+    assert!(n > 0, "empty batch");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0.0f64;
+    let ld = logits.data();
+    let gd = grad.data_mut();
+    for i in 0..n {
+        let row = &ld[i * c..(i + 1) * c];
+        let y = labels[i];
+        assert!(y < c, "label {y} out of range for {c} classes");
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let log_sum = sum.ln() + max;
+        loss += (log_sum - row[y]) as f64;
+        for j in 0..c {
+            let p = exps[j] / sum;
+            gd[i * c + j] = (p - if j == y { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Mean loss only (no gradient); used for candidate scoring in Alg. 1 where
+/// devices evaluate but never backpropagate.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`softmax_cross_entropy`].
+pub fn cross_entropy_loss_only(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().len(), 2, "logits must be [n, classes]");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "labels/batch size mismatch");
+    assert!(n > 0, "empty batch");
+    let ld = logits.data();
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = &ld[i * c..(i + 1) * c];
+        let y = labels[i];
+        assert!(y < c, "label {y} out of range for {c} classes");
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+        loss += (sum.ln() + max - row[y]) as f64;
+    }
+    (loss / n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0], &[2, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1], &[1, 4]);
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for j in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[j] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[j] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad.data()[j] - num).abs() < 1e-3,
+                "{} vs {num}",
+                grad.data()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_only_matches_full() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 2.0, -2.0], &[2, 3]);
+        let labels = [1usize, 0];
+        let (full, _) = softmax_cross_entropy(&logits, &labels);
+        let only = cross_entropy_loss_only(&logits, &labels);
+        assert!((full - only).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss < 1e-3);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+}

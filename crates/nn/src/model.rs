@@ -1,0 +1,269 @@
+//! The [`Model`] trait and model-generic helpers (flat parameter vectors,
+//! mask application, sparse layouts, accuracy).
+
+use crate::layer::{BnStats, Mode};
+use crate::param::Param;
+use ft_sparse::{Mask, SparseLayout};
+use ft_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Architecture entry for one compute layer, consumed by the analytic
+/// FLOPs/memory accounting in `ft-metrics`.
+///
+/// `prunable_idx` links the entry to its index in the model's
+/// [`SparseLayout`] (i.e. its mask layer) when the layer's weight is
+/// prunable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LayerArch {
+    /// A convolution: `weights = out_c·in_c·k²`, output `out_h × out_w`.
+    Conv {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel side.
+        kernel: usize,
+        /// Output height.
+        out_h: usize,
+        /// Output width.
+        out_w: usize,
+        /// Mask layer index if prunable.
+        prunable_idx: Option<usize>,
+    },
+    /// A fully-connected layer.
+    Linear {
+        /// Input features.
+        in_dim: usize,
+        /// Output features.
+        out_dim: usize,
+        /// Mask layer index if prunable.
+        prunable_idx: Option<usize>,
+    },
+    /// A batch-normalization layer over `channels` at `spatial` positions.
+    BatchNorm {
+        /// Channels.
+        channels: usize,
+        /// `h·w` positions the statistics reduce over.
+        spatial: usize,
+    },
+}
+
+/// Static description of a model: its compute layers in execution order plus
+/// the input geometry, enough for cost accounting without touching weights.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchInfo {
+    /// Human-readable model name (e.g. `"resnet18"`).
+    pub name: String,
+    /// Input `[channels, height, width]`.
+    pub input: [usize; 3],
+    /// Number of output classes.
+    pub classes: usize,
+    /// Compute layers in execution order.
+    pub layers: Vec<LayerArch>,
+}
+
+/// The object-safe interface every network in this workspace implements.
+///
+/// The federated simulator, the pruning baselines, and FedTiny itself only
+/// interact with models through this trait, so adding a new architecture
+/// means implementing exactly these methods.
+pub trait Model: Send + Sync {
+    /// Forward pass producing logits `[n, classes]`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backward pass from the logits gradient; accumulates into
+    /// [`Param::grad`].
+    fn backward(&mut self, grad_logits: &Tensor);
+
+    /// All parameters in deterministic execution order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// All parameters, mutably, in the same order as [`Model::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Running statistics of every BatchNorm layer, in execution order.
+    fn bn_stats(&self) -> Vec<&BnStats>;
+
+    /// Mutable running statistics of every BatchNorm layer.
+    fn bn_stats_mut(&mut self) -> Vec<&mut BnStats>;
+
+    /// Overrides the momentum of every BatchNorm layer. Setting 1.0 makes a
+    /// single `Train`-mode forward pass replace the running statistics with
+    /// the batch statistics (FedTiny's BN adaptation).
+    fn set_bn_momentum(&mut self, momentum: f32);
+
+    /// Deep copy as a boxed trait object.
+    fn clone_model(&self) -> Box<dyn Model>;
+
+    /// Static architecture description.
+    fn arch(&self) -> ArchInfo;
+
+    /// Partition of *prunable layer indices* into the blocks progressive
+    /// pruning iterates over (Fig. 2 of the paper: 5 blocks).
+    fn block_partition(&self) -> Vec<Vec<usize>>;
+
+    /// Clears every gradient accumulator.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// Splits `n` prunable layers into `blocks` contiguous, near-equal groups.
+/// Used by models to implement [`Model::block_partition`].
+pub(crate) fn contiguous_blocks(n: usize, blocks: usize) -> Vec<Vec<usize>> {
+    if n == 0 || blocks == 0 {
+        return Vec::new();
+    }
+    let blocks = blocks.min(n);
+    let mut out = Vec::with_capacity(blocks);
+    let base = n / blocks;
+    let extra = n % blocks;
+    let mut start = 0;
+    for b in 0..blocks {
+        let len = base + usize::from(b < extra);
+        out.push((start..start + len).collect());
+        start += len;
+    }
+    out
+}
+
+/// Flattens every parameter (prunable or not) into one `Vec<f32>`, in
+/// [`Model::params`] order. The inverse is [`set_flat_params`].
+pub fn flat_params(model: &dyn Model) -> Vec<f32> {
+    let mut out = Vec::new();
+    for p in model.params() {
+        out.extend_from_slice(p.data.data());
+    }
+    out
+}
+
+/// Writes a flat vector produced by [`flat_params`] back into the model.
+///
+/// # Panics
+///
+/// Panics if `flat.len()` differs from the model's total parameter count.
+pub fn set_flat_params(model: &mut dyn Model, flat: &[f32]) {
+    let mut offset = 0;
+    for p in model.params_mut() {
+        let n = p.len();
+        assert!(
+            offset + n <= flat.len(),
+            "flat parameter vector too short: {} < {}",
+            flat.len(),
+            offset + n
+        );
+        p.data.data_mut().copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    }
+    assert_eq!(offset, flat.len(), "flat parameter vector too long");
+}
+
+/// Extracts the [`SparseLayout`] of a model: one entry per prunable
+/// parameter, in [`Model::params`] order.
+pub fn sparse_layout(model: &dyn Model) -> SparseLayout {
+    SparseLayout::new(
+        model
+            .params()
+            .into_iter()
+            .filter(|p| p.prunable)
+            .map(|p| (p.name.clone(), p.len()))
+            .collect(),
+    )
+}
+
+/// Zeroes pruned weights in place: `θ = Θ ⊙ m`.
+///
+/// # Panics
+///
+/// Panics if the mask does not match the model's prunable layout.
+pub fn apply_mask(model: &mut dyn Model, mask: &Mask) {
+    let mut l = 0;
+    for p in model.params_mut() {
+        if p.prunable {
+            mask.apply_layer(l, p.data.data_mut());
+            l += 1;
+        }
+    }
+    assert_eq!(l, mask.num_layers(), "mask layer count mismatch");
+}
+
+/// Zeroes the gradients of pruned weights: `∇L ⊙ m` (Eq. 5 — sparse SGD only
+/// updates surviving coordinates).
+///
+/// # Panics
+///
+/// Panics if the mask does not match the model's prunable layout.
+pub fn mask_grads(model: &mut dyn Model, mask: &Mask) {
+    let mut l = 0;
+    for p in model.params_mut() {
+        if p.prunable {
+            mask.apply_layer(l, p.grad.data_mut());
+            l += 1;
+        }
+    }
+    assert_eq!(l, mask.num_layers(), "mask layer count mismatch");
+}
+
+/// Indices into [`Model::params`] of the prunable parameters, in prunable
+/// (mask-layer) order.
+pub fn prunable_param_indices(model: &dyn Model) -> Vec<usize> {
+    model
+        .params()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.prunable.then_some(i))
+        .collect()
+}
+
+/// Top-1 accuracy of logits against labels.
+///
+/// # Panics
+///
+/// Panics if the batch sizes differ or the batch is empty.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "accuracy batch mismatch");
+    assert!(!labels.is_empty(), "accuracy of empty batch");
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, y)| p == y)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_blocks_cover_everything() {
+        let b = contiguous_blocks(7, 3);
+        assert_eq!(b, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6]]);
+        let flat: Vec<usize> = b.into_iter().flatten().collect();
+        assert_eq!(flat, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contiguous_blocks_edge_cases() {
+        assert!(contiguous_blocks(0, 5).is_empty());
+        assert!(contiguous_blocks(5, 0).is_empty());
+        assert_eq!(contiguous_blocks(3, 5).len(), 3); // capped at n
+        assert_eq!(contiguous_blocks(10, 1), vec![(0..10).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! The three architectures used in the paper's evaluation.
+//!
+//! - [`SmallCnn`] — the 3-convolution dense baseline of Tables IV/V.
+//! - [`Vgg11`] — VGG11 with batch normalization.
+//! - [`ResNet18`] — the CIFAR-style ResNet18 (3×3 stem, no stem pooling).
+//!
+//! All models take a *width multiplier* and an input resolution so the same
+//! topology runs at paper scale or at laptop/test scale; the layer/block
+//! structure (which is what the pruning algorithms operate on) is identical
+//! at every scale.
+
+mod resnet;
+mod small_cnn;
+mod vgg;
+
+pub use resnet::ResNet18;
+pub use small_cnn::SmallCnn;
+pub use vgg::Vgg11;
+
+/// Scales a channel count by the width multiplier, flooring at 1.
+pub(crate) fn scaled(c: usize, width: f32) -> usize {
+    ((c as f32 * width).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_floors_at_one() {
+        assert_eq!(scaled(64, 1.0), 64);
+        assert_eq!(scaled(64, 0.25), 16);
+        assert_eq!(scaled(64, 0.001), 1);
+        assert_eq!(scaled(3, 2.0), 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Learnable parameters with gradient accumulators and pruning metadata.
+
+use ft_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// What role a parameter plays in the network.
+///
+/// Pruning in the paper targets convolution and linear *weights* only; BN
+/// affine parameters and biases are never pruned (Sec. IV-A2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Convolution kernel weights `[out_c, in_c, k, k]`.
+    ConvWeight,
+    /// Fully-connected weights `[out, in]`.
+    LinearWeight,
+    /// Bias vector of a convolution or linear layer.
+    Bias,
+    /// BatchNorm scale (`γ`).
+    BnGamma,
+    /// BatchNorm shift (`β`).
+    BnBeta,
+}
+
+/// A learnable tensor together with its gradient accumulator.
+///
+/// `prunable` marks whether this parameter participates in masks; the model
+/// constructors set it (`true` for conv/linear weights except the input and
+/// output layers).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub data: Tensor,
+    /// Gradient accumulator, same shape as `data`. Zeroed by
+    /// [`Param::zero_grad`].
+    pub grad: Tensor,
+    /// Role of the parameter.
+    pub kind: ParamKind,
+    /// Whether masks apply to this parameter.
+    pub prunable: bool,
+    /// Diagnostic name, e.g. `"features.3.conv.w"`.
+    pub name: String,
+}
+
+impl Param {
+    /// Wraps an initialized tensor as a parameter with a zeroed gradient.
+    pub fn new(data: Tensor, kind: ParamKind, prunable: bool, name: impl Into<String>) -> Self {
+        let grad = Tensor::zeros(data.shape());
+        Param {
+            data,
+            grad,
+            kind,
+            prunable,
+            name: name.into(),
+        }
+    }
+
+    /// Number of scalars.
+    pub fn len(&self) -> usize {
+        self.data.numel()
+    }
+
+    /// Whether the parameter holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 2]), ParamKind::LinearWeight, true, "w");
+        assert_eq!(p.grad.data(), &[0.0; 4]);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.name, "w");
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[3]), ParamKind::Bias, false, "b");
+        p.grad.data_mut()[1] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0; 3]);
+    }
+}

@@ -1,0 +1,255 @@
+//! PruneFL (Jiang et al., TNNLS 2022), adapted per Sec. IV-A3.
+//!
+//! The server produces the initial pruned model from a small public dataset
+//! (all devices are resource-constrained, so no "powerful device" exists),
+//! then *adaptive pruning* periodically reconfigures the mask from
+//! **full-size aggregated gradients** uploaded by the devices. Devices
+//! therefore hold dense importance scores (Table I's ~0.5× memory) and the
+//! intermediate model is much denser than the target (~0.34× max FLOPs):
+//! the density anneals from `d0 = max(d_target, 0.34)` down to `d_target`
+//! by `R_stop`.
+
+use ft_fl::{run_federated_rounds, CostLedger, ExperimentEnv, ModelSpec, RunResult};
+use ft_metrics::{
+    densities_from_mask, device_memory_bytes, forward_flops_dense, total_params, ExtraMemory,
+};
+use ft_nn::loss::softmax_cross_entropy;
+use ft_nn::{apply_mask, prunable_param_indices, sparse_layout, Mode, Model};
+use ft_sparse::{Mask, PruneSchedule, SparseLayout, TopKBuffer};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Initial density of PruneFL's server-side coarse model. Matches the
+/// ~0.34× max-FLOPs factor Table I reports at every target density.
+pub const PRUNEFL_INITIAL_DENSITY: f32 = 0.34;
+
+/// Runs PruneFL: server-side initial pruning at `d0`, then full-gradient
+/// adaptive pruning every `schedule.delta_r` rounds with the density
+/// annealing to `d_target` by `schedule.r_stop`.
+pub fn run_prunefl(
+    env: &ExperimentEnv,
+    spec: &ModelSpec,
+    d_target: f32,
+    schedule: PruneSchedule,
+    eval_every: usize,
+) -> RunResult {
+    let mut global = env.build_model(spec);
+    let layout = sparse_layout(global.as_ref());
+    let d0 = d_target.max(PRUNEFL_INITIAL_DENSITY);
+
+    // Server-side initial pruning: one-shot |g ⊙ w| saliency on public data.
+    let mut mask = server_saliency_mask(global.as_ref(), env, &layout, d0);
+    apply_mask(global.as_mut(), &mask);
+
+    let arch = global.arch();
+    let total = layout.total_len();
+    let batch_flops = |bs: f64| 3.0 * forward_flops_dense(&arch) * bs;
+    let mut ledger = CostLedger::new();
+    let mut peak_density = mask.density();
+
+    let history = {
+        let mut hook = |model: &mut dyn Model,
+                        mask: &mut Mask,
+                        round: usize,
+                        ledger: &mut CostLedger|
+         -> f64 {
+            if !schedule.adjusts_at(round) {
+                return 0.0;
+            }
+            // Devices upload full-size gradients from one local batch.
+            let agg = aggregated_dense_grads(model, env, round);
+            // Anneal density toward the target.
+            let frac = (round as f32 / schedule.r_stop.max(1) as f32).min(1.0);
+            let d_round = d0 * (d_target / d0).powf(frac);
+            // Importance: w² + g² — PruneFL retains parameters that are
+            // either already useful (trained magnitude) or promising
+            // (large aggregated gradient). Pure g² would discard every
+            // trained weight at each adjustment and collapse accuracy.
+            let keep = (((d_round as f64) * total as f64).ceil() as usize).min(total);
+            let mut buf = TopKBuffer::new(keep);
+            let mut offset = 0usize;
+            {
+                let pos = ft_nn::prunable_param_indices(model);
+                let params = model.params();
+                for (l, g) in agg.iter().enumerate() {
+                    let w = params[pos[l]].data.data();
+                    for (i, &gv) in g.iter().enumerate() {
+                        buf.push(offset + i, w[i] * w[i] + gv * gv);
+                    }
+                    offset += g.len();
+                }
+            }
+            let new_mask = mask_from_flat(&sparse_layout(model), buf.into_sorted());
+            *mask = new_mask;
+            apply_mask(model, mask);
+            peak_density = peak_density.max(mask.density());
+            // Comm: dense gradients up (4 B/param/device), new mask down.
+            ledger.add_comm(4.0 * total_params(&arch) as f64 * env.num_devices() as f64);
+            ledger.add_comm(total as f64 / 8.0);
+            // One dense forward/backward batch per device.
+            let bs = env.cfg.batch_size as f64;
+            batch_flops(bs)
+        };
+        run_federated_rounds(
+            global.as_mut(),
+            &mut mask,
+            env,
+            eval_every,
+            &mut ledger,
+            &mut hook,
+        )
+    };
+
+    let densities = densities_from_mask(&mask);
+    RunResult {
+        method: "prunefl".into(),
+        accuracy: *history.last().expect("nonempty history"),
+        history,
+        final_density: mask.density(),
+        max_round_flops: ledger.max_round_flops(),
+        memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::DenseScores),
+        comm_bytes: ledger.total_comm_bytes(),
+        extra_flops: ledger.extra_flops(),
+    }
+}
+
+/// One-shot `|g ⊙ w|` global saliency mask from the server's public data.
+fn server_saliency_mask(
+    model: &dyn Model,
+    env: &ExperimentEnv,
+    layout: &SparseLayout,
+    density: f32,
+) -> Mask {
+    let mut probe = model.clone_model();
+    let (x, y) = env.server_public.full_batch();
+    let logits = probe.forward(&x, Mode::Train);
+    let (_, grad) = softmax_cross_entropy(&logits, &y);
+    probe.backward(&grad);
+    let pos = prunable_param_indices(probe.as_ref());
+    let params = probe.params();
+    let total = layout.total_len();
+    let keep = (((density as f64) * total as f64).ceil() as usize).min(total);
+    let mut buf = TopKBuffer::new(keep);
+    let mut offset = 0usize;
+    for &pi in &pos {
+        let w = params[pi].data.data();
+        let g = params[pi].grad.data();
+        for i in 0..w.len() {
+            buf.push(offset + i, (w[i] * g[i]).abs());
+        }
+        offset += w.len();
+    }
+    mask_from_flat(layout, buf.into_sorted())
+}
+
+/// Weighted-average dense gradients of every prunable layer, one batch per
+/// device (what PruneFL devices upload during adaptive pruning).
+fn aggregated_dense_grads(global: &dyn Model, env: &ExperimentEnv, round: usize) -> Vec<Vec<f32>> {
+    let weights = env.device_weights();
+    let mut agg: Option<Vec<Vec<f32>>> = None;
+    for (k, data) in env.parts.iter().enumerate() {
+        let mut model = global.clone_model();
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            env.cfg.seed ^ 0x9f1e ^ ((round as u64) << 20) ^ ((k as u64) << 44),
+        );
+        let bs = env.cfg.batch_size.min(data.len());
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(bs);
+        let (x, y) = data.batch(&idx);
+        let logits = model.forward(&x, Mode::Train);
+        let (_, grad) = softmax_cross_entropy(&logits, &y);
+        model.backward(&grad);
+        let pos = prunable_param_indices(model.as_ref());
+        let params = model.params();
+        let w = weights[k] as f32;
+        let grads: Vec<Vec<f32>> = pos
+            .iter()
+            .map(|&pi| params[pi].grad.data().iter().map(|&g| g * w).collect())
+            .collect();
+        match &mut agg {
+            None => agg = Some(grads),
+            Some(acc) => {
+                for (a, g) in acc.iter_mut().zip(grads.iter()) {
+                    for (av, &gv) in a.iter_mut().zip(g.iter()) {
+                        *av += gv;
+                    }
+                }
+            }
+        }
+    }
+    agg.expect("at least one device")
+}
+
+/// Converts global flat-index selections back into a layered mask.
+fn mask_from_flat(layout: &SparseLayout, selected: Vec<(usize, f32)>) -> Mask {
+    let mut layers: Vec<Vec<bool>> = layout.iter().map(|s| vec![false; s.len]).collect();
+    let lens = layout.lens();
+    for (flat, _) in selected {
+        let mut rem = flat;
+        for (l, &n) in lens.iter().enumerate() {
+            if rem < n {
+                layers[l][rem] = true;
+                break;
+            }
+            rem -= n;
+        }
+    }
+    Mask::from_layers(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunefl_anneals_to_target() {
+        let env = ExperimentEnv::tiny_for_tests(30);
+        let schedule = PruneSchedule {
+            delta_r: 1,
+            r_stop: 2,
+            local_iters: 1,
+        };
+        let r = run_prunefl(&env, &ModelSpec::small_cnn_test(), 0.1, schedule, 2);
+        assert_eq!(r.method, "prunefl");
+        // After r_stop the density should be at (or near, ceil) the target.
+        assert!(r.final_density <= 0.12, "density {}", r.final_density);
+        assert!(r.max_round_flops > 0.0);
+    }
+
+    #[test]
+    fn prunefl_memory_includes_dense_scores() {
+        let env = ExperimentEnv::tiny_for_tests(31);
+        let spec = ModelSpec::small_cnn_test();
+        let schedule = PruneSchedule {
+            delta_r: 1,
+            r_stop: 2,
+            local_iters: 1,
+        };
+        let r = run_prunefl(&env, &spec, 0.05, schedule, 0);
+        let sparse_only = {
+            let model = env.build_model(&spec);
+            let mask = crate::atinit::l1_oneshot_mask(model.as_ref(), 0.05);
+            crate::fixed::run_with_fixed_mask(&env, &spec, &mask, "x", ExtraMemory::None, 0)
+        };
+        assert!(
+            r.memory_bytes > sparse_only.memory_bytes,
+            "PruneFL must pay for dense scores"
+        );
+    }
+
+    #[test]
+    fn initial_density_floor_is_034() {
+        let env = ExperimentEnv::tiny_for_tests(32);
+        // With no adjustments (delta_r larger than rounds, so only round 0
+        // adjusts at d_round = d0), density stays near d0 = 0.34.
+        let schedule = PruneSchedule {
+            delta_r: 100,
+            r_stop: 100,
+            local_iters: 1,
+        };
+        let r = run_prunefl(&env, &ModelSpec::small_cnn_test(), 0.01, schedule, 0);
+        assert!(r.final_density > 0.2, "density {}", r.final_density);
+    }
+}

@@ -1,0 +1,166 @@
+//! One entry point dispatching every baseline by name.
+
+use crate::atinit::{l1_oneshot_mask, snip_mask, synflow_mask, DEFAULT_ITERATIVE_STEPS};
+use crate::feddst::run_feddst;
+use crate::fixed::{run_fedavg_dense, run_with_fixed_mask};
+use crate::lotteryfl::run_lotteryfl;
+use crate::prunefl::run_prunefl;
+use ft_fl::{ExperimentEnv, ModelSpec, RunResult};
+use ft_metrics::ExtraMemory;
+use ft_sparse::PruneSchedule;
+use serde::{Deserialize, Serialize};
+
+/// The baseline methods of the paper's evaluation (Sec. IV-A3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineMethod {
+    /// Dense FedAvg (upper bound; first row of Table I).
+    FedAvgDense,
+    /// FL-PQSU's pruning stage: one-shot L1 at initialization.
+    FlPqsu,
+    /// SNIP: iterative connection sensitivity at initialization.
+    Snip,
+    /// SynFlow: iterative data-free pruning at initialization.
+    SynFlow,
+    /// PruneFL: server init + full-gradient adaptive pruning.
+    PruneFl,
+    /// FedDST: random init + on-device mask adjustment.
+    FedDst,
+    /// LotteryFL: iterative magnitude pruning with rewinding.
+    LotteryFl,
+    /// GraSP (extension, not in the paper's tables): gradient-flow
+    /// preserving at-init pruning on the server's public data.
+    Grasp,
+}
+
+impl BaselineMethod {
+    /// Every baseline, in the order the paper's tables list them.
+    pub fn all() -> [BaselineMethod; 7] {
+        [
+            BaselineMethod::FedAvgDense,
+            BaselineMethod::FlPqsu,
+            BaselineMethod::Snip,
+            BaselineMethod::SynFlow,
+            BaselineMethod::PruneFl,
+            BaselineMethod::FedDst,
+            BaselineMethod::LotteryFl,
+        ]
+    }
+
+    /// The sparse methods compared against FedTiny in Fig. 3.
+    pub fn figure3_set() -> [BaselineMethod; 5] {
+        [
+            BaselineMethod::FlPqsu,
+            BaselineMethod::Snip,
+            BaselineMethod::SynFlow,
+            BaselineMethod::PruneFl,
+            BaselineMethod::FedDst,
+        ]
+    }
+
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineMethod::FedAvgDense => "fedavg",
+            BaselineMethod::FlPqsu => "flpqsu",
+            BaselineMethod::Snip => "snip",
+            BaselineMethod::SynFlow => "synflow",
+            BaselineMethod::PruneFl => "prunefl",
+            BaselineMethod::FedDst => "feddst",
+            BaselineMethod::LotteryFl => "lotteryfl",
+            BaselineMethod::Grasp => "grasp",
+        }
+    }
+}
+
+/// Runs one baseline at a target density. Iterative methods (PruneFL,
+/// FedDST, LotteryFL) use the schedule scaled to the environment's round
+/// count (`ΔR = rounds/30`, `R_stop = rounds/3`, matching the paper's
+/// 10/100 at 300 rounds).
+pub fn run_baseline(
+    env: &ExperimentEnv,
+    spec: &ModelSpec,
+    method: BaselineMethod,
+    d_target: f32,
+    eval_every: usize,
+) -> RunResult {
+    let schedule = PruneSchedule::scaled_for(env.cfg.rounds, env.cfg.local_epochs);
+    match method {
+        BaselineMethod::FedAvgDense => run_fedavg_dense(env, spec, eval_every),
+        BaselineMethod::FlPqsu => {
+            let model = env.build_model(spec);
+            let mask = l1_oneshot_mask(model.as_ref(), d_target);
+            run_with_fixed_mask(env, spec, &mask, "flpqsu", ExtraMemory::None, eval_every)
+        }
+        BaselineMethod::Snip => {
+            let model = env.build_model(spec);
+            let mask = snip_mask(
+                model.as_ref(),
+                &env.server_public,
+                d_target,
+                DEFAULT_ITERATIVE_STEPS,
+            );
+            run_with_fixed_mask(env, spec, &mask, "snip", ExtraMemory::None, eval_every)
+        }
+        BaselineMethod::SynFlow => {
+            let model = env.build_model(spec);
+            let mask = synflow_mask(model.as_ref(), d_target, DEFAULT_ITERATIVE_STEPS);
+            run_with_fixed_mask(env, spec, &mask, "synflow", ExtraMemory::None, eval_every)
+        }
+        BaselineMethod::Grasp => {
+            let model = env.build_model(spec);
+            let mask = crate::atinit::grasp_mask(model.as_ref(), &env.server_public, d_target);
+            run_with_fixed_mask(env, spec, &mask, "grasp", ExtraMemory::None, eval_every)
+        }
+        BaselineMethod::PruneFl => run_prunefl(env, spec, d_target, schedule, eval_every),
+        BaselineMethod::FedDst => run_feddst(env, spec, d_target, schedule, eval_every),
+        BaselineMethod::LotteryFl => run_lotteryfl(env, spec, d_target, schedule, eval_every),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_baseline_runs_end_to_end() {
+        let env = ExperimentEnv::tiny_for_tests(60);
+        let spec = ModelSpec::small_cnn_test();
+        for method in BaselineMethod::all() {
+            let r = run_baseline(&env, &spec, method, 0.2, 2);
+            assert_eq!(r.method, method.name(), "{method:?}");
+            assert!((0.0..=1.0).contains(&r.accuracy), "{method:?}");
+            assert!(r.max_round_flops > 0.0, "{method:?}");
+            assert!(r.memory_bytes > 0.0, "{method:?}");
+            if method != BaselineMethod::FedAvgDense {
+                assert!(r.final_density <= 0.35, "{method:?}: {}", r.final_density);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut methods: Vec<BaselineMethod> = BaselineMethod::all().to_vec();
+        methods.push(BaselineMethod::Grasp);
+        let names: std::collections::HashSet<&str> = methods.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn grasp_extension_runs() {
+        let env = ExperimentEnv::tiny_for_tests(62);
+        let spec = ModelSpec::small_cnn_test();
+        let r = run_baseline(&env, &spec, BaselineMethod::Grasp, 0.2, 2);
+        assert_eq!(r.method, "grasp");
+        assert!(r.final_density <= 0.21, "density {}", r.final_density);
+    }
+
+    #[test]
+    fn sparse_methods_cost_less_than_dense_lotteryfl() {
+        let env = ExperimentEnv::tiny_for_tests(61);
+        let spec = ModelSpec::small_cnn_test();
+        let synflow = run_baseline(&env, &spec, BaselineMethod::SynFlow, 0.05, 0);
+        let lottery = run_baseline(&env, &spec, BaselineMethod::LotteryFl, 0.05, 0);
+        assert!(synflow.max_round_flops < lottery.max_round_flops);
+        assert!(synflow.memory_bytes < lottery.memory_bytes);
+    }
+}

@@ -1,0 +1,95 @@
+//! Descriptions of a model's prunable parameter tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// One prunable parameter tensor (e.g. a convolution's weight), identified by
+/// name and flat length.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Human-readable layer name (e.g. `"layer2.0.conv1"`).
+    pub name: String,
+    /// Number of scalar weights in the tensor.
+    pub len: usize,
+}
+
+/// Ordered list of a model's prunable tensors.
+///
+/// The order matches the order in which the model exposes its prunable
+/// parameters; masks, density vectors and block partitions are all indexed
+/// against this layout.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseLayout {
+    layers: Vec<LayerSpec>,
+}
+
+impl SparseLayout {
+    /// Builds a layout from `(name, len)` pairs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use ft_sparse::SparseLayout;
+    /// let l = SparseLayout::new(vec![("a".into(), 4), ("b".into(), 6)]);
+    /// assert_eq!(l.num_layers(), 2);
+    /// assert_eq!(l.total_len(), 10);
+    /// ```
+    pub fn new(specs: Vec<(String, usize)>) -> Self {
+        SparseLayout {
+            layers: specs
+                .into_iter()
+                .map(|(name, len)| LayerSpec { name, len })
+                .collect(),
+        }
+    }
+
+    /// Number of prunable tensors.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of prunable scalars across all tensors.
+    pub fn total_len(&self) -> usize {
+        self.layers.iter().map(|l| l.len).sum()
+    }
+
+    /// The spec of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn layer(&self, i: usize) -> &LayerSpec {
+        &self.layers[i]
+    }
+
+    /// Iterates over the layer specs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter()
+    }
+
+    /// Lengths of each layer, in order.
+    pub fn lens(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_accessors() {
+        let l = SparseLayout::new(vec![("x".into(), 3), ("y".into(), 7)]);
+        assert_eq!(l.num_layers(), 2);
+        assert_eq!(l.total_len(), 10);
+        assert_eq!(l.layer(1).name, "y");
+        assert_eq!(l.lens(), vec![3, 7]);
+        assert_eq!(l.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = SparseLayout::new(vec![]);
+        assert_eq!(l.num_layers(), 0);
+        assert_eq!(l.total_len(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Sparsity primitives for the FedTiny reproduction.
+//!
+//! This crate is deliberately model-agnostic: it manipulates *flat per-layer
+//! parameter buffers* described by a [`SparseLayout`], so the same machinery
+//! serves every model in `ft-nn` and every pruning method in `ft-pruning`.
+//!
+//! Contents:
+//! - [`SparseLayout`] / [`Mask`] — per-prunable-tensor binary masks with
+//!   density accounting.
+//! - [`TopKBuffer`] — the `O(k)` streaming buffer of Sec. III-D the devices
+//!   use to keep only the top-k gradient magnitudes of pruned coordinates.
+//! - [`cosine_prune_count`] — the paper's pruning-number schedule
+//!   `a_t^l = 0.15 (1 + cos(tπ / (R_stop · E))) · n_l`.
+//! - [`magnitude_mask`] / [`random_mask`] / [`noisy_density_vector`] — mask
+//!   constructors used for coarse pruning and candidate-pool generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ft_sparse::{Mask, SparseLayout};
+//!
+//! let layout = SparseLayout::new(vec![("conv1".into(), 8), ("fc".into(), 8)]);
+//! let mut mask = Mask::ones(&layout);
+//! mask.set(0, 3, false);
+//! assert_eq!(mask.ones_count(), 15);
+//! assert!((mask.density() - 15.0 / 16.0).abs() < 1e-6);
+//! ```
+
+mod layout;
+mod mask;
+mod prune;
+mod schedule;
+mod topk;
+
+pub use layout::{LayerSpec, SparseLayout};
+pub use mask::Mask;
+pub use prune::{
+    magnitude_mask, magnitude_mask_global, noisy_density_vector, random_mask,
+    uniform_density_vector,
+};
+pub use schedule::{cosine_prune_count, PruneSchedule};
+pub use topk::TopKBuffer;

@@ -1,0 +1,328 @@
+//! Mask constructors: magnitude pruning, random pruning, and the
+//! uniform-noise layer-wise density vectors used for candidate-pool
+//! generation (Sec. IV-A2).
+
+use crate::{Mask, SparseLayout, TopKBuffer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Number of weights kept in a layer of `len` weights at density `d`.
+///
+/// Uses `ceil` so any strictly positive density keeps at least one weight —
+/// a fully disconnected layer would make the loss undefined rather than
+/// merely bad.
+fn keep_count(len: usize, d: f32) -> usize {
+    if len == 0 || d <= 0.0 {
+        return 0;
+    }
+    // f32→f64 widening makes e.g. 0.4 * 5 come out as 2.0000000298; snap to
+    // the nearest integer when within tolerance before taking the ceiling.
+    let x = d as f64 * len as f64;
+    let snapped = if (x - x.round()).abs() < 1e-6 {
+        x.round()
+    } else {
+        x.ceil()
+    };
+    (snapped as usize).min(len)
+}
+
+/// A density vector assigning the same density to every layer.
+pub fn uniform_density_vector(layout: &SparseLayout, density: f32) -> Vec<f32> {
+    vec![density.clamp(0.0, 1.0); layout.num_layers()]
+}
+
+/// Samples a layer-wise density vector `d_l = d_target + e_l` with
+/// `e_l ~ U(-spread·d_target, +spread·d_target)`, accepted only when the
+/// size-weighted total density does not exceed `d_target` (the paper's
+/// Uniform Noise candidate strategy). After `max_tries` rejections the last
+/// sample is rescaled to satisfy the constraint, so the function always
+/// terminates.
+///
+/// # Panics
+///
+/// Panics if `d_target` is not in `(0, 1]` or `spread` is negative.
+pub fn noisy_density_vector<R: Rng + ?Sized>(
+    rng: &mut R,
+    layout: &SparseLayout,
+    d_target: f32,
+    spread: f32,
+) -> Vec<f32> {
+    assert!(
+        d_target > 0.0 && d_target <= 1.0,
+        "target density must be in (0,1], got {d_target}"
+    );
+    assert!(spread >= 0.0, "noise spread must be non-negative");
+    let lens = layout.lens();
+    let total: usize = lens.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let max_tries = 32;
+    let mut last = Vec::new();
+    for _ in 0..max_tries {
+        let d: Vec<f32> = lens
+            .iter()
+            .map(|_| {
+                let e = if spread > 0.0 {
+                    rng.gen_range(-spread * d_target..spread * d_target)
+                } else {
+                    0.0
+                };
+                (d_target + e).clamp(0.0, 1.0)
+            })
+            .collect();
+        let overall = overall_density(&d, &lens);
+        if overall <= d_target {
+            return d;
+        }
+        last = d;
+    }
+    // Rescale the final rejected sample to meet the budget exactly.
+    let overall = overall_density(&last, &lens);
+    let scale = d_target / overall;
+    last.iter_mut()
+        .for_each(|d| *d = (*d * scale).clamp(0.0, 1.0));
+    last
+}
+
+/// Size-weighted overall density of a layer-wise density vector.
+pub fn overall_density(densities: &[f32], lens: &[usize]) -> f32 {
+    let total: usize = lens.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let kept: f32 = densities
+        .iter()
+        .zip(lens.iter())
+        .map(|(&d, &n)| d * n as f32)
+        .sum();
+    kept / total as f32
+}
+
+/// Magnitude-prunes each layer to its own density: keeps the
+/// `ceil(d_l · n_l)` weights with the largest `|w|` per layer.
+///
+/// # Panics
+///
+/// Panics if the number of weight buffers or densities mismatches the
+/// layout, or any buffer length differs from its spec.
+pub fn magnitude_mask(layout: &SparseLayout, weights: &[&[f32]], densities: &[f32]) -> Mask {
+    assert_eq!(
+        weights.len(),
+        layout.num_layers(),
+        "weights/layout layer count mismatch"
+    );
+    assert_eq!(
+        densities.len(),
+        layout.num_layers(),
+        "densities/layout layer count mismatch"
+    );
+    let mut layers = Vec::with_capacity(weights.len());
+    for (l, (&w, &d)) in weights.iter().zip(densities.iter()).enumerate() {
+        assert_eq!(
+            w.len(),
+            layout.layer(l).len,
+            "weight buffer length mismatch at layer {l}"
+        );
+        let keep = keep_count(w.len(), d);
+        let mut m = vec![false; w.len()];
+        let mut buf = TopKBuffer::new(keep);
+        buf.extend_from_slice(w);
+        for (idx, _) in buf.into_sorted() {
+            m[idx] = true;
+        }
+        layers.push(m);
+    }
+    Mask::from_layers(layers)
+}
+
+/// Magnitude-prunes *globally*: keeps the `ceil(d · N)` weights with the
+/// largest `|w|` across all layers together. Used by LotteryFL-style
+/// iterative magnitude pruning.
+///
+/// # Panics
+///
+/// Panics on layout/buffer mismatches (see [`magnitude_mask`]).
+pub fn magnitude_mask_global(layout: &SparseLayout, weights: &[&[f32]], density: f32) -> Mask {
+    assert_eq!(
+        weights.len(),
+        layout.num_layers(),
+        "weights/layout layer count mismatch"
+    );
+    let total = layout.total_len();
+    let keep = keep_count(total, density);
+    let mut buf = TopKBuffer::new(keep);
+    let mut offset = 0usize;
+    for (l, &w) in weights.iter().enumerate() {
+        assert_eq!(
+            w.len(),
+            layout.layer(l).len,
+            "weight buffer length mismatch at layer {l}"
+        );
+        for (i, &v) in w.iter().enumerate() {
+            buf.push(offset + i, v);
+        }
+        offset += w.len();
+    }
+    let mut layers: Vec<Vec<bool>> = layout.iter().map(|s| vec![false; s.len]).collect();
+    let lens = layout.lens();
+    for (flat, _) in buf.into_sorted() {
+        let (layer, idx) = unflatten(flat, &lens);
+        layers[layer][idx] = true;
+    }
+    Mask::from_layers(layers)
+}
+
+/// Random mask at per-layer densities, used for FedDST's random initial
+/// pruning and as a control in tests.
+pub fn random_mask<R: Rng + ?Sized>(rng: &mut R, layout: &SparseLayout, densities: &[f32]) -> Mask {
+    assert_eq!(
+        densities.len(),
+        layout.num_layers(),
+        "densities/layout layer count mismatch"
+    );
+    let mut layers = Vec::with_capacity(layout.num_layers());
+    for (spec, &d) in layout.iter().zip(densities.iter()) {
+        let keep = keep_count(spec.len, d);
+        let mut idx: Vec<usize> = (0..spec.len).collect();
+        idx.shuffle(rng);
+        let mut m = vec![false; spec.len];
+        for &i in idx.iter().take(keep) {
+            m[i] = true;
+        }
+        layers.push(m);
+    }
+    Mask::from_layers(layers)
+}
+
+fn unflatten(flat: usize, lens: &[usize]) -> (usize, usize) {
+    let mut rem = flat;
+    for (l, &n) in lens.iter().enumerate() {
+        if rem < n {
+            return (l, rem);
+        }
+        rem -= n;
+    }
+    panic!("flat index {flat} out of range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layout() -> SparseLayout {
+        SparseLayout::new(vec![("a".into(), 10), ("b".into(), 20)])
+    }
+
+    #[test]
+    fn magnitude_keeps_largest_per_layer() {
+        let l = SparseLayout::new(vec![("a".into(), 5)]);
+        let w = [0.1f32, -0.9, 0.5, 0.05, -0.3];
+        let m = magnitude_mask(&l, &[&w], &[0.4]);
+        // ceil(0.4*5)=2 -> keep |-0.9| and |0.5|
+        assert_eq!(m.layer(0), &[false, true, true, false, false]);
+    }
+
+    #[test]
+    fn magnitude_global_crosses_layers() {
+        let l = SparseLayout::new(vec![("a".into(), 2), ("b".into(), 2)]);
+        let wa = [0.9f32, 0.1];
+        let wb = [0.8f32, 0.7];
+        let m = magnitude_mask_global(&l, &[&wa, &wb], 0.5);
+        // keep top ceil(0.5*4)=2: 0.9 (a0) and 0.8 (b0)
+        assert_eq!(m.layer(0), &[true, false]);
+        assert_eq!(m.layer(1), &[true, false]);
+    }
+
+    #[test]
+    fn keep_count_ceils_and_clamps() {
+        assert_eq!(keep_count(100, 0.015), 2);
+        assert_eq!(keep_count(100, 0.0), 0);
+        assert_eq!(keep_count(100, 1.5), 100);
+        assert_eq!(keep_count(0, 0.5), 0);
+        assert_eq!(keep_count(1000, 0.001), 1);
+        // ceil keeps at least one weight at any positive density.
+        assert_eq!(keep_count(10, 0.001), 1);
+    }
+
+    #[test]
+    fn uniform_vector() {
+        let v = uniform_density_vector(&layout(), 0.25);
+        assert_eq!(v, vec![0.25, 0.25]);
+        assert_eq!(uniform_density_vector(&layout(), 2.0), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn noisy_vector_respects_budget() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let l = layout();
+        for _ in 0..50 {
+            let d = noisy_density_vector(&mut rng, &l, 0.1, 0.5);
+            let overall = overall_density(&d, &l.lens());
+            assert!(
+                overall <= 0.1 + 1e-5,
+                "overall density {overall} exceeds target"
+            );
+            assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn noisy_vector_zero_spread_is_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let d = noisy_density_vector(&mut rng, &layout(), 0.2, 0.0);
+        assert_eq!(d, vec![0.2, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target density")]
+    fn noisy_vector_rejects_zero_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = noisy_density_vector(&mut rng, &layout(), 0.0, 0.1);
+    }
+
+    #[test]
+    fn random_mask_density() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let m = random_mask(&mut rng, &layout(), &[0.5, 0.1]);
+        assert_eq!(m.layer_ones(0), 5);
+        assert_eq!(m.layer_ones(1), 2); // ceil(0.1*20)=2
+    }
+
+    #[test]
+    fn random_masks_differ_across_draws() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let big = SparseLayout::new(vec![("a".into(), 100)]);
+        let m1 = random_mask(&mut rng, &big, &[0.3]);
+        let m2 = random_mask(&mut rng, &big, &[0.3]);
+        assert_ne!(m1, m2);
+    }
+
+    proptest! {
+        /// Magnitude masks hit the requested per-layer keep counts exactly.
+        #[test]
+        fn magnitude_mask_counts(d in 0.0f32..1.0, n in 1usize..200) {
+            let l = SparseLayout::new(vec![("x".into(), n)]);
+            let w: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let m = magnitude_mask(&l, &[&w], &[d]);
+            let expect = if d <= 0.0 { 0 } else { ((d as f64 * n as f64).ceil() as usize).min(n) };
+            prop_assert_eq!(m.layer_ones(0), expect);
+        }
+
+        /// Every weight kept by a magnitude mask is at least as large as
+        /// every dropped weight (per layer).
+        #[test]
+        fn magnitude_mask_dominates(n in 2usize..100, seed in 0u64..50) {
+            let l = SparseLayout::new(vec![("x".into(), n)]);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let w: Vec<f32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0)).collect();
+            let m = magnitude_mask(&l, &[&w], &[0.5]);
+            let kept_min = m.alive_indices(0).iter().map(|&i| w[i].abs()).fold(f32::INFINITY, f32::min);
+            let dropped_max = m.pruned_indices(0).iter().map(|&i| w[i].abs()).fold(0.0f32, f32::max);
+            prop_assert!(kept_min >= dropped_max - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's pruning-number schedule.
+//!
+//! Section IV-A2: the number of parameters grown and pruned on layer `l` at
+//! iteration `t` is `a_t^l = 0.15 (1 + cos(t π / (R_stop · E))) · n_l`, where
+//! `n_l` is the number of *unpruned* parameters in the layer, `E` the local
+//! iterations per round, and `R_stop` the round after which adjustment stops.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction coefficient from the paper (`0.15`).
+pub const COSINE_COEFF: f32 = 0.15;
+
+/// Computes `a_t^l` — how many coordinates to grow *and* prune on a layer.
+///
+/// `t` is the global iteration counter (`rounds_so_far * local_iters`),
+/// `horizon` is `R_stop * E`, and `alive` is the current number of unpruned
+/// parameters in the layer. Returns 0 once `t` exceeds the horizon, and never
+/// returns more than `alive` (you cannot drop more weights than survive).
+///
+/// # Examples
+///
+/// ```
+/// use ft_sparse::cosine_prune_count;
+/// // At t=0 the cosine term is 2, so a = 0.30 * alive.
+/// assert_eq!(cosine_prune_count(0, 100, 1000), 300);
+/// // At the horizon the cosine term is 0.
+/// assert_eq!(cosine_prune_count(100, 100, 1000), 0);
+/// ```
+pub fn cosine_prune_count(t: usize, horizon: usize, alive: usize) -> usize {
+    if horizon == 0 || t > horizon || alive == 0 {
+        return 0;
+    }
+    let phase = t as f64 * std::f64::consts::PI / horizon as f64;
+    let frac = COSINE_COEFF as f64 * (1.0 + phase.cos());
+    ((frac * alive as f64).round() as usize).min(alive)
+}
+
+/// A full pruning schedule: when adjustments happen and how large they are.
+///
+/// Shared by FedTiny, PruneFL and FedDST (Sec. IV-A3 uses the same schedule
+/// for all iterative methods).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneSchedule {
+    /// Rounds of fine-tuning between two pruning adjustments (`ΔR`).
+    pub delta_r: usize,
+    /// Round after which pruning stops and only fine-tuning continues
+    /// (`R_stop`).
+    pub r_stop: usize,
+    /// Local iterations per round (`E`), used to convert rounds to the
+    /// iteration counter `t` of the cosine schedule.
+    pub local_iters: usize,
+}
+
+impl PruneSchedule {
+    /// The paper's defaults: `ΔR = 10`, `R_stop = 100`.
+    pub fn paper_default(local_iters: usize) -> Self {
+        PruneSchedule {
+            delta_r: 10,
+            r_stop: 100,
+            local_iters,
+        }
+    }
+
+    /// A schedule proportional to the paper's, scaled to `rounds` total FL
+    /// rounds: `R_stop = rounds/3` and `ΔR = rounds/30`, with `ΔR` floored
+    /// at 2 so short runs keep fine-tuning recovery rounds between
+    /// adjustments (adjusting every round replaces up to 30% of the weights
+    /// with no recovery and destroys training). At the paper's 300 rounds
+    /// this reproduces `ΔR = 10, R_stop = 100`.
+    pub fn scaled_for(rounds: usize, local_iters: usize) -> Self {
+        let r_stop = (rounds / 3).max(1);
+        PruneSchedule {
+            delta_r: (rounds / 30).max(2).min(r_stop.max(2)),
+            r_stop,
+            local_iters,
+        }
+    }
+
+    /// Whether a pruning adjustment happens at `round` (0-based).
+    ///
+    /// Matches Alg. 2 line 10: `t mod ΔR·E == 0 && t <= E·R_stop`, with
+    /// `t = round · E`.
+    pub fn adjusts_at(&self, round: usize) -> bool {
+        if self.delta_r == 0 {
+            return false;
+        }
+        round.is_multiple_of(self.delta_r) && round <= self.r_stop
+    }
+
+    /// The `a_t^l` count for a layer with `alive` surviving weights at
+    /// `round`.
+    pub fn count_at(&self, round: usize, alive: usize) -> usize {
+        let t = round * self.local_iters;
+        let horizon = self.r_stop * self.local_iters;
+        cosine_prune_count(t, horizon, alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(cosine_prune_count(0, 50, 100), 30);
+        assert_eq!(cosine_prune_count(50, 50, 100), 0);
+        // Midpoint: cos(pi/2) = 0 → 0.15 * alive.
+        assert_eq!(cosine_prune_count(25, 50, 100), 15);
+    }
+
+    #[test]
+    fn beyond_horizon_is_zero() {
+        assert_eq!(cosine_prune_count(51, 50, 100), 0);
+        assert_eq!(cosine_prune_count(1000, 50, 100), 0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(cosine_prune_count(0, 0, 100), 0);
+        assert_eq!(cosine_prune_count(0, 50, 0), 0);
+    }
+
+    #[test]
+    fn schedule_adjustment_rounds() {
+        let s = PruneSchedule {
+            delta_r: 10,
+            r_stop: 100,
+            local_iters: 5,
+        };
+        assert!(s.adjusts_at(0));
+        assert!(s.adjusts_at(10));
+        assert!(s.adjusts_at(100));
+        assert!(!s.adjusts_at(5));
+        assert!(!s.adjusts_at(110)); // past R_stop
+    }
+
+    #[test]
+    fn schedule_count_decreases_monotonically() {
+        let s = PruneSchedule::paper_default(5);
+        let a0 = s.count_at(0, 10_000);
+        let a50 = s.count_at(50, 10_000);
+        let a100 = s.count_at(100, 10_000);
+        assert!(a0 > a50 && a50 > a100, "{a0} {a50} {a100}");
+        assert_eq!(a100, 0);
+    }
+
+    #[test]
+    fn zero_delta_r_never_adjusts() {
+        let s = PruneSchedule {
+            delta_r: 0,
+            r_stop: 100,
+            local_iters: 5,
+        };
+        assert!(!s.adjusts_at(0));
+    }
+
+    proptest! {
+        /// a_t^l never exceeds the number of alive weights and is
+        /// non-negative by type.
+        #[test]
+        fn count_bounded_by_alive(t in 0usize..500, horizon in 1usize..500, alive in 0usize..100_000) {
+            prop_assert!(cosine_prune_count(t, horizon, alive) <= alive);
+        }
+
+        /// Monotone non-increasing in t over the horizon (cosine decay).
+        #[test]
+        fn monotone_in_t(horizon in 2usize..300, alive in 1usize..50_000) {
+            let mut prev = usize::MAX;
+            for t in 0..=horizon {
+                let a = cosine_prune_count(t, horizon, alive);
+                prop_assert!(a <= prev);
+                prev = a;
+            }
+        }
+    }
+}

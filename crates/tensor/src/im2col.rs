@@ -1,0 +1,304 @@
+//! im2col / col2im transforms used to express convolution as matmul.
+
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution over a single sample.
+///
+/// The same geometry object drives the forward im2col, the backward
+/// col2im, and the analytic FLOPs accounting in `ft-metrics`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride (same in both dims).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_h(&self) -> usize {
+        checked_out(self.in_h, self.kernel, self.stride, self.pad)
+    }
+
+    /// Output width after the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_w(&self) -> usize {
+        checked_out(self.in_w, self.kernel, self.stride, self.pad)
+    }
+
+    /// Rows of the im2col matrix: `in_c * kernel * kernel`.
+    pub fn col_rows(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+fn checked_out(dim: usize, k: usize, s: usize, p: usize) -> usize {
+    let padded = dim + 2 * p;
+    assert!(
+        padded >= k && s > 0,
+        "kernel {k} with stride {s} does not fit input dim {dim} (pad {p})"
+    );
+    (padded - k) / s + 1
+}
+
+/// Unfolds one sample `x` of shape `[in_c, in_h, in_w]` (given as a flat
+/// slice) into a `[col_rows, col_cols]` matrix written into `out`.
+///
+/// Padding positions contribute zeros.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the geometry.
+pub fn im2col(x: &[f32], g: &ConvGeom, out: &mut [f32]) {
+    assert_eq!(
+        x.len(),
+        g.in_c * g.in_h * g.in_w,
+        "im2col input length mismatch"
+    );
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols = oh * ow;
+    assert_eq!(
+        out.len(),
+        g.col_rows() * cols,
+        "im2col output length mismatch"
+    );
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for kh in 0..g.kernel {
+            for kw in 0..g.kernel {
+                let dst = &mut out[row * cols..(row + 1) * cols];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        dst[idx] = if iy >= 0
+                            && (iy as usize) < g.in_h
+                            && ix >= 0
+                            && (ix as usize) < g.in_w
+                        {
+                            plane[iy as usize * g.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Folds a `[col_rows, col_cols]` matrix back into the input layout,
+/// *accumulating* overlapping contributions into `out` (shape
+/// `[in_c, in_h, in_w]` flat). This is the adjoint of [`im2col`] and is used
+/// for the convolution input gradient.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the geometry.
+pub fn col2im(col: &[f32], g: &ConvGeom, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        g.in_c * g.in_h * g.in_w,
+        "col2im output length mismatch"
+    );
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols = oh * ow;
+    assert_eq!(
+        col.len(),
+        g.col_rows() * cols,
+        "col2im input length mismatch"
+    );
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let base = c * g.in_h * g.in_w;
+        for kh in 0..g.kernel {
+            for kw in 0..g.kernel {
+                let src = &col[row * cols..(row + 1) * cols];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                        if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                            out[base + iy as usize * g.in_w + ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Reference direct convolution of one sample; used by tests to validate the
+/// im2col path. `w` has shape `[out_c, in_c, k, k]` flat.
+pub fn conv2d_direct(x: &[f32], w: &[f32], g: &ConvGeom, out_c: usize) -> Tensor {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let mut out = Tensor::zeros(&[out_c, oh, ow]);
+    let od = out.data_mut();
+    for oc in 0..out_c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ic in 0..g.in_c {
+                    for kh in 0..g.kernel {
+                        for kw in 0..g.kernel {
+                            let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            if iy >= 0
+                                && (iy as usize) < g.in_h
+                                && ix >= 0
+                                && (ix as usize) < g.in_w
+                            {
+                                let xv = x[(ic * g.in_h + iy as usize) * g.in_w + ix as usize];
+                                let wv = w[((oc * g.in_c + ic) * g.kernel + kh) * g.kernel + kw];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                }
+                od[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn geometry() {
+        let g = ConvGeom {
+            in_c: 3,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(g.out_h(), 8);
+        assert_eq!(g.out_w(), 8);
+        assert_eq!(g.col_rows(), 27);
+        assert_eq!(g.col_cols(), 64);
+        let g2 = ConvGeom {
+            in_c: 1,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(g2.out_h(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn geometry_rejects_oversized_kernel() {
+        let g = ConvGeom {
+            in_c: 1,
+            in_h: 2,
+            in_w: 2,
+            kernel: 5,
+            stride: 1,
+            pad: 0,
+        };
+        let _ = g.out_h();
+    }
+
+    #[test]
+    fn im2col_matmul_matches_direct_conv() {
+        for (stride, pad) in [(1, 1), (2, 1), (1, 0)] {
+            let g = ConvGeom {
+                in_c: 3,
+                in_h: 7,
+                in_w: 6,
+                kernel: 3,
+                stride,
+                pad,
+            };
+            let out_c = 4;
+            let x = rand_vec(g.in_c * g.in_h * g.in_w, 10 + stride as u64);
+            let w = rand_vec(out_c * g.col_rows(), 20 + pad as u64);
+            let mut col = vec![0.0; g.col_rows() * g.col_cols()];
+            im2col(&x, &g, &mut col);
+            let wt = Tensor::from_vec(w.clone(), &[out_c, g.col_rows()]);
+            let colt = Tensor::from_vec(col, &[g.col_rows(), g.col_cols()]);
+            let got = wt.matmul(&colt);
+            let expect = conv2d_direct(&x, &w, &g, out_c);
+            assert_close(got.data(), expect.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is exactly what backprop needs.
+        let g = ConvGeom {
+            in_c: 2,
+            in_h: 5,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let x = rand_vec(g.in_c * g.in_h * g.in_w, 33);
+        let y = rand_vec(g.col_rows() * g.col_cols(), 44);
+        let mut cx = vec![0.0; y.len()];
+        im2col(&x, &g, &mut cx);
+        let lhs: f32 = cx.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        let mut xy = vec![0.0; x.len()];
+        col2im(&y, &g, &mut xy);
+        let rhs: f32 = x.iter().zip(xy.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates() {
+        let g = ConvGeom {
+            in_c: 1,
+            in_h: 3,
+            in_w: 3,
+            kernel: 3,
+            stride: 1,
+            pad: 0,
+        };
+        let col = vec![1.0; 9];
+        let mut out = vec![5.0; 9];
+        col2im(&col, &g, &mut out);
+        assert_eq!(out, vec![6.0; 9]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Minimal dense `f32` tensor library backing the FedTiny reproduction.
+//!
+//! This crate provides exactly the numerical substrate the federated pruning
+//! stack needs and nothing more: a row-major [`Tensor`] type, blocked
+//! matrix multiplication, im2col/col2im helpers for convolution, elementwise
+//! arithmetic, reductions, and seeded random initializers.
+//!
+//! Design notes:
+//! - Shapes are validated eagerly; mismatches panic with a descriptive
+//!   message (documented under "Panics" on each operation). This mirrors the
+//!   behaviour of mainstream array libraries: shape errors are programming
+//!   errors, not recoverable conditions.
+//! - Everything is deterministic given a seeded RNG; all experiment code in
+//!   the workspace threads [`rand_chacha::ChaCha8Rng`] seeds through.
+//!
+//! # Examples
+//!
+//! ```
+//! use ft_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod im2col;
+mod init;
+mod matmul;
+mod ops;
+mod pool;
+mod proptests;
+mod tensor;
+
+pub use im2col::{col2im, conv2d_direct, im2col, ConvGeom};
+pub use init::{kaiming_normal, normal, uniform, xavier_uniform};
+pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+pub use pool::{avg_pool_global, avg_pool_global_backward, max_pool2x2, max_pool2x2_backward};
+pub use tensor::Tensor;
+
+/// Numerical tolerance used by the test-suites across the workspace.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts that two `f32` slices are elementwise close.
+///
+/// Intended for tests; panics with the first offending index on failure.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any pair differs by more than `tol`.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "index {i}: {x} vs {y} differ by more than {tol}"
+        );
+    }
+}

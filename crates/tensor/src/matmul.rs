@@ -1,0 +1,214 @@
+//! Cache-friendly matrix multiplication kernels.
+//!
+//! Three layouts are provided because convolution backward passes need
+//! products against transposed operands and materializing the transpose
+//! would double the memory traffic:
+//!
+//! - [`matmul_into`]: `C = A · B`
+//! - [`matmul_tn_into`]: `C = Aᵀ · B`
+//! - [`matmul_nt_into`]: `C = A · Bᵀ`
+
+use crate::Tensor;
+
+/// `C += A[m×k] · B[k×n]`, accumulating into `c`.
+///
+/// Uses an `i-p-j` loop order so the inner loop streams both `B` and `C`
+/// rows sequentially.
+///
+/// # Panics
+///
+/// Panics if shapes are not `[m,k]`, `[k,n]`, `[m,n]`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = dims2(a, "A");
+    let (k2, n) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, n), "matmul output shape mismatch");
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C += Aᵀ[k×m]ᵀ · B[k×n]`, i.e. `A` has shape `[k, m]` and is consumed
+/// transposed, accumulating into `c` of shape `[m, n]`.
+///
+/// # Panics
+///
+/// Panics on incompatible shapes.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (k, m) = dims2(a, "A");
+    let (k2, n) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, n), "matmul_tn output shape mismatch");
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    // Aᵀ(i,p) = A(p,i): iterate p outermost so both A rows and B rows stream.
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C += A[m×k] · Bᵀ` where `B` has shape `[n, k]`, accumulating into `c`
+/// of shape `[m, n]`.
+///
+/// # Panics
+///
+/// Panics on incompatible shapes.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = dims2(a, "A");
+    let (n, k2) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, n), "matmul_nt output shape mismatch");
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+impl Tensor {
+    /// Returns `self · other` for rank-2 tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank-2 or inner dimensions differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ft_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+    /// assert_eq!(a.matmul(&b).data(), &[19.0, 22.0, 43.0, 50.0]);
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let m = self.shape()[0];
+        let n = other.shape()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        matmul_into(self, other, &mut c);
+        c
+    }
+}
+
+fn dims2(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(
+        t.shape().len(),
+        2,
+        "{name} must be rank-2, got shape {:?}",
+        t.shape()
+    );
+    (t.shape()[0], t.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at2(i, p) * b.at2(p, j);
+                }
+                c.data_mut()[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), shape)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_t(&[7, 5], 1);
+        let b = rand_t(&[5, 9], 2);
+        assert_close(a.matmul(&b).data(), naive(&a, &b).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_t(&[4, 4], 3);
+        assert_close(a.matmul(&Tensor::eye(4)).data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let a = rand_t(&[6, 3], 4); // k=6, m=3
+        let b = rand_t(&[6, 5], 5);
+        let mut c = Tensor::zeros(&[3, 5]);
+        matmul_tn_into(&a, &b, &mut c);
+        let expect = a.transposed().matmul(&b);
+        assert_close(c.data(), expect.data(), 1e-4);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let a = rand_t(&[3, 6], 6);
+        let b = rand_t(&[5, 6], 7); // n=5, k=6
+        let mut c = Tensor::zeros(&[3, 5]);
+        matmul_nt_into(&a, &b, &mut c);
+        let expect = a.matmul(&b.transposed());
+        assert_close(c.data(), expect.data(), 1e-4);
+    }
+
+    #[test]
+    fn into_variants_accumulate() {
+        let a = rand_t(&[2, 2], 8);
+        let b = rand_t(&[2, 2], 9);
+        let mut c = Tensor::ones(&[2, 2]);
+        matmul_into(&a, &b, &mut c);
+        let expect = a.matmul(&b).add(&Tensor::ones(&[2, 2]));
+        assert_close(c.data(), expect.data(), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+}

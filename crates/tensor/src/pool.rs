@@ -1,0 +1,179 @@
+//! Pooling kernels (2×2 max pooling and global average pooling).
+
+use crate::Tensor;
+
+/// 2×2 max pooling with stride 2 over a `[n, c, h, w]` tensor.
+///
+/// Returns the pooled tensor and the flat argmax indices (into the input
+/// buffer) needed by [`max_pool2x2_backward`]. Odd trailing rows/columns are
+/// dropped, matching the common `floor` convention.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4 or either spatial dim is < 2.
+pub fn max_pool2x2(x: &Tensor) -> (Tensor, Vec<usize>) {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "max_pool2x2 requires [n,c,h,w]");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    assert!(
+        h >= 2 && w >= 2,
+        "max_pool2x2 needs spatial dims >= 2, got {h}x{w}"
+    );
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let obase = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = base + (2 * oy) * w + 2 * ox;
+                    let mut best = xd[best_idx];
+                    for (dy, dx) in [(0, 1), (1, 0), (1, 1)] {
+                        let idx = base + (2 * oy + dy) * w + 2 * ox + dx;
+                        if xd[idx] > best {
+                            best = xd[idx];
+                            best_idx = idx;
+                        }
+                    }
+                    od[obase + oy * ow + ox] = best;
+                    arg[obase + oy * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward pass of [`max_pool2x2`]: routes each output gradient to the
+/// argmax input position.
+///
+/// # Panics
+///
+/// Panics if `grad_out.numel() != arg.len()`.
+pub fn max_pool2x2_backward(grad_out: &Tensor, arg: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(grad_out.numel(), arg.len(), "argmax cache length mismatch");
+    let mut gx = Tensor::zeros(input_shape);
+    let gd = gx.data_mut();
+    for (g, &idx) in grad_out.data().iter().zip(arg.iter()) {
+        gd[idx] += g;
+    }
+    gx
+}
+
+/// Global average pooling over a `[n, c, h, w]` tensor, producing `[n, c]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4.
+pub fn avg_pool_global(x: &Tensor) -> Tensor {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "avg_pool_global requires [n,c,h,w]");
+    let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let area = (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let sum: f32 = xd[base..base + h * w].iter().sum();
+            od[ni * c + ci] = sum / area;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avg_pool_global`]: spreads each gradient uniformly over
+/// the spatial positions it averaged.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn avg_pool_global_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    assert_eq!(input_shape.len(), 4, "input shape must be [n,c,h,w]");
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    assert_eq!(grad_out.shape(), &[n, c], "grad_out must be [n,c]");
+    let area = (h * w) as f32;
+    let mut gx = Tensor::zeros(input_shape);
+    let gd = gx.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = grad_out.data()[ni * c + ci] / area;
+            let base = (ni * c + ci) * h * w;
+            for v in &mut gd[base..base + h * w] {
+                *v = g;
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_forward() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, arg) = max_pool2x2(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let (_, arg) = max_pool2x2(&x);
+        let g = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]);
+        let gx = max_pool2x2_backward(&g, &arg, &[1, 1, 2, 2]);
+        assert_eq!(gx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_drops_odd_edges() {
+        let x = Tensor::zeros(&[1, 1, 5, 3]);
+        let (y, _) = max_pool2x2(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn avg_pool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            &[1, 2, 2, 2],
+        );
+        let y = avg_pool_global(&x);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+        let g = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let gx = avg_pool_global_backward(&g, &[1, 2, 2, 2]);
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pooling_gradient_check() {
+        // Sum-of-output as loss: gradient wrt input of maxpool is an
+        // indicator of argmax positions.
+        let x = Tensor::from_vec(vec![0.1, 0.9, 0.4, 0.3], &[1, 1, 2, 2]);
+        let (y, arg) = max_pool2x2(&x);
+        let g = Tensor::ones(y.shape());
+        let gx = max_pool2x2_backward(&g, &arg, x.shape());
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the tensor substrate.
+
+#![cfg(test)]
+
+use crate::{col2im, im2col, ConvGeom, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A · I = A and I · A = A.
+    #[test]
+    fn matmul_identity_laws(a in small_matrix(6)) {
+        let (r, c) = (a.shape()[0], a.shape()[1]);
+        let left = Tensor::eye(r).matmul(&a);
+        let right = a.matmul(&Tensor::eye(c));
+        for (x, y) in left.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        for (x, y) in right.data().iter().zip(a.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// (A + B) · C = A·C + B·C (distributivity).
+    #[test]
+    fn matmul_distributes(
+        dims in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let (m, k, n) = dims;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut t = |r: usize, c: usize| {
+            Tensor::from_vec((0..r * c).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), &[r, c])
+        };
+        let a = t(m, k);
+        let b = t(m, k);
+        let c = t(k, n);
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Scaling commutes with matmul: (s·A)·B = s·(A·B).
+    #[test]
+    fn matmul_scales(s in -3.0f32..3.0, a in small_matrix(5)) {
+        let b = Tensor::eye(a.shape()[1]);
+        let lhs = a.scaled(s).matmul(&b);
+        let rhs = a.matmul(&b).scaled(s);
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(a in small_matrix(8)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    /// im2col of a zero image is zero; col2im of a zero matrix adds nothing.
+    #[test]
+    fn im2col_zero_preserving(h in 3usize..8, w in 3usize..8, k in 1usize..4) {
+        prop_assume!(k <= h && k <= w);
+        let g = ConvGeom { in_c: 2, in_h: h, in_w: w, kernel: k, stride: 1, pad: 0 };
+        let x = vec![0.0f32; 2 * h * w];
+        let mut col = vec![1.0f32; g.col_rows() * g.col_cols()];
+        im2col(&x, &g, &mut col);
+        prop_assert!(col.iter().all(|&v| v == 0.0));
+        let mut out = vec![7.0f32; 2 * h * w];
+        col2im(&vec![0.0; g.col_rows() * g.col_cols()], &g, &mut out);
+        prop_assert!(out.iter().all(|&v| v == 7.0));
+    }
+
+    /// The sum of an im2col matrix with stride 1 / pad 0 counts each pixel
+    /// once per window it appears in — total mass is conserved per window
+    /// count (linearity sanity check).
+    #[test]
+    fn im2col_is_linear(h in 3usize..6, seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let g = ConvGeom { in_c: 1, in_h: h, in_w: h, kernel: 2, stride: 1, pad: 0 };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let x1: Vec<f32> = (0..h * h).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x2: Vec<f32> = (0..h * h).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n = g.col_rows() * g.col_cols();
+        let (mut c1, mut c2, mut c12) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        im2col(&x1, &g, &mut c1);
+        im2col(&x2, &g, &mut c2);
+        let sum: Vec<f32> = x1.iter().zip(x2.iter()).map(|(a, b)| a + b).collect();
+        im2col(&sum, &g, &mut c12);
+        for i in 0..n {
+            prop_assert!((c12[i] - c1[i] - c2[i]).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Density sweep: FedTiny versus two representative baselines across
+//! sparsity levels — a miniature of the paper's Fig. 3.
+//!
+//! ```bash
+//! cargo run --release --example density_sweep
+//! ```
+
+use fedtiny_suite::data::{DatasetProfile, SynthConfig};
+use fedtiny_suite::fedtiny::{run_fedtiny, FedTinyConfig, ProgressiveConfig, SelectionMode};
+use fedtiny_suite::fl::{ExperimentEnv, FlConfig, ModelSpec};
+use fedtiny_suite::pruning::{run_baseline, BaselineMethod};
+use fedtiny_suite::sparse::PruneSchedule;
+
+fn main() {
+    let synth = SynthConfig {
+        profile: DatasetProfile::Cifar10,
+        train_per_class: 16,
+        test_per_class: 10,
+        resolution: 8,
+        channels: 3,
+        seed: 7,
+    };
+    let mut cfg = FlConfig::bench_default();
+    cfg.devices = 4;
+    cfg.rounds = 24;
+    cfg.local_epochs = 1;
+    cfg.sgd.lr = 0.05;
+    cfg.seed = 7;
+    let env = ExperimentEnv::new(synth, cfg);
+    let spec = ModelSpec::ResNet18 {
+        width: 0.125,
+        input: 8,
+    };
+
+    println!(
+        "{:>8}  {:>8}  {:>8}  {:>8}",
+        "density", "synflow", "feddst", "fedtiny"
+    );
+    for d in [0.5f32, 0.2, 0.05, 0.02] {
+        let synflow = run_baseline(&env, &spec, BaselineMethod::SynFlow, d, 0);
+        let feddst = run_baseline(&env, &spec, BaselineMethod::FedDst, d, 0);
+        let ft_cfg = FedTinyConfig {
+            model: spec,
+            d_target: d,
+            pool_size: 6,
+            noise_spread: 0.5,
+            selection: SelectionMode::AdaptiveBn,
+            progressive: Some(ProgressiveConfig {
+                schedule: PruneSchedule::scaled_for(env.cfg.rounds, env.cfg.local_epochs),
+                granularity: fedtiny_suite::fedtiny::Granularity::Block,
+                backward_order: true,
+                start_round: 2,
+            }),
+            eval_every: 0,
+        };
+        let fedtiny = run_fedtiny(&env, &ft_cfg);
+        println!(
+            "{d:>8}  {:>8.4}  {:>8.4}  {:>8.4}",
+            synflow.accuracy, feddst.accuracy, fedtiny.accuracy
+        );
+    }
+    println!(
+        "\nexpected shape: the gap between FedTiny and the baselines widens as density falls."
+    );
+}

@@ -1,0 +1,97 @@
+//! Progressive-pruning trace: watch Algorithm 2 reshape a mask round by
+//! round — which block is adjusted, how many coordinates are grown/pruned
+//! (the cosine schedule), and how far the mask drifts from the initial
+//! coarse-pruned structure (per-layer densities stay fixed; the adjustment
+//! relocates capacity *within* each layer).
+//!
+//! ```bash
+//! cargo run --release --example progressive_pruning_trace
+//! ```
+
+use fedtiny_suite::data::{DatasetProfile, SynthConfig};
+use fedtiny_suite::fedtiny::{progressive::progressive_adjust, ProgressiveConfig};
+use fedtiny_suite::fl::{ExperimentEnv, FlConfig, ModelSpec};
+use fedtiny_suite::nn::{apply_mask, sparse_layout};
+use fedtiny_suite::sparse::{magnitude_mask, uniform_density_vector, PruneSchedule};
+
+fn main() {
+    let synth = SynthConfig {
+        profile: DatasetProfile::Cifar10,
+        train_per_class: 12,
+        test_per_class: 6,
+        resolution: 8,
+        channels: 3,
+        seed: 21,
+    };
+    let mut cfg = FlConfig::bench_default();
+    cfg.devices = 3;
+    cfg.seed = 21;
+    let env = ExperimentEnv::new(synth, cfg);
+
+    let spec = ModelSpec::Vgg11 {
+        width: 0.125,
+        input: 8,
+    };
+    let mut model = env.build_model(&spec);
+    let layout = sparse_layout(model.as_ref());
+    let weights: Vec<&[f32]> = model
+        .params()
+        .into_iter()
+        .filter(|p| p.prunable)
+        .map(|p| p.data.data())
+        .collect();
+    let mut mask = magnitude_mask(&layout, &weights, &uniform_density_vector(&layout, 0.1));
+    drop(weights);
+    apply_mask(model.as_mut(), &mask);
+
+    let pcfg = ProgressiveConfig {
+        schedule: PruneSchedule {
+            delta_r: 1,
+            r_stop: 8,
+            local_iters: 1,
+        },
+        granularity: fedtiny_suite::fedtiny::Granularity::Block,
+        backward_order: true,
+        start_round: 0,
+    };
+    let units = pcfg.units(model.as_ref(), mask.num_layers());
+    println!(
+        "VGG11: {} prunable layers in {} blocks (backward order: output-side first)\n",
+        mask.num_layers(),
+        units.len()
+    );
+
+    let initial = mask.clone();
+    for round in 0..8 {
+        let unit = &units[round % units.len()];
+        let report = progressive_adjust(model.as_mut(), &mut mask, &env, &pcfg, unit, round);
+        let adjusted: Vec<String> = report
+            .adjusted
+            .iter()
+            .map(|(l, a)| format!("layer{l}:±{a}"))
+            .collect();
+        // How much of the initially-selected structure survives?
+        let mut kept = 0usize;
+        let mut init_alive = 0usize;
+        for l in 0..mask.num_layers() {
+            for (i, &was) in initial.layer(l).iter().enumerate() {
+                if was {
+                    init_alive += 1;
+                    if mask.get(l, i) {
+                        kept += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "round {round}: block {:?} adjusted [{}]; density {:.4}; {:.1}% of the initial mask survives",
+            unit,
+            adjusted.join(", "),
+            mask.density(),
+            100.0 * kept as f32 / init_alive as f32,
+        );
+    }
+    println!("\nnote: overall and per-layer densities are invariant (Alg. 2 grows and prunes");
+    println!("the same count per layer); the adjustment relocates capacity within layers,");
+    println!("which is why the initial-mask survival fraction decays over the schedule.");
+}

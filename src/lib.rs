@@ -1,0 +1,35 @@
+//! Facade crate for the FedTiny reproduction workspace.
+//!
+//! Re-exports every subsystem crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! - [`tensor`] — dense f32 tensors, matmul, im2col convolution helpers
+//! - [`nn`] — layers, models (ResNet18 / VGG11 / SmallCnn), losses, SGD
+//! - [`sparse`] — masks, density accounting, top-k buffers, schedules
+//! - [`data`] — synthetic dataset profiles and Dirichlet non-iid partitioning
+//! - [`fl`] — the federated-learning simulator (FedAvg, cost ledger)
+//! - [`pruning`] — baseline pruning methods (SNIP, SynFlow, FL-PQSU, PruneFL,
+//!   FedDST, LotteryFL)
+//! - [`fedtiny`] — the paper's contribution: adaptive BN selection and
+//!   progressive pruning
+//! - [`metrics`] — analytic FLOPs / memory / communication accounting
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fedtiny_suite::fedtiny::{FedTinyConfig, run_fedtiny};
+//! use fedtiny_suite::fl::ExperimentEnv;
+//!
+//! let env = ExperimentEnv::tiny_for_tests(42);
+//! let result = run_fedtiny(&env, &FedTinyConfig::default());
+//! println!("top-1 accuracy: {:.4}", result.accuracy);
+//! ```
+
+pub use fedtiny;
+pub use ft_data as data;
+pub use ft_fl as fl;
+pub use ft_metrics as metrics;
+pub use ft_nn as nn;
+pub use ft_pruning as pruning;
+pub use ft_sparse as sparse;
+pub use ft_tensor as tensor;

@@ -1,0 +1,142 @@
+//! API-contract tests from the Rust API guidelines: common-trait coverage
+//! (C-COMMON-TRAITS), Send/Sync (C-SEND-SYNC), serde round-trips (C-SERDE),
+//! and Debug never being empty (C-DEBUG-NONEMPTY).
+
+use fedtiny_suite::data::{DatasetProfile, SynthConfig};
+use fedtiny_suite::fedtiny::{FedTinyConfig, Granularity, ProgressiveConfig, SelectionMode};
+use fedtiny_suite::fl::{FlConfig, ModelSpec, RunResult};
+use fedtiny_suite::nn::optim::SgdConfig;
+use fedtiny_suite::nn::{BnStats, Model, ParamKind};
+use fedtiny_suite::sparse::{Mask, PruneSchedule, SparseLayout, TopKBuffer};
+use fedtiny_suite::tensor::Tensor;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<Tensor>();
+    assert_send_sync::<Mask>();
+    assert_send_sync::<SparseLayout>();
+    assert_send_sync::<TopKBuffer>();
+    assert_send_sync::<FlConfig>();
+    assert_send_sync::<FedTinyConfig>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<Box<dyn Model>>();
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    let samples: Vec<String> = vec![
+        format!("{:?}", Tensor::zeros(&[0])),
+        format!("{:?}", Mask::from_layers(vec![])),
+        format!("{:?}", TopKBuffer::new(0)),
+        format!("{:?}", PruneSchedule::paper_default(1)),
+        format!("{:?}", SgdConfig::default()),
+        format!("{:?}", ParamKind::ConvWeight),
+        format!("{:?}", Granularity::Block),
+        format!("{:?}", SelectionMode::AdaptiveBn),
+        format!("{:?}", DatasetProfile::Cifar10),
+        format!("{:?}", ModelSpec::resnet_test()),
+    ];
+    for s in samples {
+        assert!(!s.trim().is_empty());
+    }
+}
+
+#[test]
+fn config_types_roundtrip_through_json() {
+    let cfg = FedTinyConfig::paper_default(
+        ModelSpec::ResNet18 {
+            width: 1.0,
+            input: 32,
+        },
+        0.01,
+        5,
+    );
+    let json = serde_json::to_string(&cfg).expect("serialize");
+    let back: FedTinyConfig = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(cfg, back);
+
+    let fl = FlConfig::paper_default();
+    let back: FlConfig =
+        serde_json::from_str(&serde_json::to_string(&fl).expect("ser")).expect("de");
+    assert_eq!(fl, back);
+
+    let synth = SynthConfig::bench_default(DatasetProfile::Cinic10, 7);
+    let back: SynthConfig =
+        serde_json::from_str(&serde_json::to_string(&synth).expect("ser")).expect("de");
+    assert_eq!(synth, back);
+
+    let prog = ProgressiveConfig::paper_default(5);
+    let back: ProgressiveConfig =
+        serde_json::from_str(&serde_json::to_string(&prog).expect("ser")).expect("de");
+    assert_eq!(prog, back);
+}
+
+#[test]
+fn mask_roundtrips_through_json() {
+    let layout = SparseLayout::new(vec![("a".into(), 5), ("b".into(), 3)]);
+    let mut mask = Mask::ones(&layout);
+    mask.set(0, 2, false);
+    mask.set(1, 0, false);
+    let back: Mask = serde_json::from_str(&serde_json::to_string(&mask).expect("ser")).expect("de");
+    assert_eq!(mask, back);
+    assert_eq!(back.density(), mask.density());
+}
+
+#[test]
+fn run_result_roundtrips_through_json() {
+    let r = RunResult {
+        method: "fedtiny".into(),
+        accuracy: 0.8523,
+        history: vec![0.5, 0.7, 0.8523],
+        final_density: 0.01,
+        max_round_flops: 1.17e12,
+        memory_bytes: 2.79e6,
+        comm_bytes: 1.0e8,
+        extra_flops: 9.15e10,
+    };
+    let json = serde_json::to_string_pretty(&r).expect("ser");
+    let back: RunResult = serde_json::from_str(&json).expect("de");
+    assert_eq!(back.method, "fedtiny");
+    assert_eq!(back.history.len(), 3);
+    assert_eq!(back.best_accuracy(), 0.8523);
+}
+
+#[test]
+fn bn_stats_roundtrip_and_clone() {
+    let s = BnStats {
+        mean: vec![0.1, -0.2],
+        var: vec![1.5, 0.9],
+    };
+    let back: BnStats = serde_json::from_str(&serde_json::to_string(&s).expect("ser")).expect("de");
+    assert_eq!(s, back);
+    let c = s.clone();
+    assert_eq!(c.mean, s.mean);
+}
+
+#[test]
+fn tensors_roundtrip_through_json() {
+    let t = Tensor::from_vec(vec![1.5, -2.5, 0.0, 3.25], &[2, 2]);
+    let back: Tensor = serde_json::from_str(&serde_json::to_string(&t).expect("ser")).expect("de");
+    assert_eq!(t, back);
+}
+
+#[test]
+fn model_spec_variants_roundtrip() {
+    for spec in [
+        ModelSpec::ResNet18 {
+            width: 0.5,
+            input: 16,
+        },
+        ModelSpec::Vgg11 {
+            width: 1.0,
+            input: 32,
+        },
+        ModelSpec::SmallCnn { width: 8, input: 8 },
+    ] {
+        let back: ModelSpec =
+            serde_json::from_str(&serde_json::to_string(&spec).expect("ser")).expect("de");
+        assert_eq!(spec, back);
+    }
+}

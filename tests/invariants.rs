@@ -1,0 +1,135 @@
+//! Cross-crate invariant tests: properties the FedTiny algorithms must
+//! maintain no matter the configuration.
+
+use fedtiny_suite::fedtiny::{
+    adaptive_bn_selection, generate_candidate_pool, progressive::progressive_adjust,
+    ProgressiveConfig, SelectionConfig,
+};
+use fedtiny_suite::fl::{ExperimentEnv, ModelSpec};
+use fedtiny_suite::nn::{apply_mask, flat_params, prunable_param_indices, sparse_layout, Model};
+use fedtiny_suite::sparse::{magnitude_mask, uniform_density_vector, Mask, PruneSchedule};
+use proptest::prelude::*;
+
+fn env_and_model(seed: u64) -> (ExperimentEnv, Box<dyn Model>) {
+    let env = ExperimentEnv::tiny_for_tests(seed);
+    let model = env.build_model(&ModelSpec::small_cnn_test());
+    (env, model)
+}
+
+fn coarse_mask(model: &dyn Model, d: f32) -> Mask {
+    let layout = sparse_layout(model);
+    let weights: Vec<&[f32]> = model
+        .params()
+        .into_iter()
+        .filter(|p| p.prunable)
+        .map(|p| p.data.data())
+        .collect();
+    magnitude_mask(&layout, &weights, &uniform_density_vector(&layout, d))
+}
+
+#[test]
+fn selection_never_exceeds_density_budget() {
+    let (env, model) = env_and_model(1);
+    for d in [0.05f32, 0.2, 0.5, 0.9] {
+        let cfg = SelectionConfig {
+            d_target: d,
+            pool_size: 5,
+            noise_spread: 0.6,
+            seed: 3,
+        };
+        let pool = generate_candidate_pool(model.as_ref(), &cfg);
+        let out = adaptive_bn_selection(model.as_ref(), &env, &pool);
+        // ceil() keeps at most one extra weight per layer.
+        let slack = out.mask.num_layers() as f32 / out.mask.total_len() as f32;
+        assert!(
+            out.mask.density() <= d + slack + 1e-6,
+            "d={d}: selected density {}",
+            out.mask.density()
+        );
+    }
+}
+
+#[test]
+fn progressive_adjustment_conserves_per_layer_counts() {
+    let (env, mut model) = env_and_model(2);
+    let mut mask = coarse_mask(model.as_ref(), 0.3);
+    apply_mask(model.as_mut(), &mask);
+    let before: Vec<usize> = (0..mask.num_layers()).map(|l| mask.layer_ones(l)).collect();
+    let cfg = ProgressiveConfig::tiny_for_tests();
+    let unit: Vec<usize> = (0..mask.num_layers()).collect();
+    for round in 0..3 {
+        let _ = progressive_adjust(model.as_mut(), &mut mask, &env, &cfg, &unit, round);
+        let after: Vec<usize> = (0..mask.num_layers()).map(|l| mask.layer_ones(l)).collect();
+        assert_eq!(
+            before, after,
+            "round {round}: per-layer alive counts drifted"
+        );
+    }
+}
+
+#[test]
+fn masked_weights_stay_zero_through_selection_and_adjustment() {
+    let (env, mut model) = env_and_model(3);
+    let mut mask = coarse_mask(model.as_ref(), 0.4);
+    apply_mask(model.as_mut(), &mask);
+    let cfg = ProgressiveConfig::tiny_for_tests();
+    let unit: Vec<usize> = (0..mask.num_layers()).collect();
+    let _ = progressive_adjust(model.as_mut(), &mut mask, &env, &cfg, &unit, 0);
+    let pos = prunable_param_indices(model.as_ref());
+    let params = model.params();
+    for l in 0..mask.num_layers() {
+        let w = params[pos[l]].data.data();
+        for (i, alive) in mask.layer(l).iter().enumerate() {
+            assert!(
+                alive | (w[i] == 0.0),
+                "layer {l} idx {i}: pruned weight {}",
+                w[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn bn_selection_does_not_mutate_the_global_model() {
+    let (env, model) = env_and_model(4);
+    let before = flat_params(model.as_ref());
+    let bn_before: Vec<_> = model.bn_stats().into_iter().cloned().collect();
+    let cfg = SelectionConfig {
+        d_target: 0.3,
+        pool_size: 3,
+        noise_spread: 0.5,
+        seed: 9,
+    };
+    let pool = generate_candidate_pool(model.as_ref(), &cfg);
+    let _ = adaptive_bn_selection(model.as_ref(), &env, &pool);
+    assert_eq!(before, flat_params(model.as_ref()));
+    let bn_after: Vec<_> = model.bn_stats().into_iter().cloned().collect();
+    assert_eq!(bn_before, bn_after, "selection must work on clones only");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Candidate pools always satisfy the density budget for any target.
+    #[test]
+    fn candidate_pool_budget(d in 0.02f32..0.9, pool in 1usize..6, seed in 0u64..20) {
+        let (_, model) = env_and_model(5);
+        let cfg = SelectionConfig { d_target: d, pool_size: pool, noise_spread: 0.5, seed };
+        let masks = generate_candidate_pool(model.as_ref(), &cfg);
+        prop_assert_eq!(masks.len(), pool);
+        let layout = sparse_layout(model.as_ref());
+        let slack = layout.num_layers() as f32 / layout.total_len() as f32;
+        for m in &masks {
+            prop_assert!(m.matches_layout(&layout));
+            prop_assert!(m.density() <= d + slack + 1e-6);
+        }
+    }
+
+    /// The cosine schedule never requests more growth than prunable slots.
+    #[test]
+    fn schedule_counts_feasible(round in 0usize..200, alive in 0usize..10_000) {
+        let s = PruneSchedule::paper_default(5);
+        let a = s.count_at(round, alive);
+        prop_assert!(a <= alive);
+    }
+}
