@@ -34,15 +34,37 @@ fn main() {
             ),
             &header_refs,
         );
+        let mut cost_table = Table::new(
+            &format!(
+                "Fig. 3 cost check — analytic vs realized per-round FLOPs and wall-clock \
+                 (FedTiny, {}, ResNet18)",
+                profile.name()
+            ),
+            &[
+                "density",
+                "analytic_flops",
+                "realized_flops",
+                "train_wall_s",
+            ],
+        );
         for &d in &densities {
             let mut row = vec![format!("{d}")];
             for &m in &methods {
                 let r = run_method(&env, &spec, m, d);
+                if m.name() == "fedtiny" {
+                    cost_table.row(vec![
+                        format!("{d}"),
+                        format!("{:.3e}", r.max_round_flops),
+                        format!("{:.3e}", r.realized_round_flops),
+                        format!("{:.2}", r.train_wall_secs),
+                    ]);
+                }
                 row.push(acc(r.accuracy));
             }
             table.row(row);
         }
         table.print();
+        cost_table.print();
     }
     println!(
         "\npaper shape: FedTiny dominates for d < 1e-2; SNIP collapses first; \

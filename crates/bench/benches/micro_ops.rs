@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ft_nn::models::SmallCnn;
 use ft_nn::optim::{Sgd, SgdConfig};
-use ft_nn::{Mode, Model};
-use ft_sparse::{Mask, SparseLayout, TopKBuffer};
-use ft_tensor::Tensor;
+use ft_nn::{apply_mask, sparse_layout, Mode, Model};
+use ft_sparse::{magnitude_mask, uniform_density_vector, CsrMatrix, Mask, SparseLayout, TopKBuffer};
+use ft_tensor::{matmul_into, spmm_into, Tensor};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -85,9 +85,89 @@ fn mask_benches(c: &mut Criterion) {
     c.bench_function("mask_density_1m", |b| b.iter(|| black_box(mask.density())));
 }
 
+/// Raw kernel comparison: dense GEMM vs CSR spmm on the same masked matrix.
+fn spmm_benches(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let (m, k, n) = (256, 256, 128);
+    for density in [0.5f64, 0.2, 0.05] {
+        let mut dense = Tensor::zeros(&[m, k]);
+        let mut mask = vec![false; m * k];
+        for (v, bit) in dense.data_mut().iter_mut().zip(mask.iter_mut()) {
+            if rng.gen_range(0.0f64..1.0) < density {
+                *v = rng.gen_range(-1.0f32..1.0);
+                *bit = true;
+            }
+        }
+        let csr = CsrMatrix::from_mask_values(&mask, dense.data(), m, k);
+        let b_mat: Tensor = {
+            let data = (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            Tensor::from_vec(data, &[k, n])
+        };
+        c.bench_function(&format!("matmul_256x256x128_d{density}"), |b| {
+            b.iter(|| {
+                let mut out = Tensor::zeros(&[m, n]);
+                matmul_into(&dense, &b_mat, &mut out);
+                black_box(out)
+            })
+        });
+        c.bench_function(&format!("spmm_256x256x128_d{density}"), |b| {
+            b.iter(|| {
+                let mut out = Tensor::zeros(&[m, n]);
+                spmm_into(csr.view(), &b_mat, &mut out);
+                black_box(out)
+            })
+        });
+    }
+}
+
+/// The acceptance check for the sparse execution engine: a full training
+/// epoch (forward + backward + masked SGD) through the SmallCnn profile,
+/// dense path vs sparse path, at and below the default crossover.
+fn sparse_epoch_benches(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let x = ft_tensor::normal(&mut rng, &[16, 3, 16, 16], 0.0, 1.0);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+
+    for density in [1.0f32, 0.5, 0.2, 0.05] {
+        let mut model = SmallCnn::new(&mut ChaCha8Rng::seed_from_u64(6), 8, 10, 3, 16);
+        let layout = sparse_layout(&model);
+        let weights: Vec<&[f32]> = model
+            .params()
+            .into_iter()
+            .filter(|p| p.prunable)
+            .map(|p| p.data.data())
+            .collect();
+        let mask = magnitude_mask(&layout, &weights, &uniform_density_vector(&layout, density));
+        drop(weights);
+        apply_mask(&mut model, &mask);
+
+        for (path, crossover) in [("dense", 0.0f32), ("sparse", 1.0)] {
+            if density == 1.0 && path == "sparse" {
+                continue; // identical to dense by construction
+            }
+            let mut m = model.clone();
+            m.set_sparse_crossover(crossover);
+            let mut sgd = Sgd::new(SgdConfig::default());
+            c.bench_function(&format!("small_cnn_epoch_{path}_d{density}"), |b| {
+                b.iter(|| {
+                    let logits = m.forward(&x, Mode::Train);
+                    let (_, grad) = ft_nn::loss::softmax_cross_entropy(&logits, &labels);
+                    m.backward(&grad);
+                    sgd.step(&mut m, Some(&mask));
+                    m.zero_grad();
+                })
+            });
+        }
+    }
+    println!(
+        "acceptance: at density <= 0.2 the sparse epoch must be measurably faster than dense"
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = conv_benches, topk_benches, sgd_benches, bn_adapt_benches, mask_benches
+    targets = conv_benches, topk_benches, sgd_benches, bn_adapt_benches, mask_benches,
+        spmm_benches, sparse_epoch_benches
 }
 criterion_main!(benches);

@@ -136,6 +136,11 @@ pub fn progressive_adjust(
     // --- Device side: top-a gradients of pruned coordinates (Eq. 6).
     let collect_one = |k: usize| -> Vec<Vec<(usize, f32)>> {
         let mut model = global.clone_model();
+        // The grow step scores gradients of *pruned* coordinates, which the
+        // sparse execution path does not compute — force this probe batch
+        // onto the dense path. Its cost is already accounted below as the
+        // dense-minus-sparse backward share.
+        model.set_sparse_crossover(0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(
             env.cfg.seed ^ 0x9d0f ^ ((round as u64) << 20) ^ ((k as u64) << 44),
         );
@@ -166,16 +171,15 @@ pub fn progressive_adjust(
     };
 
     let device_grads: Vec<Vec<Vec<(usize, f32)>>> = if env.cfg.parallel && env.parts.len() > 1 {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..env.parts.len())
-                .map(|k| scope.spawn(move |_| collect_one(k)))
+                .map(|k| scope.spawn(move || collect_one(k)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("gradient thread panicked"))
                 .collect()
         })
-        .expect("crossbeam scope failed")
     } else {
         (0..env.parts.len()).map(collect_one).collect()
     };

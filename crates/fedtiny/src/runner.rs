@@ -131,6 +131,8 @@ pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
         memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::TopKBuffer(max_buffer)),
         comm_bytes: ledger.total_comm_bytes(),
         extra_flops: ledger.extra_flops(),
+        realized_round_flops: ledger.max_realized_round_flops(),
+        train_wall_secs: ledger.total_train_wall_secs(),
     }
 }
 

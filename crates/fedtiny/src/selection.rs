@@ -167,17 +167,16 @@ fn select(
     };
 
     let losses: Vec<f32> = if env.cfg.parallel && candidates.len() > 1 {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .iter()
-                .map(|mask| scope.spawn(move |_| score_one(mask)))
+                .map(|mask| scope.spawn(move || score_one(mask)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("selection thread panicked"))
                 .collect()
         })
-        .expect("crossbeam scope failed")
     } else {
         candidates.iter().map(score_one).collect()
     };

@@ -5,10 +5,32 @@ use serde::{Deserialize, Serialize};
 /// Accumulates per-round device costs over a run.
 ///
 /// The paper reports the *maximum* per-round training FLOPs (whether any
-/// round overwhelms a constrained device) and total communication.
+/// round overwhelms a constrained device) and total communication. Those
+/// `round_flops` are **analytic** (counted from the architecture and the
+/// mask densities). Next to them the ledger records what the sparse
+/// execution engine actually did: per-round *realized* FLOPs (the
+/// multiply–accumulates the dense/sparse kernels executed) and device
+/// wall-clock, so the analytic claims can be checked against reality.
+///
+/// # Examples
+///
+/// ```
+/// use ft_fl::CostLedger;
+///
+/// let mut ledger = CostLedger::new();
+/// ledger.record_round_flops(2.0e9); // analytic
+/// ledger.record_realized_round(1.9e9, 0.25); // executed + wall-clock
+/// ledger.add_comm(1.0e6);
+/// assert_eq!(ledger.max_round_flops(), 2.0e9);
+/// assert_eq!(ledger.max_realized_round_flops(), 1.9e9);
+/// assert_eq!(ledger.total_train_wall_secs(), 0.25);
+/// assert_eq!(ledger.rounds(), 1);
+/// ```
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CostLedger {
     round_flops: Vec<f64>,
+    realized_flops: Vec<f64>,
+    wall_secs: Vec<f64>,
     comm_bytes: f64,
     extra_flops: f64,
 }
@@ -19,9 +41,17 @@ impl CostLedger {
         Self::default()
     }
 
-    /// Records the per-device training FLOPs of one round.
+    /// Records the per-device analytic training FLOPs of one round.
     pub fn record_round_flops(&mut self, flops: f64) {
         self.round_flops.push(flops);
+    }
+
+    /// Records one round's *realized* execution cost: the maximum
+    /// multiply–accumulate FLOPs any device's kernels actually executed,
+    /// and the round's device-training wall-clock in seconds.
+    pub fn record_realized_round(&mut self, flops: f64, wall_secs: f64) {
+        self.realized_flops.push(flops);
+        self.wall_secs.push(wall_secs);
     }
 
     /// Adds communication volume (bytes, any direction).
@@ -38,6 +68,17 @@ impl CostLedger {
     /// Training FLOPs"), zero if nothing was recorded.
     pub fn max_round_flops(&self) -> f64 {
         self.round_flops.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Maximum *realized* per-round FLOPs, zero if nothing was recorded.
+    pub fn max_realized_round_flops(&self) -> f64 {
+        self.realized_flops.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total device-training wall-clock over all recorded rounds, in
+    /// seconds.
+    pub fn total_train_wall_secs(&self) -> f64 {
+        self.wall_secs.iter().sum()
     }
 
     /// Total communication in bytes.
@@ -76,6 +117,12 @@ pub struct RunResult {
     pub comm_bytes: f64,
     /// Extra FLOPs outside training rounds (e.g. BN selection).
     pub extra_flops: f64,
+    /// Maximum per-round per-device FLOPs the kernels actually executed
+    /// (the realized counterpart of `max_round_flops`); 0 when unrecorded.
+    pub realized_round_flops: f64,
+    /// Total wall-clock seconds spent in device-side local training; 0 when
+    /// unrecorded.
+    pub train_wall_secs: f64,
 }
 
 impl RunResult {
@@ -107,6 +154,17 @@ mod tests {
     }
 
     #[test]
+    fn ledger_tracks_realized_costs() {
+        let mut l = CostLedger::new();
+        assert_eq!(l.max_realized_round_flops(), 0.0);
+        assert_eq!(l.total_train_wall_secs(), 0.0);
+        l.record_realized_round(8.0, 0.5);
+        l.record_realized_round(25.0, 0.25);
+        assert_eq!(l.max_realized_round_flops(), 25.0);
+        assert_eq!(l.total_train_wall_secs(), 0.75);
+    }
+
+    #[test]
     fn best_accuracy_scans_history() {
         let r = RunResult {
             method: "x".into(),
@@ -117,6 +175,8 @@ mod tests {
             memory_bytes: 0.0,
             comm_bytes: 0.0,
             extra_flops: 0.0,
+            realized_round_flops: 0.0,
+            train_wall_secs: 0.0,
         };
         assert_eq!(r.best_accuracy(), 0.7);
     }

@@ -73,6 +73,21 @@ pub fn run_federated_rounds(
             training_flops(&arch, &densities) * max_samples * env.cfg.local_epochs as f64;
         ledger.add_comm(2.0 * sparse_model_bytes(&arch, &densities));
 
+        // Realized execution cost next to the analytic count: the heaviest
+        // device's executed MAC FLOPs, and the round's training wall-clock
+        // (the slowest device when devices run in parallel, the sum when
+        // they run sequentially).
+        let max_realized = updates
+            .iter()
+            .map(|u| u.realized_flops)
+            .fold(0.0, f64::max);
+        let round_wall = if env.cfg.parallel {
+            updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
+        } else {
+            updates.iter().map(|u| u.wall_secs).sum()
+        };
+        ledger.record_realized_round(max_realized, round_wall);
+
         round_flops += hook(global, mask, round, ledger);
         ledger.record_round_flops(round_flops);
 
@@ -204,9 +219,17 @@ mod tests {
     fn fedprox_pulls_updates_toward_global() {
         use ft_nn::flat_params;
         // With a strong (but stable: lr·µ < 1) proximal coefficient local
-        // updates stay closer to the global parameters.
-        let env_free = ExperimentEnv::tiny_for_tests(5);
+        // updates stay closer to the global parameters. The proximal term is
+        // zero on the first step from the anchor, so force several local
+        // steps per device (small batches, two epochs) — otherwise a device
+        // whose partition fits in one batch trains identically under both
+        // configs.
+        let mut env_free = ExperimentEnv::tiny_for_tests(5);
+        env_free.cfg.batch_size = 4;
+        env_free.cfg.local_epochs = 2;
         let mut env_prox = ExperimentEnv::tiny_for_tests(5);
+        env_prox.cfg.batch_size = 4;
+        env_prox.cfg.local_epochs = 2;
         env_prox.cfg.prox_mu = 5.0;
         let model = env_free.build_model(&ModelSpec::small_cnn_test());
         let w0 = flat_params(model.as_ref());

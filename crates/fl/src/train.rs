@@ -10,7 +10,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// What a device sends back after local training: its parameters, refreshed
-/// BN statistics, and its dataset size (the FedAvg weight).
+/// BN statistics, its dataset size (the FedAvg weight), and the realized
+/// execution cost of its local epochs.
 #[derive(Clone, Debug)]
 pub struct DeviceUpdate {
     /// Flat parameter vector after `E` local epochs.
@@ -19,6 +20,11 @@ pub struct DeviceUpdate {
     pub bn: Vec<BnStats>,
     /// `|D_k|`.
     pub samples: usize,
+    /// Multiply–accumulate FLOPs the device's kernels actually executed
+    /// (dense or sparse path, whichever the dispatcher chose).
+    pub realized_flops: f64,
+    /// Wall-clock seconds the device spent in local training.
+    pub wall_secs: f64,
 }
 
 /// Runs `epochs` of mini-batch SGD on `model` over `data`, with gradients
@@ -102,6 +108,7 @@ pub fn train_devices_parallel(
 ) -> Vec<DeviceUpdate> {
     let run_one = |k: usize, data: &Dataset| -> DeviceUpdate {
         let mut model = global.clone_model();
+        model.reset_realized_flops();
         let mut sgd_cfg = cfg.sgd;
         if cfg.lr_decay != 1.0 {
             sgd_cfg.lr *= cfg.lr_decay.powi(round as i32);
@@ -110,6 +117,7 @@ pub fn train_devices_parallel(
         let mut rng = ChaCha8Rng::seed_from_u64(
             cfg.seed ^ (round as u64).wrapping_mul(0x9e37_79b9) ^ (k as u64) << 32,
         );
+        let started = std::time::Instant::now();
         local_train_prox(
             model.as_mut(),
             data,
@@ -120,26 +128,28 @@ pub fn train_devices_parallel(
             &mut rng,
             cfg.prox_mu,
         );
+        let wall_secs = started.elapsed().as_secs_f64();
         DeviceUpdate {
             params: flat_params(model.as_ref()),
             bn: model.bn_stats().into_iter().cloned().collect(),
             samples: data.len(),
+            realized_flops: model.realized_flops(),
+            wall_secs,
         }
     };
 
     if cfg.parallel && parts.len() > 1 {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = parts
                 .iter()
                 .enumerate()
-                .map(|(k, data)| scope.spawn(move |_| run_one(k, data)))
+                .map(|(k, data)| scope.spawn(move || run_one(k, data)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("device thread panicked"))
                 .collect()
         })
-        .expect("crossbeam scope failed")
     } else {
         parts
             .iter()

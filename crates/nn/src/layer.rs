@@ -6,12 +6,68 @@
 //! [`Param::zero_grad`] (or `Model::zero_grad`) between batches.
 
 use crate::param::{Param, ParamKind};
+use ft_sparse::CsrMatrix;
 use ft_tensor::{
-    avg_pool_global, avg_pool_global_backward, col2im, im2col, kaiming_normal, matmul_into,
-    matmul_nt_into, matmul_tn_into, max_pool2x2, max_pool2x2_backward, ConvGeom, Tensor,
+    avg_pool_global, avg_pool_global_backward, col2im, dsmm_into, dsmm_nt_into, im2col,
+    kaiming_normal, matmul_into, matmul_nt_into, matmul_tn_into, max_pool2x2,
+    max_pool2x2_backward, sddmm_nt_into, sddmm_tn_into, spmm_into, spmm_tn_into, ConvGeom, Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Default density crossover below which `Conv2d` / `Linear` switch from the
+/// dense GEMM kernels to the CSR sparse kernels.
+///
+/// At densities above ~0.5 the CSR index traffic outweighs the skipped
+/// multiply-accumulates on these blocked CPU kernels, so the dense path wins;
+/// below it the sparse path wins and keeps winning proportionally to `1/d`.
+/// Override per model with [`crate::Model::set_sparse_crossover`].
+pub const DEFAULT_SPARSE_CROSSOVER: f32 = 0.5;
+
+/// Cached CSR packing of a layer weight, keyed by the mask epoch that
+/// produced its structure.
+///
+/// The structure is rebuilt only when [`Param::mask_epoch`] changes (a new
+/// mask was applied); between optimizer steps only the values are
+/// re-gathered, which is `O(nnz)`.
+#[derive(Clone, Debug)]
+struct SparsePlan {
+    epoch: u64,
+    csr: CsrMatrix,
+}
+
+/// Decides the execution path for a weight and keeps `plan` fresh: returns
+/// `true` (and a valid, value-refreshed plan) when the weight should run
+/// sparse, `false` (and clears the plan) when it should run dense.
+fn refresh_plan(
+    plan: &mut Option<SparsePlan>,
+    w: &Param,
+    crossover: f32,
+    rows: usize,
+    cols: usize,
+) -> bool {
+    let Some(bits) = w.mask_bits.as_ref() else {
+        *plan = None;
+        return false;
+    };
+    // `crossover == 0.0` must force the dense path unconditionally (the
+    // contract the gradient-scoring probes rely on) — including for a
+    // fully-pruned layer, where `density (0.0) > crossover (0.0)` is false.
+    if crossover == 0.0 || w.mask_density() > crossover {
+        *plan = None;
+        return false;
+    }
+    match plan {
+        Some(p) if p.epoch == w.mask_epoch => p.csr.refresh_values(w.data.data()),
+        _ => {
+            *plan = Some(SparsePlan {
+                epoch: w.mask_epoch,
+                csr: CsrMatrix::from_mask_values(bits, w.data.data(), rows, cols),
+            });
+        }
+    }
+    true
+}
 
 /// Forward-pass mode.
 ///
@@ -47,6 +103,14 @@ pub struct BnStats {
 ///
 /// Bias-free by convention in this workspace (every conv is followed by
 /// BatchNorm, which supplies the shift).
+///
+/// When a pruning mask has been applied (see [`Param::note_mask`]) and the
+/// layer's density is at or below its crossover, forward and backward run on
+/// the CSR sparse kernels instead of the dense GEMMs; outputs are identical
+/// up to float rounding, but the sparse backward only produces weight
+/// gradients at mask-alive coordinates (gradient scoring passes that need
+/// pruned-coordinate gradients must disable the sparse path via
+/// `set_sparse_crossover(0.0)`).
 #[derive(Clone, Debug)]
 pub struct Conv2d {
     /// Kernel weights `[out_c, in_c, k, k]`.
@@ -56,6 +120,9 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     pad: usize,
+    crossover: f32,
+    plan: Option<SparsePlan>,
+    realized_flops: f64,
     cache: Option<ConvCache>,
 }
 
@@ -64,6 +131,8 @@ struct ConvCache {
     cols: Tensor, // [n, col_rows, col_cols]
     geom: ConvGeom,
     batch: usize,
+    /// Whether the forward pass ran on the sparse path (backward must match).
+    sparse: bool,
 }
 
 impl Conv2d {
@@ -95,6 +164,9 @@ impl Conv2d {
             kernel,
             stride,
             pad,
+            crossover: DEFAULT_SPARSE_CROSSOVER,
+            plan: None,
+            realized_flops: 0.0,
             cache: None,
         }
     }
@@ -102,6 +174,26 @@ impl Conv2d {
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.out_c
+    }
+
+    /// Sets the density crossover below which this layer runs on the sparse
+    /// kernels (0.0 forces dense, 1.0 forces sparse whenever masked).
+    pub fn set_sparse_crossover(&mut self, crossover: f32) {
+        self.crossover = crossover.clamp(0.0, 1.0);
+        if self.crossover == 0.0 {
+            self.plan = None;
+        }
+    }
+
+    /// Multiply–accumulate FLOPs actually executed by this layer's forward
+    /// and backward GEMMs since the last [`Conv2d::reset_realized_flops`].
+    pub fn realized_flops(&self) -> f64 {
+        self.realized_flops
+    }
+
+    /// Clears the realized-FLOPs counter.
+    pub fn reset_realized_flops(&mut self) {
+        self.realized_flops = 0.0;
     }
 
     /// `(in_c, out_c, kernel, stride, pad)` geometry tuple.
@@ -133,9 +225,12 @@ impl Conv2d {
         };
         let (cr, cc) = (geom.col_rows(), geom.col_cols());
         let (oh, ow) = (geom.out_h(), geom.out_w());
+        let sparse = refresh_plan(&mut self.plan, &self.w, self.crossover, self.out_c, cr);
         let mut cols = Tensor::zeros(&[n, cr, cc]);
         let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
-        let wmat = self.w.data.reshaped(&[self.out_c, cr]);
+        // Reshaping copies the weight buffer — only pay for it on the path
+        // that uses it.
+        let wmat = (!sparse).then(|| self.w.data.reshaped(&[self.out_c, cr]));
         let sample = self.in_c * h * w;
         for i in 0..n {
             let xi = &x.data()[i * sample..(i + 1) * sample];
@@ -143,14 +238,24 @@ impl Conv2d {
             im2col(xi, &geom, col_slice);
             let col_t = Tensor::from_vec(col_slice.to_vec(), &[cr, cc]);
             let mut out_mat = Tensor::zeros(&[self.out_c, cc]);
-            matmul_into(&wmat, &col_t, &mut out_mat);
+            match (&self.plan, &wmat) {
+                (Some(plan), _) if sparse => spmm_into(plan.csr.view(), &col_t, &mut out_mat),
+                (_, Some(wmat)) => matmul_into(wmat, &col_t, &mut out_mat),
+                _ => unreachable!("dense path always has wmat"),
+            }
             let dst = &mut out.data_mut()[i * self.out_c * cc..(i + 1) * self.out_c * cc];
             dst.copy_from_slice(out_mat.data());
         }
+        let mac = match &self.plan {
+            Some(plan) if sparse => plan.csr.nnz(),
+            _ => self.out_c * cr,
+        };
+        self.realized_flops += 2.0 * (n * cc * mac) as f64;
         self.cache = Some(ConvCache {
             cols,
             geom,
             batch: n,
+            sparse,
         });
         out
     }
@@ -173,8 +278,12 @@ impl Conv2d {
             &[n, self.out_c, geom.out_h(), geom.out_w()],
             "conv grad_out shape mismatch"
         );
-        let wmat = self.w.data.reshaped(&[self.out_c, cr]);
+        let sparse_plan = if cache.sparse { self.plan.as_ref() } else { None };
+        let wmat = sparse_plan
+            .is_none()
+            .then(|| self.w.data.reshaped(&[self.out_c, cr]));
         let mut grad_w = Tensor::zeros(&[self.out_c, cr]);
+        let mut grad_w_vals = sparse_plan.map(|p| vec![0.0f32; p.csr.nnz()]);
         let mut gx = Tensor::zeros(&[n, geom.in_c, geom.in_h, geom.in_w]);
         let sample = geom.in_c * geom.in_h * geom.in_w;
         for i in 0..n {
@@ -186,17 +295,37 @@ impl Conv2d {
                 cache.cols.data()[i * cr * cc..(i + 1) * cr * cc].to_vec(),
                 &[cr, cc],
             );
-            // dW += dY · colᵀ   ([oc,cc] x [cr,cc]ᵀ → [oc,cr])
-            matmul_nt_into(&go, &col, &mut grad_w);
-            // dCol = Wᵀ · dY    ([oc,cr]ᵀ x [oc,cc] → [cr,cc])
             let mut grad_col = Tensor::zeros(&[cr, cc]);
-            matmul_tn_into(&wmat, &go, &mut grad_col);
+            match (sparse_plan, &mut grad_w_vals) {
+                (Some(plan), Some(vals)) => {
+                    // dW (mask-alive coordinates only) += dY · colᵀ sampled
+                    // at the CSR structure.
+                    sddmm_nt_into(plan.csr.view(), &go, &col, vals);
+                    // dCol = Wᵀ · dY through the sparse kernel.
+                    spmm_tn_into(plan.csr.view(), &go, &mut grad_col);
+                }
+                _ => {
+                    // dW += dY · colᵀ   ([oc,cc] x [cr,cc]ᵀ → [oc,cr])
+                    matmul_nt_into(&go, &col, &mut grad_w);
+                    // dCol = Wᵀ · dY    ([oc,cr]ᵀ x [oc,cc] → [cr,cc])
+                    matmul_tn_into(wmat.as_ref().expect("dense path has wmat"), &go, &mut grad_col);
+                }
+            }
             let gx_slice = &mut gx.data_mut()[i * sample..(i + 1) * sample];
             col2im(grad_col.data(), &geom, gx_slice);
         }
-        self.w
-            .grad
-            .add_assign(&grad_w.reshaped(self.w.data.shape()));
+        match (sparse_plan, grad_w_vals) {
+            (Some(plan), Some(vals)) => {
+                plan.csr.scatter_add(&vals, self.w.grad.data_mut());
+                self.realized_flops += 4.0 * (n * cc * plan.csr.nnz()) as f64;
+            }
+            _ => {
+                self.w
+                    .grad
+                    .add_assign(&grad_w.reshaped(self.w.data.shape()));
+                self.realized_flops += 4.0 * (n * cc * self.out_c * cr) as f64;
+            }
+        }
         gx
     }
 }
@@ -447,6 +576,9 @@ impl BatchNorm2d {
 // ---------------------------------------------------------------------------
 
 /// Fully-connected layer `y = x Wᵀ + b` over `[n, in]`.
+///
+/// Dispatches to the CSR sparse kernels below its density crossover exactly
+/// like [`Conv2d`] (see there for the gradient-coverage caveat).
 #[derive(Clone, Debug)]
 pub struct Linear {
     /// Weights `[out, in]`.
@@ -455,7 +587,10 @@ pub struct Linear {
     pub b: Param,
     in_dim: usize,
     out_dim: usize,
-    cache: Option<Tensor>,
+    crossover: f32,
+    plan: Option<SparsePlan>,
+    realized_flops: f64,
+    cache: Option<(Tensor, bool)>,
 }
 
 impl Linear {
@@ -482,6 +617,9 @@ impl Linear {
             ),
             in_dim,
             out_dim,
+            crossover: DEFAULT_SPARSE_CROSSOVER,
+            plan: None,
+            realized_flops: 0.0,
             cache: None,
         }
     }
@@ -489,6 +627,26 @@ impl Linear {
     /// `(in_dim, out_dim)`.
     pub fn dims(&self) -> (usize, usize) {
         (self.in_dim, self.out_dim)
+    }
+
+    /// Sets the density crossover below which this layer runs on the sparse
+    /// kernels (0.0 forces dense, 1.0 forces sparse whenever masked).
+    pub fn set_sparse_crossover(&mut self, crossover: f32) {
+        self.crossover = crossover.clamp(0.0, 1.0);
+        if self.crossover == 0.0 {
+            self.plan = None;
+        }
+    }
+
+    /// Multiply–accumulate FLOPs actually executed since the last
+    /// [`Linear::reset_realized_flops`].
+    pub fn realized_flops(&self) -> f64 {
+        self.realized_flops
+    }
+
+    /// Clears the realized-FLOPs counter.
+    pub fn reset_realized_flops(&mut self) {
+        self.realized_flops = 0.0;
     }
 
     /// Forward pass over `[n, in]`.
@@ -500,15 +658,31 @@ impl Linear {
         assert_eq!(x.shape().len(), 2, "linear input must be [n, in]");
         assert_eq!(x.shape()[1], self.in_dim, "linear input dim mismatch");
         let n = x.shape()[0];
+        let sparse = refresh_plan(
+            &mut self.plan,
+            &self.w,
+            self.crossover,
+            self.out_dim,
+            self.in_dim,
+        );
         let mut out = Tensor::zeros(&[n, self.out_dim]);
-        matmul_nt_into(x, &self.w.data, &mut out);
+        match &self.plan {
+            // Y += X · Wᵀ with W in CSR.
+            Some(plan) if sparse => dsmm_nt_into(x, plan.csr.view(), &mut out),
+            _ => matmul_nt_into(x, &self.w.data, &mut out),
+        }
+        let mac = match &self.plan {
+            Some(plan) if sparse => plan.csr.nnz(),
+            _ => self.out_dim * self.in_dim,
+        };
+        self.realized_flops += 2.0 * (n * mac) as f64;
         let od = out.data_mut();
         for i in 0..n {
             for (j, &bv) in self.b.data.data().iter().enumerate() {
                 od[i * self.out_dim + j] += bv;
             }
         }
-        self.cache = Some(x.clone());
+        self.cache = Some((x.clone(), sparse));
         out
     }
 
@@ -518,7 +692,7 @@ impl Linear {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
+        let (x, was_sparse) = self
             .cache
             .take()
             .expect("Linear::backward called before forward");
@@ -528,8 +702,27 @@ impl Linear {
             &[n, self.out_dim],
             "linear grad_out shape mismatch"
         );
-        // dW += dYᵀ · X   ([n,out]ᵀ x [n,in] → [out,in])
-        matmul_tn_into(grad_out, &x, &mut self.w.grad);
+        let sparse_plan = if was_sparse { self.plan.as_ref() } else { None };
+        let mut gx = Tensor::zeros(&[n, self.in_dim]);
+        match sparse_plan {
+            Some(plan) => {
+                // dW (mask-alive coordinates only) += dYᵀ · X sampled at the
+                // CSR structure.
+                let mut vals = vec![0.0f32; plan.csr.nnz()];
+                sddmm_tn_into(plan.csr.view(), grad_out, &x, &mut vals);
+                plan.csr.scatter_add(&vals, self.w.grad.data_mut());
+                // dX = dY · W through the sparse kernel.
+                dsmm_into(grad_out, plan.csr.view(), &mut gx);
+                self.realized_flops += 4.0 * (n * plan.csr.nnz()) as f64;
+            }
+            None => {
+                // dW += dYᵀ · X   ([n,out]ᵀ x [n,in] → [out,in])
+                matmul_tn_into(grad_out, &x, &mut self.w.grad);
+                // dX = dY · W   ([n,out] x [out,in] → [n,in])
+                matmul_into(grad_out, &self.w.data, &mut gx);
+                self.realized_flops += 4.0 * (n * self.out_dim * self.in_dim) as f64;
+            }
+        }
         // db += column sums of dY
         let bd = self.b.grad.data_mut();
         for row in grad_out.data().chunks_exact(self.out_dim) {
@@ -537,9 +730,6 @@ impl Linear {
                 *b += g;
             }
         }
-        // dX = dY · W   ([n,out] x [out,in] → [n,in])
-        let mut gx = Tensor::zeros(&[n, self.in_dim]);
-        matmul_into(grad_out, &self.w.data, &mut gx);
         gx
     }
 }
@@ -779,6 +969,33 @@ impl AnyLayer {
             l.set_momentum(momentum);
         }
     }
+
+    /// Sets the sparse-dispatch crossover if this layer has weights.
+    pub fn set_sparse_crossover(&mut self, crossover: f32) {
+        match self {
+            AnyLayer::Conv(l) => l.set_sparse_crossover(crossover),
+            AnyLayer::Linear(l) => l.set_sparse_crossover(crossover),
+            _ => {}
+        }
+    }
+
+    /// Multiply–accumulate FLOPs actually executed by this layer's GEMMs.
+    pub fn realized_flops(&self) -> f64 {
+        match self {
+            AnyLayer::Conv(l) => l.realized_flops(),
+            AnyLayer::Linear(l) => l.realized_flops(),
+            _ => 0.0,
+        }
+    }
+
+    /// Clears the realized-FLOPs counter.
+    pub fn reset_realized_flops(&mut self) {
+        match self {
+            AnyLayer::Conv(l) => l.reset_realized_flops(),
+            AnyLayer::Linear(l) => l.reset_realized_flops(),
+            _ => {}
+        }
+    }
 }
 
 /// An ordered stack of layers executed front to back.
@@ -848,6 +1065,25 @@ impl Sequential {
     pub fn set_bn_momentum(&mut self, momentum: f32) {
         for l in &mut self.layers {
             l.set_bn_momentum(momentum);
+        }
+    }
+
+    /// Sets the sparse-dispatch crossover of every weighted layer.
+    pub fn set_sparse_crossover(&mut self, crossover: f32) {
+        for l in &mut self.layers {
+            l.set_sparse_crossover(crossover);
+        }
+    }
+
+    /// Total multiply–accumulate FLOPs actually executed by the stack.
+    pub fn realized_flops(&self) -> f64 {
+        self.layers.iter().map(AnyLayer::realized_flops).sum()
+    }
+
+    /// Clears every layer's realized-FLOPs counter.
+    pub fn reset_realized_flops(&mut self) {
+        for l in &mut self.layers {
+            l.reset_realized_flops();
         }
     }
 }
@@ -1089,5 +1325,157 @@ mod tests {
         let y = p.forward(&x, Mode::Train);
         assert_eq!(y.shape(), &[2, 3]);
         assert_close(y.data(), &[1.0; 6], 1e-6);
+    }
+
+    /// Applies an every-other-weight mask directly to a weight param,
+    /// zeroing and recording it like `ft_nn::apply_mask` does.
+    fn mask_param(w: &mut Param, keep_every: usize) {
+        let bits: Vec<bool> = (0..w.len()).map(|i| i % keep_every == 0).collect();
+        for (v, &alive) in w.data.data_mut().iter_mut().zip(bits.iter()) {
+            if !alive {
+                *v = 0.0;
+            }
+        }
+        w.note_mask(&bits);
+    }
+
+    #[test]
+    fn conv_sparse_forward_matches_dense_masked() {
+        let mut rng = rng();
+        let mut sparse = Conv2d::new(&mut rng, 3, 8, 3, 1, 1, true, "c");
+        mask_param(&mut sparse.w, 5); // density 0.2
+        let mut dense = sparse.clone();
+        sparse.set_sparse_crossover(1.0);
+        dense.set_sparse_crossover(0.0);
+        let x = ft_tensor::normal(&mut rng, &[4, 3, 8, 8], 0.0, 1.0);
+        let ys = sparse.forward(&x, Mode::Train);
+        let yd = dense.forward(&x, Mode::Train);
+        assert_close(ys.data(), yd.data(), 1e-5);
+        // The sparse path executed ~0.2x the dense MACs.
+        assert!(
+            sparse.realized_flops() < 0.3 * dense.realized_flops(),
+            "sparse {} vs dense {}",
+            sparse.realized_flops(),
+            dense.realized_flops()
+        );
+    }
+
+    #[test]
+    fn conv_sparse_backward_matches_dense_on_alive_coords() {
+        let mut rng = rng();
+        let mut sparse = Conv2d::new(&mut rng, 2, 6, 3, 1, 1, true, "c");
+        mask_param(&mut sparse.w, 4);
+        let mut dense = sparse.clone();
+        sparse.set_sparse_crossover(1.0);
+        dense.set_sparse_crossover(0.0);
+        let x = ft_tensor::normal(&mut rng, &[2, 2, 6, 6], 0.0, 1.0);
+        let go = ft_tensor::normal(&mut rng, &[2, 6, 6, 6], 0.0, 1.0);
+        let _ = sparse.forward(&x, Mode::Train);
+        let _ = dense.forward(&x, Mode::Train);
+        let gxs = sparse.backward(&go);
+        let gxd = dense.backward(&go);
+        // Input gradients agree exactly (pruned weights are zero either way).
+        assert_close(gxs.data(), gxd.data(), 1e-4);
+        // Weight gradients agree at mask-alive coordinates and are zero at
+        // pruned coordinates on the sparse path.
+        let bits = sparse.w.mask_bits.clone().expect("mask recorded");
+        for (i, &alive) in bits.iter().enumerate() {
+            if alive {
+                let (a, b) = (sparse.w.grad.data()[i], dense.w.grad.data()[i]);
+                assert!((a - b).abs() < 1e-3, "alive grad {i}: {a} vs {b}");
+            } else {
+                assert_eq!(sparse.w.grad.data()[i], 0.0, "pruned grad {i} nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_sparse_paths_match_dense() {
+        let mut rng = rng();
+        let mut sparse = Linear::new(&mut rng, 32, 16, true, "fc");
+        mask_param(&mut sparse.w, 5);
+        let mut dense = sparse.clone();
+        sparse.set_sparse_crossover(1.0);
+        dense.set_sparse_crossover(0.0);
+        let x = ft_tensor::normal(&mut rng, &[8, 32], 0.0, 1.0);
+        let ys = sparse.forward(&x, Mode::Train);
+        let yd = dense.forward(&x, Mode::Train);
+        assert_close(ys.data(), yd.data(), 1e-5);
+        let go = ft_tensor::normal(&mut rng, &[8, 16], 0.0, 1.0);
+        let gxs = sparse.backward(&go);
+        let gxd = dense.backward(&go);
+        assert_close(gxs.data(), gxd.data(), 1e-4);
+        assert_close(sparse.b.grad.data(), dense.b.grad.data(), 1e-4);
+        let bits = sparse.w.mask_bits.clone().expect("mask recorded");
+        for (i, &alive) in bits.iter().enumerate() {
+            if alive {
+                let (a, b) = (sparse.w.grad.data()[i], dense.w.grad.data()[i]);
+                assert!((a - b).abs() < 1e-3, "alive grad {i}: {a} vs {b}");
+            } else {
+                assert_eq!(sparse.w.grad.data()[i], 0.0, "pruned grad {i} nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_respects_crossover_and_density() {
+        let mut rng = rng();
+        let mut l = Linear::new(&mut rng, 20, 10, true, "fc");
+        let x = Tensor::ones(&[1, 20]);
+        // Unmasked: dense (full MAC count).
+        let _ = l.forward(&x, Mode::Train);
+        assert_eq!(l.realized_flops(), 2.0 * 200.0);
+        // Masked at density 0.5 with default crossover 0.5: sparse.
+        l.reset_realized_flops();
+        mask_param(&mut l.w, 2);
+        let _ = l.forward(&x, Mode::Train);
+        assert_eq!(l.realized_flops(), 2.0 * 100.0);
+        // Crossover 0 forces dense again.
+        l.reset_realized_flops();
+        l.set_sparse_crossover(0.0);
+        let _ = l.forward(&x, Mode::Train);
+        assert_eq!(l.realized_flops(), 2.0 * 200.0);
+    }
+
+    #[test]
+    fn crossover_zero_forces_dense_even_when_fully_pruned() {
+        // A zero-density layer must still take the dense path under
+        // crossover 0.0 — the grow-scoring probes depend on dense weight
+        // gradients to revive fully-pruned layers.
+        let mut rng = rng();
+        let mut l = Linear::new(&mut rng, 6, 4, true, "fc");
+        let bits = vec![false; l.w.len()];
+        for v in l.w.data.data_mut().iter_mut() {
+            *v = 0.0;
+        }
+        l.w.note_mask(&bits);
+        l.set_sparse_crossover(0.0);
+        let x = Tensor::ones(&[2, 6]);
+        let _ = l.forward(&x, Mode::Train);
+        assert!(l.plan.is_none(), "crossover 0.0 must not build a sparse plan");
+        // Dense backward produces gradients at pruned coordinates.
+        let _ = l.backward(&Tensor::ones(&[2, 4]));
+        assert!(
+            l.w.grad.data().iter().any(|&g| g != 0.0),
+            "dense backward must produce pruned-coordinate gradients"
+        );
+    }
+
+    #[test]
+    fn csr_plan_reused_until_mask_epoch_changes() {
+        let mut rng = rng();
+        let mut l = Linear::new(&mut rng, 16, 8, true, "fc");
+        mask_param(&mut l.w, 4);
+        let x = Tensor::ones(&[2, 16]);
+        let _ = l.forward(&x, Mode::Train);
+        let epoch0 = l.plan.as_ref().expect("plan built").epoch;
+        let _ = l.forward(&x, Mode::Train);
+        assert_eq!(l.plan.as_ref().expect("plan kept").epoch, epoch0);
+        // A new mask invalidates the structure.
+        mask_param(&mut l.w, 2);
+        let _ = l.forward(&x, Mode::Train);
+        let plan = l.plan.as_ref().expect("plan rebuilt");
+        assert_ne!(plan.epoch, epoch0);
+        assert_eq!(plan.csr.nnz(), 16 * 8 / 2);
     }
 }

@@ -42,7 +42,7 @@ mod param;
 
 pub use layer::{
     AnyLayer, BatchNorm2d, BnStats, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2x2, Mode, Relu,
-    Sequential,
+    Sequential, DEFAULT_SPARSE_CROSSOVER,
 };
 pub use model::{
     accuracy, apply_mask, flat_params, mask_grads, prunable_param_indices, set_flat_params,

@@ -102,6 +102,26 @@ pub trait Model: Send + Sync {
     /// pruning iterates over (Fig. 2 of the paper: 5 blocks).
     fn block_partition(&self) -> Vec<Vec<usize>>;
 
+    /// Sets the density crossover below which weighted layers execute on the
+    /// sparse CSR kernels instead of the dense GEMMs. `0.0` forces the dense
+    /// path everywhere — required by gradient-scoring passes that read
+    /// gradients of *pruned* coordinates (grow steps), because the sparse
+    /// backward only produces mask-alive weight gradients. `1.0` forces the
+    /// sparse path for every masked layer. The default is
+    /// [`crate::layer::DEFAULT_SPARSE_CROSSOVER`].
+    fn set_sparse_crossover(&mut self, _crossover: f32) {}
+
+    /// Multiply–accumulate FLOPs actually executed by the model's forward
+    /// and backward GEMMs since the last reset — the *realized* counterpart
+    /// of `ft-metrics`' analytic counts. Models that do not track this
+    /// return 0.
+    fn realized_flops(&self) -> f64 {
+        0.0
+    }
+
+    /// Clears the realized-FLOPs counters.
+    fn reset_realized_flops(&mut self) {}
+
     /// Clears every gradient accumulator.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -181,6 +201,11 @@ pub fn sparse_layout(model: &dyn Model) -> SparseLayout {
 
 /// Zeroes pruned weights in place: `θ = Θ ⊙ m`.
 ///
+/// Also records the mask on each prunable [`Param`] (bits, density, and a
+/// bumped epoch), which is what arms the sparse execution dispatch in
+/// `Conv2d` / `Linear`: from the next forward pass on, layers whose density
+/// is at or below their crossover run on the CSR kernels.
+///
 /// # Panics
 ///
 /// Panics if the mask does not match the model's prunable layout.
@@ -189,6 +214,7 @@ pub fn apply_mask(model: &mut dyn Model, mask: &Mask) {
     for p in model.params_mut() {
         if p.prunable {
             mask.apply_layer(l, p.data.data_mut());
+            p.note_mask(mask.layer(l));
             l += 1;
         }
     }

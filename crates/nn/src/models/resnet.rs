@@ -156,6 +156,30 @@ impl BasicBlock {
             bn.set_momentum(momentum);
         }
     }
+
+    fn set_sparse_crossover(&mut self, crossover: f32) {
+        self.conv1.set_sparse_crossover(crossover);
+        self.conv2.set_sparse_crossover(crossover);
+        if let Some((conv, _)) = &mut self.down {
+            conv.set_sparse_crossover(crossover);
+        }
+    }
+
+    fn realized_flops(&self) -> f64 {
+        let mut f = self.conv1.realized_flops() + self.conv2.realized_flops();
+        if let Some((conv, _)) = &self.down {
+            f += conv.realized_flops();
+        }
+        f
+    }
+
+    fn reset_realized_flops(&mut self) {
+        self.conv1.reset_realized_flops();
+        self.conv2.reset_realized_flops();
+        if let Some((conv, _)) = &mut self.down {
+            conv.reset_realized_flops();
+        }
+    }
 }
 
 /// CIFAR-style ResNet18: a 3×3 stem (no max-pool), four stages of two
@@ -394,6 +418,32 @@ impl Model for ResNet18 {
         for b in &mut self.stages {
             b.set_bn_momentum(momentum);
         }
+    }
+
+    fn set_sparse_crossover(&mut self, crossover: f32) {
+        self.stem_conv.set_sparse_crossover(crossover);
+        for b in &mut self.stages {
+            b.set_sparse_crossover(crossover);
+        }
+        self.fc.set_sparse_crossover(crossover);
+    }
+
+    fn realized_flops(&self) -> f64 {
+        self.stem_conv.realized_flops()
+            + self
+                .stages
+                .iter()
+                .map(BasicBlock::realized_flops)
+                .sum::<f64>()
+            + self.fc.realized_flops()
+    }
+
+    fn reset_realized_flops(&mut self) {
+        self.stem_conv.reset_realized_flops();
+        for b in &mut self.stages {
+            b.reset_realized_flops();
+        }
+        self.fc.reset_realized_flops();
     }
 }
 

@@ -165,6 +165,18 @@ impl Model for SmallCnn {
         // Only two prunable layers: every granularity degenerates gracefully.
         contiguous_blocks(2, 5)
     }
+
+    fn set_sparse_crossover(&mut self, crossover: f32) {
+        self.seq.set_sparse_crossover(crossover);
+    }
+
+    fn realized_flops(&self) -> f64 {
+        self.seq.realized_flops()
+    }
+
+    fn reset_realized_flops(&mut self) {
+        self.seq.reset_realized_flops();
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,18 @@ impl Model for Vgg11 {
     fn block_partition(&self) -> Vec<Vec<usize>> {
         self.blocks.clone()
     }
+
+    fn set_sparse_crossover(&mut self, crossover: f32) {
+        self.seq.set_sparse_crossover(crossover);
+    }
+
+    fn realized_flops(&self) -> f64 {
+        self.seq.realized_flops()
+    }
+
+    fn reset_realized_flops(&mut self) {
+        self.seq.reset_realized_flops();
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,18 @@ pub struct Param {
     pub prunable: bool,
     /// Diagnostic name, e.g. `"features.3.conv.w"`.
     pub name: String,
+    /// The most recently applied mask layer (`None` until a mask is applied).
+    /// The sparse execution dispatch reads this to build CSR structure; the
+    /// bits — not the current zero pattern of `data` — define which
+    /// coordinates stay live, so freshly grown (still-zero) weights keep
+    /// receiving gradient.
+    pub mask_bits: Option<Vec<bool>>,
+    /// Bumped every time a mask is applied. Layers cache their CSR structure
+    /// keyed on this epoch and repack only when it changes.
+    pub mask_epoch: u64,
+    /// Number of live bits in `mask_bits` (cached so the per-forward density
+    /// check is O(1)); meaningless while `mask_bits` is `None`.
+    pub mask_alive: usize,
 }
 
 impl Param {
@@ -51,6 +63,9 @@ impl Param {
             kind,
             prunable,
             name: name.into(),
+            mask_bits: None,
+            mask_epoch: 0,
+            mask_alive: 0,
         }
     }
 
@@ -67,6 +82,27 @@ impl Param {
     /// Clears the gradient accumulator.
     pub fn zero_grad(&mut self) {
         self.grad.fill_zero();
+    }
+
+    /// Records the mask layer that was just applied to this parameter and
+    /// bumps the mask epoch (invalidating cached CSR structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not have one entry per scalar.
+    pub fn note_mask(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.len(), "mask bits length mismatch");
+        self.mask_alive = bits.iter().filter(|&&b| b).count();
+        self.mask_bits = Some(bits.to_vec());
+        self.mask_epoch += 1;
+    }
+
+    /// Density of the most recently applied mask (1.0 when unmasked). O(1).
+    pub fn mask_density(&self) -> f32 {
+        match &self.mask_bits {
+            Some(bits) if !bits.is_empty() => self.mask_alive as f32 / bits.len() as f32,
+            _ => 1.0,
+        }
     }
 }
 
@@ -89,5 +125,18 @@ mod tests {
         p.grad.data_mut()[1] = 5.0;
         p.zero_grad();
         assert_eq!(p.grad.data(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn note_mask_bumps_epoch_and_tracks_density() {
+        let mut p = Param::new(Tensor::ones(&[4]), ParamKind::LinearWeight, true, "w");
+        assert_eq!(p.mask_epoch, 0);
+        assert_eq!(p.mask_density(), 1.0);
+        p.note_mask(&[true, false, false, true]);
+        assert_eq!(p.mask_epoch, 1);
+        assert!((p.mask_density() - 0.5).abs() < 1e-6);
+        p.note_mask(&[true, true, true, true]);
+        assert_eq!(p.mask_epoch, 2);
+        assert_eq!(p.mask_density(), 1.0);
     }
 }

@@ -78,6 +78,8 @@ pub fn run_feddst(
         memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::MaskBits),
         comm_bytes: ledger.total_comm_bytes(),
         extra_flops: ledger.extra_flops(),
+        realized_round_flops: ledger.max_realized_round_flops(),
+        train_wall_secs: ledger.total_train_wall_secs(),
     }
 }
 
@@ -107,6 +109,9 @@ fn adjust_entire_model(
     let mut agg: Vec<HashMap<usize, f64>> = vec![HashMap::new(); counts.len()];
     for (k, data) in env.parts.iter().enumerate() {
         let mut model = global.clone_model();
+        // Grow scoring reads gradients of pruned coordinates; the sparse
+        // execution path only produces mask-alive gradients.
+        model.set_sparse_crossover(0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(
             env.cfg.seed ^ 0xd57 ^ ((round as u64) << 20) ^ ((k as u64) << 44),
         );

@@ -50,6 +50,8 @@ pub fn run_with_fixed_mask(
         memory_bytes: device_memory_bytes(&arch, &densities, extra_memory),
         comm_bytes: ledger.total_comm_bytes(),
         extra_flops: ledger.extra_flops(),
+        realized_round_flops: ledger.max_realized_round_flops(),
+        train_wall_secs: ledger.total_train_wall_secs(),
     }
 }
 

@@ -91,6 +91,8 @@ pub fn run_lotteryfl(
         ),
         comm_bytes: dense_comm,
         extra_flops: ledger.extra_flops(),
+        realized_round_flops: ledger.max_realized_round_flops(),
+        train_wall_secs: ledger.total_train_wall_secs(),
     }
 }
 

@@ -111,6 +111,8 @@ pub fn run_prunefl(
         memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::DenseScores),
         comm_bytes: ledger.total_comm_bytes(),
         extra_flops: ledger.extra_flops(),
+        realized_round_flops: ledger.max_realized_round_flops(),
+        train_wall_secs: ledger.total_train_wall_secs(),
     }
 }
 
@@ -122,6 +124,8 @@ fn server_saliency_mask(
     density: f32,
 ) -> Mask {
     let mut probe = model.clone_model();
+    // Saliency needs dense `g ⊙ w` scores; keep the probe off the sparse path.
+    probe.set_sparse_crossover(0.0);
     let (x, y) = env.server_public.full_batch();
     let logits = probe.forward(&x, Mode::Train);
     let (_, grad) = softmax_cross_entropy(&logits, &y);
@@ -150,6 +154,9 @@ fn aggregated_dense_grads(global: &dyn Model, env: &ExperimentEnv, round: usize)
     let mut agg: Option<Vec<Vec<f32>>> = None;
     for (k, data) in env.parts.iter().enumerate() {
         let mut model = global.clone_model();
+        // PruneFL devices upload *dense* gradients (that is the method's
+        // cost story) — the sparse path must not truncate them.
+        model.set_sparse_crossover(0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(
             env.cfg.seed ^ 0x9f1e ^ ((round as u64) << 20) ^ ((k as u64) << 44),
         );

@@ -1,5 +1,8 @@
-//! Descriptions of a model's prunable parameter tensors.
+//! Descriptions of a model's prunable parameter tensors, and the CSR
+//! row-compressed weight representation the sparse execution engine packs
+//! them into.
 
+use ft_tensor::CsrView;
 use serde::{Deserialize, Serialize};
 
 /// One prunable parameter tensor (e.g. a convolution's weight), identified by
@@ -72,6 +75,179 @@ impl SparseLayout {
     }
 }
 
+/// An owned compressed-sparse-row weight matrix.
+///
+/// This is the storage format of the sparse execution engine: a layer whose
+/// mask density falls below the dispatch crossover packs its weight into a
+/// `CsrMatrix` and routes its GEMMs through the `spmm`/`sddmm` kernels in
+/// `ft-tensor`. The *structure* (`row_ptr`, `col_idx`) comes from the mask
+/// and only changes when the mask changes; the *values* are re-gathered from
+/// the live weight buffer with [`CsrMatrix::refresh_values`] after every
+/// optimizer step, which costs `O(nnz)` instead of an `O(rows · cols)`
+/// rescan.
+///
+/// Mask-alive coordinates whose current value happens to be `0.0` (freshly
+/// grown weights, for instance) are **kept** in the structure: they must
+/// keep receiving gradient through the sampled-dense kernels so they can
+/// move away from zero.
+///
+/// # Examples
+///
+/// ```
+/// use ft_sparse::CsrMatrix;
+///
+/// // A 2×3 weight with a mask keeping the corners.
+/// let mask = [true, false, true, false, false, true];
+/// let weights = [1.0, 9.0, 2.0, 9.0, 9.0, 3.0];
+/// let csr = CsrMatrix::from_mask_values(&mask, &weights, 2, 3);
+/// assert_eq!(csr.nnz(), 3);
+/// assert_eq!(csr.density(), 0.5);
+/// assert_eq!(csr.to_dense(), vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Packs a flat weight buffer into CSR, keeping exactly the mask-alive
+    /// coordinates (regardless of their current value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` / `values` do not have `rows * cols` entries.
+    pub fn from_mask_values(mask: &[bool], values: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(mask.len(), rows * cols, "mask length mismatch");
+        assert_eq!(values.len(), rows * cols, "values length mismatch");
+        assert!(cols <= u32::MAX as usize, "column count exceeds u32 range");
+        let nnz = mask.iter().filter(|&&b| b).count();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                if mask[r * cols + c] {
+                    col_idx.push(c as u32);
+                    vals.push(values[r * cols + c]);
+                }
+            }
+            row_ptr.push(vals.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Packs a flat buffer keeping its nonzero coordinates (no mask).
+    pub fn from_dense(values: &[f32], rows: usize, cols: usize) -> Self {
+        let mask: Vec<bool> = values.iter().map(|&v| v != 0.0).collect();
+        Self::from_mask_values(&mask, values, rows, cols)
+    }
+
+    /// Re-gathers the stored values from a (possibly updated) flat weight
+    /// buffer without touching the structure. `O(nnz)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have `rows * cols` entries.
+    pub fn refresh_values(&mut self, values: &[f32]) {
+        assert_eq!(values.len(), self.rows * self.cols, "values length mismatch");
+        let cols = self.cols;
+        for r in 0..self.rows {
+            let base = r * cols;
+            for nz in self.row_ptr[r]..self.row_ptr[r + 1] {
+                self.vals[nz] = values[base + self.col_idx[nz] as usize];
+            }
+        }
+    }
+
+    /// Scatters per-nonzero values (e.g. gradients from an `sddmm` kernel)
+    /// into a flat dense buffer, accumulating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contrib` does not have `nnz` entries or `out` does not
+    /// have `rows * cols` entries.
+    pub fn scatter_add(&self, contrib: &[f32], out: &mut [f32]) {
+        assert_eq!(contrib.len(), self.nnz(), "contribution length mismatch");
+        assert_eq!(out.len(), self.rows * self.cols, "output length mismatch");
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            for nz in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out[base + self.col_idx[nz] as usize] += contrib[nz];
+            }
+        }
+    }
+
+    /// Expands back to a flat dense buffer (pruned coordinates are zero).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        self.scatter_add(&self.vals, &mut out);
+        out
+    }
+
+    /// Borrowed view for the `ft-tensor` sparse kernels.
+    pub fn view(&self) -> CsrView<'_> {
+        CsrView {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: &self.row_ptr,
+            col_idx: &self.col_idx,
+            vals: &self.vals,
+        }
+    }
+
+    /// Number of stored (mask-alive) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Raw row start offsets (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column indices, one per stored entry.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Raw stored values.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored fraction: `nnz / (rows · cols)`. Returns 1.0 for an empty
+    /// matrix.
+    pub fn density(&self) -> f32 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            1.0
+        } else {
+            self.nnz() as f32 / total as f32
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +267,61 @@ mod tests {
         let l = SparseLayout::new(vec![]);
         assert_eq!(l.num_layers(), 0);
         assert_eq!(l.total_len(), 0);
+    }
+
+    #[test]
+    fn csr_roundtrips_masked_weights() {
+        let mask = [true, false, false, true, true, false];
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let csr = CsrMatrix::from_mask_values(&mask, &w, 3, 2);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), vec![1.0, 0.0, 0.0, 4.0, 5.0, 0.0]);
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.cols(), 2);
+        assert!((csr.density() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csr_keeps_alive_zeros_in_structure() {
+        // A freshly grown weight is alive but currently 0.0 — it must stay
+        // in the structure so gradients keep flowing to it.
+        let mask = [true, true];
+        let w = [0.0, 2.0];
+        let csr = CsrMatrix::from_mask_values(&mask, &w, 1, 2);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn refresh_values_tracks_weight_updates() {
+        let mask = [true, false, true, true];
+        let w0 = [1.0, 9.0, 3.0, 4.0];
+        let mut csr = CsrMatrix::from_mask_values(&mask, &w0, 2, 2);
+        let w1 = [10.0, 9.0, 30.0, 40.0];
+        csr.refresh_values(&w1);
+        assert_eq!(csr.to_dense(), vec![10.0, 0.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_at_structure() {
+        let mask = [true, false, false, true];
+        let w = [1.0, 0.0, 0.0, 2.0];
+        let csr = CsrMatrix::from_mask_values(&mask, &w, 2, 2);
+        let mut grad = vec![0.5; 4];
+        csr.scatter_add(&[10.0, 20.0], &mut grad);
+        assert_eq!(grad, vec![10.5, 0.5, 0.5, 20.5]);
+    }
+
+    #[test]
+    fn from_dense_drops_zeros() {
+        let csr = CsrMatrix::from_dense(&[0.0, 1.0, 0.0, -2.0], 2, 2);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.to_dense(), vec![0.0, 1.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_csr_density_is_one() {
+        let csr = CsrMatrix::from_dense(&[], 0, 0);
+        assert_eq!(csr.density(), 1.0);
+        assert_eq!(csr.nnz(), 0);
     }
 }

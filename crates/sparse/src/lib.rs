@@ -7,6 +7,9 @@
 //! Contents:
 //! - [`SparseLayout`] / [`Mask`] — per-prunable-tensor binary masks with
 //!   density accounting.
+//! - [`CsrMatrix`] — the row-compressed weight representation the sparse
+//!   execution engine packs masked weights into (kernels live in
+//!   `ft-tensor`; dispatch lives in `ft-nn`).
 //! - [`TopKBuffer`] — the `O(k)` streaming buffer of Sec. III-D the devices
 //!   use to keep only the top-k gradient magnitudes of pruned coordinates.
 //! - [`cosine_prune_count`] — the paper's pruning-number schedule
@@ -32,7 +35,7 @@ mod prune;
 mod schedule;
 mod topk;
 
-pub use layout::{LayerSpec, SparseLayout};
+pub use layout::{CsrMatrix, LayerSpec, SparseLayout};
 pub use mask::Mask;
 pub use prune::{
     magnitude_mask, magnitude_mask_global, noisy_density_vector, random_mask,

@@ -8,6 +8,24 @@ use serde::{Deserialize, Serialize};
 /// `true` means the weight survives; `false` means it is pruned. The mask is
 /// structured per layer so that layer-wise operations (the unit of FedTiny's
 /// progressive pruning) are cheap and explicit.
+///
+/// # Examples
+///
+/// ```
+/// use ft_sparse::{Mask, SparseLayout};
+///
+/// let layout = SparseLayout::new(vec![("conv".into(), 4), ("fc".into(), 2)]);
+/// let mut mask = Mask::ones(&layout);
+/// mask.set(0, 1, false);
+/// mask.set(0, 3, false);
+/// assert_eq!(mask.layer_ones(0), 2);
+/// assert!((mask.density() - 4.0 / 6.0).abs() < 1e-6);
+///
+/// // Zero the pruned weights of layer 0 in place.
+/// let mut weights = vec![1.0, 2.0, 3.0, 4.0];
+/// mask.apply_layer(0, &mut weights);
+/// assert_eq!(weights, vec![1.0, 0.0, 3.0, 0.0]);
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mask {
     layers: Vec<Vec<bool>>,

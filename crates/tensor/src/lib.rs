@@ -3,7 +3,9 @@
 //! This crate provides exactly the numerical substrate the federated pruning
 //! stack needs and nothing more: a row-major [`Tensor`] type, blocked
 //! matrix multiplication, im2col/col2im helpers for convolution, elementwise
-//! arithmetic, reductions, and seeded random initializers.
+//! arithmetic, reductions, seeded random initializers, and the CSR sparse
+//! kernels ([`spmm_into`], [`dsmm_nt_into`], [`sddmm_nt_into`], ...) that
+//! execute pruned layers in `O(nnz)` instead of `O(rows · cols)`.
 //!
 //! Design notes:
 //! - Shapes are validated eagerly; mismatches panic with a descriptive
@@ -30,11 +32,15 @@ mod matmul;
 mod ops;
 mod pool;
 mod proptests;
+mod spmm;
 mod tensor;
 
 pub use im2col::{col2im, conv2d_direct, im2col, ConvGeom};
 pub use init::{kaiming_normal, normal, uniform, xavier_uniform};
 pub use matmul::{matmul_into, matmul_nt_into, matmul_tn_into};
+pub use spmm::{
+    dsmm_into, dsmm_nt_into, sddmm_nt_into, sddmm_tn_into, spmm_into, spmm_tn_into, CsrView,
+};
 pub use pool::{avg_pool_global, avg_pool_global_backward, max_pool2x2, max_pool2x2_backward};
 pub use tensor::Tensor;
 

@@ -1,8 +1,13 @@
-//! Property-based tests for the tensor substrate.
+//! Property-based tests for the tensor substrate, including the sparse
+//! execution kernels (CSR round-trips and spmm-vs-matmul equivalence).
 
 #![cfg(test)]
 
-use crate::{col2im, im2col, ConvGeom, Tensor};
+use crate::{
+    col2im, dsmm_into, dsmm_nt_into, im2col, matmul_into, matmul_nt_into, matmul_tn_into,
+    spmm_into, spmm_tn_into, ConvGeom, Tensor,
+};
+use ft_sparse::CsrMatrix;
 use proptest::prelude::*;
 
 fn small_matrix(max: usize) -> impl Strategy<Value = Tensor> {
@@ -101,5 +106,144 @@ proptest! {
         for i in 0..n {
             prop_assert!((c12[i] - c1[i] - c2[i]).abs() < 1e-5);
         }
+    }
+}
+
+/// Rebuilds a `crate::CsrView` from a `CsrMatrix`'s raw parts.
+///
+/// The dev-dependency cycle (`ft-tensor` tests use `ft-sparse`, which
+/// depends on `ft-tensor`) gives the test binary two distinct builds of
+/// this crate, so `CsrMatrix::view()`'s `CsrView` is a different *type*
+/// than `crate::CsrView` even though it is the same code. Reassembling the
+/// view from raw slices sidesteps that.
+fn view_of(csr: &CsrMatrix) -> crate::CsrView<'_> {
+    crate::CsrView {
+        rows: csr.rows(),
+        cols: csr.cols(),
+        row_ptr: csr.row_ptr(),
+        col_idx: csr.col_idx(),
+        vals: csr.vals(),
+    }
+}
+
+/// A random mask + weight buffer for a `rows × cols` matrix: roughly a
+/// `density` fraction of coordinates is alive, and some alive coordinates
+/// hold an exact 0.0 (modelling freshly grown weights).
+fn masked_weights(
+    max_dim: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<bool>, Vec<f32>)> {
+    (1..=max_dim, 1..=max_dim, 0.0f64..1.0, 0u64..1_000).prop_map(
+        |(rows, cols, density, seed)| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mask: Vec<bool> = (0..rows * cols)
+                .map(|_| rng.gen_range(0.0f64..1.0) < density)
+                .collect();
+            let weights: Vec<f32> = mask
+                .iter()
+                .map(|&alive| {
+                    if !alive || rng.gen_range(0.0f64..1.0) < 0.1 {
+                        0.0
+                    } else {
+                        rng.gen_range(-2.0f32..2.0)
+                    }
+                })
+                .collect();
+            (rows, cols, mask, weights)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR round-trip: mask + flat params → CSR → dense reproduces the
+    /// masked weights exactly, and the structure tracks the mask (not the
+    /// zero pattern of the values).
+    #[test]
+    fn csr_roundtrip_reproduces_masked_weights((rows, cols, mask, weights) in masked_weights(12)) {
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        prop_assert_eq!(csr.nnz(), mask.iter().filter(|&&b| b).count());
+        let dense = csr.to_dense();
+        for i in 0..rows * cols {
+            let expect = if mask[i] { weights[i] } else { 0.0 };
+            prop_assert!(dense[i] == expect, "index {}: {} vs {}", i, dense[i], expect);
+        }
+    }
+
+    /// Refreshing values after a simulated optimizer step keeps CSR and
+    /// masked-dense views identical.
+    #[test]
+    fn csr_refresh_tracks_updates((rows, cols, mask, weights) in masked_weights(10), delta in -1.0f32..1.0) {
+        let mut csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        let updated: Vec<f32> = weights.iter().map(|&w| w + delta).collect();
+        csr.refresh_values(&updated);
+        let dense = csr.to_dense();
+        for i in 0..rows * cols {
+            let expect = if mask[i] { updated[i] } else { 0.0 };
+            prop_assert!(dense[i] == expect);
+        }
+    }
+
+    /// `spmm_into` agrees with the dense GEMM on the mask-zeroed matrix.
+    #[test]
+    fn spmm_matches_matmul((rows, cols, mask, weights) in masked_weights(9), n in 1usize..8) {
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        let dense = Tensor::from_vec(csr.to_dense(), &[rows, cols]);
+        let b = rand_matrix(cols, n, 42);
+        let mut out_sparse = Tensor::zeros(&[rows, n]);
+        let mut out_dense = Tensor::zeros(&[rows, n]);
+        spmm_into(view_of(&csr), &b, &mut out_sparse);
+        matmul_into(&dense, &b, &mut out_dense);
+        close(out_sparse.data(), out_dense.data());
+    }
+
+    /// `spmm_tn_into` agrees with the dense transposed GEMM.
+    #[test]
+    fn spmm_tn_matches_matmul_tn((rows, cols, mask, weights) in masked_weights(9), n in 1usize..8) {
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        let dense = Tensor::from_vec(csr.to_dense(), &[rows, cols]);
+        let b = rand_matrix(rows, n, 43);
+        let mut out_sparse = Tensor::zeros(&[cols, n]);
+        let mut out_dense = Tensor::zeros(&[cols, n]);
+        spmm_tn_into(view_of(&csr), &b, &mut out_sparse);
+        matmul_tn_into(&dense, &b, &mut out_dense);
+        close(out_sparse.data(), out_dense.data());
+    }
+
+    /// The dense×sparse kernels agree with their dense counterparts.
+    #[test]
+    fn dsmm_variants_match_dense((rows, cols, mask, weights) in masked_weights(9), m in 1usize..8) {
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        let dense = Tensor::from_vec(csr.to_dense(), &[rows, cols]);
+        // C += A · S
+        let a = rand_matrix(m, rows, 44);
+        let mut out_sparse = Tensor::zeros(&[m, cols]);
+        let mut out_dense = Tensor::zeros(&[m, cols]);
+        dsmm_into(&a, view_of(&csr), &mut out_sparse);
+        matmul_into(&a, &dense, &mut out_dense);
+        close(out_sparse.data(), out_dense.data());
+        // C += A · Sᵀ
+        let a = rand_matrix(m, cols, 45);
+        let mut out_sparse = Tensor::zeros(&[m, rows]);
+        let mut out_dense = Tensor::zeros(&[m, rows]);
+        dsmm_nt_into(&a, view_of(&csr), &mut out_sparse);
+        matmul_nt_into(&a, &dense, &mut out_dense);
+        close(out_sparse.data(), out_dense.data());
+    }
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    Tensor::from_vec(
+        (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        &[rows, cols],
+    )
+}
+
+fn close(a: &[f32], b: &[f32]) {
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!((x - y).abs() <= 1e-4, "index {i}: {x} vs {y}");
     }
 }

@@ -1,0 +1,494 @@
+//! Sparse matrix kernels over a borrowed CSR view.
+//!
+//! These are the execution back-end of the workspace's sparse engine: when a
+//! layer's weight density drops below the dispatch crossover, `ft-nn`
+//! repacks the weight into CSR (see `ft_sparse::CsrMatrix`) and routes its
+//! GEMMs here instead of the dense kernels in [`crate::matmul`]. Each kernel
+//! touches only the stored nonzeros, so work scales with `nnz` rather than
+//! `rows · cols`.
+//!
+//! Kernel naming mirrors the dense kernels (`S` is the CSR operand, `A`/`B`
+//! dense):
+//!
+//! - [`spmm_into`]: `C += S · B` (sparse × dense)
+//! - [`spmm_tn_into`]: `C += Sᵀ · B`
+//! - [`dsmm_into`]: `C += A · S` (dense × sparse)
+//! - [`dsmm_nt_into`]: `C += A · Sᵀ`
+//! - [`sddmm_nt_into`]: `vals[nz] += A[row(nz), :] · B[col(nz), :]` — the
+//!   sampled dense–dense product that computes weight gradients only at
+//!   mask-alive coordinates
+//! - [`sddmm_tn_into`]: `vals[nz] += Σₙ A[n, row(nz)] · B[n, col(nz)]`
+//!
+//! All kernels accumulate into their output, matching the dense `_into`
+//! conventions.
+
+use crate::Tensor;
+
+/// A borrowed compressed-sparse-row matrix.
+///
+/// `row_ptr` has `rows + 1` entries; row `r`'s nonzeros live at
+/// `row_ptr[r]..row_ptr[r + 1]` in `col_idx` / `vals`. Column indices are
+/// `u32` to halve index memory traffic (no layer in this workspace is
+/// anywhere near 2³² columns).
+#[derive(Clone, Copy, Debug)]
+pub struct CsrView<'a> {
+    /// Number of rows of the logical dense matrix.
+    pub rows: usize,
+    /// Number of columns of the logical dense matrix.
+    pub cols: usize,
+    /// Row start offsets (`rows + 1` entries, last is `nnz`).
+    pub row_ptr: &'a [usize],
+    /// Column index of each stored entry.
+    pub col_idx: &'a [u32],
+    /// Value of each stored entry.
+    pub vals: &'a [f32],
+}
+
+impl<'a> CsrView<'a> {
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Checks the structural invariants (row pointer monotone and in range,
+    /// column indices in range, parallel arrays equal length).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.row_ptr.len(),
+            self.rows + 1,
+            "csr row_ptr must have rows + 1 entries"
+        );
+        assert_eq!(
+            self.col_idx.len(),
+            self.vals.len(),
+            "csr col_idx/vals length mismatch"
+        );
+        assert_eq!(
+            *self.row_ptr.last().unwrap_or(&0),
+            self.vals.len(),
+            "csr row_ptr must end at nnz"
+        );
+        assert!(
+            self.row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "csr row_ptr must be non-decreasing"
+        );
+        debug_assert!(
+            self.col_idx.iter().all(|&c| (c as usize) < self.cols),
+            "csr column index out of range"
+        );
+    }
+}
+
+/// `C += S[m×k] · B[k×n]`.
+///
+/// The sparse analogue of [`crate::matmul_into`]: row `i` of `C` accumulates
+/// `v · B[j, :]` for every stored `(i, j, v)`, streaming `B` and `C` rows.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or the view is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use ft_tensor::{spmm_into, CsrView, Tensor};
+///
+/// // S = [[2, 0], [0, 3]] in CSR.
+/// let s = CsrView { rows: 2, cols: 2, row_ptr: &[0, 1, 2], col_idx: &[0, 1], vals: &[2.0, 3.0] };
+/// let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let mut c = Tensor::zeros(&[2, 2]);
+/// spmm_into(s, &b, &mut c);
+/// assert_eq!(c.data(), &[2.0, 4.0, 9.0, 12.0]);
+/// ```
+pub fn spmm_into(s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    s.validate();
+    let (k, n) = dims2(b, "B");
+    assert_eq!(k, s.cols, "spmm inner dims differ: {} vs {k}", s.cols);
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (s.rows, n), "spmm output shape mismatch");
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..s.rows {
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for nz in s.row_ptr[i]..s.row_ptr[i + 1] {
+            let (j, v) = (s.col_idx[nz] as usize, s.vals[nz]);
+            let brow = &bd[j * n..(j + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += v * bv;
+            }
+        }
+    }
+}
+
+/// `C += Sᵀ · B` where `S` is `[k×m]` CSR and `B` is `[k×n]`.
+///
+/// The sparse analogue of [`crate::matmul_tn_into`]: for every stored
+/// `(p, i, v)` the kernel scatters `v · B[p, :]` into `C[i, :]`.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or the view is malformed.
+pub fn spmm_tn_into(s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    s.validate();
+    let (k, n) = dims2(b, "B");
+    assert_eq!(k, s.rows, "spmm_tn inner dims differ: {} vs {k}", s.rows);
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (s.cols, n), "spmm_tn output shape mismatch");
+    let bd = b.data();
+    let cd = c.data_mut();
+    for p in 0..s.rows {
+        let brow = &bd[p * n..(p + 1) * n];
+        for nz in s.row_ptr[p]..s.row_ptr[p + 1] {
+            let (i, v) = (s.col_idx[nz] as usize, s.vals[nz]);
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += v * bv;
+            }
+        }
+    }
+}
+
+/// `C += A[m×k] · S` where `S` is `[k×n]` CSR.
+///
+/// Used for linear input gradients (`dX = dY · W`): each scalar `A[i, p]`
+/// scatters `A[i, p] · S[p, :]` along the sparse row.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or the view is malformed.
+pub fn dsmm_into(a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
+    s.validate();
+    let (m, k) = dims2(a, "A");
+    assert_eq!(k, s.rows, "dsmm inner dims differ: {k} vs {}", s.rows);
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, s.cols), "dsmm output shape mismatch");
+    let ad = a.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * s.cols..(i + 1) * s.cols];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for nz in s.row_ptr[p]..s.row_ptr[p + 1] {
+                crow[s.col_idx[nz] as usize] += av * s.vals[nz];
+            }
+        }
+    }
+}
+
+/// `C += A[m×k] · Sᵀ` where `S` is `[n×k]` CSR.
+///
+/// Used for linear forward passes (`Y = X · Wᵀ`): `C[i, r]` accumulates the
+/// dot product of `A[i, :]` with sparse row `r`, gathering from the dense
+/// row.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or the view is malformed.
+pub fn dsmm_nt_into(a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
+    s.validate();
+    let (m, k) = dims2(a, "A");
+    assert_eq!(k, s.cols, "dsmm_nt inner dims differ: {k} vs {}", s.cols);
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, s.rows), "dsmm_nt output shape mismatch");
+    let ad = a.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * s.rows..(i + 1) * s.rows];
+        for (r, cv) in crow.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for nz in s.row_ptr[r]..s.row_ptr[r + 1] {
+                acc += s.vals[nz] * arow[s.col_idx[nz] as usize];
+            }
+            *cv += acc;
+        }
+    }
+}
+
+/// Sampled dense–dense product, NT layout: for each stored coordinate
+/// `(r, j)` of the structure `s`, accumulates `A[r, :] · B[j, :]` into
+/// `vals[nz]`.
+///
+/// This computes `(A · Bᵀ) ⊙ structure(S)` without materializing the dense
+/// product — exactly the masked weight gradient `dW = dY · colᵀ` restricted
+/// to mask-alive coordinates. `s.vals` is ignored (structure only).
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible, the view is malformed, or `vals` does
+/// not have one slot per stored entry.
+pub fn sddmm_nt_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
+    s.validate();
+    let (m, c) = dims2(a, "A");
+    let (k, c2) = dims2(b, "B");
+    assert_eq!(c, c2, "sddmm_nt inner dims differ: {c} vs {c2}");
+    assert_eq!(m, s.rows, "sddmm_nt row count mismatch");
+    assert_eq!(k, s.cols, "sddmm_nt col count mismatch");
+    assert_eq!(vals.len(), s.nnz(), "sddmm_nt output slot count mismatch");
+    let ad = a.data();
+    let bd = b.data();
+    for r in 0..s.rows {
+        let arow = &ad[r * c..(r + 1) * c];
+        let range = s.row_ptr[r]..s.row_ptr[r + 1];
+        for (&j, val) in s.col_idx[range.clone()].iter().zip(&mut vals[range]) {
+            let brow = &bd[j as usize * c..(j as usize + 1) * c];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            *val += acc;
+        }
+    }
+}
+
+/// Sampled dense–dense product, TN layout: for each stored coordinate
+/// `(r, j)` of the structure `s`, accumulates `Σₙ A[n, r] · B[n, j]` into
+/// `vals[nz]`.
+///
+/// This computes `(Aᵀ · B) ⊙ structure(S)` — the masked linear weight
+/// gradient `dW = dYᵀ · X` restricted to mask-alive coordinates. `s.vals`
+/// is ignored (structure only).
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible, the view is malformed, or `vals` does
+/// not have one slot per stored entry.
+pub fn sddmm_tn_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
+    s.validate();
+    let (n1, r) = dims2(a, "A");
+    let (n2, k) = dims2(b, "B");
+    assert_eq!(n1, n2, "sddmm_tn batch dims differ: {n1} vs {n2}");
+    assert_eq!(r, s.rows, "sddmm_tn row count mismatch");
+    assert_eq!(k, s.cols, "sddmm_tn col count mismatch");
+    assert_eq!(vals.len(), s.nnz(), "sddmm_tn output slot count mismatch");
+    let ad = a.data();
+    let bd = b.data();
+    // Batch-outer loop streams both dense operands once per sample.
+    for n in 0..n1 {
+        let arow = &ad[n * r..(n + 1) * r];
+        let brow = &bd[n * k..(n + 1) * k];
+        for (row, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let range = s.row_ptr[row]..s.row_ptr[row + 1];
+            for (&j, val) in s.col_idx[range.clone()].iter().zip(&mut vals[range]) {
+                *val += av * brow[j as usize];
+            }
+        }
+    }
+}
+
+fn dims2(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(
+        t.shape().len(),
+        2,
+        "{name} must be rank-2, got shape {:?}",
+        t.shape()
+    );
+    (t.shape()[0], t.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, matmul_into, matmul_nt_into, matmul_tn_into};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// An owned CSR fixture plus its dense equivalent.
+    struct Fixture {
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f32>,
+        dense: Tensor,
+    }
+
+    impl Fixture {
+        fn random(rows: usize, cols: usize, density: f64, seed: u64) -> Self {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut row_ptr = vec![0usize];
+            let mut col_idx = Vec::new();
+            let mut vals = Vec::new();
+            let mut dense = Tensor::zeros(&[rows, cols]);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if rng.gen_range(0.0f64..1.0) < density {
+                        let v = rng.gen_range(-1.0f32..1.0);
+                        col_idx.push(c as u32);
+                        vals.push(v);
+                        dense.data_mut()[r * cols + c] = v;
+                    }
+                }
+                row_ptr.push(vals.len());
+            }
+            Fixture {
+                rows,
+                cols,
+                row_ptr,
+                col_idx,
+                vals,
+                dense,
+            }
+        }
+
+        fn view(&self) -> CsrView<'_> {
+            CsrView {
+                rows: self.rows,
+                cols: self.cols,
+                row_ptr: &self.row_ptr,
+                col_idx: &self.col_idx,
+                vals: &self.vals,
+            }
+        }
+    }
+
+    fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), shape)
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        for (seed, density) in [(1u64, 0.1), (2, 0.5), (3, 1.0), (4, 0.0)] {
+            let f = Fixture::random(7, 5, density, seed);
+            let b = rand_t(&[5, 9], seed + 100);
+            let mut sparse = Tensor::ones(&[7, 9]);
+            let mut dense = Tensor::ones(&[7, 9]);
+            spmm_into(f.view(), &b, &mut sparse);
+            matmul_into(&f.dense, &b, &mut dense);
+            assert_close(sparse.data(), dense.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn spmm_tn_matches_dense() {
+        for seed in 1..5u64 {
+            let f = Fixture::random(6, 4, 0.4, seed);
+            let b = rand_t(&[6, 8], seed + 200);
+            let mut sparse = Tensor::zeros(&[4, 8]);
+            let mut dense = Tensor::zeros(&[4, 8]);
+            spmm_tn_into(f.view(), &b, &mut sparse);
+            matmul_tn_into(&f.dense, &b, &mut dense);
+            assert_close(sparse.data(), dense.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn dsmm_matches_dense() {
+        for seed in 1..5u64 {
+            let f = Fixture::random(5, 7, 0.3, seed);
+            let a = rand_t(&[3, 5], seed + 300);
+            let mut sparse = Tensor::zeros(&[3, 7]);
+            let mut dense = Tensor::zeros(&[3, 7]);
+            dsmm_into(&a, f.view(), &mut sparse);
+            matmul_into(&a, &f.dense, &mut dense);
+            assert_close(sparse.data(), dense.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn dsmm_nt_matches_dense() {
+        for seed in 1..5u64 {
+            let f = Fixture::random(6, 5, 0.3, seed);
+            let a = rand_t(&[4, 5], seed + 400);
+            let mut sparse = Tensor::zeros(&[4, 6]);
+            let mut dense = Tensor::zeros(&[4, 6]);
+            dsmm_nt_into(&a, f.view(), &mut sparse);
+            matmul_nt_into(&a, &f.dense, &mut dense);
+            assert_close(sparse.data(), dense.data(), 1e-5);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // nz indexes three parallel arrays
+    fn sddmm_nt_matches_masked_dense() {
+        for seed in 1..5u64 {
+            let f = Fixture::random(5, 6, 0.4, seed);
+            let a = rand_t(&[5, 7], seed + 500);
+            let b = rand_t(&[6, 7], seed + 600);
+            let mut vals = vec![0.0f32; f.vals.len()];
+            sddmm_nt_into(f.view(), &a, &b, &mut vals);
+            let mut dense = Tensor::zeros(&[5, 6]);
+            matmul_nt_into(&a, &b, &mut dense);
+            for r in 0..5 {
+                for nz in f.row_ptr[r]..f.row_ptr[r + 1] {
+                    let j = f.col_idx[nz] as usize;
+                    assert!(
+                        (vals[nz] - dense.at2(r, j)).abs() < 1e-4,
+                        "({r},{j}): {} vs {}",
+                        vals[nz],
+                        dense.at2(r, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // nz indexes three parallel arrays
+    fn sddmm_tn_matches_masked_dense() {
+        for seed in 1..5u64 {
+            let f = Fixture::random(4, 6, 0.4, seed);
+            let a = rand_t(&[8, 4], seed + 700);
+            let b = rand_t(&[8, 6], seed + 800);
+            let mut vals = vec![0.0f32; f.vals.len()];
+            sddmm_tn_into(f.view(), &a, &b, &mut vals);
+            let mut dense = Tensor::zeros(&[4, 6]);
+            matmul_tn_into(&a, &b, &mut dense);
+            for r in 0..4 {
+                for nz in f.row_ptr[r]..f.row_ptr[r + 1] {
+                    let j = f.col_idx[nz] as usize;
+                    assert!(
+                        (vals[nz] - dense.at2(r, j)).abs() < 1e-4,
+                        "({r},{j}): {} vs {}",
+                        vals[nz],
+                        dense.at2(r, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate() {
+        let f = Fixture::random(3, 3, 0.5, 9);
+        let b = Tensor::eye(3);
+        let mut c = Tensor::ones(&[3, 3]);
+        spmm_into(f.view(), &b, &mut c);
+        let expect = f.dense.add(&Tensor::ones(&[3, 3]));
+        assert_close(c.data(), expect.data(), 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn spmm_rejects_bad_shapes() {
+        let f = Fixture::random(3, 4, 0.5, 10);
+        let b = Tensor::zeros(&[3, 2]);
+        let mut c = Tensor::zeros(&[3, 2]);
+        spmm_into(f.view(), &b, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr")]
+    fn validate_rejects_malformed_view() {
+        let v = CsrView {
+            rows: 2,
+            cols: 2,
+            row_ptr: &[0, 1],
+            col_idx: &[0],
+            vals: &[1.0],
+        };
+        v.validate();
+    }
+}

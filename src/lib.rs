@@ -3,9 +3,14 @@
 //! Re-exports every subsystem crate under one roof so examples, integration
 //! tests, and downstream users can depend on a single crate:
 //!
-//! - [`tensor`] — dense f32 tensors, matmul, im2col convolution helpers
-//! - [`nn`] — layers, models (ResNet18 / VGG11 / SmallCnn), losses, SGD
-//! - [`sparse`] — masks, density accounting, top-k buffers, schedules
+//! - [`tensor`] — dense f32 tensors, matmul, im2col convolution helpers, and
+//!   the CSR sparse kernels (`spmm`/`dsmm`/`sddmm`) behind the sparse
+//!   execution engine
+//! - [`nn`] — layers, models (ResNet18 / VGG11 / SmallCnn), losses, SGD, and
+//!   the density-threshold dispatch that routes masked layers onto the
+//!   sparse kernels
+//! - [`sparse`] — masks, density accounting, CSR weight packing
+//!   ([`sparse::CsrMatrix`]), top-k buffers, schedules
 //! - [`data`] — synthetic dataset profiles and Dirichlet non-iid partitioning
 //! - [`fl`] — the federated-learning simulator (FedAvg, cost ledger)
 //! - [`pruning`] — baseline pruning methods (SNIP, SynFlow, FL-PQSU, PruneFL,

@@ -95,6 +95,8 @@ fn run_result_roundtrips_through_json() {
         memory_bytes: 2.79e6,
         comm_bytes: 1.0e8,
         extra_flops: 9.15e10,
+        realized_round_flops: 1.05e12,
+        train_wall_secs: 12.5,
     };
     let json = serde_json::to_string_pretty(&r).expect("ser");
     let back: RunResult = serde_json::from_str(&json).expect("de");
