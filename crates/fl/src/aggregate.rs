@@ -11,13 +11,103 @@ use ft_nn::BnStats;
 /// Panics if `updates` is empty, lengths differ, or the weight sum is zero.
 pub fn fedavg(updates: &[(Vec<f32>, f64)]) -> Vec<f32> {
     assert!(!updates.is_empty(), "fedavg needs at least one update");
-    let n = updates[0].0.len();
     let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
     assert!(total_w > 0.0, "fedavg weights sum to zero");
+    try_fedavg(updates).expect("nonempty updates with positive weight")
+}
+
+/// [`fedavg`] without the degenerate-cohort panics: returns `None` when
+/// `updates` is empty or the weight sum is not strictly positive (all-zero
+/// weights, a fully dropped cohort). This is the division-hazard-free
+/// primitive the schedulers build on — a `None` means "keep the previous
+/// global" rather than silently producing NaN-filled parameters.
+///
+/// # Panics
+///
+/// Still panics on ragged parameter lengths — that is a caller bug, not a
+/// degenerate-but-possible fleet state.
+pub fn try_fedavg(updates: &[(Vec<f32>, f64)]) -> Option<Vec<f32>> {
+    let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
+    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return None;
+    }
+    let n = updates[0].0.len();
     let mut out = vec![0.0f64; n];
     for (params, w) in updates {
         assert_eq!(params.len(), n, "fedavg parameter length mismatch");
         let wn = *w / total_w;
+        for (o, &p) in out.iter_mut().zip(params.iter()) {
+            *o += wn * p as f64;
+        }
+    }
+    Some(out.into_iter().map(|v| v as f32).collect())
+}
+
+/// Weighted average that degrades gracefully: an empty or zero-weight
+/// cohort returns a copy of `previous` (the current global) instead of
+/// panicking or emitting NaNs.
+///
+/// # Panics
+///
+/// Panics if an update's length differs from `previous`.
+///
+/// # Examples
+///
+/// ```
+/// use ft_fl::fedavg_or_previous;
+///
+/// let global = vec![1.0, 2.0];
+/// // Empty surviving cohort: the round makes no progress.
+/// assert_eq!(fedavg_or_previous(&[], &global), global);
+/// // All-zero weights are equally degenerate.
+/// let degenerate = vec![(vec![9.0, 9.0], 0.0)];
+/// assert_eq!(fedavg_or_previous(&degenerate, &global), global);
+/// ```
+pub fn fedavg_or_previous(updates: &[(Vec<f32>, f64)], previous: &[f32]) -> Vec<f32> {
+    for (params, _) in updates {
+        assert_eq!(
+            params.len(),
+            previous.len(),
+            "update length differs from the global model"
+        );
+    }
+    try_fedavg(updates).unwrap_or_else(|| previous.to_vec())
+}
+
+/// FedBuff-style staleness discount: an update computed `staleness` server
+/// versions ago is weighted by `1 / sqrt(1 + staleness)` (Nguyen et al.,
+/// "Federated Learning with Buffered Asynchronous Aggregation").
+pub fn staleness_weight(staleness: usize) -> f64 {
+    1.0 / (1.0 + staleness as f64).sqrt()
+}
+
+/// Staleness-weighted FedAvg over `(params, sample_weight, staleness)`
+/// triples: each update's weight is its sample count discounted by
+/// [`staleness_weight`]. With all-zero staleness this is exactly plain
+/// [`fedavg`]; a degenerate cohort returns `previous` unchanged. Borrows
+/// the parameter slices — no per-update copies.
+///
+/// # Panics
+///
+/// Panics if an update's length differs from `previous`.
+pub fn staleness_fedavg(updates: &[(&[f32], f64, usize)], previous: &[f32]) -> Vec<f32> {
+    for (params, _, _) in updates {
+        assert_eq!(
+            params.len(),
+            previous.len(),
+            "update length differs from the global model"
+        );
+    }
+    let total_w: f64 = updates
+        .iter()
+        .map(|(_, w, s)| w * staleness_weight(*s))
+        .sum();
+    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return previous.to_vec();
+    }
+    let mut out = vec![0.0f64; previous.len()];
+    for (params, w, s) in updates {
+        let wn = w * staleness_weight(*s) / total_w;
         for (o, &p) in out.iter_mut().zip(params.iter()) {
             *o += wn * p as f64;
         }
@@ -36,9 +126,20 @@ pub fn aggregate_bn_stats(updates: &[(Vec<BnStats>, f64)]) -> Vec<BnStats> {
         !updates.is_empty(),
         "bn aggregation needs at least one update"
     );
-    let layers = updates[0].0.len();
     let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
     assert!(total_w > 0.0, "bn aggregation weights sum to zero");
+    try_aggregate_bn_stats(updates).expect("nonempty updates with positive weight")
+}
+
+/// [`aggregate_bn_stats`] without the degenerate-cohort panics: `None` when
+/// `updates` is empty or all weights are zero, so schedulers can keep the
+/// previous global statistics instead.
+pub fn try_aggregate_bn_stats(updates: &[(Vec<BnStats>, f64)]) -> Option<Vec<BnStats>> {
+    let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
+    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return None;
+    }
+    let layers = updates[0].0.len();
     let mut out: Vec<BnStats> = updates[0]
         .0
         .iter()
@@ -60,7 +161,7 @@ pub fn aggregate_bn_stats(updates: &[(Vec<BnStats>, f64)]) -> Vec<BnStats> {
             }
         }
     }
-    out
+    Some(out)
 }
 
 #[cfg(test)]
@@ -120,5 +221,78 @@ mod tests {
         }];
         let got = aggregate_bn_stats(&[(a, 9.0), (b, 1.0)]);
         assert!((got[0].mean[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sim_empty_cohort_returns_previous_global_not_nan() {
+        // The division hazard pinned: an empty surviving cohort or an
+        // all-zero weight vector must hand back the previous global intact,
+        // never a NaN-filled vector.
+        let previous = vec![0.25f32, -1.5, 3.0];
+        assert_eq!(try_fedavg(&[]), None);
+        assert_eq!(try_fedavg(&[(vec![1.0, 1.0, 1.0], 0.0)]), None);
+        assert_eq!(fedavg_or_previous(&[], &previous), previous);
+        let got = fedavg_or_previous(&[(vec![9.0, 9.0, 9.0], 0.0)], &previous);
+        assert_eq!(got, previous);
+        assert!(got.iter().all(|v| v.is_finite()));
+        assert_eq!(try_aggregate_bn_stats(&[]), None);
+    }
+
+    #[test]
+    fn sim_staleness_weight_decays_from_one() {
+        assert_eq!(staleness_weight(0), 1.0);
+        assert!(staleness_weight(1) < 1.0);
+        assert!(staleness_weight(8) < staleness_weight(3));
+        assert!((staleness_weight(3) - 0.5).abs() < 1e-12); // 1/sqrt(4)
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// All-zero staleness makes staleness_fedavg exactly plain
+            /// fedavg, bit for bit.
+            #[test]
+            fn sim_zero_staleness_is_plain_fedavg(
+                raw in proptest::collection::vec(
+                    (proptest::collection::vec(-2.0f32..2.0, 5), 1.0f64..40.0),
+                    1..6,
+                ),
+            ) {
+                let stale: Vec<(&[f32], f64, usize)> = raw
+                    .iter()
+                    .map(|(p, w)| (p.as_slice(), *w, 0usize))
+                    .collect();
+                let previous = vec![7.0f32; 5];
+                prop_assert_eq!(staleness_fedavg(&stale, &previous), fedavg(&raw));
+            }
+
+            /// Positive staleness never increases an update's weight, and
+            /// the result stays a convex combination (bounded by the
+            /// per-coordinate min/max of the inputs).
+            #[test]
+            fn sim_staleness_result_is_convex_combination(
+                raw in proptest::collection::vec(
+                    (proptest::collection::vec(-2.0f32..2.0, 4), 1.0f64..40.0, 0usize..10),
+                    1..6,
+                ),
+            ) {
+                let previous = vec![0.0f32; 4];
+                let views: Vec<(&[f32], f64, usize)> = raw
+                    .iter()
+                    .map(|(p, w, s)| (p.as_slice(), *w, *s))
+                    .collect();
+                let got = staleness_fedavg(&views, &previous);
+                for i in 0..4 {
+                    let lo = raw.iter().map(|(p, _, _)| p[i]).fold(f32::INFINITY, f32::min);
+                    let hi = raw.iter().map(|(p, _, _)| p[i]).fold(f32::NEG_INFINITY, f32::max);
+                    prop_assert!(got[i] >= lo - 1e-5 && got[i] <= hi + 1e-5,
+                        "coord {} = {} outside [{}, {}]", i, got[i], lo, hi);
+                }
+            }
+        }
     }
 }

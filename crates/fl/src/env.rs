@@ -1,15 +1,17 @@
 //! Experiment environment: data generation + federated split.
 
 use crate::config::FlConfig;
+use crate::sched::Scheduler;
 use crate::spec::ModelSpec;
 use ft_data::{dirichlet_partition, Dataset, DatasetProfile, SynthConfig};
+use ft_metrics::DeviceProfile;
 use ft_nn::Model;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// A fully-prepared federated experiment: per-device training datasets (from
-/// a Dirichlet non-iid split), the central test set, and the run
-/// configuration.
+/// a Dirichlet non-iid split), the central test set, the simulated device
+/// fleet, and the run configuration.
 #[derive(Clone, Debug)]
 pub struct ExperimentEnv {
     /// Local training datasets, one per device.
@@ -23,6 +25,14 @@ pub struct ExperimentEnv {
     pub cfg: FlConfig,
     /// Which dataset profile generated the data.
     pub profile: DatasetProfile,
+    /// Compute/link/reliability profile of each simulated device. Defaults
+    /// to a uniform reliable fleet (the pre-fleet behavior); indexed modulo
+    /// its length so hand-built environments with resized `parts` stay
+    /// valid.
+    pub fleet: Vec<DeviceProfile>,
+    /// How the server closes rounds over that fleet. Defaults to
+    /// [`Scheduler::Synchronous`] (the classic barrier).
+    pub scheduler: Scheduler,
 }
 
 impl ExperimentEnv {
@@ -51,6 +61,30 @@ impl ExperimentEnv {
             server_public,
             cfg,
             profile: synth.profile,
+            fleet: DeviceProfile::fleet_uniform(cfg.devices),
+            scheduler: Scheduler::Synchronous,
+        }
+    }
+
+    /// Replaces the simulated device fleet (builder style).
+    pub fn with_fleet(mut self, fleet: Vec<DeviceProfile>) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
+    /// Replaces the round scheduler (builder style).
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The device profile of device `k` (fleet indexed modulo its length;
+    /// an empty fleet falls back to the uniform reference profile).
+    pub fn device_profile(&self, k: usize) -> DeviceProfile {
+        if self.fleet.is_empty() {
+            DeviceProfile::uniform()
+        } else {
+            self.fleet[k % self.fleet.len()]
         }
     }
 
@@ -125,6 +159,20 @@ mod tests {
         let a = ExperimentEnv::tiny_for_tests(3);
         let b = ExperimentEnv::tiny_for_tests(3);
         assert_eq!(a.parts[0].labels(), b.parts[0].labels());
+    }
+
+    #[test]
+    fn sim_fleet_defaults_are_uniform_and_synchronous() {
+        let env = ExperimentEnv::tiny_for_tests(0);
+        assert_eq!(env.fleet.len(), env.cfg.devices);
+        assert_eq!(env.scheduler, Scheduler::Synchronous);
+        assert_eq!(env.device_profile(0), DeviceProfile::uniform());
+        // Modulo indexing tolerates hand-resized environments; an empty
+        // fleet falls back to the reference profile.
+        let mut env = env.with_fleet(vec![DeviceProfile::slow()]);
+        assert_eq!(env.device_profile(5), DeviceProfile::slow());
+        env.fleet.clear();
+        assert_eq!(env.device_profile(2), DeviceProfile::uniform());
     }
 
     #[test]

@@ -2,6 +2,30 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One device-side training task as the fleet simulation saw it.
+///
+/// `round` is the server round (or, under buffered aggregation, the server
+/// version at which the task's update arrived); `applied` says whether the
+/// update reached the aggregate (false = dropped, past the deadline, or the
+/// whole round made no progress); `staleness` is the number of server
+/// versions that elapsed while the device trained (always 0 under barrier
+/// schedulers).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// Global device index.
+    pub device: usize,
+    /// Server round / version the task finished in.
+    pub round: usize,
+    /// Simulated second the device started training.
+    pub start_secs: f64,
+    /// Simulated second its update arrived at the server.
+    pub finish_secs: f64,
+    /// Whether the update contributed to an aggregation.
+    pub applied: bool,
+    /// Server versions elapsed between the task's start and its arrival.
+    pub staleness: usize,
+}
+
 /// Accumulates per-round device costs over a run.
 ///
 /// The paper reports the *maximum* per-round training FLOPs (whether any
@@ -12,6 +36,11 @@ use serde::{Deserialize, Serialize};
 /// multiply–accumulates the dense/sparse kernels executed) and device
 /// wall-clock, so the analytic claims can be checked against reality.
 ///
+/// The fleet simulation adds a third axis, *simulated time*: each round's
+/// virtual-clock span ([`record_sim_round`](CostLedger::record_sim_round)),
+/// a per-device [`TimelineEvent`] log, and a count of zero-progress rounds
+/// (rounds whose surviving cohort was empty).
+///
 /// # Examples
 ///
 /// ```
@@ -20,19 +49,25 @@ use serde::{Deserialize, Serialize};
 /// let mut ledger = CostLedger::new();
 /// ledger.record_round_flops(2.0e9); // analytic
 /// ledger.record_realized_round(1.9e9, 0.25); // executed + wall-clock
+/// ledger.record_sim_round(14.5); // simulated fleet makespan of the round
 /// ledger.add_comm(1.0e6);
 /// assert_eq!(ledger.max_round_flops(), 2.0e9);
 /// assert_eq!(ledger.max_realized_round_flops(), 1.9e9);
 /// assert_eq!(ledger.total_train_wall_secs(), 0.25);
+/// assert_eq!(ledger.sim_makespan_secs(), 14.5);
 /// assert_eq!(ledger.rounds(), 1);
+/// assert_eq!(ledger.zero_progress_rounds(), 0);
 /// ```
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct CostLedger {
     round_flops: Vec<f64>,
     realized_flops: Vec<f64>,
     wall_secs: Vec<f64>,
+    sim_secs: Vec<f64>,
     comm_bytes: f64,
     extra_flops: f64,
+    zero_progress: usize,
+    timeline: Vec<TimelineEvent>,
 }
 
 impl CostLedger {
@@ -52,6 +87,32 @@ impl CostLedger {
     pub fn record_realized_round(&mut self, flops: f64, wall_secs: f64) {
         self.realized_flops.push(flops);
         self.wall_secs.push(wall_secs);
+    }
+
+    /// Records one round's simulated fleet makespan (virtual seconds from
+    /// the round's start until the server could aggregate).
+    pub fn record_sim_round(&mut self, secs: f64) {
+        self.sim_secs.push(secs);
+    }
+
+    /// Marks the most recent round as zero-progress: its surviving cohort
+    /// was empty (all devices dropped or late), so the global model was
+    /// left unchanged.
+    pub fn record_zero_progress(&mut self) {
+        self.zero_progress += 1;
+    }
+
+    /// Appends one device-task event to the per-device timeline and
+    /// returns its index (so a buffered scheduler can flip `applied` once
+    /// the update actually reaches an aggregate).
+    pub fn record_timeline(&mut self, event: TimelineEvent) -> usize {
+        self.timeline.push(event);
+        self.timeline.len() - 1
+    }
+
+    /// Marks a previously recorded timeline event as applied.
+    pub(crate) fn set_timeline_applied(&mut self, idx: usize) {
+        self.timeline[idx].applied = true;
     }
 
     /// Adds communication volume (bytes, any direction).
@@ -91,6 +152,50 @@ impl CostLedger {
         self.extra_flops
     }
 
+    /// Total simulated fleet time across all rounds — the virtual-clock
+    /// makespan of the whole run. This is the "how long would the fleet the
+    /// paper targets actually take" number, next to
+    /// [`total_train_wall_secs`](Self::total_train_wall_secs) which measures
+    /// the simulator host.
+    pub fn sim_makespan_secs(&self) -> f64 {
+        self.sim_secs.iter().sum()
+    }
+
+    /// Longest simulated single-round span, zero if nothing was recorded.
+    pub fn max_sim_round_secs(&self) -> f64 {
+        self.sim_secs.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Rounds whose surviving cohort was empty (no update applied).
+    pub fn zero_progress_rounds(&self) -> usize {
+        self.zero_progress
+    }
+
+    /// The per-device task timeline, in simulated arrival order.
+    pub fn timeline(&self) -> &[TimelineEvent] {
+        &self.timeline
+    }
+
+    /// Per-round analytic training FLOPs, in round order.
+    pub fn round_flops_history(&self) -> &[f64] {
+        &self.round_flops
+    }
+
+    /// Per-round realized (executed) FLOPs, in round order.
+    pub fn realized_flops_history(&self) -> &[f64] {
+        &self.realized_flops
+    }
+
+    /// Per-round simulated makespans, in round order.
+    pub fn sim_secs_history(&self) -> &[f64] {
+        &self.sim_secs
+    }
+
+    /// Device updates that never reached an aggregate (dropped or late).
+    pub fn dropped_updates(&self) -> usize {
+        self.timeline.iter().filter(|e| !e.applied).count()
+    }
+
     /// Number of recorded rounds.
     pub fn rounds(&self) -> usize {
         self.round_flops.len()
@@ -123,6 +228,10 @@ pub struct RunResult {
     /// Total wall-clock seconds spent in device-side local training; 0 when
     /// unrecorded.
     pub train_wall_secs: f64,
+    /// Total *simulated* fleet seconds for the run under the environment's
+    /// device profiles and scheduler (the virtual-time counterpart of
+    /// `train_wall_secs`); 0 when unrecorded.
+    pub sim_makespan_secs: f64,
 }
 
 impl RunResult {
@@ -165,6 +274,38 @@ mod tests {
     }
 
     #[test]
+    fn sim_ledger_tracks_virtual_time_and_timeline() {
+        let mut l = CostLedger::new();
+        assert_eq!(l.sim_makespan_secs(), 0.0);
+        assert_eq!(l.zero_progress_rounds(), 0);
+        l.record_sim_round(3.0);
+        l.record_sim_round(7.5);
+        l.record_zero_progress();
+        l.record_timeline(TimelineEvent {
+            device: 1,
+            round: 0,
+            start_secs: 0.0,
+            finish_secs: 3.0,
+            applied: true,
+            staleness: 0,
+        });
+        l.record_timeline(TimelineEvent {
+            device: 2,
+            round: 1,
+            start_secs: 3.0,
+            finish_secs: 10.5,
+            applied: false,
+            staleness: 2,
+        });
+        assert_eq!(l.sim_makespan_secs(), 10.5);
+        assert_eq!(l.max_sim_round_secs(), 7.5);
+        assert_eq!(l.zero_progress_rounds(), 1);
+        assert_eq!(l.timeline().len(), 2);
+        assert_eq!(l.dropped_updates(), 1);
+        assert_eq!(l.timeline()[1].staleness, 2);
+    }
+
+    #[test]
     fn best_accuracy_scans_history() {
         let r = RunResult {
             method: "x".into(),
@@ -177,6 +318,7 @@ mod tests {
             extra_flops: 0.0,
             realized_round_flops: 0.0,
             train_wall_secs: 0.0,
+            sim_makespan_secs: 0.0,
         };
         assert_eq!(r.best_accuracy(), 0.7);
     }

@@ -9,10 +9,16 @@
 //! - [`local_train`] / [`train_devices_parallel`] — `E` epochs of (masked)
 //!   SGD per device, optionally fanned out over OS threads.
 //! - [`fedavg`] / [`aggregate_bn_stats`] — size-weighted averaging of flat
-//!   parameter vectors and of BatchNorm running statistics (Eqs. 4 and 7).
+//!   parameter vectors and of BatchNorm running statistics (Eqs. 4 and 7);
+//!   [`staleness_fedavg`] / [`fedavg_or_previous`] are the
+//!   straggler-tolerant variants the schedulers build on.
+//! - [`Scheduler`] — how the server closes rounds over the environment's
+//!   simulated [`DeviceProfile`] fleet: synchronous barrier, deadline cut,
+//!   or FedBuff-style buffered asynchrony, all on a virtual clock.
 //! - [`evaluate`] — top-1 accuracy of the global model on the test split.
-//! - [`CostLedger`] / [`RunResult`] — per-round FLOPs/communication records
-//!   and the uniform result struct every method runner returns.
+//! - [`CostLedger`] / [`RunResult`] — per-round FLOPs/communication records,
+//!   simulated fleet makespans and per-device [`TimelineEvent`]s, and the
+//!   uniform result struct every method runner returns.
 //!
 //! # Examples
 //!
@@ -30,15 +36,22 @@ mod config;
 mod env;
 mod ledger;
 mod rounds;
+mod sched;
 mod spec;
 mod train;
 
-pub use aggregate::{aggregate_bn_stats, fedavg};
+pub use aggregate::{
+    aggregate_bn_stats, fedavg, fedavg_or_previous, staleness_fedavg, staleness_weight,
+    try_aggregate_bn_stats, try_fedavg,
+};
 pub use config::FlConfig;
 pub use env::ExperimentEnv;
-pub use ledger::{CostLedger, RunResult};
+pub use ft_metrics::{DeviceProfile, SimClock};
+pub use ledger::{CostLedger, RunResult, TimelineEvent};
 pub use rounds::{no_hook, run_federated_rounds, schedule_fits, RoundHook};
+pub use sched::{device_round_cost, device_sim_secs, fleet_spread_deadline, Scheduler};
 pub use spec::ModelSpec;
 pub use train::{
-    eval_loss, evaluate, local_train, local_train_prox, train_devices_parallel, DeviceUpdate,
+    device_rng_seed, eval_loss, evaluate, local_train, local_train_prox, train_devices_parallel,
+    train_one_device, DeviceUpdate,
 };

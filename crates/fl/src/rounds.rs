@@ -1,12 +1,10 @@
 //! The generic federated round loop shared by every pruning method.
 
-use crate::aggregate::{aggregate_bn_stats, fedavg};
 use crate::config::FlConfig;
 use crate::env::ExperimentEnv;
 use crate::ledger::CostLedger;
-use crate::train::{evaluate, train_devices_parallel};
-use ft_metrics::{densities_from_mask, sparse_model_bytes, training_flops};
-use ft_nn::{apply_mask, set_flat_params, Model};
+use crate::sched::{run_barrier_rounds, run_buffered_rounds, Scheduler};
+use ft_nn::Model;
 use ft_sparse::Mask;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -19,18 +17,22 @@ use rand_chacha::ChaCha8Rng;
 /// that round; communication should be added to the ledger directly.
 pub type RoundHook<'a> = dyn FnMut(&mut dyn Model, &mut Mask, usize, &mut CostLedger) -> f64 + 'a;
 
-/// Runs `env.cfg.rounds` rounds of (masked) FedAvg:
+/// Runs `env.cfg.rounds` rounds of (masked) FedAvg under the environment's
+/// [`Scheduler`] and simulated device fleet:
 ///
 /// 1. every device trains `E` local epochs from the global model with
 ///    gradients masked by `mask` (Eq. 5);
-/// 2. the server averages parameters and BN statistics weighted by `|D_k|`
-///    and re-applies the mask;
+/// 2. the server aggregates parameters and BN statistics weighted by
+///    `|D_k|` — the whole cohort under `Synchronous`, the on-time survivors
+///    under `Deadline`, a staleness-weighted buffer under `Buffered` — and
+///    re-applies the mask;
 /// 3. `hook` runs (mask adjustments, schedule events, …);
 /// 4. the global model is evaluated every `eval_every` rounds and at the
 ///    end.
 ///
-/// Per-round training FLOPs (at the round's density) and model-transfer
-/// bytes are recorded in `ledger`. Returns the accuracy history (always
+/// Per-round training FLOPs (at the round's density), model-transfer
+/// bytes, realized execution costs, and the round's *simulated* fleet
+/// makespan are recorded in `ledger`. Returns the accuracy history (always
 /// nonempty).
 pub fn run_federated_rounds(
     global: &mut dyn Model,
@@ -40,71 +42,23 @@ pub fn run_federated_rounds(
     ledger: &mut CostLedger,
     hook: &mut RoundHook<'_>,
 ) -> Vec<f32> {
-    let arch = global.arch();
-    let max_samples = env.parts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
-    let mut history = Vec::new();
-
-    for round in 0..env.cfg.rounds {
-        // Partial participation: sample the round's cohort (all devices at
-        // participation = 1.0, the paper's setting).
-        let cohort = sample_cohort(env, round);
-        let parts: Vec<ft_data::Dataset> = cohort.iter().map(|&k| env.parts[k].clone()).collect();
-        let weights: Vec<f64> = cohort.iter().map(|&k| env.parts[k].len() as f64).collect();
-        let updates = train_devices_parallel(global, &parts, Some(mask), &env.cfg, round);
-        let param_updates: Vec<(Vec<f32>, f64)> = updates
-            .iter()
-            .zip(weights.iter())
-            .map(|(u, &w)| (u.params.clone(), w))
-            .collect();
-        set_flat_params(global, &fedavg(&param_updates));
-        let bn_updates: Vec<_> = updates
-            .iter()
-            .zip(weights.iter())
-            .map(|(u, &w)| (u.bn.clone(), w))
-            .collect();
-        let new_bn = aggregate_bn_stats(&bn_updates);
-        for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
-            *dst = src.clone();
+    match env.scheduler {
+        Scheduler::Synchronous => {
+            run_barrier_rounds(global, mask, env, eval_every, ledger, hook, None)
         }
-        apply_mask(global, mask);
-
-        let densities = densities_from_mask(mask);
-        let mut round_flops =
-            training_flops(&arch, &densities) * max_samples * env.cfg.local_epochs as f64;
-        ledger.add_comm(2.0 * sparse_model_bytes(&arch, &densities));
-
-        // Realized execution cost next to the analytic count: the heaviest
-        // device's executed MAC FLOPs, and the round's training wall-clock
-        // (the slowest device when devices run in parallel, the sum when
-        // they run sequentially).
-        let max_realized = updates
-            .iter()
-            .map(|u| u.realized_flops)
-            .fold(0.0, f64::max);
-        let round_wall = if env.cfg.parallel {
-            updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
-        } else {
-            updates.iter().map(|u| u.wall_secs).sum()
-        };
-        ledger.record_realized_round(max_realized, round_wall);
-
-        round_flops += hook(global, mask, round, ledger);
-        ledger.record_round_flops(round_flops);
-
-        if (eval_every > 0 && round % eval_every == eval_every - 1) || round + 1 == env.cfg.rounds {
-            history.push(evaluate(global, &env.test));
+        Scheduler::Deadline { deadline_secs } => {
+            run_barrier_rounds(global, mask, env, eval_every, ledger, hook, Some(deadline_secs))
+        }
+        Scheduler::Buffered { buffer_k } => {
+            run_buffered_rounds(global, mask, env, eval_every, ledger, hook, buffer_k)
         }
     }
-    if history.is_empty() {
-        history.push(evaluate(global, &env.test));
-    }
-    history
 }
 
 /// Samples the participating device indices for one round: all devices at
 /// `participation = 1.0`, otherwise a seeded sample of
 /// `ceil(K · participation)` devices (at least one).
-fn sample_cohort(env: &ExperimentEnv, round: usize) -> Vec<usize> {
+pub(crate) fn sample_cohort(env: &ExperimentEnv, round: usize) -> Vec<usize> {
     let k = env.num_devices();
     let frac = env.cfg.participation.clamp(0.0, 1.0);
     if frac >= 1.0 {
@@ -135,7 +89,7 @@ pub fn schedule_fits(cfg: &FlConfig, r_stop: usize) -> bool {
 mod tests {
     use super::*;
     use crate::spec::ModelSpec;
-    use ft_nn::sparse_layout;
+    use ft_nn::{apply_mask, sparse_layout};
 
     #[test]
     fn dense_rounds_learn_something() {

@@ -1,0 +1,827 @@
+//! Virtual-time fleet scheduling: how the server closes rounds over a
+//! heterogeneous device fleet.
+//!
+//! The classic loop assumes identical devices that all finish together. The
+//! [`Scheduler`] policies relax that over the environment's
+//! [`DeviceProfile`](ft_metrics::DeviceProfile) fleet, with every device's
+//! analytic FLOPs + transfer bytes converted to *simulated seconds* by a
+//! [`SimClock`](ft_metrics::SimClock):
+//!
+//! - [`Scheduler::Synchronous`] — the barrier: the server waits for every
+//!   cohort member; the round's simulated span is the slowest device.
+//! - [`Scheduler::Deadline`] — the server cuts the round at a deadline;
+//!   late (and dropped) devices are excluded from the aggregate. An empty
+//!   surviving cohort leaves the global unchanged and is recorded as a
+//!   zero-progress round.
+//! - [`Scheduler::Buffered`] — FedBuff-style asynchrony: devices train
+//!   continuously against whatever global they last downloaded; the server
+//!   applies a staleness-weighted aggregate as soon as `buffer_k` updates
+//!   arrive. One aggregation = one "round".
+//!
+//! All policies keep the workspace's determinism contract: every stochastic
+//! choice (batch order, jitter, dropout) is a pure function of
+//! `(seed, round/task, device)`, so parallel and sequential host execution
+//! produce bit-identical results.
+
+use crate::aggregate::{staleness_fedavg, staleness_weight, try_aggregate_bn_stats, try_fedavg};
+use crate::env::ExperimentEnv;
+use crate::ledger::{CostLedger, TimelineEvent};
+use crate::rounds::{sample_cohort, RoundHook};
+use crate::train::{evaluate, train_devices_parallel, train_one_device, DeviceUpdate};
+use ft_metrics::{densities_from_mask, sparse_model_bytes, training_flops, DeviceProfile, SimClock};
+use ft_nn::{apply_mask, flat_params, set_flat_params, ArchInfo, Model};
+use ft_sparse::Mask;
+use serde::{Deserialize, Serialize};
+
+/// Round-closing policy over the simulated fleet.
+///
+/// # Examples
+///
+/// ```
+/// use ft_fl::Scheduler;
+///
+/// let mut env = ft_fl::ExperimentEnv::tiny_for_tests(0);
+/// // Cut every round after 30 simulated seconds; stragglers are dropped.
+/// env.scheduler = Scheduler::Deadline { deadline_secs: 30.0 };
+/// assert_eq!(env.scheduler.name(), "deadline");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Barrier aggregation: wait for the whole cohort (the paper's
+    /// setting). Round span = slowest cohort member.
+    #[default]
+    Synchronous,
+    /// Barrier with a cutoff: updates arriving after `deadline_secs`
+    /// simulated seconds are discarded. Round span = `min(slowest,
+    /// deadline)`.
+    Deadline {
+        /// Simulated seconds after which the server closes the round.
+        deadline_secs: f64,
+    },
+    /// FedBuff-style buffered asynchrony: the server aggregates
+    /// staleness-weighted updates as soon as `buffer_k` arrive; devices
+    /// immediately restart from the newest global. Partial participation is
+    /// ignored — every device streams continuously.
+    Buffered {
+        /// Updates buffered before the server aggregates (clamped to
+        /// `[1, devices]`).
+        buffer_k: usize,
+    },
+}
+
+impl Scheduler {
+    /// Stable lowercase name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheduler::Synchronous => "synchronous",
+            Scheduler::Deadline { .. } => "deadline",
+            Scheduler::Buffered { .. } => "buffered",
+        }
+    }
+}
+
+/// Analytic cost of one local-training task at the given mask densities:
+/// `(training FLOPs, transfer bytes)` for a device holding `samples`
+/// samples. Bytes cover one download + one upload of the sparse model.
+pub fn device_round_cost(
+    arch: &ArchInfo,
+    densities: &[f32],
+    samples: usize,
+    local_epochs: usize,
+) -> (f64, f64) {
+    let flops = training_flops(arch, densities) * samples as f64 * local_epochs as f64;
+    let bytes = 2.0 * sparse_model_bytes(arch, densities);
+    (flops, bytes)
+}
+
+/// Jitter-free simulated seconds one round takes on `profile` — the
+/// deterministic part of the time model, handy for picking deadlines.
+pub fn device_sim_secs(
+    profile: &DeviceProfile,
+    arch: &ArchInfo,
+    densities: &[f32],
+    samples: usize,
+    local_epochs: usize,
+) -> f64 {
+    let (flops, bytes) = device_round_cost(arch, densities, samples, local_epochs);
+    profile.base_round_secs(flops, bytes)
+}
+
+/// A deadline strictly inside a fleet's spread: the geometric mean of the
+/// fastest and the slowest device's jitter-free simulated round time at
+/// `densities` — fast tiers land comfortably, the slowest tier is cut.
+/// The shared heuristic behind the deadline benches, examples, and tests.
+pub fn fleet_spread_deadline(env: &ExperimentEnv, arch: &ArchInfo, densities: &[f32]) -> f64 {
+    let secs: Vec<f64> = (0..env.num_devices())
+        .map(|k| {
+            device_sim_secs(
+                &env.device_profile(k),
+                arch,
+                densities,
+                env.parts[k].len(),
+                env.cfg.local_epochs,
+            )
+        })
+        .collect();
+    let fastest = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let slowest = secs.iter().cloned().fold(0.0f64, f64::max);
+    (fastest * slowest).sqrt()
+}
+
+/// Whether the round loop evaluates after round `round` of `rounds`.
+pub(crate) fn should_eval(eval_every: usize, round: usize, rounds: usize) -> bool {
+    (eval_every > 0 && round % eval_every == eval_every - 1) || round + 1 == rounds
+}
+
+/// Weighted parameter updates of the surviving cohort members: `(params,
+/// |D_k|)` pairs. The weights always sum to the participating sample count
+/// (the invariant every aggregation in the paper relies on).
+pub(crate) fn survivor_param_updates(
+    updates: &[DeviceUpdate],
+    alive: &[bool],
+) -> Vec<(Vec<f32>, f64)> {
+    updates
+        .iter()
+        .zip(alive.iter())
+        .filter(|(_, &a)| a)
+        .map(|(u, _)| (u.params.clone(), u.samples as f64))
+        .collect()
+}
+
+/// Barrier-style rounds (Synchronous, and Deadline when `deadline` is
+/// `Some`): the whole cohort trains from the same global, then the server
+/// aggregates whichever updates survived the fleet (dropout, deadline).
+pub(crate) fn run_barrier_rounds(
+    global: &mut dyn Model,
+    mask: &mut Mask,
+    env: &ExperimentEnv,
+    eval_every: usize,
+    ledger: &mut CostLedger,
+    hook: &mut RoundHook<'_>,
+    deadline: Option<f64>,
+) -> Vec<f32> {
+    let arch = global.arch();
+    let max_samples = env.parts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
+    let mut clock = SimClock::new(env.cfg.seed);
+    let mut history = Vec::new();
+
+    for round in 0..env.cfg.rounds {
+        // Partial participation: sample the round's cohort (all devices at
+        // participation = 1.0, the paper's setting).
+        let cohort = sample_cohort(env, round);
+        let parts: Vec<ft_data::Dataset> = cohort.iter().map(|&k| env.parts[k].clone()).collect();
+        let updates = train_devices_parallel(global, &parts, Some(mask), &env.cfg, round);
+
+        // Simulated fleet: finish time and survival of every cohort member.
+        let densities = densities_from_mask(mask);
+        let per_sample_flops = training_flops(&arch, &densities);
+        let bytes = 2.0 * sparse_model_bytes(&arch, &densities);
+        let round_start = clock.now();
+        let mut finish = Vec::with_capacity(cohort.len());
+        let mut alive = Vec::with_capacity(cohort.len());
+        for (u, &k) in updates.iter().zip(cohort.iter()) {
+            let profile = env.device_profile(k);
+            let flops = per_sample_flops * u.samples as f64 * env.cfg.local_epochs as f64;
+            let secs = clock.device_secs(&profile, flops, bytes, round, k);
+            let timely = deadline.is_none_or(|d| secs <= d);
+            let dropped = clock.dropout_hits(&profile, round, k);
+            finish.push(secs);
+            alive.push(timely && !dropped);
+        }
+
+        // Aggregate the survivors; an empty (or zero-weight) cohort leaves
+        // the global untouched and records a zero-progress round.
+        let surviving = survivor_param_updates(&updates, &alive);
+        let progressed = match try_fedavg(&surviving) {
+            Some(new_params) => {
+                set_flat_params(global, &new_params);
+                let bn_updates: Vec<_> = updates
+                    .iter()
+                    .zip(alive.iter())
+                    .filter(|(_, &a)| a)
+                    .map(|(u, _)| (u.bn.clone(), u.samples as f64))
+                    .collect();
+                if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
+                    for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
+                        *dst = src.clone();
+                    }
+                }
+                true
+            }
+            None => {
+                ledger.record_zero_progress();
+                false
+            }
+        };
+        apply_mask(global, mask);
+
+        for ((&k, &secs), &a) in cohort.iter().zip(finish.iter()).zip(alive.iter()) {
+            ledger.record_timeline(TimelineEvent {
+                device: k,
+                round,
+                start_secs: round_start,
+                finish_secs: round_start + secs,
+                applied: progressed && a,
+                staleness: 0,
+            });
+        }
+
+        // The round's simulated span: slowest cohort member, cut at the
+        // deadline when one is set.
+        let slowest = finish.iter().cloned().fold(0.0, f64::max);
+        let span = match deadline {
+            Some(d) => slowest.min(d),
+            None => slowest,
+        };
+        clock.advance_by(span);
+        ledger.record_sim_round(span);
+
+        // Cost accounting: analytic (paper-style, the heaviest device at
+        // the round's densities — paid even by devices that were dropped),
+        // plus the realized execution costs the devices reported.
+        let mut round_flops = per_sample_flops * max_samples * env.cfg.local_epochs as f64;
+        ledger.add_comm(bytes);
+        let max_realized = updates
+            .iter()
+            .map(|u| u.realized_flops)
+            .fold(0.0, f64::max);
+        let round_wall = if env.cfg.parallel {
+            updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
+        } else {
+            updates.iter().map(|u| u.wall_secs).sum()
+        };
+        ledger.record_realized_round(max_realized, round_wall);
+
+        round_flops += hook(global, mask, round, ledger);
+        ledger.record_round_flops(round_flops);
+
+        if should_eval(eval_every, round, env.cfg.rounds) {
+            history.push(evaluate(global, &env.test));
+        }
+    }
+    if history.is_empty() {
+        history.push(evaluate(global, &env.test));
+    }
+    history
+}
+
+/// One in-flight device task in the buffered event loop.
+struct InFlight {
+    device: usize,
+    start_secs: f64,
+    finish_secs: f64,
+    start_version: usize,
+    dropped: bool,
+    analytic_flops: f64,
+    bytes: f64,
+    update: DeviceUpdate,
+}
+
+/// FedBuff-style buffered asynchronous rounds: an event loop over the
+/// virtual clock. Every device trains continuously; the server aggregates
+/// (staleness-weighted) once `buffer_k` updates arrive, which defines one
+/// "round". Devices restart immediately from the newest global, so a slow
+/// device's update can be several versions stale when it lands.
+pub(crate) fn run_buffered_rounds(
+    global: &mut dyn Model,
+    mask: &mut Mask,
+    env: &ExperimentEnv,
+    eval_every: usize,
+    ledger: &mut CostLedger,
+    hook: &mut RoundHook<'_>,
+    buffer_k: usize,
+) -> Vec<f32> {
+    let mut history = Vec::new();
+    let n = env.num_devices();
+    if env.cfg.rounds == 0 || n == 0 {
+        history.push(evaluate(global, &env.test));
+        return history;
+    }
+    let arch = global.arch();
+    let k_needed = buffer_k.clamp(1, n);
+    let mut clock = SimClock::new(env.cfg.seed);
+    let mut version = 0usize;
+    let mut task_counter = vec![0usize; n];
+    let mut last_agg_secs = 0.0f64;
+
+    // Mask densities, refreshed only when the mask can change (after an
+    // aggregation's hook) rather than on every event.
+    let mut densities = densities_from_mask(mask);
+
+    // Initial wave: every device starts at t = 0 from version 0. This is
+    // the only multi-device start, so it reuses the parallel trainer (same
+    // `(seed, 0, device)` RNG streams as a synchronous first round).
+    let mut in_flight: Vec<InFlight> = {
+        let updates = train_devices_parallel(global, &env.parts, Some(mask), &env.cfg, 0);
+        updates
+            .into_iter()
+            .enumerate()
+            .map(|(k, u)| {
+                let profile = env.device_profile(k);
+                let (flops, bytes) =
+                    device_round_cost(&arch, &densities, u.samples, env.cfg.local_epochs);
+                let secs = clock.device_secs(&profile, flops, bytes, task_counter[k], k);
+                let dropped = clock.dropout_hits(&profile, task_counter[k], k);
+                task_counter[k] += 1;
+                InFlight {
+                    device: k,
+                    start_secs: 0.0,
+                    finish_secs: secs,
+                    start_version: 0,
+                    dropped,
+                    analytic_flops: flops,
+                    bytes,
+                    update: u,
+                }
+            })
+            .collect()
+    };
+
+    // Safety valve: with pathological dropout (every update lost) the
+    // buffer can never fill; cap the event count instead of spinning.
+    let max_events = env.cfg.rounds.max(1) * n * 64;
+    let mut events = 0usize;
+    // Buffered arrivals awaiting aggregation: `event_idx` points at the
+    // arrival's timeline entry, flipped to applied once it aggregates.
+    struct Buffered {
+        update: DeviceUpdate,
+        staleness: usize,
+        analytic_flops: f64,
+        bytes: f64,
+        event_idx: usize,
+    }
+    let mut buffer: Vec<Buffered> = Vec::new();
+
+    while version < env.cfg.rounds && events < max_events {
+        events += 1;
+        // Earliest finisher; ties break on the lower device index, so the
+        // event order is a pure function of the simulated times.
+        let next = in_flight
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.finish_secs
+                    .total_cmp(&b.finish_secs)
+                    .then(a.device.cmp(&b.device))
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty fleet");
+        let task = in_flight.swap_remove(next);
+        clock.advance_to(task.finish_secs);
+        let staleness = version - task.start_version;
+
+        // Recorded as not-applied until it actually reaches an aggregate;
+        // a dropped (or forever-buffered) update keeps `applied: false`.
+        let event_idx = ledger.record_timeline(TimelineEvent {
+            device: task.device,
+            round: version,
+            start_secs: task.start_secs,
+            finish_secs: task.finish_secs,
+            applied: false,
+            staleness,
+        });
+        if !task.dropped {
+            buffer.push(Buffered {
+                update: task.update,
+                staleness,
+                analytic_flops: task.analytic_flops,
+                bytes: task.bytes,
+                event_idx,
+            });
+        }
+
+        if buffer.len() >= k_needed {
+            // Staleness-weighted aggregation over the buffered updates.
+            let prev = flat_params(global);
+            let param_updates: Vec<(&[f32], f64, usize)> = buffer
+                .iter()
+                .map(|b| (b.update.params.as_slice(), b.update.samples as f64, b.staleness))
+                .collect();
+            set_flat_params(global, &staleness_fedavg(&param_updates, &prev));
+            let bn_updates: Vec<_> = buffer
+                .iter()
+                .map(|b| {
+                    (
+                        b.update.bn.clone(),
+                        b.update.samples as f64 * staleness_weight(b.staleness),
+                    )
+                })
+                .collect();
+            if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
+                for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
+                    *dst = src.clone();
+                }
+            }
+            // Re-apply the mask: stale updates were trained under old
+            // masks and must not resurrect pruned weights.
+            apply_mask(global, mask);
+
+            // Per-device accounting, matching the barrier loop's
+            // convention: one round charges one model transfer (the
+            // heaviest in the buffer), not the fleet-summed traffic.
+            ledger.add_comm(buffer.iter().map(|b| b.bytes).fold(0.0, f64::max));
+            for b in &buffer {
+                ledger.set_timeline_applied(b.event_idx);
+            }
+            let analytic = buffer.iter().map(|b| b.analytic_flops).fold(0.0, f64::max);
+            let realized = buffer
+                .iter()
+                .map(|b| b.update.realized_flops)
+                .fold(0.0, f64::max);
+            let wall = buffer
+                .iter()
+                .map(|b| b.update.wall_secs)
+                .fold(0.0, f64::max);
+            ledger.record_realized_round(realized, wall);
+            ledger.record_sim_round(clock.now() - last_agg_secs);
+            last_agg_secs = clock.now();
+            buffer.clear();
+
+            let extra = hook(global, mask, version, ledger);
+            // The hook may have adjusted the mask: refresh the cached
+            // densities for the tasks launched from here on.
+            densities = densities_from_mask(mask);
+            ledger.record_round_flops(analytic + extra);
+            if should_eval(eval_every, version, env.cfg.rounds) {
+                history.push(evaluate(global, &env.test));
+            }
+            version += 1;
+        }
+
+        // The finisher restarts immediately from the current global (and
+        // the current mask/version — its next update is fresh by
+        // construction). No restart once the final round has aggregated.
+        if version >= env.cfg.rounds {
+            break;
+        }
+        let k = task.device;
+        let profile = env.device_profile(k);
+        let update = train_one_device(
+            &*global,
+            &env.parts[k],
+            Some(mask),
+            &env.cfg,
+            version,
+            k,
+            task_counter[k] as u64,
+        );
+        let (flops, bytes) = device_round_cost(&arch, &densities, update.samples, env.cfg.local_epochs);
+        let secs = clock.device_secs(&profile, flops, bytes, task_counter[k], k);
+        let dropped = clock.dropout_hits(&profile, task_counter[k], k);
+        task_counter[k] += 1;
+        in_flight.push(InFlight {
+            device: k,
+            start_secs: clock.now(),
+            finish_secs: clock.now() + secs,
+            start_version: version,
+            dropped,
+            analytic_flops: flops,
+            bytes,
+            update,
+        });
+    }
+
+    // Rounds the event cap starved (pathological all-dropout fleets):
+    // recorded as zero-progress so the ledger still covers `cfg.rounds`.
+    while version < env.cfg.rounds {
+        ledger.record_round_flops(0.0);
+        ledger.record_sim_round(0.0);
+        ledger.record_zero_progress();
+        version += 1;
+    }
+    if history.is_empty() {
+        history.push(evaluate(global, &env.test));
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::{no_hook, run_federated_rounds};
+    use crate::spec::ModelSpec;
+    use ft_nn::sparse_layout;
+    use proptest::prelude::*;
+
+    /// Runs one policy end-to-end on a mixed fleet and returns everything
+    /// the determinism tests compare bit-for-bit.
+    fn run_policy(scheduler: Scheduler, parallel: bool, seed: u64) -> (Vec<f32>, Vec<f32>, String) {
+        let mut env = ExperimentEnv::tiny_for_tests(seed);
+        env.cfg.parallel = parallel;
+        env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+        env.scheduler = scheduler;
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let layout = sparse_layout(model.as_ref());
+        let mut mask = Mask::ones(&layout);
+        let mut ledger = CostLedger::new();
+        let history = run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            1,
+            &mut ledger,
+            &mut no_hook(),
+        );
+        (history, flat_params(model.as_ref()), ledger_fingerprint(&ledger))
+    }
+
+    /// The deterministic projection of a ledger: everything except host
+    /// wall-clock, with floats rendered bit-exactly.
+    fn ledger_fingerprint(ledger: &CostLedger) -> String {
+        let bits = |v: &[f64]| -> Vec<String> {
+            v.iter().map(|x| format!("{:016x}", x.to_bits())).collect()
+        };
+        format!(
+            "flops={:?} realized={:?} sim={:?} comm={:016x} extra={:016x} zero={} timeline={}",
+            bits(ledger.round_flops_history()),
+            bits(ledger.realized_flops_history()),
+            bits(ledger.sim_secs_history()),
+            ledger.total_comm_bytes().to_bits(),
+            ledger.extra_flops().to_bits(),
+            ledger.zero_progress_rounds(),
+            serde_json::to_string(&ledger.timeline().to_vec()).expect("timeline serializes"),
+        )
+    }
+
+    /// A fleet with no timing noise where the last device is 100x slower
+    /// than the rest — a clean straggler regardless of how the non-iid
+    /// split distributed the samples.
+    fn two_speed_fleet(n: usize) -> Vec<DeviceProfile> {
+        let reference = DeviceProfile::uniform();
+        let mut straggler = reference;
+        straggler.flops_per_sec /= 100.0;
+        straggler.bytes_per_sec /= 100.0;
+        let mut fleet = vec![reference; n.saturating_sub(1)];
+        fleet.push(straggler);
+        fleet
+    }
+
+    /// [`fleet_spread_deadline`] at dense densities for the test model —
+    /// with [`two_speed_fleet`] this lands strictly between the reference
+    /// devices and the 100x straggler.
+    fn two_speed_deadline(env: &ExperimentEnv) -> f64 {
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
+        fleet_spread_deadline(env, &model.arch(), &densities)
+    }
+
+    #[test]
+    fn sim_synchronous_parallel_matches_sequential() {
+        let a = run_policy(Scheduler::Synchronous, true, 9);
+        let b = run_policy(Scheduler::Synchronous, false, 9);
+        assert_eq!(a.0, b.0, "accuracy history diverged");
+        assert_eq!(a.1, b.1, "final parameters diverged");
+        assert_eq!(a.2, b.2, "ledger diverged");
+    }
+
+    #[test]
+    fn sim_deadline_parallel_matches_sequential() {
+        // 2 simulated seconds sits inside the mixed fleet's spread, so the
+        // drop path is genuinely exercised on both sides of the comparison.
+        let d = 2.0;
+        let a = run_policy(Scheduler::Deadline { deadline_secs: d }, true, 9);
+        let b = run_policy(Scheduler::Deadline { deadline_secs: d }, false, 9);
+        assert_eq!(a.0, b.0, "accuracy history diverged");
+        assert_eq!(a.1, b.1, "final parameters diverged");
+        assert_eq!(a.2, b.2, "ledger diverged");
+    }
+
+    #[test]
+    fn sim_buffered_parallel_matches_sequential() {
+        let a = run_policy(Scheduler::Buffered { buffer_k: 2 }, true, 9);
+        let b = run_policy(Scheduler::Buffered { buffer_k: 2 }, false, 9);
+        assert_eq!(a.0, b.0, "accuracy history diverged");
+        assert_eq!(a.1, b.1, "final parameters diverged");
+        assert_eq!(a.2, b.2, "ledger diverged");
+    }
+
+    #[test]
+    fn sim_repeat_runs_are_bit_identical() {
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::Deadline { deadline_secs: 50.0 },
+            Scheduler::Buffered { buffer_k: 2 },
+        ] {
+            let a = run_policy(sched, true, 4);
+            let b = run_policy(sched, true, 4);
+            assert_eq!(a.0, b.0, "{sched:?}: history diverged across runs");
+            assert_eq!(a.1, b.1, "{sched:?}: parameters diverged across runs");
+            assert_eq!(a.2, b.2, "{sched:?}: ledger diverged across runs");
+        }
+    }
+
+    #[test]
+    fn sim_deadline_drops_stragglers_but_progresses() {
+        let mut env = ExperimentEnv::tiny_for_tests(5);
+        env.fleet = two_speed_fleet(env.num_devices());
+        let d = two_speed_deadline(&env);
+        env.scheduler = Scheduler::Deadline { deadline_secs: d };
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let history = run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+        );
+        assert!(!history.is_empty());
+        assert!(ledger.dropped_updates() > 0, "no straggler was ever cut");
+        assert_eq!(ledger.zero_progress_rounds(), 0, "fast tier should land");
+        // The cut round can never span longer than the deadline.
+        assert!(ledger.max_sim_round_secs() <= d + 1e-9);
+    }
+
+    #[test]
+    fn sim_deadline_empty_cohort_keeps_global_unchanged() {
+        let mut env = ExperimentEnv::tiny_for_tests(6);
+        env.scheduler = Scheduler::Deadline { deadline_secs: 0.0 };
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let before = flat_params(model.as_ref());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let history = run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+        );
+        assert_eq!(ledger.zero_progress_rounds(), env.cfg.rounds);
+        assert_eq!(flat_params(model.as_ref()), before, "global must not move");
+        assert!(history.iter().all(|a| a.is_finite()));
+        assert!(before.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sim_buffered_completes_all_rounds_with_staleness() {
+        let mut env = ExperimentEnv::tiny_for_tests(7);
+        env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+        env.scheduler = Scheduler::Buffered { buffer_k: 1 };
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let history = run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            1,
+            &mut ledger,
+            &mut no_hook(),
+        );
+        assert_eq!(ledger.rounds(), env.cfg.rounds);
+        assert_eq!(history.len(), env.cfg.rounds);
+        assert!(ledger.sim_makespan_secs() > 0.0);
+        // With buffer_k = 1 on a mixed fleet the slow device's update must
+        // land several versions stale.
+        assert!(
+            ledger.timeline().iter().any(|e| e.staleness > 0),
+            "no stale update ever recorded"
+        );
+    }
+
+    #[test]
+    fn sim_buffered_never_resurrects_pruned_weights() {
+        let mut env = ExperimentEnv::tiny_for_tests(8);
+        env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+        env.scheduler = Scheduler::Buffered { buffer_k: 2 };
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let layout = sparse_layout(model.as_ref());
+        let mut mask = Mask::ones(&layout);
+        for i in 0..layout.layer(0).len {
+            if i % 2 == 0 {
+                mask.set(0, i, false);
+            }
+        }
+        apply_mask(model.as_mut(), &mask);
+        let mut ledger = CostLedger::new();
+        let _ = run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+        );
+        // Pruned coordinates stay zero in the final global.
+        let mut offset = 0;
+        for p in model.params() {
+            if p.prunable {
+                break;
+            }
+            offset += p.len();
+        }
+        let flat = flat_params(model.as_ref());
+        for i in 0..layout.layer(0).len {
+            if i % 2 == 0 {
+                assert_eq!(flat[offset + i], 0.0, "pruned weight {i} resurrected");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_synchronous_span_is_slowest_cohort_member() {
+        let mut env = ExperimentEnv::tiny_for_tests(10);
+        env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let _ = run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+        );
+        // Every round's span equals its slowest recorded finish.
+        let arch = model.arch();
+        let densities = vec![1.0f32; mask.num_layers()];
+        let slow_base = device_sim_secs(
+            &env.device_profile(2), // slow tier
+            &arch,
+            &densities,
+            env.parts[2].len(),
+            env.cfg.local_epochs,
+        );
+        assert!(
+            ledger.max_sim_round_secs() >= slow_base,
+            "span {} below the slow tier's base time {slow_base}",
+            ledger.max_sim_round_secs()
+        );
+    }
+
+    #[test]
+    fn sim_scheduler_serde_roundtrip_and_names() {
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::Deadline { deadline_secs: 12.5 },
+            Scheduler::Buffered { buffer_k: 3 },
+        ] {
+            let json = serde_json::to_string(&sched).expect("ser");
+            let back: Scheduler = serde_json::from_str(&json).expect("de");
+            assert_eq!(sched, back);
+        }
+        assert_eq!(Scheduler::Synchronous.name(), "synchronous");
+        assert_eq!(Scheduler::default(), Scheduler::Synchronous);
+        assert_eq!(Scheduler::Buffered { buffer_k: 1 }.name(), "buffered");
+    }
+
+    #[test]
+    fn sim_slower_profiles_take_longer() {
+        let env = ExperimentEnv::tiny_for_tests(11);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let arch = model.arch();
+        let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
+        let fast = device_sim_secs(&DeviceProfile::fast(), &arch, &densities, 20, 1);
+        let slow = device_sim_secs(&DeviceProfile::slow(), &arch, &densities, 20, 1);
+        assert!(slow > fast * 5.0, "slow {slow} vs fast {fast}");
+        // Sparser masks shrink simulated time.
+        let sparse = device_sim_secs(
+            &DeviceProfile::fast(),
+            &arch,
+            &vec![0.05f32; densities.len()],
+            20,
+            1,
+        );
+        assert!(sparse < fast);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The weights handed to the aggregator always sum to the
+        /// participating (surviving) sample count.
+        #[test]
+        fn sim_survivor_weights_sum_to_sample_count(
+            samples in proptest::collection::vec(1usize..500, 1..8),
+            alive_bits in proptest::collection::vec(0u32..2, 1..8),
+        ) {
+            let n = samples.len().min(alive_bits.len());
+            let updates: Vec<DeviceUpdate> = samples[..n]
+                .iter()
+                .map(|&s| DeviceUpdate {
+                    params: vec![0.0],
+                    bn: Vec::new(),
+                    samples: s,
+                    realized_flops: 0.0,
+                    wall_secs: 0.0,
+                })
+                .collect();
+            let alive: Vec<bool> = alive_bits[..n].iter().map(|&b| b == 1).collect();
+            let got = survivor_param_updates(&updates, &alive);
+            let weight_sum: f64 = got.iter().map(|(_, w)| *w).sum();
+            let expected: usize = samples[..n]
+                .iter()
+                .zip(alive.iter())
+                .filter(|(_, &a)| a)
+                .map(|(&s, _)| s)
+                .sum();
+            prop_assert_eq!(got.len(), alive.iter().filter(|&&a| a).count());
+            prop_assert!((weight_sum - expected as f64).abs() < 1e-9);
+        }
+    }
+}

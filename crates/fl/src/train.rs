@@ -94,6 +94,58 @@ fn add_proximal_term(model: &mut dyn Model, anchor: &[f32], mu: f32) {
     }
 }
 
+/// The per-device RNG seed: a pure function of `(run seed, round, device)`
+/// so parallel and sequential execution draw identical streams.
+pub fn device_rng_seed(run_seed: u64, round: usize, device: usize) -> u64 {
+    run_seed ^ (round as u64).wrapping_mul(0x9e37_79b9) ^ (device as u64) << 32
+}
+
+/// Trains one device from a snapshot of the global model and returns its
+/// update. `round` selects the RNG stream and the decayed learning rate;
+/// `salt` further separates repeated tasks of the same `(round, device)`
+/// pair (buffered schedulers restart a device at an unchanged server
+/// version) — barrier schedulers pass `0`, which leaves the classic
+/// `(seed, round, device)` stream untouched.
+pub fn train_one_device(
+    global: &dyn Model,
+    data: &Dataset,
+    mask: Option<&Mask>,
+    cfg: &FlConfig,
+    round: usize,
+    device: usize,
+    salt: u64,
+) -> DeviceUpdate {
+    let mut model = global.clone_model();
+    model.reset_realized_flops();
+    let mut sgd_cfg = cfg.sgd;
+    if cfg.lr_decay != 1.0 {
+        sgd_cfg.lr *= cfg.lr_decay.powi(round as i32);
+    }
+    let mut sgd = Sgd::new(sgd_cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        device_rng_seed(cfg.seed, round, device) ^ salt.wrapping_mul(0xd1b5_4a32_d192_ed03),
+    );
+    let started = std::time::Instant::now();
+    local_train_prox(
+        model.as_mut(),
+        data,
+        mask,
+        cfg.local_epochs,
+        cfg.batch_size,
+        &mut sgd,
+        &mut rng,
+        cfg.prox_mu,
+    );
+    let wall_secs = started.elapsed().as_secs_f64();
+    DeviceUpdate {
+        params: flat_params(model.as_ref()),
+        bn: model.bn_stats().into_iter().cloned().collect(),
+        samples: data.len(),
+        realized_flops: model.realized_flops(),
+        wall_secs,
+    }
+}
+
 /// Trains every device from the same global model and returns their updates
 /// in device order. Uses one OS thread per device when `cfg.parallel`.
 ///
@@ -106,37 +158,7 @@ pub fn train_devices_parallel(
     cfg: &FlConfig,
     round: usize,
 ) -> Vec<DeviceUpdate> {
-    let run_one = |k: usize, data: &Dataset| -> DeviceUpdate {
-        let mut model = global.clone_model();
-        model.reset_realized_flops();
-        let mut sgd_cfg = cfg.sgd;
-        if cfg.lr_decay != 1.0 {
-            sgd_cfg.lr *= cfg.lr_decay.powi(round as i32);
-        }
-        let mut sgd = Sgd::new(sgd_cfg);
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            cfg.seed ^ (round as u64).wrapping_mul(0x9e37_79b9) ^ (k as u64) << 32,
-        );
-        let started = std::time::Instant::now();
-        local_train_prox(
-            model.as_mut(),
-            data,
-            mask,
-            cfg.local_epochs,
-            cfg.batch_size,
-            &mut sgd,
-            &mut rng,
-            cfg.prox_mu,
-        );
-        let wall_secs = started.elapsed().as_secs_f64();
-        DeviceUpdate {
-            params: flat_params(model.as_ref()),
-            bn: model.bn_stats().into_iter().cloned().collect(),
-            samples: data.len(),
-            realized_flops: model.realized_flops(),
-            wall_secs,
-        }
-    };
+    let run_one = |k: usize, data: &Dataset| train_one_device(global, data, mask, cfg, round, k, 0);
 
     if cfg.parallel && parts.len() > 1 {
         std::thread::scope(|scope| {

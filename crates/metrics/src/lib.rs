@@ -15,10 +15,16 @@
 //!   additionally keeps a gradient per surviving weight (4 bytes/nnz).
 //! - Dense (unprunable) parameters cost 8 bytes each during training
 //!   (weight + gradient).
+//!
+//! The [`DeviceProfile`] / [`SimClock`] pair extends the same analytic
+//! philosophy to *time*: a device's round takes `flops / flops_per_sec +
+//! bytes / bytes_per_sec` simulated seconds (plus deterministic jitter), so
+//! fleet heterogeneity is modeled without ever sleeping on the host.
 
 mod comm;
 mod flops;
 mod memory;
+mod time;
 
 pub use comm::{bn_stats_bytes, dense_download_bytes, sparse_model_bytes};
 pub use flops::{
@@ -27,6 +33,7 @@ pub use flops::{
 pub use memory::{
     device_memory_bytes, prunable_lens, total_params, unprunable_params, ExtraMemory,
 };
+pub use time::{DeviceProfile, SimClock};
 
 use ft_sparse::Mask;
 

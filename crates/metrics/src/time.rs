@@ -1,0 +1,302 @@
+//! Virtual-time model for heterogeneous device fleets.
+//!
+//! The paper's cost accounting is analytic (FLOPs, bytes); this module turns
+//! those analytic counts into **simulated seconds** per device, so the round
+//! loop can model slow and flaky fleets without ever sleeping on the host.
+//! A [`DeviceProfile`] describes one device's compute and link rates plus
+//! its unreliability; a [`SimClock`] converts analytic costs into seconds
+//! and supplies deterministic, order-independent jitter/dropout draws (pure
+//! functions of `(seed, round, device)`, so parallel and sequential host
+//! execution see identical fleets).
+
+use serde::{Deserialize, Serialize};
+
+/// Compute/link/reliability profile of one simulated device.
+///
+/// Rates are analytic: `flops_per_sec` divides the analytic training FLOPs
+/// of a round, `bytes_per_sec` divides the model-transfer bytes. `dropout`
+/// is the probability that a finished update never reaches the server;
+/// `jitter` is the fractional half-width of multiplicative timing noise
+/// (a device with `jitter = 0.3` runs up to 30% slower than its rates say).
+///
+/// # Examples
+///
+/// ```
+/// use ft_metrics::DeviceProfile;
+///
+/// let p = DeviceProfile::slow();
+/// // 1e7 analytic FLOPs at 1e7 FLOPs/s is one simulated second.
+/// assert_eq!(p.exec_secs(1e7), 1.0);
+/// let fleet = DeviceProfile::fleet_mixed(5);
+/// assert_eq!(fleet.len(), 5);
+/// assert!(fleet[0].flops_per_sec > fleet[2].flops_per_sec);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Sustained analytic training throughput in FLOPs per second.
+    pub flops_per_sec: f64,
+    /// Sustained link throughput in bytes per second (up + down combined).
+    pub bytes_per_sec: f64,
+    /// Probability that one finished local update is lost (crash, radio
+    /// loss) before the server sees it. `0.0` = perfectly reliable.
+    pub dropout: f64,
+    /// Fractional half-width of multiplicative timing noise: realized time
+    /// is `base * (1 + jitter * u)` with `u` uniform in `[0, 1)`.
+    pub jitter: f64,
+}
+
+impl DeviceProfile {
+    /// The reliable reference device every experiment used before fleets
+    /// existed: no dropout, no jitter. Default fleet member.
+    pub fn uniform() -> Self {
+        DeviceProfile {
+            flops_per_sec: 1e8,
+            bytes_per_sec: 1e5,
+            dropout: 0.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// A well-provisioned edge device (fast MCU, decent WiFi).
+    pub fn fast() -> Self {
+        DeviceProfile {
+            flops_per_sec: 2e8,
+            bytes_per_sec: 2e5,
+            dropout: 0.0,
+            jitter: 0.05,
+        }
+    }
+
+    /// A mid-tier device with occasional losses.
+    pub fn balanced() -> Self {
+        DeviceProfile {
+            flops_per_sec: 5e7,
+            bytes_per_sec: 5e4,
+            dropout: 0.02,
+            jitter: 0.15,
+        }
+    }
+
+    /// A straggler: slow core, lossy low-bandwidth radio, noisy timing.
+    pub fn slow() -> Self {
+        DeviceProfile {
+            flops_per_sec: 1e7,
+            bytes_per_sec: 1e4,
+            dropout: 0.05,
+            jitter: 0.3,
+        }
+    }
+
+    /// `n` identical reliable devices (the pre-fleet behavior).
+    pub fn fleet_uniform(n: usize) -> Vec<Self> {
+        vec![Self::uniform(); n]
+    }
+
+    /// `n` devices cycling fast → balanced → slow — the canonical
+    /// heterogeneous fleet used by the straggler experiments.
+    pub fn fleet_mixed(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|k| match k % 3 {
+                0 => Self::fast(),
+                1 => Self::balanced(),
+                _ => Self::slow(),
+            })
+            .collect()
+    }
+
+    /// Seconds to execute `flops` analytic FLOPs on this device (no jitter).
+    pub fn exec_secs(&self, flops: f64) -> f64 {
+        flops / self.flops_per_sec.max(f64::MIN_POSITIVE)
+    }
+
+    /// Seconds to move `bytes` over this device's link (no jitter).
+    pub fn comm_secs(&self, bytes: f64) -> f64 {
+        bytes / self.bytes_per_sec.max(f64::MIN_POSITIVE)
+    }
+
+    /// Jitter-free seconds for one round: compute plus transfer.
+    pub fn base_round_secs(&self, flops: f64, bytes: f64) -> f64 {
+        self.exec_secs(flops) + self.comm_secs(bytes)
+    }
+}
+
+impl Default for DeviceProfile {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+/// Virtual clock for the fleet simulation.
+///
+/// Tracks simulated "now" and supplies the stochastic part of the time
+/// model. Draws are **stateless**: a pure hash of `(seed, round, device)`,
+/// never a sequential RNG stream — so the order in which devices are
+/// simulated (parallel threads, event-loop order) cannot change any draw.
+///
+/// # Examples
+///
+/// ```
+/// use ft_metrics::{DeviceProfile, SimClock};
+///
+/// let mut clock = SimClock::new(7);
+/// let p = DeviceProfile::uniform(); // jitter 0 → exact analytic time
+/// let secs = clock.device_secs(&p, 2e8, 1e5, 0, 0);
+/// assert_eq!(secs, 3.0); // 2e8/1e8 compute + 1e5/1e5 transfer
+/// clock.advance_by(secs);
+/// assert_eq!(clock.now(), 3.0);
+/// assert!(!clock.dropout_hits(&p, 0, 0)); // dropout 0 never fires
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimClock {
+    seed: u64,
+    now: f64,
+}
+
+impl SimClock {
+    /// A clock at simulated time zero whose draws derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SimClock { seed, now: 0.0 }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances simulated time by `secs` (negative advances are clamped).
+    pub fn advance_by(&mut self, secs: f64) {
+        self.now += secs.max(0.0);
+    }
+
+    /// Moves simulated time forward to `t`; never moves backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        self.now = self.now.max(t);
+    }
+
+    /// Simulated seconds device `device` needs in round (or task) `round`
+    /// to execute `flops` and transfer `bytes`, including its jitter draw.
+    pub fn device_secs(
+        &self,
+        profile: &DeviceProfile,
+        flops: f64,
+        bytes: f64,
+        round: usize,
+        device: usize,
+    ) -> f64 {
+        let noise = profile.jitter * self.unit_draw(round, device, 0x71_77);
+        profile.base_round_secs(flops, bytes) * (1.0 + noise)
+    }
+
+    /// Whether device `device`'s update in round (or task) `round` is lost.
+    pub fn dropout_hits(&self, profile: &DeviceProfile, round: usize, device: usize) -> bool {
+        self.unit_draw(round, device, 0xd0_0d) < profile.dropout
+    }
+
+    /// Uniform draw in `[0, 1)` as a pure function of
+    /// `(seed, round, device, salt)` — splitmix64 finalizer.
+    fn unit_draw(&self, round: usize, device: usize, salt: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add((round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add((device as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(salt.wrapping_mul(0x94d0_49bb_1331_11eb));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_and_comm_seconds_by_hand() {
+        let p = DeviceProfile::uniform();
+        assert_eq!(p.exec_secs(1e8), 1.0);
+        assert_eq!(p.comm_secs(2e5), 2.0);
+        assert_eq!(p.base_round_secs(1e8, 2e5), 3.0);
+    }
+
+    #[test]
+    fn tiers_are_ordered() {
+        let (f, b, s) = (
+            DeviceProfile::fast(),
+            DeviceProfile::balanced(),
+            DeviceProfile::slow(),
+        );
+        assert!(f.flops_per_sec > b.flops_per_sec && b.flops_per_sec > s.flops_per_sec);
+        assert!(f.exec_secs(1e8) < s.exec_secs(1e8));
+        assert!(f.dropout <= b.dropout && b.dropout <= s.dropout);
+    }
+
+    #[test]
+    fn mixed_fleet_cycles_tiers() {
+        let fleet = DeviceProfile::fleet_mixed(7);
+        assert_eq!(fleet[0], DeviceProfile::fast());
+        assert_eq!(fleet[1], DeviceProfile::balanced());
+        assert_eq!(fleet[2], DeviceProfile::slow());
+        assert_eq!(fleet[3], DeviceProfile::fast());
+    }
+
+    #[test]
+    fn draws_are_order_independent_and_seeded() {
+        let clock = SimClock::new(3);
+        let p = DeviceProfile::slow();
+        let a = clock.device_secs(&p, 1e7, 0.0, 4, 1);
+        // Interleave other draws: the (round, device) draw is unaffected.
+        let _ = clock.device_secs(&p, 1e7, 0.0, 9, 2);
+        let _ = clock.dropout_hits(&p, 0, 0);
+        assert_eq!(a, clock.device_secs(&p, 1e7, 0.0, 4, 1));
+        // A different seed shifts the jitter.
+        let other = SimClock::new(4);
+        assert_ne!(a, other.device_secs(&p, 1e7, 0.0, 4, 1));
+    }
+
+    #[test]
+    fn jitter_bounds_hold() {
+        let clock = SimClock::new(1);
+        let p = DeviceProfile::slow(); // jitter 0.3
+        let base = p.base_round_secs(1e7, 1e4);
+        for r in 0..200 {
+            let t = clock.device_secs(&p, 1e7, 1e4, r, 0);
+            assert!(t >= base && t < base * 1.3 + 1e-9, "round {r}: {t}");
+        }
+    }
+
+    #[test]
+    fn dropout_rate_roughly_matches_probability() {
+        let clock = SimClock::new(2);
+        let mut p = DeviceProfile::uniform();
+        p.dropout = 0.5;
+        let hits = (0..2000)
+            .filter(|&r| clock.dropout_hits(&p, r, 0))
+            .count();
+        assert!((800..1200).contains(&hits), "got {hits}/2000");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new(0);
+        c.advance_by(2.0);
+        c.advance_by(-5.0); // clamped
+        assert_eq!(c.now(), 2.0);
+        c.advance_to(1.0); // never backwards
+        assert_eq!(c.now(), 2.0);
+        c.advance_to(4.5);
+        assert_eq!(c.now(), 4.5);
+    }
+
+    #[test]
+    fn zero_rate_profiles_do_not_divide_by_zero() {
+        let p = DeviceProfile {
+            flops_per_sec: 0.0,
+            bytes_per_sec: 0.0,
+            dropout: 0.0,
+            jitter: 0.0,
+        };
+        assert!(p.exec_secs(1.0).is_finite());
+        assert!(p.comm_secs(1.0).is_finite());
+    }
+}

@@ -80,6 +80,7 @@ pub fn run_feddst(
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),
+        sim_makespan_secs: ledger.sim_makespan_secs(),
     }
 }
 

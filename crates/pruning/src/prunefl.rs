@@ -113,6 +113,7 @@ pub fn run_prunefl(
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),
+        sim_makespan_secs: ledger.sim_makespan_secs(),
     }
 }
 

@@ -97,6 +97,7 @@ fn run_result_roundtrips_through_json() {
         extra_flops: 9.15e10,
         realized_round_flops: 1.05e12,
         train_wall_secs: 12.5,
+        sim_makespan_secs: 321.0,
     };
     let json = serde_json::to_string_pretty(&r).expect("ser");
     let back: RunResult = serde_json::from_str(&json).expect("de");

@@ -4,8 +4,13 @@
 
 use fedtiny_suite::data::{dirichlet_partition, Dataset, DatasetProfile, SynthConfig};
 use fedtiny_suite::fedtiny::{run_fedtiny, FedTinyConfig};
-use fedtiny_suite::fl::{ExperimentEnv, FlConfig, ModelSpec};
+use fedtiny_suite::fl::{
+    no_hook, run_federated_rounds, CostLedger, DeviceProfile, ExperimentEnv, FlConfig, ModelSpec,
+    Scheduler,
+};
+use fedtiny_suite::nn::{flat_params, sparse_layout};
 use fedtiny_suite::pruning::{run_baseline, BaselineMethod};
+use fedtiny_suite::sparse::Mask;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -109,6 +114,113 @@ fn zero_round_training_still_reports() {
     // No rounds: evaluation of the selected-but-untrained model.
     assert!(!r.history.is_empty());
     assert_eq!(r.max_round_flops, 0.0);
+}
+
+/// Runs plain masked FedAvg on `env` and returns (history, ledger, model
+/// params after the run) — the fixture for the dropout scenarios below.
+fn run_rounds(env: &ExperimentEnv) -> (Vec<f32>, CostLedger, Vec<f32>) {
+    let mut model = env.build_model(&ModelSpec::small_cnn_test());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let history = run_federated_rounds(
+        model.as_mut(),
+        &mut mask,
+        env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+    );
+    (history, ledger, flat_params(model.as_ref()))
+}
+
+#[test]
+fn device_dropping_every_round_is_survivable() {
+    // Device 0's radio never delivers an update (dropout = 1.0); the rest
+    // of the fleet must keep making progress under every policy.
+    for scheduler in [
+        Scheduler::Synchronous,
+        Scheduler::Deadline {
+            deadline_secs: 1.0e6,
+        },
+        Scheduler::Buffered { buffer_k: 2 },
+    ] {
+        let mut env = ExperimentEnv::tiny_for_tests(210);
+        let mut fleet = DeviceProfile::fleet_uniform(env.num_devices());
+        fleet[0].dropout = 1.0;
+        env.fleet = fleet;
+        env.scheduler = scheduler;
+        let (history, ledger, params) = run_rounds(&env);
+        let acc = *history.last().expect("nonempty");
+        assert!((0.0..=1.0).contains(&acc), "{scheduler:?}");
+        assert!(params.iter().all(|v| v.is_finite()), "{scheduler:?}");
+        // Every one of device 0's finished tasks was discarded.
+        assert!(
+            ledger
+                .timeline()
+                .iter()
+                .filter(|e| e.device == 0)
+                .all(|e| !e.applied),
+            "{scheduler:?}: a device-0 update slipped through"
+        );
+        assert!(ledger.dropped_updates() > 0, "{scheduler:?}");
+        assert_eq!(ledger.zero_progress_rounds(), 0, "{scheduler:?}");
+    }
+}
+
+#[test]
+fn all_but_one_dropping_at_deadline_still_progresses() {
+    // Every device except the first is 100x too slow for the deadline: each
+    // round aggregates exactly one update.
+    let mut env = ExperimentEnv::tiny_for_tests(211);
+    let reference = DeviceProfile::uniform();
+    let mut straggler = reference;
+    straggler.flops_per_sec /= 100.0;
+    straggler.bytes_per_sec /= 100.0;
+    let mut fleet = vec![straggler; env.num_devices()];
+    fleet[0] = reference;
+    env.fleet = fleet;
+    // Strictly between the tiers: generous for the reference device,
+    // hopeless for the stragglers.
+    let deadline_secs = {
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
+        fedtiny_suite::fl::fleet_spread_deadline(&env, &model.arch(), &densities)
+    };
+    env.scheduler = Scheduler::Deadline { deadline_secs };
+    let (history, ledger, params) = run_rounds(&env);
+    assert!((0.0..=1.0).contains(history.last().expect("nonempty")));
+    assert!(params.iter().all(|v| v.is_finite()));
+    assert_eq!(ledger.zero_progress_rounds(), 0);
+    for round in 0..env.cfg.rounds {
+        let applied = ledger
+            .timeline()
+            .iter()
+            .filter(|e| e.round == round && e.applied)
+            .count();
+        assert_eq!(applied, 1, "round {round} should keep only device 0");
+    }
+    // The deadline caps every round's simulated span.
+    assert!(ledger.max_sim_round_secs() <= deadline_secs + 1e-9);
+}
+
+#[test]
+fn empty_surviving_cohort_records_zero_progress() {
+    // A deadline of zero simulated seconds: nobody ever arrives. The run
+    // must not panic or NaN — it records zero-progress rounds and leaves
+    // the global untouched.
+    let mut env = ExperimentEnv::tiny_for_tests(212);
+    env.scheduler = Scheduler::Deadline { deadline_secs: 0.0 };
+    let before = {
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        flat_params(model.as_ref())
+    };
+    let (history, ledger, params) = run_rounds(&env);
+    assert_eq!(ledger.zero_progress_rounds(), env.cfg.rounds);
+    assert_eq!(ledger.rounds(), env.cfg.rounds);
+    assert_eq!(params, before, "global model moved with no survivors");
+    assert!(params.iter().all(|v| v.is_finite()), "NaN leaked into the global");
+    assert!(history.iter().all(|a| (0.0..=1.0).contains(a)));
+    assert!(ledger.timeline().iter().all(|e| !e.applied));
 }
 
 #[test]

@@ -1,0 +1,126 @@
+//! Golden-trace determinism net for the fleet simulation.
+//!
+//! The committed trace (`tests/golden/synchronous_trace.txt`) pins the
+//! bit-exact accuracy history and simulated-time ledger of a `Synchronous`
+//! run on a mixed fleet. Any refactor of the round loop, the aggregation
+//! path, the RNG derivation, or the time model that changes observable
+//! behavior shows up as a readable diff here.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```bash
+//! FT_BLESS=1 cargo test --test golden_trace
+//! ```
+
+use fedtiny_suite::fl::{
+    no_hook, run_federated_rounds, CostLedger, DeviceProfile, ExperimentEnv, ModelSpec, Scheduler,
+};
+use fedtiny_suite::nn::sparse_layout;
+use fedtiny_suite::sparse::Mask;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/synchronous_trace.txt"
+);
+
+/// Runs the pinned scenario and renders its trace: one line per round with
+/// accuracy and simulated makespan (display value + exact bits), then a
+/// footer with run totals. Bits make the comparison exact; display values
+/// make the diff human-readable.
+fn synchronous_trace() -> String {
+    let mut env = ExperimentEnv::tiny_for_tests(42);
+    env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+    env.scheduler = Scheduler::Synchronous;
+    let mut model = env.build_model(&ModelSpec::small_cnn_test());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let history = run_federated_rounds(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        1,
+        &mut ledger,
+        &mut no_hook(),
+    );
+
+    let mut out = String::from(
+        "# Golden trace: Synchronous scheduler, mixed fleet, tiny env (seed 42),\n\
+         # small_cnn_test, eval_every = 1. Regenerate: FT_BLESS=1 cargo test --test golden_trace\n",
+    );
+    for (round, acc) in history.iter().enumerate() {
+        let sim = ledger.sim_secs_history()[round];
+        let flops = ledger.round_flops_history()[round];
+        out.push_str(&format!(
+            "round {round}: acc={acc:.4} acc_bits={:08x} sim_secs={sim:.6} sim_bits={:016x} flops_bits={:016x}\n",
+            acc.to_bits(),
+            sim.to_bits(),
+            flops.to_bits(),
+        ));
+    }
+    out.push_str(&format!(
+        "total: sim_makespan_bits={:016x} comm_bits={:016x} zero_progress={} dropped={} timeline_events={}\n",
+        ledger.sim_makespan_secs().to_bits(),
+        ledger.total_comm_bytes().to_bits(),
+        ledger.zero_progress_rounds(),
+        ledger.dropped_updates(),
+        ledger.timeline().len(),
+    ));
+    out
+}
+
+#[test]
+fn sim_golden_trace_synchronous_matches_committed() {
+    let got = synchronous_trace();
+    if std::env::var("FT_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden trace");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "missing tests/golden/synchronous_trace.txt — run FT_BLESS=1 cargo test --test golden_trace",
+    );
+    assert_eq!(
+        got, want,
+        "synchronous golden trace drifted; if intentional, regenerate with \
+         FT_BLESS=1 cargo test --test golden_trace"
+    );
+}
+
+/// The same scenario is bit-identical across parallel and sequential device
+/// execution — the golden file pins one of them, this pins the other two
+/// scheduler policies against themselves (their ledgers embed jitter,
+/// staleness, and drop decisions, so equality here is a strong invariant).
+#[test]
+fn sim_every_policy_parallel_equals_sequential_trace() {
+    for scheduler in [
+        Scheduler::Synchronous,
+        Scheduler::Deadline { deadline_secs: 2.0 },
+        Scheduler::Buffered { buffer_k: 2 },
+    ] {
+        let run = |parallel: bool| -> (Vec<f32>, Vec<String>, usize) {
+            let mut env = ExperimentEnv::tiny_for_tests(42);
+            env.cfg.parallel = parallel;
+            env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+            env.scheduler = scheduler;
+            let mut model = env.build_model(&ModelSpec::small_cnn_test());
+            let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+            let mut ledger = CostLedger::new();
+            let history = run_federated_rounds(
+                model.as_mut(),
+                &mut mask,
+                &env,
+                1,
+                &mut ledger,
+                &mut no_hook(),
+            );
+            let sim_bits: Vec<String> = ledger
+                .sim_secs_history()
+                .iter()
+                .map(|s| format!("{:016x}", s.to_bits()))
+                .collect();
+            (history, sim_bits, ledger.dropped_updates())
+        };
+        let a = run(true);
+        let b = run(false);
+        assert_eq!(a, b, "{scheduler:?}: parallel/sequential divergence");
+    }
+}
