@@ -74,6 +74,7 @@ pub fn fedtiny_config(env: &ExperimentEnv, spec: &ModelSpec, d_target: f32) -> F
             backward_order: true,
             start_round: schedule.delta_r,
         }),
+        codec: ft_fl::Codec::MaskCsr,
         eval_every: (env.cfg.rounds / 5).max(1),
     }
 }

@@ -87,8 +87,11 @@ impl ProgressiveConfig {
 pub struct AdjustmentReport {
     /// Per adjusted layer: `(layer, a_t)` counts actually applied.
     pub adjusted: Vec<(usize, usize)>,
-    /// Upload volume in bytes (top-k gradients, all devices).
+    /// *Analytic* upload volume in bytes (top-k gradients, all devices).
     pub comm_bytes: f64,
+    /// *Measured* upload volume: the exact wire size of every device's
+    /// `(index, gradient)` pair payload.
+    pub payload_bytes: f64,
     /// Extra per-device FLOPs for the dense-gradient batch.
     pub extra_flops: f64,
     /// Largest buffer capacity any device needed (`O(a)` bound).
@@ -194,6 +197,7 @@ pub fn progressive_adjust(
                 *agg.entry(i).or_insert(0.0) += weights[k] * g as f64;
             }
             report.comm_bytes += grads[ui].len() as f64 * 8.0;
+            report.payload_bytes += ft_sparse::topk_pairs_encoded_len(grads[ui].len()) as f64;
         }
         // Grow: top-a pruned indices by |aggregated gradient|.
         let mut grow_buf = TopKBuffer::new(a);

@@ -4,7 +4,7 @@ use crate::progressive::{progressive_adjust, ProgressiveConfig};
 use crate::selection::{
     adaptive_bn_selection, generate_candidate_pool, vanilla_selection, SelectionConfig,
 };
-use ft_fl::{run_federated_rounds, CostLedger, ExperimentEnv, ModelSpec, RunResult};
+use ft_fl::{run_federated_rounds, Codec, CostLedger, ExperimentEnv, ModelSpec, RunResult};
 use ft_metrics::{densities_from_mask, device_memory_bytes, ExtraMemory};
 use ft_nn::{apply_mask, Model};
 use ft_sparse::Mask;
@@ -35,6 +35,10 @@ pub struct FedTinyConfig {
     /// Progressive pruning; `None` fine-tunes the coarse-pruned model only
     /// (the "selection only" ablation arms).
     pub progressive: Option<ProgressiveConfig>,
+    /// Wire codec for the update exchange. FedTiny's point is a *sparse*
+    /// model, so the default is `MaskCsr` — uploads carry only mask-alive
+    /// values and the communication savings are measured on the wire.
+    pub codec: Codec,
     /// Evaluate the global model every this many rounds (plus the final
     /// round).
     pub eval_every: usize,
@@ -51,6 +55,7 @@ impl FedTinyConfig {
             noise_spread: 0.5,
             selection: SelectionMode::AdaptiveBn,
             progressive: Some(ProgressiveConfig::paper_default(local_epochs)),
+            codec: Codec::MaskCsr,
             eval_every: 10,
         }
     }
@@ -64,6 +69,7 @@ impl FedTinyConfig {
             noise_spread: 0.5,
             selection: SelectionMode::AdaptiveBn,
             progressive: Some(ProgressiveConfig::tiny_for_tests()),
+            codec: Codec::MaskCsr,
             eval_every: 2,
         }
     }
@@ -88,6 +94,7 @@ impl Default for FedTinyConfig {
 ///
 /// Returns the uniform [`RunResult`] used by every method in the workspace.
 pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
+    let env = &*env.codec_view(cfg.codec);
     let mut global = env.build_model(&cfg.model);
     let sel_cfg = SelectionConfig {
         d_target: cfg.d_target,
@@ -108,6 +115,7 @@ pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
     let mut ledger = CostLedger::new();
     ledger.add_extra_flops(outcome.extra_flops);
     ledger.add_comm(outcome.comm_bytes);
+    ledger.add_payload_comm(outcome.payload_bytes);
 
     // --- Module 2: sparse FedAvg + progressive pruning.
     let (history, max_buffer) = run_sparse_rounds(
@@ -130,6 +138,9 @@ pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
         max_round_flops: ledger.max_round_flops(),
         memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::TopKBuffer(max_buffer)),
         comm_bytes: ledger.total_comm_bytes(),
+        payload_comm_bytes: ledger.total_payload_bytes(),
+        payload_upload_bytes: ledger.total_payload_upload_bytes(),
+        codec: cfg.codec.name().into(),
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),
@@ -173,6 +184,7 @@ pub(crate) fn run_sparse_rounds(
             adjustment_counter += 1;
             max_buffer = max_buffer.max(report.max_buffer);
             ledger.add_comm(report.comm_bytes);
+            ledger.add_payload_comm(report.payload_bytes);
             report.extra_flops
         };
         run_federated_rounds(global, mask, env, eval_every, ledger, &mut hook)

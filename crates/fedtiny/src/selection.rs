@@ -4,7 +4,7 @@
 use ft_data::Dataset;
 use ft_fl::{aggregate_bn_stats, eval_loss, ExperimentEnv};
 use ft_metrics::{bn_stats_bytes, densities_from_mask, forward_flops, sparse_model_bytes};
-use ft_nn::{apply_mask, sparse_layout, Mode, Model};
+use ft_nn::{apply_mask, bn_stats_encoded_len, sparse_layout, Mode, Model};
 use ft_sparse::{magnitude_mask, noisy_density_vector, Mask};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -53,8 +53,11 @@ pub struct SelectionOutcome {
     pub candidate_losses: Vec<f32>,
     /// Extra per-device FLOPs spent on the selection passes (Table II).
     pub extra_flops: f64,
-    /// Per-device communication volume in bytes (Fig. 5 right).
+    /// Per-device *analytic* communication volume in bytes (Fig. 5 right).
     pub comm_bytes: f64,
+    /// Per-device *measured* wire bytes: the encoded candidate downloads
+    /// plus the BN-stat exchanges at their exact encoded sizes.
+    pub payload_bytes: f64,
 }
 
 /// Generates the candidate pool: `C` magnitude-pruned masks with layer-wise
@@ -188,21 +191,29 @@ fn select(
         .map(|(i, _)| i)
         .expect("nonempty pool");
 
-    // --- Cost accounting (per device, Table II / Fig. 5 conventions).
+    // --- Cost accounting (per device, Table II / Fig. 5 conventions):
+    // the analytic formulas next to the measured encoded sizes.
     let max_dev = dev_sets.iter().map(Dataset::len).max().unwrap_or(0) as f64;
     let passes = if adapt_bn { 2.0 } else { 1.0 };
+    let bn_wire = bn_stats_encoded_len(&global.bn_stats()) as f64;
     let mut extra_flops = 0.0;
     let mut comm = 0.0;
+    let mut payload = 0.0;
     for mask in candidates {
         let d = densities_from_mask(mask);
         extra_flops += passes * max_dev * forward_flops(&arch, &d);
         // Download the sparse candidate; exchange BN stats both ways when
         // adapting; upload one loss scalar.
         comm += sparse_model_bytes(&arch, &d);
+        // Measured: the candidate travels as an indexed MaskCsr payload
+        // (the device does not hold the candidate mask yet).
+        payload += candidate_payload_len(global, mask) as f64;
         if adapt_bn {
             comm += 3.0 * bn_stats_bytes(&arch); // up, aggregated down — and a refresh up
+            payload += 3.0 * bn_wire;
         }
         comm += 4.0;
+        payload += 4.0;
     }
 
     SelectionOutcome {
@@ -211,7 +222,18 @@ fn select(
         candidate_losses: losses,
         extra_flops,
         comm_bytes: comm,
+        payload_bytes: payload,
     }
+}
+
+/// Measured wire size of one coarse-pruning candidate download: the global
+/// model under the candidate mask as an *indexed* `MaskCsr` payload (the
+/// receiving device has never seen this mask, so offsets must travel).
+fn candidate_payload_len(global: &dyn Model, mask: &Mask) -> usize {
+    let ctx = ft_nn::wire_ctx(global, mask, 1);
+    // `encoded_len_for` is closed-form and exact; epoch 1 vs peer 0 forces
+    // the indexed form.
+    ft_sparse::Codec::MaskCsr.encoded_len_for(&ctx, false)
 }
 
 /// The per-device development splits `D̂_k ⊂ D_k` (ratio `cfg.dev_fraction`),

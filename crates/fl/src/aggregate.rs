@@ -1,6 +1,9 @@
-//! Server-side aggregation: FedAvg over flat parameters and BN statistics.
+//! Server-side aggregation: FedAvg over flat parameters and BN statistics,
+//! plus the payload-native variants that decode-and-accumulate encoded
+//! update deltas without ever materializing a per-device dense vector.
 
 use ft_nn::BnStats;
+use ft_sparse::{Payload, WireCtx};
 
 /// Weighted average of flat parameter vectors (FedAvg).
 ///
@@ -72,6 +75,103 @@ pub fn fedavg_or_previous(updates: &[(Vec<f32>, f64)], previous: &[f32]) -> Vec<
         );
     }
     try_fedavg(updates).unwrap_or_else(|| previous.to_vec())
+}
+
+/// Weighted-average FedAvg over *encoded update deltas*: each payload is an
+/// encoded `θ_k − anchor`, and the new global is
+/// `anchor + Σ_k (w_k / Σw) · decode(payload_k)`.
+///
+/// Sparse payloads (`MaskCsr`, `TopK`) are accumulated coordinate-by-
+/// coordinate straight out of their wire representation — no per-device
+/// dense vector is ever materialized. With `Codec::Dense` payloads whose
+/// anchor is the current global this is exactly classic [`fedavg`] (up to
+/// `f32`/`f64` accumulation order).
+///
+/// Returns `None` when `updates` is empty or the weight sum is not
+/// strictly positive, so schedulers can keep the previous global.
+///
+/// # Panics
+///
+/// Panics if a payload's decoded length differs from `anchor`, or if a
+/// values-only `MaskCsr` payload was encoded under a different mask epoch
+/// than `ctx` (see `ft_sparse::Payload`).
+pub fn try_fedavg_payloads(
+    updates: &[(&Payload, f64)],
+    anchor: &[f32],
+    ctx: &WireCtx,
+) -> Option<Vec<f32>> {
+    let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
+    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return None;
+    }
+    let mut acc = vec![0.0f64; anchor.len()];
+    for (payload, w) in updates {
+        assert_eq!(
+            payload.len(),
+            anchor.len(),
+            "payload length differs from the global model"
+        );
+        payload.accumulate_into(*w / total_w, &mut acc, ctx);
+    }
+    Some(
+        anchor
+            .iter()
+            .zip(acc.iter())
+            .map(|(&a, &d)| (a as f64 + d) as f32)
+            .collect(),
+    )
+}
+
+/// [`try_fedavg_payloads`] that panics on a degenerate cohort, mirroring
+/// [`fedavg`].
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, the weight sum is zero, or any payload is
+/// inconsistent with `anchor`/`ctx`.
+pub fn fedavg_payloads(updates: &[(&Payload, f64)], anchor: &[f32], ctx: &WireCtx) -> Vec<f32> {
+    assert!(!updates.is_empty(), "fedavg needs at least one update");
+    try_fedavg_payloads(updates, anchor, ctx).expect("nonempty updates with positive weight")
+}
+
+/// Staleness-weighted payload aggregation over `(payload, sample_weight,
+/// staleness)` triples: the new global is `current + Σ_k wn_k ·
+/// decode(payload_k)` with `wn_k ∝ w_k / sqrt(1 + s_k)` (the FedBuff
+/// discount of [`staleness_weight`]). Deltas are applied to the *current*
+/// global even when they were computed against an older anchor — the
+/// standard buffered-aggregation semantics. A degenerate cohort returns
+/// `current` unchanged.
+///
+/// # Panics
+///
+/// Panics if a payload's decoded length differs from `current`, or on a
+/// mask-epoch mismatch (see [`try_fedavg_payloads`]).
+pub fn staleness_fedavg_payloads(
+    updates: &[(&Payload, f64, usize)],
+    current: &[f32],
+    ctx: &WireCtx,
+) -> Vec<f32> {
+    let total_w: f64 = updates
+        .iter()
+        .map(|(_, w, s)| w * staleness_weight(*s))
+        .sum();
+    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return current.to_vec();
+    }
+    let mut acc = vec![0.0f64; current.len()];
+    for (payload, w, s) in updates {
+        assert_eq!(
+            payload.len(),
+            current.len(),
+            "payload length differs from the global model"
+        );
+        payload.accumulate_into(w * staleness_weight(*s) / total_w, &mut acc, ctx);
+    }
+    current
+        .iter()
+        .zip(acc.iter())
+        .map(|(&c, &d)| (c as f64 + d) as f32)
+        .collect()
 }
 
 /// FedBuff-style staleness discount: an update computed `staleness` server
@@ -246,12 +346,107 @@ mod tests {
         assert!((staleness_weight(3) - 0.5).abs() < 1e-12); // 1/sqrt(4)
     }
 
+    #[test]
+    fn payload_fedavg_degenerate_cohorts_return_none_or_current() {
+        let ctx = ft_sparse::WireCtx::dense(3);
+        let anchor = vec![1.0f32, -2.0, 0.5];
+        assert_eq!(try_fedavg_payloads(&[], &anchor, &ctx), None);
+        let p = Payload::Dense {
+            values: vec![9.0, 9.0, 9.0],
+        };
+        assert_eq!(try_fedavg_payloads(&[(&p, 0.0)], &anchor, &ctx), None);
+        assert_eq!(
+            staleness_fedavg_payloads(&[], &anchor, &ctx),
+            anchor.clone()
+        );
+        assert_eq!(
+            staleness_fedavg_payloads(&[(&p, 0.0, 3)], &anchor, &ctx),
+            anchor
+        );
+    }
+
     mod props {
         use super::super::*;
+        use ft_sparse::Codec;
         use proptest::prelude::*;
+
+        /// Builds delta payloads for `params` against `anchor` under
+        /// `codec` and aggregates them, returning the payload-pipeline
+        /// global.
+        fn roundtrip_fedavg(
+            raw: &[(Vec<f32>, f64)],
+            anchor: &[f32],
+            codec: Codec,
+        ) -> Vec<f32> {
+            let ctx = WireCtx::dense(anchor.len());
+            let payloads: Vec<Payload> = raw
+                .iter()
+                .map(|(p, _)| {
+                    let delta: Vec<f32> =
+                        p.iter().zip(anchor.iter()).map(|(x, a)| x - a).collect();
+                    codec.encode(&delta, &ctx, ctx.epoch, None)
+                })
+                .collect();
+            let updates: Vec<(&Payload, f64)> = payloads
+                .iter()
+                .zip(raw.iter())
+                .map(|(p, (_, w))| (p, *w))
+                .collect();
+            fedavg_payloads(&updates, anchor, &ctx)
+        }
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Dense payload aggregation agrees with classic fedavg on the
+            /// decoded parameters to numerical tolerance.
+            #[test]
+            fn payload_dense_fedavg_matches_classic(
+                raw in proptest::collection::vec(
+                    (proptest::collection::vec(-2.0f32..2.0, 6), 1.0f64..40.0),
+                    1..6,
+                ),
+                anchor in proptest::collection::vec(-2.0f32..2.0, 6),
+            ) {
+                let classic = fedavg(&raw);
+                let via_payloads = roundtrip_fedavg(&raw, &anchor, Codec::Dense);
+                for (&a, &b) in classic.iter().zip(via_payloads.iter()) {
+                    prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+                }
+            }
+
+            /// Quantized (int8) payload aggregation stays within the
+            /// accumulated quantization bound of dense fedavg: each delta's
+            /// error is at most half a step of its own range, and fedavg is
+            /// a convex combination, so the aggregate error is bounded by
+            /// the largest per-device bound.
+            #[test]
+            fn payload_quantized_fedavg_within_tolerance(
+                raw in proptest::collection::vec(
+                    (proptest::collection::vec(-2.0f32..2.0, 6), 1.0f64..40.0),
+                    1..6,
+                ),
+                anchor in proptest::collection::vec(-2.0f32..2.0, 6),
+            ) {
+                let classic = fedavg(&raw);
+                let quantized = roundtrip_fedavg(&raw, &anchor, Codec::QuantInt8);
+                let worst_bound = raw
+                    .iter()
+                    .map(|(p, _)| {
+                        let deltas: Vec<f32> =
+                            p.iter().zip(anchor.iter()).map(|(x, a)| x - a).collect();
+                        let lo = deltas.iter().cloned().fold(f32::INFINITY, f32::min);
+                        let hi = deltas.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        (hi - lo) / 510.0
+                    })
+                    .fold(0.0f32, f32::max);
+                for (&a, &b) in classic.iter().zip(quantized.iter()) {
+                    prop_assert!(
+                        (a - b).abs() <= worst_bound + 1e-5,
+                        "{a} vs {b} beyond {worst_bound}"
+                    );
+                }
+            }
 
             /// All-zero staleness makes staleness_fedavg exactly plain
             /// fedavg, bit for bit.

@@ -1,6 +1,7 @@
 //! Federated-learning run configuration.
 
 use ft_nn::optim::SgdConfig;
+use ft_sparse::Codec;
 use serde::{Deserialize, Serialize};
 
 /// Shared federated-learning knobs (Sec. IV-A1 of the paper).
@@ -32,6 +33,10 @@ pub struct FlConfig {
     pub lr_decay: f32,
     /// Run devices on parallel OS threads.
     pub parallel: bool,
+    /// Wire codec for the device → server update uploads (and the matching
+    /// broadcast format). `Codec::Dense` reproduces the classic full-vector
+    /// exchange; method runners typically override this per method.
+    pub codec: Codec,
     /// Master seed for the whole run.
     pub seed: u64,
 }
@@ -51,6 +56,7 @@ impl FlConfig {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: true,
+            codec: Codec::Dense,
             seed: 0,
         }
     }
@@ -74,6 +80,7 @@ impl FlConfig {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: true,
+            codec: Codec::Dense,
             seed: 0,
         }
     }
@@ -97,6 +104,7 @@ impl FlConfig {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: false,
+            codec: Codec::Dense,
             seed: 0,
         }
     }

@@ -65,6 +65,9 @@ pub struct CostLedger {
     wall_secs: Vec<f64>,
     sim_secs: Vec<f64>,
     comm_bytes: f64,
+    payload_down_bytes: Vec<f64>,
+    payload_up_bytes: Vec<f64>,
+    payload_extra_bytes: f64,
     extra_flops: f64,
     zero_progress: usize,
     timeline: Vec<TimelineEvent>,
@@ -116,8 +119,29 @@ impl CostLedger {
     }
 
     /// Adds communication volume (bytes, any direction).
+    ///
+    /// This is the *analytic* axis (paper-style formulas). The measured
+    /// counterpart — bytes of actually-encoded payloads — is recorded by
+    /// [`record_payload_round`](Self::record_payload_round) /
+    /// [`add_payload_comm`](Self::add_payload_comm), the same
+    /// analytic-vs-realized split the FLOPs accounting uses.
     pub fn add_comm(&mut self, bytes: f64) {
         self.comm_bytes += bytes;
+    }
+
+    /// Records one round's *measured* wire traffic: the server broadcast
+    /// size and the heaviest device upload, both taken from
+    /// `Payload::encoded_len` of actually-encoded payloads (mirroring the
+    /// one-transfer-per-round convention of the analytic axis).
+    pub fn record_payload_round(&mut self, down_bytes: f64, up_bytes: f64) {
+        self.payload_down_bytes.push(down_bytes);
+        self.payload_up_bytes.push(up_bytes);
+    }
+
+    /// Adds one-off measured wire traffic outside the round loop (BN-stat
+    /// uploads during selection, top-k gradient pairs, mask adjustments).
+    pub fn add_payload_comm(&mut self, bytes: f64) {
+        self.payload_extra_bytes += bytes;
     }
 
     /// Adds one-off extra computation (e.g. Alg. 1's BN adaptation passes).
@@ -142,9 +166,32 @@ impl CostLedger {
         self.wall_secs.iter().sum()
     }
 
-    /// Total communication in bytes.
+    /// Total *analytic* communication in bytes.
     pub fn total_comm_bytes(&self) -> f64 {
         self.comm_bytes
+    }
+
+    /// Total *measured* payload bytes (uploads + broadcasts + one-off
+    /// exchanges), from actually-encoded payloads.
+    pub fn total_payload_bytes(&self) -> f64 {
+        self.payload_down_bytes.iter().sum::<f64>()
+            + self.payload_up_bytes.iter().sum::<f64>()
+            + self.payload_extra_bytes
+    }
+
+    /// Total measured device → server upload bytes across rounds.
+    pub fn total_payload_upload_bytes(&self) -> f64 {
+        self.payload_up_bytes.iter().sum()
+    }
+
+    /// Per-round measured upload bytes (heaviest device), in round order.
+    pub fn payload_up_history(&self) -> &[f64] {
+        &self.payload_up_bytes
+    }
+
+    /// Per-round measured broadcast bytes, in round order.
+    pub fn payload_down_history(&self) -> &[f64] {
+        &self.payload_down_bytes
     }
 
     /// Total extra FLOPs (Table II's "Extra FLOPs in selection").
@@ -218,8 +265,16 @@ pub struct RunResult {
     pub max_round_flops: f64,
     /// Device memory footprint in bytes (model + method-specific extras).
     pub memory_bytes: f64,
-    /// Total communication volume in bytes.
+    /// Total *analytic* communication volume in bytes (paper formulas).
     pub comm_bytes: f64,
+    /// Total *measured* wire traffic in bytes: encoded payload sizes of
+    /// every broadcast, upload, and side exchange; 0 when unrecorded.
+    pub payload_comm_bytes: f64,
+    /// Measured device → server upload share of `payload_comm_bytes`; 0
+    /// when unrecorded.
+    pub payload_upload_bytes: f64,
+    /// Wire codec the run exchanged updates with (stable lowercase name).
+    pub codec: String,
     /// Extra FLOPs outside training rounds (e.g. BN selection).
     pub extra_flops: f64,
     /// Maximum per-round per-device FLOPs the kernels actually executed
@@ -260,6 +315,21 @@ mod tests {
         assert_eq!(l.total_comm_bytes(), 150.0);
         assert_eq!(l.extra_flops(), 5.0);
         assert_eq!(l.rounds(), 3);
+    }
+
+    #[test]
+    fn ledger_tracks_measured_payload_bytes() {
+        let mut l = CostLedger::new();
+        assert_eq!(l.total_payload_bytes(), 0.0);
+        l.record_payload_round(1000.0, 400.0);
+        l.record_payload_round(1000.0, 350.0);
+        l.add_payload_comm(25.0);
+        assert_eq!(l.total_payload_upload_bytes(), 750.0);
+        assert_eq!(l.total_payload_bytes(), 2775.0);
+        assert_eq!(l.payload_up_history(), &[400.0, 350.0]);
+        assert_eq!(l.payload_down_history(), &[1000.0, 1000.0]);
+        // Analytic axis is untouched by measured records.
+        assert_eq!(l.total_comm_bytes(), 0.0);
     }
 
     #[test]
@@ -315,6 +385,9 @@ mod tests {
             max_round_flops: 0.0,
             memory_bytes: 0.0,
             comm_bytes: 0.0,
+            payload_comm_bytes: 0.0,
+            payload_upload_bytes: 0.0,
+            codec: "dense".into(),
             extra_flops: 0.0,
             realized_round_flops: 0.0,
             train_wall_secs: 0.0,

@@ -12,6 +12,12 @@
 //!   parameter vectors and of BatchNorm running statistics (Eqs. 4 and 7);
 //!   [`staleness_fedavg`] / [`fedavg_or_previous`] are the
 //!   straggler-tolerant variants the schedulers build on.
+//! - The typed update pipeline: a [`DeviceUpdate`] carries an encoded
+//!   [`Payload`] (delta against the round anchor under the run's
+//!   [`Codec`]), [`fedavg_payloads`] / [`staleness_fedavg_payloads`]
+//!   decode-and-accumulate without materializing per-device dense vectors,
+//!   and the schedulers bill the `SimClock` and [`CostLedger`] with
+//!   *measured* `encoded_len()` bytes next to the analytic formulas.
 //! - [`Scheduler`] — how the server closes rounds over the environment's
 //!   simulated [`DeviceProfile`] fleet: synchronous barrier, deadline cut,
 //!   or FedBuff-style buffered asynchrony, all on a virtual clock.
@@ -41,17 +47,21 @@ mod spec;
 mod train;
 
 pub use aggregate::{
-    aggregate_bn_stats, fedavg, fedavg_or_previous, staleness_fedavg, staleness_weight,
-    try_aggregate_bn_stats, try_fedavg,
+    aggregate_bn_stats, fedavg, fedavg_or_previous, fedavg_payloads, staleness_fedavg,
+    staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg,
+    try_fedavg_payloads,
 };
 pub use config::FlConfig;
 pub use env::ExperimentEnv;
 pub use ft_metrics::{DeviceProfile, SimClock};
+pub use ft_sparse::{Codec, Payload, WireCtx};
 pub use ledger::{CostLedger, RunResult, TimelineEvent};
 pub use rounds::{no_hook, run_federated_rounds, schedule_fits, RoundHook};
-pub use sched::{device_round_cost, device_sim_secs, fleet_spread_deadline, Scheduler};
+pub use sched::{
+    broadcast_payload_len, device_round_cost, device_sim_secs, fleet_spread_deadline, Scheduler,
+};
 pub use spec::ModelSpec;
 pub use train::{
     device_rng_seed, eval_loss, evaluate, local_train, local_train_prox, train_devices_parallel,
-    train_one_device, DeviceUpdate,
+    train_one_device, DeviceUpdate, WireSpec,
 };

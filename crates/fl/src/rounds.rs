@@ -169,9 +169,33 @@ mod tests {
         assert!((0.0..=1.0).contains(history.last().expect("nonempty")));
     }
 
+    /// Σ|decoded delta| of device 0's update — the payload-native drift
+    /// measure (the payload *is* `θ − θ_global` for the round).
+    fn device0_drift(env: &ExperimentEnv, model: &dyn Model, round: usize) -> f32 {
+        use ft_nn::wire_ctx;
+        let layout = sparse_layout(model);
+        let mask = Mask::ones(&layout);
+        let ctx = wire_ctx(model, &mask, 0);
+        let wire = crate::train::WireSpec {
+            codec: ft_sparse::Codec::Dense,
+            ctx: &ctx,
+            peer_epoch: 0,
+        };
+        let mut residuals = vec![Vec::new(); env.parts.len()];
+        let u = crate::train::train_devices_parallel(
+            model,
+            &env.parts,
+            None,
+            &env.cfg,
+            round,
+            &wire,
+            &mut residuals,
+        );
+        u[0].payload.decode(&ctx).iter().map(|d| d.abs()).sum()
+    }
+
     #[test]
     fn fedprox_pulls_updates_toward_global() {
-        use ft_nn::flat_params;
         // With a strong (but stable: lr·µ < 1) proximal coefficient local
         // updates stay closer to the global parameters. The proximal term is
         // zero on the first step from the anchor, so force several local
@@ -186,18 +210,8 @@ mod tests {
         env_prox.cfg.local_epochs = 2;
         env_prox.cfg.prox_mu = 5.0;
         let model = env_free.build_model(&ModelSpec::small_cnn_test());
-        let w0 = flat_params(model.as_ref());
-        let drift = |env: &ExperimentEnv| -> f32 {
-            let u =
-                crate::train::train_devices_parallel(model.as_ref(), &env.parts, None, &env.cfg, 0);
-            u[0].params
-                .iter()
-                .zip(w0.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum()
-        };
-        let free = drift(&env_free);
-        let proxed = drift(&env_prox);
+        let free = device0_drift(&env_free, model.as_ref(), 0);
+        let proxed = device0_drift(&env_prox, model.as_ref(), 0);
         assert!(
             proxed < free,
             "prox drift {proxed} should be below free drift {free}"
@@ -206,28 +220,15 @@ mod tests {
 
     #[test]
     fn lr_decay_shrinks_late_round_updates() {
-        use ft_nn::flat_params;
         let mut env = ExperimentEnv::tiny_for_tests(6);
         env.cfg.lr_decay = 0.5;
         let model = env.build_model(&ModelSpec::small_cnn_test());
-        let w0 = flat_params(model.as_ref());
-        let drift_at = |round: usize| -> f32 {
-            let u = crate::train::train_devices_parallel(
-                model.as_ref(),
-                &env.parts,
-                None,
-                &env.cfg,
-                round,
-            );
-            u[0].params
-                .iter()
-                .zip(w0.iter())
-                .map(|(a, b)| (a - b).abs())
-                .sum()
-        };
         // Same data/model, round index only affects the decayed lr and the
         // batch order; with decay 0.5^10 the late round must move far less.
-        assert!(drift_at(10) < drift_at(0) * 0.5);
+        assert!(
+            device0_drift(&env, model.as_ref(), 10)
+                < device0_drift(&env, model.as_ref(), 0) * 0.5
+        );
     }
 
     #[test]

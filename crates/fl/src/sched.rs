@@ -22,15 +22,32 @@
 //! choice (batch order, jitter, dropout) is a pure function of
 //! `(seed, round/task, device)`, so parallel and sequential host execution
 //! produce bit-identical results.
+//!
+//! ## Wire billing
+//!
+//! Every transfer is billed to the [`SimClock`](ft_metrics::SimClock) and
+//! the [`CostLedger`] at its **measured** size: the `encoded_len()` of the
+//! actually-encoded [`Payload`](ft_sparse::Payload) upload plus the server
+//! broadcast size, next to the classic analytic
+//! [`sparse_model_bytes`] axis (the same measured-vs-analytic split the
+//! FLOPs accounting uses). One caveat under buffered aggregation: a task's
+//! finish time is fixed when its transfer is *scheduled*, so a stale
+//! upload's extra index bytes (mask epoch drifted mid-flight) appear in the
+//! ledger but not in its link time.
 
-use crate::aggregate::{staleness_fedavg, staleness_weight, try_aggregate_bn_stats, try_fedavg};
+use crate::aggregate::{
+    staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg_payloads,
+};
 use crate::env::ExperimentEnv;
 use crate::ledger::{CostLedger, TimelineEvent};
 use crate::rounds::{sample_cohort, RoundHook};
-use crate::train::{evaluate, train_devices_parallel, train_one_device, DeviceUpdate};
+use crate::train::{
+    evaluate, train_devices_parallel, train_devices_raw_parallel, train_one_device_raw,
+    DeviceUpdate, LocalOutcome, WireSpec,
+};
 use ft_metrics::{densities_from_mask, sparse_model_bytes, training_flops, DeviceProfile, SimClock};
-use ft_nn::{apply_mask, flat_params, set_flat_params, ArchInfo, Model};
-use ft_sparse::Mask;
+use ft_nn::{apply_mask, flat_params, set_flat_params, wire_ctx, ArchInfo, Model};
+use ft_sparse::{Codec, Mask, Payload, WireCtx};
 use serde::{Deserialize, Serialize};
 
 /// Round-closing policy over the simulated fleet.
@@ -94,8 +111,10 @@ pub fn device_round_cost(
     (flops, bytes)
 }
 
-/// Jitter-free simulated seconds one round takes on `profile` — the
-/// deterministic part of the time model, handy for picking deadlines.
+/// Jitter-free simulated seconds one round takes on `profile` under the
+/// *analytic* byte model — a deadline-picking heuristic. The round loops
+/// bill the clock with measured payload bytes, which sit close to (and for
+/// shared-epoch sparse transfers slightly below) this estimate.
 pub fn device_sim_secs(
     profile: &DeviceProfile,
     arch: &ArchInfo,
@@ -133,18 +152,29 @@ pub(crate) fn should_eval(eval_every: usize, round: usize, rounds: usize) -> boo
     (eval_every > 0 && round % eval_every == eval_every - 1) || round + 1 == rounds
 }
 
-/// Weighted parameter updates of the surviving cohort members: `(params,
+/// Measured wire size of one server → device model broadcast under `codec`:
+/// the full dense vector for `Codec::Dense`, otherwise the mask-structured
+/// values-only form (both ends share the mask epoch by construction — the
+/// server just told the device which mask to train under).
+pub fn broadcast_payload_len(codec: Codec, ctx: &WireCtx) -> usize {
+    match codec {
+        Codec::Dense => Codec::Dense.encoded_len_for(ctx, true),
+        _ => Codec::MaskCsr.encoded_len_for(ctx, true),
+    }
+}
+
+/// Weighted encoded updates of the surviving cohort members: `(payload,
 /// |D_k|)` pairs. The weights always sum to the participating sample count
 /// (the invariant every aggregation in the paper relies on).
-pub(crate) fn survivor_param_updates(
-    updates: &[DeviceUpdate],
+pub(crate) fn survivor_payload_updates<'a>(
+    updates: &'a [DeviceUpdate],
     alive: &[bool],
-) -> Vec<(Vec<f32>, f64)> {
+) -> Vec<(&'a Payload, f64)> {
     updates
         .iter()
         .zip(alive.iter())
         .filter(|(_, &a)| a)
-        .map(|(u, _)| (u.params.clone(), u.samples as f64))
+        .map(|(u, _)| (&u.payload, u.samples as f64))
         .collect()
 }
 
@@ -162,37 +192,94 @@ pub(crate) fn run_barrier_rounds(
 ) -> Vec<f32> {
     let arch = global.arch();
     let max_samples = env.parts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
+    let codec = env.cfg.codec;
     let mut clock = SimClock::new(env.cfg.seed);
     let mut history = Vec::new();
+    // Wire epoch of the current mask: bumped whenever the hook changes the
+    // mask, so `MaskCsr` payloads know when indices must travel.
+    let mut epoch: u64 = 0;
+    // Per-device error-feedback accumulators (TopK); empty until first use.
+    let mut residuals: Vec<Vec<f32>> = vec![Vec::new(); env.num_devices()];
 
     for round in 0..env.cfg.rounds {
         // Partial participation: sample the round's cohort (all devices at
         // participation = 1.0, the paper's setting).
         let cohort = sample_cohort(env, round);
         let parts: Vec<ft_data::Dataset> = cohort.iter().map(|&k| env.parts[k].clone()).collect();
-        let updates = train_devices_parallel(global, &parts, Some(mask), &env.cfg, round);
 
-        // Simulated fleet: finish time and survival of every cohort member.
+        // The round's anchor and wire context. Within a barrier round the
+        // server and every device share the mask epoch (the mask only moves
+        // in the post-aggregation hook), so uploads are values-only.
+        let ctx = wire_ctx(global, mask, epoch);
+        let anchor = flat_params(global);
+        let broadcast_len = broadcast_payload_len(codec, &ctx) as f64;
+        let wire = WireSpec {
+            codec,
+            ctx: &ctx,
+            peer_epoch: epoch,
+        };
+        let mut cohort_residuals: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&k| std::mem::take(&mut residuals[k]))
+            .collect();
+        // Encoding consumes transmitted mass from the error-feedback
+        // residuals; keep the pre-round state so a device whose upload is
+        // then dropped or cut at the deadline can roll back (a lost upload
+        // must leave the residual untouched, matching the buffered loop).
+        let residuals_before: Vec<Vec<f32>> = if codec.uses_error_feedback() {
+            cohort_residuals.clone()
+        } else {
+            Vec::new()
+        };
+        let updates = train_devices_parallel(
+            global,
+            &parts,
+            Some(mask),
+            &env.cfg,
+            round,
+            &wire,
+            &mut cohort_residuals,
+        );
+        for (taken, &k) in cohort_residuals.iter_mut().zip(cohort.iter()) {
+            residuals[k] = std::mem::take(taken);
+        }
+
+        // Simulated fleet: finish time and survival of every cohort
+        // member, with link time billed at the *measured* wire bytes
+        // (broadcast down + encoded upload back).
         let densities = densities_from_mask(mask);
         let per_sample_flops = training_flops(&arch, &densities);
-        let bytes = 2.0 * sparse_model_bytes(&arch, &densities);
+        let analytic_bytes = 2.0 * sparse_model_bytes(&arch, &densities);
         let round_start = clock.now();
         let mut finish = Vec::with_capacity(cohort.len());
         let mut alive = Vec::with_capacity(cohort.len());
+        let mut max_upload = 0.0f64;
         for (u, &k) in updates.iter().zip(cohort.iter()) {
             let profile = env.device_profile(k);
             let flops = per_sample_flops * u.samples as f64 * env.cfg.local_epochs as f64;
-            let secs = clock.device_secs(&profile, flops, bytes, round, k);
+            let upload = u.payload.encoded_len(&ctx) as f64;
+            max_upload = max_upload.max(upload);
+            let secs = clock.device_secs(&profile, flops, broadcast_len + upload, round, k);
             let timely = deadline.is_none_or(|d| secs <= d);
             let dropped = clock.dropout_hits(&profile, round, k);
             finish.push(secs);
             alive.push(timely && !dropped);
         }
+        // Lost uploads keep their pre-round error-feedback residual: the
+        // mass the encode step drained never reached the server.
+        if codec.uses_error_feedback() {
+            for ((&k, &a), before) in cohort.iter().zip(alive.iter()).zip(residuals_before) {
+                if !a {
+                    residuals[k] = before;
+                }
+            }
+        }
 
-        // Aggregate the survivors; an empty (or zero-weight) cohort leaves
-        // the global untouched and records a zero-progress round.
-        let surviving = survivor_param_updates(&updates, &alive);
-        let progressed = match try_fedavg(&surviving) {
+        // Aggregate the survivors straight from their payloads; an empty
+        // (or zero-weight) cohort leaves the global untouched and records
+        // a zero-progress round.
+        let surviving = survivor_payload_updates(&updates, &alive);
+        let progressed = match try_fedavg_payloads(&surviving, &anchor, &ctx) {
             Some(new_params) => {
                 set_flat_params(global, &new_params);
                 let bn_updates: Vec<_> = updates
@@ -237,10 +324,12 @@ pub(crate) fn run_barrier_rounds(
         ledger.record_sim_round(span);
 
         // Cost accounting: analytic (paper-style, the heaviest device at
-        // the round's densities — paid even by devices that were dropped),
-        // plus the realized execution costs the devices reported.
+        // the round's densities — paid even by devices that were dropped)
+        // next to the measured payload bytes and the realized execution
+        // costs the devices reported.
         let mut round_flops = per_sample_flops * max_samples * env.cfg.local_epochs as f64;
-        ledger.add_comm(bytes);
+        ledger.add_comm(analytic_bytes);
+        ledger.record_payload_round(broadcast_len, max_upload);
         let max_realized = updates
             .iter()
             .map(|u| u.realized_flops)
@@ -252,7 +341,11 @@ pub(crate) fn run_barrier_rounds(
         };
         ledger.record_realized_round(max_realized, round_wall);
 
+        let mask_before_hook = mask.clone();
         round_flops += hook(global, mask, round, ledger);
+        if *mask != mask_before_hook {
+            epoch += 1;
+        }
         ledger.record_round_flops(round_flops);
 
         if should_eval(eval_every, round, env.cfg.rounds) {
@@ -265,7 +358,10 @@ pub(crate) fn run_barrier_rounds(
     history
 }
 
-/// One in-flight device task in the buffered event loop.
+/// One in-flight device task in the buffered event loop. The trained delta
+/// stays *device-local* (a [`LocalOutcome`], not yet encoded): the wire
+/// encoding happens at arrival time, when the server's current mask epoch
+/// decides whether a `MaskCsr` upload can drop its indices.
 struct InFlight {
     device: usize,
     start_secs: f64,
@@ -273,8 +369,13 @@ struct InFlight {
     start_version: usize,
     dropped: bool,
     analytic_flops: f64,
-    bytes: f64,
-    update: DeviceUpdate,
+    analytic_bytes: f64,
+    /// Measured broadcast bytes the device downloaded at task start.
+    download_bytes: f64,
+    /// Wire context (mask + epoch) the device trained under — shared with
+    /// every other task launched under the same mask.
+    ctx: std::sync::Arc<WireCtx>,
+    outcome: LocalOutcome,
 }
 
 /// FedBuff-style buffered asynchronous rounds: an event loop over the
@@ -298,29 +399,44 @@ pub(crate) fn run_buffered_rounds(
         return history;
     }
     let arch = global.arch();
+    let codec = env.cfg.codec;
     let k_needed = buffer_k.clamp(1, n);
     let mut clock = SimClock::new(env.cfg.seed);
     let mut version = 0usize;
     let mut task_counter = vec![0usize; n];
     let mut last_agg_secs = 0.0f64;
+    // Wire epoch of the server's current mask (bumped on hook changes) and
+    // the per-device error-feedback accumulators.
+    let mut epoch: u64 = 0;
+    let mut residuals: Vec<Vec<f32>> = vec![Vec::new(); n];
 
-    // Mask densities, refreshed only when the mask can change (after an
-    // aggregation's hook) rather than on every event.
+    // Mask densities and wire context, refreshed only when the mask can
+    // change (after an aggregation's hook) rather than on every event.
     let mut densities = densities_from_mask(mask);
+    let mut ctx = std::sync::Arc::new(wire_ctx(global, mask, epoch));
 
-    // Initial wave: every device starts at t = 0 from version 0. This is
-    // the only multi-device start, so it reuses the parallel trainer (same
-    // `(seed, 0, device)` RNG streams as a synchronous first round).
+    // Measured wire bytes of one task launched under `ctx`: broadcast down
+    // plus the (shared-epoch) encoded upload back. The upload estimate is
+    // exact unless the mask moves while the task is in flight.
+    let task_bytes = |codec: Codec, ctx: &WireCtx| -> (f64, f64) {
+        let down = broadcast_payload_len(codec, ctx) as f64;
+        let up = codec.encoded_len_for(ctx, true) as f64;
+        (down, up)
+    };
+
+    // Initial wave: every device starts at t = 0 from version 0 with the
+    // same `(seed, 0, device)` RNG streams as a synchronous first round.
     let mut in_flight: Vec<InFlight> = {
-        let updates = train_devices_parallel(global, &env.parts, Some(mask), &env.cfg, 0);
-        updates
+        let outcomes = train_devices_raw_parallel(global, &env.parts, Some(mask), &env.cfg, 0);
+        outcomes
             .into_iter()
             .enumerate()
-            .map(|(k, u)| {
+            .map(|(k, outcome)| {
                 let profile = env.device_profile(k);
-                let (flops, bytes) =
-                    device_round_cost(&arch, &densities, u.samples, env.cfg.local_epochs);
-                let secs = clock.device_secs(&profile, flops, bytes, task_counter[k], k);
+                let (flops, analytic_bytes) =
+                    device_round_cost(&arch, &densities, outcome.samples, env.cfg.local_epochs);
+                let (down, up) = task_bytes(codec, &ctx);
+                let secs = clock.device_secs(&profile, flops, down + up, task_counter[k], k);
                 let dropped = clock.dropout_hits(&profile, task_counter[k], k);
                 task_counter[k] += 1;
                 InFlight {
@@ -330,8 +446,10 @@ pub(crate) fn run_buffered_rounds(
                     start_version: 0,
                     dropped,
                     analytic_flops: flops,
-                    bytes,
-                    update: u,
+                    analytic_bytes,
+                    download_bytes: down,
+                    ctx: ctx.clone(),
+                    outcome,
                 }
             })
             .collect()
@@ -347,7 +465,9 @@ pub(crate) fn run_buffered_rounds(
         update: DeviceUpdate,
         staleness: usize,
         analytic_flops: f64,
-        bytes: f64,
+        analytic_bytes: f64,
+        download_bytes: f64,
+        upload_bytes: f64,
         event_idx: usize,
     }
     let mut buffer: Vec<Buffered> = Vec::new();
@@ -381,23 +501,45 @@ pub(crate) fn run_buffered_rounds(
             staleness,
         });
         if !task.dropped {
+            // The actual transmission: encode the device-local delta now
+            // that the server's current mask epoch is known. A stale mask
+            // (epoch drifted mid-flight) forces explicit indices. Lost
+            // updates are never encoded, so their error-feedback residual
+            // is untouched.
+            let k = task.device;
+            let residual = codec
+                .uses_error_feedback()
+                .then_some(&mut residuals[k]);
+            let update = task
+                .outcome
+                .encode(codec, &task.ctx, epoch, residual);
+            let upload_bytes = update.payload.encoded_len(&task.ctx) as f64;
             buffer.push(Buffered {
-                update: task.update,
+                update,
                 staleness,
                 analytic_flops: task.analytic_flops,
-                bytes: task.bytes,
+                analytic_bytes: task.analytic_bytes,
+                download_bytes: task.download_bytes,
+                upload_bytes,
                 event_idx,
             });
         }
 
         if buffer.len() >= k_needed {
-            // Staleness-weighted aggregation over the buffered updates.
-            let prev = flat_params(global);
-            let param_updates: Vec<(&[f32], f64, usize)> = buffer
+            // Staleness-weighted payload aggregation over the buffered
+            // updates: deltas are applied to the *current* global, decoded
+            // straight out of their wire form. Values-only payloads in the
+            // buffer always match the current epoch (the mask only moves in
+            // the hook below, after the buffer drains).
+            let current = flat_params(global);
+            let param_updates: Vec<(&Payload, f64, usize)> = buffer
                 .iter()
-                .map(|b| (b.update.params.as_slice(), b.update.samples as f64, b.staleness))
+                .map(|b| (&b.update.payload, b.update.samples as f64, b.staleness))
                 .collect();
-            set_flat_params(global, &staleness_fedavg(&param_updates, &prev));
+            set_flat_params(
+                global,
+                &staleness_fedavg_payloads(&param_updates, &current, &ctx),
+            );
             let bn_updates: Vec<_> = buffer
                 .iter()
                 .map(|b| {
@@ -418,8 +560,13 @@ pub(crate) fn run_buffered_rounds(
 
             // Per-device accounting, matching the barrier loop's
             // convention: one round charges one model transfer (the
-            // heaviest in the buffer), not the fleet-summed traffic.
-            ledger.add_comm(buffer.iter().map(|b| b.bytes).fold(0.0, f64::max));
+            // heaviest in the buffer), not the fleet-summed traffic —
+            // analytic and measured side by side.
+            ledger.add_comm(buffer.iter().map(|b| b.analytic_bytes).fold(0.0, f64::max));
+            ledger.record_payload_round(
+                buffer.iter().map(|b| b.download_bytes).fold(0.0, f64::max),
+                buffer.iter().map(|b| b.upload_bytes).fold(0.0, f64::max),
+            );
             for b in &buffer {
                 ledger.set_timeline_applied(b.event_idx);
             }
@@ -428,19 +575,22 @@ pub(crate) fn run_buffered_rounds(
                 .iter()
                 .map(|b| b.update.realized_flops)
                 .fold(0.0, f64::max);
-            let wall = buffer
-                .iter()
-                .map(|b| b.update.wall_secs)
-                .fold(0.0, f64::max);
+            let wall = buffer.iter().map(|b| b.update.wall_secs).fold(0.0, f64::max);
             ledger.record_realized_round(realized, wall);
             ledger.record_sim_round(clock.now() - last_agg_secs);
             last_agg_secs = clock.now();
             buffer.clear();
 
+            let mask_before_hook = mask.clone();
             let extra = hook(global, mask, version, ledger);
             // The hook may have adjusted the mask: refresh the cached
-            // densities for the tasks launched from here on.
-            densities = densities_from_mask(mask);
+            // densities and wire context (with a bumped epoch) for the
+            // tasks launched from here on.
+            if *mask != mask_before_hook {
+                epoch += 1;
+                densities = densities_from_mask(mask);
+                ctx = std::sync::Arc::new(wire_ctx(&*global, mask, epoch));
+            }
             ledger.record_round_flops(analytic + extra);
             if should_eval(eval_every, version, env.cfg.rounds) {
                 history.push(evaluate(global, &env.test));
@@ -456,7 +606,7 @@ pub(crate) fn run_buffered_rounds(
         }
         let k = task.device;
         let profile = env.device_profile(k);
-        let update = train_one_device(
+        let outcome = train_one_device_raw(
             &*global,
             &env.parts[k],
             Some(mask),
@@ -465,8 +615,10 @@ pub(crate) fn run_buffered_rounds(
             k,
             task_counter[k] as u64,
         );
-        let (flops, bytes) = device_round_cost(&arch, &densities, update.samples, env.cfg.local_epochs);
-        let secs = clock.device_secs(&profile, flops, bytes, task_counter[k], k);
+        let (flops, analytic_bytes) =
+            device_round_cost(&arch, &densities, outcome.samples, env.cfg.local_epochs);
+        let (down, up) = task_bytes(codec, &ctx);
+        let secs = clock.device_secs(&profile, flops, down + up, task_counter[k], k);
         let dropped = clock.dropout_hits(&profile, task_counter[k], k);
         task_counter[k] += 1;
         in_flight.push(InFlight {
@@ -476,8 +628,10 @@ pub(crate) fn run_buffered_rounds(
             start_version: version,
             dropped,
             analytic_flops: flops,
-            bytes,
-            update,
+            analytic_bytes,
+            download_bytes: down,
+            ctx: ctx.clone(),
+            outcome,
         });
     }
 
@@ -505,9 +659,15 @@ mod tests {
 
     /// Runs one policy end-to-end on a mixed fleet and returns everything
     /// the determinism tests compare bit-for-bit.
-    fn run_policy(scheduler: Scheduler, parallel: bool, seed: u64) -> (Vec<f32>, Vec<f32>, String) {
+    fn run_policy_with_codec(
+        scheduler: Scheduler,
+        parallel: bool,
+        seed: u64,
+        codec: Codec,
+    ) -> (Vec<f32>, Vec<f32>, String) {
         let mut env = ExperimentEnv::tiny_for_tests(seed);
         env.cfg.parallel = parallel;
+        env.cfg.codec = codec;
         env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
         env.scheduler = scheduler;
         let mut model = env.build_model(&ModelSpec::small_cnn_test());
@@ -525,6 +685,10 @@ mod tests {
         (history, flat_params(model.as_ref()), ledger_fingerprint(&ledger))
     }
 
+    fn run_policy(scheduler: Scheduler, parallel: bool, seed: u64) -> (Vec<f32>, Vec<f32>, String) {
+        run_policy_with_codec(scheduler, parallel, seed, Codec::Dense)
+    }
+
     /// The deterministic projection of a ledger: everything except host
     /// wall-clock, with floats rendered bit-exactly.
     fn ledger_fingerprint(ledger: &CostLedger) -> String {
@@ -532,11 +696,13 @@ mod tests {
             v.iter().map(|x| format!("{:016x}", x.to_bits())).collect()
         };
         format!(
-            "flops={:?} realized={:?} sim={:?} comm={:016x} extra={:016x} zero={} timeline={}",
+            "flops={:?} realized={:?} sim={:?} comm={:016x} up={:?} down={:?} extra={:016x} zero={} timeline={}",
             bits(ledger.round_flops_history()),
             bits(ledger.realized_flops_history()),
             bits(ledger.sim_secs_history()),
             ledger.total_comm_bytes().to_bits(),
+            bits(ledger.payload_up_history()),
+            bits(ledger.payload_down_history()),
             ledger.extra_flops().to_bits(),
             ledger.zero_progress_rounds(),
             serde_json::to_string(&ledger.timeline().to_vec()).expect("timeline serializes"),
@@ -593,6 +759,73 @@ mod tests {
         assert_eq!(a.0, b.0, "accuracy history diverged");
         assert_eq!(a.1, b.1, "final parameters diverged");
         assert_eq!(a.2, b.2, "ledger diverged");
+    }
+
+    #[test]
+    fn sim_every_codec_parallel_matches_sequential() {
+        // The payload pipeline keeps the determinism contract for every
+        // codec under every scheduler: encoding, error feedback, and
+        // measured byte accounting are all pure functions of
+        // (seed, round/task, device).
+        for codec in [
+            Codec::Dense,
+            Codec::MaskCsr,
+            Codec::QuantInt8,
+            Codec::TopK {
+                k_frac: 0.1,
+                error_feedback: true,
+            },
+        ] {
+            for sched in [
+                Scheduler::Synchronous,
+                Scheduler::Deadline { deadline_secs: 2.0 },
+                Scheduler::Buffered { buffer_k: 2 },
+            ] {
+                let a = run_policy_with_codec(sched, true, 13, codec);
+                let b = run_policy_with_codec(sched, false, 13, codec);
+                assert_eq!(a.0, b.0, "{codec:?}/{sched:?}: history diverged");
+                assert_eq!(a.1, b.1, "{codec:?}/{sched:?}: parameters diverged");
+                assert_eq!(a.2, b.2, "{codec:?}/{sched:?}: ledger diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_measured_bytes_ordered_by_codec() {
+        // At full density: MaskCsr ≈ Dense, QuantInt8 strictly smaller
+        // uploads, TopK smallest. The measured axis must reflect the wire
+        // formats, not the analytic formula.
+        let upload_total = |codec: Codec| -> f64 {
+            let mut env = ExperimentEnv::tiny_for_tests(3);
+            env.cfg.codec = codec;
+            let mut model = env.build_model(&ModelSpec::small_cnn_test());
+            let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+            let mut ledger = CostLedger::new();
+            let _ = run_federated_rounds(
+                model.as_mut(),
+                &mut mask,
+                &env,
+                0,
+                &mut ledger,
+                &mut no_hook(),
+            );
+            ledger.total_payload_upload_bytes()
+        };
+        let dense = upload_total(Codec::Dense);
+        let quant = upload_total(Codec::QuantInt8);
+        let topk = upload_total(Codec::TopK {
+            k_frac: 0.05,
+            error_feedback: true,
+        });
+        assert!(dense > 0.0);
+        assert!(
+            quant < dense / 3.0,
+            "quantized uploads {quant} not ≥3x below dense {dense}"
+        );
+        assert!(
+            topk < dense / 3.0,
+            "top-k uploads {topk} not ≥3x below dense {dense}"
+        );
     }
 
     #[test]
@@ -737,16 +970,17 @@ mod tests {
             &mut ledger,
             &mut no_hook(),
         );
-        // Every round's span equals its slowest recorded finish.
+        // Every round's span is at least the slow tier's jitter-free time
+        // under the *measured* byte model the clock is billed with.
         let arch = model.arch();
         let densities = vec![1.0f32; mask.num_layers()];
-        let slow_base = device_sim_secs(
-            &env.device_profile(2), // slow tier
-            &arch,
-            &densities,
-            env.parts[2].len(),
-            env.cfg.local_epochs,
-        );
+        let ctx = ft_nn::wire_ctx(model.as_ref(), &mask, 0);
+        let bytes = broadcast_payload_len(env.cfg.codec, &ctx) as f64
+            + env.cfg.codec.encoded_len_for(&ctx, true) as f64;
+        let flops = training_flops(&arch, &densities)
+            * env.parts[2].len() as f64
+            * env.cfg.local_epochs as f64;
+        let slow_base = env.device_profile(2).base_round_secs(flops, bytes);
         assert!(
             ledger.max_sim_round_secs() >= slow_base,
             "span {} below the slow tier's base time {slow_base}",
@@ -804,7 +1038,7 @@ mod tests {
             let updates: Vec<DeviceUpdate> = samples[..n]
                 .iter()
                 .map(|&s| DeviceUpdate {
-                    params: vec![0.0],
+                    payload: Payload::Dense { values: vec![0.0] },
                     bn: Vec::new(),
                     samples: s,
                     realized_flops: 0.0,
@@ -812,7 +1046,7 @@ mod tests {
                 })
                 .collect();
             let alive: Vec<bool> = alive_bits[..n].iter().map(|&b| b == 1).collect();
-            let got = survivor_param_updates(&updates, &alive);
+            let got = survivor_payload_updates(&updates, &alive);
             let weight_sum: f64 = got.iter().map(|(_, w)| *w).sum();
             let expected: usize = samples[..n]
                 .iter()

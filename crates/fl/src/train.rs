@@ -5,17 +5,32 @@ use ft_data::Dataset;
 use ft_nn::loss::{cross_entropy_loss_only, softmax_cross_entropy};
 use ft_nn::optim::Sgd;
 use ft_nn::{accuracy, flat_params, BnStats, Mode, Model};
-use ft_sparse::Mask;
+use ft_sparse::{Codec, Mask, Payload, WireCtx};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// What a device sends back after local training: its parameters, refreshed
-/// BN statistics, its dataset size (the FedAvg weight), and the realized
-/// execution cost of its local epochs.
+/// Everything the encoder side of the update pipeline needs: the codec, the
+/// wire context (aliveness, segments, mask epoch) and the receiver's known
+/// mask epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct WireSpec<'a> {
+    /// Wire codec for the upload.
+    pub codec: Codec,
+    /// Context both ends encode/decode against.
+    pub ctx: &'a WireCtx,
+    /// Mask epoch the server holds (`MaskCsr` drops indices when it equals
+    /// `ctx.epoch`).
+    pub peer_epoch: u64,
+}
+
+/// What a device sends back after local training: its *encoded update
+/// delta* (`θ_k − anchor` under the run's [`Codec`] — never a raw dense
+/// parameter vector), refreshed BN statistics, its dataset size (the
+/// FedAvg weight), and the realized execution cost of its local epochs.
 #[derive(Clone, Debug)]
 pub struct DeviceUpdate {
-    /// Flat parameter vector after `E` local epochs.
-    pub params: Vec<f32>,
+    /// Encoded parameter delta against the global the device downloaded.
+    pub payload: Payload,
     /// BatchNorm running statistics after local training.
     pub bn: Vec<BnStats>,
     /// `|D_k|`.
@@ -25,6 +40,43 @@ pub struct DeviceUpdate {
     pub realized_flops: f64,
     /// Wall-clock seconds the device spent in local training.
     pub wall_secs: f64,
+}
+
+/// Raw device-side training outcome *before* wire encoding. Stays inside
+/// the crate: the buffered scheduler trains eagerly but encodes at
+/// arrival time (when the server's mask epoch is known), so it briefly
+/// holds this device-local state.
+#[derive(Clone, Debug)]
+pub(crate) struct LocalOutcome {
+    /// `θ_k − anchor`, dense, device-local.
+    pub(crate) delta: Vec<f32>,
+    /// BatchNorm running statistics after local training.
+    pub(crate) bn: Vec<BnStats>,
+    /// `|D_k|`.
+    pub(crate) samples: usize,
+    /// Realized kernel FLOPs.
+    pub(crate) realized_flops: f64,
+    /// Host wall-clock seconds of local training.
+    pub(crate) wall_secs: f64,
+}
+
+impl LocalOutcome {
+    /// Encodes the delta into a [`DeviceUpdate`], consuming the outcome.
+    pub(crate) fn encode(
+        self,
+        codec: Codec,
+        ctx: &WireCtx,
+        peer_epoch: u64,
+        residual: Option<&mut Vec<f32>>,
+    ) -> DeviceUpdate {
+        DeviceUpdate {
+            payload: codec.encode(&self.delta, ctx, peer_epoch, residual),
+            bn: self.bn,
+            samples: self.samples,
+            realized_flops: self.realized_flops,
+            wall_secs: self.wall_secs,
+        }
+    }
 }
 
 /// Runs `epochs` of mini-batch SGD on `model` over `data`, with gradients
@@ -101,12 +153,13 @@ pub fn device_rng_seed(run_seed: u64, round: usize, device: usize) -> u64 {
 }
 
 /// Trains one device from a snapshot of the global model and returns its
-/// update. `round` selects the RNG stream and the decayed learning rate;
-/// `salt` further separates repeated tasks of the same `(round, device)`
-/// pair (buffered schedulers restart a device at an unchanged server
-/// version) — barrier schedulers pass `0`, which leaves the classic
-/// `(seed, round, device)` stream untouched.
-pub fn train_one_device(
+/// *raw* outcome (the dense delta, not yet encoded). `round` selects the
+/// RNG stream and the decayed learning rate; `salt` further separates
+/// repeated tasks of the same `(round, device)` pair (buffered schedulers
+/// restart a device at an unchanged server version) — barrier schedulers
+/// pass `0`, which leaves the classic `(seed, round, device)` stream
+/// untouched.
+pub(crate) fn train_one_device_raw(
     global: &dyn Model,
     data: &Dataset,
     mask: Option<&Mask>,
@@ -114,7 +167,8 @@ pub fn train_one_device(
     round: usize,
     device: usize,
     salt: u64,
-) -> DeviceUpdate {
+) -> LocalOutcome {
+    let anchor = flat_params(global);
     let mut model = global.clone_model();
     model.reset_realized_flops();
     let mut sgd_cfg = cfg.sgd;
@@ -137,8 +191,12 @@ pub fn train_one_device(
         cfg.prox_mu,
     );
     let wall_secs = started.elapsed().as_secs_f64();
-    DeviceUpdate {
-        params: flat_params(model.as_ref()),
+    let mut delta = flat_params(model.as_ref());
+    for (d, &a) in delta.iter_mut().zip(anchor.iter()) {
+        *d -= a;
+    }
+    LocalOutcome {
+        delta,
         bn: model.bn_stats().into_iter().cloned().collect(),
         samples: data.len(),
         realized_flops: model.realized_flops(),
@@ -146,20 +204,108 @@ pub fn train_one_device(
     }
 }
 
-/// Trains every device from the same global model and returns their updates
-/// in device order. Uses one OS thread per device when `cfg.parallel`.
+/// Trains one device and encodes its update delta under `wire` — the full
+/// device side of the typed update pipeline. `residual` is the device's
+/// persistent error-feedback accumulator (only used by
+/// `Codec::TopK { error_feedback: true }`).
+#[allow(clippy::too_many_arguments)]
+pub fn train_one_device(
+    global: &dyn Model,
+    data: &Dataset,
+    mask: Option<&Mask>,
+    cfg: &FlConfig,
+    round: usize,
+    device: usize,
+    salt: u64,
+    wire: &WireSpec<'_>,
+    residual: Option<&mut Vec<f32>>,
+) -> DeviceUpdate {
+    train_one_device_raw(global, data, mask, cfg, round, device, salt).encode(
+        wire.codec,
+        wire.ctx,
+        wire.peer_epoch,
+        residual,
+    )
+}
+
+/// Trains every device from the same global model and returns their encoded
+/// updates in device order. Uses one OS thread per device when
+/// `cfg.parallel`.
 ///
-/// Device RNGs are derived from `(cfg.seed, round, device)` so parallel and
-/// sequential execution produce identical results.
+/// `residuals` holds one error-feedback accumulator per device (an empty
+/// vector until its first use); codecs without error feedback leave them
+/// untouched. Device RNGs are derived from `(cfg.seed, round, device)` and
+/// each device owns its residual, so parallel and sequential execution
+/// produce identical results.
+///
+/// # Panics
+///
+/// Panics if `residuals.len()` differs from `parts.len()`.
 pub fn train_devices_parallel(
     global: &dyn Model,
     parts: &[Dataset],
     mask: Option<&Mask>,
     cfg: &FlConfig,
     round: usize,
+    wire: &WireSpec<'_>,
+    residuals: &mut [Vec<f32>],
 ) -> Vec<DeviceUpdate> {
-    let run_one = |k: usize, data: &Dataset| train_one_device(global, data, mask, cfg, round, k, 0);
+    assert_eq!(
+        residuals.len(),
+        parts.len(),
+        "one residual accumulator per device"
+    );
+    let needs_residual = wire.codec.uses_error_feedback();
+    let run_one = |k: usize, data: &Dataset, res: &mut Vec<f32>| {
+        train_one_device(
+            global,
+            data,
+            mask,
+            cfg,
+            round,
+            k,
+            0,
+            wire,
+            needs_residual.then_some(res),
+        )
+    };
 
+    if cfg.parallel && parts.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .zip(residuals.iter_mut())
+                .enumerate()
+                .map(|(k, (data, res))| scope.spawn(move || run_one(k, data, res)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device thread panicked"))
+                .collect()
+        })
+    } else {
+        parts
+            .iter()
+            .zip(residuals.iter_mut())
+            .enumerate()
+            .map(|(k, (d, res))| run_one(k, d, res))
+            .collect()
+    }
+}
+
+/// [`train_devices_parallel`] without the wire encoding: returns the raw
+/// device-local outcomes. The buffered scheduler uses this because its
+/// devices encode at *arrival* time (when the server's mask epoch is
+/// known), not at training time.
+pub(crate) fn train_devices_raw_parallel(
+    global: &dyn Model,
+    parts: &[Dataset],
+    mask: Option<&Mask>,
+    cfg: &FlConfig,
+    round: usize,
+) -> Vec<LocalOutcome> {
+    let run_one =
+        |k: usize, data: &Dataset| train_one_device_raw(global, data, mask, cfg, round, k, 0);
     if cfg.parallel && parts.len() > 1 {
         std::thread::scope(|scope| {
             let handles: Vec<_> = parts
@@ -225,7 +371,18 @@ mod tests {
     use crate::env::ExperimentEnv;
     use crate::spec::ModelSpec;
     use ft_nn::optim::SgdConfig;
-    use ft_nn::{apply_mask, sparse_layout};
+    use ft_nn::{apply_mask, sparse_layout, wire_ctx};
+    use ft_sparse::Mask;
+
+    /// Dense-codec wire plumbing for a model (the classic exchange).
+    fn dense_ctx(model: &dyn Model) -> WireCtx {
+        let layout = sparse_layout(model);
+        wire_ctx(model, &Mask::ones(&layout), 0)
+    }
+
+    fn no_residuals(n: usize) -> Vec<Vec<f32>> {
+        vec![Vec::new(); n]
+    }
 
     #[test]
     fn local_train_reduces_loss() {
@@ -247,15 +404,38 @@ mod tests {
     fn parallel_matches_sequential() {
         let env = ExperimentEnv::tiny_for_tests(2);
         let model = env.build_model(&ModelSpec::small_cnn_test());
+        let ctx = dense_ctx(model.as_ref());
+        let wire = WireSpec {
+            codec: Codec::Dense,
+            ctx: &ctx,
+            peer_epoch: 0,
+        };
         let mut cfg_par = env.cfg;
         cfg_par.parallel = true;
         let mut cfg_seq = env.cfg;
         cfg_seq.parallel = false;
-        let a = train_devices_parallel(model.as_ref(), &env.parts, None, &cfg_par, 3);
-        let b = train_devices_parallel(model.as_ref(), &env.parts, None, &cfg_seq, 3);
+        let n = env.parts.len();
+        let a = train_devices_parallel(
+            model.as_ref(),
+            &env.parts,
+            None,
+            &cfg_par,
+            3,
+            &wire,
+            &mut no_residuals(n),
+        );
+        let b = train_devices_parallel(
+            model.as_ref(),
+            &env.parts,
+            None,
+            &cfg_seq,
+            3,
+            &wire,
+            &mut no_residuals(n),
+        );
         assert_eq!(a.len(), b.len());
         for (ua, ub) in a.iter().zip(b.iter()) {
-            assert_eq!(ua.params, ub.params, "parallel/sequential divergence");
+            assert_eq!(ua.payload, ub.payload, "parallel/sequential divergence");
             assert_eq!(ua.samples, ub.samples);
         }
     }
@@ -272,8 +452,24 @@ mod tests {
             }
         }
         apply_mask(model.as_mut(), &mask);
-        let updates = train_devices_parallel(model.as_ref(), &env.parts, Some(&mask), &env.cfg, 0);
-        // Check pruned coordinates stayed zero in every device update.
+        let ctx = wire_ctx(model.as_ref(), &mask, 0);
+        let wire = WireSpec {
+            codec: Codec::MaskCsr,
+            ctx: &ctx,
+            peer_epoch: 0,
+        };
+        let n = env.parts.len();
+        let updates = train_devices_parallel(
+            model.as_ref(),
+            &env.parts,
+            Some(&mask),
+            &env.cfg,
+            0,
+            &wire,
+            &mut no_residuals(n),
+        );
+        // Decoded deltas keep pruned coordinates at exactly zero (and the
+        // anchor is zero there too, so the trained parameters stay zero).
         let mut offset = 0;
         for p in model.params() {
             if p.prunable {
@@ -282,9 +478,10 @@ mod tests {
             offset += p.len();
         }
         for u in &updates {
+            let delta = u.payload.decode(&ctx);
             for i in 0..layout.layer(0).len {
                 if i % 2 == 0 {
-                    assert_eq!(u.params[offset + i], 0.0, "pruned weight moved on device");
+                    assert_eq!(delta[offset + i], 0.0, "pruned weight moved on device");
                 }
             }
         }
@@ -302,7 +499,22 @@ mod tests {
     fn device_updates_carry_bn_stats() {
         let env = ExperimentEnv::tiny_for_tests(5);
         let model = env.build_model(&ModelSpec::small_cnn_test());
-        let updates = train_devices_parallel(model.as_ref(), &env.parts, None, &env.cfg, 0);
+        let ctx = dense_ctx(model.as_ref());
+        let wire = WireSpec {
+            codec: Codec::Dense,
+            ctx: &ctx,
+            peer_epoch: 0,
+        };
+        let n = env.parts.len();
+        let updates = train_devices_parallel(
+            model.as_ref(),
+            &env.parts,
+            None,
+            &env.cfg,
+            0,
+            &wire,
+            &mut no_residuals(n),
+        );
         assert_eq!(updates.len(), env.num_devices());
         assert!(!updates[0].bn.is_empty());
         // Training must have moved the BN statistics away from init.
@@ -310,5 +522,43 @@ mod tests {
             .bn
             .iter()
             .any(|s| s.mean.iter().any(|&m| m != 0.0)));
+    }
+
+    #[test]
+    fn error_feedback_residuals_persist_across_rounds() {
+        // Under TopK with error feedback the untransmitted mass stays on
+        // the device: the residual is nonzero after a round and influences
+        // the next round's payload.
+        let env = ExperimentEnv::tiny_for_tests(9);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let ctx = dense_ctx(model.as_ref());
+        let wire = WireSpec {
+            codec: Codec::TopK {
+                k_frac: 0.05,
+                error_feedback: true,
+            },
+            ctx: &ctx,
+            peer_epoch: 0,
+        };
+        let mut residuals = no_residuals(env.parts.len());
+        let _ = train_devices_parallel(
+            model.as_ref(),
+            &env.parts,
+            None,
+            &env.cfg,
+            0,
+            &wire,
+            &mut residuals,
+        );
+        assert!(
+            residuals.iter().all(|r| !r.is_empty()),
+            "residuals untouched"
+        );
+        assert!(
+            residuals
+                .iter()
+                .any(|r| r.iter().any(|&v| v != 0.0)),
+            "no residual mass accumulated at k_frac = 0.05"
+        );
     }
 }

@@ -1,27 +1,71 @@
 //! Communication-cost accounting (Fig. 5 and the Alg. 1 overhead analysis).
+//!
+//! These formulas are *analytic* — computed from the architecture and the
+//! per-layer densities. The real wire sizes come from the typed codecs in
+//! `ft_sparse::codec`; the test suite here cross-checks the two against
+//! each other so the paper-style accounting can never drift away from what
+//! the encoder actually produces.
 
 use crate::memory::{prunable_lens, unprunable_params};
 use ft_nn::{ArchInfo, LayerArch};
+use ft_sparse::sparse_index_width;
 
-/// Bytes to transfer one sparse model: surviving prunable weights as
-/// (value, index) pairs plus the dense unprunable parameters as values.
+/// How a sparse transfer pays for its index structure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexWidth {
+    /// The receiver already holds the mask (shared mask epoch): values
+    /// travel bare, indices cost nothing.
+    Shared,
+    /// Fixed `bytes` per surviving weight's index.
+    Fixed(usize),
+    /// Derived per layer from the layer size — 2 bytes for layers of at
+    /// most 2^16 weights, 4 beyond (the same rule the `MaskCsr` wire codec
+    /// uses).
+    PerLayer,
+}
+
+impl IndexWidth {
+    fn bytes_for(self, layer_len: usize) -> f64 {
+        match self {
+            IndexWidth::Shared => 0.0,
+            IndexWidth::Fixed(b) => b as f64,
+            IndexWidth::PerLayer => sparse_index_width(layer_len) as f64,
+        }
+    }
+}
+
+/// Bytes to transfer one sparse model: surviving prunable weights as a
+/// value plus an index of `width` bytes, and the dense unprunable
+/// parameters as bare values.
 ///
 /// # Panics
 ///
 /// Panics if `densities.len()` differs from the number of prunable layers.
-pub fn sparse_model_bytes(arch: &ArchInfo, densities: &[f32]) -> f64 {
+pub fn sparse_model_bytes_with(arch: &ArchInfo, densities: &[f32], width: IndexWidth) -> f64 {
     let lens = prunable_lens(arch);
     assert_eq!(
         lens.len(),
         densities.len(),
         "densities must cover every prunable layer"
     );
-    let nnz: f64 = lens
+    let payload: f64 = lens
         .iter()
         .zip(densities.iter())
-        .map(|(&n, &d)| n as f64 * d.clamp(0.0, 1.0) as f64)
+        .map(|(&n, &d)| n as f64 * d.clamp(0.0, 1.0) as f64 * (4.0 + width.bytes_for(n)))
         .sum();
-    8.0 * nnz + 4.0 * unprunable_params(arch) as f64
+    payload + 4.0 * unprunable_params(arch) as f64
+}
+
+/// [`sparse_model_bytes_with`] at the derived per-layer index width — the
+/// Fig. 5 headline number. (Historically this assumed a flat 8-byte
+/// `(value, index)` pair; the index share is now 2 bytes for layers that
+/// fit `u16` offsets and 4 beyond, matching the real `MaskCsr` encoder.)
+///
+/// # Panics
+///
+/// Panics if `densities.len()` differs from the number of prunable layers.
+pub fn sparse_model_bytes(arch: &ArchInfo, densities: &[f32]) -> f64 {
+    sparse_model_bytes_with(arch, densities, IndexWidth::PerLayer)
 }
 
 /// Bytes to transfer the dense model (plain values, no indices needed).
@@ -77,5 +121,73 @@ mod tests {
     fn bn_stats_are_cheap_relative_to_model() {
         let a = arch();
         assert!(bn_stats_bytes(&a) < sparse_model_bytes(&a, &[1.0, 1.0]) / 10.0);
+    }
+
+    #[test]
+    fn index_width_variants_order_correctly() {
+        let a = arch();
+        let d = [0.3, 0.3];
+        let shared = sparse_model_bytes_with(&a, &d, IndexWidth::Shared);
+        let auto = sparse_model_bytes_with(&a, &d, IndexWidth::PerLayer);
+        let wide = sparse_model_bytes_with(&a, &d, IndexWidth::Fixed(4));
+        assert!(shared < auto && auto <= wide, "{shared} {auto} {wide}");
+        // Both test layers fit u16 offsets: Auto = value + 2-byte index.
+        assert_eq!(auto, sparse_model_bytes_with(&a, &d, IndexWidth::Fixed(2)));
+        assert_eq!(sparse_model_bytes(&a, &d), auto);
+    }
+
+    /// The analytic formula cross-checked against the *real* `MaskCsr`
+    /// encoder on a real mask: at matched density the two agree to within
+    /// the codec's fixed headers, both with shared-epoch (values-only) and
+    /// indexed encodings.
+    #[test]
+    fn analytic_bytes_match_maskcsr_encoder() {
+        use ft_sparse::{Codec, Mask, SparseLayout, WireCtx};
+
+        let a = arch();
+        let lens = prunable_lens(&a);
+        let layout = SparseLayout::new(
+            lens.iter()
+                .enumerate()
+                .map(|(i, &n)| (format!("l{i}"), n))
+                .collect(),
+        );
+        // A real mask: keep every third weight of layer 0, every fifth of
+        // layer 1.
+        let mut mask = Mask::ones(&layout);
+        for (l, stride) in [(0usize, 3usize), (1, 5)] {
+            for i in 0..layout.layer(l).len {
+                mask.set(l, i, i % stride == 0);
+            }
+        }
+        let densities: Vec<f32> = (0..mask.num_layers()).map(|l| mask.layer_density(l)).collect();
+
+        // Flat wire context: the prunable segments under the mask plus one
+        // dense unprunable segment (arrangement does not change byte
+        // totals).
+        let mut alive: Vec<bool> = Vec::new();
+        let mut segments: Vec<usize> = Vec::new();
+        for (l, &n) in lens.iter().enumerate() {
+            alive.extend_from_slice(mask.layer(l));
+            segments.push(n);
+        }
+        let unprunable = unprunable_params(&a);
+        alive.extend(std::iter::repeat_n(true, unprunable));
+        segments.push(unprunable);
+        let ctx = WireCtx::new(alive, segments, 1);
+        let vector = vec![0.5f32; ctx.len()];
+
+        let shared = Codec::MaskCsr.encode(&vector, &ctx, 1, None).encoded_len(&ctx) as f64;
+        let indexed = Codec::MaskCsr.encode(&vector, &ctx, 0, None).encoded_len(&ctx) as f64;
+        let analytic_shared = sparse_model_bytes_with(&a, &densities, IndexWidth::Shared);
+        let analytic_indexed = sparse_model_bytes(&a, &densities);
+        assert!(
+            (shared - analytic_shared).abs() / analytic_shared < 0.05,
+            "shared: measured {shared} vs analytic {analytic_shared}"
+        );
+        assert!(
+            (indexed - analytic_indexed).abs() / analytic_indexed < 0.05,
+            "indexed: measured {indexed} vs analytic {analytic_indexed}"
+        );
     }
 }

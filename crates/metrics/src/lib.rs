@@ -26,7 +26,9 @@ mod flops;
 mod memory;
 mod time;
 
-pub use comm::{bn_stats_bytes, dense_download_bytes, sparse_model_bytes};
+pub use comm::{
+    bn_stats_bytes, dense_download_bytes, sparse_model_bytes, sparse_model_bytes_with, IndexWidth,
+};
 pub use flops::{
     backward_flops, forward_flops, forward_flops_dense, layer_forward_flops, training_flops,
 };

@@ -45,7 +45,7 @@ pub use layer::{
     Sequential, DEFAULT_SPARSE_CROSSOVER,
 };
 pub use model::{
-    accuracy, apply_mask, flat_params, mask_grads, prunable_param_indices, set_flat_params,
-    sparse_layout, ArchInfo, LayerArch, Model,
+    accuracy, apply_mask, bn_stats_encoded_len, flat_params, mask_grads, prunable_param_indices,
+    set_flat_params, sparse_layout, wire_ctx, ArchInfo, LayerArch, Model,
 };
 pub use param::{Param, ParamKind};

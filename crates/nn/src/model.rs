@@ -3,7 +3,7 @@
 
 use crate::layer::{BnStats, Mode};
 use crate::param::Param;
-use ft_sparse::{Mask, SparseLayout};
+use ft_sparse::{Mask, SparseLayout, WireCtx};
 use ft_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -238,6 +238,42 @@ pub fn mask_grads(model: &mut dyn Model, mask: &Mask) {
     assert_eq!(l, mask.num_layers(), "mask layer count mismatch");
 }
 
+/// Builds the [`WireCtx`] the update codecs encode/decode against: one
+/// aliveness bit per coordinate of [`flat_params`] (prunable coordinates
+/// from `mask`, unprunable ones always alive), the parameter-tensor segment
+/// lengths, and the mask epoch stamped on the context.
+///
+/// # Panics
+///
+/// Panics if the mask does not match the model's prunable layout.
+pub fn wire_ctx(model: &dyn Model, mask: &Mask, epoch: u64) -> WireCtx {
+    let params = model.params();
+    let mut alive = Vec::with_capacity(params.iter().map(|p| p.len()).sum());
+    let mut segments = Vec::with_capacity(params.len());
+    let mut l = 0;
+    for p in &params {
+        segments.push(p.len());
+        if p.prunable {
+            alive.extend_from_slice(mask.layer(l));
+            l += 1;
+        } else {
+            alive.extend(std::iter::repeat_n(true, p.len()));
+        }
+    }
+    assert_eq!(l, mask.num_layers(), "mask layer count mismatch");
+    WireCtx::new(alive, segments, epoch)
+}
+
+/// Exact wire bytes of one full set of BatchNorm statistics (what a device
+/// uploads per candidate in Alg. 1): a `u32` layer count, then per layer a
+/// `u32` channel count and `mean`/`var` as `f32` pairs.
+pub fn bn_stats_encoded_len(stats: &[&BnStats]) -> usize {
+    4 + stats
+        .iter()
+        .map(|s| 4 + 4 * (s.mean.len() + s.var.len()))
+        .sum::<usize>()
+}
+
 /// Indices into [`Model::params`] of the prunable parameters, in prunable
 /// (mask-layer) order.
 pub fn prunable_param_indices(model: &dyn Model) -> Vec<usize> {
@@ -291,5 +327,45 @@ mod tests {
         let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]);
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn wire_ctx_marks_unprunable_coords_alive() {
+        use crate::models::SmallCnn;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let model = SmallCnn::new(&mut rng, 8, 10, 3, 4);
+        let layout = sparse_layout(&model);
+        let mut mask = Mask::ones(&layout);
+        for i in 0..layout.layer(0).len {
+            mask.set(0, i, false); // kill the whole first prunable layer
+        }
+        let ctx = wire_ctx(&model, &mask, 7);
+        assert_eq!(ctx.epoch, 7);
+        assert_eq!(ctx.len(), flat_params(&model).len());
+        assert_eq!(
+            ctx.segments,
+            model.params().iter().map(|p| p.len()).collect::<Vec<_>>()
+        );
+        // Exactly the pruned prunable coordinates are dead.
+        let total_prunable_dead = layout.layer(0).len;
+        assert_eq!(ctx.alive_count(), ctx.len() - total_prunable_dead);
+    }
+
+    #[test]
+    fn bn_stats_wire_size_by_hand() {
+        let stats = [
+            BnStats {
+                mean: vec![0.0; 4],
+                var: vec![0.0; 4],
+            },
+            BnStats {
+                mean: vec![0.0; 2],
+                var: vec![0.0; 2],
+            },
+        ];
+        let refs: Vec<&BnStats> = stats.iter().collect();
+        // 4 (layer count) + per layer: 4 + 4·(mean+var) floats.
+        assert_eq!(bn_stats_encoded_len(&refs), 4 + (4 + 32) + (4 + 16));
     }
 }

@@ -77,6 +77,9 @@ pub fn run_feddst(
         max_round_flops: ledger.max_round_flops(),
         memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::MaskBits),
         comm_bytes: ledger.total_comm_bytes(),
+        payload_comm_bytes: ledger.total_payload_bytes(),
+        payload_upload_bytes: ledger.total_payload_upload_bytes(),
+        codec: env.cfg.codec.name().into(),
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),
@@ -136,6 +139,7 @@ fn adjust_entire_model(
             }
             let top = buf.into_sorted();
             ledger.add_comm(top.len() as f64 * 8.0);
+            ledger.add_payload_comm(ft_sparse::topk_pairs_encoded_len(top.len()) as f64);
             for (i, gv) in top {
                 *agg[ui].entry(i).or_insert(0.0) += weights[k] * gv as f64;
             }

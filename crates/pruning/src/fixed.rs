@@ -49,6 +49,9 @@ pub fn run_with_fixed_mask(
         max_round_flops: ledger.max_round_flops(),
         memory_bytes: device_memory_bytes(&arch, &densities, extra_memory),
         comm_bytes: ledger.total_comm_bytes(),
+        payload_comm_bytes: ledger.total_payload_bytes(),
+        payload_upload_bytes: ledger.total_payload_upload_bytes(),
+        codec: env.cfg.codec.name().into(),
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),
@@ -56,8 +59,11 @@ pub fn run_with_fixed_mask(
     }
 }
 
-/// The dense FedAvg upper bound (first row of Table I).
+/// The dense FedAvg upper bound (first row of Table I). Always exchanges
+/// `Codec::Dense` payloads — sparse wire formats would misrepresent the
+/// dense baseline's traffic.
 pub fn run_fedavg_dense(env: &ExperimentEnv, spec: &ModelSpec, eval_every: usize) -> RunResult {
+    let env = &*env.codec_view(ft_fl::Codec::Dense);
     let model = env.build_model(spec);
     let mask = Mask::ones(&sparse_layout(model.as_ref()));
     drop(model);

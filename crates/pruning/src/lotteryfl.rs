@@ -90,6 +90,9 @@ pub fn run_lotteryfl(
             ExtraMemory::DenseTraining,
         ),
         comm_bytes: dense_comm,
+        payload_comm_bytes: ledger.total_payload_bytes(),
+        payload_upload_bytes: ledger.total_payload_upload_bytes(),
+        codec: env.cfg.codec.name().into(),
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),

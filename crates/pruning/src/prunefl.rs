@@ -87,6 +87,14 @@ pub fn run_prunefl(
             // Comm: dense gradients up (4 B/param/device), new mask down.
             ledger.add_comm(4.0 * total_params(&arch) as f64 * env.num_devices() as f64);
             ledger.add_comm(total as f64 / 8.0);
+            // Measured mirror: one Dense payload per device plus the mask
+            // bitmap broadcast.
+            ledger.add_payload_comm(
+                (ft_sparse::PAYLOAD_HEADER_BYTES as f64
+                    + 4.0 * total_params(&arch) as f64)
+                    * env.num_devices() as f64
+                    + (total as f64 / 8.0).ceil(),
+            );
             // One dense forward/backward batch per device.
             let bs = env.cfg.batch_size as f64;
             batch_flops(bs)
@@ -110,6 +118,9 @@ pub fn run_prunefl(
         max_round_flops: ledger.max_round_flops(),
         memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::DenseScores),
         comm_bytes: ledger.total_comm_bytes(),
+        payload_comm_bytes: ledger.total_payload_bytes(),
+        payload_upload_bytes: ledger.total_payload_upload_bytes(),
+        codec: env.cfg.codec.name().into(),
         extra_flops: ledger.extra_flops(),
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),

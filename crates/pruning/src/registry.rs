@@ -5,7 +5,7 @@ use crate::feddst::run_feddst;
 use crate::fixed::{run_fedavg_dense, run_with_fixed_mask};
 use crate::lotteryfl::run_lotteryfl;
 use crate::prunefl::run_prunefl;
-use ft_fl::{ExperimentEnv, ModelSpec, RunResult};
+use ft_fl::{Codec, ExperimentEnv, ModelSpec, RunResult};
 use ft_metrics::ExtraMemory;
 use ft_sparse::PruneSchedule;
 use serde::{Deserialize, Serialize};
@@ -57,6 +57,18 @@ impl BaselineMethod {
         ]
     }
 
+    /// The wire codec this method's runner exchanges updates with: the
+    /// dense upper bound (and LotteryFL, whose devices train the dense
+    /// model) speak `Dense`; every sparse method uploads mask-structured
+    /// `MaskCsr` deltas, so its communication savings are *measured*, not
+    /// just claimed.
+    pub fn default_codec(self) -> Codec {
+        match self {
+            BaselineMethod::FedAvgDense | BaselineMethod::LotteryFl => Codec::Dense,
+            _ => Codec::MaskCsr,
+        }
+    }
+
     /// Stable lowercase name used in reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -83,6 +95,9 @@ pub fn run_baseline(
     d_target: f32,
     eval_every: usize,
 ) -> RunResult {
+    // Each method exchanges updates in its own wire format (callers that
+    // want to sweep codecs for one method use the runner fns directly).
+    let env = &*env.codec_view(method.default_codec());
     let schedule = PruneSchedule::scaled_for(env.cfg.rounds, env.cfg.local_epochs);
     match method {
         BaselineMethod::FedAvgDense => run_fedavg_dense(env, spec, eval_every),

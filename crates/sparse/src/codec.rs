@@ -1,0 +1,943 @@
+//! Typed wire codecs for the device ↔ server update exchange.
+//!
+//! Devices never hand the server a raw dense `Vec<f32>` any more: a local
+//! update is the *delta* against the round's anchor (the global parameters
+//! the device downloaded), encoded by a [`Codec`] into a [`Payload`] whose
+//! size in bytes is **measured** ([`Payload::encoded_len`] is exact and is
+//! pinned against a real byte serialization, [`Payload::to_bytes`]) rather
+//! than estimated from an analytic formula.
+//!
+//! ## Wire formats
+//!
+//! Every payload starts with a 5-byte header: a 1-byte codec tag and the
+//! `u32` vector length. After the header:
+//!
+//! | codec       | body                                                                  |
+//! |-------------|-----------------------------------------------------------------------|
+//! | `Dense`     | `4·n` bytes of `f32` values                                           |
+//! | `MaskCsr`   | 8-byte mask epoch, 1-byte indexed flag, `u32` nnz, `4·nnz` values; when indexed, per segment: 1-byte dense flag, then (`u32` count + `w`-byte within-segment offsets) for sparse segments |
+//! | `QuantInt8` | per segment: `f32` scale, `f32` min, `1·seg_len` int8 codes           |
+//! | `TopK`      | `u32` count, then `count` × (`u32` flat index, `f32` value)           |
+//!
+//! `MaskCsr` reuses the mask-defined structure of the CSR execution engine:
+//! when the sender and the receiver hold the same mask epoch, the indices
+//! are implied by the shared mask and only values travel (`w = 0`).
+//! Otherwise (a stale device under buffered aggregation) within-segment
+//! offsets are included, `w = 2` bytes for segments of at most 2^16
+//! entries and `w = 4` beyond — the same rule
+//! [`sparse_index_width`] exposes to the analytic accounting in
+//! `ft-metrics`, so "cost on paper" and "cost in code" stay mutually
+//! checkable.
+//!
+//! `TopK` optionally keeps an *error-feedback* residual on the device: the
+//! coordinates not transmitted this round are carried into the next round's
+//! input, so nothing is permanently lost (the standard EF-SGD memory).
+
+use crate::TopKBuffer;
+use ft_tensor::{dequantize_one, quantize_affine_i8, QuantParams};
+use serde::{Deserialize, Serialize};
+
+/// Bytes of the common payload header: 1-byte codec tag + `u32` length.
+pub const PAYLOAD_HEADER_BYTES: usize = 5;
+
+/// Bytes per stored within-segment index for a segment of `len` entries:
+/// 2 below 2^16, 4 beyond. Shared by the real `MaskCsr` encoder and the
+/// analytic `sparse_model_bytes` accounting.
+pub fn sparse_index_width(len: usize) -> usize {
+    if len <= 1 << 16 {
+        2
+    } else {
+        4
+    }
+}
+
+/// Exact wire size of `n` explicit `(u32 index, f32 value)` pairs with the
+/// common header — the format of top-k gradient uploads (Sec. III-D) and
+/// of FedDST mask-adjustment traffic.
+pub fn topk_pairs_encoded_len(n: usize) -> usize {
+    PAYLOAD_HEADER_BYTES + 4 + 8 * n
+}
+
+/// Everything an encoder/decoder must agree on about the flat parameter
+/// vector: which coordinates are mask-alive, how the vector splits into
+/// parameter tensors, and which mask epoch produced the aliveness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireCtx {
+    /// Per-coordinate aliveness over the *full* flat vector (prunable
+    /// coordinates from the mask, unprunable ones always `true`).
+    pub alive: Vec<bool>,
+    /// Lengths of the parameter tensors, in flat order; sums to
+    /// `alive.len()`.
+    pub segments: Vec<usize>,
+    /// Epoch of the mask behind `alive`; bumped whenever the mask changes.
+    pub epoch: u64,
+}
+
+impl WireCtx {
+    /// A fully-dense context: every coordinate alive, one segment.
+    pub fn dense(len: usize) -> Self {
+        WireCtx {
+            alive: vec![true; len],
+            segments: vec![len],
+            epoch: 0,
+        }
+    }
+
+    /// Builds a context, validating that the segments cover the vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` does not sum to `alive.len()`.
+    pub fn new(alive: Vec<bool>, segments: Vec<usize>, epoch: u64) -> Self {
+        assert_eq!(
+            segments.iter().sum::<usize>(),
+            alive.len(),
+            "segments must cover the flat vector"
+        );
+        WireCtx {
+            alive,
+            segments,
+            epoch,
+        }
+    }
+
+    /// Full flat length.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Number of alive coordinates.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Which wire codec a run exchanges updates with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Codec {
+    /// Plain `f32` values for every coordinate (the pre-codec behavior,
+    /// now typed and measured).
+    #[default]
+    Dense,
+    /// Mask-structured sparse values: only alive coordinates travel;
+    /// indices are dropped entirely when both ends share the mask epoch.
+    MaskCsr,
+    /// Per-tensor affine int8 quantization of the full delta (4x fewer
+    /// bytes than `Dense` at full density).
+    QuantInt8,
+    /// Only the `ceil(k_frac · n)` largest-magnitude coordinates travel as
+    /// explicit `(index, value)` pairs; with `error_feedback` the untransmitted
+    /// remainder accumulates on the device and rides along next round.
+    TopK {
+        /// Fraction of the flat vector transmitted per round, in `(0, 1]`.
+        k_frac: f32,
+        /// Keep an on-device residual of untransmitted mass.
+        error_feedback: bool,
+    },
+}
+
+impl Codec {
+    /// Stable lowercase name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Codec::Dense => "dense",
+            Codec::MaskCsr => "mask_csr",
+            Codec::QuantInt8 => "quant_int8",
+            Codec::TopK { .. } => "top_k",
+        }
+    }
+
+    /// Parses a codec name as used by example/bench command lines.
+    /// `top_k` defaults to `k_frac = 0.1` with error feedback on.
+    pub fn from_name(s: &str) -> Option<Codec> {
+        match s {
+            "dense" => Some(Codec::Dense),
+            "mask_csr" | "maskcsr" => Some(Codec::MaskCsr),
+            "quant_int8" | "quant8" => Some(Codec::QuantInt8),
+            "top_k" | "topk" => Some(Codec::TopK {
+                k_frac: 0.1,
+                error_feedback: true,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this codec keeps per-device residual state between rounds.
+    pub fn uses_error_feedback(&self) -> bool {
+        matches!(
+            self,
+            Codec::TopK {
+                error_feedback: true,
+                ..
+            }
+        )
+    }
+
+    /// Number of transmitted coordinates for a `TopK` codec over a vector
+    /// of `len` entries (at least 1, at most `len`).
+    fn topk_count(k_frac: f32, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        ((k_frac as f64 * len as f64).ceil() as usize).clamp(1, len)
+    }
+
+    /// Encodes `vector` (a delta against the round anchor, or a broadcast
+    /// value vector) under this codec.
+    ///
+    /// `peer_epoch` is the mask epoch the receiver is known to hold:
+    /// `MaskCsr` drops its indices exactly when it equals `ctx.epoch`.
+    /// `residual` is the device's error-feedback accumulator; it is only
+    /// read/updated by `TopK { error_feedback: true }` and is resized to
+    /// the vector length on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from `ctx.len()`, or if an
+    /// error-feedback codec is given a non-empty residual of the wrong
+    /// length.
+    pub fn encode(
+        &self,
+        vector: &[f32],
+        ctx: &WireCtx,
+        peer_epoch: u64,
+        residual: Option<&mut Vec<f32>>,
+    ) -> Payload {
+        assert_eq!(vector.len(), ctx.len(), "vector/context length mismatch");
+        match *self {
+            Codec::Dense => Payload::Dense {
+                values: vector.to_vec(),
+            },
+            Codec::MaskCsr => {
+                let mut values = Vec::with_capacity(ctx.alive_count());
+                let mut indices = Vec::new();
+                let indexed = ctx.epoch != peer_epoch;
+                for (i, (&v, &a)) in vector.iter().zip(ctx.alive.iter()).enumerate() {
+                    if a {
+                        values.push(v);
+                        if indexed {
+                            indices.push(i as u32);
+                        }
+                    }
+                }
+                Payload::MaskCsr {
+                    epoch: ctx.epoch,
+                    values,
+                    indices: indexed.then_some(indices),
+                    len: vector.len(),
+                }
+            }
+            Codec::QuantInt8 => {
+                let mut codes = vec![0i8; vector.len()];
+                let mut params = Vec::with_capacity(ctx.segments.len());
+                let mut start = 0;
+                for &seg in &ctx.segments {
+                    let p =
+                        quantize_affine_i8(&vector[start..start + seg], &mut codes[start..start + seg]);
+                    params.push(p);
+                    start += seg;
+                }
+                Payload::QuantInt8 {
+                    params,
+                    codes,
+                    len: vector.len(),
+                }
+            }
+            Codec::TopK {
+                k_frac,
+                error_feedback,
+            } => {
+                let n = vector.len();
+                let k = Self::topk_count(k_frac, n);
+                let mut input = vector.to_vec();
+                if error_feedback {
+                    if let Some(res) = &residual {
+                        if res.is_empty() {
+                            // First use: zero residual, nothing to add.
+                        } else {
+                            assert_eq!(res.len(), n, "residual length mismatch");
+                            for (x, r) in input.iter_mut().zip(res.iter()) {
+                                *x += r;
+                            }
+                        }
+                    }
+                }
+                let mut buf = TopKBuffer::new(k);
+                buf.extend_from_slice(&input);
+                let mut picked: Vec<(usize, f32)> = buf.into_sorted();
+                picked.sort_unstable_by_key(|&(i, _)| i);
+                if error_feedback {
+                    if let Some(res) = residual {
+                        if res.len() != n {
+                            *res = input.clone();
+                        } else {
+                            res.copy_from_slice(&input);
+                        }
+                        for &(i, _) in &picked {
+                            res[i] = 0.0;
+                        }
+                    }
+                }
+                Payload::TopK {
+                    indices: picked.iter().map(|&(i, _)| i as u32).collect(),
+                    values: picked.iter().map(|&(_, v)| v).collect(),
+                    len: n,
+                }
+            }
+        }
+    }
+
+    /// Closed-form wire size in bytes of a payload this codec would produce
+    /// over `ctx`, *before* encoding — the round loop uses this to bill
+    /// link time when the payload itself is not built yet. Exact for every
+    /// codec (`MaskCsr`'s size depends only on the alive set and whether
+    /// the epoch is shared, never on the values).
+    pub fn encoded_len_for(&self, ctx: &WireCtx, shared_epoch: bool) -> usize {
+        match *self {
+            Codec::Dense => PAYLOAD_HEADER_BYTES + 4 * ctx.len(),
+            Codec::MaskCsr => {
+                let base = PAYLOAD_HEADER_BYTES + 8 + 1 + 4 + 4 * ctx.alive_count();
+                if shared_epoch {
+                    base
+                } else {
+                    base + maskcsr_index_bytes_for_alive(ctx)
+                }
+            }
+            Codec::QuantInt8 => {
+                PAYLOAD_HEADER_BYTES + ctx.segments.iter().map(|&s| 8 + s).sum::<usize>()
+            }
+            Codec::TopK { k_frac, .. } => {
+                topk_pairs_encoded_len(Self::topk_count(k_frac, ctx.len()))
+            }
+        }
+    }
+}
+
+/// Index bytes of an indexed `MaskCsr` payload whose support equals
+/// `ctx.alive`: per segment, 1 flag byte, plus — for segments that are not
+/// fully alive — a `u32` count and one within-segment offset per alive
+/// coordinate at the segment's derived width.
+fn maskcsr_index_bytes_for_alive(ctx: &WireCtx) -> usize {
+    let mut total = 0;
+    let mut start = 0;
+    for &seg in &ctx.segments {
+        let alive = ctx.alive[start..start + seg].iter().filter(|&&a| a).count();
+        total += 1; // dense-segment flag
+        if alive != seg {
+            total += 4 + sparse_index_width(seg) * alive;
+        }
+        start += seg;
+    }
+    total
+}
+
+/// One encoded model update (or broadcast), ready to be billed by size and
+/// decoded — or accumulated directly — on the receiving side.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// Every coordinate as `f32`.
+    Dense {
+        /// The full vector.
+        values: Vec<f32>,
+    },
+    /// Values of mask-alive coordinates, optionally with explicit indices.
+    MaskCsr {
+        /// Mask epoch the sender encoded under.
+        epoch: u64,
+        /// Values of alive coordinates, in flat order.
+        values: Vec<f32>,
+        /// Flat coordinates of `values`; `None` when the receiver shares
+        /// the sender's mask epoch and can derive them.
+        indices: Option<Vec<u32>>,
+        /// Full flat length of the decoded vector.
+        len: usize,
+    },
+    /// Per-segment affine int8 quantization.
+    QuantInt8 {
+        /// Affine parameters, one per segment.
+        params: Vec<QuantParams>,
+        /// One code per coordinate.
+        codes: Vec<i8>,
+        /// Full flat length.
+        len: usize,
+    },
+    /// Explicit sparse `(index, value)` pairs, sorted by index.
+    TopK {
+        /// Flat coordinates, ascending.
+        indices: Vec<u32>,
+        /// Matching values.
+        values: Vec<f32>,
+        /// Full flat length.
+        len: usize,
+    },
+}
+
+impl Payload {
+    /// Length of the decoded flat vector.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Dense { values } => values.len(),
+            Payload::MaskCsr { len, .. }
+            | Payload::QuantInt8 { len, .. }
+            | Payload::TopK { len, .. } => *len,
+        }
+    }
+
+    /// Whether the decoded vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Name of the codec that produced this payload.
+    pub fn codec_name(&self) -> &'static str {
+        match self {
+            Payload::Dense { .. } => "dense",
+            Payload::MaskCsr { .. } => "mask_csr",
+            Payload::QuantInt8 { .. } => "quant_int8",
+            Payload::TopK { .. } => "top_k",
+        }
+    }
+
+    /// Exact wire size in bytes. `ctx` supplies the segment structure
+    /// (`MaskCsr` index widths, `QuantInt8` block count); aliveness and
+    /// epoch are irrelevant here.
+    ///
+    /// Pinned equal to `self.to_bytes(ctx).len()` by property test.
+    pub fn encoded_len(&self, ctx: &WireCtx) -> usize {
+        match self {
+            Payload::Dense { values } => PAYLOAD_HEADER_BYTES + 4 * values.len(),
+            Payload::MaskCsr {
+                values, indices, ..
+            } => {
+                let mut total = PAYLOAD_HEADER_BYTES + 8 + 1 + 4 + 4 * values.len();
+                if let Some(idx) = indices {
+                    total += maskcsr_index_bytes(idx, &ctx.segments);
+                }
+                total
+            }
+            Payload::QuantInt8 { params, codes, .. } => {
+                PAYLOAD_HEADER_BYTES + 8 * params.len() + codes.len()
+            }
+            Payload::TopK { indices, .. } => topk_pairs_encoded_len(indices.len()),
+        }
+    }
+
+    /// Serializes the payload to actual wire bytes (little-endian). Mainly
+    /// exists so tests can pin [`encoded_len`](Self::encoded_len) to a real
+    /// byte stream; the simulation itself only bills sizes.
+    pub fn to_bytes(&self, ctx: &WireCtx) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len(ctx));
+        let tag: u8 = match self {
+            Payload::Dense { .. } => 0,
+            Payload::MaskCsr { .. } => 1,
+            Payload::QuantInt8 { .. } => 2,
+            Payload::TopK { .. } => 3,
+        };
+        out.push(tag);
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        match self {
+            Payload::Dense { values } => {
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Payload::MaskCsr {
+                epoch,
+                values,
+                indices,
+                ..
+            } => {
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.push(u8::from(indices.is_some()));
+                out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                if let Some(idx) = indices {
+                    write_segment_indices(idx, &ctx.segments, &mut out);
+                }
+            }
+            Payload::QuantInt8 { params, codes, .. } => {
+                for p in params {
+                    out.extend_from_slice(&p.scale.to_le_bytes());
+                    out.extend_from_slice(&p.min.to_le_bytes());
+                }
+                for &c in codes {
+                    out.push(c as u8);
+                }
+            }
+            Payload::TopK {
+                indices, values, ..
+            } => {
+                out.extend_from_slice(&(indices.len() as u32).to_le_bytes());
+                for (i, v) in indices.iter().zip(values.iter()) {
+                    out.extend_from_slice(&i.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes back to a full flat vector (untransmitted coordinates are
+    /// zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a values-only `MaskCsr` payload is decoded under a context
+    /// whose mask epoch differs from the sender's (the receiver would
+    /// scatter into the wrong coordinates), or if sizes are inconsistent.
+    pub fn decode(&self, ctx: &WireCtx) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        self.for_each_coord(ctx, |i, v| out[i] = v);
+        out
+    }
+
+    /// Adds `weight · value` into `acc` for every transmitted coordinate —
+    /// the decode-free accumulation primitive `fedavg_payloads` builds on
+    /// (no per-device dense vector is ever materialized for sparse
+    /// payloads).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`decode`](Self::decode), plus an `acc` length
+    /// mismatch.
+    pub fn accumulate_into(&self, weight: f64, acc: &mut [f64], ctx: &WireCtx) {
+        assert_eq!(acc.len(), self.len(), "accumulator length mismatch");
+        self.for_each_coord(ctx, |i, v| acc[i] += weight * v as f64);
+    }
+
+    /// Visits every transmitted `(flat coordinate, value)` pair.
+    fn for_each_coord(&self, ctx: &WireCtx, mut f: impl FnMut(usize, f32)) {
+        match self {
+            Payload::Dense { values } => {
+                for (i, &v) in values.iter().enumerate() {
+                    f(i, v);
+                }
+            }
+            Payload::MaskCsr {
+                epoch,
+                values,
+                indices,
+                len,
+            } => match indices {
+                Some(idx) => {
+                    assert_eq!(idx.len(), values.len(), "index/value count mismatch");
+                    for (&i, &v) in idx.iter().zip(values.iter()) {
+                        f(i as usize, v);
+                    }
+                }
+                None => {
+                    assert_eq!(
+                        *epoch, ctx.epoch,
+                        "values-only MaskCsr payload decoded under a different mask epoch"
+                    );
+                    assert_eq!(*len, ctx.len(), "payload/context length mismatch");
+                    let mut it = values.iter();
+                    for (i, &a) in ctx.alive.iter().enumerate() {
+                        if a {
+                            let &v = it.next().expect("fewer values than alive coordinates");
+                            f(i, v);
+                        }
+                    }
+                    assert!(it.next().is_none(), "more values than alive coordinates");
+                }
+            },
+            Payload::QuantInt8 { params, codes, .. } => {
+                let mut start = 0;
+                let mut seg_iter = ctx.segments.iter();
+                for p in params {
+                    let &seg = seg_iter.next().expect("segment/params count mismatch");
+                    for (i, &c) in codes[start..start + seg].iter().enumerate() {
+                        f(start + i, dequantize_one(c, *p));
+                    }
+                    start += seg;
+                }
+                assert_eq!(start, codes.len(), "segment/code count mismatch");
+            }
+            Payload::TopK {
+                indices, values, ..
+            } => {
+                for (&i, &v) in indices.iter().zip(values.iter()) {
+                    f(i as usize, v);
+                }
+            }
+        }
+    }
+}
+
+/// Bytes of the per-segment index encoding for sorted flat `indices`.
+fn maskcsr_index_bytes(indices: &[u32], segments: &[usize]) -> usize {
+    let mut total = 0;
+    walk_segment_indices(indices, segments, |seg, seg_indices| {
+        total += 1;
+        if seg_indices.len() != seg {
+            total += 4 + sparse_index_width(seg) * seg_indices.len();
+        }
+    });
+    total
+}
+
+/// Serializes the per-segment index encoding.
+fn write_segment_indices(indices: &[u32], segments: &[usize], out: &mut Vec<u8>) {
+    let mut start = 0u32;
+    walk_segment_indices(indices, segments, |seg, seg_indices| {
+        let dense = seg_indices.len() == seg;
+        out.push(u8::from(dense));
+        if !dense {
+            out.extend_from_slice(&(seg_indices.len() as u32).to_le_bytes());
+            let width = sparse_index_width(seg);
+            for &i in seg_indices {
+                let offset = i - start;
+                if width == 2 {
+                    out.extend_from_slice(&(offset as u16).to_le_bytes());
+                } else {
+                    out.extend_from_slice(&offset.to_le_bytes());
+                }
+            }
+        }
+        start += seg as u32;
+    });
+}
+
+/// Splits sorted flat `indices` by segment and hands each chunk (with its
+/// segment length) to `f`.
+fn walk_segment_indices(indices: &[u32], segments: &[usize], mut f: impl FnMut(usize, &[u32])) {
+    let mut start = 0u32;
+    let mut pos = 0usize;
+    for &seg in segments {
+        let end = start + seg as u32;
+        let chunk_end = pos + indices[pos..].iter().take_while(|&&i| i < end).count();
+        f(seg, &indices[pos..chunk_end]);
+        pos = chunk_end;
+        start = end;
+    }
+    assert_eq!(pos, indices.len(), "index outside every segment");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A two-segment context with a striped mask on the first segment.
+    fn striped_ctx(epoch: u64) -> WireCtx {
+        let mut alive = vec![true; 24];
+        for (i, a) in alive.iter_mut().enumerate().take(16) {
+            *a = i % 3 != 0;
+        }
+        WireCtx::new(alive, vec![16, 8], epoch)
+    }
+
+    fn masked(vector: &[f32], ctx: &WireCtx) -> Vec<f32> {
+        vector
+            .iter()
+            .zip(ctx.alive.iter())
+            .map(|(&v, &a)| if a { v } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn codec_names_roundtrip() {
+        for codec in [
+            Codec::Dense,
+            Codec::MaskCsr,
+            Codec::QuantInt8,
+            Codec::TopK {
+                k_frac: 0.1,
+                error_feedback: true,
+            },
+        ] {
+            assert_eq!(Codec::from_name(codec.name()).map(|c| c.name()), Some(codec.name()));
+        }
+        assert_eq!(Codec::from_name("nope"), None);
+        assert_eq!(Codec::default(), Codec::Dense);
+    }
+
+    #[test]
+    fn codec_maskcsr_shared_epoch_drops_indices() {
+        let ctx = striped_ctx(3);
+        let v: Vec<f32> = (0..24).map(|i| i as f32 * 0.5).collect();
+        let shared = Codec::MaskCsr.encode(&v, &ctx, 3, None);
+        let stale = Codec::MaskCsr.encode(&v, &ctx, 2, None);
+        match (&shared, &stale) {
+            (
+                Payload::MaskCsr { indices: None, .. },
+                Payload::MaskCsr {
+                    indices: Some(idx), ..
+                },
+            ) => assert_eq!(idx.len(), ctx.alive_count()),
+            other => panic!("unexpected payload shapes: {other:?}"),
+        }
+        assert!(shared.encoded_len(&ctx) < stale.encoded_len(&ctx));
+        // Both decode to the alive-masked vector.
+        assert_eq!(shared.decode(&ctx), masked(&v, &ctx));
+        assert_eq!(stale.decode(&ctx), masked(&v, &ctx));
+    }
+
+    #[test]
+    #[should_panic(expected = "different mask epoch")]
+    fn codec_values_only_rejects_foreign_epoch() {
+        let ctx = striped_ctx(1);
+        let v = vec![1.0f32; 24];
+        let p = Codec::MaskCsr.encode(&v, &ctx, 1, None);
+        let other = striped_ctx(2);
+        let _ = p.decode(&other);
+    }
+
+    #[test]
+    fn codec_indexed_payload_decodes_without_matching_mask() {
+        // A stale device's mask differs from the server's: indices travel,
+        // and the server decodes without consulting its own alive set.
+        let dev_ctx = striped_ctx(1);
+        let v: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let p = Codec::MaskCsr.encode(&v, &dev_ctx, 9, None);
+        let server_ctx = WireCtx::new(vec![true; 24], vec![16, 8], 9);
+        assert_eq!(p.decode(&server_ctx), masked(&v, &dev_ctx));
+    }
+
+    #[test]
+    fn codec_topk_keeps_largest_magnitudes() {
+        let ctx = WireCtx::dense(6);
+        let v = [0.1f32, -5.0, 0.2, 4.0, -0.3, 0.0];
+        let p = Codec::TopK {
+            k_frac: 0.34, // ceil(0.34 * 6) = 3
+            error_feedback: false,
+        }
+        .encode(&v, &ctx, 0, None);
+        assert_eq!(p.decode(&ctx), vec![0.0, -5.0, 0.0, 4.0, -0.3, 0.0]);
+        assert_eq!(p.encoded_len(&ctx), topk_pairs_encoded_len(3));
+    }
+
+    #[test]
+    fn codec_topk_error_feedback_carries_residual() {
+        let ctx = WireCtx::dense(4);
+        let codec = Codec::TopK {
+            k_frac: 0.25, // 1 coordinate per round
+            error_feedback: true,
+        };
+        let mut residual = Vec::new();
+        let p1 = codec.encode(&[1.0, 3.0, -2.0, 0.5], &ctx, 0, Some(&mut residual));
+        assert_eq!(p1.decode(&ctx), vec![0.0, 3.0, 0.0, 0.0]);
+        assert_eq!(residual, vec![1.0, 0.0, -2.0, 0.5]);
+        // Next round's zero delta still drains the residual.
+        let p2 = codec.encode(&[0.0; 4], &ctx, 0, Some(&mut residual));
+        assert_eq!(p2.decode(&ctx), vec![0.0, 0.0, -2.0, 0.0]);
+        assert_eq!(residual, vec![1.0, 0.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn codec_topk_error_feedback_drains_to_zero() {
+        // Constant deltas for a few rounds, then silence: with error
+        // feedback every unit of mass is eventually transmitted and the
+        // accumulator returns to exactly zero.
+        let n = 8;
+        let ctx = WireCtx::dense(n);
+        let codec = Codec::TopK {
+            k_frac: 0.25, // 2 of 8 coordinates per round
+            error_feedback: true,
+        };
+        let mut residual = Vec::new();
+        let mut received = vec![0.0f32; n];
+        let constant = vec![1.0f32; n];
+        let rounds_active = 3;
+        for _ in 0..rounds_active {
+            let p = codec.encode(&constant, &ctx, 0, Some(&mut residual));
+            for (r, v) in received.iter_mut().zip(p.decode(&ctx)) {
+                *r += v;
+            }
+        }
+        // Drain with zero deltas: residual mass keeps flowing out.
+        for _ in 0..16 {
+            let p = codec.encode(&[0.0; 8], &ctx, 0, Some(&mut residual));
+            for (r, v) in received.iter_mut().zip(p.decode(&ctx)) {
+                *r += v;
+            }
+        }
+        assert!(residual.iter().all(|&r| r == 0.0), "residual {residual:?}");
+        assert_eq!(received, vec![rounds_active as f32; n]);
+    }
+
+    #[test]
+    fn codec_size_hints_match_encodes() {
+        let ctx = striped_ctx(5);
+        let v: Vec<f32> = (0..24).map(|i| (i as f32).sin()).collect();
+        for codec in [
+            Codec::Dense,
+            Codec::MaskCsr,
+            Codec::QuantInt8,
+            Codec::TopK {
+                k_frac: 0.2,
+                error_feedback: false,
+            },
+        ] {
+            let shared = codec.encode(&v, &ctx, ctx.epoch, None);
+            assert_eq!(
+                codec.encoded_len_for(&ctx, true),
+                shared.encoded_len(&ctx),
+                "{} shared",
+                codec.name()
+            );
+            let stale = codec.encode(&v, &ctx, ctx.epoch + 1, None);
+            assert_eq!(
+                codec.encoded_len_for(&ctx, false),
+                stale.encoded_len(&ctx),
+                "{} stale",
+                codec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn codec_index_width_derivation() {
+        assert_eq!(sparse_index_width(100), 2);
+        assert_eq!(sparse_index_width(1 << 16), 2);
+        assert_eq!(sparse_index_width((1 << 16) + 1), 4);
+    }
+
+    #[test]
+    fn codec_dense_segments_need_no_offsets() {
+        // Second segment fully alive: the indexed encoding marks it dense
+        // and pays only the flag byte for it.
+        let ctx = striped_ctx(0);
+        let v = vec![1.0f32; 24];
+        let stale = Codec::MaskCsr.encode(&v, &ctx, 7, None);
+        let nnz_seg0 = ctx.alive[..16].iter().filter(|&&a| a).count();
+        let expect = PAYLOAD_HEADER_BYTES + 8 + 1 + 4          // header
+            + 4 * ctx.alive_count()                            // values
+            + 1 + 4 + 2 * nnz_seg0                             // sparse segment 0
+            + 1; // dense segment 1: flag only
+        assert_eq!(stale.encoded_len(&ctx), expect);
+    }
+
+    fn arb_codec() -> impl Strategy<Value = Codec> {
+        (0usize..4, 0.05f32..1.0, 0usize..2).prop_map(|(tag, k_frac, ef)| match tag {
+            0 => Codec::Dense,
+            1 => Codec::MaskCsr,
+            2 => Codec::QuantInt8,
+            _ => Codec::TopK {
+                k_frac,
+                error_feedback: ef == 1,
+            },
+        })
+    }
+
+    fn arb_ctx() -> impl Strategy<Value = (WireCtx, Vec<f32>)> {
+        (proptest::collection::vec(1usize..12, 1..4), 0u64..100)
+            .prop_flat_map(|(segments, epoch)| {
+                let n: usize = segments.iter().sum();
+                (
+                    proptest::collection::vec(0usize..2, n),
+                    proptest::collection::vec(-4.0f32..4.0, n),
+                    Just(segments),
+                    Just(epoch),
+                )
+            })
+            .prop_map(|(alive_bits, values, segments, epoch)| {
+                let alive: Vec<bool> = alive_bits.into_iter().map(|b| b == 1).collect();
+                (WireCtx::new(alive, segments, epoch), values)
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// `encoded_len` equals the length of the real byte serialization,
+        /// for every codec, alive pattern, and epoch relation.
+        #[test]
+        fn codec_encoded_len_matches_wire_bytes(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            shared in 0usize..2,
+        ) {
+            let peer = if shared == 1 { ctx.epoch } else { ctx.epoch.wrapping_add(1) };
+            let mut residual = Vec::new();
+            let p = codec.encode(&values, &ctx, peer, Some(&mut residual));
+            prop_assert_eq!(p.encoded_len(&ctx), p.to_bytes(&ctx).len());
+        }
+
+        /// Dense and MaskCsr round-trip exactly on their support; QuantInt8
+        /// stays within the documented half-step bound per segment.
+        #[test]
+        fn codec_roundtrip_error_bounds((ctx, values) in arb_ctx()) {
+            // Dense: exact everywhere.
+            let dense = Codec::Dense.encode(&values, &ctx, ctx.epoch, None);
+            prop_assert_eq!(dense.decode(&ctx), values.clone());
+
+            // MaskCsr: exact on alive coordinates, zero elsewhere.
+            for peer in [ctx.epoch, ctx.epoch + 1] {
+                let p = Codec::MaskCsr.encode(&values, &ctx, peer, None);
+                let got = p.decode(&ctx);
+                for ((&g, &v), &a) in got.iter().zip(values.iter()).zip(ctx.alive.iter()) {
+                    prop_assert_eq!(g, if a { v } else { 0.0 });
+                }
+            }
+
+            // QuantInt8: |error| ≤ segment range / 510.
+            let q = Codec::QuantInt8.encode(&values, &ctx, ctx.epoch, None);
+            let got = q.decode(&ctx);
+            let mut start = 0;
+            for &seg in &ctx.segments {
+                let s = &values[start..start + seg];
+                let lo = s.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let bound = (hi - lo) / 510.0 + 1e-5;
+                for (&v, &g) in s.iter().zip(got[start..start + seg].iter()) {
+                    prop_assert!((v - g).abs() <= bound, "{v} -> {g} beyond {bound}");
+                }
+                start += seg;
+            }
+        }
+
+        /// Weighted accumulation is elementwise `weight · decode`.
+        #[test]
+        fn codec_accumulate_matches_decode(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            weight in 0.1f64..4.0,
+        ) {
+            let p = codec.encode(&values, &ctx, ctx.epoch, Some(&mut Vec::new()));
+            let dec = p.decode(&ctx);
+            let mut acc = vec![0.0f64; ctx.len()];
+            p.accumulate_into(weight, &mut acc, &ctx);
+            for (&a, &d) in acc.iter().zip(dec.iter()) {
+                prop_assert!((a - weight * d as f64).abs() < 1e-9);
+            }
+        }
+
+        /// TopK transmits exactly `ceil(k_frac · n)` coordinates and they
+        /// are the largest magnitudes of its input.
+        #[test]
+        fn codec_topk_count_and_selection(
+            values in proptest::collection::vec(-4.0f32..4.0, 1..40),
+            k_frac in 0.05f32..1.0,
+        ) {
+            let ctx = WireCtx::dense(values.len());
+            let codec = Codec::TopK { k_frac, error_feedback: false };
+            let p = codec.encode(&values, &ctx, 0, None);
+            let k = ((k_frac as f64 * values.len() as f64).ceil() as usize)
+                .clamp(1, values.len());
+            match &p {
+                Payload::TopK { indices, .. } => prop_assert_eq!(indices.len(), k),
+                other => prop_assert!(false, "unexpected payload {other:?}"),
+            }
+            // No untransmitted magnitude strictly exceeds a transmitted one.
+            let dec = p.decode(&ctx);
+            let min_sent = dec
+                .iter()
+                .filter(|v| **v != 0.0)
+                .map(|v| v.abs())
+                .fold(f32::INFINITY, f32::min);
+            for (&v, &d) in values.iter().zip(dec.iter()) {
+                if d == 0.0 {
+                    prop_assert!(v.abs() <= min_sent + 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //! Contents:
 //! - [`SparseLayout`] / [`Mask`] — per-prunable-tensor binary masks with
 //!   density accounting.
+//! - [`Codec`] / [`Payload`] / [`WireCtx`] — the typed wire formats of the
+//!   device ↔ server update exchange (dense, mask-structured sparse,
+//!   int8-quantized, top-k with error feedback), with exact measured byte
+//!   sizes.
 //! - [`CsrMatrix`] — the row-compressed weight representation the sparse
 //!   execution engine packs masked weights into (kernels live in
 //!   `ft-tensor`; dispatch lives in `ft-nn`).
@@ -29,12 +33,16 @@
 //! assert!((mask.density() - 15.0 / 16.0).abs() < 1e-6);
 //! ```
 
+mod codec;
 mod layout;
 mod mask;
 mod prune;
 mod schedule;
 mod topk;
 
+pub use codec::{
+    sparse_index_width, topk_pairs_encoded_len, Codec, Payload, WireCtx, PAYLOAD_HEADER_BYTES,
+};
 pub use layout::{CsrMatrix, LayerSpec, SparseLayout};
 pub use mask::Mask;
 pub use prune::{

@@ -32,6 +32,7 @@ mod matmul;
 mod ops;
 mod pool;
 mod proptests;
+mod quant;
 mod spmm;
 mod tensor;
 
@@ -42,6 +43,9 @@ pub use spmm::{
     dsmm_into, dsmm_nt_into, sddmm_nt_into, sddmm_tn_into, spmm_into, spmm_tn_into, CsrView,
 };
 pub use pool::{avg_pool_global, avg_pool_global_backward, max_pool2x2, max_pool2x2_backward};
+pub use quant::{
+    dequantize_affine_i8, dequantize_one, quant_error_bound, quantize_affine_i8, QuantParams,
+};
 pub use tensor::Tensor;
 
 /// Numerical tolerance used by the test-suites across the workspace.

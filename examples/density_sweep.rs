@@ -51,6 +51,7 @@ fn main() {
                 backward_order: true,
                 start_round: 2,
             }),
+            codec: fedtiny_suite::fl::Codec::MaskCsr,
             eval_every: 0,
         };
         let fedtiny = run_fedtiny(&env, &ft_cfg);

@@ -67,6 +67,7 @@ fn main() {
                 backward_order: true,
                 start_round: 2,
             }),
+            codec: fedtiny_suite::fl::Codec::MaskCsr,
             eval_every: 0,
         };
         let acc_adapt = run_fedtiny(&env, &base).accuracy;

@@ -42,6 +42,7 @@ fn run_with_participation(participation: f32) -> (f32, f32) {
             backward_order: true,
             start_round: 2,
         }),
+        codec: fedtiny_suite::fl::Codec::MaskCsr,
         eval_every: 0,
     };
     let r = run_fedtiny(&env, &ft);

@@ -5,19 +5,42 @@
 //!
 //! ```bash
 //! cargo run --release --example straggler_fleet
+//! # pick the wire codec for the update exchange:
+//! cargo run --release --example straggler_fleet -- --codec quant_int8
+//! # codecs: dense (default) | mask_csr | quant_int8 | top_k
 //! ```
+//!
+//! Transfers are billed at the *measured* encoded payload size, so the
+//! codec choice changes the simulated makespans, not just a byte counter.
 
 use fedtiny_suite::data::{DatasetProfile, SynthConfig};
 use fedtiny_suite::fl::{
-    no_hook, run_federated_rounds, CostLedger, DeviceProfile, ExperimentEnv, FlConfig, ModelSpec,
-    Scheduler, TimelineEvent,
+    no_hook, run_federated_rounds, Codec, CostLedger, DeviceProfile, ExperimentEnv, FlConfig,
+    ModelSpec, Scheduler, TimelineEvent,
 };
 use fedtiny_suite::nn::sparse_layout;
 use fedtiny_suite::sparse::Mask;
 
 const SEED: u64 = 17;
 
-fn build_env(scheduler: Scheduler) -> ExperimentEnv {
+/// Parses `--codec <name>` from the command line (default: dense).
+fn codec_from_args() -> Codec {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--codec") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            Codec::from_name(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k"
+                );
+                std::process::exit(2);
+            })
+        }
+        None => Codec::Dense,
+    }
+}
+
+fn build_env(scheduler: Scheduler, codec: Codec) -> ExperimentEnv {
     let synth = SynthConfig {
         profile: DatasetProfile::Cifar10,
         train_per_class: 12,
@@ -31,13 +54,14 @@ fn build_env(scheduler: Scheduler) -> ExperimentEnv {
     cfg.rounds = 8;
     cfg.local_epochs = 1;
     cfg.seed = SEED;
+    cfg.codec = codec;
     let env = ExperimentEnv::new(synth, cfg);
     let fleet = DeviceProfile::fleet_mixed(env.num_devices());
     env.with_fleet(fleet).with_scheduler(scheduler)
 }
 
-fn run(scheduler: Scheduler) -> (f32, CostLedger) {
-    let env = build_env(scheduler);
+fn run(scheduler: Scheduler, codec: Codec) -> (f32, CostLedger) {
+    let env = build_env(scheduler, codec);
     let mut model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
     let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
     let mut ledger = CostLedger::new();
@@ -53,10 +77,11 @@ fn run(scheduler: Scheduler) -> (f32, CostLedger) {
 }
 
 fn main() {
+    let codec = codec_from_args();
     // A deadline inside the fleet's spread (geometric mean of the fastest
     // and slowest device's simulated round time).
     let deadline_secs = {
-        let env = build_env(Scheduler::Synchronous);
+        let env = build_env(Scheduler::Synchronous, codec);
         let model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
         let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
         fedtiny_suite::fl::fleet_spread_deadline(&env, &model.arch(), &densities)
@@ -66,13 +91,14 @@ fn main() {
         Scheduler::Deadline { deadline_secs },
         Scheduler::Buffered { buffer_k: 3 },
     ];
+    println!("wire codec: {}", codec.name());
     println!(
-        "{:>12}  {:>6}  {:>14}  {:>10}  {:>8}  {:>7}",
-        "scheduler", "top1", "sim_makespan_s", "zero_prog", "dropped", "stale"
+        "{:>12}  {:>6}  {:>14}  {:>10}  {:>8}  {:>7}  {:>10}",
+        "scheduler", "top1", "sim_makespan_s", "zero_prog", "dropped", "stale", "upload_kb"
     );
     let mut buffered_timeline: Vec<TimelineEvent> = Vec::new();
     for policy in policies {
-        let (top1, ledger) = run(policy);
+        let (top1, ledger) = run(policy, codec);
         let max_stale = ledger
             .timeline()
             .iter()
@@ -80,11 +106,12 @@ fn main() {
             .max()
             .unwrap_or(0);
         println!(
-            "{:>12}  {top1:>6.4}  {:>14.1}  {:>10}  {:>8}  {max_stale:>7}",
+            "{:>12}  {top1:>6.4}  {:>14.1}  {:>10}  {:>8}  {max_stale:>7}  {:>10.1}",
             policy.name(),
             ledger.sim_makespan_secs(),
             ledger.zero_progress_rounds(),
             ledger.dropped_updates(),
+            ledger.total_payload_upload_bytes() / 1e3,
         );
         if matches!(policy, Scheduler::Buffered { .. }) {
             buffered_timeline = ledger.timeline().to_vec();

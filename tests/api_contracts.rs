@@ -94,6 +94,9 @@ fn run_result_roundtrips_through_json() {
         max_round_flops: 1.17e12,
         memory_bytes: 2.79e6,
         comm_bytes: 1.0e8,
+        payload_comm_bytes: 8.5e7,
+        payload_upload_bytes: 4.0e7,
+        codec: "mask_csr".into(),
         extra_flops: 9.15e10,
         realized_round_flops: 1.05e12,
         train_wall_secs: 12.5,

@@ -1,9 +1,18 @@
-//! Golden-trace determinism net for the fleet simulation.
+//! Golden-trace determinism net for the fleet simulation and the wire
+//! byte-accounting.
 //!
-//! The committed trace (`tests/golden/synchronous_trace.txt`) pins the
-//! bit-exact accuracy history and simulated-time ledger of a `Synchronous`
-//! run on a mixed fleet. Any refactor of the round loop, the aggregation
-//! path, the RNG derivation, or the time model that changes observable
+//! The committed traces pin the bit-exact accuracy history, simulated-time
+//! ledger, and measured payload bytes of:
+//!
+//! - `tests/golden/synchronous_trace.txt` — a `Synchronous` run on a mixed
+//!   fleet under the `Dense` codec;
+//! - `tests/golden/deadline_maskcsr_trace.txt` — a `Deadline` run on the
+//!   same fleet under `MaskCsr` with a half-pruned first layer, so the
+//!   values-only sparse upload path (and its byte accounting) is pinned
+//!   bit-for-bit.
+//!
+//! Any refactor of the round loop, the aggregation path, the RNG
+//! derivation, the time model, or the codecs that changes observable
 //! behavior shows up as a readable diff here.
 //!
 //! Regenerate after an *intentional* change with:
@@ -13,20 +22,71 @@
 //! ```
 
 use fedtiny_suite::fl::{
-    no_hook, run_federated_rounds, CostLedger, DeviceProfile, ExperimentEnv, ModelSpec, Scheduler,
+    no_hook, run_federated_rounds, Codec, CostLedger, DeviceProfile, ExperimentEnv, ModelSpec,
+    Scheduler,
 };
-use fedtiny_suite::nn::sparse_layout;
+use fedtiny_suite::nn::{apply_mask, sparse_layout};
 use fedtiny_suite::sparse::Mask;
 
-const GOLDEN_PATH: &str = concat!(
+const SYNCHRONOUS_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/synchronous_trace.txt"
 );
+const DEADLINE_MASKCSR_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/deadline_maskcsr_trace.txt"
+);
 
-/// Runs the pinned scenario and renders its trace: one line per round with
-/// accuracy and simulated makespan (display value + exact bits), then a
-/// footer with run totals. Bits make the comparison exact; display values
+/// Renders one run's trace: one line per round with accuracy, simulated
+/// makespan, and measured payload bytes (display value + exact bits), then
+/// a footer with run totals. Bits make the comparison exact; display values
 /// make the diff human-readable.
+fn render_trace(header: &str, history: &[f32], ledger: &CostLedger) -> String {
+    let mut out = String::from(header);
+    for (round, acc) in history.iter().enumerate() {
+        let sim = ledger.sim_secs_history()[round];
+        let flops = ledger.round_flops_history()[round];
+        let up = ledger.payload_up_history()[round];
+        let down = ledger.payload_down_history()[round];
+        out.push_str(&format!(
+            "round {round}: acc={acc:.4} acc_bits={:08x} sim_secs={sim:.6} sim_bits={:016x} \
+             flops_bits={:016x} up_bytes={up:.0} up_bits={:016x} down_bytes={down:.0} down_bits={:016x}\n",
+            acc.to_bits(),
+            sim.to_bits(),
+            flops.to_bits(),
+            up.to_bits(),
+            down.to_bits(),
+        ));
+    }
+    out.push_str(&format!(
+        "total: sim_makespan_bits={:016x} comm_bits={:016x} payload_bits={:016x} upload_bits={:016x} \
+         zero_progress={} dropped={} timeline_events={}\n",
+        ledger.sim_makespan_secs().to_bits(),
+        ledger.total_comm_bytes().to_bits(),
+        ledger.total_payload_bytes().to_bits(),
+        ledger.total_payload_upload_bytes().to_bits(),
+        ledger.zero_progress_rounds(),
+        ledger.dropped_updates(),
+        ledger.timeline().len(),
+    ));
+    out
+}
+
+fn compare_or_bless(path: &str, got: &str) {
+    if std::env::var("FT_BLESS").is_ok() {
+        std::fs::write(path, got).expect("write golden trace");
+        return;
+    }
+    let want = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        panic!("missing {path} — run FT_BLESS=1 cargo test --test golden_trace")
+    });
+    assert_eq!(
+        got, &want,
+        "golden trace {path} drifted; if intentional, regenerate with \
+         FT_BLESS=1 cargo test --test golden_trace"
+    );
+}
+
 fn synchronous_trace() -> String {
     let mut env = ExperimentEnv::tiny_for_tests(42);
     env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
@@ -42,53 +102,64 @@ fn synchronous_trace() -> String {
         &mut ledger,
         &mut no_hook(),
     );
-
-    let mut out = String::from(
+    render_trace(
         "# Golden trace: Synchronous scheduler, mixed fleet, tiny env (seed 42),\n\
-         # small_cnn_test, eval_every = 1. Regenerate: FT_BLESS=1 cargo test --test golden_trace\n",
-    );
-    for (round, acc) in history.iter().enumerate() {
-        let sim = ledger.sim_secs_history()[round];
-        let flops = ledger.round_flops_history()[round];
-        out.push_str(&format!(
-            "round {round}: acc={acc:.4} acc_bits={:08x} sim_secs={sim:.6} sim_bits={:016x} flops_bits={:016x}\n",
-            acc.to_bits(),
-            sim.to_bits(),
-            flops.to_bits(),
-        ));
+         # small_cnn_test, Dense codec, eval_every = 1.\n\
+         # Regenerate: FT_BLESS=1 cargo test --test golden_trace\n",
+        &history,
+        &ledger,
+    )
+}
+
+fn deadline_maskcsr_trace() -> String {
+    let mut env = ExperimentEnv::tiny_for_tests(42);
+    env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+    env.scheduler = Scheduler::Deadline { deadline_secs: 2.0 };
+    env.cfg.codec = Codec::MaskCsr;
+    let mut model = env.build_model(&ModelSpec::small_cnn_test());
+    let layout = sparse_layout(model.as_ref());
+    let mut mask = Mask::ones(&layout);
+    // Half-prune the first layer so the sparse values-only upload (and its
+    // byte accounting) is genuinely exercised, not just dense-with-headers.
+    for i in 0..layout.layer(0).len {
+        if i % 2 == 0 {
+            mask.set(0, i, false);
+        }
     }
-    out.push_str(&format!(
-        "total: sim_makespan_bits={:016x} comm_bits={:016x} zero_progress={} dropped={} timeline_events={}\n",
-        ledger.sim_makespan_secs().to_bits(),
-        ledger.total_comm_bytes().to_bits(),
-        ledger.zero_progress_rounds(),
-        ledger.dropped_updates(),
-        ledger.timeline().len(),
-    ));
-    out
+    apply_mask(model.as_mut(), &mask);
+    let mut ledger = CostLedger::new();
+    let history = run_federated_rounds(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        1,
+        &mut ledger,
+        &mut no_hook(),
+    );
+    render_trace(
+        "# Golden trace: Deadline(2.0s) scheduler, mixed fleet, tiny env (seed 42),\n\
+         # small_cnn_test with layer 0 half-pruned, MaskCsr codec, eval_every = 1.\n\
+         # Pins the measured values-only sparse byte accounting bit-for-bit.\n\
+         # Regenerate: FT_BLESS=1 cargo test --test golden_trace\n",
+        &history,
+        &ledger,
+    )
 }
 
 #[test]
 fn sim_golden_trace_synchronous_matches_committed() {
-    let got = synchronous_trace();
-    if std::env::var("FT_BLESS").is_ok() {
-        std::fs::write(GOLDEN_PATH, &got).expect("write golden trace");
-        return;
-    }
-    let want = std::fs::read_to_string(GOLDEN_PATH).expect(
-        "missing tests/golden/synchronous_trace.txt — run FT_BLESS=1 cargo test --test golden_trace",
-    );
-    assert_eq!(
-        got, want,
-        "synchronous golden trace drifted; if intentional, regenerate with \
-         FT_BLESS=1 cargo test --test golden_trace"
-    );
+    compare_or_bless(SYNCHRONOUS_PATH, &synchronous_trace());
+}
+
+#[test]
+fn sim_golden_trace_deadline_maskcsr_matches_committed() {
+    compare_or_bless(DEADLINE_MASKCSR_PATH, &deadline_maskcsr_trace());
 }
 
 /// The same scenario is bit-identical across parallel and sequential device
-/// execution — the golden file pins one of them, this pins the other two
-/// scheduler policies against themselves (their ledgers embed jitter,
-/// staleness, and drop decisions, so equality here is a strong invariant).
+/// execution — the golden files pin two of them, this pins every scheduler
+/// policy against itself (their ledgers embed jitter, staleness, and drop
+/// decisions, so equality here is a strong invariant).
 #[test]
 fn sim_every_policy_parallel_equals_sequential_trace() {
     for scheduler in [
@@ -115,6 +186,7 @@ fn sim_every_policy_parallel_equals_sequential_trace() {
             let sim_bits: Vec<String> = ledger
                 .sim_secs_history()
                 .iter()
+                .chain(ledger.payload_up_history().iter())
                 .map(|s| format!("{:016x}", s.to_bits()))
                 .collect();
             (history, sim_bits, ledger.dropped_updates())
