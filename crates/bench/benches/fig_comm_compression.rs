@@ -18,9 +18,7 @@ use ft_bench::table::{acc, mb};
 use ft_bench::{Scale, Table};
 use ft_data::DatasetProfile;
 use ft_fl::Codec;
-use ft_metrics::{
-    densities_from_mask, sparse_model_bytes_with, ExtraMemory, IndexWidth,
-};
+use ft_metrics::{densities_from_mask, sparse_model_bytes_with, ExtraMemory, IndexWidth};
 use ft_nn::sparse_layout;
 use ft_pruning::{l1_oneshot_mask, run_with_fixed_mask};
 use ft_sparse::Mask;

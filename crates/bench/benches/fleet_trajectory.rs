@@ -1,0 +1,138 @@
+//! Fleet-simulation trajectory (`BENCH_fleet.json`): host wall-clock of the
+//! federated round loop under each scheduler at 1 worker thread vs all
+//! available ones, on a mixed fast/balanced/slow fleet.
+//!
+//! Environment generation (data synthesis, Dirichlet partitioning, model
+//! init) happens strictly *outside* the timed region, and each measured run
+//! is preceded by a discarded warmup run — the setup/measurement separation
+//! that keeps these JSON numbers stable across CI runs.
+//!
+//! The simulated makespans are also cross-checked across thread counts:
+//! they must be bit-identical (the runtime determinism contract), so this
+//! bench doubles as a smoke test of the parallel round loop.
+
+use ft_bench::BenchReport;
+use ft_data::{DatasetProfile, SynthConfig};
+use ft_fl::{
+    no_hook, run_federated_rounds, CostLedger, DeviceProfile, ExperimentEnv, FlConfig, ModelSpec,
+    Scheduler,
+};
+use ft_nn::sparse_layout;
+use ft_sparse::Mask;
+use std::time::Instant;
+
+const SEED: u64 = 23;
+const DEVICES: usize = 6;
+
+/// Rounds at the current quick/full mode — also the only shape input, so
+/// the report's shape tags never need an environment rebuild.
+fn rounds() -> usize {
+    if ft_bench::quick_mode() {
+        4
+    } else {
+        8
+    }
+}
+
+fn build_env(scheduler: Scheduler, threads: usize) -> ExperimentEnv {
+    let quick = ft_bench::quick_mode();
+    let synth = SynthConfig {
+        profile: DatasetProfile::Cifar10,
+        train_per_class: if quick { 8 } else { 16 },
+        test_per_class: 6,
+        resolution: 8,
+        channels: 3,
+        seed: SEED,
+    };
+    let mut cfg = FlConfig::bench_default();
+    cfg.devices = DEVICES;
+    cfg.rounds = rounds();
+    cfg.local_epochs = 1;
+    cfg.seed = SEED;
+    cfg.parallel = true;
+    cfg.threads = threads;
+    let env = ExperimentEnv::new(synth, cfg);
+    let fleet = DeviceProfile::fleet_mixed(env.num_devices());
+    env.with_fleet(fleet).with_scheduler(scheduler)
+}
+
+/// One measured run: returns `(wall ns, realized FLOPs, sim makespan)` of
+/// the round loop only — environment setup is excluded.
+fn run_once(scheduler: Scheduler, threads: usize) -> (f64, f64, f64) {
+    let env = build_env(scheduler, threads);
+    let mut model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let t = Instant::now();
+    let history = run_federated_rounds(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+    );
+    let wall_ns = t.elapsed().as_nanos() as f64;
+    assert!(!history.is_empty());
+    let realized: f64 = ledger.realized_flops_history().iter().sum();
+    (wall_ns, realized, ledger.sim_makespan_secs())
+}
+
+fn main() {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads_grid = vec![1usize];
+    if host > 1 {
+        threads_grid.push(host);
+    }
+    let mut report = BenchReport::new("fleet");
+    let schedulers = [
+        Scheduler::Synchronous,
+        Scheduler::Deadline { deadline_secs: 2.0 },
+        Scheduler::Buffered { buffer_k: 3 },
+    ];
+    println!(
+        "{:<20} {:>8} {:>14} {:>14} {:>10}",
+        "op", "threads", "wall_ms", "sim_makespan_s", "GFLOP/s"
+    );
+    for scheduler in schedulers {
+        let mut makespans = Vec::new();
+        for &t in &threads_grid {
+            // Warmup run (discarded): pays data synthesis caches, page
+            // faults, and thread-pool creation before the timed run.
+            let _ = run_once(scheduler, t);
+            let (wall_ns, realized, sim) = run_once(scheduler, t);
+            makespans.push(sim);
+            let op = format!("fleet_{}", scheduler.name());
+            let shape = format!("K{DEVICES}xR{}", rounds());
+            report.push(&op, &shape, 1.0, t, wall_ns, realized);
+            println!(
+                "{:<20} {:>8} {:>14.1} {:>14.2} {:>10.3}",
+                op,
+                t,
+                wall_ns / 1e6,
+                sim,
+                realized / wall_ns
+            );
+        }
+        // Determinism net: the virtual-time outcome must not depend on how
+        // many host threads computed it.
+        for m in &makespans[1..] {
+            assert_eq!(
+                m.to_bits(),
+                makespans[0].to_bits(),
+                "{}: sim makespan diverged across thread counts",
+                scheduler.name()
+            );
+        }
+    }
+    let path = report.write();
+    println!(
+        "trajectory: {} records -> {} (host_threads={}, quick={})",
+        report.records.len(),
+        path.display(),
+        report.host_threads,
+        report.quick
+    );
+}

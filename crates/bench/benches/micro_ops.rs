@@ -4,11 +4,15 @@
 //! ablation "top-k buffer vs full sort".
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ft_bench::{measure_ns, BenchReport};
 use ft_nn::models::SmallCnn;
 use ft_nn::optim::{Sgd, SgdConfig};
 use ft_nn::{apply_mask, sparse_layout, Mode, Model};
-use ft_sparse::{magnitude_mask, uniform_density_vector, CsrMatrix, Mask, SparseLayout, TopKBuffer};
-use ft_tensor::{matmul_into, spmm_into, Tensor};
+use ft_runtime::Runtime;
+use ft_sparse::{
+    magnitude_mask, uniform_density_vector, CsrMatrix, Mask, SparseLayout, TopKBuffer,
+};
+use ft_tensor::{matmul_into, matmul_into_rt, sddmm_nt_into_rt, spmm_into, spmm_into_rt, Tensor};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -159,8 +163,124 @@ fn sparse_epoch_benches(c: &mut Criterion) {
             });
         }
     }
+    println!("acceptance: at density <= 0.2 the sparse epoch must be measurably faster than dense");
+}
+
+/// A random `[rows, cols]` dense tensor.
+fn rand_dense(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+        &[rows, cols],
+    )
+}
+
+/// A random CSR matrix at `density` plus its mask-alive count.
+fn rand_csr(rng: &mut ChaCha8Rng, rows: usize, cols: usize, density: f64) -> CsrMatrix {
+    let mut mask = vec![false; rows * cols];
+    let mut vals = vec![0.0f32; rows * cols];
+    for (bit, v) in mask.iter_mut().zip(vals.iter_mut()) {
+        if rng.gen_range(0.0f64..1.0) < density {
+            *bit = true;
+            *v = rng.gen_range(-1.0f32..1.0);
+        }
+    }
+    CsrMatrix::from_mask_values(&mask, &vals, rows, cols)
+}
+
+/// The persisted perf trajectory (`BENCH_micro_ops.json`): dense matmul,
+/// CSR spmm, and sddmm at 1 / 2 / 4 worker threads, with warmup strictly
+/// separated from measurement (see `ft_bench::trajectory`). The table rows
+/// are printed alongside, mirroring the criterion output above.
+fn trajectory_benches(_c: &mut Criterion) {
+    let mut report = BenchReport::new("micro_ops");
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let threads_grid = [1usize, 2, 4];
     println!(
-        "acceptance: at density <= 0.2 the sparse epoch must be measurably faster than dense"
+        "\n{:<10} {:>12} {:>8} {:>8} {:>14} {:>10}",
+        "op", "shape", "density", "threads", "ns/iter", "GFLOP/s"
+    );
+    let emit = |report: &mut BenchReport,
+                op: &str,
+                shape: &str,
+                density: f64,
+                threads: usize,
+                ns: f64,
+                flops: f64| {
+        report.push(op, shape, density, threads, ns, flops);
+        let r = report.records.last().expect("just pushed");
+        println!(
+            "{:<10} {:>12} {:>8.2} {:>8} {:>14.0} {:>10.2}",
+            op, shape, density, threads, ns, r.gflops
+        );
+    };
+
+    // Dense matmul at the shapes the CI gate reads (≥256², plus the 512²
+    // acceptance shape).
+    for &dim in &[256usize, 512] {
+        let a = rand_dense(&mut rng, dim, dim);
+        let b = rand_dense(&mut rng, dim, dim);
+        let shape = format!("{dim}x{dim}x{dim}");
+        let flops = 2.0 * (dim * dim * dim) as f64;
+        for &t in &threads_grid {
+            let rt = Runtime::new(t);
+            let mut out = Tensor::zeros(&[dim, dim]);
+            let ns = measure_ns(|| {
+                out.data_mut().fill(0.0);
+                matmul_into_rt(&rt, &a, &b, &mut out);
+                black_box(&out);
+            });
+            emit(&mut report, "matmul", &shape, 1.0, t, ns, flops);
+        }
+    }
+
+    // CSR spmm on 512² structures at the engine's typical densities.
+    for &density in &[0.2f64, 0.05] {
+        let dim = 512usize;
+        let csr = rand_csr(&mut rng, dim, dim, density);
+        let b = rand_dense(&mut rng, dim, dim);
+        let shape = format!("{dim}x{dim}x{dim}");
+        let flops = 2.0 * (csr.nnz() * dim) as f64;
+        for &t in &threads_grid {
+            let rt = Runtime::new(t);
+            let mut out = Tensor::zeros(&[dim, dim]);
+            let ns = measure_ns(|| {
+                out.data_mut().fill(0.0);
+                spmm_into_rt(&rt, csr.view(), &b, &mut out);
+                black_box(&out);
+            });
+            emit(&mut report, "spmm", &shape, density, t, ns, flops);
+        }
+    }
+
+    // Sampled dense–dense product (the masked weight gradient).
+    {
+        let (dim, inner, density) = (512usize, 64usize, 0.05f64);
+        let csr = rand_csr(&mut rng, dim, dim, density);
+        let a = rand_dense(&mut rng, dim, inner);
+        let b = rand_dense(&mut rng, dim, inner);
+        let shape = format!("{dim}x{dim}x{inner}");
+        let flops = 2.0 * (csr.nnz() * inner) as f64;
+        for &t in &threads_grid {
+            let rt = Runtime::new(t);
+            let mut vals = vec![0.0f32; csr.nnz()];
+            let ns = measure_ns(|| {
+                vals.fill(0.0);
+                sddmm_nt_into_rt(&rt, csr.view(), &a, &b, &mut vals);
+                black_box(&vals);
+            });
+            emit(&mut report, "sddmm_nt", &shape, density, t, ns, flops);
+        }
+    }
+
+    let path = report.write();
+    println!(
+        "trajectory: {} records -> {} (host_threads={}, quick={})",
+        report.records.len(),
+        path.display(),
+        report.host_threads,
+        report.quick
     );
 }
 
@@ -168,6 +288,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = conv_benches, topk_benches, sgd_benches, bn_adapt_benches, mask_benches,
-        spmm_benches, sparse_epoch_benches
+        spmm_benches, sparse_epoch_benches, trajectory_benches
 }
 criterion_main!(benches);

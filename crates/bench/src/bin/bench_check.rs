@@ -1,0 +1,165 @@
+//! CI gate over `BENCH_micro_ops.json`: fails when the parallel kernels
+//! stop delivering their speedups, so a PR cannot silently regress the
+//! runtime's wins.
+//!
+//! Checks (scaled to what the measuring host can physically show):
+//!
+//! - `host_threads >= 2`: dense matmul on shapes ≥ 256² must run ≥ 1.2x
+//!   faster at 2 threads than at 1 (hard failure below).
+//! - `host_threads >= 4`: dense matmul on 512² must reach ≥ 1.5x and spmm
+//!   on 512² ≥ 1.3x at 4 threads (hard failure below).
+//! - A single-core host (or a missing thread pair) skips the corresponding
+//!   check with a visible notice — speedup cannot exist without cores.
+//!
+//! ```bash
+//! cargo run --release -p ft-bench --bin bench_check [path/to/BENCH_micro_ops.json]
+//! ```
+
+use ft_bench::trajectory::{BenchRecord, BenchReport};
+use std::process::ExitCode;
+
+/// Minimum square dimension a "dense matmul ≥ 256²" record must have.
+const MIN_GATED_DIM: usize = 256;
+
+/// One speedup requirement against the report.
+struct Gate {
+    op: &'static str,
+    min_dim: usize,
+    dense_only: bool,
+    threads: usize,
+    min_speedup: f64,
+}
+
+/// Leading dimension of a `AxBxC` shape tag (0 when unparsable).
+fn lead_dim(shape: &str) -> usize {
+    shape
+        .split('x')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn find<'a>(
+    records: &'a [BenchRecord],
+    op: &str,
+    shape: &str,
+    density: f64,
+    threads: usize,
+) -> Option<&'a BenchRecord> {
+    records
+        .iter()
+        .find(|r| r.op == op && r.shape == shape && r.density == density && r.threads == threads)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .join("BENCH_micro_ops.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match BenchReport::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_check: cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_check: {path} ({} records, host_threads={}, quick={})",
+        report.records.len(),
+        report.host_threads,
+        report.quick
+    );
+
+    let gates = [
+        Gate {
+            op: "matmul",
+            min_dim: MIN_GATED_DIM,
+            dense_only: true,
+            threads: 2,
+            min_speedup: 1.2,
+        },
+        Gate {
+            op: "matmul",
+            min_dim: 512,
+            dense_only: true,
+            threads: 4,
+            min_speedup: 1.5,
+        },
+        Gate {
+            op: "spmm",
+            min_dim: 512,
+            dense_only: false,
+            threads: 4,
+            min_speedup: 1.3,
+        },
+    ];
+
+    let mut failed = false;
+    for gate in &gates {
+        if report.host_threads < gate.threads {
+            println!(
+                "  SKIP {} @{}t >= {:.1}x: host has {} core(s); a speedup needs at least {}",
+                gate.op, gate.threads, gate.min_speedup, report.host_threads, gate.threads
+            );
+            continue;
+        }
+        // Every (shape, density) pair of this op that has both a 1-thread
+        // and a gate.threads-thread record is checked.
+        let mut checked = 0usize;
+        for base in report.records.iter().filter(|r| {
+            r.op == gate.op
+                && r.threads == 1
+                && lead_dim(&r.shape) >= gate.min_dim
+                && (!gate.dense_only || r.density == 1.0)
+        }) {
+            let Some(par) = find(
+                &report.records,
+                gate.op,
+                &base.shape,
+                base.density,
+                gate.threads,
+            ) else {
+                continue;
+            };
+            checked += 1;
+            let speedup = base.ns_per_iter / par.ns_per_iter.max(1.0);
+            let verdict = if speedup >= gate.min_speedup {
+                "ok"
+            } else {
+                failed = true;
+                "FAIL"
+            };
+            println!(
+                "  {verdict:>4} {} {} d={:.2} @{}t: {speedup:.2}x (need >= {:.1}x)",
+                gate.op, base.shape, base.density, gate.threads, gate.min_speedup
+            );
+        }
+        if checked == 0 {
+            eprintln!(
+                "  FAIL {} @{}t: no measurable (1t, {}t) record pair in the report",
+                gate.op, gate.threads, gate.threads
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("bench_check: parallel-throughput gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_check: all gates passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -14,7 +14,9 @@
 pub mod methods;
 pub mod scale;
 pub mod table;
+pub mod trajectory;
 
 pub use methods::{run_method, Method};
 pub use scale::{Scale, ScaleKind};
 pub use table::Table;
+pub use trajectory::{measure_ns, quick_mode, BenchRecord, BenchReport};

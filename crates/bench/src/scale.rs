@@ -108,6 +108,7 @@ impl Scale {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: true,
+            threads: 0,
             codec: ft_fl::Codec::Dense,
             seed,
         }

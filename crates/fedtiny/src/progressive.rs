@@ -173,19 +173,21 @@ pub fn progressive_adjust(
             .collect()
     };
 
-    let device_grads: Vec<Vec<Vec<(usize, f32)>>> = if env.cfg.parallel && env.parts.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..env.parts.len())
-                .map(|k| scope.spawn(move || collect_one(k)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("gradient thread panicked"))
+    let rt = env.cfg.runtime();
+    let device_grads: Vec<Vec<Vec<(usize, f32)>>> =
+        if env.cfg.parallel && env.parts.len() > 1 && rt.is_parallel() {
+            // Devices draw on the run's bounded worker pool instead of one
+            // unbounded OS thread each.
+            type DeviceGrads = Vec<Vec<(usize, f32)>>;
+            let mut out: Vec<Option<DeviceGrads>> = vec![None; env.parts.len()];
+            let jobs: Vec<_> = out.iter_mut().enumerate().collect();
+            rt.scatter(jobs, |(k, slot)| *slot = Some(collect_one(k)));
+            out.into_iter()
+                .map(|o| o.expect("gradient job completed"))
                 .collect()
-        })
-    } else {
-        (0..env.parts.len()).map(collect_one).collect()
-    };
+        } else {
+            (0..env.parts.len()).map(collect_one).collect()
+        };
 
     // --- Server side: Eq. 7 aggregation, then grow / drop.
     let weights = env.device_weights();

@@ -169,17 +169,16 @@ fn select(
         (num / den) as f32
     };
 
-    let losses: Vec<f32> = if env.cfg.parallel && candidates.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .iter()
-                .map(|mask| scope.spawn(move || score_one(mask)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("selection thread panicked"))
-                .collect()
-        })
+    let rt = env.cfg.runtime();
+    let losses: Vec<f32> = if env.cfg.parallel && candidates.len() > 1 && rt.is_parallel() {
+        // Candidates draw on the run's bounded worker pool instead of one
+        // unbounded OS thread each.
+        let mut out: Vec<Option<f32>> = vec![None; candidates.len()];
+        let jobs: Vec<_> = candidates.iter().zip(out.iter_mut()).collect();
+        rt.scatter(jobs, |(mask, slot)| *slot = Some(score_one(mask)));
+        out.into_iter()
+            .map(|o| o.expect("selection job completed"))
+            .collect()
     } else {
         candidates.iter().map(score_one).collect()
     };

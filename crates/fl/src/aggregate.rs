@@ -373,17 +373,12 @@ mod tests {
         /// Builds delta payloads for `params` against `anchor` under
         /// `codec` and aggregates them, returning the payload-pipeline
         /// global.
-        fn roundtrip_fedavg(
-            raw: &[(Vec<f32>, f64)],
-            anchor: &[f32],
-            codec: Codec,
-        ) -> Vec<f32> {
+        fn roundtrip_fedavg(raw: &[(Vec<f32>, f64)], anchor: &[f32], codec: Codec) -> Vec<f32> {
             let ctx = WireCtx::dense(anchor.len());
             let payloads: Vec<Payload> = raw
                 .iter()
                 .map(|(p, _)| {
-                    let delta: Vec<f32> =
-                        p.iter().zip(anchor.iter()).map(|(x, a)| x - a).collect();
+                    let delta: Vec<f32> = p.iter().zip(anchor.iter()).map(|(x, a)| x - a).collect();
                     codec.encode(&delta, &ctx, ctx.epoch, None)
                 })
                 .collect();

@@ -33,6 +33,13 @@ pub struct FlConfig {
     pub lr_decay: f32,
     /// Run devices on parallel OS threads.
     pub parallel: bool,
+    /// Worker threads of the run's [`ft_runtime::Runtime`] pool: device
+    /// fan-out and kernel parallelism both draw from this one budget.
+    /// `0` = auto (the `FT_THREADS` environment variable if set, otherwise
+    /// all available cores); `1` = the exact legacy sequential path.
+    /// Parallel and sequential execution are bit-identical, so this knob
+    /// only changes wall-clock.
+    pub threads: usize,
     /// Wire codec for the device → server update uploads (and the matching
     /// broadcast format). `Codec::Dense` reproduces the classic full-vector
     /// exchange; method runners typically override this per method.
@@ -42,6 +49,13 @@ pub struct FlConfig {
 }
 
 impl FlConfig {
+    /// The run's worker pool: [`threads`](Self::threads) resolved through
+    /// [`ft_runtime::resolve_threads`] (explicit count, else `FT_THREADS`,
+    /// else available parallelism).
+    pub fn runtime(&self) -> ft_runtime::Runtime {
+        ft_runtime::Runtime::new(ft_runtime::resolve_threads(self.threads))
+    }
+
     /// The paper's settings (expensive; used by `FT_SCALE=paper` benches).
     pub fn paper_default() -> Self {
         FlConfig {
@@ -56,6 +70,7 @@ impl FlConfig {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: true,
+            threads: 0,
             codec: Codec::Dense,
             seed: 0,
         }
@@ -80,6 +95,7 @@ impl FlConfig {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: true,
+            threads: 0,
             codec: Codec::Dense,
             seed: 0,
         }
@@ -104,6 +120,7 @@ impl FlConfig {
             prox_mu: 0.0,
             lr_decay: 1.0,
             parallel: false,
+            threads: 0,
             codec: Codec::Dense,
             seed: 0,
         }

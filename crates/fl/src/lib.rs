@@ -54,6 +54,7 @@ pub use aggregate::{
 pub use config::FlConfig;
 pub use env::ExperimentEnv;
 pub use ft_metrics::{DeviceProfile, SimClock};
+pub use ft_runtime::{resolve_threads, Runtime};
 pub use ft_sparse::{Codec, Payload, WireCtx};
 pub use ledger::{CostLedger, RunResult, TimelineEvent};
 pub use rounds::{no_hook, run_federated_rounds, schedule_fits, RoundHook};

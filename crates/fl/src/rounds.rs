@@ -46,9 +46,15 @@ pub fn run_federated_rounds(
         Scheduler::Synchronous => {
             run_barrier_rounds(global, mask, env, eval_every, ledger, hook, None)
         }
-        Scheduler::Deadline { deadline_secs } => {
-            run_barrier_rounds(global, mask, env, eval_every, ledger, hook, Some(deadline_secs))
-        }
+        Scheduler::Deadline { deadline_secs } => run_barrier_rounds(
+            global,
+            mask,
+            env,
+            eval_every,
+            ledger,
+            hook,
+            Some(deadline_secs),
+        ),
         Scheduler::Buffered { buffer_k } => {
             run_buffered_rounds(global, mask, env, eval_every, ledger, hook, buffer_k)
         }
@@ -190,6 +196,7 @@ mod tests {
             round,
             &wire,
             &mut residuals,
+            &ft_runtime::Runtime::sequential(),
         );
         u[0].payload.decode(&ctx).iter().map(|d| d.abs()).sum()
     }
@@ -226,8 +233,7 @@ mod tests {
         // Same data/model, round index only affects the decayed lr and the
         // batch order; with decay 0.5^10 the late round must move far less.
         assert!(
-            device0_drift(&env, model.as_ref(), 10)
-                < device0_drift(&env, model.as_ref(), 0) * 0.5
+            device0_drift(&env, model.as_ref(), 10) < device0_drift(&env, model.as_ref(), 0) * 0.5
         );
     }
 

@@ -45,7 +45,9 @@ use crate::train::{
     evaluate, train_devices_parallel, train_devices_raw_parallel, train_one_device_raw,
     DeviceUpdate, LocalOutcome, WireSpec,
 };
-use ft_metrics::{densities_from_mask, sparse_model_bytes, training_flops, DeviceProfile, SimClock};
+use ft_metrics::{
+    densities_from_mask, sparse_model_bytes, training_flops, DeviceProfile, SimClock,
+};
 use ft_nn::{apply_mask, flat_params, set_flat_params, wire_ctx, ArchInfo, Model};
 use ft_sparse::{Codec, Mask, Payload, WireCtx};
 use serde::{Deserialize, Serialize};
@@ -193,6 +195,11 @@ pub(crate) fn run_barrier_rounds(
     let arch = global.arch();
     let max_samples = env.parts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
     let codec = env.cfg.codec;
+    // One worker pool for the whole run: device fan-out and (server-side)
+    // kernel parallelism share its thread budget. Bit-identical to the
+    // sequential path by the runtime's determinism contract.
+    let rt = env.cfg.runtime();
+    global.set_runtime(rt);
     let mut clock = SimClock::new(env.cfg.seed);
     let mut history = Vec::new();
     // Wire epoch of the current mask: bumped whenever the hook changes the
@@ -239,6 +246,7 @@ pub(crate) fn run_barrier_rounds(
             round,
             &wire,
             &mut cohort_residuals,
+            &rt,
         );
         for (taken, &k) in cohort_residuals.iter_mut().zip(cohort.iter()) {
             residuals[k] = std::mem::take(taken);
@@ -330,10 +338,7 @@ pub(crate) fn run_barrier_rounds(
         let mut round_flops = per_sample_flops * max_samples * env.cfg.local_epochs as f64;
         ledger.add_comm(analytic_bytes);
         ledger.record_payload_round(broadcast_len, max_upload);
-        let max_realized = updates
-            .iter()
-            .map(|u| u.realized_flops)
-            .fold(0.0, f64::max);
+        let max_realized = updates.iter().map(|u| u.realized_flops).fold(0.0, f64::max);
         let round_wall = if env.cfg.parallel {
             updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
         } else {
@@ -400,6 +405,9 @@ pub(crate) fn run_buffered_rounds(
     }
     let arch = global.arch();
     let codec = env.cfg.codec;
+    // The run's shared worker pool (see the barrier loop).
+    let rt = env.cfg.runtime();
+    global.set_runtime(rt);
     let k_needed = buffer_k.clamp(1, n);
     let mut clock = SimClock::new(env.cfg.seed);
     let mut version = 0usize;
@@ -427,7 +435,7 @@ pub(crate) fn run_buffered_rounds(
     // Initial wave: every device starts at t = 0 from version 0 with the
     // same `(seed, 0, device)` RNG streams as a synchronous first round.
     let mut in_flight: Vec<InFlight> = {
-        let outcomes = train_devices_raw_parallel(global, &env.parts, Some(mask), &env.cfg, 0);
+        let outcomes = train_devices_raw_parallel(global, &env.parts, Some(mask), &env.cfg, 0, &rt);
         outcomes
             .into_iter()
             .enumerate()
@@ -507,12 +515,8 @@ pub(crate) fn run_buffered_rounds(
             // updates are never encoded, so their error-feedback residual
             // is untouched.
             let k = task.device;
-            let residual = codec
-                .uses_error_feedback()
-                .then_some(&mut residuals[k]);
-            let update = task
-                .outcome
-                .encode(codec, &task.ctx, epoch, residual);
+            let residual = codec.uses_error_feedback().then_some(&mut residuals[k]);
+            let update = task.outcome.encode(codec, &task.ctx, epoch, residual);
             let upload_bytes = update.payload.encoded_len(&task.ctx) as f64;
             buffer.push(Buffered {
                 update,
@@ -575,7 +579,10 @@ pub(crate) fn run_buffered_rounds(
                 .iter()
                 .map(|b| b.update.realized_flops)
                 .fold(0.0, f64::max);
-            let wall = buffer.iter().map(|b| b.update.wall_secs).fold(0.0, f64::max);
+            let wall = buffer
+                .iter()
+                .map(|b| b.update.wall_secs)
+                .fold(0.0, f64::max);
             ledger.record_realized_round(realized, wall);
             ledger.record_sim_round(clock.now() - last_agg_secs);
             last_agg_secs = clock.now();
@@ -606,6 +613,8 @@ pub(crate) fn run_buffered_rounds(
         }
         let k = task.device;
         let profile = env.device_profile(k);
+        // Mid-flight restarts train one device at a time on the caller's
+        // thread, so the device's kernels get the whole pool.
         let outcome = train_one_device_raw(
             &*global,
             &env.parts[k],
@@ -614,6 +623,7 @@ pub(crate) fn run_buffered_rounds(
             version,
             k,
             task_counter[k] as u64,
+            &rt,
         );
         let (flops, analytic_bytes) =
             device_round_cost(&arch, &densities, outcome.samples, env.cfg.local_epochs);
@@ -682,7 +692,11 @@ mod tests {
             &mut ledger,
             &mut no_hook(),
         );
-        (history, flat_params(model.as_ref()), ledger_fingerprint(&ledger))
+        (
+            history,
+            flat_params(model.as_ref()),
+            ledger_fingerprint(&ledger),
+        )
     }
 
     fn run_policy(scheduler: Scheduler, parallel: bool, seed: u64) -> (Vec<f32>, Vec<f32>, String) {
@@ -832,7 +846,9 @@ mod tests {
     fn sim_repeat_runs_are_bit_identical() {
         for sched in [
             Scheduler::Synchronous,
-            Scheduler::Deadline { deadline_secs: 50.0 },
+            Scheduler::Deadline {
+                deadline_secs: 50.0,
+            },
             Scheduler::Buffered { buffer_k: 2 },
         ] {
             let a = run_policy(sched, true, 4);
@@ -992,7 +1008,9 @@ mod tests {
     fn sim_scheduler_serde_roundtrip_and_names() {
         for sched in [
             Scheduler::Synchronous,
-            Scheduler::Deadline { deadline_secs: 12.5 },
+            Scheduler::Deadline {
+                deadline_secs: 12.5,
+            },
             Scheduler::Buffered { buffer_k: 3 },
         ] {
             let json = serde_json::to_string(&sched).expect("ser");

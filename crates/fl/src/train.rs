@@ -5,6 +5,7 @@ use ft_data::Dataset;
 use ft_nn::loss::{cross_entropy_loss_only, softmax_cross_entropy};
 use ft_nn::optim::Sgd;
 use ft_nn::{accuracy, flat_params, BnStats, Mode, Model};
+use ft_runtime::Runtime;
 use ft_sparse::{Codec, Mask, Payload, WireCtx};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -158,7 +159,10 @@ pub fn device_rng_seed(run_seed: u64, round: usize, device: usize) -> u64 {
 /// repeated tasks of the same `(round, device)` pair (buffered schedulers
 /// restart a device at an unchanged server version) — barrier schedulers
 /// pass `0`, which leaves the classic `(seed, round, device)` stream
-/// untouched.
+/// untouched. `rt` is the runtime the device's *kernels* execute on
+/// (sequential when the caller already fans devices out across the pool;
+/// kernels are bit-identical either way).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn train_one_device_raw(
     global: &dyn Model,
     data: &Dataset,
@@ -167,9 +171,11 @@ pub(crate) fn train_one_device_raw(
     round: usize,
     device: usize,
     salt: u64,
+    rt: &Runtime,
 ) -> LocalOutcome {
     let anchor = flat_params(global);
     let mut model = global.clone_model();
+    model.set_runtime(*rt);
     model.reset_realized_flops();
     let mut sgd_cfg = cfg.sgd;
     if cfg.lr_decay != 1.0 {
@@ -219,8 +225,9 @@ pub fn train_one_device(
     salt: u64,
     wire: &WireSpec<'_>,
     residual: Option<&mut Vec<f32>>,
+    rt: &Runtime,
 ) -> DeviceUpdate {
-    train_one_device_raw(global, data, mask, cfg, round, device, salt).encode(
+    train_one_device_raw(global, data, mask, cfg, round, device, salt, rt).encode(
         wire.codec,
         wire.ctx,
         wire.peer_epoch,
@@ -229,18 +236,22 @@ pub fn train_one_device(
 }
 
 /// Trains every device from the same global model and returns their encoded
-/// updates in device order. Uses one OS thread per device when
-/// `cfg.parallel`.
+/// updates in device order. When `cfg.parallel`, devices are fanned out over
+/// `rt`'s shared worker pool (bounded by `rt.threads()`, not one unbounded
+/// OS thread per device); otherwise devices run sequentially and each
+/// device's *kernels* draw on `rt` instead.
 ///
 /// `residuals` holds one error-feedback accumulator per device (an empty
 /// vector until its first use); codecs without error feedback leave them
-/// untouched. Device RNGs are derived from `(cfg.seed, round, device)` and
-/// each device owns its residual, so parallel and sequential execution
-/// produce identical results.
+/// untouched. Device RNGs are derived from `(cfg.seed, round, device)`,
+/// each device owns its residual, and the parallel kernels are bit-identical
+/// to the sequential ones, so every execution shape produces identical
+/// results.
 ///
 /// # Panics
 ///
 /// Panics if `residuals.len()` differs from `parts.len()`.
+#[allow(clippy::too_many_arguments)]
 pub fn train_devices_parallel(
     global: &dyn Model,
     parts: &[Dataset],
@@ -249,6 +260,7 @@ pub fn train_devices_parallel(
     round: usize,
     wire: &WireSpec<'_>,
     residuals: &mut [Vec<f32>],
+    rt: &Runtime,
 ) -> Vec<DeviceUpdate> {
     assert_eq!(
         residuals.len(),
@@ -256,6 +268,10 @@ pub fn train_devices_parallel(
         "one residual accumulator per device"
     );
     let needs_residual = wire.codec.uses_error_feedback();
+    let fan_out = cfg.parallel && parts.len() > 1 && rt.is_parallel();
+    // One thread budget for the whole run: either the devices occupy the
+    // pool (kernels inline), or a lone device's kernels do.
+    let kernel_rt = if fan_out { Runtime::sequential() } else { *rt };
     let run_one = |k: usize, data: &Dataset, res: &mut Vec<f32>| {
         train_one_device(
             global,
@@ -267,22 +283,25 @@ pub fn train_devices_parallel(
             0,
             wire,
             needs_residual.then_some(res),
+            &kernel_rt,
         )
     };
 
-    if cfg.parallel && parts.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .zip(residuals.iter_mut())
-                .enumerate()
-                .map(|(k, (data, res))| scope.spawn(move || run_one(k, data, res)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device thread panicked"))
-                .collect()
-        })
+    if fan_out {
+        let mut out: Vec<Option<DeviceUpdate>> = (0..parts.len()).map(|_| None).collect();
+        let jobs: Vec<_> = parts
+            .iter()
+            .zip(residuals.iter_mut())
+            .zip(out.iter_mut())
+            .enumerate()
+            .map(|(k, ((data, res), slot))| (k, data, res, slot))
+            .collect();
+        rt.scatter(jobs, |(k, data, res, slot)| {
+            *slot = Some(run_one(k, data, res));
+        });
+        out.into_iter()
+            .map(|u| u.expect("device job completed"))
+            .collect()
     } else {
         parts
             .iter()
@@ -303,21 +322,27 @@ pub(crate) fn train_devices_raw_parallel(
     mask: Option<&Mask>,
     cfg: &FlConfig,
     round: usize,
+    rt: &Runtime,
 ) -> Vec<LocalOutcome> {
-    let run_one =
-        |k: usize, data: &Dataset| train_one_device_raw(global, data, mask, cfg, round, k, 0);
-    if cfg.parallel && parts.len() > 1 {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .enumerate()
-                .map(|(k, data)| scope.spawn(move || run_one(k, data)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device thread panicked"))
-                .collect()
-        })
+    let fan_out = cfg.parallel && parts.len() > 1 && rt.is_parallel();
+    let kernel_rt = if fan_out { Runtime::sequential() } else { *rt };
+    let run_one = |k: usize, data: &Dataset| {
+        train_one_device_raw(global, data, mask, cfg, round, k, 0, &kernel_rt)
+    };
+    if fan_out {
+        let mut out: Vec<Option<LocalOutcome>> = (0..parts.len()).map(|_| None).collect();
+        let jobs: Vec<_> = parts
+            .iter()
+            .zip(out.iter_mut())
+            .enumerate()
+            .map(|(k, (data, slot))| (k, data, slot))
+            .collect();
+        rt.scatter(jobs, |(k, data, slot)| {
+            *slot = Some(run_one(k, data));
+        });
+        out.into_iter()
+            .map(|o| o.expect("device job completed"))
+            .collect()
     } else {
         parts
             .iter()
@@ -423,6 +448,7 @@ mod tests {
             3,
             &wire,
             &mut no_residuals(n),
+            &Runtime::new(4),
         );
         let b = train_devices_parallel(
             model.as_ref(),
@@ -432,6 +458,7 @@ mod tests {
             3,
             &wire,
             &mut no_residuals(n),
+            &Runtime::sequential(),
         );
         assert_eq!(a.len(), b.len());
         for (ua, ub) in a.iter().zip(b.iter()) {
@@ -467,6 +494,7 @@ mod tests {
             0,
             &wire,
             &mut no_residuals(n),
+            &Runtime::sequential(),
         );
         // Decoded deltas keep pruned coordinates at exactly zero (and the
         // anchor is zero there too, so the trained parameters stay zero).
@@ -514,6 +542,7 @@ mod tests {
             0,
             &wire,
             &mut no_residuals(n),
+            &Runtime::sequential(),
         );
         assert_eq!(updates.len(), env.num_devices());
         assert!(!updates[0].bn.is_empty());
@@ -549,15 +578,14 @@ mod tests {
             0,
             &wire,
             &mut residuals,
+            &Runtime::sequential(),
         );
         assert!(
             residuals.iter().all(|r| !r.is_empty()),
             "residuals untouched"
         );
         assert!(
-            residuals
-                .iter()
-                .any(|r| r.iter().any(|&v| v != 0.0)),
+            residuals.iter().any(|r| r.iter().any(|&v| v != 0.0)),
             "no residual mass accumulated at k_frac = 0.05"
         );
     }

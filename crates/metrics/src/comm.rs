@@ -160,7 +160,9 @@ mod tests {
                 mask.set(l, i, i % stride == 0);
             }
         }
-        let densities: Vec<f32> = (0..mask.num_layers()).map(|l| mask.layer_density(l)).collect();
+        let densities: Vec<f32> = (0..mask.num_layers())
+            .map(|l| mask.layer_density(l))
+            .collect();
 
         // Flat wire context: the prunable segments under the mask plus one
         // dense unprunable segment (arrangement does not change byte
@@ -177,8 +179,12 @@ mod tests {
         let ctx = WireCtx::new(alive, segments, 1);
         let vector = vec![0.5f32; ctx.len()];
 
-        let shared = Codec::MaskCsr.encode(&vector, &ctx, 1, None).encoded_len(&ctx) as f64;
-        let indexed = Codec::MaskCsr.encode(&vector, &ctx, 0, None).encoded_len(&ctx) as f64;
+        let shared = Codec::MaskCsr
+            .encode(&vector, &ctx, 1, None)
+            .encoded_len(&ctx) as f64;
+        let indexed = Codec::MaskCsr
+            .encode(&vector, &ctx, 0, None)
+            .encoded_len(&ctx) as f64;
         let analytic_shared = sparse_model_bytes_with(&a, &densities, IndexWidth::Shared);
         let analytic_indexed = sparse_model_bytes(&a, &densities);
         assert!(

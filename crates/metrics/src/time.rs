@@ -270,9 +270,7 @@ mod tests {
         let clock = SimClock::new(2);
         let mut p = DeviceProfile::uniform();
         p.dropout = 0.5;
-        let hits = (0..2000)
-            .filter(|&r| clock.dropout_hits(&p, r, 0))
-            .count();
+        let hits = (0..2000).filter(|&r| clock.dropout_hits(&p, r, 0)).count();
         assert!((800..1200).contains(&hits), "got {hits}/2000");
     }
 

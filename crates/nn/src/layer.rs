@@ -6,11 +6,13 @@
 //! [`Param::zero_grad`] (or `Model::zero_grad`) between batches.
 
 use crate::param::{Param, ParamKind};
+use ft_runtime::Runtime;
 use ft_sparse::CsrMatrix;
 use ft_tensor::{
-    avg_pool_global, avg_pool_global_backward, col2im, dsmm_into, dsmm_nt_into, im2col,
-    kaiming_normal, matmul_into, matmul_nt_into, matmul_tn_into, max_pool2x2,
-    max_pool2x2_backward, sddmm_nt_into, sddmm_tn_into, spmm_into, spmm_tn_into, ConvGeom, Tensor,
+    avg_pool_global_backward, avg_pool_global_rt, col2im, dsmm_into_rt, dsmm_nt_into_rt, im2col_rt,
+    kaiming_normal, matmul_into_rt, matmul_nt_into_rt, matmul_tn_into_rt, max_pool2x2_backward,
+    max_pool2x2_rt, sddmm_nt_into_rt, sddmm_tn_into_rt, spmm_into_rt, spmm_tn_into_rt, ConvGeom,
+    Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -121,6 +123,7 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     crossover: f32,
+    runtime: Runtime,
     plan: Option<SparsePlan>,
     realized_flops: f64,
     cache: Option<ConvCache>,
@@ -165,10 +168,18 @@ impl Conv2d {
             stride,
             pad,
             crossover: DEFAULT_SPARSE_CROSSOVER,
+            runtime: Runtime::sequential(),
             plan: None,
             realized_flops: 0.0,
             cache: None,
         }
+    }
+
+    /// Sets the parallel runtime this layer's kernels execute on. The
+    /// default is the sequential runtime; parallel output is bit-identical
+    /// either way, so this only changes wall-clock.
+    pub fn set_runtime(&mut self, rt: Runtime) {
+        self.runtime = rt;
     }
 
     /// Output channel count.
@@ -235,12 +246,14 @@ impl Conv2d {
         for i in 0..n {
             let xi = &x.data()[i * sample..(i + 1) * sample];
             let col_slice = &mut cols.data_mut()[i * cr * cc..(i + 1) * cr * cc];
-            im2col(xi, &geom, col_slice);
+            im2col_rt(&self.runtime, xi, &geom, col_slice);
             let col_t = Tensor::from_vec(col_slice.to_vec(), &[cr, cc]);
             let mut out_mat = Tensor::zeros(&[self.out_c, cc]);
             match (&self.plan, &wmat) {
-                (Some(plan), _) if sparse => spmm_into(plan.csr.view(), &col_t, &mut out_mat),
-                (_, Some(wmat)) => matmul_into(wmat, &col_t, &mut out_mat),
+                (Some(plan), _) if sparse => {
+                    spmm_into_rt(&self.runtime, plan.csr.view(), &col_t, &mut out_mat)
+                }
+                (_, Some(wmat)) => matmul_into_rt(&self.runtime, wmat, &col_t, &mut out_mat),
                 _ => unreachable!("dense path always has wmat"),
             }
             let dst = &mut out.data_mut()[i * self.out_c * cc..(i + 1) * self.out_c * cc];
@@ -278,7 +291,11 @@ impl Conv2d {
             &[n, self.out_c, geom.out_h(), geom.out_w()],
             "conv grad_out shape mismatch"
         );
-        let sparse_plan = if cache.sparse { self.plan.as_ref() } else { None };
+        let sparse_plan = if cache.sparse {
+            self.plan.as_ref()
+        } else {
+            None
+        };
         let wmat = sparse_plan
             .is_none()
             .then(|| self.w.data.reshaped(&[self.out_c, cr]));
@@ -300,15 +317,20 @@ impl Conv2d {
                 (Some(plan), Some(vals)) => {
                     // dW (mask-alive coordinates only) += dY · colᵀ sampled
                     // at the CSR structure.
-                    sddmm_nt_into(plan.csr.view(), &go, &col, vals);
+                    sddmm_nt_into_rt(&self.runtime, plan.csr.view(), &go, &col, vals);
                     // dCol = Wᵀ · dY through the sparse kernel.
-                    spmm_tn_into(plan.csr.view(), &go, &mut grad_col);
+                    spmm_tn_into_rt(&self.runtime, plan.csr.view(), &go, &mut grad_col);
                 }
                 _ => {
                     // dW += dY · colᵀ   ([oc,cc] x [cr,cc]ᵀ → [oc,cr])
-                    matmul_nt_into(&go, &col, &mut grad_w);
+                    matmul_nt_into_rt(&self.runtime, &go, &col, &mut grad_w);
                     // dCol = Wᵀ · dY    ([oc,cr]ᵀ x [oc,cc] → [cr,cc])
-                    matmul_tn_into(wmat.as_ref().expect("dense path has wmat"), &go, &mut grad_col);
+                    matmul_tn_into_rt(
+                        &self.runtime,
+                        wmat.as_ref().expect("dense path has wmat"),
+                        &go,
+                        &mut grad_col,
+                    );
                 }
             }
             let gx_slice = &mut gx.data_mut()[i * sample..(i + 1) * sample];
@@ -588,6 +610,7 @@ pub struct Linear {
     in_dim: usize,
     out_dim: usize,
     crossover: f32,
+    runtime: Runtime,
     plan: Option<SparsePlan>,
     realized_flops: f64,
     cache: Option<(Tensor, bool)>,
@@ -618,6 +641,7 @@ impl Linear {
             in_dim,
             out_dim,
             crossover: DEFAULT_SPARSE_CROSSOVER,
+            runtime: Runtime::sequential(),
             plan: None,
             realized_flops: 0.0,
             cache: None,
@@ -627,6 +651,13 @@ impl Linear {
     /// `(in_dim, out_dim)`.
     pub fn dims(&self) -> (usize, usize) {
         (self.in_dim, self.out_dim)
+    }
+
+    /// Sets the parallel runtime this layer's kernels execute on. The
+    /// default is the sequential runtime; parallel output is bit-identical
+    /// either way, so this only changes wall-clock.
+    pub fn set_runtime(&mut self, rt: Runtime) {
+        self.runtime = rt;
     }
 
     /// Sets the density crossover below which this layer runs on the sparse
@@ -668,8 +699,8 @@ impl Linear {
         let mut out = Tensor::zeros(&[n, self.out_dim]);
         match &self.plan {
             // Y += X · Wᵀ with W in CSR.
-            Some(plan) if sparse => dsmm_nt_into(x, plan.csr.view(), &mut out),
-            _ => matmul_nt_into(x, &self.w.data, &mut out),
+            Some(plan) if sparse => dsmm_nt_into_rt(&self.runtime, x, plan.csr.view(), &mut out),
+            _ => matmul_nt_into_rt(&self.runtime, x, &self.w.data, &mut out),
         }
         let mac = match &self.plan {
             Some(plan) if sparse => plan.csr.nnz(),
@@ -709,17 +740,17 @@ impl Linear {
                 // dW (mask-alive coordinates only) += dYᵀ · X sampled at the
                 // CSR structure.
                 let mut vals = vec![0.0f32; plan.csr.nnz()];
-                sddmm_tn_into(plan.csr.view(), grad_out, &x, &mut vals);
+                sddmm_tn_into_rt(&self.runtime, plan.csr.view(), grad_out, &x, &mut vals);
                 plan.csr.scatter_add(&vals, self.w.grad.data_mut());
                 // dX = dY · W through the sparse kernel.
-                dsmm_into(grad_out, plan.csr.view(), &mut gx);
+                dsmm_into_rt(&self.runtime, grad_out, plan.csr.view(), &mut gx);
                 self.realized_flops += 4.0 * (n * plan.csr.nnz()) as f64;
             }
             None => {
                 // dW += dYᵀ · X   ([n,out]ᵀ x [n,in] → [out,in])
-                matmul_tn_into(grad_out, &x, &mut self.w.grad);
+                matmul_tn_into_rt(&self.runtime, grad_out, &x, &mut self.w.grad);
                 // dX = dY · W   ([n,out] x [out,in] → [n,in])
-                matmul_into(grad_out, &self.w.data, &mut gx);
+                matmul_into_rt(&self.runtime, grad_out, &self.w.data, &mut gx);
                 self.realized_flops += 4.0 * (n * self.out_dim * self.in_dim) as f64;
             }
         }
@@ -782,18 +813,27 @@ impl Relu {
 /// 2×2 max pooling with stride 2.
 #[derive(Clone, Debug, Default)]
 pub struct MaxPool2x2 {
+    runtime: Runtime,
     cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
 }
 
 impl MaxPool2x2 {
     /// Creates a pooling layer.
     pub fn new() -> Self {
-        MaxPool2x2 { cache: None }
+        MaxPool2x2 {
+            runtime: Runtime::sequential(),
+            cache: None,
+        }
+    }
+
+    /// Sets the parallel runtime the pooling kernel executes on.
+    pub fn set_runtime(&mut self, rt: Runtime) {
+        self.runtime = rt;
     }
 
     /// Forward pass over `[n, c, h, w]`.
     pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let (out, arg) = max_pool2x2(x);
+        let (out, arg) = max_pool2x2_rt(&self.runtime, x);
         self.cache = Some((arg, x.shape().to_vec()));
         out
     }
@@ -815,19 +855,28 @@ impl MaxPool2x2 {
 /// Global average pooling `[n, c, h, w] → [n, c]`.
 #[derive(Clone, Debug, Default)]
 pub struct GlobalAvgPool {
+    runtime: Runtime,
     cache: Option<Vec<usize>>,
 }
 
 impl GlobalAvgPool {
     /// Creates a pooling layer.
     pub fn new() -> Self {
-        GlobalAvgPool { cache: None }
+        GlobalAvgPool {
+            runtime: Runtime::sequential(),
+            cache: None,
+        }
+    }
+
+    /// Sets the parallel runtime the pooling kernel executes on.
+    pub fn set_runtime(&mut self, rt: Runtime) {
+        self.runtime = rt;
     }
 
     /// Forward pass.
     pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
         self.cache = Some(x.shape().to_vec());
-        avg_pool_global(x)
+        avg_pool_global_rt(&self.runtime, x)
     }
 
     /// Backward pass.
@@ -979,6 +1028,17 @@ impl AnyLayer {
         }
     }
 
+    /// Sets the parallel runtime of every kernel-bearing layer.
+    pub fn set_runtime(&mut self, rt: Runtime) {
+        match self {
+            AnyLayer::Conv(l) => l.set_runtime(rt),
+            AnyLayer::Linear(l) => l.set_runtime(rt),
+            AnyLayer::MaxPool(l) => l.set_runtime(rt),
+            AnyLayer::GlobalAvg(l) => l.set_runtime(rt),
+            _ => {}
+        }
+    }
+
     /// Multiply–accumulate FLOPs actually executed by this layer's GEMMs.
     pub fn realized_flops(&self) -> f64 {
         match self {
@@ -1072,6 +1132,13 @@ impl Sequential {
     pub fn set_sparse_crossover(&mut self, crossover: f32) {
         for l in &mut self.layers {
             l.set_sparse_crossover(crossover);
+        }
+    }
+
+    /// Sets the parallel runtime of every kernel-bearing layer.
+    pub fn set_runtime(&mut self, rt: Runtime) {
+        for l in &mut self.layers {
+            l.set_runtime(rt);
         }
     }
 
@@ -1452,13 +1519,60 @@ mod tests {
         l.set_sparse_crossover(0.0);
         let x = Tensor::ones(&[2, 6]);
         let _ = l.forward(&x, Mode::Train);
-        assert!(l.plan.is_none(), "crossover 0.0 must not build a sparse plan");
+        assert!(
+            l.plan.is_none(),
+            "crossover 0.0 must not build a sparse plan"
+        );
         // Dense backward produces gradients at pruned coordinates.
         let _ = l.backward(&Tensor::ones(&[2, 4]));
         assert!(
             l.w.grad.data().iter().any(|&g| g != 0.0),
             "dense backward must produce pruned-coordinate gradients"
         );
+    }
+
+    /// A whole layer stack produces bit-identical activations, gradients,
+    /// and realized-FLOPs counters on the parallel runtime — the layer-level
+    /// face of the runtime determinism contract, covering both the dense
+    /// and the sparse dispatch paths.
+    #[test]
+    fn parallel_runtime_is_bit_identical_through_layers() {
+        for (density_keep, crossover) in [(1usize, 0.0f32), (4, 1.0)] {
+            let mut rng = rng();
+            let mut seq_stack = Sequential::new();
+            seq_stack
+                .push(AnyLayer::Conv(Conv2d::new(
+                    &mut rng, 2, 4, 3, 1, 1, true, "c",
+                )))
+                .push(AnyLayer::MaxPool(MaxPool2x2::new()))
+                .push(AnyLayer::GlobalAvg(GlobalAvgPool::new()))
+                .push(AnyLayer::Linear(Linear::new(&mut rng, 4, 3, true, "fc")));
+            if density_keep > 1 {
+                for l in &mut seq_stack.layers {
+                    for p in l.params_mut() {
+                        if p.prunable {
+                            mask_param(p, density_keep);
+                        }
+                    }
+                }
+            }
+            seq_stack.set_sparse_crossover(crossover);
+            let mut par_stack = seq_stack.clone();
+            par_stack.set_runtime(Runtime::new(4).with_min_work(0));
+
+            let x = ft_tensor::normal(&mut rng, &[3, 2, 8, 8], 0.0, 1.0);
+            let ys = seq_stack.forward(&x, Mode::Train);
+            let yp = par_stack.forward(&x, Mode::Train);
+            assert_eq!(ys.data(), yp.data(), "forward diverged");
+            let g = ft_tensor::normal(&mut rng, &[3, 3], 0.0, 1.0);
+            let gs = seq_stack.backward(&g);
+            let gp = par_stack.backward(&g);
+            assert_eq!(gs.data(), gp.data(), "input grads diverged");
+            for (a, b) in seq_stack.params().iter().zip(par_stack.params().iter()) {
+                assert_eq!(a.grad.data(), b.grad.data(), "param grads diverged");
+            }
+            assert_eq!(seq_stack.realized_flops(), par_stack.realized_flops());
+        }
     }
 
     #[test]

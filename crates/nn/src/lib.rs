@@ -40,6 +40,7 @@ pub mod models;
 pub mod optim;
 mod param;
 
+pub use ft_runtime::Runtime;
 pub use layer::{
     AnyLayer, BatchNorm2d, BnStats, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2x2, Mode, Relu,
     Sequential, DEFAULT_SPARSE_CROSSOVER,

@@ -111,6 +111,14 @@ pub trait Model: Send + Sync {
     /// [`crate::layer::DEFAULT_SPARSE_CROSSOVER`].
     fn set_sparse_crossover(&mut self, _crossover: f32) {}
 
+    /// Hands every kernel-bearing layer the parallel
+    /// [`Runtime`](ft_runtime::Runtime) its GEMM / im2col / pooling kernels
+    /// execute on. Models default to the sequential runtime; because the
+    /// parallel kernels are bit-identical to the sequential ones, this only
+    /// changes wall-clock, never outputs. Cloned models (e.g. per-device
+    /// snapshots in `ft-fl`) inherit the runtime of their source.
+    fn set_runtime(&mut self, _rt: ft_runtime::Runtime) {}
+
     /// Multiply–accumulate FLOPs actually executed by the model's forward
     /// and backward GEMMs since the last reset — the *realized* counterpart
     /// of `ft-metrics`' analytic counts. Models that do not track this

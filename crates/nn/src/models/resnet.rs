@@ -165,6 +165,14 @@ impl BasicBlock {
         }
     }
 
+    fn set_runtime(&mut self, rt: ft_runtime::Runtime) {
+        self.conv1.set_runtime(rt);
+        self.conv2.set_runtime(rt);
+        if let Some((conv, _)) = &mut self.down {
+            conv.set_runtime(rt);
+        }
+    }
+
     fn realized_flops(&self) -> f64 {
         let mut f = self.conv1.realized_flops() + self.conv2.realized_flops();
         if let Some((conv, _)) = &self.down {
@@ -426,6 +434,15 @@ impl Model for ResNet18 {
             b.set_sparse_crossover(crossover);
         }
         self.fc.set_sparse_crossover(crossover);
+    }
+
+    fn set_runtime(&mut self, rt: ft_runtime::Runtime) {
+        self.stem_conv.set_runtime(rt);
+        for b in &mut self.stages {
+            b.set_runtime(rt);
+        }
+        self.gap.set_runtime(rt);
+        self.fc.set_runtime(rt);
     }
 
     fn realized_flops(&self) -> f64 {

@@ -170,6 +170,10 @@ impl Model for SmallCnn {
         self.seq.set_sparse_crossover(crossover);
     }
 
+    fn set_runtime(&mut self, rt: ft_runtime::Runtime) {
+        self.seq.set_runtime(rt);
+    }
+
     fn realized_flops(&self) -> f64 {
         self.seq.realized_flops()
     }

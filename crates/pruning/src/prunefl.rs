@@ -90,8 +90,7 @@ pub fn run_prunefl(
             // Measured mirror: one Dense payload per device plus the mask
             // bitmap broadcast.
             ledger.add_payload_comm(
-                (ft_sparse::PAYLOAD_HEADER_BYTES as f64
-                    + 4.0 * total_params(&arch) as f64)
+                (ft_sparse::PAYLOAD_HEADER_BYTES as f64 + 4.0 * total_params(&arch) as f64)
                     * env.num_devices() as f64
                     + (total as f64 / 8.0).ceil(),
             );

@@ -111,10 +111,7 @@ impl Bencher {
         self.samples.sort_unstable();
         let median = self.samples[self.samples.len() / 2];
         let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
-        println!(
-            "{name:<40} median {:>12?}   mean {:>12?}",
-            median, mean
-        );
+        println!("{name:<40} median {:>12?}   mean {:>12?}", median, mean);
     }
 }
 

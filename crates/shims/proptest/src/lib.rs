@@ -287,8 +287,9 @@ mod tests {
 
     #[test]
     fn combinators_compose() {
-        let strat = (1usize..4, 1usize..4)
-            .prop_flat_map(|(r, c)| crate::collection::vec(0.0f32..1.0, r * c).prop_map(move |v| (r, c, v)));
+        let strat = (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+            crate::collection::vec(0.0f32..1.0, r * c).prop_map(move |v| (r, c, v))
+        });
         let mut rng = crate::SampleRng::deterministic("compose");
         for _ in 0..100 {
             let (r, c, v) = strat.sample(&mut rng);

@@ -243,10 +243,7 @@ mod tests {
         let arr = [1usize, 2, 3];
         assert_eq!(<[usize; 3]>::from_value(&arr.to_value()).unwrap(), arr);
         let tup = (1usize, "x".to_string());
-        assert_eq!(
-            <(usize, String)>::from_value(&tup.to_value()).unwrap(),
-            tup
-        );
+        assert_eq!(<(usize, String)>::from_value(&tup.to_value()).unwrap(), tup);
     }
 
     #[test]

@@ -33,8 +33,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[proc_macro_derive(Serialize)]
@@ -254,8 +260,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Struct(fields) => {
-                        let binds: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let pushes: String = fields
                             .iter()
                             .map(|f| {
@@ -311,9 +316,9 @@ fn gen_deserialize(item: &Item) -> String {
             for v in variants {
                 let vname = &v.name;
                 match &v.shape {
-                    VariantShape::Unit => unit_arms.push_str(&format!(
-                        "\"{vname}\" => Ok({name}::{vname}),\n"
-                    )),
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
                     VariantShape::Tuple(n) => {
                         if *n != 1 {
                             panic!(

@@ -237,8 +237,10 @@ impl Codec {
                 let mut params = Vec::with_capacity(ctx.segments.len());
                 let mut start = 0;
                 for &seg in &ctx.segments {
-                    let p =
-                        quantize_affine_i8(&vector[start..start + seg], &mut codes[start..start + seg]);
+                    let p = quantize_affine_i8(
+                        &vector[start..start + seg],
+                        &mut codes[start..start + seg],
+                    );
                     params.push(p);
                     start += seg;
                 }
@@ -653,7 +655,10 @@ mod tests {
                 error_feedback: true,
             },
         ] {
-            assert_eq!(Codec::from_name(codec.name()).map(|c| c.name()), Some(codec.name()));
+            assert_eq!(
+                Codec::from_name(codec.name()).map(|c| c.name()),
+                Some(codec.name())
+            );
         }
         assert_eq!(Codec::from_name("nope"), None);
         assert_eq!(Codec::default(), Codec::Dense);

@@ -160,7 +160,11 @@ impl CsrMatrix {
     ///
     /// Panics if `values` does not have `rows * cols` entries.
     pub fn refresh_values(&mut self, values: &[f32]) {
-        assert_eq!(values.len(), self.rows * self.cols, "values length mismatch");
+        assert_eq!(
+            values.len(),
+            self.rows * self.cols,
+            "values length mismatch"
+        );
         let cols = self.cols;
         for r in 0..self.rows {
             let base = r * cols;

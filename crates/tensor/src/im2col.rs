@@ -1,6 +1,8 @@
 //! im2col / col2im transforms used to express convolution as matmul.
 
 use crate::Tensor;
+use ft_runtime::Runtime;
+use std::ops::Range;
 
 /// Geometry of a 2-D convolution over a single sample.
 ///
@@ -70,42 +72,66 @@ fn checked_out(dim: usize, k: usize, s: usize, p: usize) -> usize {
 ///
 /// Panics if slice lengths do not match the geometry.
 pub fn im2col(x: &[f32], g: &ConvGeom, out: &mut [f32]) {
+    check_im2col(x, g, out);
+    im2col_rows(x, g, 0..g.col_rows(), out);
+}
+
+/// [`im2col`] with the output rows (one per `(channel, kh, kw)` tap) fanned
+/// out over `rt`'s workers. Rows are written independently, so the parallel
+/// result is bit-identical to the sequential one.
+///
+/// # Panics
+///
+/// Panics on the same length mismatches as [`im2col`].
+pub fn im2col_rt(rt: &Runtime, x: &[f32], g: &ConvGeom, out: &mut [f32]) {
+    check_im2col(x, g, out);
+    let rows = g.col_rows();
+    if !rt.should_parallelize(out.len()) || rows <= 1 {
+        return im2col_rows(x, g, 0..rows, out);
+    }
+    let cols = g.col_cols();
+    let jobs = rt.split_rows_mut(out, cols.max(1));
+    rt.scatter(jobs, |(range, chunk)| {
+        im2col_rows(x, g, range, chunk);
+    });
+}
+
+fn check_im2col(x: &[f32], g: &ConvGeom, out: &[f32]) {
     assert_eq!(
         x.len(),
         g.in_c * g.in_h * g.in_w,
         "im2col input length mismatch"
     );
-    let (oh, ow) = (g.out_h(), g.out_w());
-    let cols = oh * ow;
     assert_eq!(
         out.len(),
-        g.col_rows() * cols,
+        g.col_rows() * g.col_cols(),
         "im2col output length mismatch"
     );
-    let mut row = 0usize;
-    for c in 0..g.in_c {
+}
+
+/// Unfolds the output-row range `rows` (each row is one `(c, kh, kw)` tap in
+/// lexicographic order); `chunk` holds exactly those rows.
+fn im2col_rows(x: &[f32], g: &ConvGeom, rows: Range<usize>, chunk: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols = oh * ow;
+    let taps = g.kernel * g.kernel;
+    for (local, row) in rows.enumerate() {
+        let c = row / taps;
+        let (kh, kw) = ((row % taps) / g.kernel, row % g.kernel);
         let plane = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
-        for kh in 0..g.kernel {
-            for kw in 0..g.kernel {
-                let dst = &mut out[row * cols..(row + 1) * cols];
-                let mut idx = 0usize;
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-                    for ox in 0..ow {
-                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                        dst[idx] = if iy >= 0
-                            && (iy as usize) < g.in_h
-                            && ix >= 0
-                            && (ix as usize) < g.in_w
-                        {
-                            plane[iy as usize * g.in_w + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        idx += 1;
-                    }
-                }
-                row += 1;
+        let dst = &mut chunk[local * cols..(local + 1) * cols];
+        let mut idx = 0usize;
+        for oy in 0..oh {
+            let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+            for ox in 0..ow {
+                let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                dst[idx] = if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w
+                {
+                    plane[iy as usize * g.in_w + ix as usize]
+                } else {
+                    0.0
+                };
+                idx += 1;
             }
         }
     }
@@ -284,6 +310,26 @@ mod tests {
         col2im(&y, &g, &mut xy);
         let rhs: f32 = x.iter().zip(xy.iter()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_rt_is_bit_identical() {
+        let g = ConvGeom {
+            in_c: 3,
+            in_h: 7,
+            in_w: 6,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let x = rand_vec(g.in_c * g.in_h * g.in_w, 55);
+        let mut seq = vec![0.0; g.col_rows() * g.col_cols()];
+        im2col(&x, &g, &mut seq);
+        for threads in [1usize, 2, 5, 64] {
+            let mut par = vec![0.0; seq.len()];
+            im2col_rt(&Runtime::new(threads).with_min_work(0), &x, &g, &mut par);
+            assert_eq!(seq, par, "threads={threads}");
+        }
     }
 
     #[test]

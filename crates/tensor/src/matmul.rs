@@ -7,28 +7,25 @@
 //! - [`matmul_into`]: `C = A · B`
 //! - [`matmul_tn_into`]: `C = Aᵀ · B`
 //! - [`matmul_nt_into`]: `C = A · Bᵀ`
+//!
+//! Every kernel also has an `_rt` variant taking a
+//! [`Runtime`](ft_runtime::Runtime): the output is partitioned into
+//! contiguous row ranges (deterministic chunks, see
+//! [`ft_runtime::chunk_ranges`]) and each worker runs the *same* loop body
+//! over its range, so parallel results are bit-for-bit identical to
+//! sequential ones. A 1-thread runtime falls through to the sequential
+//! kernel.
 
 use crate::Tensor;
+use ft_runtime::Runtime;
+use std::ops::Range;
 
-/// `C += A[m×k] · B[k×n]`, accumulating into `c`.
-///
-/// Uses an `i-p-j` loop order so the inner loop streams both `B` and `C`
-/// rows sequentially.
-///
-/// # Panics
-///
-/// Panics if shapes are not `[m,k]`, `[k,n]`, `[m,n]`.
-pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    let (m, k) = dims2(a, "A");
-    let (k2, n) = dims2(b, "B");
-    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
-    let (cm, cn) = dims2(c, "C");
-    assert_eq!((cm, cn), (m, n), "matmul output shape mismatch");
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
+/// `C += A[m×k] · B[k×n]` over the output-row range `rows`; `cchunk` holds
+/// exactly those rows.
+fn matmul_rows(ad: &[f32], bd: &[f32], k: usize, n: usize, rows: Range<usize>, cchunk: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
         let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
+        let crow = &mut cchunk[local * n..(local + 1) * n];
         for (p, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -41,29 +38,29 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     }
 }
 
-/// `C += Aᵀ[k×m]ᵀ · B[k×n]`, i.e. `A` has shape `[k, m]` and is consumed
-/// transposed, accumulating into `c` of shape `[m, n]`.
+/// `C += Aᵀ · B` restricted to output rows `rows` (`A` is `[k×m]`).
 ///
-/// # Panics
-///
-/// Panics on incompatible shapes.
-pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    let (k, m) = dims2(a, "A");
-    let (k2, n) = dims2(b, "B");
-    assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
-    let (cm, cn) = dims2(c, "C");
-    assert_eq!((cm, cn), (m, n), "matmul_tn output shape mismatch");
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    // Aᵀ(i,p) = A(p,i): iterate p outermost so both A rows and B rows stream.
+/// The loop order keeps `p` outermost exactly like the sequential kernel,
+/// so each output element accumulates in the same order on every path.
+fn matmul_tn_rows(
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    rows: Range<usize>,
+    cchunk: &mut [f32],
+) {
     for p in 0..k {
         let arow = &ad[p * m..(p + 1) * m];
         let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
+        for i in rows.clone() {
+            let av = arow[i];
             if av == 0.0 {
                 continue;
             }
-            let crow = &mut cd[i * n..(i + 1) * n];
+            let local = i - rows.start;
+            let crow = &mut cchunk[local * n..(local + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                 *cv += av * bv;
             }
@@ -71,23 +68,18 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     }
 }
 
-/// `C += A[m×k] · Bᵀ` where `B` has shape `[n, k]`, accumulating into `c`
-/// of shape `[m, n]`.
-///
-/// # Panics
-///
-/// Panics on incompatible shapes.
-pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    let (m, k) = dims2(a, "A");
-    let (n, k2) = dims2(b, "B");
-    assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
-    let (cm, cn) = dims2(c, "C");
-    assert_eq!((cm, cn), (m, n), "matmul_nt output shape mismatch");
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
+/// `C += A · Bᵀ` over the output-row range `rows` (`B` is `[n×k]`).
+fn matmul_nt_rows(
+    ad: &[f32],
+    bd: &[f32],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    cchunk: &mut [f32],
+) {
+    for (local, i) in rows.enumerate() {
         let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
+        let crow = &mut cchunk[local * n..(local + 1) * n];
         for (j, cv) in crow.iter_mut().enumerate() {
             let brow = &bd[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
@@ -97,6 +89,123 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
             *cv += acc;
         }
     }
+}
+
+fn check_matmul(a: &Tensor, b: &Tensor, c: &Tensor) -> (usize, usize, usize) {
+    let (m, k) = dims2(a, "A");
+    let (k2, n) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, n), "matmul output shape mismatch");
+    (m, k, n)
+}
+
+fn check_matmul_tn(a: &Tensor, b: &Tensor, c: &Tensor) -> (usize, usize, usize) {
+    let (k, m) = dims2(a, "A");
+    let (k2, n) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul_tn inner dims differ: {k} vs {k2}");
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, n), "matmul_tn output shape mismatch");
+    (k, m, n)
+}
+
+fn check_matmul_nt(a: &Tensor, b: &Tensor, c: &Tensor) -> (usize, usize, usize) {
+    let (m, k) = dims2(a, "A");
+    let (n, k2) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul_nt inner dims differ: {k} vs {k2}");
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, n), "matmul_nt output shape mismatch");
+    (m, k, n)
+}
+
+/// `C += A[m×k] · B[k×n]`, accumulating into `c`.
+///
+/// Uses an `i-p-j` loop order so the inner loop streams both `B` and `C`
+/// rows sequentially.
+///
+/// # Panics
+///
+/// Panics if shapes are not `[m,k]`, `[k,n]`, `[m,n]`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k, n) = check_matmul(a, b, c);
+    matmul_rows(a.data(), b.data(), k, n, 0..m, c.data_mut());
+}
+
+/// [`matmul_into`] with the output rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`matmul_into`].
+pub fn matmul_into_rt(rt: &Runtime, a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k, n) = check_matmul(a, b, c);
+    if !rt.should_parallelize(m.saturating_mul(k).saturating_mul(n)) || m <= 1 {
+        return matmul_rows(a.data(), b.data(), k, n, 0..m, c.data_mut());
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        matmul_rows(ad, bd, k, n, rows, cchunk);
+    });
+}
+
+/// `C += Aᵀ[k×m]ᵀ · B[k×n]`, i.e. `A` has shape `[k, m]` and is consumed
+/// transposed, accumulating into `c` of shape `[m, n]`.
+///
+/// # Panics
+///
+/// Panics on incompatible shapes.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (k, m, n) = check_matmul_tn(a, b, c);
+    // Aᵀ(i,p) = A(p,i): iterate p outermost so both A rows and B rows stream.
+    matmul_tn_rows(a.data(), b.data(), k, m, n, 0..m, c.data_mut());
+}
+
+/// [`matmul_tn_into`] with the output rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`matmul_tn_into`].
+pub fn matmul_tn_into_rt(rt: &Runtime, a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (k, m, n) = check_matmul_tn(a, b, c);
+    if !rt.should_parallelize(k.saturating_mul(m).saturating_mul(n)) || m <= 1 {
+        return matmul_tn_rows(a.data(), b.data(), k, m, n, 0..m, c.data_mut());
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        matmul_tn_rows(ad, bd, k, m, n, rows, cchunk);
+    });
+}
+
+/// `C += A[m×k] · Bᵀ` where `B` has shape `[n, k]`, accumulating into `c`
+/// of shape `[m, n]`.
+///
+/// # Panics
+///
+/// Panics on incompatible shapes.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k, n) = check_matmul_nt(a, b, c);
+    matmul_nt_rows(a.data(), b.data(), k, n, 0..m, c.data_mut());
+}
+
+/// [`matmul_nt_into`] with the output rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`matmul_nt_into`].
+pub fn matmul_nt_into_rt(rt: &Runtime, a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k, n) = check_matmul_nt(a, b, c);
+    if !rt.should_parallelize(m.saturating_mul(k).saturating_mul(n)) || m <= 1 {
+        return matmul_nt_rows(a.data(), b.data(), k, n, 0..m, c.data_mut());
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        matmul_nt_rows(ad, bd, k, n, rows, cchunk);
+    });
 }
 
 impl Tensor {
@@ -210,5 +319,49 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[4, 2]);
         let _ = a.matmul(&b);
+    }
+
+    /// Every parallel layout is bit-identical to its sequential kernel for
+    /// every thread count, including threads > rows and single-row outputs.
+    #[test]
+    fn rt_variants_are_bit_identical() {
+        let cases = [(17usize, 13usize, 11usize), (1, 8, 5), (4, 1, 3)];
+        for (ci, &(m, k, n)) in cases.iter().enumerate() {
+            let seed = 100 + ci as u64 * 10;
+            let a = rand_t(&[m, k], seed);
+            let at = rand_t(&[k, m], seed + 1);
+            let b = rand_t(&[k, n], seed + 2);
+            let bt = rand_t(&[n, k], seed + 3);
+            for threads in [1usize, 2, 3, 7, 64] {
+                let rt = Runtime::new(threads).with_min_work(0);
+                let mut seq = Tensor::ones(&[m, n]);
+                let mut par = Tensor::ones(&[m, n]);
+                matmul_into(&a, &b, &mut seq);
+                matmul_into_rt(&rt, &a, &b, &mut par);
+                assert_eq!(seq.data(), par.data(), "matmul t={threads} {m}x{k}x{n}");
+
+                let mut seq = Tensor::ones(&[m, n]);
+                let mut par = Tensor::ones(&[m, n]);
+                matmul_tn_into(&at, &b, &mut seq);
+                matmul_tn_into_rt(&rt, &at, &b, &mut par);
+                assert_eq!(seq.data(), par.data(), "tn t={threads} {m}x{k}x{n}");
+
+                let mut seq = Tensor::ones(&[m, n]);
+                let mut par = Tensor::ones(&[m, n]);
+                matmul_nt_into(&a, &bt, &mut seq);
+                matmul_nt_into_rt(&rt, &a, &bt, &mut par);
+                assert_eq!(seq.data(), par.data(), "nt t={threads} {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rt_empty_output_is_a_noop() {
+        let rt = Runtime::new(4).with_min_work(0);
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 5]);
+        let mut c = Tensor::zeros(&[0, 5]);
+        matmul_into_rt(&rt, &a, &b, &mut c);
+        assert_eq!(c.numel(), 0);
     }
 }

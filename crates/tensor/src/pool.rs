@@ -1,6 +1,47 @@
 //! Pooling kernels (2×2 max pooling and global average pooling).
+//!
+//! Both forward kernels have `_rt` variants that fan the `n·c` planes out
+//! over a [`Runtime`](ft_runtime::Runtime)'s workers; planes are written
+//! independently, so the parallel results (including argmax caches) are
+//! bit-identical to the sequential ones.
 
 use crate::Tensor;
+use ft_runtime::Runtime;
+use std::ops::Range;
+
+/// Max-pools the plane range `planes`; `ochunk`/`achunk` hold exactly those
+/// planes' outputs.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's natural operands
+fn max_pool_planes(
+    xd: &[f32],
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    planes: Range<usize>,
+    ochunk: &mut [f32],
+    achunk: &mut [usize],
+) {
+    for (local, plane) in planes.enumerate() {
+        let base = plane * h * w;
+        let obase = local * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best_idx = base + (2 * oy) * w + 2 * ox;
+                let mut best = xd[best_idx];
+                for (dy, dx) in [(0, 1), (1, 0), (1, 1)] {
+                    let idx = base + (2 * oy + dy) * w + 2 * ox + dx;
+                    if xd[idx] > best {
+                        best = xd[idx];
+                        best_idx = idx;
+                    }
+                }
+                ochunk[obase + oy * ow + ox] = best;
+                achunk[obase + oy * ow + ox] = best_idx;
+            }
+        }
+    }
+}
 
 /// 2×2 max pooling with stride 2 over a `[n, c, h, w]` tensor.
 ///
@@ -12,6 +53,16 @@ use crate::Tensor;
 ///
 /// Panics if `x` is not rank-4 or either spatial dim is < 2.
 pub fn max_pool2x2(x: &Tensor) -> (Tensor, Vec<usize>) {
+    max_pool2x2_rt(&Runtime::sequential(), x)
+}
+
+/// [`max_pool2x2`] with the `n·c` planes fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4 or either spatial dim is < 2.
+pub fn max_pool2x2_rt(rt: &Runtime, x: &Tensor) -> (Tensor, Vec<usize>) {
     let s = x.shape();
     assert_eq!(s.len(), 4, "max_pool2x2 requires [n,c,h,w]");
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
@@ -23,28 +74,23 @@ pub fn max_pool2x2(x: &Tensor) -> (Tensor, Vec<usize>) {
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut arg = vec![0usize; n * c * oh * ow];
     let xd = x.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            let obase = (ni * c + ci) * oh * ow;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best_idx = base + (2 * oy) * w + 2 * ox;
-                    let mut best = xd[best_idx];
-                    for (dy, dx) in [(0, 1), (1, 0), (1, 1)] {
-                        let idx = base + (2 * oy + dy) * w + 2 * ox + dx;
-                        if xd[idx] > best {
-                            best = xd[idx];
-                            best_idx = idx;
-                        }
-                    }
-                    od[obase + oy * ow + ox] = best;
-                    arg[obase + oy * ow + ox] = best_idx;
-                }
-            }
-        }
+    let planes = n * c;
+    if !rt.should_parallelize(planes.saturating_mul(h * w)) || planes <= 1 {
+        max_pool_planes(xd, h, w, oh, ow, 0..planes, out.data_mut(), &mut arg);
+        return (out, arg);
     }
+    // `split_rows_mut` chunks both buffers identically (same plane count,
+    // same runtime), so zipping them pairs each range with its slices.
+    let out_parts = rt.split_rows_mut(out.data_mut(), oh * ow);
+    let arg_parts = rt.split_rows_mut(&mut arg, oh * ow);
+    let jobs: Vec<_> = out_parts
+        .into_iter()
+        .zip(arg_parts)
+        .map(|((range, ochunk), (_, achunk))| (range, ochunk, achunk))
+        .collect();
+    rt.scatter(jobs, |(range, ochunk, achunk)| {
+        max_pool_planes(xd, h, w, oh, ow, range, ochunk, achunk);
+    });
     (out, arg)
 }
 
@@ -70,20 +116,36 @@ pub fn max_pool2x2_backward(grad_out: &Tensor, arg: &[usize], input_shape: &[usi
 ///
 /// Panics if `x` is not rank-4.
 pub fn avg_pool_global(x: &Tensor) -> Tensor {
+    avg_pool_global_rt(&Runtime::sequential(), x)
+}
+
+/// [`avg_pool_global`] with the `n·c` planes fanned out over `rt`'s
+/// workers. Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4.
+pub fn avg_pool_global_rt(rt: &Runtime, x: &Tensor) -> Tensor {
     let s = x.shape();
     assert_eq!(s.len(), 4, "avg_pool_global requires [n,c,h,w]");
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let area = (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c]);
     let xd = x.data();
-    let od = out.data_mut();
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
+    let pool_planes = |planes: Range<usize>, ochunk: &mut [f32]| {
+        for (local, plane) in planes.enumerate() {
+            let base = plane * h * w;
             let sum: f32 = xd[base..base + h * w].iter().sum();
-            od[ni * c + ci] = sum / area;
+            ochunk[local] = sum / area;
         }
+    };
+    let planes = n * c;
+    if !rt.should_parallelize(planes.saturating_mul(h * w)) || planes <= 1 {
+        pool_planes(0..planes, out.data_mut());
+        return out;
     }
+    let jobs = rt.split_rows_mut(out.data_mut(), 1);
+    rt.scatter(jobs, |(range, ochunk)| pool_planes(range, ochunk));
     out
 }
 
@@ -164,6 +226,28 @@ mod tests {
         let g = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
         let gx = avg_pool_global_backward(&g, &[1, 2, 2, 2]);
         assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_rt_variants_are_bit_identical() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let x = Tensor::from_vec(
+            (0..3 * 4 * 6 * 6)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+            &[3, 4, 6, 6],
+        );
+        let (seq_y, seq_arg) = max_pool2x2(&x);
+        let seq_avg = avg_pool_global(&x);
+        for threads in [1usize, 2, 5, 64] {
+            let rt = Runtime::new(threads).with_min_work(0);
+            let (y, arg) = max_pool2x2_rt(&rt, &x);
+            assert_eq!(y.data(), seq_y.data(), "maxpool threads={threads}");
+            assert_eq!(arg, seq_arg, "argmax threads={threads}");
+            let avg = avg_pool_global_rt(&rt, &x);
+            assert_eq!(avg.data(), seq_avg.data(), "avgpool threads={threads}");
+        }
     }
 
     #[test]

@@ -129,29 +129,25 @@ fn view_of(csr: &CsrMatrix) -> crate::CsrView<'_> {
 /// A random mask + weight buffer for a `rows × cols` matrix: roughly a
 /// `density` fraction of coordinates is alive, and some alive coordinates
 /// hold an exact 0.0 (modelling freshly grown weights).
-fn masked_weights(
-    max_dim: usize,
-) -> impl Strategy<Value = (usize, usize, Vec<bool>, Vec<f32>)> {
-    (1..=max_dim, 1..=max_dim, 0.0f64..1.0, 0u64..1_000).prop_map(
-        |(rows, cols, density, seed)| {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-            let mask: Vec<bool> = (0..rows * cols)
-                .map(|_| rng.gen_range(0.0f64..1.0) < density)
-                .collect();
-            let weights: Vec<f32> = mask
-                .iter()
-                .map(|&alive| {
-                    if !alive || rng.gen_range(0.0f64..1.0) < 0.1 {
-                        0.0
-                    } else {
-                        rng.gen_range(-2.0f32..2.0)
-                    }
-                })
-                .collect();
-            (rows, cols, mask, weights)
-        },
-    )
+fn masked_weights(max_dim: usize) -> impl Strategy<Value = (usize, usize, Vec<bool>, Vec<f32>)> {
+    (1..=max_dim, 1..=max_dim, 0.0f64..1.0, 0u64..1_000).prop_map(|(rows, cols, density, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mask: Vec<bool> = (0..rows * cols)
+            .map(|_| rng.gen_range(0.0f64..1.0) < density)
+            .collect();
+        let weights: Vec<f32> = mask
+            .iter()
+            .map(|&alive| {
+                if !alive || rng.gen_range(0.0f64..1.0) < 0.1 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect();
+        (rows, cols, mask, weights)
+    })
 }
 
 proptest! {
@@ -231,13 +227,54 @@ proptest! {
         matmul_nt_into(&a, &dense, &mut out_dense);
         close(out_sparse.data(), out_dense.data());
     }
+
+    /// The runtime determinism contract: for arbitrary shapes, densities,
+    /// and thread counts, the parallel matmul / spmm / sddmm kernels are
+    /// **bit-for-bit** equal to their sequential twins (`==` on the raw
+    /// f32 buffers, no tolerance).
+    #[test]
+    fn rt_kernels_bit_equal_sequential(
+        (rows, cols, mask, weights) in masked_weights(9),
+        n in 1usize..8,
+        threads in 1usize..9,
+    ) {
+        let rt = ft_runtime::Runtime::new(threads).with_min_work(0);
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        let dense = Tensor::from_vec(csr.to_dense(), &[rows, cols]);
+
+        // matmul: C += D · B
+        let b = rand_matrix(cols, n, 46);
+        let mut seq = Tensor::ones(&[rows, n]);
+        let mut par = Tensor::ones(&[rows, n]);
+        matmul_into(&dense, &b, &mut seq);
+        crate::matmul_into_rt(&rt, &dense, &b, &mut par);
+        prop_assert_eq!(seq.data(), par.data());
+
+        // spmm: C += S · B
+        let mut seq = Tensor::ones(&[rows, n]);
+        let mut par = Tensor::ones(&[rows, n]);
+        spmm_into(view_of(&csr), &b, &mut seq);
+        crate::spmm_into_rt(&rt, view_of(&csr), &b, &mut par);
+        prop_assert_eq!(seq.data(), par.data());
+
+        // sddmm_nt: vals += (A · Bᵀ) ⊙ structure(S)
+        let a = rand_matrix(rows, n, 47);
+        let bt = rand_matrix(cols, n, 48);
+        let mut seq = vec![0.25f32; csr.nnz()];
+        let mut par = vec![0.25f32; csr.nnz()];
+        crate::sddmm_nt_into(view_of(&csr), &a, &bt, &mut seq);
+        crate::sddmm_nt_into_rt(&rt, view_of(&csr), &a, &bt, &mut par);
+        prop_assert_eq!(seq, par);
+    }
 }
 
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
     use rand::{Rng, SeedableRng};
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     Tensor::from_vec(
-        (0..rows * cols).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
         &[rows, cols],
     )
 }

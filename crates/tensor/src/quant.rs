@@ -27,7 +27,11 @@ pub struct QuantParams {
 ///
 /// Panics if `out.len() != values.len()`.
 pub fn quantize_affine_i8(values: &[f32], out: &mut [i8]) -> QuantParams {
-    assert_eq!(out.len(), values.len(), "quantization buffer length mismatch");
+    assert_eq!(
+        out.len(),
+        values.len(),
+        "quantization buffer length mismatch"
+    );
     let mut lo = f32::INFINITY;
     let mut hi = f32::NEG_INFINITY;
     for &v in values {
@@ -65,7 +69,11 @@ pub fn dequantize_one(code: i8, params: QuantParams) -> f32 {
 ///
 /// Panics if `out.len() != codes.len()`.
 pub fn dequantize_affine_i8(codes: &[i8], params: QuantParams, out: &mut [f32]) {
-    assert_eq!(out.len(), codes.len(), "dequantization buffer length mismatch");
+    assert_eq!(
+        out.len(),
+        codes.len(),
+        "dequantization buffer length mismatch"
+    );
     for (o, &c) in out.iter_mut().zip(codes.iter()) {
         *o = dequantize_one(c, params);
     }

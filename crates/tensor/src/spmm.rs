@@ -21,8 +21,17 @@
 //!
 //! All kernels accumulate into their output, matching the dense `_into`
 //! conventions.
+//!
+//! Every kernel also has an `_rt` variant taking a
+//! [`Runtime`](ft_runtime::Runtime): output rows (for the GEMM-shaped
+//! kernels) or CSR rows (for the sampled products) are partitioned into
+//! deterministic contiguous chunks and each worker runs the same loop body
+//! over its range — parallel results are bit-for-bit identical to the
+//! sequential kernels for any thread count.
 
 use crate::Tensor;
+use ft_runtime::Runtime;
+use std::ops::Range;
 
 /// A borrowed compressed-sparse-row matrix.
 ///
@@ -105,15 +114,42 @@ impl<'a> CsrView<'a> {
 /// assert_eq!(c.data(), &[2.0, 4.0, 9.0, 12.0]);
 /// ```
 pub fn spmm_into(s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    let n = check_spmm(&s, b, c);
+    spmm_rows(s, b.data(), n, 0..s.rows, c.data_mut());
+}
+
+/// [`spmm_into`] with the output rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`spmm_into`].
+pub fn spmm_into_rt(rt: &Runtime, s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    let n = check_spmm(&s, b, c);
+    if !rt.should_parallelize(s.nnz().saturating_mul(n)) || s.rows <= 1 {
+        return spmm_rows(s, b.data(), n, 0..s.rows, c.data_mut());
+    }
+    let bd = b.data();
+    let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        spmm_rows(s, bd, n, rows, cchunk);
+    });
+}
+
+fn check_spmm(s: &CsrView<'_>, b: &Tensor, c: &Tensor) -> usize {
     s.validate();
     let (k, n) = dims2(b, "B");
     assert_eq!(k, s.cols, "spmm inner dims differ: {} vs {k}", s.cols);
     let (cm, cn) = dims2(c, "C");
     assert_eq!((cm, cn), (s.rows, n), "spmm output shape mismatch");
-    let bd = b.data();
-    let cd = c.data_mut();
-    for i in 0..s.rows {
-        let crow = &mut cd[i * n..(i + 1) * n];
+    n
+}
+
+/// `C += S · B` restricted to the output-row range `rows`; `cchunk` holds
+/// exactly those rows.
+fn spmm_rows(s: CsrView<'_>, bd: &[f32], n: usize, rows: Range<usize>, cchunk: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
+        let crow = &mut cchunk[local * n..(local + 1) * n];
         for nz in s.row_ptr[i]..s.row_ptr[i + 1] {
             let (j, v) = (s.col_idx[nz] as usize, s.vals[nz]);
             let brow = &bd[j * n..(j + 1) * n];
@@ -133,18 +169,56 @@ pub fn spmm_into(s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
 ///
 /// Panics if shapes are incompatible or the view is malformed.
 pub fn spmm_tn_into(s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    let n = check_spmm_tn(&s, b, c);
+    spmm_tn_rows(s, b.data(), n, 0..s.cols, c.data_mut());
+}
+
+/// [`spmm_tn_into`] with the output rows fanned out over `rt`'s workers.
+/// Each worker scans the full CSR structure but scatters only into its own
+/// output-row range, preserving the sequential per-element accumulation
+/// order — bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`spmm_tn_into`].
+pub fn spmm_tn_into_rt(rt: &Runtime, s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    let n = check_spmm_tn(&s, b, c);
+    // Every worker rescans the full index structure and keeps only its own
+    // output rows, so the fan-out costs ~threads × the index traffic; it
+    // only pays off when the per-entry useful work (`n` columns) clearly
+    // outweighs that rescan — for narrow `B` stay sequential.
+    if !rt.should_parallelize(s.nnz().saturating_mul(n)) || s.cols <= 1 || n < 2 * rt.threads() {
+        return spmm_tn_rows(s, b.data(), n, 0..s.cols, c.data_mut());
+    }
+    let bd = b.data();
+    let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        spmm_tn_rows(s, bd, n, rows, cchunk);
+    });
+}
+
+fn check_spmm_tn(s: &CsrView<'_>, b: &Tensor, c: &Tensor) -> usize {
     s.validate();
     let (k, n) = dims2(b, "B");
     assert_eq!(k, s.rows, "spmm_tn inner dims differ: {} vs {k}", s.rows);
     let (cm, cn) = dims2(c, "C");
     assert_eq!((cm, cn), (s.cols, n), "spmm_tn output shape mismatch");
-    let bd = b.data();
-    let cd = c.data_mut();
+    n
+}
+
+/// `C += Sᵀ · B` restricted to the output-row range `rows`: scans every
+/// stored entry in sequential order, scattering only those whose column
+/// index lands in `rows`.
+fn spmm_tn_rows(s: CsrView<'_>, bd: &[f32], n: usize, rows: Range<usize>, cchunk: &mut [f32]) {
     for p in 0..s.rows {
         let brow = &bd[p * n..(p + 1) * n];
         for nz in s.row_ptr[p]..s.row_ptr[p + 1] {
             let (i, v) = (s.col_idx[nz] as usize, s.vals[nz]);
-            let crow = &mut cd[i * n..(i + 1) * n];
+            if !rows.contains(&i) {
+                continue;
+            }
+            let local = i - rows.start;
+            let crow = &mut cchunk[local * n..(local + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
                 *cv += v * bv;
             }
@@ -161,16 +235,42 @@ pub fn spmm_tn_into(s: CsrView<'_>, b: &Tensor, c: &mut Tensor) {
 ///
 /// Panics if shapes are incompatible or the view is malformed.
 pub fn dsmm_into(a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
+    let (m, k) = check_dsmm(a, &s, c);
+    dsmm_rows(a.data(), s, k, 0..m, c.data_mut());
+}
+
+/// [`dsmm_into`] with the output rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`dsmm_into`].
+pub fn dsmm_into_rt(rt: &Runtime, a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
+    let (m, k) = check_dsmm(a, &s, c);
+    if !rt.should_parallelize(m.saturating_mul(s.nnz())) || m <= 1 {
+        return dsmm_rows(a.data(), s, k, 0..m, c.data_mut());
+    }
+    let ad = a.data();
+    let jobs = rt.split_rows_mut(c.data_mut(), s.cols.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        dsmm_rows(ad, s, k, rows, cchunk);
+    });
+}
+
+fn check_dsmm(a: &Tensor, s: &CsrView<'_>, c: &Tensor) -> (usize, usize) {
     s.validate();
     let (m, k) = dims2(a, "A");
     assert_eq!(k, s.rows, "dsmm inner dims differ: {k} vs {}", s.rows);
     let (cm, cn) = dims2(c, "C");
     assert_eq!((cm, cn), (m, s.cols), "dsmm output shape mismatch");
-    let ad = a.data();
-    let cd = c.data_mut();
-    for i in 0..m {
+    (m, k)
+}
+
+/// `C += A · S` restricted to the output-row range `rows`.
+fn dsmm_rows(ad: &[f32], s: CsrView<'_>, k: usize, rows: Range<usize>, cchunk: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
         let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * s.cols..(i + 1) * s.cols];
+        let crow = &mut cchunk[local * s.cols..(local + 1) * s.cols];
         for (p, &av) in arow.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -192,16 +292,42 @@ pub fn dsmm_into(a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
 ///
 /// Panics if shapes are incompatible or the view is malformed.
 pub fn dsmm_nt_into(a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
+    let (m, k) = check_dsmm_nt(a, &s, c);
+    dsmm_nt_rows(a.data(), s, k, 0..m, c.data_mut());
+}
+
+/// [`dsmm_nt_into`] with the output rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`dsmm_nt_into`].
+pub fn dsmm_nt_into_rt(rt: &Runtime, a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
+    let (m, k) = check_dsmm_nt(a, &s, c);
+    if !rt.should_parallelize(m.saturating_mul(s.nnz())) || m <= 1 {
+        return dsmm_nt_rows(a.data(), s, k, 0..m, c.data_mut());
+    }
+    let ad = a.data();
+    let jobs = rt.split_rows_mut(c.data_mut(), s.rows.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        dsmm_nt_rows(ad, s, k, rows, cchunk);
+    });
+}
+
+fn check_dsmm_nt(a: &Tensor, s: &CsrView<'_>, c: &Tensor) -> (usize, usize) {
     s.validate();
     let (m, k) = dims2(a, "A");
     assert_eq!(k, s.cols, "dsmm_nt inner dims differ: {k} vs {}", s.cols);
     let (cm, cn) = dims2(c, "C");
     assert_eq!((cm, cn), (m, s.rows), "dsmm_nt output shape mismatch");
-    let ad = a.data();
-    let cd = c.data_mut();
-    for i in 0..m {
+    (m, k)
+}
+
+/// `C += A · Sᵀ` restricted to the output-row range `rows`.
+fn dsmm_nt_rows(ad: &[f32], s: CsrView<'_>, k: usize, rows: Range<usize>, cchunk: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
         let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * s.rows..(i + 1) * s.rows];
+        let crow = &mut cchunk[local * s.rows..(local + 1) * s.rows];
         for (r, cv) in crow.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for nz in s.row_ptr[r]..s.row_ptr[r + 1] {
@@ -225,6 +351,30 @@ pub fn dsmm_nt_into(a: &Tensor, s: CsrView<'_>, c: &mut Tensor) {
 /// Panics if shapes are incompatible, the view is malformed, or `vals` does
 /// not have one slot per stored entry.
 pub fn sddmm_nt_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
+    let c = check_sddmm_nt(&s, a, b, vals);
+    sddmm_nt_rows(s, a.data(), b.data(), c, 0..s.rows, vals);
+}
+
+/// [`sddmm_nt_into`] with the CSR rows fanned out over `rt`'s workers (the
+/// `vals` buffer is split at `row_ptr` boundaries). Bit-identical to the
+/// sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`sddmm_nt_into`].
+pub fn sddmm_nt_into_rt(rt: &Runtime, s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
+    let c = check_sddmm_nt(&s, a, b, vals);
+    if !rt.should_parallelize(s.nnz().saturating_mul(c)) || s.rows <= 1 {
+        return sddmm_nt_rows(s, a.data(), b.data(), c, 0..s.rows, vals);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_at_offsets_mut(vals, s.rows, |r| s.row_ptr[r]);
+    rt.scatter(jobs, |(rows, chunk)| {
+        sddmm_nt_rows(s, ad, bd, c, rows, chunk);
+    });
+}
+
+fn check_sddmm_nt(s: &CsrView<'_>, a: &Tensor, b: &Tensor, vals: &[f32]) -> usize {
     s.validate();
     let (m, c) = dims2(a, "A");
     let (k, c2) = dims2(b, "B");
@@ -232,12 +382,25 @@ pub fn sddmm_nt_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
     assert_eq!(m, s.rows, "sddmm_nt row count mismatch");
     assert_eq!(k, s.cols, "sddmm_nt col count mismatch");
     assert_eq!(vals.len(), s.nnz(), "sddmm_nt output slot count mismatch");
-    let ad = a.data();
-    let bd = b.data();
-    for r in 0..s.rows {
+    c
+}
+
+/// Sampled NT product over the CSR-row range `rows`; `vals_chunk` holds
+/// exactly the stored entries of those rows.
+fn sddmm_nt_rows(
+    s: CsrView<'_>,
+    ad: &[f32],
+    bd: &[f32],
+    c: usize,
+    rows: Range<usize>,
+    vals_chunk: &mut [f32],
+) {
+    let base = s.row_ptr[rows.start];
+    for r in rows {
         let arow = &ad[r * c..(r + 1) * c];
         let range = s.row_ptr[r]..s.row_ptr[r + 1];
-        for (&j, val) in s.col_idx[range.clone()].iter().zip(&mut vals[range]) {
+        let local = range.start - base..range.end - base;
+        for (&j, val) in s.col_idx[range].iter().zip(&mut vals_chunk[local]) {
             let brow = &bd[j as usize * c..(j as usize + 1) * c];
             let mut acc = 0.0f32;
             for (&av, &bv) in arow.iter().zip(brow.iter()) {
@@ -261,6 +424,31 @@ pub fn sddmm_nt_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
 /// Panics if shapes are incompatible, the view is malformed, or `vals` does
 /// not have one slot per stored entry.
 pub fn sddmm_tn_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
+    let (n1, r, k) = check_sddmm_tn(&s, a, b, vals);
+    sddmm_tn_rows(s, a.data(), b.data(), n1, r, k, 0..s.rows, vals);
+}
+
+/// [`sddmm_tn_into`] with the CSR rows fanned out over `rt`'s workers (the
+/// `vals` buffer is split at `row_ptr` boundaries; every worker keeps the
+/// batch-outer loop, so per-slot accumulation order is unchanged).
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`sddmm_tn_into`].
+pub fn sddmm_tn_into_rt(rt: &Runtime, s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
+    let (n1, r, k) = check_sddmm_tn(&s, a, b, vals);
+    if !rt.should_parallelize(n1.saturating_mul(s.nnz())) || s.rows <= 1 {
+        return sddmm_tn_rows(s, a.data(), b.data(), n1, r, k, 0..s.rows, vals);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_at_offsets_mut(vals, s.rows, |row| s.row_ptr[row]);
+    rt.scatter(jobs, |(rows, chunk)| {
+        sddmm_tn_rows(s, ad, bd, n1, r, k, rows, chunk);
+    });
+}
+
+fn check_sddmm_tn(s: &CsrView<'_>, a: &Tensor, b: &Tensor, vals: &[f32]) -> (usize, usize, usize) {
     s.validate();
     let (n1, r) = dims2(a, "A");
     let (n2, k) = dims2(b, "B");
@@ -268,18 +456,37 @@ pub fn sddmm_tn_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, vals: &mut [f32]) {
     assert_eq!(r, s.rows, "sddmm_tn row count mismatch");
     assert_eq!(k, s.cols, "sddmm_tn col count mismatch");
     assert_eq!(vals.len(), s.nnz(), "sddmm_tn output slot count mismatch");
-    let ad = a.data();
-    let bd = b.data();
+    (n1, r, k)
+}
+
+/// Sampled TN product over the CSR-row range `rows`; `vals_chunk` holds
+/// exactly the stored entries of those rows. The batch loop stays outermost
+/// so every slot accumulates samples in ascending order, exactly like the
+/// sequential kernel.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's natural operands
+fn sddmm_tn_rows(
+    s: CsrView<'_>,
+    ad: &[f32],
+    bd: &[f32],
+    n1: usize,
+    r: usize,
+    k: usize,
+    rows: Range<usize>,
+    vals_chunk: &mut [f32],
+) {
+    let base = s.row_ptr[rows.start];
     // Batch-outer loop streams both dense operands once per sample.
     for n in 0..n1 {
         let arow = &ad[n * r..(n + 1) * r];
         let brow = &bd[n * k..(n + 1) * k];
-        for (row, &av) in arow.iter().enumerate() {
+        for row in rows.clone() {
+            let av = arow[row];
             if av == 0.0 {
                 continue;
             }
             let range = s.row_ptr[row]..s.row_ptr[row + 1];
-            for (&j, val) in s.col_idx[range.clone()].iter().zip(&mut vals[range]) {
+            let local = range.start - base..range.end - base;
+            for (&j, val) in s.col_idx[range].iter().zip(&mut vals_chunk[local]) {
                 *val += av * brow[j as usize];
             }
         }
@@ -477,6 +684,63 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let mut c = Tensor::zeros(&[3, 2]);
         spmm_into(f.view(), &b, &mut c);
+    }
+
+    /// Every sparse `_rt` kernel is bit-identical to its sequential twin for
+    /// every thread count, across densities including nnz = 0.
+    #[test]
+    fn rt_variants_are_bit_identical() {
+        for (seed, density) in [(1u64, 0.0), (2, 0.05), (3, 0.4), (4, 1.0)] {
+            let f = Fixture::random(9, 7, density, seed);
+            let b_k = rand_t(&[7, 5], seed + 10); // for spmm: S[9x7] · B[7x5]
+            let b_r = rand_t(&[9, 5], seed + 11); // for spmm_tn: Sᵀ[7x9]ᵀ · B[9x5]
+            let a_m = rand_t(&[4, 9], seed + 12); // for dsmm: A[4x9] · S[9x7]
+            let a_nt = rand_t(&[4, 7], seed + 13); // for dsmm_nt: A[4x7] · Sᵀ
+            let sd_a = rand_t(&[9, 6], seed + 14); // sddmm_nt: A[9x6], B[7x6]
+            let sd_b = rand_t(&[7, 6], seed + 15);
+            let tn_a = rand_t(&[8, 9], seed + 16); // sddmm_tn: A[8x9], B[8x7]
+            let tn_b = rand_t(&[8, 7], seed + 17);
+            for threads in [1usize, 2, 3, 64] {
+                let rt = Runtime::new(threads).with_min_work(0);
+                let tag = format!("d={density} t={threads}");
+
+                let mut seq = Tensor::ones(&[9, 5]);
+                let mut par = Tensor::ones(&[9, 5]);
+                spmm_into(f.view(), &b_k, &mut seq);
+                spmm_into_rt(&rt, f.view(), &b_k, &mut par);
+                assert_eq!(seq.data(), par.data(), "spmm {tag}");
+
+                let mut seq = Tensor::ones(&[7, 5]);
+                let mut par = Tensor::ones(&[7, 5]);
+                spmm_tn_into(f.view(), &b_r, &mut seq);
+                spmm_tn_into_rt(&rt, f.view(), &b_r, &mut par);
+                assert_eq!(seq.data(), par.data(), "spmm_tn {tag}");
+
+                let mut seq = Tensor::ones(&[4, 7]);
+                let mut par = Tensor::ones(&[4, 7]);
+                dsmm_into(&a_m, f.view(), &mut seq);
+                dsmm_into_rt(&rt, &a_m, f.view(), &mut par);
+                assert_eq!(seq.data(), par.data(), "dsmm {tag}");
+
+                let mut seq = Tensor::ones(&[4, 9]);
+                let mut par = Tensor::ones(&[4, 9]);
+                dsmm_nt_into(&a_nt, f.view(), &mut seq);
+                dsmm_nt_into_rt(&rt, &a_nt, f.view(), &mut par);
+                assert_eq!(seq.data(), par.data(), "dsmm_nt {tag}");
+
+                let mut seq = vec![0.5f32; f.vals.len()];
+                let mut par = vec![0.5f32; f.vals.len()];
+                sddmm_nt_into(f.view(), &sd_a, &sd_b, &mut seq);
+                sddmm_nt_into_rt(&rt, f.view(), &sd_a, &sd_b, &mut par);
+                assert_eq!(seq, par, "sddmm_nt {tag}");
+
+                let mut seq = vec![0.5f32; f.vals.len()];
+                let mut par = vec![0.5f32; f.vals.len()];
+                sddmm_tn_into(f.view(), &tn_a, &tn_b, &mut seq);
+                sddmm_tn_into_rt(&rt, f.view(), &tn_a, &tn_b, &mut par);
+                assert_eq!(seq, par, "sddmm_tn {tag}");
+            }
+        }
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //! # pick the wire codec for the update exchange:
 //! cargo run --release --example straggler_fleet -- --codec quant_int8
 //! # codecs: dense (default) | mask_csr | quant_int8 | top_k
+//! # pick the host worker-thread count (0 = all cores):
+//! cargo run --release --example straggler_fleet -- --threads 4
 //! ```
 //!
 //! Transfers are billed at the *measured* encoded payload size, so the
 //! codec choice changes the simulated makespans, not just a byte counter.
+//! `--threads N` runs the fleet on the shared `ft-runtime` pool and prints
+//! the host wall-clock speedup against a single-thread rerun — the
+//! *simulated* makespans are bit-identical either way (the runtime
+//! determinism contract), only the host gets faster.
 
 use fedtiny_suite::data::{DatasetProfile, SynthConfig};
 use fedtiny_suite::fl::{
@@ -30,9 +36,7 @@ fn codec_from_args() -> Codec {
         Some(i) => {
             let name = args.get(i + 1).map(String::as_str).unwrap_or("");
             Codec::from_name(name).unwrap_or_else(|| {
-                eprintln!(
-                    "unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k"
-                );
+                eprintln!("unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k");
                 std::process::exit(2);
             })
         }
@@ -40,7 +44,22 @@ fn codec_from_args() -> Codec {
     }
 }
 
-fn build_env(scheduler: Scheduler, codec: Codec) -> ExperimentEnv {
+/// Parses `--threads <n>` (default 0 = auto: `FT_THREADS`, else all cores).
+fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads expects a non-negative integer");
+                std::process::exit(2);
+            }),
+        None => 0,
+    }
+}
+
+fn build_env(scheduler: Scheduler, codec: Codec, threads: usize) -> ExperimentEnv {
     let synth = SynthConfig {
         profile: DatasetProfile::Cifar10,
         train_per_class: 12,
@@ -55,16 +74,20 @@ fn build_env(scheduler: Scheduler, codec: Codec) -> ExperimentEnv {
     cfg.local_epochs = 1;
     cfg.seed = SEED;
     cfg.codec = codec;
+    cfg.threads = threads;
     let env = ExperimentEnv::new(synth, cfg);
     let fleet = DeviceProfile::fleet_mixed(env.num_devices());
     env.with_fleet(fleet).with_scheduler(scheduler)
 }
 
-fn run(scheduler: Scheduler, codec: Codec) -> (f32, CostLedger) {
-    let env = build_env(scheduler, codec);
+/// One full run; returns the final accuracy, the ledger, and the host
+/// wall-clock seconds of the round loop (environment setup excluded).
+fn run(scheduler: Scheduler, codec: Codec, threads: usize) -> (f32, CostLedger, f64) {
+    let env = build_env(scheduler, codec, threads);
     let mut model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
     let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
     let mut ledger = CostLedger::new();
+    let started = std::time::Instant::now();
     let history = run_federated_rounds(
         model.as_mut(),
         &mut mask,
@@ -73,15 +96,18 @@ fn run(scheduler: Scheduler, codec: Codec) -> (f32, CostLedger) {
         &mut ledger,
         &mut no_hook(),
     );
-    (*history.last().expect("nonempty history"), ledger)
+    let wall = started.elapsed().as_secs_f64();
+    (*history.last().expect("nonempty history"), ledger, wall)
 }
 
 fn main() {
     let codec = codec_from_args();
+    let threads = threads_from_args();
+    let resolved = fedtiny_suite::fl::resolve_threads(threads);
     // A deadline inside the fleet's spread (geometric mean of the fastest
     // and slowest device's simulated round time).
     let deadline_secs = {
-        let env = build_env(Scheduler::Synchronous, codec);
+        let env = build_env(Scheduler::Synchronous, codec, threads);
         let model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
         let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
         fedtiny_suite::fl::fleet_spread_deadline(&env, &model.arch(), &densities)
@@ -91,14 +117,18 @@ fn main() {
         Scheduler::Deadline { deadline_secs },
         Scheduler::Buffered { buffer_k: 3 },
     ];
-    println!("wire codec: {}", codec.name());
+    println!("wire codec: {} | worker threads: {resolved}", codec.name());
     println!(
         "{:>12}  {:>6}  {:>14}  {:>10}  {:>8}  {:>7}  {:>10}",
         "scheduler", "top1", "sim_makespan_s", "zero_prog", "dropped", "stale", "upload_kb"
     );
     let mut buffered_timeline: Vec<TimelineEvent> = Vec::new();
+    let mut sync_wall = None;
     for policy in policies {
-        let (top1, ledger) = run(policy, codec);
+        let (top1, ledger, wall) = run(policy, codec, threads);
+        if matches!(policy, Scheduler::Synchronous) {
+            sync_wall = Some((wall, ledger.sim_makespan_secs()));
+        }
         let max_stale = ledger
             .timeline()
             .iter()
@@ -135,4 +165,25 @@ fn main() {
          stragglers; buffered aggregation keeps fast devices busy (smallest makespan)\n\
          and absorbs slow devices' updates later, staleness-discounted."
     );
+
+    // Host-parallelism report: rerun the synchronous fleet single-threaded
+    // and compare wall clocks. The *simulated* makespan must be identical
+    // bit-for-bit — the runtime only changes how fast the host computes it.
+    if resolved > 1 {
+        let (wall_n, sim_n) = sync_wall.expect("synchronous policy ran");
+        let (_, ledger_1, wall_1) = run(Scheduler::Synchronous, codec, 1);
+        assert_eq!(
+            ledger_1.sim_makespan_secs().to_bits(),
+            sim_n.to_bits(),
+            "simulated makespan drifted across thread counts"
+        );
+        println!(
+            "\nhost speedup (synchronous round loop): {:.2}x at {resolved} threads \
+             ({:.0} ms -> {:.0} ms; sim makespan identical at {:.1}s)",
+            wall_1 / wall_n.max(f64::MIN_POSITIVE),
+            wall_1 * 1e3,
+            wall_n * 1e3,
+            sim_n,
+        );
+    }
 }

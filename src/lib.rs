@@ -36,5 +36,6 @@ pub use ft_fl as fl;
 pub use ft_metrics as metrics;
 pub use ft_nn as nn;
 pub use ft_pruning as pruning;
+pub use ft_runtime as runtime;
 pub use ft_sparse as sparse;
 pub use ft_tensor as tensor;

@@ -218,7 +218,10 @@ fn empty_surviving_cohort_records_zero_progress() {
     assert_eq!(ledger.zero_progress_rounds(), env.cfg.rounds);
     assert_eq!(ledger.rounds(), env.cfg.rounds);
     assert_eq!(params, before, "global model moved with no survivors");
-    assert!(params.iter().all(|v| v.is_finite()), "NaN leaked into the global");
+    assert!(
+        params.iter().all(|v| v.is_finite()),
+        "NaN leaked into the global"
+    );
     assert!(history.iter().all(|a| (0.0..=1.0).contains(a)));
     assert!(ledger.timeline().iter().all(|e| !e.applied));
 }

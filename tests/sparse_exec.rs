@@ -37,7 +37,12 @@ fn sparse_forward_matches_dense_masked_forward() {
     let (mut dense, _) = masked_model(0.2, 7);
     sparse.set_sparse_crossover(1.0);
     dense.set_sparse_crossover(0.0);
-    let x = normal(&mut ChaCha8Rng::seed_from_u64(99), &[4, 3, 16, 16], 0.0, 1.0);
+    let x = normal(
+        &mut ChaCha8Rng::seed_from_u64(99),
+        &[4, 3, 16, 16],
+        0.0,
+        1.0,
+    );
     for mode in [Mode::Train, Mode::Eval] {
         let ys = sparse.forward(&x, mode);
         let yd = dense.forward(&x, mode);
