@@ -4,11 +4,15 @@ use crate::progressive::{progressive_adjust, ProgressiveConfig};
 use crate::selection::{
     adaptive_bn_selection, generate_candidate_pool, vanilla_selection, SelectionConfig,
 };
-use ft_fl::{run_federated_rounds, Codec, CostLedger, ExperimentEnv, ModelSpec, RunResult};
+use ft_fl::{
+    run_with, CheckpointSpec, Codec, CostLedger, ExperimentEnv, InProcess, ModelSpec, RunOptions,
+    RunResult, ServerError, Transport,
+};
 use ft_metrics::{densities_from_mask, device_memory_bytes, ExtraMemory};
 use ft_nn::{apply_mask, Model};
 use ft_sparse::Mask;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Which coarse-pruning selection the pipeline uses (Fig. 4 ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,12 +92,56 @@ impl Default for FedTinyConfig {
     }
 }
 
+/// Durable-run knobs for [`run_fedtiny_with`]: which transport the update
+/// exchange crosses, and checkpoint/resume plumbing for the fine-tuning
+/// rounds (module 2). The coarse-pruning selection (module 1) is
+/// deterministic and cheap, so a resumed run simply recomputes it — the
+/// checkpoint then overwrites model, mask, ledger, and the progressive
+/// hook's counters with the persisted state.
+pub struct FedTinyRunOptions<'a> {
+    /// Transport for the federated fine-tuning rounds.
+    pub transport: &'a mut dyn Transport,
+    /// Save a checkpoint here at round boundaries.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from an existing checkpoint at that path (missing file =
+    /// fresh start).
+    pub resume: bool,
+    /// Kill-emulation hook: stop after this many completed rounds.
+    pub halt_after: Option<usize>,
+}
+
+impl<'a> FedTinyRunOptions<'a> {
+    /// Plain options: run on `transport`, no checkpointing.
+    pub fn new(transport: &'a mut dyn Transport) -> Self {
+        FedTinyRunOptions {
+            transport,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+        }
+    }
+}
+
 /// Runs the full FedTiny pipeline on an environment: coarse-pruning
 /// selection, then sparse federated fine-tuning with (optional) progressive
 /// grow/prune adjustments.
 ///
 /// Returns the uniform [`RunResult`] used by every method in the workspace.
 pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
+    let mut transport = InProcess;
+    run_fedtiny_with(env, cfg, FedTinyRunOptions::new(&mut transport))
+        .unwrap_or_else(|e| panic!("fedtiny run failed: {e}"))
+}
+
+/// [`run_fedtiny`] over an explicit transport, with checkpoint/resume: the
+/// fine-tuning rounds (including the progressive-adjustment counters, which
+/// ride in the checkpoint's hook-state blob) can be killed at a round
+/// boundary and resumed to the byte-identical final trace.
+pub fn run_fedtiny_with(
+    env: &ExperimentEnv,
+    cfg: &FedTinyConfig,
+    opts: FedTinyRunOptions<'_>,
+) -> Result<RunResult, ServerError> {
     let env = &*env.codec_view(cfg.codec);
     let mut global = env.build_model(&cfg.model);
     let sel_cfg = SelectionConfig {
@@ -118,19 +166,23 @@ pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
     ledger.add_payload_comm(outcome.payload_bytes);
 
     // --- Module 2: sparse FedAvg + progressive pruning.
-    let (history, max_buffer) = run_sparse_rounds(
+    let (history, max_buffer) = run_sparse_rounds_with(
         global.as_mut(),
         &mut mask,
         env,
         cfg.progressive.as_ref(),
         cfg.eval_every,
         &mut ledger,
-    );
+        opts,
+    )?;
 
-    let accuracy = *history.last().expect("at least one evaluation");
+    // A run halted before its first evaluation point has an empty history
+    // (the checkpoint carries the real state); report NaN rather than
+    // panicking out of a Result-returning API.
+    let accuracy = history.last().copied().unwrap_or(f32::NAN);
     let arch = global.arch();
     let densities = densities_from_mask(&mask);
-    RunResult {
+    Ok(RunResult {
         method: method_name(cfg),
         accuracy,
         history,
@@ -145,22 +197,53 @@ pub fn run_fedtiny(env: &ExperimentEnv, cfg: &FedTinyConfig) -> RunResult {
         realized_round_flops: ledger.max_realized_round_flops(),
         train_wall_secs: ledger.total_train_wall_secs(),
         sim_makespan_secs: ledger.sim_makespan_secs(),
+    })
+}
+
+/// Progressive-adjustment hook state that must survive a checkpoint: the
+/// round-robin unit counter and the largest top-k buffer seen. Serialized
+/// as two little-endian `u64`s in the checkpoint's hook-state blob.
+#[derive(Clone, Copy, Debug, Default)]
+struct ProgState {
+    adjustment_counter: usize,
+    max_buffer: usize,
+}
+
+impl ProgState {
+    fn to_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&(self.adjustment_counter as u64).to_le_bytes());
+        out.extend_from_slice(&(self.max_buffer as u64).to_le_bytes());
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        Some(ProgState {
+            adjustment_counter: u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize,
+            max_buffer: u64::from_le_bytes(bytes[8..].try_into().ok()?) as usize,
+        })
     }
 }
 
 /// The shared sparse-FedAvg round loop (also used by ablations): trains,
-/// aggregates, optionally adjusts the mask, and evaluates periodically.
-/// Returns the accuracy history and the largest top-k buffer used.
-pub(crate) fn run_sparse_rounds(
+/// aggregates, optionally adjusts the mask, and evaluates periodically on
+/// the given transport, with optional checkpoint/resume. Returns the
+/// accuracy history and the largest top-k buffer used.
+pub(crate) fn run_sparse_rounds_with(
     global: &mut dyn Model,
     mask: &mut Mask,
     env: &ExperimentEnv,
     progressive: Option<&ProgressiveConfig>,
     eval_every: usize,
     ledger: &mut CostLedger,
-) -> (Vec<f32>, usize) {
-    let mut max_buffer = 0usize;
-    let mut adjustment_counter = 0usize;
+    opts: FedTinyRunOptions<'_>,
+) -> Result<(Vec<f32>, usize), ServerError> {
+    // Interior mutability lets the round hook, the checkpoint saver, and
+    // the checkpoint loader share the counters without aliasing conflicts.
+    let state = RefCell::new(ProgState::default());
     let units = progressive.map(|p| p.units(global, mask.num_layers()));
 
     let history = {
@@ -176,20 +259,43 @@ pub(crate) fn run_sparse_rounds(
             if round < pcfg.start_round || !pcfg.schedule.adjusts_at(round) {
                 return 0.0;
             }
-            let unit = &units[adjustment_counter % units.len()];
+            let mut st = state.borrow_mut();
+            let unit = &units[st.adjustment_counter % units.len()];
             let report = progressive_adjust(model, mask, env, pcfg, unit, round);
             if report.adjusted.is_empty() {
                 return 0.0;
             }
-            adjustment_counter += 1;
-            max_buffer = max_buffer.max(report.max_buffer);
+            st.adjustment_counter += 1;
+            st.max_buffer = st.max_buffer.max(report.max_buffer);
             ledger.add_comm(report.comm_bytes);
             ledger.add_payload_comm(report.payload_bytes);
             report.extra_flops
         };
-        run_federated_rounds(global, mask, env, eval_every, ledger, &mut hook)
+        let hook_save = || state.borrow().to_bytes();
+        let hook_load = |bytes: &[u8]| {
+            if let Some(st) = ProgState::from_bytes(bytes) {
+                *state.borrow_mut() = st;
+            }
+        };
+        run_with(
+            global,
+            mask,
+            env,
+            eval_every,
+            ledger,
+            &mut hook,
+            RunOptions {
+                transport: opts.transport,
+                checkpoint: opts.checkpoint,
+                resume: opts.resume,
+                halt_after: opts.halt_after,
+                hook_save: Some(&hook_save),
+                hook_load: Some(&hook_load),
+            },
+        )?
     };
-    (history, max_buffer)
+    let max_buffer = state.borrow().max_buffer;
+    Ok((history, max_buffer))
 }
 
 fn method_name(cfg: &FedTinyConfig) -> String {

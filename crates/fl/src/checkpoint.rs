@@ -1,0 +1,668 @@
+//! Versioned run checkpoints: stop a federated run at a round boundary and
+//! resume it later to the *same final trace, byte for byte*.
+//!
+//! A [`Checkpoint`] captures everything the remaining rounds depend on:
+//!
+//! - the global model snapshot (flat parameters + BatchNorm statistics),
+//! - the mask and its wire epoch,
+//! - every device's error-feedback residual,
+//! - the full [`CostLedger`] so far (the resumed ledger *continues*, it
+//!   does not restart),
+//! - the virtual clock ("RNG state" is implicit: every stochastic draw in
+//!   this workspace is a pure function of `(seed, round, device)`, so the
+//!   seed plus the round counter *is* the RNG state),
+//! - for buffered runs, the whole event-loop state: in-flight device
+//!   tasks (with the raw local outcomes and the wire context each task
+//!   trained under), per-device task counters, and the event budget.
+//!
+//! The format is a little-endian binary blob with a magic/version header;
+//! floats are stored as raw IEEE-754 bits, which is what makes the
+//! resume-determinism guarantee exact rather than approximate. Loading
+//! validates a fingerprint of the run configuration (seed, fleet size,
+//! rounds, scheduler, codec) and rejects checkpoints from a different run
+//! with a typed error instead of silently diverging.
+
+use crate::bytes::{
+    put_bitvec, put_blob, put_bn_stats, put_bool, put_f32_vec, put_f64, put_u32, put_u64,
+    ByteReader, ReadError,
+};
+use crate::ledger::CostLedger;
+use crate::sched::Scheduler;
+use crate::train::LocalOutcome;
+use crate::ExperimentEnv;
+use ft_nn::ModelSnapshot;
+use ft_sparse::Codec;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"FTCK";
+const VERSION: u32 = 1;
+
+/// Where and how often the server saves checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (written atomically: temp file + rename).
+    pub path: PathBuf,
+    /// Save every this many completed rounds (0 is treated as 1).
+    pub every: usize,
+}
+
+impl CheckpointSpec {
+    /// A spec that saves to `path` after every completed round.
+    pub fn every_round(path: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            every: 1,
+        }
+    }
+
+    /// Whether a checkpoint is due after `rounds_done` completed rounds.
+    pub(crate) fn due(&self, rounds_done: usize) -> bool {
+        rounds_done.is_multiple_of(self.every.max(1))
+    }
+}
+
+/// Why a checkpoint failed to save, load, or match the resuming run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem failure (message carries the `io::Error`).
+    Io(String),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The file is structurally broken.
+    Corrupt(String),
+    /// The checkpoint belongs to a different run (the message names the
+    /// mismatching field).
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint format version {v} is not supported")
+            }
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::Mismatch(field) => {
+                write!(f, "checkpoint belongs to a different run: {field} differs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<ReadError> for CheckpointError {
+    fn from(e: ReadError) -> Self {
+        CheckpointError::Corrupt(e.to_string())
+    }
+}
+
+/// One in-flight device task of a buffered run, as persisted.
+#[derive(Clone, Debug)]
+pub(crate) struct TaskState {
+    pub(crate) device: usize,
+    pub(crate) start_secs: f64,
+    pub(crate) finish_secs: f64,
+    pub(crate) start_version: usize,
+    pub(crate) dropped: bool,
+    pub(crate) analytic_flops: f64,
+    pub(crate) analytic_bytes: f64,
+    pub(crate) download_bytes: f64,
+    /// Mask epoch of the wire context the task trained under.
+    pub(crate) ctx_epoch: u64,
+    /// Aliveness of that context (segments are the model's, stored once).
+    pub(crate) ctx_alive: Vec<bool>,
+    pub(crate) outcome: LocalOutcome,
+}
+
+/// Buffered-scheduler event-loop state, present only in buffered
+/// checkpoints (saved at post-aggregation boundaries, where the arrival
+/// buffer is empty by construction).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BufferedState {
+    pub(crate) last_agg_secs: f64,
+    pub(crate) events: usize,
+    pub(crate) task_counter: Vec<usize>,
+    pub(crate) in_flight: Vec<TaskState>,
+}
+
+/// A resumable snapshot of a federated run at a round boundary.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Run-identity fingerprint, validated on resume.
+    pub(crate) seed: u64,
+    pub(crate) devices: usize,
+    pub(crate) total_rounds: usize,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) codec: Codec,
+    /// The evaluation cadence the run was started with (changes the
+    /// history shape mid-run, so it is part of the fingerprint).
+    pub(crate) eval_every: usize,
+    /// The *full* `FlConfig` as canonical JSON: any hyperparameter change
+    /// (batch size, local epochs, lr schedule, proximal term, …) alters
+    /// the remaining rounds' math and must refuse to resume.
+    pub(crate) cfg_json: String,
+    /// Rounds (or buffered versions) completed so far.
+    pub(crate) rounds_done: usize,
+    pub(crate) epoch: u64,
+    pub(crate) clock_now: f64,
+    pub(crate) history: Vec<f32>,
+    pub(crate) snapshot: ModelSnapshot,
+    pub(crate) mask_layers: Vec<Vec<bool>>,
+    /// The mask most recently *applied* to the model (`apply_mask` in the
+    /// Aggregate phase). A hook may have moved `mask_layers` past it
+    /// without re-applying; the sparse-dispatch state the devices clone
+    /// follows the applied mask, so resume must re-arm exactly this one.
+    pub(crate) applied_mask_layers: Vec<Vec<bool>>,
+    pub(crate) residuals: Vec<Vec<f32>>,
+    pub(crate) ledger: CostLedger,
+    pub(crate) buffered: Option<BufferedState>,
+    /// Opaque method-specific hook state (see
+    /// [`crate::server::RunOptions::hook_save`]).
+    pub(crate) hook_state: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Rounds completed when this checkpoint was taken.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// Simulated seconds elapsed when this checkpoint was taken.
+    pub fn sim_now_secs(&self) -> f64 {
+        self.clock_now
+    }
+
+    /// Canonical JSON fingerprint of a run configuration.
+    pub(crate) fn cfg_fingerprint(cfg: &crate::FlConfig) -> String {
+        serde_json::to_string(cfg).expect("FlConfig serializes")
+    }
+
+    /// Rejects a checkpoint that was produced by a different run than
+    /// `env` (and its evaluation cadence) describes. The named checks give
+    /// readable errors for the common mismatches; the full-config JSON
+    /// fingerprint catches every remaining hyperparameter (batch size,
+    /// local epochs, lr schedule, participation, …) whose change would
+    /// make the resumed rounds silently diverge.
+    pub fn validate_against(
+        &self,
+        env: &ExperimentEnv,
+        eval_every: usize,
+    ) -> Result<(), CheckpointError> {
+        if self.seed != env.cfg.seed {
+            return Err(CheckpointError::Mismatch("seed"));
+        }
+        if self.devices != env.num_devices() {
+            return Err(CheckpointError::Mismatch("device count"));
+        }
+        if self.total_rounds != env.cfg.rounds {
+            return Err(CheckpointError::Mismatch("round count"));
+        }
+        if self.scheduler != env.scheduler {
+            return Err(CheckpointError::Mismatch("scheduler"));
+        }
+        if self.codec != env.cfg.codec {
+            return Err(CheckpointError::Mismatch("codec"));
+        }
+        if self.eval_every != eval_every {
+            return Err(CheckpointError::Mismatch("evaluation cadence"));
+        }
+        if self.cfg_json != Self::cfg_fingerprint(&env.cfg) {
+            return Err(CheckpointError::Mismatch("run configuration"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the checkpoint into its binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_bool(&mut out, self.buffered.is_some());
+        put_u64(&mut out, self.seed);
+        put_u64(&mut out, self.devices as u64);
+        put_u64(&mut out, self.total_rounds as u64);
+        encode_scheduler(&mut out, self.scheduler);
+        encode_codec(&mut out, self.codec);
+        put_u64(&mut out, self.eval_every as u64);
+        put_blob(&mut out, self.cfg_json.as_bytes());
+        put_u64(&mut out, self.rounds_done as u64);
+        put_u64(&mut out, self.epoch);
+        put_f64(&mut out, self.clock_now);
+        put_f32_vec(&mut out, &self.history);
+        put_f32_vec(&mut out, &self.snapshot.params);
+        put_bn_stats(&mut out, &self.snapshot.bn);
+        put_u32(&mut out, self.mask_layers.len() as u32);
+        for layer in &self.mask_layers {
+            put_bitvec(&mut out, layer);
+        }
+        put_u32(&mut out, self.applied_mask_layers.len() as u32);
+        for layer in &self.applied_mask_layers {
+            put_bitvec(&mut out, layer);
+        }
+        put_u32(&mut out, self.residuals.len() as u32);
+        for r in &self.residuals {
+            put_f32_vec(&mut out, r);
+        }
+        self.ledger.encode_ckpt(&mut out);
+        put_blob(&mut out, &self.hook_state);
+        if let Some(b) = &self.buffered {
+            put_f64(&mut out, b.last_agg_secs);
+            put_u64(&mut out, b.events as u64);
+            put_u32(&mut out, b.task_counter.len() as u32);
+            for &c in &b.task_counter {
+                put_u64(&mut out, c as u64);
+            }
+            put_u32(&mut out, b.in_flight.len() as u32);
+            for t in &b.in_flight {
+                put_u64(&mut out, t.device as u64);
+                put_f64(&mut out, t.start_secs);
+                put_f64(&mut out, t.finish_secs);
+                put_u64(&mut out, t.start_version as u64);
+                put_bool(&mut out, t.dropped);
+                put_f64(&mut out, t.analytic_flops);
+                put_f64(&mut out, t.analytic_bytes);
+                put_f64(&mut out, t.download_bytes);
+                put_u64(&mut out, t.ctx_epoch);
+                put_bitvec(&mut out, &t.ctx_alive);
+                put_f32_vec(&mut out, &t.outcome.delta);
+                put_bn_stats(&mut out, &t.outcome.bn);
+                put_u64(&mut out, t.outcome.samples as u64);
+                put_f64(&mut out, t.outcome.realized_flops);
+                put_f64(&mut out, t.outcome.wall_secs);
+            }
+        }
+        out
+    }
+
+    /// Parses a checkpoint from its binary form.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 8 || &bytes[..4] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut r = ByteReader::new(&bytes[4..]);
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let is_buffered = r.boolean()?;
+        let seed = r.u64()?;
+        let devices = r.len_u64()?;
+        let total_rounds = r.len_u64()?;
+        let scheduler = decode_scheduler(&mut r)?;
+        let codec = decode_codec(&mut r)?;
+        let eval_every = r.len_u64()?;
+        let cfg_json = String::from_utf8(r.blob()?)
+            .map_err(|_| CheckpointError::Corrupt("config fingerprint not UTF-8".into()))?;
+        let rounds_done = r.len_u64()?;
+        let epoch = r.u64()?;
+        let clock_now = r.f64()?;
+        let history = r.f32_vec()?;
+        let params = r.f32_vec()?;
+        let bn = r.bn_stats()?;
+        let layers = r.u32()? as usize;
+        let mut mask_layers = Vec::with_capacity(layers.min(4096));
+        for _ in 0..layers {
+            mask_layers.push(r.bitvec()?);
+        }
+        let applied_layers = r.u32()? as usize;
+        let mut applied_mask_layers = Vec::with_capacity(applied_layers.min(4096));
+        for _ in 0..applied_layers {
+            applied_mask_layers.push(r.bitvec()?);
+        }
+        let n_res = r.u32()? as usize;
+        let mut residuals = Vec::with_capacity(n_res.min(65536));
+        for _ in 0..n_res {
+            residuals.push(r.f32_vec()?);
+        }
+        let ledger = CostLedger::decode_ckpt(&mut r)?;
+        let hook_state = r.blob()?;
+        let buffered = if is_buffered {
+            let last_agg_secs = r.f64()?;
+            let events = r.len_u64()?;
+            let n_counters = r.u32()? as usize;
+            let mut task_counter = Vec::with_capacity(n_counters.min(65536));
+            for _ in 0..n_counters {
+                task_counter.push(r.len_u64()?);
+            }
+            let n_tasks = r.u32()? as usize;
+            let mut in_flight = Vec::with_capacity(n_tasks.min(65536));
+            for _ in 0..n_tasks {
+                in_flight.push(TaskState {
+                    device: r.len_u64()?,
+                    start_secs: r.f64()?,
+                    finish_secs: r.f64()?,
+                    start_version: r.len_u64()?,
+                    dropped: r.boolean()?,
+                    analytic_flops: r.f64()?,
+                    analytic_bytes: r.f64()?,
+                    download_bytes: r.f64()?,
+                    ctx_epoch: r.u64()?,
+                    ctx_alive: r.bitvec()?,
+                    outcome: LocalOutcome {
+                        delta: r.f32_vec()?,
+                        bn: r.bn_stats()?,
+                        samples: r.len_u64()?,
+                        realized_flops: r.f64()?,
+                        wall_secs: r.f64()?,
+                    },
+                });
+            }
+            Some(BufferedState {
+                last_agg_secs,
+                events,
+                task_counter,
+                in_flight,
+            })
+        } else {
+            None
+        };
+        if r.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(Checkpoint {
+            seed,
+            devices,
+            total_rounds,
+            scheduler,
+            codec,
+            eval_every,
+            cfg_json,
+            rounds_done,
+            epoch,
+            clock_now,
+            history,
+            snapshot: ModelSnapshot { params, bn },
+            mask_layers,
+            applied_mask_layers,
+            residuals,
+            ledger,
+            buffered,
+            hook_state,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename), so
+    /// a crash mid-save can never leave a torn checkpoint behind. The temp
+    /// name *appends* `.tmp` to the full file name (rather than replacing
+    /// the extension), so sibling checkpoints like `run.synchronous` and
+    /// `run.buffered` never collide on one temp file.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut tmp_name = path
+            .file_name()
+            .ok_or_else(|| CheckpointError::Io("checkpoint path has no file name".into()))?
+            .to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, self.to_bytes()).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Loads a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn encode_scheduler(out: &mut Vec<u8>, s: Scheduler) {
+    match s {
+        Scheduler::Synchronous => out.push(0),
+        Scheduler::Deadline { deadline_secs } => {
+            out.push(1);
+            put_f64(out, deadline_secs);
+        }
+        Scheduler::Buffered { buffer_k } => {
+            out.push(2);
+            put_u64(out, buffer_k as u64);
+        }
+    }
+}
+
+fn decode_scheduler(r: &mut ByteReader<'_>) -> Result<Scheduler, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(Scheduler::Synchronous),
+        1 => Ok(Scheduler::Deadline {
+            deadline_secs: r.f64()?,
+        }),
+        2 => Ok(Scheduler::Buffered {
+            buffer_k: r.len_u64()?,
+        }),
+        t => Err(CheckpointError::Corrupt(format!("scheduler tag {t}"))),
+    }
+}
+
+fn encode_codec(out: &mut Vec<u8>, c: Codec) {
+    match c {
+        Codec::Dense => out.push(0),
+        Codec::MaskCsr => out.push(1),
+        Codec::QuantInt8 => out.push(2),
+        Codec::TopK {
+            k_frac,
+            error_feedback,
+        } => {
+            out.push(3);
+            crate::bytes::put_f32(out, k_frac);
+            put_bool(out, error_feedback);
+        }
+    }
+}
+
+fn decode_codec(r: &mut ByteReader<'_>) -> Result<Codec, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(Codec::Dense),
+        1 => Ok(Codec::MaskCsr),
+        2 => Ok(Codec::QuantInt8),
+        3 => Ok(Codec::TopK {
+            k_frac: r.f32()?,
+            error_feedback: r.boolean()?,
+        }),
+        t => Err(CheckpointError::Corrupt(format!("codec tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_nn::BnStats;
+
+    fn sample_checkpoint(buffered: bool) -> Checkpoint {
+        Checkpoint {
+            seed: 42,
+            devices: 3,
+            total_rounds: 4,
+            scheduler: if buffered {
+                Scheduler::Buffered { buffer_k: 2 }
+            } else {
+                Scheduler::Deadline { deadline_secs: 2.5 }
+            },
+            codec: Codec::TopK {
+                k_frac: 0.1,
+                error_feedback: true,
+            },
+            eval_every: 1,
+            cfg_json: "{}".into(),
+            rounds_done: 2,
+            epoch: 3,
+            clock_now: 123.456,
+            history: vec![0.25, 0.5],
+            snapshot: ModelSnapshot {
+                params: vec![1.0, -2.5, 0.0],
+                bn: vec![BnStats {
+                    mean: vec![0.1],
+                    var: vec![0.9],
+                }],
+            },
+            mask_layers: vec![vec![true, false, true]],
+            applied_mask_layers: vec![vec![true, true, true]],
+            residuals: vec![vec![0.5], Vec::new(), vec![-1.0, 2.0]],
+            ledger: {
+                let mut l = CostLedger::new();
+                l.record_round_flops(1e9);
+                l.record_sim_round(5.5);
+                l.record_payload_round(100.0, 50.0);
+                l.record_realized_round(9e8, 0.1);
+                l.add_comm(4096.0);
+                l.record_timeline(crate::ledger::TimelineEvent {
+                    device: 1,
+                    round: 0,
+                    start_secs: 0.0,
+                    finish_secs: 5.5,
+                    applied: true,
+                    staleness: 2,
+                });
+                l
+            },
+            buffered: buffered.then(|| BufferedState {
+                last_agg_secs: 7.5,
+                events: 11,
+                task_counter: vec![1, 2, 3],
+                in_flight: vec![TaskState {
+                    device: 2,
+                    start_secs: 1.0,
+                    finish_secs: 9.0,
+                    start_version: 1,
+                    dropped: false,
+                    analytic_flops: 1e8,
+                    analytic_bytes: 2048.0,
+                    download_bytes: 1024.0,
+                    ctx_epoch: 2,
+                    ctx_alive: vec![true, true, false],
+                    outcome: LocalOutcome {
+                        delta: vec![0.5, -0.5, 0.0],
+                        bn: Vec::new(),
+                        samples: 8,
+                        realized_flops: 9e7,
+                        wall_secs: 0.01,
+                    },
+                }],
+            }),
+            hook_state: vec![1, 2, 3, 4],
+        }
+    }
+
+    fn assert_roundtrip(ck: &Checkpoint) {
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).expect("roundtrip");
+        assert_eq!(back.seed, ck.seed);
+        assert_eq!(back.rounds_done, ck.rounds_done);
+        assert_eq!(back.scheduler, ck.scheduler);
+        assert_eq!(back.codec, ck.codec);
+        assert_eq!(back.eval_every, ck.eval_every);
+        assert_eq!(back.cfg_json, ck.cfg_json);
+        assert_eq!(back.clock_now.to_bits(), ck.clock_now.to_bits());
+        assert_eq!(back.history, ck.history);
+        assert_eq!(back.snapshot, ck.snapshot);
+        assert_eq!(back.mask_layers, ck.mask_layers);
+        assert_eq!(back.applied_mask_layers, ck.applied_mask_layers);
+        assert_eq!(back.residuals, ck.residuals);
+        assert_eq!(back.hook_state, ck.hook_state);
+        assert_eq!(back.ledger.sim_secs_history(), ck.ledger.sim_secs_history());
+        assert_eq!(back.ledger.timeline(), ck.ledger.timeline());
+        assert_eq!(back.buffered.is_some(), ck.buffered.is_some());
+        if let (Some(a), Some(b)) = (&back.buffered, &ck.buffered) {
+            assert_eq!(a.task_counter, b.task_counter);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.in_flight.len(), b.in_flight.len());
+            assert_eq!(a.in_flight[0].outcome.delta, b.in_flight[0].outcome.delta);
+            assert_eq!(a.in_flight[0].ctx_alive, b.in_flight[0].ctx_alive);
+        }
+    }
+
+    #[test]
+    fn ckpt_roundtrips_barrier_and_buffered() {
+        assert_roundtrip(&sample_checkpoint(false));
+        assert_roundtrip(&sample_checkpoint(true));
+    }
+
+    #[test]
+    fn ckpt_rejects_bad_magic_version_and_truncation() {
+        let bytes = sample_checkpoint(false).to_bytes();
+        assert!(matches!(
+            Checkpoint::from_bytes(b"NOPE1234"),
+            Err(CheckpointError::BadMagic)
+        ));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&wrong_version),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+        for cut in 8..bytes.len() {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes parsed"
+            );
+        }
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            Checkpoint::from_bytes(&trailing),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn ckpt_validates_run_fingerprint() {
+        let mut ck = sample_checkpoint(false);
+        let mut env = ExperimentEnv::tiny_for_tests(42);
+        env.cfg.rounds = 4;
+        env.scheduler = Scheduler::Deadline { deadline_secs: 2.5 };
+        env.cfg.codec = Codec::TopK {
+            k_frac: 0.1,
+            error_feedback: true,
+        };
+        ck.cfg_json = Checkpoint::cfg_fingerprint(&env.cfg);
+        assert_eq!(ck.validate_against(&env, 1), Ok(()));
+        let mut other = env.clone();
+        other.cfg.seed = 43;
+        assert_eq!(
+            ck.validate_against(&other, 1),
+            Err(CheckpointError::Mismatch("seed"))
+        );
+        let mut other = env.clone();
+        other.scheduler = Scheduler::Synchronous;
+        assert_eq!(
+            ck.validate_against(&other, 1),
+            Err(CheckpointError::Mismatch("scheduler"))
+        );
+        let mut other = env.clone();
+        other.cfg.codec = Codec::Dense;
+        assert_eq!(
+            ck.validate_against(&other, 1),
+            Err(CheckpointError::Mismatch("codec"))
+        );
+        // A different evaluation cadence would change the history shape.
+        assert_eq!(
+            ck.validate_against(&env, 2),
+            Err(CheckpointError::Mismatch("evaluation cadence"))
+        );
+        // Any other hyperparameter change is caught by the full-config
+        // fingerprint: the resumed rounds would silently diverge.
+        let mut other = env;
+        other.cfg.batch_size += 1;
+        assert_eq!(
+            ck.validate_against(&other, 1),
+            Err(CheckpointError::Mismatch("run configuration"))
+        );
+    }
+
+    #[test]
+    fn ckpt_save_load_via_file() {
+        let dir = std::env::temp_dir().join("ft_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("run.ckpt");
+        let ck = sample_checkpoint(true);
+        ck.save(&path).expect("save");
+        let back = Checkpoint::load(&path).expect("load");
+        assert_eq!(back.rounds_done, ck.rounds_done);
+        assert_eq!(back.snapshot, ck.snapshot);
+        std::fs::remove_file(&path).ok();
+    }
+}

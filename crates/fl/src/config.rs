@@ -4,6 +4,63 @@ use ft_nn::optim::SgdConfig;
 use ft_sparse::Codec;
 use serde::{Deserialize, Serialize};
 
+/// Hard cap on [`FlConfig::threads`]: a worker pool beyond this is always a
+/// typo, and actually spawning it would exhaust the host before any kernel
+/// runs.
+pub const MAX_THREADS: usize = 4096;
+
+/// A structurally invalid run configuration, rejected at construction
+/// instead of surfacing as a panic or a hang deep inside the round loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `devices == 0`: there is no fleet to federate over.
+    NoDevices,
+    /// `batch_size == 0`: local SGD could never form a mini-batch.
+    ZeroBatchSize,
+    /// `local_epochs == 0`: devices would upload untrained deltas forever.
+    ZeroLocalEpochs,
+    /// `threads` beyond [`MAX_THREADS`] — spawning such a pool stalls the
+    /// host long before any round completes.
+    TooManyThreads {
+        /// The rejected thread count.
+        threads: usize,
+    },
+    /// `participation` is NaN (a silent empty-cohort generator).
+    BadParticipation,
+    /// `Scheduler::Buffered { buffer_k: 0 }`: the server would aggregate
+    /// nothing, forever.
+    ZeroBufferK,
+    /// `Scheduler::Deadline` with a negative or non-finite deadline: every
+    /// round would be cut before any device can finish.
+    BadDeadline {
+        /// The rejected deadline, in simulated seconds.
+        deadline_secs: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoDevices => write!(f, "devices must be at least 1"),
+            ConfigError::ZeroBatchSize => write!(f, "batch_size must be at least 1"),
+            ConfigError::ZeroLocalEpochs => write!(f, "local_epochs must be at least 1"),
+            ConfigError::TooManyThreads { threads } => {
+                write!(f, "threads = {threads} exceeds the {MAX_THREADS} cap")
+            }
+            ConfigError::BadParticipation => write!(f, "participation must not be NaN"),
+            ConfigError::ZeroBufferK => write!(f, "buffer_k must be at least 1"),
+            ConfigError::BadDeadline { deadline_secs } => {
+                write!(
+                    f,
+                    "deadline_secs = {deadline_secs} must be finite and non-negative"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Shared federated-learning knobs (Sec. IV-A1 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlConfig {
@@ -49,6 +106,32 @@ pub struct FlConfig {
 }
 
 impl FlConfig {
+    /// Structural validation, run by [`crate::ExperimentEnv::try_new`] and
+    /// the server loop before anything expensive happens: rejects configs
+    /// that could only panic or hang downstream (`devices == 0`,
+    /// `batch_size == 0`, `local_epochs == 0`, NaN participation, or a
+    /// worker pool beyond [`MAX_THREADS`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.devices == 0 {
+            return Err(ConfigError::NoDevices);
+        }
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if self.local_epochs == 0 {
+            return Err(ConfigError::ZeroLocalEpochs);
+        }
+        if self.threads > MAX_THREADS {
+            return Err(ConfigError::TooManyThreads {
+                threads: self.threads,
+            });
+        }
+        if self.participation.is_nan() {
+            return Err(ConfigError::BadParticipation);
+        }
+        Ok(())
+    }
+
     /// The run's worker pool: [`threads`](Self::threads) resolved through
     /// [`ft_runtime::resolve_threads`] (explicit count, else `FT_THREADS`,
     /// else available parallelism).
@@ -130,6 +213,54 @@ impl FlConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_degenerates() {
+        for cfg in [
+            FlConfig::paper_default(),
+            FlConfig::bench_default(),
+            FlConfig::tiny_for_tests(),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+        let base = FlConfig::tiny_for_tests();
+        let mut c = base;
+        c.devices = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoDevices));
+        let mut c = base;
+        c.batch_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBatchSize));
+        let mut c = base;
+        c.local_epochs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLocalEpochs));
+        let mut c = base;
+        c.threads = MAX_THREADS + 1;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::TooManyThreads {
+                threads: MAX_THREADS + 1
+            })
+        );
+        let mut c = base;
+        c.threads = MAX_THREADS; // at the cap is still legal
+        assert_eq!(c.validate(), Ok(()));
+        let mut c = base;
+        c.participation = f32::NAN;
+        assert_eq!(c.validate(), Err(ConfigError::BadParticipation));
+    }
+
+    #[test]
+    fn config_errors_display_their_field() {
+        assert!(ConfigError::TooManyThreads { threads: 9999 }
+            .to_string()
+            .contains("9999"));
+        assert!(ConfigError::BadDeadline {
+            deadline_secs: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(ConfigError::ZeroBufferK.to_string().contains("buffer_k"));
+    }
 
     #[test]
     fn presets_are_sane() {

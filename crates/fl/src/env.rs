@@ -41,8 +41,18 @@ impl ExperimentEnv {
     ///
     /// # Panics
     ///
-    /// Panics if the generated corpus has fewer samples than devices.
+    /// Panics if `cfg` fails [`FlConfig::validate`] or the generated corpus
+    /// has fewer samples than devices. Use [`try_new`](Self::try_new) for a
+    /// typed error instead of a panic.
     pub fn new(synth: SynthConfig, cfg: FlConfig) -> Self {
+        Self::try_new(synth, cfg).unwrap_or_else(|e| panic!("invalid FlConfig: {e}"))
+    }
+
+    /// [`new`](Self::new) with configuration validation surfaced as a typed
+    /// [`ConfigError`](crate::ConfigError) instead of a downstream panic or
+    /// hang.
+    pub fn try_new(synth: SynthConfig, cfg: FlConfig) -> Result<Self, crate::ConfigError> {
+        cfg.validate()?;
         let (train, test) = synth.generate();
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9a97_1710);
         let parts_idx = dirichlet_partition(
@@ -55,7 +65,7 @@ impl ExperimentEnv {
         let parts: Vec<Dataset> = parts_idx.iter().map(|idx| train.subset(idx)).collect();
         // Server public data: an iid sample of ~10% of the corpus.
         let server_public = train.dev_split(&mut rng, 0.1);
-        ExperimentEnv {
+        Ok(ExperimentEnv {
             parts,
             test,
             server_public,
@@ -63,7 +73,7 @@ impl ExperimentEnv {
             profile: synth.profile,
             fleet: DeviceProfile::fleet_uniform(cfg.devices),
             scheduler: Scheduler::Synchronous,
-        }
+        })
     }
 
     /// Replaces the simulated device fleet (builder style).
@@ -190,6 +200,28 @@ mod tests {
         assert_eq!(env.device_profile(5), DeviceProfile::slow());
         env.fleet.clear();
         assert_eq!(env.device_profile(2), DeviceProfile::uniform());
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_with_typed_error() {
+        let mut cfg = FlConfig::tiny_for_tests();
+        cfg.threads = crate::MAX_THREADS + 1;
+        let synth = SynthConfig::tiny_for_tests(DatasetProfile::Cifar10, 0);
+        match ExperimentEnv::try_new(synth, cfg) {
+            Err(crate::ConfigError::TooManyThreads { threads }) => {
+                assert_eq!(threads, crate::MAX_THREADS + 1);
+            }
+            other => panic!("expected TooManyThreads, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FlConfig")]
+    fn new_panics_with_readable_message_on_invalid_config() {
+        let mut cfg = FlConfig::tiny_for_tests();
+        cfg.batch_size = 0;
+        let synth = SynthConfig::tiny_for_tests(DatasetProfile::Cifar10, 0);
+        let _ = ExperimentEnv::new(synth, cfg);
     }
 
     #[test]

@@ -247,6 +247,74 @@ impl CostLedger {
     pub fn rounds(&self) -> usize {
         self.round_flops.len()
     }
+
+    /// Serializes the full ledger into a checkpoint blob (bit-exact floats;
+    /// see `ft_fl::checkpoint`). A resumed run *continues* this ledger, so
+    /// every axis — analytic, realized, measured payload, simulated time,
+    /// and the per-device timeline — must survive the round-trip exactly.
+    pub(crate) fn encode_ckpt(&self, out: &mut Vec<u8>) {
+        use crate::bytes::{put_bool, put_f64, put_f64_vec, put_u64};
+        put_f64_vec(out, &self.round_flops);
+        put_f64_vec(out, &self.realized_flops);
+        put_f64_vec(out, &self.wall_secs);
+        put_f64_vec(out, &self.sim_secs);
+        put_f64(out, self.comm_bytes);
+        put_f64_vec(out, &self.payload_down_bytes);
+        put_f64_vec(out, &self.payload_up_bytes);
+        put_f64(out, self.payload_extra_bytes);
+        put_f64(out, self.extra_flops);
+        put_u64(out, self.zero_progress as u64);
+        crate::bytes::put_u32(out, self.timeline.len() as u32);
+        for e in &self.timeline {
+            put_u64(out, e.device as u64);
+            put_u64(out, e.round as u64);
+            put_f64(out, e.start_secs);
+            put_f64(out, e.finish_secs);
+            put_bool(out, e.applied);
+            put_u64(out, e.staleness as u64);
+        }
+    }
+
+    /// Parses a ledger written by [`encode_ckpt`](Self::encode_ckpt).
+    pub(crate) fn decode_ckpt(
+        r: &mut crate::bytes::ByteReader<'_>,
+    ) -> Result<Self, crate::bytes::ReadError> {
+        let round_flops = r.f64_vec()?;
+        let realized_flops = r.f64_vec()?;
+        let wall_secs = r.f64_vec()?;
+        let sim_secs = r.f64_vec()?;
+        let comm_bytes = r.f64()?;
+        let payload_down_bytes = r.f64_vec()?;
+        let payload_up_bytes = r.f64_vec()?;
+        let payload_extra_bytes = r.f64()?;
+        let extra_flops = r.f64()?;
+        let zero_progress = r.len_u64()?;
+        let n = r.u32()? as usize;
+        let mut timeline = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            timeline.push(TimelineEvent {
+                device: r.len_u64()?,
+                round: r.len_u64()?,
+                start_secs: r.f64()?,
+                finish_secs: r.f64()?,
+                applied: r.boolean()?,
+                staleness: r.len_u64()?,
+            });
+        }
+        Ok(CostLedger {
+            round_flops,
+            realized_flops,
+            wall_secs,
+            sim_secs,
+            comm_bytes,
+            payload_down_bytes,
+            payload_up_bytes,
+            payload_extra_bytes,
+            extra_flops,
+            zero_progress,
+            timeline,
+        })
+    }
 }
 
 /// The uniform outcome of one federated pruning run, shared by FedTiny and

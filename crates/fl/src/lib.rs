@@ -21,6 +21,15 @@
 //! - [`Scheduler`] — how the server closes rounds over the environment's
 //!   simulated [`DeviceProfile`] fleet: synchronous barrier, deadline cut,
 //!   or FedBuff-style buffered asynchrony, all on a virtual clock.
+//! - [`server`] — the transport-agnostic round state machine (Broadcast →
+//!   Collect → Aggregate → Advance) behind every scheduler, with
+//!   checkpoint/resume ([`Checkpoint`], [`CheckpointSpec`]) that reproduces
+//!   an interrupted run's final trace byte for byte.
+//! - [`transport`] — how updates reach the server: [`InProcess`] (function
+//!   calls, the golden-trace-pinned classic), [`SimTime`] (every update
+//!   crosses a real in-memory frame boundary), and [`TcpTransport`] /
+//!   [`run_tcp_device`] (length-prefixed frames over `std::net` sockets —
+//!   same seed, bit-identical final model).
 //! - [`evaluate`] — top-1 accuracy of the global model on the test split.
 //! - [`CostLedger`] / [`RunResult`] — per-round FLOPs/communication records,
 //!   simulated fleet makespans and per-device [`TimelineEvent`]s, and the
@@ -38,20 +47,25 @@
 //! ```
 
 mod aggregate;
+mod bytes;
+mod checkpoint;
 mod config;
 mod env;
 mod ledger;
 mod rounds;
 mod sched;
+pub mod server;
 mod spec;
 mod train;
+pub mod transport;
 
 pub use aggregate::{
     aggregate_bn_stats, fedavg, fedavg_or_previous, fedavg_payloads, staleness_fedavg,
     staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg,
     try_fedavg_payloads,
 };
-pub use config::FlConfig;
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec};
+pub use config::{ConfigError, FlConfig, MAX_THREADS};
 pub use env::ExperimentEnv;
 pub use ft_metrics::{DeviceProfile, SimClock};
 pub use ft_runtime::{resolve_threads, Runtime};
@@ -61,8 +75,12 @@ pub use rounds::{no_hook, run_federated_rounds, schedule_fits, RoundHook};
 pub use sched::{
     broadcast_payload_len, device_round_cost, device_sim_secs, fleet_spread_deadline, Scheduler,
 };
+pub use server::{run_with, RoundPhase, RunOptions, ServerError};
 pub use spec::ModelSpec;
 pub use train::{
     device_rng_seed, eval_loss, evaluate, local_train, local_train_prox, train_devices_parallel,
     train_one_device, DeviceUpdate, WireSpec,
+};
+pub use transport::{
+    run_tcp_device, InProcess, RoundRequest, SimTime, TcpTransport, Transport, TransportError,
 };

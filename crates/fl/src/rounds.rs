@@ -3,7 +3,6 @@
 use crate::config::FlConfig;
 use crate::env::ExperimentEnv;
 use crate::ledger::CostLedger;
-use crate::sched::{run_barrier_rounds, run_buffered_rounds, Scheduler};
 use ft_nn::Model;
 use ft_sparse::Mask;
 use rand::seq::SliceRandom;
@@ -34,6 +33,12 @@ pub type RoundHook<'a> = dyn FnMut(&mut dyn Model, &mut Mask, usize, &mut CostLe
 /// bytes, realized execution costs, and the round's *simulated* fleet
 /// makespan are recorded in `ledger`. Returns the accuracy history (always
 /// nonempty).
+///
+/// This is the classic in-process entry point: a thin wrapper over the
+/// transport-agnostic round state machine in [`crate::server`] running on
+/// the [`crate::transport::InProcess`] transport. Use
+/// [`crate::server::run_with`] directly to pick another transport
+/// (`SimTime`, TCP) or to checkpoint/resume the run.
 pub fn run_federated_rounds(
     global: &mut dyn Model,
     mask: &mut Mask,
@@ -42,23 +47,7 @@ pub fn run_federated_rounds(
     ledger: &mut CostLedger,
     hook: &mut RoundHook<'_>,
 ) -> Vec<f32> {
-    match env.scheduler {
-        Scheduler::Synchronous => {
-            run_barrier_rounds(global, mask, env, eval_every, ledger, hook, None)
-        }
-        Scheduler::Deadline { deadline_secs } => run_barrier_rounds(
-            global,
-            mask,
-            env,
-            eval_every,
-            ledger,
-            hook,
-            Some(deadline_secs),
-        ),
-        Scheduler::Buffered { buffer_k } => {
-            run_buffered_rounds(global, mask, env, eval_every, ledger, hook, buffer_k)
-        }
-    }
+    crate::server::run_in_process(global, mask, env, eval_every, ledger, hook)
 }
 
 /// Samples the participating device indices for one round: all devices at

@@ -35,21 +35,11 @@
 //! upload's extra index bytes (mask epoch drifted mid-flight) appear in the
 //! ledger but not in its link time.
 
-use crate::aggregate::{
-    staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg_payloads,
-};
 use crate::env::ExperimentEnv;
-use crate::ledger::{CostLedger, TimelineEvent};
-use crate::rounds::{sample_cohort, RoundHook};
-use crate::train::{
-    evaluate, train_devices_parallel, train_devices_raw_parallel, train_one_device_raw,
-    DeviceUpdate, LocalOutcome, WireSpec,
-};
-use ft_metrics::{
-    densities_from_mask, sparse_model_bytes, training_flops, DeviceProfile, SimClock,
-};
-use ft_nn::{apply_mask, flat_params, set_flat_params, wire_ctx, ArchInfo, Model};
-use ft_sparse::{Codec, Mask, Payload, WireCtx};
+use crate::train::DeviceUpdate;
+use ft_metrics::{sparse_model_bytes, training_flops, DeviceProfile};
+use ft_nn::ArchInfo;
+use ft_sparse::{Codec, Payload, WireCtx};
 use serde::{Deserialize, Serialize};
 
 /// Round-closing policy over the simulated fleet.
@@ -95,6 +85,30 @@ impl Scheduler {
             Scheduler::Synchronous => "synchronous",
             Scheduler::Deadline { .. } => "deadline",
             Scheduler::Buffered { .. } => "buffered",
+        }
+    }
+
+    /// Structural validation, enforced before the round loop starts:
+    /// rejects `Buffered { buffer_k: 0 }` (the server would wait forever
+    /// for an aggregate that can never form) and negative or non-finite
+    /// deadlines (every round would be cut before any device finishes).
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        match *self {
+            Scheduler::Synchronous => Ok(()),
+            Scheduler::Deadline { deadline_secs } => {
+                if deadline_secs.is_finite() && deadline_secs >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(crate::config::ConfigError::BadDeadline { deadline_secs })
+                }
+            }
+            Scheduler::Buffered { buffer_k } => {
+                if buffer_k == 0 {
+                    Err(crate::config::ConfigError::ZeroBufferK)
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 }
@@ -180,491 +194,14 @@ pub(crate) fn survivor_payload_updates<'a>(
         .collect()
 }
 
-/// Barrier-style rounds (Synchronous, and Deadline when `deadline` is
-/// `Some`): the whole cohort trains from the same global, then the server
-/// aggregates whichever updates survived the fleet (dropout, deadline).
-pub(crate) fn run_barrier_rounds(
-    global: &mut dyn Model,
-    mask: &mut Mask,
-    env: &ExperimentEnv,
-    eval_every: usize,
-    ledger: &mut CostLedger,
-    hook: &mut RoundHook<'_>,
-    deadline: Option<f64>,
-) -> Vec<f32> {
-    let arch = global.arch();
-    let max_samples = env.parts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
-    let codec = env.cfg.codec;
-    // One worker pool for the whole run: device fan-out and (server-side)
-    // kernel parallelism share its thread budget. Bit-identical to the
-    // sequential path by the runtime's determinism contract.
-    let rt = env.cfg.runtime();
-    global.set_runtime(rt);
-    let mut clock = SimClock::new(env.cfg.seed);
-    let mut history = Vec::new();
-    // Wire epoch of the current mask: bumped whenever the hook changes the
-    // mask, so `MaskCsr` payloads know when indices must travel.
-    let mut epoch: u64 = 0;
-    // Per-device error-feedback accumulators (TopK); empty until first use.
-    let mut residuals: Vec<Vec<f32>> = vec![Vec::new(); env.num_devices()];
-
-    for round in 0..env.cfg.rounds {
-        // Partial participation: sample the round's cohort (all devices at
-        // participation = 1.0, the paper's setting).
-        let cohort = sample_cohort(env, round);
-        let parts: Vec<ft_data::Dataset> = cohort.iter().map(|&k| env.parts[k].clone()).collect();
-
-        // The round's anchor and wire context. Within a barrier round the
-        // server and every device share the mask epoch (the mask only moves
-        // in the post-aggregation hook), so uploads are values-only.
-        let ctx = wire_ctx(global, mask, epoch);
-        let anchor = flat_params(global);
-        let broadcast_len = broadcast_payload_len(codec, &ctx) as f64;
-        let wire = WireSpec {
-            codec,
-            ctx: &ctx,
-            peer_epoch: epoch,
-        };
-        let mut cohort_residuals: Vec<Vec<f32>> = cohort
-            .iter()
-            .map(|&k| std::mem::take(&mut residuals[k]))
-            .collect();
-        // Encoding consumes transmitted mass from the error-feedback
-        // residuals; keep the pre-round state so a device whose upload is
-        // then dropped or cut at the deadline can roll back (a lost upload
-        // must leave the residual untouched, matching the buffered loop).
-        let residuals_before: Vec<Vec<f32>> = if codec.uses_error_feedback() {
-            cohort_residuals.clone()
-        } else {
-            Vec::new()
-        };
-        let updates = train_devices_parallel(
-            global,
-            &parts,
-            Some(mask),
-            &env.cfg,
-            round,
-            &wire,
-            &mut cohort_residuals,
-            &rt,
-        );
-        for (taken, &k) in cohort_residuals.iter_mut().zip(cohort.iter()) {
-            residuals[k] = std::mem::take(taken);
-        }
-
-        // Simulated fleet: finish time and survival of every cohort
-        // member, with link time billed at the *measured* wire bytes
-        // (broadcast down + encoded upload back).
-        let densities = densities_from_mask(mask);
-        let per_sample_flops = training_flops(&arch, &densities);
-        let analytic_bytes = 2.0 * sparse_model_bytes(&arch, &densities);
-        let round_start = clock.now();
-        let mut finish = Vec::with_capacity(cohort.len());
-        let mut alive = Vec::with_capacity(cohort.len());
-        let mut max_upload = 0.0f64;
-        for (u, &k) in updates.iter().zip(cohort.iter()) {
-            let profile = env.device_profile(k);
-            let flops = per_sample_flops * u.samples as f64 * env.cfg.local_epochs as f64;
-            let upload = u.payload.encoded_len(&ctx) as f64;
-            max_upload = max_upload.max(upload);
-            let secs = clock.device_secs(&profile, flops, broadcast_len + upload, round, k);
-            let timely = deadline.is_none_or(|d| secs <= d);
-            let dropped = clock.dropout_hits(&profile, round, k);
-            finish.push(secs);
-            alive.push(timely && !dropped);
-        }
-        // Lost uploads keep their pre-round error-feedback residual: the
-        // mass the encode step drained never reached the server.
-        if codec.uses_error_feedback() {
-            for ((&k, &a), before) in cohort.iter().zip(alive.iter()).zip(residuals_before) {
-                if !a {
-                    residuals[k] = before;
-                }
-            }
-        }
-
-        // Aggregate the survivors straight from their payloads; an empty
-        // (or zero-weight) cohort leaves the global untouched and records
-        // a zero-progress round.
-        let surviving = survivor_payload_updates(&updates, &alive);
-        let progressed = match try_fedavg_payloads(&surviving, &anchor, &ctx) {
-            Some(new_params) => {
-                set_flat_params(global, &new_params);
-                let bn_updates: Vec<_> = updates
-                    .iter()
-                    .zip(alive.iter())
-                    .filter(|(_, &a)| a)
-                    .map(|(u, _)| (u.bn.clone(), u.samples as f64))
-                    .collect();
-                if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
-                    for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
-                        *dst = src.clone();
-                    }
-                }
-                true
-            }
-            None => {
-                ledger.record_zero_progress();
-                false
-            }
-        };
-        apply_mask(global, mask);
-
-        for ((&k, &secs), &a) in cohort.iter().zip(finish.iter()).zip(alive.iter()) {
-            ledger.record_timeline(TimelineEvent {
-                device: k,
-                round,
-                start_secs: round_start,
-                finish_secs: round_start + secs,
-                applied: progressed && a,
-                staleness: 0,
-            });
-        }
-
-        // The round's simulated span: slowest cohort member, cut at the
-        // deadline when one is set.
-        let slowest = finish.iter().cloned().fold(0.0, f64::max);
-        let span = match deadline {
-            Some(d) => slowest.min(d),
-            None => slowest,
-        };
-        clock.advance_by(span);
-        ledger.record_sim_round(span);
-
-        // Cost accounting: analytic (paper-style, the heaviest device at
-        // the round's densities — paid even by devices that were dropped)
-        // next to the measured payload bytes and the realized execution
-        // costs the devices reported.
-        let mut round_flops = per_sample_flops * max_samples * env.cfg.local_epochs as f64;
-        ledger.add_comm(analytic_bytes);
-        ledger.record_payload_round(broadcast_len, max_upload);
-        let max_realized = updates.iter().map(|u| u.realized_flops).fold(0.0, f64::max);
-        let round_wall = if env.cfg.parallel {
-            updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
-        } else {
-            updates.iter().map(|u| u.wall_secs).sum()
-        };
-        ledger.record_realized_round(max_realized, round_wall);
-
-        let mask_before_hook = mask.clone();
-        round_flops += hook(global, mask, round, ledger);
-        if *mask != mask_before_hook {
-            epoch += 1;
-        }
-        ledger.record_round_flops(round_flops);
-
-        if should_eval(eval_every, round, env.cfg.rounds) {
-            history.push(evaluate(global, &env.test));
-        }
-    }
-    if history.is_empty() {
-        history.push(evaluate(global, &env.test));
-    }
-    history
-}
-
-/// One in-flight device task in the buffered event loop. The trained delta
-/// stays *device-local* (a [`LocalOutcome`], not yet encoded): the wire
-/// encoding happens at arrival time, when the server's current mask epoch
-/// decides whether a `MaskCsr` upload can drop its indices.
-struct InFlight {
-    device: usize,
-    start_secs: f64,
-    finish_secs: f64,
-    start_version: usize,
-    dropped: bool,
-    analytic_flops: f64,
-    analytic_bytes: f64,
-    /// Measured broadcast bytes the device downloaded at task start.
-    download_bytes: f64,
-    /// Wire context (mask + epoch) the device trained under — shared with
-    /// every other task launched under the same mask.
-    ctx: std::sync::Arc<WireCtx>,
-    outcome: LocalOutcome,
-}
-
-/// FedBuff-style buffered asynchronous rounds: an event loop over the
-/// virtual clock. Every device trains continuously; the server aggregates
-/// (staleness-weighted) once `buffer_k` updates arrive, which defines one
-/// "round". Devices restart immediately from the newest global, so a slow
-/// device's update can be several versions stale when it lands.
-pub(crate) fn run_buffered_rounds(
-    global: &mut dyn Model,
-    mask: &mut Mask,
-    env: &ExperimentEnv,
-    eval_every: usize,
-    ledger: &mut CostLedger,
-    hook: &mut RoundHook<'_>,
-    buffer_k: usize,
-) -> Vec<f32> {
-    let mut history = Vec::new();
-    let n = env.num_devices();
-    if env.cfg.rounds == 0 || n == 0 {
-        history.push(evaluate(global, &env.test));
-        return history;
-    }
-    let arch = global.arch();
-    let codec = env.cfg.codec;
-    // The run's shared worker pool (see the barrier loop).
-    let rt = env.cfg.runtime();
-    global.set_runtime(rt);
-    let k_needed = buffer_k.clamp(1, n);
-    let mut clock = SimClock::new(env.cfg.seed);
-    let mut version = 0usize;
-    let mut task_counter = vec![0usize; n];
-    let mut last_agg_secs = 0.0f64;
-    // Wire epoch of the server's current mask (bumped on hook changes) and
-    // the per-device error-feedback accumulators.
-    let mut epoch: u64 = 0;
-    let mut residuals: Vec<Vec<f32>> = vec![Vec::new(); n];
-
-    // Mask densities and wire context, refreshed only when the mask can
-    // change (after an aggregation's hook) rather than on every event.
-    let mut densities = densities_from_mask(mask);
-    let mut ctx = std::sync::Arc::new(wire_ctx(global, mask, epoch));
-
-    // Measured wire bytes of one task launched under `ctx`: broadcast down
-    // plus the (shared-epoch) encoded upload back. The upload estimate is
-    // exact unless the mask moves while the task is in flight.
-    let task_bytes = |codec: Codec, ctx: &WireCtx| -> (f64, f64) {
-        let down = broadcast_payload_len(codec, ctx) as f64;
-        let up = codec.encoded_len_for(ctx, true) as f64;
-        (down, up)
-    };
-
-    // Initial wave: every device starts at t = 0 from version 0 with the
-    // same `(seed, 0, device)` RNG streams as a synchronous first round.
-    let mut in_flight: Vec<InFlight> = {
-        let outcomes = train_devices_raw_parallel(global, &env.parts, Some(mask), &env.cfg, 0, &rt);
-        outcomes
-            .into_iter()
-            .enumerate()
-            .map(|(k, outcome)| {
-                let profile = env.device_profile(k);
-                let (flops, analytic_bytes) =
-                    device_round_cost(&arch, &densities, outcome.samples, env.cfg.local_epochs);
-                let (down, up) = task_bytes(codec, &ctx);
-                let secs = clock.device_secs(&profile, flops, down + up, task_counter[k], k);
-                let dropped = clock.dropout_hits(&profile, task_counter[k], k);
-                task_counter[k] += 1;
-                InFlight {
-                    device: k,
-                    start_secs: 0.0,
-                    finish_secs: secs,
-                    start_version: 0,
-                    dropped,
-                    analytic_flops: flops,
-                    analytic_bytes,
-                    download_bytes: down,
-                    ctx: ctx.clone(),
-                    outcome,
-                }
-            })
-            .collect()
-    };
-
-    // Safety valve: with pathological dropout (every update lost) the
-    // buffer can never fill; cap the event count instead of spinning.
-    let max_events = env.cfg.rounds.max(1) * n * 64;
-    let mut events = 0usize;
-    // Buffered arrivals awaiting aggregation: `event_idx` points at the
-    // arrival's timeline entry, flipped to applied once it aggregates.
-    struct Buffered {
-        update: DeviceUpdate,
-        staleness: usize,
-        analytic_flops: f64,
-        analytic_bytes: f64,
-        download_bytes: f64,
-        upload_bytes: f64,
-        event_idx: usize,
-    }
-    let mut buffer: Vec<Buffered> = Vec::new();
-
-    while version < env.cfg.rounds && events < max_events {
-        events += 1;
-        // Earliest finisher; ties break on the lower device index, so the
-        // event order is a pure function of the simulated times.
-        let next = in_flight
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.finish_secs
-                    .total_cmp(&b.finish_secs)
-                    .then(a.device.cmp(&b.device))
-            })
-            .map(|(i, _)| i)
-            .expect("nonempty fleet");
-        let task = in_flight.swap_remove(next);
-        clock.advance_to(task.finish_secs);
-        let staleness = version - task.start_version;
-
-        // Recorded as not-applied until it actually reaches an aggregate;
-        // a dropped (or forever-buffered) update keeps `applied: false`.
-        let event_idx = ledger.record_timeline(TimelineEvent {
-            device: task.device,
-            round: version,
-            start_secs: task.start_secs,
-            finish_secs: task.finish_secs,
-            applied: false,
-            staleness,
-        });
-        if !task.dropped {
-            // The actual transmission: encode the device-local delta now
-            // that the server's current mask epoch is known. A stale mask
-            // (epoch drifted mid-flight) forces explicit indices. Lost
-            // updates are never encoded, so their error-feedback residual
-            // is untouched.
-            let k = task.device;
-            let residual = codec.uses_error_feedback().then_some(&mut residuals[k]);
-            let update = task.outcome.encode(codec, &task.ctx, epoch, residual);
-            let upload_bytes = update.payload.encoded_len(&task.ctx) as f64;
-            buffer.push(Buffered {
-                update,
-                staleness,
-                analytic_flops: task.analytic_flops,
-                analytic_bytes: task.analytic_bytes,
-                download_bytes: task.download_bytes,
-                upload_bytes,
-                event_idx,
-            });
-        }
-
-        if buffer.len() >= k_needed {
-            // Staleness-weighted payload aggregation over the buffered
-            // updates: deltas are applied to the *current* global, decoded
-            // straight out of their wire form. Values-only payloads in the
-            // buffer always match the current epoch (the mask only moves in
-            // the hook below, after the buffer drains).
-            let current = flat_params(global);
-            let param_updates: Vec<(&Payload, f64, usize)> = buffer
-                .iter()
-                .map(|b| (&b.update.payload, b.update.samples as f64, b.staleness))
-                .collect();
-            set_flat_params(
-                global,
-                &staleness_fedavg_payloads(&param_updates, &current, &ctx),
-            );
-            let bn_updates: Vec<_> = buffer
-                .iter()
-                .map(|b| {
-                    (
-                        b.update.bn.clone(),
-                        b.update.samples as f64 * staleness_weight(b.staleness),
-                    )
-                })
-                .collect();
-            if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
-                for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
-                    *dst = src.clone();
-                }
-            }
-            // Re-apply the mask: stale updates were trained under old
-            // masks and must not resurrect pruned weights.
-            apply_mask(global, mask);
-
-            // Per-device accounting, matching the barrier loop's
-            // convention: one round charges one model transfer (the
-            // heaviest in the buffer), not the fleet-summed traffic —
-            // analytic and measured side by side.
-            ledger.add_comm(buffer.iter().map(|b| b.analytic_bytes).fold(0.0, f64::max));
-            ledger.record_payload_round(
-                buffer.iter().map(|b| b.download_bytes).fold(0.0, f64::max),
-                buffer.iter().map(|b| b.upload_bytes).fold(0.0, f64::max),
-            );
-            for b in &buffer {
-                ledger.set_timeline_applied(b.event_idx);
-            }
-            let analytic = buffer.iter().map(|b| b.analytic_flops).fold(0.0, f64::max);
-            let realized = buffer
-                .iter()
-                .map(|b| b.update.realized_flops)
-                .fold(0.0, f64::max);
-            let wall = buffer
-                .iter()
-                .map(|b| b.update.wall_secs)
-                .fold(0.0, f64::max);
-            ledger.record_realized_round(realized, wall);
-            ledger.record_sim_round(clock.now() - last_agg_secs);
-            last_agg_secs = clock.now();
-            buffer.clear();
-
-            let mask_before_hook = mask.clone();
-            let extra = hook(global, mask, version, ledger);
-            // The hook may have adjusted the mask: refresh the cached
-            // densities and wire context (with a bumped epoch) for the
-            // tasks launched from here on.
-            if *mask != mask_before_hook {
-                epoch += 1;
-                densities = densities_from_mask(mask);
-                ctx = std::sync::Arc::new(wire_ctx(&*global, mask, epoch));
-            }
-            ledger.record_round_flops(analytic + extra);
-            if should_eval(eval_every, version, env.cfg.rounds) {
-                history.push(evaluate(global, &env.test));
-            }
-            version += 1;
-        }
-
-        // The finisher restarts immediately from the current global (and
-        // the current mask/version — its next update is fresh by
-        // construction). No restart once the final round has aggregated.
-        if version >= env.cfg.rounds {
-            break;
-        }
-        let k = task.device;
-        let profile = env.device_profile(k);
-        // Mid-flight restarts train one device at a time on the caller's
-        // thread, so the device's kernels get the whole pool.
-        let outcome = train_one_device_raw(
-            &*global,
-            &env.parts[k],
-            Some(mask),
-            &env.cfg,
-            version,
-            k,
-            task_counter[k] as u64,
-            &rt,
-        );
-        let (flops, analytic_bytes) =
-            device_round_cost(&arch, &densities, outcome.samples, env.cfg.local_epochs);
-        let (down, up) = task_bytes(codec, &ctx);
-        let secs = clock.device_secs(&profile, flops, down + up, task_counter[k], k);
-        let dropped = clock.dropout_hits(&profile, task_counter[k], k);
-        task_counter[k] += 1;
-        in_flight.push(InFlight {
-            device: k,
-            start_secs: clock.now(),
-            finish_secs: clock.now() + secs,
-            start_version: version,
-            dropped,
-            analytic_flops: flops,
-            analytic_bytes,
-            download_bytes: down,
-            ctx: ctx.clone(),
-            outcome,
-        });
-    }
-
-    // Rounds the event cap starved (pathological all-dropout fleets):
-    // recorded as zero-progress so the ledger still covers `cfg.rounds`.
-    while version < env.cfg.rounds {
-        ledger.record_round_flops(0.0);
-        ledger.record_sim_round(0.0);
-        ledger.record_zero_progress();
-        version += 1;
-    }
-    if history.is_empty() {
-        history.push(evaluate(global, &env.test));
-    }
-    history
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ledger::CostLedger;
     use crate::rounds::{no_hook, run_federated_rounds};
     use crate::spec::ModelSpec;
-    use ft_nn::sparse_layout;
+    use ft_nn::{apply_mask, flat_params, sparse_layout};
+    use ft_sparse::Mask;
     use proptest::prelude::*;
 
     /// Runs one policy end-to-end on a mixed fleet and returns everything

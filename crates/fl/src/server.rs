@@ -1,0 +1,1369 @@
+//! The transport-agnostic federation server: an explicit round state
+//! machine extracted from the old in-process scheduler loops.
+//!
+//! Every round walks the same four phases:
+//!
+//! ```text
+//!   Broadcast ──▶ Collect ──▶ Aggregate ──▶ Advance ──▶ (next round)
+//! ```
+//!
+//! - **Broadcast** — sample the round's cohort, pin the round anchor
+//!   (global parameters + wire context + mask epoch), and take the
+//!   cohort's error-feedback residuals.
+//! - **Collect** — the [`Transport`] moves the snapshot to the devices and
+//!   their encoded updates back (function calls for [`InProcess`], real
+//!   frame bytes for `SimTime`/`Tcp`); the virtual fleet then decides each
+//!   update's arrival time and survival (deadline cut, dropout).
+//! - **Aggregate** — weighted payload aggregation of the survivors, BN
+//!   statistics, and the mask re-applied.
+//! - **Advance** — timeline/ledger accounting, the method hook, periodic
+//!   evaluation, optional checkpointing, and the round counter.
+//!
+//! The buffered (FedBuff-style) scheduler runs the *same phases* as an
+//! event loop: `Collect` pops one simulated arrival at a time (updates
+//! cross the transport's byte boundary at arrival), `Aggregate`/`Advance`
+//! fire when the buffer fills, and `Broadcast` relaunches the finisher
+//! from the newest global. Because it interleaves device training with
+//! arrivals it requires a local transport ([`Transport::is_local`]).
+//!
+//! The machine is *behavior-preserving*: under the [`InProcess`] transport
+//! it reproduces the pre-refactor golden traces byte for byte, and the
+//! `SimTime` transport proves on every run that a real encode → bytes →
+//! decode boundary changes nothing.
+//!
+//! ## Checkpoint / resume
+//!
+//! [`RunOptions::checkpoint`] saves a versioned [`Checkpoint`] at round
+//! boundaries; [`RunOptions::resume`] picks an existing one up and
+//! continues to the *same final trace, byte for byte* (see
+//! `tests/checkpoint_resume.rs`).
+
+use crate::aggregate::{
+    staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg_payloads,
+};
+use crate::checkpoint::{BufferedState, Checkpoint, CheckpointError, CheckpointSpec, TaskState};
+use crate::config::ConfigError;
+use crate::env::ExperimentEnv;
+use crate::ledger::{CostLedger, TimelineEvent};
+use crate::rounds::{sample_cohort, RoundHook};
+use crate::sched::{
+    broadcast_payload_len, device_round_cost, should_eval, survivor_payload_updates, Scheduler,
+};
+use crate::train::{train_devices_raw_parallel, train_one_device_raw, DeviceUpdate, LocalOutcome};
+use crate::transport::{InProcess, RoundRequest, Transport, TransportError};
+use ft_data::Dataset;
+use ft_metrics::{densities_from_mask, sparse_model_bytes, training_flops, SimClock};
+use ft_nn::{
+    apply_mask, flat_params, restore_snapshot, set_flat_params, take_snapshot, wire_ctx, Model,
+};
+use ft_sparse::{Codec, Mask, Payload, WireCtx};
+
+/// The four phases of one federated round. Exposed for observability and
+/// tests; [`run_with`] drives them in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Pin the round anchor and ship the global snapshot to the cohort.
+    Broadcast,
+    /// Move device updates across the transport and decide survival
+    /// (deadline cut / buffer fill).
+    Collect,
+    /// Fold the surviving payloads into the global model.
+    Aggregate,
+    /// Account, run the method hook, evaluate, checkpoint, advance.
+    Advance,
+}
+
+impl RoundPhase {
+    /// The phase that follows this one (`Advance` wraps to `Broadcast`).
+    pub fn next(self) -> RoundPhase {
+        match self {
+            RoundPhase::Broadcast => RoundPhase::Collect,
+            RoundPhase::Collect => RoundPhase::Aggregate,
+            RoundPhase::Aggregate => RoundPhase::Advance,
+            RoundPhase::Advance => RoundPhase::Broadcast,
+        }
+    }
+}
+
+/// Why a server run could not start or finish.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The run configuration failed structural validation.
+    Config(ConfigError),
+    /// The transport failed mid-run (socket error, bad frame).
+    Transport(TransportError),
+    /// A checkpoint could not be saved, loaded, or matched to this run.
+    Checkpoint(CheckpointError),
+    /// The scheduler needs a local transport (buffered aggregation
+    /// interleaves training with arrivals).
+    UnsupportedScheduler {
+        /// The offending transport's name.
+        transport: &'static str,
+        /// The offending scheduler's name.
+        scheduler: &'static str,
+    },
+    /// The codec keeps device-side error-feedback state the server cannot
+    /// roll back over a remote transport: a deadline-cut or dropped upload
+    /// would silently drain the device's residual and diverge from the
+    /// in-process run.
+    UnsupportedCodec {
+        /// The offending transport's name.
+        transport: &'static str,
+        /// The offending codec's name.
+        codec: &'static str,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Config(e) => write!(f, "invalid configuration: {e}"),
+            ServerError::Transport(e) => write!(f, "transport failure: {e}"),
+            ServerError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            ServerError::UnsupportedScheduler {
+                transport,
+                scheduler,
+            } => write!(
+                f,
+                "the {scheduler} scheduler requires a local transport, got {transport}"
+            ),
+            ServerError::UnsupportedCodec { transport, codec } => write!(
+                f,
+                "the {codec} codec keeps device-side error-feedback state and \
+                 requires a local transport, got {transport}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+impl From<TransportError> for ServerError {
+    fn from(e: TransportError) -> Self {
+        ServerError::Transport(e)
+    }
+}
+
+impl From<CheckpointError> for ServerError {
+    fn from(e: CheckpointError) -> Self {
+        ServerError::Checkpoint(e)
+    }
+}
+
+/// Serializes method-specific hook state for the checkpoint.
+pub type HookSave<'a> = &'a dyn Fn() -> Vec<u8>;
+/// Restores what a [`HookSave`] captured.
+pub type HookLoad<'a> = &'a dyn Fn(&[u8]);
+
+/// How to run a federation: the transport plus durability knobs.
+pub struct RunOptions<'a> {
+    /// The transport device updates travel over.
+    pub transport: &'a mut dyn Transport,
+    /// Save a [`Checkpoint`] here at round boundaries.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// If the checkpoint file already exists, resume from it instead of
+    /// starting over (a missing file starts fresh, so passing `--resume`
+    /// unconditionally is idempotent).
+    pub resume: bool,
+    /// Test/ops hook emulating a kill: stop (after saving any due
+    /// checkpoint) once this many rounds have completed.
+    pub halt_after: Option<usize>,
+    /// Serializes method-specific hook state into the checkpoint (e.g.
+    /// FedTiny's progressive-adjustment counter), so resumed hooks continue
+    /// where they left off.
+    pub hook_save: Option<HookSave<'a>>,
+    /// Restores what [`hook_save`](Self::hook_save) captured.
+    pub hook_load: Option<HookLoad<'a>>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Plain options: run on `transport`, no checkpointing.
+    pub fn new(transport: &'a mut dyn Transport) -> Self {
+        RunOptions {
+            transport,
+            checkpoint: None,
+            resume: false,
+            halt_after: None,
+            hook_save: None,
+            hook_load: None,
+        }
+    }
+}
+
+/// Runs `env.cfg.rounds` federated rounds through the phase machine on the
+/// given transport, with optional checkpoint/resume. Behavior under
+/// [`InProcess`] is identical to the classic
+/// [`run_federated_rounds`](crate::run_federated_rounds) — that function is
+/// now a thin wrapper over this one.
+///
+/// Returns the accuracy history (always nonempty on a completed run;
+/// possibly empty when halted early via [`RunOptions::halt_after`] before
+/// the first evaluation).
+pub fn run_with(
+    global: &mut dyn Model,
+    mask: &mut Mask,
+    env: &ExperimentEnv,
+    eval_every: usize,
+    ledger: &mut CostLedger,
+    hook: &mut RoundHook<'_>,
+    mut opts: RunOptions<'_>,
+) -> Result<Vec<f32>, ServerError> {
+    env.cfg.validate()?;
+    env.scheduler.validate()?;
+    if !opts.transport.is_local() && matches!(env.scheduler, Scheduler::Buffered { .. }) {
+        return Err(ServerError::UnsupportedScheduler {
+            transport: opts.transport.name(),
+            scheduler: env.scheduler.name(),
+        });
+    }
+    // Error-feedback residuals live on the device; the in-process loops
+    // roll them back when an upload is lost, which no wire protocol here
+    // can do for a remote device. Refuse rather than silently diverge from
+    // the in-process run.
+    if !opts.transport.is_local() && env.cfg.codec.uses_error_feedback() {
+        return Err(ServerError::UnsupportedCodec {
+            transport: opts.transport.name(),
+            codec: env.cfg.codec.name(),
+        });
+    }
+
+    // Resume: pick up a previous run's state if a matching checkpoint
+    // exists at the configured path.
+    let resumed: Option<Checkpoint> = match (&opts.checkpoint, opts.resume) {
+        (Some(spec), true) if spec.path.exists() => {
+            let ck = Checkpoint::load(&spec.path)?;
+            ck.validate_against(env, eval_every)?;
+            Some(ck)
+        }
+        _ => None,
+    };
+
+    let mut state = ServerState {
+        env,
+        eval_every,
+        clock: SimClock::new(env.cfg.seed),
+        epoch: 0,
+        round: 0,
+        residuals: vec![Vec::new(); env.num_devices()],
+        history: Vec::new(),
+        applied_mask: mask.clone(),
+    };
+    let mut buffered_resume: Option<BufferedState> = None;
+    if let Some(ck) = resumed {
+        state.round = ck.rounds_done;
+        state.epoch = ck.epoch;
+        state.clock.advance_to(ck.clock_now);
+        state.residuals = ck.residuals;
+        state.history = ck.history;
+        *ledger = ck.ledger;
+        restore_snapshot(global, &ck.snapshot);
+        *mask = Mask::from_layers(ck.mask_layers);
+        // Re-arm the sparse dispatch exactly as the uninterrupted run had
+        // it: the *applied* mask (last `apply_mask` in an Aggregate phase)
+        // may lag the current mask when a hook moved it without
+        // re-applying. Pruned coordinates are already zero in the
+        // snapshot, so this only notes the mask on the params.
+        state.applied_mask = Mask::from_layers(ck.applied_mask_layers);
+        apply_mask(global, &state.applied_mask);
+        if let (Some(load), true) = (opts.hook_load, !ck.hook_state.is_empty()) {
+            load(&ck.hook_state);
+        }
+        buffered_resume = ck.buffered;
+        if state.round >= env.cfg.rounds {
+            // The checkpointed run had already finished.
+            opts.transport.shutdown();
+            if state.history.is_empty() {
+                state
+                    .history
+                    .push(crate::train::evaluate(global, &env.test));
+            }
+            return Ok(state.history);
+        }
+    }
+
+    let result = match env.scheduler {
+        Scheduler::Synchronous => state.run_barrier(global, mask, ledger, hook, &mut opts, None),
+        Scheduler::Deadline { deadline_secs } => {
+            state.run_barrier(global, mask, ledger, hook, &mut opts, Some(deadline_secs))
+        }
+        Scheduler::Buffered { buffer_k } => state.run_buffered(
+            global,
+            mask,
+            ledger,
+            hook,
+            &mut opts,
+            buffer_k,
+            buffered_resume,
+        ),
+    };
+    opts.transport.shutdown();
+    result
+}
+
+/// Cross-round server state shared by both machine shapes.
+struct ServerState<'e> {
+    env: &'e ExperimentEnv,
+    eval_every: usize,
+    clock: SimClock,
+    /// Wire epoch of the current mask (bumped whenever a hook changes it).
+    epoch: u64,
+    /// Completed rounds (barrier) or aggregations (buffered).
+    round: usize,
+    /// Per-device error-feedback accumulators.
+    residuals: Vec<Vec<f32>>,
+    history: Vec<f32>,
+    /// The mask most recently applied to the model (Aggregate phase) —
+    /// checkpointed separately from the current mask because a hook may
+    /// move the mask without re-applying it.
+    applied_mask: Mask,
+}
+
+/// Scratch state of one in-flight barrier round, threaded through the
+/// phases.
+struct BarrierRound {
+    cohort: Vec<usize>,
+    parts: Vec<Dataset>,
+    ctx: WireCtx,
+    anchor: Vec<f32>,
+    broadcast_len: f64,
+    cohort_residuals: Vec<Vec<f32>>,
+    residuals_before: Vec<Vec<f32>>,
+    updates: Vec<DeviceUpdate>,
+    per_sample_flops: f64,
+    analytic_bytes: f64,
+    round_start: f64,
+    finish: Vec<f64>,
+    alive: Vec<bool>,
+    max_upload: f64,
+    progressed: bool,
+}
+
+impl ServerState<'_> {
+    /// Assembles the checkpoint for the current state.
+    fn checkpoint(
+        &self,
+        global: &dyn Model,
+        mask: &Mask,
+        ledger: &CostLedger,
+        opts: &RunOptions<'_>,
+        buffered: Option<BufferedState>,
+    ) -> Checkpoint {
+        Checkpoint {
+            seed: self.env.cfg.seed,
+            devices: self.env.num_devices(),
+            total_rounds: self.env.cfg.rounds,
+            scheduler: self.env.scheduler,
+            codec: self.env.cfg.codec,
+            eval_every: self.eval_every,
+            cfg_json: Checkpoint::cfg_fingerprint(&self.env.cfg),
+            rounds_done: self.round,
+            epoch: self.epoch,
+            clock_now: self.clock.now(),
+            history: self.history.clone(),
+            snapshot: take_snapshot(global),
+            mask_layers: (0..mask.num_layers())
+                .map(|l| mask.layer(l).to_vec())
+                .collect(),
+            applied_mask_layers: (0..self.applied_mask.num_layers())
+                .map(|l| self.applied_mask.layer(l).to_vec())
+                .collect(),
+            residuals: self.residuals.clone(),
+            ledger: ledger.clone(),
+            buffered,
+            hook_state: opts.hook_save.map(|f| f()).unwrap_or_default(),
+        }
+    }
+
+    /// Saves a due checkpoint; returns `true` when the run should halt
+    /// (the `halt_after` kill-emulation hook).
+    fn checkpoint_and_halt(
+        &self,
+        global: &dyn Model,
+        mask: &Mask,
+        ledger: &CostLedger,
+        opts: &RunOptions<'_>,
+        buffered: Option<BufferedState>,
+    ) -> Result<bool, ServerError> {
+        if let Some(spec) = &opts.checkpoint {
+            if spec.due(self.round) || opts.halt_after == Some(self.round) {
+                self.checkpoint(global, mask, ledger, opts, buffered)
+                    .save(&spec.path)?;
+            }
+        }
+        Ok(opts.halt_after == Some(self.round))
+    }
+
+    // -----------------------------------------------------------------
+    // Barrier machine (Synchronous, Deadline)
+    // -----------------------------------------------------------------
+
+    /// Barrier-style rounds through the explicit phase machine. Transplant
+    /// of the old `run_barrier_rounds`: the arithmetic and its order are
+    /// unchanged, so golden traces stay byte-identical.
+    fn run_barrier(
+        &mut self,
+        global: &mut dyn Model,
+        mask: &mut Mask,
+        ledger: &mut CostLedger,
+        hook: &mut RoundHook<'_>,
+        opts: &mut RunOptions<'_>,
+        deadline: Option<f64>,
+    ) -> Result<Vec<f32>, ServerError> {
+        let env = self.env;
+        let arch = global.arch();
+        let max_samples = env.parts.iter().map(|p| p.len()).max().unwrap_or(0) as f64;
+        let codec = env.cfg.codec;
+        // One worker pool for the whole run: device fan-out and server-side
+        // kernel parallelism share its thread budget.
+        let rt = env.cfg.runtime();
+        global.set_runtime(rt);
+
+        while self.round < env.cfg.rounds {
+            let mut phase = RoundPhase::Broadcast;
+            let mut rs: Option<BarrierRound> = None;
+            // One full revolution of the machine = one round.
+            let halt = loop {
+                phase = match phase {
+                    RoundPhase::Broadcast => {
+                        let local = opts.transport.is_local();
+                        rs = Some(self.phase_broadcast(&*global, mask, codec, local));
+                        RoundPhase::Collect
+                    }
+                    RoundPhase::Collect => {
+                        self.phase_collect(
+                            rs.as_mut().expect("broadcast ran"),
+                            &*global,
+                            mask,
+                            &arch,
+                            codec,
+                            &rt,
+                            deadline,
+                            &mut *opts.transport,
+                        )?;
+                        RoundPhase::Aggregate
+                    }
+                    RoundPhase::Aggregate => {
+                        self.phase_aggregate(
+                            rs.as_mut().expect("collect ran"),
+                            global,
+                            mask,
+                            ledger,
+                        );
+                        RoundPhase::Advance
+                    }
+                    RoundPhase::Advance => {
+                        break self.phase_advance(
+                            rs.take().expect("aggregate ran"),
+                            global,
+                            mask,
+                            ledger,
+                            hook,
+                            opts,
+                            deadline,
+                            max_samples,
+                        )?;
+                    }
+                };
+            };
+            if halt {
+                return Ok(std::mem::take(&mut self.history));
+            }
+        }
+        if self.history.is_empty() {
+            self.history.push(crate::train::evaluate(global, &env.test));
+        }
+        Ok(std::mem::take(&mut self.history))
+    }
+
+    /// Broadcast: sample the cohort, pin the round anchor and wire
+    /// context, and take the cohort's error-feedback residuals.
+    fn phase_broadcast(
+        &mut self,
+        global: &dyn Model,
+        mask: &Mask,
+        codec: Codec,
+        local: bool,
+    ) -> BarrierRound {
+        let env = self.env;
+        // Partial participation: sample the round's cohort (all devices at
+        // participation = 1.0, the paper's setting).
+        let cohort = sample_cohort(env, self.round);
+        // Remote devices hold their own data — cloning the cohort datasets
+        // would be pure memcpy the transport never reads.
+        let parts: Vec<Dataset> = if local {
+            cohort.iter().map(|&k| env.parts[k].clone()).collect()
+        } else {
+            Vec::new()
+        };
+
+        // The round's anchor and wire context. Within a barrier round the
+        // server and every device share the mask epoch (the mask only moves
+        // in the post-aggregation hook), so uploads are values-only.
+        let ctx = wire_ctx(global, mask, self.epoch);
+        let anchor = flat_params(global);
+        let broadcast_len = broadcast_payload_len(codec, &ctx) as f64;
+        let cohort_residuals: Vec<Vec<f32>> = cohort
+            .iter()
+            .map(|&k| std::mem::take(&mut self.residuals[k]))
+            .collect();
+        // Encoding consumes transmitted mass from the error-feedback
+        // residuals; keep the pre-round state so a device whose upload is
+        // then dropped or cut at the deadline can roll back (a lost upload
+        // must leave the residual untouched, matching the buffered loop).
+        let residuals_before: Vec<Vec<f32>> = if codec.uses_error_feedback() {
+            cohort_residuals.clone()
+        } else {
+            Vec::new()
+        };
+        BarrierRound {
+            cohort,
+            parts,
+            ctx,
+            anchor,
+            broadcast_len,
+            cohort_residuals,
+            residuals_before,
+            updates: Vec::new(),
+            per_sample_flops: 0.0,
+            analytic_bytes: 0.0,
+            round_start: 0.0,
+            finish: Vec::new(),
+            alive: Vec::new(),
+            max_upload: 0.0,
+            progressed: false,
+        }
+    }
+
+    /// Collect: the transport moves the snapshot down and the updates
+    /// back; the simulated fleet then fixes every cohort member's arrival
+    /// time and survival, billed at the measured wire bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn phase_collect(
+        &mut self,
+        rs: &mut BarrierRound,
+        global: &dyn Model,
+        mask: &Mask,
+        arch: &ft_nn::ArchInfo,
+        codec: Codec,
+        rt: &ft_runtime::Runtime,
+        deadline: Option<f64>,
+        transport: &mut dyn Transport,
+    ) -> Result<(), ServerError> {
+        let env = self.env;
+        let mut req = RoundRequest {
+            global,
+            mask,
+            ctx: &rs.ctx,
+            epoch: self.epoch,
+            round: self.round,
+            cohort: &rs.cohort,
+            parts: &rs.parts,
+            cfg: &env.cfg,
+            rt,
+            residuals: &mut rs.cohort_residuals,
+        };
+        rs.updates = transport.exchange_round(&mut req)?;
+        for (taken, &k) in rs.cohort_residuals.iter_mut().zip(rs.cohort.iter()) {
+            self.residuals[k] = std::mem::take(taken);
+        }
+
+        // Simulated fleet: finish time and survival of every cohort
+        // member, with link time billed at the *measured* wire bytes
+        // (broadcast down + encoded upload back).
+        let densities = densities_from_mask(mask);
+        rs.per_sample_flops = training_flops(arch, &densities);
+        rs.analytic_bytes = 2.0 * sparse_model_bytes(arch, &densities);
+        rs.round_start = self.clock.now();
+        rs.finish = Vec::with_capacity(rs.cohort.len());
+        rs.alive = Vec::with_capacity(rs.cohort.len());
+        for (u, &k) in rs.updates.iter().zip(rs.cohort.iter()) {
+            let profile = env.device_profile(k);
+            let flops = rs.per_sample_flops * u.samples as f64 * env.cfg.local_epochs as f64;
+            let upload = u.payload.encoded_len(&rs.ctx) as f64;
+            rs.max_upload = rs.max_upload.max(upload);
+            let secs =
+                self.clock
+                    .device_secs(&profile, flops, rs.broadcast_len + upload, self.round, k);
+            let timely = deadline.is_none_or(|d| secs <= d);
+            let dropped = self.clock.dropout_hits(&profile, self.round, k);
+            rs.finish.push(secs);
+            rs.alive.push(timely && !dropped);
+        }
+        // Lost uploads keep their pre-round error-feedback residual: the
+        // mass the encode step drained never reached the server.
+        if codec.uses_error_feedback() {
+            for ((&k, &a), before) in rs
+                .cohort
+                .iter()
+                .zip(rs.alive.iter())
+                .zip(std::mem::take(&mut rs.residuals_before))
+            {
+                if !a {
+                    self.residuals[k] = before;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate: fold the surviving payloads and BN statistics into the
+    /// global model; an empty (or zero-weight) cohort leaves it untouched
+    /// and records a zero-progress round.
+    fn phase_aggregate(
+        &mut self,
+        rs: &mut BarrierRound,
+        global: &mut dyn Model,
+        mask: &Mask,
+        ledger: &mut CostLedger,
+    ) {
+        let surviving = survivor_payload_updates(&rs.updates, &rs.alive);
+        rs.progressed = match try_fedavg_payloads(&surviving, &rs.anchor, &rs.ctx) {
+            Some(new_params) => {
+                set_flat_params(global, &new_params);
+                let bn_updates: Vec<_> = rs
+                    .updates
+                    .iter()
+                    .zip(rs.alive.iter())
+                    .filter(|(_, &a)| a)
+                    .map(|(u, _)| (u.bn.clone(), u.samples as f64))
+                    .collect();
+                if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
+                    for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
+                        *dst = src.clone();
+                    }
+                }
+                true
+            }
+            None => {
+                ledger.record_zero_progress();
+                false
+            }
+        };
+        apply_mask(global, mask);
+        self.applied_mask = mask.clone();
+    }
+
+    /// Advance: timeline + ledger accounting, the method hook, periodic
+    /// evaluation, checkpointing, and the round counter. Returns `true`
+    /// when the run should halt (`halt_after`).
+    #[allow(clippy::too_many_arguments)]
+    fn phase_advance(
+        &mut self,
+        rs: BarrierRound,
+        global: &mut dyn Model,
+        mask: &mut Mask,
+        ledger: &mut CostLedger,
+        hook: &mut RoundHook<'_>,
+        opts: &RunOptions<'_>,
+        deadline: Option<f64>,
+        max_samples: f64,
+    ) -> Result<bool, ServerError> {
+        let env = self.env;
+        for ((&k, &secs), &a) in rs.cohort.iter().zip(rs.finish.iter()).zip(rs.alive.iter()) {
+            ledger.record_timeline(TimelineEvent {
+                device: k,
+                round: self.round,
+                start_secs: rs.round_start,
+                finish_secs: rs.round_start + secs,
+                applied: rs.progressed && a,
+                staleness: 0,
+            });
+        }
+
+        // The round's simulated span: slowest cohort member, cut at the
+        // deadline when one is set.
+        let slowest = rs.finish.iter().cloned().fold(0.0, f64::max);
+        let span = match deadline {
+            Some(d) => slowest.min(d),
+            None => slowest,
+        };
+        self.clock.advance_by(span);
+        ledger.record_sim_round(span);
+
+        // Cost accounting: analytic (paper-style, the heaviest device at
+        // the round's densities — paid even by devices that were dropped)
+        // next to the measured payload bytes and the realized execution
+        // costs the devices reported.
+        let mut round_flops = rs.per_sample_flops * max_samples * env.cfg.local_epochs as f64;
+        ledger.add_comm(rs.analytic_bytes);
+        ledger.record_payload_round(rs.broadcast_len, rs.max_upload);
+        let max_realized = rs
+            .updates
+            .iter()
+            .map(|u| u.realized_flops)
+            .fold(0.0, f64::max);
+        let round_wall = if env.cfg.parallel {
+            rs.updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
+        } else {
+            rs.updates.iter().map(|u| u.wall_secs).sum()
+        };
+        ledger.record_realized_round(max_realized, round_wall);
+
+        let mask_before_hook = mask.clone();
+        round_flops += hook(global, mask, self.round, ledger);
+        if *mask != mask_before_hook {
+            self.epoch += 1;
+        }
+        ledger.record_round_flops(round_flops);
+
+        if should_eval(self.eval_every, self.round, env.cfg.rounds) {
+            self.history.push(crate::train::evaluate(global, &env.test));
+        }
+        self.round += 1;
+        self.checkpoint_and_halt(&*global, mask, ledger, opts, None)
+    }
+
+    // -----------------------------------------------------------------
+    // Buffered machine (FedBuff-style event loop)
+    // -----------------------------------------------------------------
+
+    /// FedBuff-style buffered asynchronous rounds as the event-driven
+    /// instantiation of the phase machine: `Collect` pops one simulated
+    /// arrival (the update crosses the transport byte boundary there),
+    /// `Aggregate`/`Advance` fire once `buffer_k` updates are buffered, and
+    /// `Broadcast` relaunches the finisher from the newest global.
+    /// Transplant of the old `run_buffered_rounds` — bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn run_buffered(
+        &mut self,
+        global: &mut dyn Model,
+        mask: &mut Mask,
+        ledger: &mut CostLedger,
+        hook: &mut RoundHook<'_>,
+        opts: &mut RunOptions<'_>,
+        buffer_k: usize,
+        resume: Option<BufferedState>,
+    ) -> Result<Vec<f32>, ServerError> {
+        let env = self.env;
+        let n = env.num_devices();
+        if env.cfg.rounds == 0 || n == 0 {
+            self.history.push(crate::train::evaluate(global, &env.test));
+            return Ok(std::mem::take(&mut self.history));
+        }
+        let arch = global.arch();
+        let codec = env.cfg.codec;
+        // The run's shared worker pool (see the barrier machine).
+        let rt = env.cfg.runtime();
+        global.set_runtime(rt);
+        let k_needed = buffer_k.clamp(1, n);
+        let mut task_counter = vec![0usize; n];
+        let mut last_agg_secs = 0.0f64;
+
+        // Mask densities and wire context, refreshed only when the mask can
+        // change (after an aggregation's hook) rather than on every event.
+        let mut densities = densities_from_mask(mask);
+        let mut ctx = std::sync::Arc::new(wire_ctx(&*global, mask, self.epoch));
+        let segments = ctx.segments.clone();
+
+        // Measured wire bytes of one task launched under `ctx`: broadcast
+        // down plus the (shared-epoch) encoded upload back.
+        let task_bytes = |codec: Codec, ctx: &WireCtx| -> (f64, f64) {
+            let down = broadcast_payload_len(codec, ctx) as f64;
+            let up = codec.encoded_len_for(ctx, true) as f64;
+            (down, up)
+        };
+
+        let mut events = 0usize;
+        // Broadcast (initial wave): every device starts at t = 0 from
+        // version 0 with the same `(seed, 0, device)` RNG streams as a
+        // synchronous first round — or, on resume, the persisted in-flight
+        // tasks are rehydrated instead.
+        let mut in_flight: Vec<InFlight> = match resume {
+            Some(b) => {
+                last_agg_secs = b.last_agg_secs;
+                events = b.events;
+                task_counter = b.task_counter;
+                b.in_flight
+                    .into_iter()
+                    .map(|t| InFlight {
+                        device: t.device,
+                        start_secs: t.start_secs,
+                        finish_secs: t.finish_secs,
+                        start_version: t.start_version,
+                        dropped: t.dropped,
+                        analytic_flops: t.analytic_flops,
+                        analytic_bytes: t.analytic_bytes,
+                        download_bytes: t.download_bytes,
+                        ctx: std::sync::Arc::new(WireCtx::new(
+                            t.ctx_alive,
+                            segments.clone(),
+                            t.ctx_epoch,
+                        )),
+                        outcome: t.outcome,
+                    })
+                    .collect()
+            }
+            None => {
+                let outcomes =
+                    train_devices_raw_parallel(&*global, &env.parts, Some(mask), &env.cfg, 0, &rt);
+                outcomes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, outcome)| {
+                        let profile = env.device_profile(k);
+                        let (flops, analytic_bytes) = device_round_cost(
+                            &arch,
+                            &densities,
+                            outcome.samples,
+                            env.cfg.local_epochs,
+                        );
+                        let (down, up) = task_bytes(codec, &ctx);
+                        let secs =
+                            self.clock
+                                .device_secs(&profile, flops, down + up, task_counter[k], k);
+                        let dropped = self.clock.dropout_hits(&profile, task_counter[k], k);
+                        task_counter[k] += 1;
+                        InFlight {
+                            device: k,
+                            start_secs: 0.0,
+                            finish_secs: secs,
+                            start_version: 0,
+                            dropped,
+                            analytic_flops: flops,
+                            analytic_bytes,
+                            download_bytes: down,
+                            ctx: ctx.clone(),
+                            outcome,
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        // Safety valve: with pathological dropout (every update lost) the
+        // buffer can never fill; cap the event count instead of spinning.
+        let max_events = env.cfg.rounds.max(1) * n * 64;
+        // Buffered arrivals awaiting aggregation: `event_idx` points at the
+        // arrival's timeline entry, flipped to applied once it aggregates.
+        // Empty at every checkpoint boundary by construction.
+        let mut buffer: Vec<BufferedArrival> = Vec::new();
+
+        while self.round < env.cfg.rounds && events < max_events {
+            events += 1;
+            // --- Collect: pop the earliest arrival; ties break on the
+            // lower device index, so the event order is a pure function of
+            // the simulated times.
+            let next = in_flight
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.finish_secs
+                        .total_cmp(&b.finish_secs)
+                        .then(a.device.cmp(&b.device))
+                })
+                .map(|(i, _)| i)
+                .expect("nonempty fleet");
+            let task = in_flight.swap_remove(next);
+            self.clock.advance_to(task.finish_secs);
+            let staleness = self.round - task.start_version;
+
+            // Recorded as not-applied until it actually reaches an
+            // aggregate; a dropped (or forever-buffered) update keeps
+            // `applied: false`.
+            let event_idx = ledger.record_timeline(TimelineEvent {
+                device: task.device,
+                round: self.round,
+                start_secs: task.start_secs,
+                finish_secs: task.finish_secs,
+                applied: false,
+                staleness,
+            });
+            if !task.dropped {
+                // The actual transmission: encode the device-local delta
+                // now that the server's current mask epoch is known (a
+                // stale mask forces explicit indices), then push it across
+                // the transport's byte boundary. Lost updates are never
+                // encoded, so their error-feedback residual is untouched.
+                let k = task.device;
+                let residual = codec
+                    .uses_error_feedback()
+                    .then_some(&mut self.residuals[k]);
+                let update = task.outcome.encode(codec, &task.ctx, self.epoch, residual);
+                let update = opts.transport.deliver_update(update, &task.ctx);
+                let upload_bytes = update.payload.encoded_len(&task.ctx) as f64;
+                buffer.push(BufferedArrival {
+                    update,
+                    staleness,
+                    analytic_flops: task.analytic_flops,
+                    analytic_bytes: task.analytic_bytes,
+                    download_bytes: task.download_bytes,
+                    upload_bytes,
+                    event_idx,
+                });
+            }
+
+            let mut aggregated = false;
+            if buffer.len() >= k_needed {
+                // --- Aggregate: staleness-weighted payload aggregation
+                // over the buffered updates, decoded straight out of their
+                // wire form and applied to the *current* global.
+                let current = flat_params(&*global);
+                let param_updates: Vec<(&Payload, f64, usize)> = buffer
+                    .iter()
+                    .map(|b| (&b.update.payload, b.update.samples as f64, b.staleness))
+                    .collect();
+                set_flat_params(
+                    global,
+                    &staleness_fedavg_payloads(&param_updates, &current, &ctx),
+                );
+                let bn_updates: Vec<_> = buffer
+                    .iter()
+                    .map(|b| {
+                        (
+                            b.update.bn.clone(),
+                            b.update.samples as f64 * staleness_weight(b.staleness),
+                        )
+                    })
+                    .collect();
+                if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
+                    for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
+                        *dst = src.clone();
+                    }
+                }
+                // Re-apply the mask: stale updates were trained under old
+                // masks and must not resurrect pruned weights.
+                apply_mask(global, mask);
+                self.applied_mask = mask.clone();
+
+                // --- Advance: per-device accounting (one round charges one
+                // model transfer — the heaviest in the buffer), the hook,
+                // evaluation, and the version counter.
+                ledger.add_comm(buffer.iter().map(|b| b.analytic_bytes).fold(0.0, f64::max));
+                ledger.record_payload_round(
+                    buffer.iter().map(|b| b.download_bytes).fold(0.0, f64::max),
+                    buffer.iter().map(|b| b.upload_bytes).fold(0.0, f64::max),
+                );
+                for b in &buffer {
+                    ledger.set_timeline_applied(b.event_idx);
+                }
+                let analytic = buffer.iter().map(|b| b.analytic_flops).fold(0.0, f64::max);
+                let realized = buffer
+                    .iter()
+                    .map(|b| b.update.realized_flops)
+                    .fold(0.0, f64::max);
+                let wall = buffer
+                    .iter()
+                    .map(|b| b.update.wall_secs)
+                    .fold(0.0, f64::max);
+                ledger.record_realized_round(realized, wall);
+                ledger.record_sim_round(self.clock.now() - last_agg_secs);
+                last_agg_secs = self.clock.now();
+                buffer.clear();
+
+                let mask_before_hook = mask.clone();
+                let extra = hook(global, mask, self.round, ledger);
+                // The hook may have adjusted the mask: refresh the cached
+                // densities and wire context (with a bumped epoch) for the
+                // tasks launched from here on.
+                if *mask != mask_before_hook {
+                    self.epoch += 1;
+                    densities = densities_from_mask(mask);
+                    ctx = std::sync::Arc::new(wire_ctx(&*global, mask, self.epoch));
+                }
+                ledger.record_round_flops(analytic + extra);
+                if should_eval(self.eval_every, self.round, env.cfg.rounds) {
+                    self.history.push(crate::train::evaluate(global, &env.test));
+                }
+                self.round += 1;
+                aggregated = true;
+            }
+
+            // --- Broadcast: the finisher restarts immediately from the
+            // current global (and the current mask/version — its next
+            // update is fresh by construction). No restart once the final
+            // round has aggregated.
+            if self.round >= env.cfg.rounds {
+                break;
+            }
+            let k = task.device;
+            let profile = env.device_profile(k);
+            // Mid-flight restarts train one device at a time on the
+            // caller's thread, so the device's kernels get the whole pool.
+            let outcome = train_one_device_raw(
+                &*global,
+                &env.parts[k],
+                Some(mask),
+                &env.cfg,
+                self.round,
+                k,
+                task_counter[k] as u64,
+                &rt,
+            );
+            let (flops, analytic_bytes) =
+                device_round_cost(&arch, &densities, outcome.samples, env.cfg.local_epochs);
+            let (down, up) = task_bytes(codec, &ctx);
+            let secs = self
+                .clock
+                .device_secs(&profile, flops, down + up, task_counter[k], k);
+            let dropped = self.clock.dropout_hits(&profile, task_counter[k], k);
+            task_counter[k] += 1;
+            in_flight.push(InFlight {
+                device: k,
+                start_secs: self.clock.now(),
+                finish_secs: self.clock.now() + secs,
+                start_version: self.round,
+                dropped,
+                analytic_flops: flops,
+                analytic_bytes,
+                download_bytes: down,
+                ctx: ctx.clone(),
+                outcome,
+            });
+
+            // Post-aggregation boundary: the buffer is empty and the fleet
+            // is fully in flight again — the state a buffered checkpoint
+            // captures.
+            if aggregated
+                && self.checkpoint_and_halt(
+                    &*global,
+                    mask,
+                    ledger,
+                    opts,
+                    Some(buffered_state(
+                        last_agg_secs,
+                        events,
+                        &task_counter,
+                        &in_flight,
+                    )),
+                )?
+            {
+                return Ok(std::mem::take(&mut self.history));
+            }
+        }
+
+        // Rounds the event cap starved (pathological all-dropout fleets):
+        // recorded as zero-progress so the ledger still covers
+        // `cfg.rounds`.
+        while self.round < env.cfg.rounds {
+            ledger.record_round_flops(0.0);
+            ledger.record_sim_round(0.0);
+            ledger.record_zero_progress();
+            self.round += 1;
+        }
+        if self.history.is_empty() {
+            self.history.push(crate::train::evaluate(global, &env.test));
+        }
+        // Final-state checkpoint so a completed run resumes to a no-op.
+        if let Some(spec) = &opts.checkpoint {
+            self.checkpoint(
+                &*global,
+                mask,
+                ledger,
+                opts,
+                Some(buffered_state(
+                    last_agg_secs,
+                    events,
+                    &task_counter,
+                    &in_flight,
+                )),
+            )
+            .save(&spec.path)?;
+        }
+        Ok(std::mem::take(&mut self.history))
+    }
+}
+
+/// One in-flight device task in the buffered event loop. The trained delta
+/// stays *device-local* (a [`LocalOutcome`], not yet encoded): the wire
+/// encoding happens at arrival time, when the server's current mask epoch
+/// decides whether a `MaskCsr` upload can drop its indices.
+struct InFlight {
+    device: usize,
+    start_secs: f64,
+    finish_secs: f64,
+    start_version: usize,
+    dropped: bool,
+    analytic_flops: f64,
+    analytic_bytes: f64,
+    /// Measured broadcast bytes the device downloaded at task start.
+    download_bytes: f64,
+    /// Wire context (mask + epoch) the device trained under — shared with
+    /// every other task launched under the same mask.
+    ctx: std::sync::Arc<WireCtx>,
+    outcome: LocalOutcome,
+}
+
+/// One buffered arrival awaiting aggregation.
+struct BufferedArrival {
+    update: DeviceUpdate,
+    staleness: usize,
+    analytic_flops: f64,
+    analytic_bytes: f64,
+    download_bytes: f64,
+    upload_bytes: f64,
+    event_idx: usize,
+}
+
+/// Snapshots the buffered event-loop state for a checkpoint.
+fn buffered_state(
+    last_agg_secs: f64,
+    events: usize,
+    task_counter: &[usize],
+    in_flight: &[InFlight],
+) -> BufferedState {
+    BufferedState {
+        last_agg_secs,
+        events,
+        task_counter: task_counter.to_vec(),
+        in_flight: in_flight
+            .iter()
+            .map(|t| TaskState {
+                device: t.device,
+                start_secs: t.start_secs,
+                finish_secs: t.finish_secs,
+                start_version: t.start_version,
+                dropped: t.dropped,
+                analytic_flops: t.analytic_flops,
+                analytic_bytes: t.analytic_bytes,
+                download_bytes: t.download_bytes,
+                ctx_epoch: t.ctx.epoch,
+                ctx_alive: t.ctx.alive.clone(),
+                outcome: t.outcome.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Convenience used by the classic entry point: run on the [`InProcess`]
+/// transport with no checkpointing, panicking on the (impossible for a
+/// valid in-process configuration) error paths.
+pub(crate) fn run_in_process(
+    global: &mut dyn Model,
+    mask: &mut Mask,
+    env: &ExperimentEnv,
+    eval_every: usize,
+    ledger: &mut CostLedger,
+    hook: &mut RoundHook<'_>,
+) -> Vec<f32> {
+    let mut transport = InProcess;
+    run_with(
+        global,
+        mask,
+        env,
+        eval_every,
+        ledger,
+        hook,
+        RunOptions::new(&mut transport),
+    )
+    .unwrap_or_else(|e| panic!("federated run failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::no_hook;
+    use crate::spec::ModelSpec;
+    use crate::transport::SimTime;
+    use ft_nn::sparse_layout;
+
+    #[test]
+    fn phase_order_cycles() {
+        assert_eq!(RoundPhase::Broadcast.next(), RoundPhase::Collect);
+        assert_eq!(RoundPhase::Collect.next(), RoundPhase::Aggregate);
+        assert_eq!(RoundPhase::Aggregate.next(), RoundPhase::Advance);
+        assert_eq!(RoundPhase::Advance.next(), RoundPhase::Broadcast);
+    }
+
+    #[test]
+    fn run_with_rejects_invalid_config_typed() {
+        let mut env = ExperimentEnv::tiny_for_tests(0);
+        env.cfg.threads = crate::config::MAX_THREADS + 1;
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let mut transport = InProcess;
+        let err = run_with(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+            RunOptions::new(&mut transport),
+        )
+        .expect_err("must reject");
+        assert!(matches!(
+            err,
+            ServerError::Config(ConfigError::TooManyThreads { threads }) if threads > 4096
+        ));
+        // Bad scheduler parameters are equally typed.
+        env.cfg.threads = 0;
+        env.scheduler = Scheduler::Buffered { buffer_k: 0 };
+        let err = run_with(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+            RunOptions::new(&mut transport),
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, ServerError::Config(ConfigError::ZeroBufferK)));
+        assert!(err.to_string().contains("buffer_k"));
+    }
+
+    /// A transport that claims to be remote and must never be exchanged
+    /// with — run_with has to reject unsupported combinations first.
+    struct RemoteStub;
+    impl Transport for RemoteStub {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn is_local(&self) -> bool {
+            false
+        }
+        fn exchange_round(
+            &mut self,
+            _req: &mut RoundRequest<'_>,
+        ) -> Result<Vec<DeviceUpdate>, TransportError> {
+            unreachable!("never exchanged")
+        }
+        fn deliver_update(&mut self, u: DeviceUpdate, _ctx: &WireCtx) -> DeviceUpdate {
+            u
+        }
+    }
+
+    #[test]
+    fn buffered_requires_local_transport() {
+        let mut env = ExperimentEnv::tiny_for_tests(1);
+        env.scheduler = Scheduler::Buffered { buffer_k: 2 };
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let mut transport = RemoteStub;
+        let err = run_with(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+            RunOptions::new(&mut transport),
+        )
+        .expect_err("buffered over a remote transport must be rejected");
+        assert!(matches!(err, ServerError::UnsupportedScheduler { .. }));
+    }
+
+    #[test]
+    fn error_feedback_codecs_require_local_transport() {
+        // The in-process loops roll a lost upload's error-feedback
+        // residual back on the device; no wire protocol here can do that
+        // for a remote device, so the combination is refused up front
+        // instead of silently diverging from the in-process run.
+        let mut env = ExperimentEnv::tiny_for_tests(2);
+        env.cfg.codec = ft_sparse::Codec::TopK {
+            k_frac: 0.1,
+            error_feedback: true,
+        };
+        let mut model = env.build_model(&ModelSpec::small_cnn_test());
+        let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let mut ledger = CostLedger::new();
+        let mut transport = RemoteStub;
+        let err = run_with(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+            RunOptions::new(&mut transport),
+        )
+        .expect_err("EF codec over a remote transport must be rejected");
+        assert!(matches!(err, ServerError::UnsupportedCodec { .. }));
+        assert!(err.to_string().contains("error-feedback"));
+        // TopK *without* error feedback is stateless and stays allowed
+        // (the stub then fails at exchange time, which is fine — we only
+        // assert it passes validation).
+        env.cfg.codec = ft_sparse::Codec::TopK {
+            k_frac: 0.1,
+            error_feedback: false,
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut model = env.build_model(&ModelSpec::small_cnn_test());
+            let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+            let mut ledger = CostLedger::new();
+            let mut transport = RemoteStub;
+            let _ = run_with(
+                model.as_mut(),
+                &mut mask,
+                &env,
+                0,
+                &mut ledger,
+                &mut no_hook(),
+                RunOptions::new(&mut transport),
+            );
+        }));
+        assert!(result.is_err(), "stub must have reached exchange_round");
+    }
+
+    /// The in-memory byte-boundary transport reproduces the in-process run
+    /// bit for bit, for every scheduler: this is the "the wire layer
+    /// carries the whole federation" invariant.
+    #[test]
+    fn sim_time_transport_is_bit_identical_to_in_process() {
+        for scheduler in [
+            Scheduler::Synchronous,
+            Scheduler::Deadline { deadline_secs: 2.0 },
+            Scheduler::Buffered { buffer_k: 2 },
+        ] {
+            let run = |use_sim_time: bool| {
+                let mut env = ExperimentEnv::tiny_for_tests(21);
+                env.fleet = crate::DeviceProfile::fleet_mixed(env.num_devices());
+                env.scheduler = scheduler;
+                env.cfg.codec = ft_sparse::Codec::MaskCsr;
+                let mut model = env.build_model(&ModelSpec::small_cnn_test());
+                let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+                let mut ledger = CostLedger::new();
+                let history = if use_sim_time {
+                    let mut t = SimTime;
+                    run_with(
+                        model.as_mut(),
+                        &mut mask,
+                        &env,
+                        1,
+                        &mut ledger,
+                        &mut no_hook(),
+                        RunOptions::new(&mut t),
+                    )
+                    .expect("sim_time run")
+                } else {
+                    crate::run_federated_rounds(
+                        model.as_mut(),
+                        &mut mask,
+                        &env,
+                        1,
+                        &mut ledger,
+                        &mut no_hook(),
+                    )
+                };
+                let bits: Vec<u32> = flat_params(model.as_ref())
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let sim: Vec<u64> = ledger
+                    .sim_secs_history()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let up: Vec<u64> = ledger
+                    .payload_up_history()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                (history, bits, sim, up)
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "{scheduler:?} diverged across the byte boundary"
+            );
+        }
+    }
+}

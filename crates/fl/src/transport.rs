@@ -1,0 +1,694 @@
+//! Transports: how device updates reach the server.
+//!
+//! The round state machine in [`crate::server`] never talks to devices
+//! directly — it hands a [`RoundRequest`] to a [`Transport`] and gets the
+//! cohort's [`DeviceUpdate`]s back. Three implementations ship:
+//!
+//! - [`InProcess`] — devices are trained by direct function calls inside
+//!   the server process and their updates are handed over as structs. This
+//!   is the pre-transport behavior; the committed golden traces pin it
+//!   byte-for-byte.
+//! - [`SimTime`] — identical scheduling and virtual-time fleet, but every
+//!   update crosses a *real byte boundary*: it is serialized into the same
+//!   length-prefixed frame format the TCP transport uses
+//!   ([`Payload::to_bytes`]) and parsed back with [`Payload::from_bytes`].
+//!   Because the wire codecs round-trip bit-exactly, `SimTime` reproduces
+//!   the `InProcess` golden traces byte-for-byte — proving the wire layer
+//!   carries the whole federation, not just a byte counter.
+//! - [`TcpTransport`] — frames cross a real socket (`std::net`, no new
+//!   dependencies): the server broadcasts the global snapshot to connected
+//!   [`run_tcp_device`] clients and reads their update frames back. For the
+//!   same seed a loopback TCP run reaches the bit-identical final model as
+//!   `InProcess`.
+//!
+//! ## Frame format
+//!
+//! Every frame is `u32 body_len | u8 kind | body` (little-endian):
+//!
+//! | kind | body |
+//! |------|------|
+//! | `1` HELLO  | `u32` device id |
+//! | `2` ROUND  | `u64` round, `u64` mask epoch, params `f32` vec, BN stats, mask bit vecs |
+//! | `3` UPDATE | `u32` device, `u64` samples, `f64` realized FLOPs, `f64` wall secs, BN stats, payload bytes blob |
+//! | `4` DONE   | empty |
+//!
+//! Floats travel as raw IEEE-754 bits, so a ROUND → train → UPDATE
+//! round-trip over any transport is bit-exact.
+
+use crate::bytes::{
+    put_bitvec, put_blob, put_bn_stats, put_f64, put_u32, put_u64, ByteReader, ReadError,
+};
+use crate::config::FlConfig;
+use crate::train::{train_devices_parallel, DeviceUpdate, WireSpec};
+use ft_data::Dataset;
+use ft_nn::{apply_mask, restore_snapshot, take_snapshot, wire_ctx, Model, ModelSnapshot};
+use ft_runtime::Runtime;
+use ft_sparse::{Mask, Payload, WireCtx};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Frame kinds of the wire protocol.
+const FRAME_HELLO: u8 = 1;
+const FRAME_ROUND: u8 = 2;
+const FRAME_UPDATE: u8 = 3;
+const FRAME_DONE: u8 = 4;
+
+/// Why a transport exchange failed. In-process transports never fail; the
+/// TCP transport surfaces socket and frame errors here so the server loop
+/// can report them as a typed [`crate::server::ServerError`].
+#[derive(Debug)]
+pub enum TransportError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// A peer sent a malformed or unexpected frame.
+    Frame(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport io error: {e}"),
+            TransportError::Frame(what) => write!(f, "bad frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<ReadError> for TransportError {
+    fn from(e: ReadError) -> Self {
+        TransportError::Frame(e.to_string())
+    }
+}
+
+/// Everything a transport needs to run one barrier round: the server's
+/// current global snapshot (model + mask + wire context) and the cohort it
+/// must collect updates from.
+pub struct RoundRequest<'a> {
+    /// The server's global model (the round anchor).
+    pub global: &'a dyn Model,
+    /// The server's current mask.
+    pub mask: &'a Mask,
+    /// Wire context both ends encode/decode against.
+    pub ctx: &'a WireCtx,
+    /// The server's current mask epoch.
+    pub epoch: u64,
+    /// Round index (selects device RNG streams and lr decay).
+    pub round: usize,
+    /// Global device indices of this round's cohort.
+    pub cohort: &'a [usize],
+    /// The cohort's local datasets, in cohort order (empty for remote
+    /// transports, whose devices hold their own data).
+    pub parts: &'a [Dataset],
+    /// The run configuration.
+    pub cfg: &'a FlConfig,
+    /// The run's shared worker pool.
+    pub rt: &'a Runtime,
+    /// Per-cohort-member error-feedback residuals (only used by local
+    /// transports; remote devices keep their own).
+    pub residuals: &'a mut [Vec<f32>],
+}
+
+/// How one round's updates travel from the devices to the server.
+///
+/// Implementations must return the cohort's updates **in cohort order** —
+/// aggregation order is part of the determinism contract.
+pub trait Transport {
+    /// Stable lowercase name for run headers and reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether device training runs inside the server process. The
+    /// buffered scheduler interleaves training with its event loop and
+    /// therefore requires a local transport.
+    fn is_local(&self) -> bool;
+
+    /// Runs one barrier round: broadcast the request's global snapshot to
+    /// the cohort and collect their updates, in cohort order.
+    fn exchange_round(
+        &mut self,
+        req: &mut RoundRequest<'_>,
+    ) -> Result<Vec<DeviceUpdate>, TransportError>;
+
+    /// Ships one already-encoded update across the transport's byte
+    /// boundary (the buffered loop calls this at arrival time). Local
+    /// transports may return it unchanged.
+    fn deliver_update(&mut self, update: DeviceUpdate, ctx: &WireCtx) -> DeviceUpdate;
+
+    /// Tears the transport down after the final round (e.g. sends DONE
+    /// frames to connected devices). Errors are best-effort-ignored.
+    fn shutdown(&mut self) {}
+}
+
+/// The function-call transport: devices train inside the server process and
+/// updates are handed over as structs — the pre-transport behavior, pinned
+/// byte-for-byte by the committed golden traces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InProcess;
+
+impl Transport for InProcess {
+    fn name(&self) -> &'static str {
+        "in_process"
+    }
+
+    fn is_local(&self) -> bool {
+        true
+    }
+
+    fn exchange_round(
+        &mut self,
+        req: &mut RoundRequest<'_>,
+    ) -> Result<Vec<DeviceUpdate>, TransportError> {
+        let wire = WireSpec {
+            codec: req.cfg.codec,
+            ctx: req.ctx,
+            peer_epoch: req.epoch,
+        };
+        Ok(train_devices_parallel(
+            req.global,
+            req.parts,
+            Some(req.mask),
+            req.cfg,
+            req.round,
+            &wire,
+            req.residuals,
+            req.rt,
+        ))
+    }
+
+    fn deliver_update(&mut self, update: DeviceUpdate, _ctx: &WireCtx) -> DeviceUpdate {
+        update
+    }
+}
+
+/// The in-memory byte-boundary transport: devices train exactly as under
+/// [`InProcess`], but every update is serialized into a real UPDATE frame
+/// and parsed back before the server sees it. Golden traces are
+/// byte-identical to `InProcess` because the wire codecs round-trip
+/// bit-exactly — which is precisely what this transport exists to prove on
+/// every run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimTime;
+
+impl Transport for SimTime {
+    fn name(&self) -> &'static str {
+        "sim_time"
+    }
+
+    fn is_local(&self) -> bool {
+        true
+    }
+
+    fn exchange_round(
+        &mut self,
+        req: &mut RoundRequest<'_>,
+    ) -> Result<Vec<DeviceUpdate>, TransportError> {
+        let ctx = req.ctx;
+        let updates = InProcess.exchange_round(req)?;
+        Ok(updates
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| self.deliver_update_for(i, u, ctx))
+            .collect())
+    }
+
+    fn deliver_update(&mut self, update: DeviceUpdate, ctx: &WireCtx) -> DeviceUpdate {
+        self.deliver_update_for(0, update, ctx)
+    }
+}
+
+impl SimTime {
+    /// Frame round-trip for one update; `device` only labels the frame.
+    fn deliver_update_for(
+        &self,
+        device: usize,
+        update: DeviceUpdate,
+        ctx: &WireCtx,
+    ) -> DeviceUpdate {
+        let frame = encode_update_frame(device, &update, ctx);
+        let (_, back) =
+            decode_update_frame(&frame, ctx).expect("self-encoded update frame round-trips");
+        back
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec (shared by SimTime and Tcp)
+// ---------------------------------------------------------------------------
+
+/// Serializes one UPDATE frame body.
+pub(crate) fn encode_update_frame(device: usize, u: &DeviceUpdate, ctx: &WireCtx) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 4 * u.payload.len());
+    put_u32(&mut out, device as u32);
+    put_u64(&mut out, u.samples as u64);
+    put_f64(&mut out, u.realized_flops);
+    put_f64(&mut out, u.wall_secs);
+    put_bn_stats(&mut out, &u.bn);
+    put_blob(&mut out, &u.payload.to_bytes(ctx));
+    out
+}
+
+/// Parses one UPDATE frame body back into `(device, update)`.
+pub(crate) fn decode_update_frame(
+    bytes: &[u8],
+    ctx: &WireCtx,
+) -> Result<(usize, DeviceUpdate), TransportError> {
+    let mut r = ByteReader::new(bytes);
+    let device = r.u32()? as usize;
+    let samples = r.len_u64()?;
+    let realized_flops = r.f64()?;
+    let wall_secs = r.f64()?;
+    let bn = r.bn_stats()?;
+    let payload_bytes = r.blob()?;
+    if r.remaining() != 0 {
+        return Err(TransportError::Frame(
+            "trailing bytes in update frame".into(),
+        ));
+    }
+    let payload = Payload::from_bytes(&payload_bytes, ctx)
+        .map_err(|e| TransportError::Frame(format!("payload: {e}")))?;
+    Ok((
+        device,
+        DeviceUpdate {
+            payload,
+            bn,
+            samples,
+            realized_flops,
+            wall_secs,
+        },
+    ))
+}
+
+/// Serializes the shared tail of a ROUND frame body: the round index, the
+/// server's mask epoch, and the full global snapshot (params + BN stats +
+/// mask bits). The per-recipient cohort position is prepended separately
+/// by the sender, so this (large) part is encoded once per round.
+pub(crate) fn encode_round_frame(
+    round: usize,
+    epoch: u64,
+    snapshot: &ModelSnapshot,
+    mask: &Mask,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + 4 * snapshot.params.len());
+    put_u64(&mut out, round as u64);
+    put_u64(&mut out, epoch);
+    crate::bytes::put_f32_vec(&mut out, &snapshot.params);
+    put_bn_stats(&mut out, &snapshot.bn);
+    put_u32(&mut out, mask.num_layers() as u32);
+    for l in 0..mask.num_layers() {
+        put_bitvec(&mut out, mask.layer(l));
+    }
+    out
+}
+
+/// Parses one ROUND frame body back into
+/// `(cohort_pos, round, epoch, snapshot, mask)`. The cohort position is
+/// the device's index *within this round's cohort* — the in-process loop
+/// derives RNG streams from that positional index, so the device side must
+/// train under it (not under its global id) to stay bit-identical.
+pub(crate) fn decode_round_frame(
+    bytes: &[u8],
+) -> Result<(usize, usize, u64, ModelSnapshot, Mask), TransportError> {
+    let mut r = ByteReader::new(bytes);
+    let cohort_pos = r.u32()? as usize;
+    let round = r.len_u64()?;
+    let epoch = r.u64()?;
+    let params = r.f32_vec()?;
+    let bn = r.bn_stats()?;
+    let layers = r.u32()? as usize;
+    let mut mask_layers = Vec::with_capacity(layers.min(4096));
+    for _ in 0..layers {
+        mask_layers.push(r.bitvec()?);
+    }
+    if r.remaining() != 0 {
+        return Err(TransportError::Frame(
+            "trailing bytes in round frame".into(),
+        ));
+    }
+    Ok((
+        cohort_pos,
+        round,
+        epoch,
+        ModelSnapshot { params, bn },
+        Mask::from_layers(mask_layers),
+    ))
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(&[kind])?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame, bounding the body at 1 GiB so a
+/// corrupt length prefix cannot trigger an absurd allocation.
+fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), TransportError> {
+    let mut header = [0u8; 5];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    if len > 1 << 30 {
+        return Err(TransportError::Frame(format!(
+            "frame of {len} bytes refused"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok((header[4], body))
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport (server side)
+// ---------------------------------------------------------------------------
+
+/// The socket transport: each device is a [`run_tcp_device`] client on the
+/// other end of a `std::net::TcpStream`, identified by the device id in its
+/// HELLO frame. Length-prefixed frames carry the global snapshot down and
+/// the encoded updates back, so every exchanged byte is a real wire byte.
+///
+/// Only barrier schedulers (`Synchronous`, `Deadline`) are supported — the
+/// buffered event loop interleaves training with arrivals and requires a
+/// local transport.
+#[derive(Debug)]
+pub struct TcpTransport {
+    /// One connected stream per device, indexed by device id.
+    streams: Vec<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Binds `addr` and accepts exactly `devices` clients, each of which
+    /// must open with a HELLO frame carrying a unique device id in
+    /// `0..devices`.
+    pub fn listen(addr: impl ToSocketAddrs, devices: usize) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        Self::accept_fleet(&listener, devices)
+    }
+
+    /// Accepts `devices` HELLO-identified clients on an existing listener
+    /// (lets tests bind port 0 first and hand the resolved address to their
+    /// client threads).
+    pub fn accept_fleet(listener: &TcpListener, devices: usize) -> Result<Self, TransportError> {
+        let mut slots: Vec<Option<TcpStream>> = (0..devices).map(|_| None).collect();
+        let mut connected = 0;
+        while connected < devices {
+            let (mut stream, _) = listener.accept()?;
+            let (kind, body) = read_frame(&mut stream)?;
+            if kind != FRAME_HELLO {
+                return Err(TransportError::Frame(format!(
+                    "expected HELLO, got frame kind {kind}"
+                )));
+            }
+            let mut r = ByteReader::new(&body);
+            let device = r.u32()? as usize;
+            if device >= devices {
+                return Err(TransportError::Frame(format!(
+                    "device id {device} outside fleet of {devices}"
+                )));
+            }
+            if slots[device].is_some() {
+                return Err(TransportError::Frame(format!(
+                    "device id {device} connected twice"
+                )));
+            }
+            slots[device] = Some(stream);
+            connected += 1;
+        }
+        Ok(TcpTransport {
+            streams: slots
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect(),
+        })
+    }
+
+    /// Number of connected devices.
+    pub fn devices(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn is_local(&self) -> bool {
+        false
+    }
+
+    fn exchange_round(
+        &mut self,
+        req: &mut RoundRequest<'_>,
+    ) -> Result<Vec<DeviceUpdate>, TransportError> {
+        let snapshot = take_snapshot(req.global);
+        let shared = encode_round_frame(req.round, req.epoch, &snapshot, req.mask);
+        for (pos, &k) in req.cohort.iter().enumerate() {
+            let stream = self
+                .streams
+                .get_mut(k)
+                .ok_or_else(|| TransportError::Frame(format!("no stream for device {k}")))?;
+            // Per-recipient prefix: the device's position within this
+            // round's cohort (the index the in-process loop trains it
+            // under), then the shared snapshot.
+            let mut frame = Vec::with_capacity(4 + shared.len());
+            put_u32(&mut frame, pos as u32);
+            frame.extend_from_slice(&shared);
+            write_frame(stream, FRAME_ROUND, &frame)?;
+        }
+        let mut updates = Vec::with_capacity(req.cohort.len());
+        for &k in req.cohort {
+            let stream = self.streams.get_mut(k).expect("checked above");
+            let (kind, body) = read_frame(stream)?;
+            if kind != FRAME_UPDATE {
+                return Err(TransportError::Frame(format!(
+                    "expected UPDATE from device {k}, got frame kind {kind}"
+                )));
+            }
+            let (device, update) = decode_update_frame(&body, req.ctx)?;
+            if device != k {
+                return Err(TransportError::Frame(format!(
+                    "device {device} answered on device {k}'s stream"
+                )));
+            }
+            updates.push(update);
+        }
+        Ok(updates)
+    }
+
+    fn deliver_update(&mut self, update: DeviceUpdate, _ctx: &WireCtx) -> DeviceUpdate {
+        // Unreachable in practice: the buffered loop rejects non-local
+        // transports before it starts.
+        update
+    }
+
+    fn shutdown(&mut self) {
+        for stream in &mut self.streams {
+            let _ = write_frame(stream, FRAME_DONE, &[]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP client (device side)
+// ---------------------------------------------------------------------------
+
+/// Runs one device's side of the TCP protocol until the server hangs up:
+/// connect (retrying refused connections for ~30 s, so clients may launch
+/// before the server finishes binding), identify as `device`, then for
+/// every ROUND frame restore the broadcast snapshot, train locally (same
+/// RNG streams, same kernels as the in-process path — the final aggregate
+/// is bit-identical), and reply with the encoded update frame.
+///
+/// `env` must be built from the same seed and configuration as the
+/// server's (the synthetic datasets are pure functions of the seed, so both
+/// ends derive identical partitions without ever shipping data).
+pub fn run_tcp_device(
+    addr: impl ToSocketAddrs + Clone,
+    device: usize,
+    env: &crate::ExperimentEnv,
+    spec: &crate::ModelSpec,
+) -> Result<(), TransportError> {
+    let mut stream = connect_with_retry(addr)?;
+    let mut hello = Vec::new();
+    put_u32(&mut hello, device as u32);
+    write_frame(&mut stream, FRAME_HELLO, &hello)?;
+
+    let mut model = env.build_model(spec);
+    let rt = env.cfg.runtime();
+    model.set_runtime(rt);
+    let mut residual: Vec<f32> = Vec::new();
+    let data = env.parts.get(device).ok_or_else(|| {
+        TransportError::Frame(format!("device {device} has no partition in this env"))
+    })?;
+
+    loop {
+        let (kind, body) = read_frame(&mut stream)?;
+        match kind {
+            FRAME_DONE => return Ok(()),
+            FRAME_ROUND => {
+                let (cohort_pos, round, epoch, snapshot, mask) = decode_round_frame(&body)?;
+                restore_snapshot(model.as_mut(), &snapshot);
+                apply_mask(model.as_mut(), &mask);
+                let ctx = wire_ctx(model.as_ref(), &mask, epoch);
+                let wire = WireSpec {
+                    codec: env.cfg.codec,
+                    ctx: &ctx,
+                    peer_epoch: epoch,
+                };
+                let needs_residual = env.cfg.codec.uses_error_feedback();
+                // Train under the *cohort-positional* index the server
+                // assigned for this round — the in-process loop derives
+                // device RNG streams from that position, so this is what
+                // keeps TCP bit-identical under partial participation.
+                let update = crate::train::train_one_device(
+                    model.as_ref(),
+                    data,
+                    Some(&mask),
+                    &env.cfg,
+                    round,
+                    cohort_pos,
+                    0,
+                    &wire,
+                    needs_residual.then_some(&mut residual),
+                    &rt,
+                );
+                let frame = encode_update_frame(device, &update, &ctx);
+                write_frame(&mut stream, FRAME_UPDATE, &frame)?;
+            }
+            other => {
+                return Err(TransportError::Frame(format!(
+                    "unexpected frame kind {other} from server"
+                )))
+            }
+        }
+    }
+}
+
+/// Connects to the server, retrying connection-refused/reset errors with a
+/// short backoff for ~30 seconds — client and server processes are usually
+/// launched concurrently, and the bind is a race the client should absorb.
+fn connect_with_retry(addr: impl ToSocketAddrs + Clone) -> Result<TcpStream, TransportError> {
+    let mut last_err = None;
+    for _ in 0..120 {
+        match TcpStream::connect(addr.clone()) {
+            Ok(stream) => return Ok(stream),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                last_err = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(last_err.expect("retry loop ran").into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use crate::ExperimentEnv;
+    use ft_nn::sparse_layout;
+    use ft_sparse::Codec;
+
+    #[test]
+    fn update_frame_roundtrips_bit_exactly() {
+        let env = ExperimentEnv::tiny_for_tests(3);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let ctx = wire_ctx(model.as_ref(), &mask, 5);
+        for codec in [Codec::Dense, Codec::MaskCsr, Codec::QuantInt8] {
+            let delta: Vec<f32> = (0..ctx.len()).map(|i| (i as f32).sin()).collect();
+            let update = DeviceUpdate {
+                payload: codec.encode(&delta, &ctx, 5, None),
+                bn: model.bn_stats().into_iter().cloned().collect(),
+                samples: 17,
+                realized_flops: 1.25e9,
+                wall_secs: 0.125,
+            };
+            let frame = encode_update_frame(2, &update, &ctx);
+            let (device, back) = decode_update_frame(&frame, &ctx).expect("roundtrip");
+            assert_eq!(device, 2);
+            assert_eq!(back.payload, update.payload, "{codec:?}");
+            assert_eq!(back.bn, update.bn);
+            assert_eq!(back.samples, 17);
+            assert_eq!(
+                back.realized_flops.to_bits(),
+                update.realized_flops.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn round_frame_roundtrips_snapshot_and_mask() {
+        let env = ExperimentEnv::tiny_for_tests(4);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let layout = sparse_layout(model.as_ref());
+        let mut mask = Mask::ones(&layout);
+        for i in 0..layout.layer(0).len {
+            if i % 3 == 0 {
+                mask.set(0, i, false);
+            }
+        }
+        let snapshot = take_snapshot(model.as_ref());
+        let mut frame = Vec::new();
+        put_u32(&mut frame, 1); // cohort position prefix
+        frame.extend_from_slice(&encode_round_frame(7, 2, &snapshot, &mask));
+        let (pos, round, epoch, snap, mask_back) = decode_round_frame(&frame).expect("roundtrip");
+        assert_eq!(pos, 1);
+        assert_eq!(round, 7);
+        assert_eq!(epoch, 2);
+        assert_eq!(snap, snapshot);
+        assert_eq!(mask_back.num_layers(), mask.num_layers());
+        for l in 0..mask.num_layers() {
+            assert_eq!(mask_back.layer(l), mask.layer(l), "layer {l}");
+        }
+    }
+
+    #[test]
+    fn frames_reject_truncation() {
+        let env = ExperimentEnv::tiny_for_tests(5);
+        let model = env.build_model(&ModelSpec::small_cnn_test());
+        let mask = Mask::ones(&sparse_layout(model.as_ref()));
+        let snapshot = take_snapshot(model.as_ref());
+        let frame = encode_round_frame(0, 0, &snapshot, &mask);
+        assert!(decode_round_frame(&frame[..frame.len() / 2]).is_err());
+        let ctx = wire_ctx(model.as_ref(), &mask, 0);
+        let update = DeviceUpdate {
+            payload: Payload::Dense {
+                values: vec![0.5; ctx.len()],
+            },
+            bn: Vec::new(),
+            samples: 1,
+            realized_flops: 0.0,
+            wall_secs: 0.0,
+        };
+        let uframe = encode_update_frame(0, &update, &ctx);
+        assert!(decode_update_frame(&uframe[..10], &ctx).is_err());
+    }
+
+    #[test]
+    fn sim_time_delivery_is_identity_on_payloads() {
+        let ctx = WireCtx::dense(8);
+        let update = DeviceUpdate {
+            payload: Codec::QuantInt8.encode(&[0.5f32; 8], &ctx, 0, None),
+            bn: vec![],
+            samples: 3,
+            realized_flops: 7.0,
+            wall_secs: 0.25,
+        };
+        let back = SimTime.deliver_update(update.clone(), &ctx);
+        assert_eq!(back.payload, update.payload);
+        assert_eq!(back.samples, update.samples);
+    }
+}

@@ -47,6 +47,7 @@ pub use layer::{
 };
 pub use model::{
     accuracy, apply_mask, bn_stats_encoded_len, flat_params, mask_grads, prunable_param_indices,
-    set_flat_params, sparse_layout, wire_ctx, ArchInfo, LayerArch, Model,
+    restore_snapshot, set_flat_params, sparse_layout, take_snapshot, wire_ctx, ArchInfo, LayerArch,
+    Model, ModelSnapshot,
 };
 pub use param::{Param, ParamKind};

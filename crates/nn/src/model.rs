@@ -272,6 +272,58 @@ pub fn wire_ctx(model: &dyn Model, mask: &Mask, epoch: u64) -> WireCtx {
     WireCtx::new(alive, segments, epoch)
 }
 
+/// A bit-exact snapshot of a model's learnable state: the flat parameter
+/// vector plus every BatchNorm layer's running statistics — everything a
+/// transport must ship (or a checkpoint must persist) so a receiver's
+/// [`restore_snapshot`] reproduces the sender's model exactly.
+///
+/// # Examples
+///
+/// ```
+/// use ft_nn::models::SmallCnn;
+/// use ft_nn::{restore_snapshot, take_snapshot};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let src = SmallCnn::new(&mut rng, 8, 10, 3, 4);
+/// let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut dst = SmallCnn::new(&mut rng2, 8, 10, 3, 4);
+/// restore_snapshot(&mut dst, &take_snapshot(&src));
+/// assert_eq!(take_snapshot(&dst), take_snapshot(&src));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Every parameter, flattened in [`Model::params`] order.
+    pub params: Vec<f32>,
+    /// BatchNorm running statistics, in execution order.
+    pub bn: Vec<BnStats>,
+}
+
+/// Captures a model's learnable state ([`flat_params`] + BN statistics).
+pub fn take_snapshot(model: &dyn Model) -> ModelSnapshot {
+    ModelSnapshot {
+        params: flat_params(model),
+        bn: model.bn_stats().into_iter().cloned().collect(),
+    }
+}
+
+/// Writes a snapshot back into a model of the same architecture; the
+/// round-trip with [`take_snapshot`] is exact (no float re-serialization).
+///
+/// # Panics
+///
+/// Panics if the parameter count or the BatchNorm layer structure differs
+/// from the model's.
+pub fn restore_snapshot(model: &mut dyn Model, snap: &ModelSnapshot) {
+    set_flat_params(model, &snap.params);
+    let stats = model.bn_stats_mut();
+    assert_eq!(stats.len(), snap.bn.len(), "BatchNorm layer count mismatch");
+    for (dst, src) in stats.into_iter().zip(snap.bn.iter()) {
+        assert_eq!(dst.mean.len(), src.mean.len(), "BatchNorm channel mismatch");
+        *dst = src.clone();
+    }
+}
+
 /// Exact wire bytes of one full set of BatchNorm statistics (what a device
 /// uploads per candidate in Alg. 1): a `u32` layer count, then per layer a
 /// `u32` channel count and `mean`/`var` as `f32` pairs.

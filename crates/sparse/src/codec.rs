@@ -40,6 +40,126 @@ use serde::{Deserialize, Serialize};
 /// Bytes of the common payload header: 1-byte codec tag + `u32` length.
 pub const PAYLOAD_HEADER_BYTES: usize = 5;
 
+/// Why a wire frame failed to decode. Decoding never panics: any truncated,
+/// corrupt, or internally inconsistent frame is rejected with one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame ended before the content its header advertises.
+    Truncated {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes actually left in the frame.
+        have: usize,
+    },
+    /// The codec tag byte names no known payload kind.
+    BadTag(u8),
+    /// A count, flag, or index is inconsistent with the frame or the
+    /// decoding context (the static message names the field).
+    Inconsistent(&'static str),
+    /// Well-formed payload followed by garbage.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: needed {needed} more bytes, have {have}"
+                )
+            }
+            DecodeError::BadTag(t) => write!(f, "unknown payload tag {t}"),
+            DecodeError::Inconsistent(what) => write!(f, "inconsistent frame: {what}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked little-endian cursor over a wire frame — or any other
+/// binary blob of this workspace's wire formats (the transport frames and
+/// the checkpoint codec in `ft-fl` parse through this same cursor). Every
+/// read is checked before it happens, and counted reads are checked before
+/// any allocation, so truncated or corrupt input yields a typed
+/// [`DecodeError`], never a panic or a huge reservation.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n - self.remaining(),
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Next byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Next `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Next `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Next `f32`, bit-exact.
+    pub fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads `n` `f32`s; the length check happens before any allocation, so
+    /// a garbage count cannot trigger a huge reservation.
+    pub fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, DecodeError> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or(DecodeError::Inconsistent("count overflow"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
 /// Bytes per stored within-segment index for a segment of `len` entries:
 /// 2 below 2^16, 4 beyond. Shared by the real `MaskCsr` encoder and the
 /// analytic `sparse_model_bytes` accounting.
@@ -486,6 +606,113 @@ impl Payload {
         out
     }
 
+    /// Parses a payload back out of its wire bytes — the exact inverse of
+    /// [`to_bytes`](Self::to_bytes): `from_bytes(&p.to_bytes(ctx), ctx) ==
+    /// Ok(p)` for every payload encodable over `ctx` (pinned by property
+    /// test). `ctx` supplies the segment structure (`MaskCsr` index widths
+    /// and `QuantInt8` block count), exactly as it does for encoding.
+    ///
+    /// Unlike [`decode`](Self::decode) this never panics: truncated,
+    /// corrupt, or inconsistent frames return a typed [`DecodeError`], so a
+    /// transport can feed it untrusted bytes. "Inconsistent" includes
+    /// inconsistency *with the context*: the decoded length must equal
+    /// `ctx.len()`, and a values-only `MaskCsr` payload must carry the
+    /// context's mask epoch and alive count — so an accepted payload can
+    /// always be decoded/accumulated under `ctx` without hitting the panic
+    /// paths of [`decode`](Self::decode).
+    pub fn from_bytes(bytes: &[u8], ctx: &WireCtx) -> Result<Payload, DecodeError> {
+        let mut r = WireReader::new(bytes);
+        let tag = r.u8()?;
+        if tag > 3 {
+            return Err(DecodeError::BadTag(tag));
+        }
+        let len = r.u32()? as usize;
+        if len != ctx.len() {
+            return Err(DecodeError::Inconsistent("length differs from context"));
+        }
+        let payload = match tag {
+            0 => Payload::Dense {
+                values: r.f32_vec(len)?,
+            },
+            1 => {
+                let epoch = r.u64()?;
+                let indexed = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::Inconsistent("index flag not 0/1")),
+                };
+                let nnz = r.u32()? as usize;
+                if nnz > len {
+                    return Err(DecodeError::Inconsistent("more values than coordinates"));
+                }
+                if !indexed && (epoch != ctx.epoch || nnz != ctx.alive_count()) {
+                    return Err(DecodeError::Inconsistent(
+                        "values-only payload does not match the context's mask",
+                    ));
+                }
+                let values = r.f32_vec(nnz)?;
+                let indices = if indexed {
+                    Some(read_segment_indices(&mut r, &ctx.segments, nnz)?)
+                } else {
+                    None
+                };
+                Payload::MaskCsr {
+                    epoch,
+                    values,
+                    indices,
+                    len,
+                }
+            }
+            2 => {
+                let mut params = Vec::with_capacity(ctx.segments.len());
+                for _ in 0..ctx.segments.len() {
+                    params.push(QuantParams {
+                        scale: r.f32()?,
+                        min: r.f32()?,
+                    });
+                }
+                let codes: Vec<i8> = r.take(len)?.iter().map(|&b| b as i8).collect();
+                Payload::QuantInt8 { params, codes, len }
+            }
+            3 => {
+                let count = r.u32()? as usize;
+                if count > len {
+                    return Err(DecodeError::Inconsistent("more pairs than coordinates"));
+                }
+                // One 8-byte pair per entry; check before allocating.
+                if r.remaining() < 8 * count {
+                    return Err(DecodeError::Truncated {
+                        needed: 8 * count - r.remaining(),
+                        have: r.remaining(),
+                    });
+                }
+                let mut indices = Vec::with_capacity(count);
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let i = r.u32()?;
+                    if (i as usize) >= len {
+                        return Err(DecodeError::Inconsistent("pair index out of range"));
+                    }
+                    if indices.last().is_some_and(|&p| i <= p) {
+                        return Err(DecodeError::Inconsistent("pair indices not ascending"));
+                    }
+                    indices.push(i);
+                    values.push(r.f32()?);
+                }
+                Payload::TopK {
+                    indices,
+                    values,
+                    len,
+                }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        match r.remaining() {
+            0 => Ok(payload),
+            n => Err(DecodeError::TrailingBytes(n)),
+        }
+    }
+
     /// Decodes back to a full flat vector (untransmitted coordinates are
     /// zero).
     ///
@@ -605,6 +832,62 @@ fn write_segment_indices(indices: &[u32], segments: &[usize], out: &mut Vec<u8>)
         }
         start += seg as u32;
     });
+}
+
+/// Parses the per-segment index encoding back into sorted flat indices —
+/// the inverse of [`write_segment_indices`]. Rejects any frame a real
+/// encoder could not have produced: out-of-range or unsorted offsets, a
+/// sparse-flagged segment that covers every entry, or a total index count
+/// that disagrees with the value count.
+fn read_segment_indices(
+    r: &mut WireReader<'_>,
+    segments: &[usize],
+    nnz: usize,
+) -> Result<Vec<u32>, DecodeError> {
+    let mut indices = Vec::new();
+    let mut start = 0u32;
+    for &seg in segments {
+        match r.u8()? {
+            1 => {
+                if indices.len() + seg > nnz {
+                    return Err(DecodeError::Inconsistent("index/value count mismatch"));
+                }
+                indices.extend(start..start + seg as u32);
+            }
+            0 => {
+                let count = r.u32()? as usize;
+                if count > seg || indices.len() + count > nnz {
+                    return Err(DecodeError::Inconsistent("index/value count mismatch"));
+                }
+                if count == seg && seg > 0 {
+                    return Err(DecodeError::Inconsistent("full segment not flagged dense"));
+                }
+                let width = sparse_index_width(seg);
+                let mut prev: Option<u32> = None;
+                for _ in 0..count {
+                    let offset = if width == 2 {
+                        r.u16()? as u32
+                    } else {
+                        r.u32()?
+                    };
+                    if offset as usize >= seg {
+                        return Err(DecodeError::Inconsistent("offset outside segment"));
+                    }
+                    if prev.is_some_and(|p| offset <= p) {
+                        return Err(DecodeError::Inconsistent("segment offsets not ascending"));
+                    }
+                    prev = Some(offset);
+                    indices.push(start + offset);
+                }
+            }
+            _ => return Err(DecodeError::Inconsistent("segment flag not 0/1")),
+        }
+        start += seg as u32;
+    }
+    if indices.len() != nnz {
+        return Err(DecodeError::Inconsistent("index/value count mismatch"));
+    }
+    Ok(indices)
 }
 
 /// Splits sorted flat `indices` by segment and hands each chunk (with its
@@ -849,11 +1132,125 @@ mod tests {
             })
     }
 
+    #[test]
+    fn codec_from_bytes_rejects_garbage_without_panicking() {
+        let ctx = striped_ctx(2);
+        // Unknown tag.
+        assert_eq!(
+            Payload::from_bytes(&[9, 0, 0, 0, 0], &ctx),
+            Err(DecodeError::BadTag(9))
+        );
+        // Empty frame.
+        assert!(matches!(
+            Payload::from_bytes(&[], &ctx),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Dense header promising more values than the context describes:
+        // rejected before allocating anything huge, and before the decode
+        // paths that would panic on a length mismatch.
+        let mut huge = vec![0u8; 5];
+        huge[0] = 0;
+        huge[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            Payload::from_bytes(&huge, &ctx),
+            Err(DecodeError::Inconsistent("length differs from context"))
+        );
+        // A well-formed frame for a *different* model is equally refused:
+        // accepting it would trade the never-panics decode contract for a
+        // panic later in aggregation.
+        let foreign = Codec::Dense.encode(&[1.0f32; 8], &WireCtx::dense(8), 0, None);
+        assert_eq!(
+            Payload::from_bytes(&foreign.to_bytes(&WireCtx::dense(8)), &ctx),
+            Err(DecodeError::Inconsistent("length differs from context"))
+        );
+        // Values-only MaskCsr under a foreign mask epoch: the receiver
+        // could not scatter it safely, so the frame is rejected up front.
+        let values_only = Codec::MaskCsr.encode(&[1.0f32; 24], &ctx, ctx.epoch, None);
+        let foreign_epoch = striped_ctx(ctx.epoch + 1);
+        assert!(matches!(
+            Payload::from_bytes(&values_only.to_bytes(&ctx), &foreign_epoch),
+            Err(DecodeError::Inconsistent(_))
+        ));
+        // Trailing garbage after a valid payload.
+        let p = Codec::Dense.encode(&[1.0f32; 24], &ctx, ctx.epoch, None);
+        let mut bytes = p.to_bytes(&ctx);
+        bytes.push(0xAA);
+        assert_eq!(
+            Payload::from_bytes(&bytes, &ctx),
+            Err(DecodeError::TrailingBytes(1))
+        );
+        // TopK with unsorted pair indices.
+        let ctx6 = WireCtx::dense(6);
+        let bad = Payload::TopK {
+            indices: vec![3, 1],
+            values: vec![1.0, 2.0],
+            len: 6,
+        };
+        assert!(matches!(
+            Payload::from_bytes(&bad.to_bytes(&ctx6), &ctx6),
+            Err(DecodeError::Inconsistent(_))
+        ));
+        // MaskCsr index flag outside {0, 1}.
+        let shared = Codec::MaskCsr.encode(&[1.0f32; 24], &ctx, ctx.epoch, None);
+        let mut bytes = shared.to_bytes(&ctx);
+        bytes[13] = 7; // the indexed flag byte (after tag+len+epoch)
+        assert!(matches!(
+            Payload::from_bytes(&bytes, &ctx),
+            Err(DecodeError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn codec_from_bytes_error_display_is_readable() {
+        let e = DecodeError::Truncated { needed: 4, have: 1 };
+        assert!(e.to_string().contains("truncated"));
+        assert!(DecodeError::BadTag(7).to_string().contains('7'));
+        assert!(DecodeError::Inconsistent("x").to_string().contains('x'));
+        assert!(DecodeError::TrailingBytes(3).to_string().contains('3'));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
-        /// `encoded_len` equals the length of the real byte serialization,
-        /// for every codec, alive pattern, and epoch relation.
+        /// Byte round-trip: `from_bytes(to_bytes(p)) == Ok(p)` exactly, for
+        /// every codec × alive pattern × matching/stale mask epoch.
+        #[test]
+        fn codec_from_bytes_inverts_to_bytes(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            shared in 0usize..2,
+        ) {
+            let peer = if shared == 1 { ctx.epoch } else { ctx.epoch.wrapping_add(1) };
+            let mut residual = Vec::new();
+            let p = codec.encode(&values, &ctx, peer, Some(&mut residual));
+            let bytes = p.to_bytes(&ctx);
+            prop_assert_eq!(Payload::from_bytes(&bytes, &ctx), Ok(p));
+        }
+
+        /// Fuzz-ish robustness: every strict prefix of a valid frame is
+        /// rejected with `Err` (never a panic), and mutating any single byte
+        /// either fails to parse or re-encodes to the mutated bytes.
+        #[test]
+        fn codec_from_bytes_never_panics_on_corruption(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            flip_pos in 0usize..4096,
+            flip_xor in 1u32..256,
+        ) {
+            let p = codec.encode(&values, &ctx, ctx.epoch, Some(&mut Vec::new()));
+            let bytes = p.to_bytes(&ctx);
+            for cut in 0..bytes.len() {
+                prop_assert!(Payload::from_bytes(&bytes[..cut], &ctx).is_err());
+            }
+            let mut mutated = bytes.clone();
+            let pos = flip_pos % mutated.len();
+            mutated[pos] ^= flip_xor as u8;
+            if let Ok(q) = Payload::from_bytes(&mutated, &ctx) {
+                // Anything that parses must be canonical: re-encoding it
+                // reproduces the mutated frame byte-for-byte.
+                prop_assert_eq!(q.to_bytes(&ctx), mutated);
+            }
+        }
         #[test]
         fn codec_encoded_len_matches_wire_bytes(
             (ctx, values) in arb_ctx(),

@@ -41,7 +41,8 @@ mod schedule;
 mod topk;
 
 pub use codec::{
-    sparse_index_width, topk_pairs_encoded_len, Codec, Payload, WireCtx, PAYLOAD_HEADER_BYTES,
+    sparse_index_width, topk_pairs_encoded_len, Codec, DecodeError, Payload, WireCtx, WireReader,
+    PAYLOAD_HEADER_BYTES,
 };
 pub use layout::{CsrMatrix, LayerSpec, SparseLayout};
 pub use mask::Mask;

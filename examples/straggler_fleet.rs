@@ -10,6 +10,9 @@
 //! # codecs: dense (default) | mask_csr | quant_int8 | top_k
 //! # pick the host worker-thread count (0 = all cores):
 //! cargo run --release --example straggler_fleet -- --threads 4
+//! # checkpoint every round (one file per scheduler) and resume later:
+//! cargo run --release --example straggler_fleet -- --checkpoint /tmp/fleet.ckpt
+//! cargo run --release --example straggler_fleet -- --checkpoint /tmp/fleet.ckpt --resume
 //! ```
 //!
 //! Transfers are billed at the *measured* encoded payload size, so the
@@ -21,8 +24,8 @@
 
 use fedtiny_suite::data::{DatasetProfile, SynthConfig};
 use fedtiny_suite::fl::{
-    no_hook, run_federated_rounds, Codec, CostLedger, DeviceProfile, ExperimentEnv, FlConfig,
-    ModelSpec, Scheduler, TimelineEvent,
+    no_hook, run_with, CheckpointSpec, Codec, CostLedger, DeviceProfile, ExperimentEnv, FlConfig,
+    InProcess, ModelSpec, RunOptions, Scheduler, TimelineEvent,
 };
 use fedtiny_suite::nn::sparse_layout;
 use fedtiny_suite::sparse::Mask;
@@ -42,6 +45,22 @@ fn codec_from_args() -> Codec {
         }
         None => Codec::Dense,
     }
+}
+
+/// Parses `--checkpoint <path>` (default: no checkpointing). Each policy
+/// saves to its own `<path>.<scheduler>` file so the three runs never
+/// collide.
+fn checkpoint_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--checkpoint")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether `--resume` was passed (resume each policy from its checkpoint
+/// file when one exists; a missing file starts fresh).
+fn resume_from_args() -> bool {
+    std::env::args().any(|a| a == "--resume")
 }
 
 /// Parses `--threads <n>` (default 0 = auto: `FT_THREADS`, else all cores).
@@ -82,20 +101,42 @@ fn build_env(scheduler: Scheduler, codec: Codec, threads: usize) -> ExperimentEn
 
 /// One full run; returns the final accuracy, the ledger, and the host
 /// wall-clock seconds of the round loop (environment setup excluded).
-fn run(scheduler: Scheduler, codec: Codec, threads: usize) -> (f32, CostLedger, f64) {
+/// With `checkpoint` set, the run saves to `<path>.<scheduler>` every round
+/// and `resume` continues from an existing file.
+fn run(
+    scheduler: Scheduler,
+    codec: Codec,
+    threads: usize,
+    checkpoint: Option<&str>,
+    resume: bool,
+) -> (f32, CostLedger, f64) {
     let env = build_env(scheduler, codec, threads);
     let mut model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
     let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
     let mut ledger = CostLedger::new();
     let started = std::time::Instant::now();
-    let history = run_federated_rounds(
+    let mut transport = InProcess;
+    let history = run_with(
         model.as_mut(),
         &mut mask,
         &env,
         0,
         &mut ledger,
         &mut no_hook(),
-    );
+        RunOptions {
+            transport: &mut transport,
+            checkpoint: checkpoint
+                .map(|p| CheckpointSpec::every_round(format!("{p}.{}", scheduler.name()))),
+            resume,
+            halt_after: None,
+            hook_save: None,
+            hook_load: None,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    });
     let wall = started.elapsed().as_secs_f64();
     (*history.last().expect("nonempty history"), ledger, wall)
 }
@@ -103,6 +144,8 @@ fn run(scheduler: Scheduler, codec: Codec, threads: usize) -> (f32, CostLedger, 
 fn main() {
     let codec = codec_from_args();
     let threads = threads_from_args();
+    let checkpoint = checkpoint_from_args();
+    let resume = resume_from_args();
     let resolved = fedtiny_suite::fl::resolve_threads(threads);
     // A deadline inside the fleet's spread (geometric mean of the fastest
     // and slowest device's simulated round time).
@@ -117,7 +160,17 @@ fn main() {
         Scheduler::Deadline { deadline_secs },
         Scheduler::Buffered { buffer_k: 3 },
     ];
-    println!("wire codec: {} | worker threads: {resolved}", codec.name());
+    // Self-describing run header: transport, wire codec, worker pool, and
+    // where (if anywhere) the run checkpoints.
+    println!(
+        "transport: in_process | wire codec: {} | worker threads: {resolved} | checkpoint: {}{}",
+        codec.name(),
+        checkpoint
+            .as_deref()
+            .map(|p| format!("{p}.<scheduler>"))
+            .unwrap_or_else(|| "-".into()),
+        if resume { " (resume)" } else { "" },
+    );
     println!(
         "{:>12}  {:>6}  {:>14}  {:>10}  {:>8}  {:>7}  {:>10}",
         "scheduler", "top1", "sim_makespan_s", "zero_prog", "dropped", "stale", "upload_kb"
@@ -125,7 +178,7 @@ fn main() {
     let mut buffered_timeline: Vec<TimelineEvent> = Vec::new();
     let mut sync_wall = None;
     for policy in policies {
-        let (top1, ledger, wall) = run(policy, codec, threads);
+        let (top1, ledger, wall) = run(policy, codec, threads, checkpoint.as_deref(), resume);
         if matches!(policy, Scheduler::Synchronous) {
             sync_wall = Some((wall, ledger.sim_makespan_secs()));
         }
@@ -171,7 +224,9 @@ fn main() {
     // bit-for-bit — the runtime only changes how fast the host computes it.
     if resolved > 1 {
         let (wall_n, sim_n) = sync_wall.expect("synchronous policy ran");
-        let (_, ledger_1, wall_1) = run(Scheduler::Synchronous, codec, 1);
+        // The thread-count rerun never touches the checkpoint files: a
+        // resumed run would skip the rounds this comparison measures.
+        let (_, ledger_1, wall_1) = run(Scheduler::Synchronous, codec, 1, None, false);
         assert_eq!(
             ledger_1.sim_makespan_secs().to_bits(),
             sim_n.to_bits(),

@@ -1,0 +1,281 @@
+//! TCP fleet: the federation server and its devices on opposite ends of
+//! real sockets — every broadcast and every update crosses a length-prefixed
+//! frame on 127.0.0.1, and the final aggregated model is asserted
+//! **bit-identical** to the in-process run of the same seed.
+//!
+//! ```bash
+//! # Everything in one process (server + 4 client threads on an ephemeral
+//! # loopback port), asserting TCP == InProcess — the CI smoke mode:
+//! cargo run --release --example tcp_fleet -- --demo
+//!
+//! # Or as separate processes:
+//! cargo run --release --example tcp_fleet -- --listen 127.0.0.1:7070 &
+//! for k in 0 1 2 3; do
+//!   cargo run --release --example tcp_fleet -- --connect 127.0.0.1:7070 --device $k &
+//! done
+//! wait
+//!
+//! # Durability: checkpoint every round, kill at round 3, resume:
+//! cargo run --release --example tcp_fleet -- --demo --checkpoint /tmp/fleet.ckpt --halt-after 3
+//! cargo run --release --example tcp_fleet -- --demo --checkpoint /tmp/fleet.ckpt --resume
+//! ```
+//!
+//! Both ends build the same [`ExperimentEnv`] from the shared seed — the
+//! synthetic datasets are pure functions of it, so no training data ever
+//! crosses the wire, only model snapshots and encoded update deltas.
+
+use fedtiny_suite::data::{DatasetProfile, SynthConfig};
+use fedtiny_suite::fl::{
+    no_hook, run_federated_rounds, run_tcp_device, run_with, CheckpointSpec, Codec, CostLedger,
+    ExperimentEnv, FlConfig, ModelSpec, RunOptions, TcpTransport,
+};
+use fedtiny_suite::nn::{flat_params, sparse_layout};
+use fedtiny_suite::sparse::Mask;
+use std::net::TcpListener;
+
+const SEED: u64 = 23;
+
+#[derive(Clone, Debug)]
+struct Options {
+    mode: Mode,
+    devices: usize,
+    rounds: usize,
+    codec: Codec,
+    checkpoint: Option<String>,
+    resume: bool,
+    halt_after: Option<usize>,
+}
+
+#[derive(Clone, Debug)]
+enum Mode {
+    Demo,
+    Listen(String),
+    Connect { addr: String, device: usize },
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let mode = if let Some(addr) = get("--listen") {
+        Mode::Listen(addr)
+    } else if let Some(addr) = get("--connect") {
+        let device = get("--device")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--connect requires --device <k>");
+                std::process::exit(2);
+            });
+        Mode::Connect { addr, device }
+    } else {
+        Mode::Demo
+    };
+    let codec = match get("--codec") {
+        Some(name) => match Codec::from_name(&name) {
+            // `top_k` defaults to error feedback ON, but error-feedback
+            // residuals live on the device and cannot be rolled back over
+            // a remote transport (the server refuses the combination) —
+            // the TCP fleet therefore runs the stateless variant.
+            Some(Codec::TopK { k_frac, .. }) => Codec::TopK {
+                k_frac,
+                error_feedback: false,
+            },
+            Some(codec) => codec,
+            None => {
+                eprintln!(
+                    "unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k \
+                     (top_k runs without error feedback over TCP)"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => Codec::Dense,
+    };
+    Options {
+        mode,
+        devices: get("--devices").and_then(|v| v.parse().ok()).unwrap_or(4),
+        rounds: get("--rounds").and_then(|v| v.parse().ok()).unwrap_or(6),
+        codec,
+        checkpoint: get("--checkpoint"),
+        resume: has("--resume"),
+        halt_after: get("--halt-after").and_then(|v| v.parse().ok()),
+    }
+}
+
+/// The environment both ends derive from the shared seed.
+fn build_env(opts: &Options) -> ExperimentEnv {
+    let synth = SynthConfig {
+        profile: DatasetProfile::Cifar10,
+        train_per_class: 12,
+        test_per_class: 8,
+        resolution: 8,
+        channels: 3,
+        seed: SEED,
+    };
+    let mut cfg = FlConfig::bench_default();
+    cfg.devices = opts.devices;
+    cfg.rounds = opts.rounds;
+    cfg.local_epochs = 1;
+    cfg.seed = SEED;
+    cfg.codec = opts.codec;
+    ExperimentEnv::new(synth, cfg)
+}
+
+fn model_spec() -> ModelSpec {
+    ModelSpec::SmallCnn { width: 4, input: 8 }
+}
+
+/// Self-describing run header (transport, codec, checkpoint path).
+fn print_header(transport: &str, opts: &Options) {
+    println!(
+        "transport: {transport} | codec: {} | devices: {} | rounds: {} | checkpoint: {}{}",
+        opts.codec.name(),
+        opts.devices,
+        opts.rounds,
+        opts.checkpoint.as_deref().unwrap_or("-"),
+        if opts.resume { " (resume)" } else { "" },
+    );
+}
+
+/// Runs the server rounds over an accepted TCP fleet and returns
+/// `(final accuracy, final params, ledger)`.
+fn run_server(transport: &mut TcpTransport, opts: &Options) -> (f32, Vec<f32>, CostLedger) {
+    let env = build_env(opts);
+    let mut model = env.build_model(&model_spec());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let history = run_with(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+        RunOptions {
+            transport,
+            checkpoint: opts.checkpoint.as_ref().map(CheckpointSpec::every_round),
+            resume: opts.resume,
+            halt_after: opts.halt_after,
+            hook_save: None,
+            hook_load: None,
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("server run failed: {e}");
+        std::process::exit(1);
+    });
+    let acc = history.last().copied().unwrap_or(f32::NAN);
+    (acc, flat_params(model.as_ref()), ledger)
+}
+
+/// The in-process reference run of the same seed (same checkpoint/halt
+/// schedule, separate checkpoint file so the two runs never collide).
+fn run_reference(opts: &Options) -> (f32, Vec<f32>, CostLedger) {
+    let env = build_env(opts);
+    let mut model = env.build_model(&model_spec());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let history = run_federated_rounds(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+    );
+    let acc = history.last().copied().unwrap_or(f32::NAN);
+    (acc, flat_params(model.as_ref()), ledger)
+}
+
+/// Compares the TCP run against the in-process reference and exits
+/// non-zero on any drift. Skipped for halted (checkpoint-partial) runs.
+fn assert_matches_reference(tcp: &(f32, Vec<f32>, CostLedger), opts: &Options) {
+    if let Some(halted) = opts.halt_after {
+        println!("halted after {halted} rounds — checkpoint saved, reference comparison skipped");
+        return;
+    }
+    let reference = run_reference(opts);
+    let drifted = tcp
+        .1
+        .iter()
+        .zip(reference.1.iter())
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    println!(
+        "tcp top1 {:.4} | in_process top1 {:.4} | parameter drift: {drifted}/{} coordinates",
+        tcp.0,
+        reference.0,
+        reference.1.len(),
+    );
+    assert_eq!(
+        drifted, 0,
+        "TCP run diverged from the in-process run — the byte boundary changed the math"
+    );
+    assert_eq!(tcp.0.to_bits(), reference.0.to_bits(), "accuracy drifted");
+    println!(
+        "ok: final aggregated model is bit-identical across the TCP byte boundary \
+         ({:.1} simulated seconds, {:.1} KB measured uploads)",
+        tcp.2.sim_makespan_secs(),
+        tcp.2.total_payload_upload_bytes() / 1e3,
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    match opts.mode.clone() {
+        Mode::Connect { addr, device } => {
+            print_header("tcp (device)", &opts);
+            let env = build_env(&opts);
+            if let Err(e) = run_tcp_device(addr.as_str(), device, &env, &model_spec()) {
+                eprintln!("device {device} failed: {e}");
+                std::process::exit(1);
+            }
+            println!("device {device}: done");
+        }
+        Mode::Listen(addr) => {
+            print_header("tcp (server)", &opts);
+            println!(
+                "listening on {addr}, waiting for {} devices...",
+                opts.devices
+            );
+            let mut transport =
+                TcpTransport::listen(addr.as_str(), opts.devices).unwrap_or_else(|e| {
+                    eprintln!("listen failed: {e}");
+                    std::process::exit(1);
+                });
+            let tcp = run_server(&mut transport, &opts);
+            assert_matches_reference(&tcp, &opts);
+        }
+        Mode::Demo => {
+            print_header("tcp (demo: server + client threads)", &opts);
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            let addr = listener.local_addr().expect("local addr");
+            println!("loopback fleet on {addr}");
+            let client_opts = opts.clone();
+            let clients: Vec<_> = (0..opts.devices)
+                .map(|k| {
+                    let o = client_opts.clone();
+                    std::thread::spawn(move || {
+                        let env = build_env(&o);
+                        run_tcp_device(addr, k, &env, &model_spec())
+                            .unwrap_or_else(|e| panic!("device {k} failed: {e}"));
+                    })
+                })
+                .collect();
+            let mut transport =
+                TcpTransport::accept_fleet(&listener, opts.devices).unwrap_or_else(|e| {
+                    eprintln!("accept failed: {e}");
+                    std::process::exit(1);
+                });
+            let tcp = run_server(&mut transport, &opts);
+            for c in clients {
+                c.join().expect("client thread");
+            }
+            assert_matches_reference(&tcp, &opts);
+        }
+    }
+}

@@ -22,8 +22,8 @@
 //! ```
 
 use fedtiny_suite::fl::{
-    no_hook, run_federated_rounds, Codec, CostLedger, DeviceProfile, ExperimentEnv, ModelSpec,
-    Scheduler,
+    no_hook, run_federated_rounds, run_with, Codec, CostLedger, DeviceProfile, ExperimentEnv,
+    ModelSpec, RunOptions, Scheduler, SimTime,
 };
 use fedtiny_suite::nn::{apply_mask, sparse_layout};
 use fedtiny_suite::sparse::Mask;
@@ -149,6 +149,46 @@ fn deadline_maskcsr_trace() -> String {
 #[test]
 fn sim_golden_trace_synchronous_matches_committed() {
     compare_or_bless(SYNCHRONOUS_PATH, &synchronous_trace());
+}
+
+/// The `SimTime` transport — every update serialized into a real frame and
+/// parsed back — reproduces the committed `InProcess` golden trace byte for
+/// byte. This is the wire layer's strongest guarantee: crossing the byte
+/// boundary changes nothing, so the traces stay pinned to the SAME files.
+#[test]
+fn sim_golden_trace_synchronous_identical_over_byte_boundary() {
+    if std::env::var("FT_BLESS").is_ok() {
+        return; // blessing is the InProcess test's job
+    }
+    let mut env = ExperimentEnv::tiny_for_tests(42);
+    env.fleet = DeviceProfile::fleet_mixed(env.num_devices());
+    env.scheduler = Scheduler::Synchronous;
+    let mut model = env.build_model(&ModelSpec::small_cnn_test());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let mut transport = SimTime;
+    let history = run_with(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        1,
+        &mut ledger,
+        &mut no_hook(),
+        RunOptions::new(&mut transport),
+    )
+    .expect("sim_time run");
+    let got = render_trace(
+        "# Golden trace: Synchronous scheduler, mixed fleet, tiny env (seed 42),\n\
+         # small_cnn_test, Dense codec, eval_every = 1.\n\
+         # Regenerate: FT_BLESS=1 cargo test --test golden_trace\n",
+        &history,
+        &ledger,
+    );
+    let want = std::fs::read_to_string(SYNCHRONOUS_PATH).expect("committed golden trace");
+    assert_eq!(
+        got, want,
+        "SimTime transport diverged from the committed InProcess golden trace"
+    );
 }
 
 #[test]
