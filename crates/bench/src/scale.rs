@@ -110,6 +110,7 @@ impl Scale {
             parallel: true,
             threads: 0,
             codec: ft_fl::Codec::Dense,
+            aggregator: ft_fl::Aggregator::FedAvg,
             seed,
         }
     }

@@ -291,6 +291,7 @@ pub(crate) fn run_sparse_rounds_with(
                 halt_after: opts.halt_after,
                 hook_save: Some(&hook_save),
                 hook_load: Some(&hook_load),
+                presence: None,
             },
         )?
     };

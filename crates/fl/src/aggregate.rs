@@ -1,9 +1,16 @@
 //! Server-side aggregation: FedAvg over flat parameters and BN statistics,
 //! plus the payload-native variants that decode-and-accumulate encoded
 //! update deltas without ever materializing a per-device dense vector.
+//!
+//! The [`Aggregator`] enum layers the robust rules of the trimmed-mean /
+//! median family (Yin et al., ICML'18) and norm-bounded clipping on top of
+//! the same payload pipeline, so a hostile cohort member's poisoned delta
+//! is bounded or outvoted instead of averaged in.
 
+use crate::config::ConfigError;
 use ft_nn::BnStats;
 use ft_sparse::{Payload, WireCtx};
+use serde::{Deserialize, Serialize};
 
 /// Weighted average of flat parameter vectors (FedAvg).
 ///
@@ -139,8 +146,13 @@ pub fn fedavg_payloads(updates: &[(&Payload, f64)], anchor: &[f32], ctx: &WireCt
 /// decode(payload_k)` with `wn_k ∝ w_k / sqrt(1 + s_k)` (the FedBuff
 /// discount of [`staleness_weight`]). Deltas are applied to the *current*
 /// global even when they were computed against an older anchor — the
-/// standard buffered-aggregation semantics. A degenerate cohort returns
-/// `current` unchanged.
+/// standard buffered-aggregation semantics.
+///
+/// Routes through [`try_staleness_fedavg_payloads`] with the
+/// [`fedavg_or_previous`] fallback: a degenerate cohort — empty, entirely
+/// quarantined mid-round, or carrying only unusable weights — returns
+/// `current` unchanged instead of dividing by a zero (or non-finite)
+/// survivor weight sum.
 ///
 /// # Panics
 ///
@@ -151,27 +163,54 @@ pub fn staleness_fedavg_payloads(
     current: &[f32],
     ctx: &WireCtx,
 ) -> Vec<f32> {
-    let total_w: f64 = updates
+    try_staleness_fedavg_payloads(updates, current, ctx).unwrap_or_else(|| current.to_vec())
+}
+
+/// [`staleness_fedavg_payloads`] without the silent-voiding hazard: each
+/// update's *effective* weight `w_k / sqrt(1 + s_k)` is screened before the
+/// normalizing sum, so one quarantine-worthy weight (NaN, infinite, zero,
+/// or negative — e.g. an adversarial `num_samples` that overflowed a cast)
+/// cannot poison the total and void the honest survivors' round. Returns
+/// `None` only when *no* update carries usable weight — the caller keeps
+/// the current global (route through the [`fedavg_or_previous`] idiom).
+///
+/// With every weight finite and positive this is bit-identical to the
+/// unscreened sum: the same updates enter the total in the same order.
+///
+/// # Panics
+///
+/// Panics if a payload's decoded length differs from `current`, or on a
+/// mask-epoch mismatch (see [`try_fedavg_payloads`]).
+pub fn try_staleness_fedavg_payloads(
+    updates: &[(&Payload, f64, usize)],
+    current: &[f32],
+    ctx: &WireCtx,
+) -> Option<Vec<f32>> {
+    let usable: Vec<(&Payload, f64)> = updates
         .iter()
-        .map(|(_, w, s)| w * staleness_weight(*s))
-        .sum();
-    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
-        return current.to_vec();
+        .map(|(p, w, s)| (*p, w * staleness_weight(*s)))
+        .filter(|(_, ew)| ew.is_finite() && *ew > 0.0)
+        .collect();
+    let total_w: f64 = usable.iter().map(|(_, ew)| *ew).sum();
+    if usable.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return None;
     }
     let mut acc = vec![0.0f64; current.len()];
-    for (payload, w, s) in updates {
+    for (payload, ew) in &usable {
         assert_eq!(
             payload.len(),
             current.len(),
             "payload length differs from the global model"
         );
-        payload.accumulate_into(w * staleness_weight(*s) / total_w, &mut acc, ctx);
+        payload.accumulate_into(*ew / total_w, &mut acc, ctx);
     }
-    current
-        .iter()
-        .zip(acc.iter())
-        .map(|(&c, &d)| (c as f64 + d) as f32)
-        .collect()
+    Some(
+        current
+            .iter()
+            .zip(acc.iter())
+            .map(|(&c, &d)| (c as f64 + d) as f32)
+            .collect(),
+    )
 }
 
 /// FedBuff-style staleness discount: an update computed `staleness` server
@@ -262,6 +301,333 @@ pub fn try_aggregate_bn_stats(updates: &[(Vec<BnStats>, f64)]) -> Option<Vec<BnS
         }
     }
     Some(out)
+}
+
+/// Server aggregation rule: how one round's accepted payloads become the
+/// next global model. `FedAvg` is the throughput default; the other rules
+/// trade compute (each payload is decoded to a dense delta) for robustness
+/// against poisoned cohort members, per the standard Byzantine-tolerant
+/// aggregation families.
+///
+/// Selected via `FlConfig.aggregator` and validated by
+/// `FlConfig::validate`; works under both scheduler loops (the synchronous
+/// barrier applies the rule against the round's anchor, the buffered event
+/// loop against the current global).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Aggregator {
+    /// Sample-weighted averaging of payload deltas — exactly
+    /// [`try_fedavg_payloads`] / [`staleness_fedavg_payloads`], bit for bit.
+    #[default]
+    FedAvg,
+    /// Coordinate-wise β-trimmed mean: per coordinate, drop the
+    /// `t = min(⌊β·n⌋, (n−1)/2)` largest and smallest delta values and
+    /// average the rest, unweighted. Tolerates up to `t` arbitrary
+    /// (sign-flipped, scaled, NaN) cohort members per coordinate.
+    TrimmedMean {
+        /// Trim fraction per tail, in `[0, 0.5)`.
+        beta: f64,
+    },
+    /// Coordinate-wise median of the delta values (mean of the two middle
+    /// order statistics for even cohorts) — the β→0.5 limit of trimming.
+    CoordinateMedian,
+    /// FedAvg over norm-bounded deltas: each decoded delta is scaled by
+    /// `min(1, τ / ‖δ‖₂)` before the weighted average, bounding any single
+    /// device's pull on the global (the norm-clipping defense against
+    /// model poisoning).
+    NormClipped {
+        /// L2 clipping threshold, finite and positive.
+        tau: f64,
+    },
+}
+
+/// What an [`Aggregator`] produced for one round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateOutcome {
+    /// The new global parameters, or `None` when the cohort was degenerate
+    /// (empty, fully quarantined, or without usable weight) and the caller
+    /// should keep the previous global.
+    pub params: Option<Vec<f32>>,
+    /// How many accepted updates were norm-clipped (always 0 for the
+    /// rank-based rules and `FedAvg`).
+    pub clipped: usize,
+}
+
+impl AggregateOutcome {
+    fn keep_previous() -> Self {
+        AggregateOutcome {
+            params: None,
+            clipped: 0,
+        }
+    }
+}
+
+impl Aggregator {
+    /// Stable CLI / display name (`fedavg`, `trimmed_mean`, `median`,
+    /// `norm_clipped`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggregator::FedAvg => "fedavg",
+            Aggregator::TrimmedMean { .. } => "trimmed_mean",
+            Aggregator::CoordinateMedian => "median",
+            Aggregator::NormClipped { .. } => "norm_clipped",
+        }
+    }
+
+    /// Parses `name` or `name:param` (`trimmed_mean:0.25`,
+    /// `norm_clipped:2.0`); parameterized rules fall back to `β = 0.2` /
+    /// `τ = 1.0` when the parameter is omitted. Returns `None` for unknown
+    /// names or unparseable parameters — validity of the *value* is
+    /// [`validate`](Self::validate)'s job.
+    pub fn from_name(s: &str) -> Option<Aggregator> {
+        let (name, param) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let parsed = match param {
+            Some(p) => Some(p.parse::<f64>().ok()?),
+            None => None,
+        };
+        match name {
+            "fedavg" => Some(Aggregator::FedAvg),
+            "trimmed_mean" => Some(Aggregator::TrimmedMean {
+                beta: parsed.unwrap_or(0.2),
+            }),
+            "median" | "coordinate_median" => Some(Aggregator::CoordinateMedian),
+            "norm_clipped" => Some(Aggregator::NormClipped {
+                tau: parsed.unwrap_or(1.0),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Checks the rule's parameter: `β` must be finite in `[0, 0.5)`, `τ`
+    /// finite and strictly positive.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            Aggregator::FedAvg | Aggregator::CoordinateMedian => Ok(()),
+            Aggregator::TrimmedMean { beta } => {
+                if beta.is_finite() && (0.0..0.5).contains(&beta) {
+                    Ok(())
+                } else {
+                    Err(ConfigError::BadTrimFraction { beta })
+                }
+            }
+            Aggregator::NormClipped { tau } => {
+                if tau.is_finite() && tau > 0.0 {
+                    Ok(())
+                } else {
+                    Err(ConfigError::BadClipNorm { tau })
+                }
+            }
+        }
+    }
+
+    /// Barrier-loop aggregation: combines the surviving `(payload, sample
+    /// weight)` pairs against the round's `anchor`. `params: None` means
+    /// "keep the previous global" (degenerate cohort), mirroring
+    /// [`try_fedavg_payloads`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payload is inconsistent with `anchor`/`ctx` (caller
+    /// bug — hostile payloads are screened before they reach this).
+    pub fn aggregate(
+        &self,
+        updates: &[(&Payload, f64)],
+        anchor: &[f32],
+        ctx: &WireCtx,
+    ) -> AggregateOutcome {
+        match *self {
+            Aggregator::FedAvg => AggregateOutcome {
+                params: try_fedavg_payloads(updates, anchor, ctx),
+                clipped: 0,
+            },
+            Aggregator::TrimmedMean { beta } => {
+                let deltas = decode_deltas(updates.iter().map(|(p, _)| *p), anchor.len(), ctx);
+                AggregateOutcome {
+                    params: trimmed_mean_apply(&deltas, anchor, beta),
+                    clipped: 0,
+                }
+            }
+            Aggregator::CoordinateMedian => {
+                let deltas = decode_deltas(updates.iter().map(|(p, _)| *p), anchor.len(), ctx);
+                AggregateOutcome {
+                    params: median_apply(&deltas, anchor),
+                    clipped: 0,
+                }
+            }
+            Aggregator::NormClipped { tau } => {
+                norm_clipped_apply(updates.iter().map(|&(p, w)| (p, w)), anchor, tau, ctx)
+            }
+        }
+    }
+
+    /// Buffered-loop aggregation over `(payload, sample weight, staleness)`
+    /// triples against the *current* global. The rank-based rules are
+    /// weight- and staleness-oblivious by construction (order statistics
+    /// have no weights); `NormClipped` discounts weights by
+    /// [`staleness_weight`] exactly like FedBuff. `params: None` again
+    /// means "keep the current global".
+    ///
+    /// # Panics
+    ///
+    /// Panics if a payload is inconsistent with `current`/`ctx`.
+    pub fn aggregate_stale(
+        &self,
+        updates: &[(&Payload, f64, usize)],
+        current: &[f32],
+        ctx: &WireCtx,
+    ) -> AggregateOutcome {
+        match *self {
+            Aggregator::FedAvg => AggregateOutcome {
+                params: try_staleness_fedavg_payloads(updates, current, ctx),
+                clipped: 0,
+            },
+            Aggregator::TrimmedMean { beta } => {
+                let deltas = decode_deltas(updates.iter().map(|(p, _, _)| *p), current.len(), ctx);
+                AggregateOutcome {
+                    params: trimmed_mean_apply(&deltas, current, beta),
+                    clipped: 0,
+                }
+            }
+            Aggregator::CoordinateMedian => {
+                let deltas = decode_deltas(updates.iter().map(|(p, _, _)| *p), current.len(), ctx);
+                AggregateOutcome {
+                    params: median_apply(&deltas, current),
+                    clipped: 0,
+                }
+            }
+            Aggregator::NormClipped { tau } => norm_clipped_apply(
+                updates
+                    .iter()
+                    .map(|&(p, w, s)| (p, w * staleness_weight(s))),
+                current,
+                tau,
+                ctx,
+            ),
+        }
+    }
+}
+
+/// Decodes every payload to a dense delta vector, checking lengths.
+fn decode_deltas<'a>(
+    payloads: impl Iterator<Item = &'a Payload>,
+    expect_len: usize,
+    ctx: &WireCtx,
+) -> Vec<Vec<f32>> {
+    payloads
+        .map(|p| {
+            assert_eq!(
+                p.len(),
+                expect_len,
+                "payload length differs from the global model"
+            );
+            p.decode(ctx)
+        })
+        .collect()
+}
+
+/// `base + coordinate-wise β-trimmed mean of deltas`, or `None` for an
+/// empty cohort. Sorting uses `total_cmp`, so adversarial NaNs land at the
+/// tails where the trim removes them first.
+fn trimmed_mean_apply(deltas: &[Vec<f32>], base: &[f32], beta: f64) -> Option<Vec<f32>> {
+    let n = deltas.len();
+    if n == 0 {
+        return None;
+    }
+    let t = ((beta * n as f64).floor() as usize).min(n.saturating_sub(1) / 2);
+    Some(rank_apply(deltas, base, |col| {
+        let kept = &col[t..n - t];
+        kept.iter().map(|&v| v as f64).sum::<f64>() / kept.len() as f64
+    }))
+}
+
+/// `base + coordinate-wise median of deltas` (mean of the two middle order
+/// statistics for even `n`), or `None` for an empty cohort.
+fn median_apply(deltas: &[Vec<f32>], base: &[f32]) -> Option<Vec<f32>> {
+    let n = deltas.len();
+    if n == 0 {
+        return None;
+    }
+    Some(rank_apply(deltas, base, |col| {
+        if n % 2 == 1 {
+            col[n / 2] as f64
+        } else {
+            (col[n / 2 - 1] as f64 + col[n / 2] as f64) / 2.0
+        }
+    }))
+}
+
+/// Shared column machinery for the rank-based rules: per coordinate,
+/// gathers the cohort's delta values, sorts them totally, and applies
+/// `reduce` to the sorted column.
+fn rank_apply(deltas: &[Vec<f32>], base: &[f32], reduce: impl Fn(&[f32]) -> f64) -> Vec<f32> {
+    let mut col = vec![0.0f32; deltas.len()];
+    let mut out = Vec::with_capacity(base.len());
+    for (i, &b) in base.iter().enumerate() {
+        for (c, d) in col.iter_mut().zip(deltas.iter()) {
+            *c = d[i];
+        }
+        col.sort_unstable_by(|a, b| a.total_cmp(b));
+        out.push((b as f64 + reduce(&col)) as f32);
+    }
+    out
+}
+
+/// Weighted FedAvg over norm-clipped decoded deltas: each delta is scaled
+/// by `min(1, τ / ‖δ‖₂)` (a zero or non-finite norm leaves the delta
+/// unscaled — clipping cannot repair NaNs, only bound magnitudes), then
+/// averaged under screened weights. Degenerate weight totals return
+/// `keep_previous`.
+fn norm_clipped_apply<'a>(
+    updates: impl Iterator<Item = (&'a Payload, f64)>,
+    base: &[f32],
+    tau: f64,
+    ctx: &WireCtx,
+) -> AggregateOutcome {
+    let mut clipped = 0usize;
+    let usable: Vec<(Vec<f32>, f64)> = updates
+        .filter(|(_, w)| w.is_finite() && *w > 0.0)
+        .map(|(p, w)| {
+            assert_eq!(
+                p.len(),
+                base.len(),
+                "payload length differs from the global model"
+            );
+            (p.decode(ctx), w)
+        })
+        .collect();
+    let total_w: f64 = usable.iter().map(|(_, w)| *w).sum();
+    if usable.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return AggregateOutcome::keep_previous();
+    }
+    let mut acc = vec![0.0f64; base.len()];
+    for (delta, w) in &usable {
+        let norm = delta
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt();
+        let scale = if norm.is_finite() && norm > tau {
+            clipped += 1;
+            tau / norm
+        } else {
+            1.0
+        };
+        let wn = (*w / total_w) * scale;
+        for (a, &d) in acc.iter_mut().zip(delta.iter()) {
+            *a += wn * d as f64;
+        }
+    }
+    AggregateOutcome {
+        params: Some(
+            base.iter()
+                .zip(acc.iter())
+                .map(|(&b, &d)| (b as f64 + d) as f32)
+                .collect(),
+        ),
+        clipped,
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +728,207 @@ mod tests {
         assert_eq!(
             staleness_fedavg_payloads(&[(&p, 0.0, 3)], &anchor, &ctx),
             anchor
+        );
+    }
+
+    fn dense(values: &[f32]) -> Payload {
+        Payload::Dense {
+            values: values.to_vec(),
+        }
+    }
+
+    #[test]
+    fn sim_staleness_nan_weight_does_not_void_honest_survivors() {
+        // The fixed hazard: one NaN-weighted (or inf-weighted) update used
+        // to make the *total* non-finite and silently void the whole
+        // buffer, returning `current` as if nobody had trained. Screened
+        // weights keep the honest survivors' round intact.
+        let ctx = ft_sparse::WireCtx::dense(2);
+        let current = vec![0.0f32, 0.0];
+        let honest = dense(&[1.0, 1.0]);
+        let hostile = dense(&[9.0, 9.0]);
+        for bad_w in [f64::NAN, f64::INFINITY, -4.0, 0.0] {
+            let got = staleness_fedavg_payloads(
+                &[(&honest, 5.0, 0), (&hostile, bad_w, 0)],
+                &current,
+                &ctx,
+            );
+            assert_eq!(got, vec![1.0, 1.0], "bad weight {bad_w} voided the round");
+        }
+    }
+
+    #[test]
+    fn sim_fully_quarantined_buffer_keeps_current_global() {
+        // Every buffered update carries an unusable weight (the whole
+        // cohort was quarantined mid-round): the fedavg_or_previous route
+        // hands back the current global, never a division by zero.
+        let ctx = ft_sparse::WireCtx::dense(2);
+        let current = vec![3.0f32, -1.0];
+        let p = dense(&[9.0, 9.0]);
+        assert_eq!(
+            try_staleness_fedavg_payloads(&[(&p, 0.0, 1), (&p, f64::NAN, 0)], &current, &ctx),
+            None
+        );
+        assert_eq!(
+            staleness_fedavg_payloads(&[(&p, 0.0, 1), (&p, f64::NAN, 0)], &current, &ctx),
+            current
+        );
+    }
+
+    #[test]
+    fn payload_trimmed_mean_outvotes_sign_flipped_outlier() {
+        // Five honest devices push +1 per coordinate; one poisoned device
+        // pushes a scaled sign-flip. One trim level removes it entirely.
+        let ctx = ft_sparse::WireCtx::dense(2);
+        let anchor = vec![0.0f32, 0.0];
+        let honest = dense(&[1.0, 1.0]);
+        let poison = dense(&[-80.0, -80.0]);
+        let updates: Vec<(&Payload, f64)> = vec![
+            (&honest, 1.0),
+            (&honest, 1.0),
+            (&honest, 1.0),
+            (&honest, 1.0),
+            (&honest, 1.0),
+            (&poison, 50.0), // inflated weight is irrelevant: rank-based
+        ];
+        let agg = Aggregator::TrimmedMean { beta: 0.2 };
+        let got = agg.aggregate(&updates, &anchor, &ctx).params.unwrap();
+        assert_eq!(got, vec![1.0, 1.0]);
+        // Plain FedAvg on the same cohort is dragged far negative.
+        let avg = Aggregator::FedAvg
+            .aggregate(&updates, &anchor, &ctx)
+            .params
+            .unwrap();
+        assert!(avg[0] < -70.0, "fedavg should be poisoned, got {}", avg[0]);
+    }
+
+    #[test]
+    fn payload_trimmed_mean_survives_adversarial_nans() {
+        let ctx = ft_sparse::WireCtx::dense(1);
+        let anchor = vec![0.0f32];
+        let honest = dense(&[2.0]);
+        let nan = dense(&[f32::NAN]);
+        let updates: Vec<(&Payload, f64)> =
+            vec![(&honest, 1.0), (&honest, 1.0), (&honest, 1.0), (&nan, 1.0)];
+        let got = Aggregator::TrimmedMean { beta: 0.25 }
+            .aggregate(&updates, &anchor, &ctx)
+            .params
+            .unwrap();
+        assert_eq!(got, vec![2.0], "NaN must be trimmed at the tail");
+    }
+
+    #[test]
+    fn payload_median_even_cohort_averages_middles() {
+        let ctx = ft_sparse::WireCtx::dense(1);
+        let anchor = vec![10.0f32];
+        let payloads: Vec<Payload> = [1.0f32, 3.0, 5.0, 100.0]
+            .iter()
+            .map(|&v| dense(&[v]))
+            .collect();
+        let updates: Vec<(&Payload, f64)> = payloads.iter().map(|p| (p, 1.0)).collect();
+        let got = Aggregator::CoordinateMedian
+            .aggregate(&updates, &anchor, &ctx)
+            .params
+            .unwrap();
+        assert_eq!(got, vec![14.0]); // 10 + (3+5)/2
+    }
+
+    #[test]
+    fn payload_norm_clip_bounds_single_device_pull() {
+        let ctx = ft_sparse::WireCtx::dense(2);
+        let anchor = vec![0.0f32, 0.0];
+        let honest = dense(&[0.5, 0.5]); // norm ~0.707: untouched at tau 1.0
+        let poison = dense(&[600.0, 800.0]); // norm 1000: scaled to norm tau
+        let updates: Vec<(&Payload, f64)> = vec![(&honest, 1.0), (&poison, 1.0)];
+        let out = Aggregator::NormClipped { tau: 1.0 }.aggregate(&updates, &anchor, &ctx);
+        assert_eq!(out.clipped, 1);
+        let got = out.params.unwrap();
+        // Both deltas now have norm <= 1, so the mean has norm <= 1.
+        let norm = (got[0] as f64).hypot(got[1] as f64);
+        assert!(norm <= 1.0 + 1e-6, "clipped mean norm {norm}");
+        // Poison rescales to [0.6, 0.8]; mean with honest [0.5, 0.5].
+        assert!((got[0] - 0.55).abs() < 1e-6 && (got[1] - 0.65).abs() < 1e-6);
+    }
+
+    #[test]
+    fn payload_robust_rules_keep_previous_on_empty_cohort() {
+        let ctx = ft_sparse::WireCtx::dense(2);
+        let anchor = vec![1.0f32, 2.0];
+        for agg in [
+            Aggregator::FedAvg,
+            Aggregator::TrimmedMean { beta: 0.2 },
+            Aggregator::CoordinateMedian,
+            Aggregator::NormClipped { tau: 1.0 },
+        ] {
+            let out = agg.aggregate(&[], &anchor, &ctx);
+            assert_eq!(out.params, None, "{}", agg.name());
+            assert_eq!(out.clipped, 0);
+            let stale = agg.aggregate_stale(&[], &anchor, &ctx);
+            assert_eq!(stale.params, None, "{} (stale)", agg.name());
+        }
+    }
+
+    #[test]
+    fn aggregator_names_parse_and_validate() {
+        assert_eq!(Aggregator::from_name("fedavg"), Some(Aggregator::FedAvg));
+        assert_eq!(
+            Aggregator::from_name("trimmed_mean:0.25"),
+            Some(Aggregator::TrimmedMean { beta: 0.25 })
+        );
+        assert_eq!(
+            Aggregator::from_name("trimmed_mean"),
+            Some(Aggregator::TrimmedMean { beta: 0.2 })
+        );
+        assert_eq!(
+            Aggregator::from_name("median"),
+            Some(Aggregator::CoordinateMedian)
+        );
+        assert_eq!(
+            Aggregator::from_name("norm_clipped:2.5"),
+            Some(Aggregator::NormClipped { tau: 2.5 })
+        );
+        assert_eq!(Aggregator::from_name("krum"), None);
+        assert_eq!(Aggregator::from_name("trimmed_mean:lots"), None);
+        for agg in [
+            Aggregator::FedAvg,
+            Aggregator::TrimmedMean { beta: 0.0 },
+            Aggregator::CoordinateMedian,
+            Aggregator::NormClipped { tau: 0.5 },
+        ] {
+            assert!(agg.validate().is_ok(), "{}", agg.name());
+            assert_eq!(
+                Aggregator::from_name(agg.name()).map(|a| a.name()),
+                Some(agg.name())
+            );
+        }
+        assert!(Aggregator::TrimmedMean { beta: 0.5 }.validate().is_err());
+        assert!(Aggregator::TrimmedMean { beta: -0.1 }.validate().is_err());
+        assert!(Aggregator::TrimmedMean { beta: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(Aggregator::NormClipped { tau: 0.0 }.validate().is_err());
+        assert!(Aggregator::NormClipped { tau: f64::INFINITY }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn payload_stale_fedavg_arm_matches_free_function_bit_exactly() {
+        // The buffered loop's FedAvg dispatch must be the exact function it
+        // replaced — golden traces depend on it.
+        let ctx = ft_sparse::WireCtx::dense(3);
+        let current = vec![0.5f32, -0.25, 2.0];
+        let a = dense(&[1.0, 2.0, 3.0]);
+        let b = dense(&[-1.0, 0.5, 0.0]);
+        let updates: Vec<(&Payload, f64, usize)> = vec![(&a, 12.0, 0), (&b, 5.0, 2)];
+        let via_enum = Aggregator::FedAvg
+            .aggregate_stale(&updates, &current, &ctx)
+            .params
+            .unwrap();
+        let direct = staleness_fedavg_payloads(&updates, &current, &ctx);
+        assert_eq!(
+            via_enum.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            direct.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
     }
 

@@ -35,7 +35,8 @@ use ft_sparse::Codec;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"FTCK";
-const VERSION: u32 = 1;
+// v2: the ledger blob grew fault/quarantine counters.
+const VERSION: u32 = 2;
 
 /// Where and how often the server saves checkpoints.
 #[derive(Clone, Debug)]

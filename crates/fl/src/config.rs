@@ -1,5 +1,6 @@
 //! Federated-learning run configuration.
 
+use crate::aggregate::Aggregator;
 use ft_nn::optim::SgdConfig;
 use ft_sparse::Codec;
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,18 @@ pub enum ConfigError {
         /// The rejected deadline, in simulated seconds.
         deadline_secs: f64,
     },
+    /// `Aggregator::TrimmedMean` with a trim fraction outside `[0, 0.5)`:
+    /// trimming half or more of every column leaves nothing to average.
+    BadTrimFraction {
+        /// The rejected per-tail trim fraction.
+        beta: f64,
+    },
+    /// `Aggregator::NormClipped` with a non-finite or non-positive clip
+    /// threshold: every update would be scaled to nothing (or NaN).
+    BadClipNorm {
+        /// The rejected L2 threshold.
+        tau: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -54,6 +67,12 @@ impl std::fmt::Display for ConfigError {
                     f,
                     "deadline_secs = {deadline_secs} must be finite and non-negative"
                 )
+            }
+            ConfigError::BadTrimFraction { beta } => {
+                write!(f, "trim fraction beta = {beta} must be finite in [0, 0.5)")
+            }
+            ConfigError::BadClipNorm { tau } => {
+                write!(f, "clip norm tau = {tau} must be finite and positive")
             }
         }
     }
@@ -101,6 +120,10 @@ pub struct FlConfig {
     /// broadcast format). `Codec::Dense` reproduces the classic full-vector
     /// exchange; method runners typically override this per method.
     pub codec: Codec,
+    /// Server aggregation rule. `Aggregator::FedAvg` is the paper's
+    /// sample-weighted averaging; the robust rules defend against poisoned
+    /// cohort members at extra decode cost.
+    pub aggregator: Aggregator,
     /// Master seed for the whole run.
     pub seed: u64,
 }
@@ -129,6 +152,7 @@ impl FlConfig {
         if self.participation.is_nan() {
             return Err(ConfigError::BadParticipation);
         }
+        self.aggregator.validate()?;
         Ok(())
     }
 
@@ -155,6 +179,7 @@ impl FlConfig {
             parallel: true,
             threads: 0,
             codec: Codec::Dense,
+            aggregator: Aggregator::FedAvg,
             seed: 0,
         }
     }
@@ -180,6 +205,7 @@ impl FlConfig {
             parallel: true,
             threads: 0,
             codec: Codec::Dense,
+            aggregator: Aggregator::FedAvg,
             seed: 0,
         }
     }
@@ -205,6 +231,7 @@ impl FlConfig {
             parallel: false,
             threads: 0,
             codec: Codec::Dense,
+            aggregator: Aggregator::FedAvg,
             seed: 0,
         }
     }
@@ -247,6 +274,18 @@ mod tests {
         let mut c = base;
         c.participation = f32::NAN;
         assert_eq!(c.validate(), Err(ConfigError::BadParticipation));
+        let mut c = base;
+        c.aggregator = Aggregator::TrimmedMean { beta: 0.7 };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadTrimFraction { beta: 0.7 })
+        );
+        let mut c = base;
+        c.aggregator = Aggregator::NormClipped { tau: -2.0 };
+        assert_eq!(c.validate(), Err(ConfigError::BadClipNorm { tau: -2.0 }));
+        let mut c = base;
+        c.aggregator = Aggregator::TrimmedMean { beta: 0.25 };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
@@ -260,6 +299,12 @@ mod tests {
         .to_string()
         .contains("-1"));
         assert!(ConfigError::ZeroBufferK.to_string().contains("buffer_k"));
+        assert!(ConfigError::BadTrimFraction { beta: 0.9 }
+            .to_string()
+            .contains("0.9"));
+        assert!(ConfigError::BadClipNorm { tau: 0.0 }
+            .to_string()
+            .contains("0"));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Cost bookkeeping and the uniform result type every method runner returns.
 
+use crate::transport::FaultKind;
+use ft_metrics::FaultCounters;
 use serde::{Deserialize, Serialize};
 
 /// One device-side training task as the fleet simulation saw it.
@@ -71,6 +73,7 @@ pub struct CostLedger {
     extra_flops: f64,
     zero_progress: usize,
     timeline: Vec<TimelineEvent>,
+    faults: FaultCounters,
 }
 
 impl CostLedger {
@@ -116,6 +119,37 @@ impl CostLedger {
     /// Marks a previously recorded timeline event as applied.
     pub(crate) fn set_timeline_applied(&mut self, idx: usize) {
         self.timeline[idx].applied = true;
+    }
+
+    /// Counts one quarantined delivery under its fault class (hostile or
+    /// flaky devices never panic the server — they land here).
+    pub fn record_fault(&mut self, fault: &FaultKind) {
+        match fault {
+            FaultKind::MalformedFrame(_) => self.faults.malformed_frames += 1,
+            FaultKind::Disconnected(_) => self.faults.disconnects += 1,
+            FaultKind::Replay { .. } => self.faults.replays += 1,
+            FaultKind::InflatedSamples { .. } => self.faults.inflated_samples += 1,
+        }
+    }
+
+    /// Counts updates a norm-clipping aggregator scaled down this round.
+    pub fn record_clipped(&mut self, n: usize) {
+        self.faults.clipped_updates += n as u64;
+    }
+
+    /// Counts connection attempts rejected while accepting the fleet.
+    pub fn record_handshake_faults(&mut self, n: usize) {
+        self.faults.rejected_handshakes += n as u64;
+    }
+
+    /// The run's fault/quarantine counters.
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
+    /// Deliveries quarantined instead of aggregated (all fault classes).
+    pub fn quarantined_updates(&self) -> u64 {
+        self.faults.total_quarantined()
     }
 
     /// Adds communication volume (bytes, any direction).
@@ -273,6 +307,13 @@ impl CostLedger {
             put_bool(out, e.applied);
             put_u64(out, e.staleness as u64);
         }
+        // Fault counters (checkpoint layout version 2).
+        put_u64(out, self.faults.malformed_frames);
+        put_u64(out, self.faults.replays);
+        put_u64(out, self.faults.disconnects);
+        put_u64(out, self.faults.inflated_samples);
+        put_u64(out, self.faults.clipped_updates);
+        put_u64(out, self.faults.rejected_handshakes);
     }
 
     /// Parses a ledger written by [`encode_ckpt`](Self::encode_ckpt).
@@ -301,6 +342,14 @@ impl CostLedger {
                 staleness: r.len_u64()?,
             });
         }
+        let faults = FaultCounters {
+            malformed_frames: r.u64()?,
+            replays: r.u64()?,
+            disconnects: r.u64()?,
+            inflated_samples: r.u64()?,
+            clipped_updates: r.u64()?,
+            rejected_handshakes: r.u64()?,
+        };
         Ok(CostLedger {
             round_flops,
             realized_flops,
@@ -313,6 +362,7 @@ impl CostLedger {
             extra_flops,
             zero_progress,
             timeline,
+            faults,
         })
     }
 }
@@ -441,6 +491,33 @@ mod tests {
         assert_eq!(l.timeline().len(), 2);
         assert_eq!(l.dropped_updates(), 1);
         assert_eq!(l.timeline()[1].staleness, 2);
+    }
+
+    #[test]
+    fn ledger_fault_counters_roundtrip_through_ckpt_blob() {
+        let mut l = CostLedger::new();
+        l.record_fault(&FaultKind::MalformedFrame("junk".into()));
+        l.record_fault(&FaultKind::Replay {
+            got_round: 1,
+            want_round: 3,
+            got_epoch: 0,
+            want_epoch: 1,
+        });
+        l.record_fault(&FaultKind::Disconnected("hung up".into()));
+        l.record_fault(&FaultKind::InflatedSamples {
+            claimed: 1 << 40,
+            cap: 64,
+        });
+        l.record_clipped(2);
+        l.record_handshake_faults(3);
+        assert_eq!(l.quarantined_updates(), 4);
+        assert_eq!(l.faults().clipped_updates, 2);
+        assert_eq!(l.faults().rejected_handshakes, 3);
+        let mut blob = Vec::new();
+        l.encode_ckpt(&mut blob);
+        let mut r = crate::bytes::ByteReader::new(&blob);
+        let back = CostLedger::decode_ckpt(&mut r).expect("decode");
+        assert_eq!(back.faults(), l.faults());
     }
 
     #[test]

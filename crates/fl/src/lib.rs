@@ -46,6 +46,7 @@
 //! assert!(acc >= 0.0 && acc <= 1.0);
 //! ```
 
+pub mod adversary;
 mod aggregate;
 mod bytes;
 mod checkpoint;
@@ -59,21 +60,25 @@ mod spec;
 mod train;
 pub mod transport;
 
+pub use adversary::{
+    run_byzantine_tcp_device, run_churn_tcp_device, AdversarialTransport, Behavior,
+};
 pub use aggregate::{
     aggregate_bn_stats, fedavg, fedavg_or_previous, fedavg_payloads, staleness_fedavg,
     staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg,
-    try_fedavg_payloads,
+    try_fedavg_payloads, try_staleness_fedavg_payloads, AggregateOutcome, Aggregator,
 };
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec};
 pub use config::{ConfigError, FlConfig, MAX_THREADS};
 pub use env::ExperimentEnv;
-pub use ft_metrics::{DeviceProfile, SimClock};
+pub use ft_metrics::{DeviceProfile, FaultCounters, SimClock};
 pub use ft_runtime::{resolve_threads, Runtime};
 pub use ft_sparse::{Codec, Payload, WireCtx};
 pub use ledger::{CostLedger, RunResult, TimelineEvent};
 pub use rounds::{no_hook, run_federated_rounds, schedule_fits, RoundHook};
 pub use sched::{
-    broadcast_payload_len, device_round_cost, device_sim_secs, fleet_spread_deadline, Scheduler,
+    broadcast_payload_len, device_round_cost, device_sim_secs, fleet_spread_deadline,
+    PresenceSchedule, Scheduler,
 };
 pub use server::{run_with, RoundPhase, RunOptions, ServerError};
 pub use spec::ModelSpec;
@@ -82,5 +87,6 @@ pub use train::{
     train_one_device, DeviceUpdate, WireSpec,
 };
 pub use transport::{
-    run_tcp_device, InProcess, RoundRequest, SimTime, TcpTransport, Transport, TransportError,
+    run_tcp_device, Delivery, FaultKind, InProcess, RoundRequest, SimTime, TcpTransport, Transport,
+    TransportError,
 };

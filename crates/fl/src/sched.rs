@@ -36,7 +36,7 @@
 //! ledger but not in its link time.
 
 use crate::env::ExperimentEnv;
-use crate::train::DeviceUpdate;
+use crate::transport::Delivery;
 use ft_metrics::{sparse_model_bytes, training_flops, DeviceProfile};
 use ft_nn::ArchInfo;
 use ft_sparse::{Codec, Payload, WireCtx};
@@ -180,18 +180,89 @@ pub fn broadcast_payload_len(codec: Codec, ctx: &WireCtx) -> usize {
 }
 
 /// Weighted encoded updates of the surviving cohort members: `(payload,
-/// |D_k|)` pairs. The weights always sum to the participating sample count
-/// (the invariant every aggregation in the paper relies on).
+/// |D_k|)` pairs. Quarantined (faulted) deliveries and members the
+/// scheduler cut carry no weight; for the survivors the weights always sum
+/// to the participating sample count (the invariant every aggregation in
+/// the paper relies on).
 pub(crate) fn survivor_payload_updates<'a>(
-    updates: &'a [DeviceUpdate],
+    updates: &'a [Delivery],
     alive: &[bool],
 ) -> Vec<(&'a Payload, f64)> {
     updates
         .iter()
         .zip(alive.iter())
         .filter(|(_, &a)| a)
-        .map(|(u, _)| (&u.payload, u.samples as f64))
+        .filter_map(|(d, _)| d.update().map(|u| (&u.payload, u.samples as f64)))
         .collect()
+}
+
+/// The fleet's dynamic registry: which devices are enrolled at which
+/// round. An empty schedule (the default) means every device is always
+/// present — the pre-churn behavior, bit for bit. Absence windows model
+/// devices leaving and rejoining between rounds: an absent device is
+/// filtered out of every sampled cohort, and the round it comes back is
+/// reported as *rejoining* so a reconnecting transport can re-accept its
+/// stream before the broadcast.
+///
+/// # Examples
+///
+/// ```
+/// use ft_fl::PresenceSchedule;
+///
+/// // Device 2 is gone for rounds 3 and 4, back at round 5.
+/// let p = PresenceSchedule::new().absent(2, 3..5);
+/// assert!(p.enrolled(2, 2));
+/// assert!(!p.enrolled(3, 2));
+/// assert!(!p.enrolled(4, 2));
+/// assert!(p.enrolled(5, 2));
+/// assert!(p.rejoining(5, 2));
+/// assert!(!p.rejoining(6, 2));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PresenceSchedule {
+    /// Half-open absence windows `[from, until)` per device.
+    windows: Vec<(usize, std::ops::Range<usize>)>,
+}
+
+impl PresenceSchedule {
+    /// The always-present schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `device` absent for the half-open round range `rounds`
+    /// (builder-style; windows may overlap and accumulate).
+    pub fn absent(mut self, device: usize, rounds: std::ops::Range<usize>) -> Self {
+        self.windows.push((device, rounds));
+        self
+    }
+
+    /// Whether any absence window exists at all.
+    pub fn is_trivial(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Whether `device` is enrolled (present) at `round`.
+    pub fn enrolled(&self, round: usize, device: usize) -> bool {
+        !self
+            .windows
+            .iter()
+            .any(|(d, r)| *d == device && r.contains(&round))
+    }
+
+    /// Whether `device` comes back at `round` after being absent the round
+    /// before — the transport must re-accept its connection before this
+    /// round's broadcast.
+    pub fn rejoining(&self, round: usize, device: usize) -> bool {
+        round > 0 && self.enrolled(round, device) && !self.enrolled(round - 1, device)
+    }
+
+    /// The devices of `fleet_size` rejoining at `round`, ascending.
+    pub fn rejoining_devices(&self, round: usize, fleet_size: usize) -> Vec<usize> {
+        (0..fleet_size)
+            .filter(|&d| self.rejoining(round, d))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +271,7 @@ mod tests {
     use crate::ledger::CostLedger;
     use crate::rounds::{no_hook, run_federated_rounds};
     use crate::spec::ModelSpec;
+    use crate::train::DeviceUpdate;
     use ft_nn::{apply_mask, flat_params, sparse_layout};
     use ft_sparse::Mask;
     use proptest::prelude::*;
@@ -601,7 +673,8 @@ mod tests {
                 })
                 .collect();
             let alive: Vec<bool> = alive_bits[..n].iter().map(|&b| b == 1).collect();
-            let got = survivor_payload_updates(&updates, &alive);
+            let deliveries: Vec<Delivery> = updates.into_iter().map(Delivery::Update).collect();
+            let got = survivor_payload_updates(&deliveries, &alive);
             let weight_sum: f64 = got.iter().map(|(_, w)| *w).sum();
             let expected: usize = samples[..n]
                 .iter()

@@ -38,19 +38,18 @@
 //! continues to the *same final trace, byte for byte* (see
 //! `tests/checkpoint_resume.rs`).
 
-use crate::aggregate::{
-    staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg_payloads,
-};
+use crate::aggregate::{staleness_weight, try_aggregate_bn_stats};
 use crate::checkpoint::{BufferedState, Checkpoint, CheckpointError, CheckpointSpec, TaskState};
 use crate::config::ConfigError;
 use crate::env::ExperimentEnv;
 use crate::ledger::{CostLedger, TimelineEvent};
 use crate::rounds::{sample_cohort, RoundHook};
 use crate::sched::{
-    broadcast_payload_len, device_round_cost, should_eval, survivor_payload_updates, Scheduler,
+    broadcast_payload_len, device_round_cost, should_eval, survivor_payload_updates,
+    PresenceSchedule, Scheduler,
 };
 use crate::train::{train_devices_raw_parallel, train_one_device_raw, DeviceUpdate, LocalOutcome};
-use crate::transport::{InProcess, RoundRequest, Transport, TransportError};
+use crate::transport::{Delivery, InProcess, RoundRequest, Transport, TransportError};
 use ft_data::Dataset;
 use ft_metrics::{densities_from_mask, sparse_model_bytes, training_flops, SimClock};
 use ft_nn::{
@@ -180,6 +179,14 @@ pub struct RunOptions<'a> {
     pub hook_save: Option<HookSave<'a>>,
     /// Restores what [`hook_save`](Self::hook_save) captured.
     pub hook_load: Option<HookLoad<'a>>,
+    /// Dynamic device registry: which devices are enrolled at which round
+    /// (churn). Absent devices are filtered out of every sampled cohort,
+    /// and rejoining devices are announced to the transport so it can
+    /// re-accept their connection before the broadcast. `None` (or a
+    /// trivial schedule) is the classic always-present fleet, bit for bit.
+    /// Barrier schedulers only — the buffered event loop has no round
+    /// boundary for a device to leave at and ignores the schedule.
+    pub presence: Option<PresenceSchedule>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -192,6 +199,7 @@ impl<'a> RunOptions<'a> {
             halt_after: None,
             hook_save: None,
             hook_load: None,
+            presence: None,
         }
     }
 }
@@ -334,7 +342,7 @@ struct BarrierRound {
     broadcast_len: f64,
     cohort_residuals: Vec<Vec<f32>>,
     residuals_before: Vec<Vec<f32>>,
-    updates: Vec<DeviceUpdate>,
+    updates: Vec<Delivery>,
     per_sample_flops: f64,
     analytic_bytes: f64,
     round_start: f64,
@@ -423,6 +431,7 @@ impl ServerState<'_> {
         // kernel parallelism share its thread budget.
         let rt = env.cfg.runtime();
         global.set_runtime(rt);
+        let presence = opts.presence.clone().unwrap_or_default();
 
         while self.round < env.cfg.rounds {
             let mut phase = RoundPhase::Broadcast;
@@ -432,7 +441,7 @@ impl ServerState<'_> {
                 phase = match phase {
                     RoundPhase::Broadcast => {
                         let local = opts.transport.is_local();
-                        rs = Some(self.phase_broadcast(&*global, mask, codec, local));
+                        rs = Some(self.phase_broadcast(&*global, mask, codec, local, &presence));
                         RoundPhase::Collect
                     }
                     RoundPhase::Collect => {
@@ -444,6 +453,7 @@ impl ServerState<'_> {
                             codec,
                             &rt,
                             deadline,
+                            &presence,
                             &mut *opts.transport,
                         )?;
                         RoundPhase::Aggregate
@@ -489,11 +499,17 @@ impl ServerState<'_> {
         mask: &Mask,
         codec: Codec,
         local: bool,
+        presence: &PresenceSchedule,
     ) -> BarrierRound {
         let env = self.env;
         // Partial participation: sample the round's cohort (all devices at
-        // participation = 1.0, the paper's setting).
-        let cohort = sample_cohort(env, self.round);
+        // participation = 1.0, the paper's setting), then drop members the
+        // churn schedule marks absent this round.
+        let mut cohort = sample_cohort(env, self.round);
+        if !presence.is_trivial() {
+            let round = self.round;
+            cohort.retain(|&k| presence.enrolled(round, k));
+        }
         // Remote devices hold their own data — cloning the cohort datasets
         // would be pure memcpy the transport never reads.
         let parts: Vec<Dataset> = if local {
@@ -553,9 +569,18 @@ impl ServerState<'_> {
         codec: Codec,
         rt: &ft_runtime::Runtime,
         deadline: Option<f64>,
+        presence: &PresenceSchedule,
         transport: &mut dyn Transport,
     ) -> Result<(), ServerError> {
         let env = self.env;
+        // Ground truth each cohort member's sample claim can be screened
+        // against: the server knows every device's partition size.
+        let sample_caps: Vec<usize> = rs.cohort.iter().map(|&k| env.parts[k].len()).collect();
+        let rejoining = if presence.is_trivial() {
+            Vec::new()
+        } else {
+            presence.rejoining_devices(self.round, env.num_devices())
+        };
         let mut req = RoundRequest {
             global,
             mask,
@@ -567,6 +592,8 @@ impl ServerState<'_> {
             cfg: &env.cfg,
             rt,
             residuals: &mut rs.cohort_residuals,
+            sample_caps: &sample_caps,
+            rejoining: &rejoining,
         };
         rs.updates = transport.exchange_round(&mut req)?;
         for (taken, &k) in rs.cohort_residuals.iter_mut().zip(rs.cohort.iter()) {
@@ -582,7 +609,16 @@ impl ServerState<'_> {
         rs.round_start = self.clock.now();
         rs.finish = Vec::with_capacity(rs.cohort.len());
         rs.alive = Vec::with_capacity(rs.cohort.len());
-        for (u, &k) in rs.updates.iter().zip(rs.cohort.iter()) {
+        for (d, &k) in rs.updates.iter().zip(rs.cohort.iter()) {
+            let Some(u) = d.update() else {
+                // Quarantined member: its bytes never became an update, so
+                // it has no finish time and cannot survive. `device_secs`
+                // and `dropout_hits` are pure functions of `(round,
+                // device)`, so skipping them here perturbs nobody else.
+                rs.finish.push(0.0);
+                rs.alive.push(false);
+                continue;
+            };
             let profile = env.device_profile(k);
             let flops = rs.per_sample_flops * u.samples as f64 * env.cfg.local_epochs as f64;
             let upload = u.payload.encoded_len(&rs.ctx) as f64;
@@ -622,8 +658,21 @@ impl ServerState<'_> {
         mask: &Mask,
         ledger: &mut CostLedger,
     ) {
+        // Quarantine accounting first: every faulted delivery is a typed,
+        // counted event, never a panic.
+        for d in &rs.updates {
+            if let Some(fault) = d.fault() {
+                ledger.record_fault(fault);
+            }
+        }
         let surviving = survivor_payload_updates(&rs.updates, &rs.alive);
-        rs.progressed = match try_fedavg_payloads(&surviving, &rs.anchor, &rs.ctx) {
+        let outcome = self
+            .env
+            .cfg
+            .aggregator
+            .aggregate(&surviving, &rs.anchor, &rs.ctx);
+        ledger.record_clipped(outcome.clipped);
+        rs.progressed = match outcome.params {
             Some(new_params) => {
                 set_flat_params(global, &new_params);
                 let bn_updates: Vec<_> = rs
@@ -631,7 +680,7 @@ impl ServerState<'_> {
                     .iter()
                     .zip(rs.alive.iter())
                     .filter(|(_, &a)| a)
-                    .map(|(u, _)| (u.bn.clone(), u.samples as f64))
+                    .filter_map(|(d, _)| d.update().map(|u| (u.bn.clone(), u.samples as f64)))
                     .collect();
                 if let Some(new_bn) = try_aggregate_bn_stats(&bn_updates) {
                     for (dst, src) in global.bn_stats_mut().into_iter().zip(new_bn.iter()) {
@@ -696,12 +745,21 @@ impl ServerState<'_> {
         let max_realized = rs
             .updates
             .iter()
+            .filter_map(|d| d.update())
             .map(|u| u.realized_flops)
             .fold(0.0, f64::max);
         let round_wall = if env.cfg.parallel {
-            rs.updates.iter().map(|u| u.wall_secs).fold(0.0, f64::max)
+            rs.updates
+                .iter()
+                .filter_map(|d| d.update())
+                .map(|u| u.wall_secs)
+                .fold(0.0, f64::max)
         } else {
-            rs.updates.iter().map(|u| u.wall_secs).sum()
+            rs.updates
+                .iter()
+                .filter_map(|d| d.update())
+                .map(|u| u.wall_secs)
+                .sum()
         };
         ledger.record_realized_round(max_realized, round_wall);
 
@@ -908,10 +966,14 @@ impl ServerState<'_> {
                     .iter()
                     .map(|b| (&b.update.payload, b.update.samples as f64, b.staleness))
                     .collect();
-                set_flat_params(
-                    global,
-                    &staleness_fedavg_payloads(&param_updates, &current, &ctx),
-                );
+                let outcome = env
+                    .cfg
+                    .aggregator
+                    .aggregate_stale(&param_updates, &current, &ctx);
+                ledger.record_clipped(outcome.clipped);
+                // A fully-quarantined (all-zero-weight) buffer keeps the
+                // current global instead of dividing by zero.
+                set_flat_params(global, &outcome.params.unwrap_or(current));
                 let bn_updates: Vec<_> = buffer
                     .iter()
                     .map(|b| {
@@ -1222,7 +1284,7 @@ mod tests {
         fn exchange_round(
             &mut self,
             _req: &mut RoundRequest<'_>,
-        ) -> Result<Vec<DeviceUpdate>, TransportError> {
+        ) -> Result<Vec<Delivery>, TransportError> {
             unreachable!("never exchanged")
         }
         fn deliver_update(&mut self, u: DeviceUpdate, _ctx: &WireCtx) -> DeviceUpdate {

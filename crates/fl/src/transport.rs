@@ -29,11 +29,24 @@
 //! |------|------|
 //! | `1` HELLO  | `u32` device id |
 //! | `2` ROUND  | `u64` round, `u64` mask epoch, params `f32` vec, BN stats, mask bit vecs |
-//! | `3` UPDATE | `u32` device, `u64` samples, `f64` realized FLOPs, `f64` wall secs, BN stats, payload bytes blob |
+//! | `3` UPDATE | `u32` device, `u64` round, `u64` mask epoch, `u64` samples, `f64` realized FLOPs, `f64` wall secs, BN stats, payload bytes blob |
 //! | `4` DONE   | empty |
 //!
 //! Floats travel as raw IEEE-754 bits, so a ROUND → train → UPDATE
 //! round-trip over any transport is bit-exact.
+//!
+//! ## Hostile fleets
+//!
+//! A transport never trusts its devices. Every inbound UPDATE body passes
+//! one shared screen ([`screen_update_frame`]) — structural decode, claimed
+//! identity, round/epoch freshness (replay detection), and a sample-count
+//! cap — before the server sees it. `exchange_round` therefore returns one
+//! [`Delivery`] per cohort member: either the screened update or the typed
+//! [`FaultKind`] it was quarantined under. A *tolerant* TCP transport
+//! ([`TcpTransport::accept_fleet_tolerant`]) survives garbage frames,
+//! replays, disconnects, and abandoned handshakes by quarantining the
+//! offender and carrying on; the default strict transport (the
+//! bit-identity harness) still fails fast on the first bad frame.
 
 use crate::bytes::{
     put_bitvec, put_blob, put_bn_stats, put_f64, put_u32, put_u64, ByteReader, ReadError,
@@ -48,10 +61,10 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 
 /// Frame kinds of the wire protocol.
-const FRAME_HELLO: u8 = 1;
-const FRAME_ROUND: u8 = 2;
-const FRAME_UPDATE: u8 = 3;
-const FRAME_DONE: u8 = 4;
+pub(crate) const FRAME_HELLO: u8 = 1;
+pub(crate) const FRAME_ROUND: u8 = 2;
+pub(crate) const FRAME_UPDATE: u8 = 3;
+pub(crate) const FRAME_DONE: u8 = 4;
 
 /// Why a transport exchange failed. In-process transports never fail; the
 /// TCP transport surfaces socket and frame errors here so the server loop
@@ -87,6 +100,103 @@ impl From<ReadError> for TransportError {
     }
 }
 
+/// Why one cohort member's update was quarantined this round. A fault
+/// never aborts the round — the server aggregates the survivors and tallies
+/// the reason in its ledger's `FaultCounters`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The frame failed structural decoding (garbage, truncation, trailing
+    /// bytes, an unexpected frame kind, or a wrong claimed device id).
+    MalformedFrame(String),
+    /// The stream died: io error, reset, or no live connection at all.
+    Disconnected(String),
+    /// A well-formed update stamped with the wrong round or mask epoch —
+    /// the signature of a replayed capture.
+    Replay {
+        /// Round the update claims.
+        got_round: u64,
+        /// Round the server is collecting.
+        want_round: u64,
+        /// Mask epoch the update claims.
+        got_epoch: u64,
+        /// Mask epoch the server is at.
+        want_epoch: u64,
+    },
+    /// The update claimed more samples than the device's partition holds —
+    /// a weight-inflation attack on sample-weighted averaging.
+    InflatedSamples {
+        /// Claimed sample count.
+        claimed: u64,
+        /// The device's actual partition size.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::MalformedFrame(what) => write!(f, "malformed frame: {what}"),
+            FaultKind::Disconnected(what) => write!(f, "device disconnected: {what}"),
+            FaultKind::Replay {
+                got_round,
+                want_round,
+                got_epoch,
+                want_epoch,
+            } => write!(
+                f,
+                "replayed update: claims round {got_round} epoch {got_epoch}, \
+                 server is at round {want_round} epoch {want_epoch}"
+            ),
+            FaultKind::InflatedSamples { claimed, cap } => write!(
+                f,
+                "inflated sample count: claimed {claimed}, partition holds {cap}"
+            ),
+        }
+    }
+}
+
+impl FaultKind {
+    /// The strict-mode conversion: a fault a tolerant transport would
+    /// quarantine becomes the hard frame error the bit-identity harness
+    /// fails on.
+    fn into_frame_error(self) -> TransportError {
+        match self {
+            FaultKind::MalformedFrame(msg) => TransportError::Frame(msg),
+            other => TransportError::Frame(other.to_string()),
+        }
+    }
+}
+
+/// One cohort member's result for one barrier round: the screened update,
+/// or the fault it was quarantined under. Returned by
+/// [`Transport::exchange_round`] **in cohort order** so aggregation order
+/// stays deterministic even under attack.
+#[derive(Clone, Debug)]
+pub enum Delivery {
+    /// The device's update passed every screen.
+    Update(DeviceUpdate),
+    /// The device was quarantined this round.
+    Faulted(FaultKind),
+}
+
+impl Delivery {
+    /// The update, if this member survived screening.
+    pub fn update(&self) -> Option<&DeviceUpdate> {
+        match self {
+            Delivery::Update(u) => Some(u),
+            Delivery::Faulted(_) => None,
+        }
+    }
+
+    /// The fault, if this member was quarantined.
+    pub fn fault(&self) -> Option<&FaultKind> {
+        match self {
+            Delivery::Update(_) => None,
+            Delivery::Faulted(f) => Some(f),
+        }
+    }
+}
+
 /// Everything a transport needs to run one barrier round: the server's
 /// current global snapshot (model + mask + wire context) and the cohort it
 /// must collect updates from.
@@ -113,12 +223,21 @@ pub struct RoundRequest<'a> {
     /// Per-cohort-member error-feedback residuals (only used by local
     /// transports; remote devices keep their own).
     pub residuals: &'a mut [Vec<f32>],
+    /// Per-cohort-member sample-count caps (each device's known partition
+    /// size): an update claiming more is quarantined as
+    /// [`FaultKind::InflatedSamples`]. Empty disables the screen.
+    pub sample_caps: &'a [usize],
+    /// Device ids rejoining the fleet this round (present now, absent last
+    /// round): a reconnecting transport drops their stale streams and
+    /// re-accepts their HELLOs before broadcasting. Empty for steady-state
+    /// rounds and for local transports.
+    pub rejoining: &'a [usize],
 }
 
 /// How one round's updates travel from the devices to the server.
 ///
-/// Implementations must return the cohort's updates **in cohort order** —
-/// aggregation order is part of the determinism contract.
+/// Implementations must return one [`Delivery`] per cohort member **in
+/// cohort order** — aggregation order is part of the determinism contract.
 pub trait Transport {
     /// Stable lowercase name for run headers and reports.
     fn name(&self) -> &'static str;
@@ -129,11 +248,14 @@ pub trait Transport {
     fn is_local(&self) -> bool;
 
     /// Runs one barrier round: broadcast the request's global snapshot to
-    /// the cohort and collect their updates, in cohort order.
+    /// the cohort and collect one delivery per member, in cohort order. A
+    /// `Delivery::Faulted` quarantines that member without failing the
+    /// round; `Err` aborts the run (server-side failure, or any device
+    /// fault under a strict transport).
     fn exchange_round(
         &mut self,
         req: &mut RoundRequest<'_>,
-    ) -> Result<Vec<DeviceUpdate>, TransportError>;
+    ) -> Result<Vec<Delivery>, TransportError>;
 
     /// Ships one already-encoded update across the transport's byte
     /// boundary (the buffered loop calls this at arrival time). Local
@@ -163,7 +285,7 @@ impl Transport for InProcess {
     fn exchange_round(
         &mut self,
         req: &mut RoundRequest<'_>,
-    ) -> Result<Vec<DeviceUpdate>, TransportError> {
+    ) -> Result<Vec<Delivery>, TransportError> {
         let wire = WireSpec {
             codec: req.cfg.codec,
             ctx: req.ctx,
@@ -178,7 +300,10 @@ impl Transport for InProcess {
             &wire,
             req.residuals,
             req.rt,
-        ))
+        )
+        .into_iter()
+        .map(Delivery::Update)
+        .collect())
     }
 
     fn deliver_update(&mut self, update: DeviceUpdate, _ctx: &WireCtx) -> DeviceUpdate {
@@ -207,31 +332,40 @@ impl Transport for SimTime {
     fn exchange_round(
         &mut self,
         req: &mut RoundRequest<'_>,
-    ) -> Result<Vec<DeviceUpdate>, TransportError> {
+    ) -> Result<Vec<Delivery>, TransportError> {
         let ctx = req.ctx;
-        let updates = InProcess.exchange_round(req)?;
-        Ok(updates
+        let (round, epoch) = (req.round as u64, req.epoch);
+        let deliveries = InProcess.exchange_round(req)?;
+        Ok(deliveries
             .into_iter()
             .enumerate()
-            .map(|(i, u)| self.deliver_update_for(i, u, ctx))
+            .map(|(i, d)| match d {
+                Delivery::Update(u) => {
+                    Delivery::Update(self.deliver_update_for(i, round, epoch, u, ctx))
+                }
+                faulted => faulted,
+            })
             .collect())
     }
 
     fn deliver_update(&mut self, update: DeviceUpdate, ctx: &WireCtx) -> DeviceUpdate {
-        self.deliver_update_for(0, update, ctx)
+        self.deliver_update_for(0, 0, ctx.epoch, update, ctx)
     }
 }
 
 impl SimTime {
-    /// Frame round-trip for one update; `device` only labels the frame.
+    /// Frame round-trip for one update; `device`/`round`/`epoch` only label
+    /// the frame.
     fn deliver_update_for(
         &self,
         device: usize,
+        round: u64,
+        epoch: u64,
         update: DeviceUpdate,
         ctx: &WireCtx,
     ) -> DeviceUpdate {
-        let frame = encode_update_frame(device, &update, ctx);
-        let (_, back) =
+        let frame = encode_update_frame(device, round, epoch, &update, ctx);
+        let (_, _, _, back) =
             decode_update_frame(&frame, ctx).expect("self-encoded update frame round-trips");
         back
     }
@@ -241,10 +375,20 @@ impl SimTime {
 // Frame codec (shared by SimTime and Tcp)
 // ---------------------------------------------------------------------------
 
-/// Serializes one UPDATE frame body.
-pub(crate) fn encode_update_frame(device: usize, u: &DeviceUpdate, ctx: &WireCtx) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + 4 * u.payload.len());
+/// Serializes one UPDATE frame body, stamped with the round and mask epoch
+/// the update answers (the replay screen checks these against the server's
+/// current state).
+pub(crate) fn encode_update_frame(
+    device: usize,
+    round: u64,
+    epoch: u64,
+    u: &DeviceUpdate,
+    ctx: &WireCtx,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(80 + 4 * u.payload.len());
     put_u32(&mut out, device as u32);
+    put_u64(&mut out, round);
+    put_u64(&mut out, epoch);
     put_u64(&mut out, u.samples as u64);
     put_f64(&mut out, u.realized_flops);
     put_f64(&mut out, u.wall_secs);
@@ -253,13 +397,15 @@ pub(crate) fn encode_update_frame(device: usize, u: &DeviceUpdate, ctx: &WireCtx
     out
 }
 
-/// Parses one UPDATE frame body back into `(device, update)`.
+/// Parses one UPDATE frame body back into `(device, round, epoch, update)`.
 pub(crate) fn decode_update_frame(
     bytes: &[u8],
     ctx: &WireCtx,
-) -> Result<(usize, DeviceUpdate), TransportError> {
+) -> Result<(usize, u64, u64, DeviceUpdate), TransportError> {
     let mut r = ByteReader::new(bytes);
     let device = r.u32()? as usize;
+    let round = r.u64()?;
+    let epoch = r.u64()?;
     let samples = r.len_u64()?;
     let realized_flops = r.f64()?;
     let wall_secs = r.f64()?;
@@ -274,6 +420,8 @@ pub(crate) fn decode_update_frame(
         .map_err(|e| TransportError::Frame(format!("payload: {e}")))?;
     Ok((
         device,
+        round,
+        epoch,
         DeviceUpdate {
             payload,
             bn,
@@ -282,6 +430,49 @@ pub(crate) fn decode_update_frame(
             wall_secs,
         },
     ))
+}
+
+/// The one shared screen every inbound UPDATE body passes before the
+/// server sees it, regardless of transport: structural decode, claimed
+/// identity, round/epoch freshness, and the sample-count cap. Returning
+/// the same [`FaultKind`] from every transport is what keeps adversarial
+/// runs bit-identical between TCP and the in-process harness.
+pub(crate) fn screen_update_frame(
+    body: &[u8],
+    ctx: &WireCtx,
+    want_device: usize,
+    want_round: u64,
+    want_epoch: u64,
+    sample_cap: Option<u64>,
+) -> Result<DeviceUpdate, FaultKind> {
+    let (device, round, epoch, update) = decode_update_frame(body, ctx).map_err(|e| {
+        FaultKind::MalformedFrame(match e {
+            TransportError::Frame(msg) => msg,
+            TransportError::Io(e) => e.to_string(),
+        })
+    })?;
+    if device != want_device {
+        return Err(FaultKind::MalformedFrame(format!(
+            "device {device} answered on device {want_device}'s stream"
+        )));
+    }
+    if round != want_round || epoch != want_epoch {
+        return Err(FaultKind::Replay {
+            got_round: round,
+            want_round,
+            got_epoch: epoch,
+            want_epoch,
+        });
+    }
+    if let Some(cap) = sample_cap {
+        if update.samples as u64 > cap {
+            return Err(FaultKind::InflatedSamples {
+                claimed: update.samples as u64,
+                cap,
+            });
+        }
+    }
+    Ok(update)
 }
 
 /// Serializes the shared tail of a ROUND frame body: the round index, the
@@ -340,7 +531,7 @@ pub(crate) fn decode_round_frame(
 }
 
 /// Writes one length-prefixed frame.
-fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result<()> {
     stream.write_all(&(body.len() as u32).to_le_bytes())?;
     stream.write_all(&[kind])?;
     stream.write_all(body)?;
@@ -349,7 +540,7 @@ fn write_frame(stream: &mut TcpStream, kind: u8, body: &[u8]) -> std::io::Result
 
 /// Reads one length-prefixed frame, bounding the body at 1 GiB so a
 /// corrupt length prefix cannot trigger an absurd allocation.
-fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), TransportError> {
+pub(crate) fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), TransportError> {
     let mut header = [0u8; 5];
     stream.read_exact(&mut header)?;
     let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
@@ -372,19 +563,42 @@ fn read_frame(stream: &mut TcpStream) -> Result<(u8, Vec<u8>), TransportError> {
 /// HELLO frame. Length-prefixed frames carry the global snapshot down and
 /// the encoded updates back, so every exchanged byte is a real wire byte.
 ///
+/// Two trust postures:
+///
+/// - **strict** ([`listen`](Self::listen) / [`accept_fleet`](Self::accept_fleet)):
+///   the bit-identity harness — any malformed frame or dead stream aborts
+///   the run with a typed error. This is the pre-hardening behavior.
+/// - **tolerant** ([`listen_tolerant`](Self::listen_tolerant) /
+///   [`accept_fleet_tolerant`](Self::accept_fleet_tolerant)): the hostile-
+///   fleet posture — bad handshakes are refused and counted, bad frames
+///   quarantine their sender as a [`Delivery::Faulted`], dead streams are
+///   dropped, and (because the listener is retained) departed devices may
+///   rejoin between rounds via [`RoundRequest::rejoining`].
+///
 /// Only barrier schedulers (`Synchronous`, `Deadline`) are supported — the
 /// buffered event loop interleaves training with arrivals and requires a
 /// local transport.
 #[derive(Debug)]
 pub struct TcpTransport {
-    /// One connected stream per device, indexed by device id.
-    streams: Vec<TcpStream>,
+    /// One stream slot per device, indexed by device id. `None` = departed
+    /// or quarantined-dead.
+    streams: Vec<Option<TcpStream>>,
+    /// Quarantine instead of abort on device faults.
+    tolerant: bool,
+    /// Retained listener for between-round rejoins (tolerant mode only).
+    listener: Option<TcpListener>,
+    /// Connection attempts refused during accept/rejoin.
+    handshake_faults: usize,
 }
+
+/// Read timeout a tolerant server arms on every accepted stream, so one
+/// silent byzantine device cannot hang the whole round collection.
+const TOLERANT_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 
 impl TcpTransport {
     /// Binds `addr` and accepts exactly `devices` clients, each of which
     /// must open with a HELLO frame carrying a unique device id in
-    /// `0..devices`.
+    /// `0..devices`. Strict: any bad handshake aborts the accept.
     pub fn listen(addr: impl ToSocketAddrs, devices: usize) -> Result<Self, TransportError> {
         let listener = TcpListener::bind(addr)?;
         Self::accept_fleet(&listener, devices)
@@ -392,25 +606,13 @@ impl TcpTransport {
 
     /// Accepts `devices` HELLO-identified clients on an existing listener
     /// (lets tests bind port 0 first and hand the resolved address to their
-    /// client threads).
+    /// client threads). Strict: any bad handshake aborts the accept.
     pub fn accept_fleet(listener: &TcpListener, devices: usize) -> Result<Self, TransportError> {
         let mut slots: Vec<Option<TcpStream>> = (0..devices).map(|_| None).collect();
         let mut connected = 0;
         while connected < devices {
             let (mut stream, _) = listener.accept()?;
-            let (kind, body) = read_frame(&mut stream)?;
-            if kind != FRAME_HELLO {
-                return Err(TransportError::Frame(format!(
-                    "expected HELLO, got frame kind {kind}"
-                )));
-            }
-            let mut r = ByteReader::new(&body);
-            let device = r.u32()? as usize;
-            if device >= devices {
-                return Err(TransportError::Frame(format!(
-                    "device id {device} outside fleet of {devices}"
-                )));
-            }
+            let device = read_hello(&mut stream, devices)?;
             if slots[device].is_some() {
                 return Err(TransportError::Frame(format!(
                     "device id {device} connected twice"
@@ -420,17 +622,129 @@ impl TcpTransport {
             connected += 1;
         }
         Ok(TcpTransport {
-            streams: slots
-                .into_iter()
-                .map(|s| s.expect("all slots filled"))
-                .collect(),
+            streams: slots,
+            tolerant: false,
+            listener: None,
+            handshake_faults: 0,
         })
     }
 
-    /// Number of connected devices.
+    /// Binds `addr` and fills the fleet tolerantly — see
+    /// [`accept_fleet_tolerant`](Self::accept_fleet_tolerant).
+    pub fn listen_tolerant(
+        addr: impl ToSocketAddrs,
+        devices: usize,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        Self::accept_fleet_tolerant(listener, devices)
+    }
+
+    /// Fills the fleet under the hostile posture: handshakes that are
+    /// malformed, truncated, out of range, or abandoned mid-frame are
+    /// refused and counted ([`handshake_faults`](Self::handshake_faults))
+    /// without aborting; a duplicate device id replaces the earlier stream
+    /// (latest connection wins — the reconnect case) and counts the loser.
+    /// Takes listener ownership so departed devices can rejoin later.
+    pub fn accept_fleet_tolerant(
+        listener: TcpListener,
+        devices: usize,
+    ) -> Result<Self, TransportError> {
+        let mut slots: Vec<Option<TcpStream>> = (0..devices).map(|_| None).collect();
+        let mut connected = 0;
+        let mut handshake_faults = 0;
+        while connected < devices {
+            let (mut stream, _) = listener.accept()?;
+            match read_hello(&mut stream, devices) {
+                Ok(device) => {
+                    let _ = stream.set_read_timeout(Some(TOLERANT_READ_TIMEOUT));
+                    if slots[device].is_some() {
+                        handshake_faults += 1;
+                    } else {
+                        connected += 1;
+                    }
+                    slots[device] = Some(stream);
+                }
+                Err(_) => handshake_faults += 1,
+            }
+        }
+        Ok(TcpTransport {
+            streams: slots,
+            tolerant: true,
+            listener: Some(listener),
+            handshake_faults,
+        })
+    }
+
+    /// Number of device slots (live or departed).
     pub fn devices(&self) -> usize {
         self.streams.len()
     }
+
+    /// Connection attempts refused during accept and rejoin screening.
+    pub fn handshake_faults(&self) -> usize {
+        self.handshake_faults
+    }
+
+    /// Drops the stale streams of `rejoining` devices and blocking-accepts
+    /// their fresh HELLOs (slotting any other valid arrival for an empty
+    /// slot along the way, so concurrent rejoiners cannot deadlock each
+    /// other). The server drives this from its presence schedule, which
+    /// makes the rejoin race-free: the device's new connection is fully
+    /// established before the round broadcast.
+    fn reconnect_rejoining(&mut self, rejoining: &[usize]) -> Result<(), TransportError> {
+        if rejoining.is_empty() {
+            return Ok(());
+        }
+        let listener = self.listener.as_ref().ok_or_else(|| {
+            TransportError::Frame(
+                "this transport cannot re-accept departed devices \
+                 (accept the fleet with accept_fleet_tolerant to retain the listener)"
+                    .into(),
+            )
+        })?;
+        for &d in rejoining {
+            if d >= self.streams.len() {
+                return Err(TransportError::Frame(format!(
+                    "rejoining device {d} outside fleet of {}",
+                    self.streams.len()
+                )));
+            }
+            self.streams[d] = None;
+        }
+        let mut waiting: Vec<usize> = rejoining.to_vec();
+        while !waiting.is_empty() {
+            let (mut stream, _) = listener.accept()?;
+            match read_hello(&mut stream, self.streams.len()) {
+                Ok(device) if self.streams[device].is_none() => {
+                    let _ = stream.set_read_timeout(Some(TOLERANT_READ_TIMEOUT));
+                    self.streams[device] = Some(stream);
+                    waiting.retain(|&w| w != device);
+                }
+                // A valid HELLO for a live slot is an impostor (or a
+                // reconnect we did not schedule): refuse and count it.
+                Ok(_) | Err(_) => self.handshake_faults += 1,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads and validates one HELLO frame, returning the claimed device id.
+fn read_hello(stream: &mut TcpStream, devices: usize) -> Result<usize, TransportError> {
+    let (kind, body) = read_frame(stream)?;
+    if kind != FRAME_HELLO {
+        return Err(TransportError::Frame(format!(
+            "expected HELLO, got frame kind {kind}"
+        )));
+    }
+    let mut r = ByteReader::new(&body);
+    let device = r.u32()? as usize;
+    if device >= devices {
+        return Err(TransportError::Frame(format!(
+            "device id {device} outside fleet of {devices}"
+        )));
+    }
+    Ok(device)
 }
 
 impl Transport for TcpTransport {
@@ -445,40 +759,83 @@ impl Transport for TcpTransport {
     fn exchange_round(
         &mut self,
         req: &mut RoundRequest<'_>,
-    ) -> Result<Vec<DeviceUpdate>, TransportError> {
+    ) -> Result<Vec<Delivery>, TransportError> {
+        self.reconnect_rejoining(req.rejoining)?;
         let snapshot = take_snapshot(req.global);
         let shared = encode_round_frame(req.round, req.epoch, &snapshot, req.mask);
+        // Broadcast phase: a member whose stream is dead (or dies on
+        // write) is quarantined here and skipped during collection.
+        let mut broadcast_faults: Vec<Option<FaultKind>> = vec![None; req.cohort.len()];
         for (pos, &k) in req.cohort.iter().enumerate() {
-            let stream = self
-                .streams
-                .get_mut(k)
-                .ok_or_else(|| TransportError::Frame(format!("no stream for device {k}")))?;
+            if !matches!(self.streams.get(k), Some(Some(_))) {
+                if self.tolerant {
+                    broadcast_faults[pos] = Some(FaultKind::Disconnected(format!(
+                        "no live stream for device {k}"
+                    )));
+                    continue;
+                }
+                return Err(TransportError::Frame(format!("no stream for device {k}")));
+            }
             // Per-recipient prefix: the device's position within this
             // round's cohort (the index the in-process loop trains it
             // under), then the shared snapshot.
             let mut frame = Vec::with_capacity(4 + shared.len());
             put_u32(&mut frame, pos as u32);
             frame.extend_from_slice(&shared);
-            write_frame(stream, FRAME_ROUND, &frame)?;
+            let stream = self.streams[k].as_mut().expect("checked live above");
+            if let Err(e) = write_frame(stream, FRAME_ROUND, &frame) {
+                if self.tolerant {
+                    self.streams[k] = None;
+                    broadcast_faults[pos] = Some(FaultKind::Disconnected(e.to_string()));
+                } else {
+                    return Err(e.into());
+                }
+            }
         }
-        let mut updates = Vec::with_capacity(req.cohort.len());
-        for &k in req.cohort {
-            let stream = self.streams.get_mut(k).expect("checked above");
-            let (kind, body) = read_frame(stream)?;
+        // Collection phase, in cohort order. Decode-level faults keep the
+        // stream (the length-prefixed framing is intact, so the connection
+        // can still carry next round); io/framing faults kill it.
+        let mut out = Vec::with_capacity(req.cohort.len());
+        for (pos, &k) in req.cohort.iter().enumerate() {
+            if let Some(fault) = broadcast_faults[pos].take() {
+                out.push(Delivery::Faulted(fault));
+                continue;
+            }
+            let stream = self.streams[k].as_mut().expect("broadcast left it live");
+            let (kind, body) = match read_frame(stream) {
+                Ok(fb) => fb,
+                Err(e) => {
+                    if !self.tolerant {
+                        return Err(e);
+                    }
+                    self.streams[k] = None;
+                    out.push(Delivery::Faulted(match e {
+                        TransportError::Io(e) => FaultKind::Disconnected(e.to_string()),
+                        TransportError::Frame(msg) => FaultKind::MalformedFrame(msg),
+                    }));
+                    continue;
+                }
+            };
             if kind != FRAME_UPDATE {
-                return Err(TransportError::Frame(format!(
-                    "expected UPDATE from device {k}, got frame kind {kind}"
-                )));
+                let msg = format!("expected UPDATE from device {k}, got frame kind {kind}");
+                if !self.tolerant {
+                    return Err(TransportError::Frame(msg));
+                }
+                out.push(Delivery::Faulted(FaultKind::MalformedFrame(msg)));
+                continue;
             }
-            let (device, update) = decode_update_frame(&body, req.ctx)?;
-            if device != k {
-                return Err(TransportError::Frame(format!(
-                    "device {device} answered on device {k}'s stream"
-                )));
+            let cap = req.sample_caps.get(pos).map(|&c| c as u64);
+            match screen_update_frame(&body, req.ctx, k, req.round as u64, req.epoch, cap) {
+                Ok(update) => out.push(Delivery::Update(update)),
+                Err(fault) => {
+                    if !self.tolerant {
+                        return Err(fault.into_frame_error());
+                    }
+                    out.push(Delivery::Faulted(fault));
+                }
             }
-            updates.push(update);
         }
-        Ok(updates)
+        Ok(out)
     }
 
     fn deliver_update(&mut self, update: DeviceUpdate, _ctx: &WireCtx) -> DeviceUpdate {
@@ -488,7 +845,7 @@ impl Transport for TcpTransport {
     }
 
     fn shutdown(&mut self) {
-        for stream in &mut self.streams {
+        for stream in self.streams.iter_mut().flatten() {
             let _ = write_frame(stream, FRAME_DONE, &[]);
         }
     }
@@ -558,7 +915,7 @@ pub fn run_tcp_device(
                     needs_residual.then_some(&mut residual),
                     &rt,
                 );
-                let frame = encode_update_frame(device, &update, &ctx);
+                let frame = encode_update_frame(device, round as u64, epoch, &update, &ctx);
                 write_frame(&mut stream, FRAME_UPDATE, &frame)?;
             }
             other => {
@@ -573,7 +930,9 @@ pub fn run_tcp_device(
 /// Connects to the server, retrying connection-refused/reset errors with a
 /// short backoff for ~30 seconds — client and server processes are usually
 /// launched concurrently, and the bind is a race the client should absorb.
-fn connect_with_retry(addr: impl ToSocketAddrs + Clone) -> Result<TcpStream, TransportError> {
+pub(crate) fn connect_with_retry(
+    addr: impl ToSocketAddrs + Clone,
+) -> Result<TcpStream, TransportError> {
     let mut last_err = None;
     for _ in 0..120 {
         match TcpStream::connect(addr.clone()) {
@@ -616,9 +975,11 @@ mod tests {
                 realized_flops: 1.25e9,
                 wall_secs: 0.125,
             };
-            let frame = encode_update_frame(2, &update, &ctx);
-            let (device, back) = decode_update_frame(&frame, &ctx).expect("roundtrip");
+            let frame = encode_update_frame(2, 7, 5, &update, &ctx);
+            let (device, round, epoch, back) =
+                decode_update_frame(&frame, &ctx).expect("roundtrip");
             assert_eq!(device, 2);
+            assert_eq!((round, epoch), (7, 5));
             assert_eq!(back.payload, update.payload, "{codec:?}");
             assert_eq!(back.bn, update.bn);
             assert_eq!(back.samples, 17);
@@ -673,7 +1034,7 @@ mod tests {
             realized_flops: 0.0,
             wall_secs: 0.0,
         };
-        let uframe = encode_update_frame(0, &update, &ctx);
+        let uframe = encode_update_frame(0, 0, 0, &update, &ctx);
         assert!(decode_update_frame(&uframe[..10], &ctx).is_err());
     }
 
@@ -690,5 +1051,140 @@ mod tests {
         let back = SimTime.deliver_update(update.clone(), &ctx);
         assert_eq!(back.payload, update.payload);
         assert_eq!(back.samples, update.samples);
+    }
+
+    mod corruption {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A valid UPDATE body for device 3, round 4, epoch 2, claiming 9
+        /// samples — the fixed point the fuzzers mutate away from.
+        fn sample_update_body(ctx: &WireCtx) -> Vec<u8> {
+            let update = DeviceUpdate {
+                payload: Payload::Dense {
+                    values: (0..ctx.len()).map(|i| (i as f32).cos()).collect(),
+                },
+                bn: Vec::new(),
+                samples: 9,
+                realized_flops: 3.0e6,
+                wall_secs: 0.5,
+            };
+            encode_update_frame(3, 4, 2, &update, ctx)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Random byte mutations of a valid UPDATE body either still
+            /// screen clean (the flip hit a value byte) or land on a typed
+            /// fault — the ingest path never panics, and a surviving update
+            /// always respects the sample cap.
+            #[test]
+            fn corrupt_update_bodies_screen_to_typed_faults(
+                flips in proptest::collection::vec((0usize..4096, 1usize..256), 1..8),
+            ) {
+                let ctx = WireCtx::dense(16);
+                let mut body = sample_update_body(&ctx);
+                for &(pos, xor) in &flips {
+                    let i = pos % body.len();
+                    body[i] ^= xor as u8;
+                }
+                match screen_update_frame(&body, &ctx, 3, 4, 2, Some(9)) {
+                    Ok(u) => prop_assert!(u.samples as u64 <= 9),
+                    Err(FaultKind::MalformedFrame(_))
+                    | Err(FaultKind::Replay { .. })
+                    | Err(FaultKind::InflatedSamples { .. }) => {}
+                    Err(f @ FaultKind::Disconnected(_)) => {
+                        prop_assert!(false, "byte corruption cannot disconnect: {f:?}")
+                    }
+                }
+            }
+
+            /// Every proper prefix of a valid UPDATE body is a typed
+            /// malformed-frame fault, not a panic (extends the fixed-length
+            /// truncation check to all cut points).
+            #[test]
+            fn truncated_update_bodies_are_malformed(cut in 0usize..4096) {
+                let ctx = WireCtx::dense(16);
+                let body = sample_update_body(&ctx);
+                prop_assume!(cut < body.len());
+                let got = screen_update_frame(&body[..cut], &ctx, 3, 4, 2, None);
+                prop_assert!(
+                    matches!(got, Err(FaultKind::MalformedFrame(_))),
+                    "cut at {}: {:?}",
+                    cut,
+                    got
+                );
+            }
+
+            /// A bit-exact replay of an older round's update is quarantined
+            /// as [`FaultKind::Replay`] with both stamps preserved for the
+            /// ledger.
+            #[test]
+            fn replayed_update_bodies_are_typed_replays(
+                want_round in 5u64..50,
+                want_epoch in 3u64..40,
+            ) {
+                let ctx = WireCtx::dense(16);
+                let body = sample_update_body(&ctx); // stamped round 4, epoch 2
+                match screen_update_frame(&body, &ctx, 3, want_round, want_epoch, None) {
+                    Err(FaultKind::Replay {
+                        got_round,
+                        want_round: wr,
+                        got_epoch,
+                        want_epoch: we,
+                    }) => {
+                        prop_assert_eq!((got_round, got_epoch), (4, 2));
+                        prop_assert_eq!((wr, we), (want_round, want_epoch));
+                    }
+                    other => prop_assert!(false, "expected replay fault, got {other:?}"),
+                }
+            }
+
+            /// An update claiming more samples than the device's partition
+            /// holds is quarantined as weight inflation.
+            #[test]
+            fn inflated_sample_claims_are_quarantined(cap in 0u64..9) {
+                let ctx = WireCtx::dense(16);
+                let body = sample_update_body(&ctx); // claims 9 samples
+                match screen_update_frame(&body, &ctx, 3, 4, 2, Some(cap)) {
+                    Err(FaultKind::InflatedSamples { claimed, cap: c }) => {
+                        prop_assert_eq!((claimed, c), (9, cap));
+                    }
+                    other => prop_assert!(false, "expected inflation fault, got {other:?}"),
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// A tolerant accept survives an arbitrary (well-framed) garbage
+            /// handshake: the junk connection is refused or slotted per the
+            /// HELLO rules, a following honest HELLO always completes the
+            /// fleet, and nothing panics.
+            #[test]
+            fn tolerant_accept_survives_garbage_hello(
+                kind in 0usize..256,
+                junk in proptest::collection::vec(0usize..256, 0..8),
+            ) {
+                let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+                let addr = listener.local_addr().expect("addr");
+                let client = std::thread::spawn(move || {
+                    let body: Vec<u8> = junk.iter().map(|&b| b as u8).collect();
+                    let mut garbage = TcpStream::connect(addr).expect("connect");
+                    write_frame(&mut garbage, kind as u8, &body).expect("garbage hello");
+                    let mut honest = TcpStream::connect(addr).expect("connect");
+                    write_frame(&mut honest, FRAME_HELLO, &0u32.to_le_bytes())
+                        .expect("honest hello");
+                    // Keep both sockets open until the server has accepted.
+                    (garbage, honest)
+                });
+                let transport = TcpTransport::accept_fleet_tolerant(listener, 1)
+                    .expect("tolerant accept never aborts on a bad handshake");
+                prop_assert_eq!(transport.devices(), 1);
+                let _sockets = client.join().expect("client thread");
+            }
+        }
     }
 }

@@ -1,0 +1,75 @@
+//! Quarantine accounting for hostile fleets.
+//!
+//! The federation server never trusts a device: every inbound update frame
+//! is screened (framing, claimed identity, round/epoch freshness, sample
+//! count) before its payload touches the aggregator. Each rejection is a
+//! *quarantine* — the update is discarded, the round proceeds with the
+//! survivors, and the reason is tallied here so a run's hostility profile
+//! is observable (and pinned by the golden adversarial traces).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-run tallies of quarantined traffic, one counter per screening
+/// failure class. Lives inside the cost ledger and rides through its
+/// checkpoint codec, so a resumed run keeps its history of abuse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Frames that failed structural decoding: garbage bytes, truncation,
+    /// trailing bytes, or an update claiming the wrong device identity.
+    pub malformed_frames: u64,
+    /// Well-formed updates stamped with a stale round or mask epoch — the
+    /// signature of a replayed capture.
+    pub replays: u64,
+    /// Streams that died mid-round: connection resets, broken pipes, or
+    /// mid-handshake disconnects observed while collecting a cohort.
+    pub disconnects: u64,
+    /// Updates whose claimed `num_samples` exceeded the device's known
+    /// partition size — a weight-inflation attack on weighted averaging.
+    pub inflated_samples: u64,
+    /// Updates accepted but norm-clipped by a `NormClipped` aggregator
+    /// (not quarantined — the defense fired rather than the screen).
+    pub clipped_updates: u64,
+    /// Connection attempts refused during fleet accept: malformed HELLOs,
+    /// out-of-range device ids, or handshakes abandoned mid-frame.
+    pub rejected_handshakes: u64,
+}
+
+impl FaultCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Updates quarantined during rounds (everything except clipping,
+    /// which accepts the update, and handshake rejections, which happen
+    /// before any round).
+    pub fn total_quarantined(&self) -> u64 {
+        self.malformed_frames + self.replays + self.disconnects + self.inflated_samples
+    }
+
+    /// True when nothing was ever quarantined, clipped, or refused — the
+    /// signature of an honest fleet.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_total_excludes_clips_and_handshakes() {
+        let c = FaultCounters {
+            malformed_frames: 2,
+            replays: 3,
+            disconnects: 5,
+            inflated_samples: 7,
+            clipped_updates: 100,
+            rejected_handshakes: 100,
+        };
+        assert_eq!(c.total_quarantined(), 17);
+        assert!(!c.is_clean());
+        assert!(FaultCounters::new().is_clean());
+    }
+}

@@ -22,6 +22,7 @@
 //! fleet heterogeneity is modeled without ever sleeping on the host.
 
 mod comm;
+mod faults;
 mod flops;
 mod memory;
 mod time;
@@ -29,6 +30,7 @@ mod time;
 pub use comm::{
     bn_stats_bytes, dense_download_bytes, sparse_model_bytes, sparse_model_bytes_with, IndexWidth,
 };
+pub use faults::FaultCounters;
 pub use flops::{
     backward_flops, forward_flops, forward_flops_dense, layer_forward_flops, training_flops,
 };

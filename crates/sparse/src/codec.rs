@@ -56,6 +56,15 @@ pub enum DecodeError {
     /// A count, flag, or index is inconsistent with the frame or the
     /// decoding context (the static message names the field).
     Inconsistent(&'static str),
+    /// A values-only payload stamped with a mask epoch other than the
+    /// context's — a replayed (or far-future) frame that cannot be
+    /// positioned without its original mask.
+    StaleEpoch {
+        /// Epoch the payload claims.
+        got: u64,
+        /// Epoch the decoding context is at.
+        want: u64,
+    },
     /// Well-formed payload followed by garbage.
     TrailingBytes(usize),
 }
@@ -71,6 +80,12 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::BadTag(t) => write!(f, "unknown payload tag {t}"),
             DecodeError::Inconsistent(what) => write!(f, "inconsistent frame: {what}"),
+            DecodeError::StaleEpoch { got, want } => {
+                write!(
+                    f,
+                    "stale mask epoch: payload claims {got}, context is at {want}"
+                )
+            }
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
         }
     }
@@ -617,7 +632,9 @@ impl Payload {
     /// transport can feed it untrusted bytes. "Inconsistent" includes
     /// inconsistency *with the context*: the decoded length must equal
     /// `ctx.len()`, and a values-only `MaskCsr` payload must carry the
-    /// context's mask epoch and alive count — so an accepted payload can
+    /// context's mask epoch ([`DecodeError::StaleEpoch`] otherwise — the
+    /// signature of a replayed frame) and alive count — so an accepted
+    /// payload can
     /// always be decoded/accumulated under `ctx` without hitting the panic
     /// paths of [`decode`](Self::decode).
     pub fn from_bytes(bytes: &[u8], ctx: &WireCtx) -> Result<Payload, DecodeError> {
@@ -645,7 +662,13 @@ impl Payload {
                 if nnz > len {
                     return Err(DecodeError::Inconsistent("more values than coordinates"));
                 }
-                if !indexed && (epoch != ctx.epoch || nnz != ctx.alive_count()) {
+                if !indexed && epoch != ctx.epoch {
+                    return Err(DecodeError::StaleEpoch {
+                        got: epoch,
+                        want: ctx.epoch,
+                    });
+                }
+                if !indexed && nnz != ctx.alive_count() {
                     return Err(DecodeError::Inconsistent(
                         "values-only payload does not match the context's mask",
                     ));
@@ -1164,12 +1187,13 @@ mod tests {
             Err(DecodeError::Inconsistent("length differs from context"))
         );
         // Values-only MaskCsr under a foreign mask epoch: the receiver
-        // could not scatter it safely, so the frame is rejected up front.
+        // could not scatter it safely, so the frame is rejected up front
+        // with the typed epoch mismatch (replay detection feeds on it).
         let values_only = Codec::MaskCsr.encode(&[1.0f32; 24], &ctx, ctx.epoch, None);
         let foreign_epoch = striped_ctx(ctx.epoch + 1);
         assert!(matches!(
             Payload::from_bytes(&values_only.to_bytes(&ctx), &foreign_epoch),
-            Err(DecodeError::Inconsistent(_))
+            Err(DecodeError::StaleEpoch { .. })
         ));
         // Trailing garbage after a valid payload.
         let p = Codec::Dense.encode(&[1.0f32; 24], &ctx, ctx.epoch, None);

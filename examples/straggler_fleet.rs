@@ -13,6 +13,9 @@
 //! # checkpoint every round (one file per scheduler) and resume later:
 //! cargo run --release --example straggler_fleet -- --checkpoint /tmp/fleet.ckpt
 //! cargo run --release --example straggler_fleet -- --checkpoint /tmp/fleet.ckpt --resume
+//! # hostile fleet: device 1 sign-flips, device 4 replays; trim the poison:
+//! cargo run --release --example straggler_fleet -- \
+//!   --aggregator trimmed_mean:0.25 --byzantine 1:sign_flip:8 --byzantine 4:replay
 //! ```
 //!
 //! Transfers are billed at the *measured* encoded payload size, so the
@@ -24,13 +27,17 @@
 
 use fedtiny_suite::data::{DatasetProfile, SynthConfig};
 use fedtiny_suite::fl::{
-    no_hook, run_with, CheckpointSpec, Codec, CostLedger, DeviceProfile, ExperimentEnv, FlConfig,
-    InProcess, ModelSpec, RunOptions, Scheduler, TimelineEvent,
+    no_hook, run_with, AdversarialTransport, Aggregator, Behavior, CheckpointSpec, Codec,
+    CostLedger, DeviceProfile, ExperimentEnv, FlConfig, InProcess, ModelSpec, RunOptions,
+    Scheduler, TimelineEvent,
 };
 use fedtiny_suite::nn::sparse_layout;
 use fedtiny_suite::sparse::Mask;
 
 const SEED: u64 = 17;
+/// Seed of the adversary's corruption streams (`--byzantine` devices).
+const ADV_SEED: u64 = 4242;
+const DEVICES: usize = 6;
 
 /// Parses `--codec <name>` from the command line (default: dense).
 fn codec_from_args() -> Codec {
@@ -63,6 +70,57 @@ fn resume_from_args() -> bool {
     std::env::args().any(|a| a == "--resume")
 }
 
+/// Parses `--aggregator <name>` (default: fedavg). Robust rules defend the
+/// mean against the `--byzantine` devices' poisoned updates.
+fn aggregator_from_args() -> Aggregator {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--aggregator") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            Aggregator::from_name(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown aggregator {name:?}; expected fedavg | trimmed_mean[:beta] | \
+                     median | norm_clipped[:tau]"
+                );
+                std::process::exit(2);
+            })
+        }
+        None => Aggregator::FedAvg,
+    }
+}
+
+/// Parses every `--byzantine device:behavior` occurrence into the
+/// per-device behavior table (`Honest` where unlisted).
+fn behaviors_from_args() -> Vec<Behavior> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut table = vec![Behavior::Honest; DEVICES];
+    for (i, _) in args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--byzantine")
+    {
+        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+        let parsed = spec.split_once(':').and_then(|(dev, behavior)| {
+            Some((dev.parse::<usize>().ok()?, Behavior::from_name(behavior)?))
+        });
+        match parsed {
+            Some((device, behavior)) if device < DEVICES => table[device] = behavior,
+            Some((device, _)) => {
+                eprintln!("--byzantine device {device} out of range (fleet has {DEVICES})");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!(
+                    "bad --byzantine spec {spec:?}; expected device:behavior, e.g. \
+                     1:sign_flip:8, 3:garbage, 2:replay"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    table
+}
+
 /// Parses `--threads <n>` (default 0 = auto: `FT_THREADS`, else all cores).
 fn threads_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -78,7 +136,12 @@ fn threads_from_args() -> usize {
     }
 }
 
-fn build_env(scheduler: Scheduler, codec: Codec, threads: usize) -> ExperimentEnv {
+fn build_env(
+    scheduler: Scheduler,
+    codec: Codec,
+    threads: usize,
+    aggregator: Aggregator,
+) -> ExperimentEnv {
     let synth = SynthConfig {
         profile: DatasetProfile::Cifar10,
         train_per_class: 12,
@@ -88,12 +151,13 @@ fn build_env(scheduler: Scheduler, codec: Codec, threads: usize) -> ExperimentEn
         seed: SEED,
     };
     let mut cfg = FlConfig::bench_default();
-    cfg.devices = 6;
+    cfg.devices = DEVICES;
     cfg.rounds = 8;
     cfg.local_epochs = 1;
     cfg.seed = SEED;
     cfg.codec = codec;
     cfg.threads = threads;
+    cfg.aggregator = aggregator;
     let env = ExperimentEnv::new(synth, cfg);
     let fleet = DeviceProfile::fleet_mixed(env.num_devices());
     env.with_fleet(fleet).with_scheduler(scheduler)
@@ -103,19 +167,40 @@ fn build_env(scheduler: Scheduler, codec: Codec, threads: usize) -> ExperimentEn
 /// wall-clock seconds of the round loop (environment setup excluded).
 /// With `checkpoint` set, the run saves to `<path>.<scheduler>` every round
 /// and `resume` continues from an existing file.
+#[allow(clippy::too_many_arguments)]
 fn run(
     scheduler: Scheduler,
     codec: Codec,
     threads: usize,
     checkpoint: Option<&str>,
     resume: bool,
+    aggregator: Aggregator,
+    behaviors: &[Behavior],
 ) -> (f32, CostLedger, f64) {
-    let env = build_env(scheduler, codec, threads);
+    let env = build_env(scheduler, codec, threads, aggregator);
     let mut model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
     let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
     let mut ledger = CostLedger::new();
     let started = std::time::Instant::now();
-    let mut transport = InProcess;
+    // A hostile fleet routes every update through the adversary's
+    // corruption layer; a clean one takes the plain in-process path.
+    let hostile = behaviors.iter().any(|b| !matches!(b, Behavior::Honest));
+    let mut plain = InProcess;
+    let mut adversarial = AdversarialTransport::new(InProcess, behaviors.to_vec(), ADV_SEED);
+    let options = RunOptions {
+        transport: if hostile {
+            &mut adversarial
+        } else {
+            &mut plain
+        },
+        checkpoint: checkpoint
+            .map(|p| CheckpointSpec::every_round(format!("{p}.{}", scheduler.name()))),
+        resume,
+        halt_after: None,
+        hook_save: None,
+        hook_load: None,
+        presence: None,
+    };
     let history = run_with(
         model.as_mut(),
         &mut mask,
@@ -123,20 +208,15 @@ fn run(
         0,
         &mut ledger,
         &mut no_hook(),
-        RunOptions {
-            transport: &mut transport,
-            checkpoint: checkpoint
-                .map(|p| CheckpointSpec::every_round(format!("{p}.{}", scheduler.name()))),
-            resume,
-            halt_after: None,
-            hook_save: None,
-            hook_load: None,
-        },
+        options,
     )
     .unwrap_or_else(|e| {
         eprintln!("run failed: {e}");
         std::process::exit(1);
     });
+    if hostile {
+        ledger.record_handshake_faults(adversarial.handshake_faults());
+    }
     let wall = started.elapsed().as_secs_f64();
     (*history.last().expect("nonempty history"), ledger, wall)
 }
@@ -146,11 +226,14 @@ fn main() {
     let threads = threads_from_args();
     let checkpoint = checkpoint_from_args();
     let resume = resume_from_args();
+    let aggregator = aggregator_from_args();
+    let behaviors = behaviors_from_args();
+    let hostile = behaviors.iter().any(|b| !matches!(b, Behavior::Honest));
     let resolved = fedtiny_suite::fl::resolve_threads(threads);
     // A deadline inside the fleet's spread (geometric mean of the fastest
     // and slowest device's simulated round time).
     let deadline_secs = {
-        let env = build_env(Scheduler::Synchronous, codec, threads);
+        let env = build_env(Scheduler::Synchronous, codec, threads, aggregator);
         let model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
         let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
         fedtiny_suite::fl::fleet_spread_deadline(&env, &model.arch(), &densities)
@@ -162,9 +245,22 @@ fn main() {
     ];
     // Self-describing run header: transport, wire codec, worker pool, and
     // where (if anywhere) the run checkpoints.
+    let byzantine_label = if hostile {
+        behaviors
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !matches!(b, Behavior::Honest))
+            .map(|(d, b)| format!("{d}:{}", b.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    } else {
+        "-".to_string()
+    };
     println!(
-        "transport: in_process | wire codec: {} | worker threads: {resolved} | checkpoint: {}{}",
+        "transport: in_process | wire codec: {} | aggregator: {} | byzantine: {byzantine_label} | \
+         worker threads: {resolved} | checkpoint: {}{}",
         codec.name(),
+        aggregator.name(),
         checkpoint
             .as_deref()
             .map(|p| format!("{p}.<scheduler>"))
@@ -178,7 +274,15 @@ fn main() {
     let mut buffered_timeline: Vec<TimelineEvent> = Vec::new();
     let mut sync_wall = None;
     for policy in policies {
-        let (top1, ledger, wall) = run(policy, codec, threads, checkpoint.as_deref(), resume);
+        let (top1, ledger, wall) = run(
+            policy,
+            codec,
+            threads,
+            checkpoint.as_deref(),
+            resume,
+            aggregator,
+            &behaviors,
+        );
         if matches!(policy, Scheduler::Synchronous) {
             sync_wall = Some((wall, ledger.sim_makespan_secs()));
         }
@@ -196,6 +300,21 @@ fn main() {
             ledger.dropped_updates(),
             ledger.total_payload_upload_bytes() / 1e3,
         );
+        if hostile {
+            let f = ledger.faults();
+            println!(
+                "{:>12}  quarantined {} (malformed {} | replays {} | disconnects {} | \
+                 inflated {}), clipped {}, rejected handshakes {}",
+                "", // aligns under the scheduler column
+                ledger.quarantined_updates(),
+                f.malformed_frames,
+                f.replays,
+                f.disconnects,
+                f.inflated_samples,
+                f.clipped_updates,
+                f.rejected_handshakes,
+            );
+        }
         if matches!(policy, Scheduler::Buffered { .. }) {
             buffered_timeline = ledger.timeline().to_vec();
         }
@@ -226,7 +345,15 @@ fn main() {
         let (wall_n, sim_n) = sync_wall.expect("synchronous policy ran");
         // The thread-count rerun never touches the checkpoint files: a
         // resumed run would skip the rounds this comparison measures.
-        let (_, ledger_1, wall_1) = run(Scheduler::Synchronous, codec, 1, None, false);
+        let (_, ledger_1, wall_1) = run(
+            Scheduler::Synchronous,
+            codec,
+            1,
+            None,
+            false,
+            aggregator,
+            &behaviors,
+        );
         assert_eq!(
             ledger_1.sim_makespan_secs().to_bits(),
             sim_n.to_bits(),

@@ -18,6 +18,12 @@
 //! # Durability: checkpoint every round, kill at round 3, resume:
 //! cargo run --release --example tcp_fleet -- --demo --checkpoint /tmp/fleet.ckpt --halt-after 3
 //! cargo run --release --example tcp_fleet -- --demo --checkpoint /tmp/fleet.ckpt --resume
+//!
+//! # Hostile fleet: device 1 sign-flips its deltas, device 3 sends garbage,
+//! # the server trims the poison and quarantines the garbage — still
+//! # asserting TCP == in-process (both run the same adversary schedule):
+//! cargo run --release --example tcp_fleet -- --demo \
+//!   --aggregator trimmed_mean:0.25 --byzantine 1:sign_flip:8 --byzantine 3:garbage
 //! ```
 //!
 //! Both ends build the same [`ExperimentEnv`] from the shared seed — the
@@ -26,14 +32,18 @@
 
 use fedtiny_suite::data::{DatasetProfile, SynthConfig};
 use fedtiny_suite::fl::{
-    no_hook, run_federated_rounds, run_tcp_device, run_with, CheckpointSpec, Codec, CostLedger,
-    ExperimentEnv, FlConfig, ModelSpec, RunOptions, TcpTransport,
+    no_hook, run_byzantine_tcp_device, run_federated_rounds, run_tcp_device, run_with,
+    AdversarialTransport, Aggregator, Behavior, CheckpointSpec, Codec, CostLedger, ExperimentEnv,
+    FlConfig, InProcess, ModelSpec, RunOptions, TcpTransport,
 };
 use fedtiny_suite::nn::{flat_params, sparse_layout};
 use fedtiny_suite::sparse::Mask;
 use std::net::TcpListener;
 
 const SEED: u64 = 23;
+/// Seed of the adversary's corruption streams — shared by the TCP clients
+/// and the in-process twin so both produce identical hostile bytes.
+const ADV_SEED: u64 = 4242;
 
 #[derive(Clone, Debug)]
 struct Options {
@@ -41,9 +51,23 @@ struct Options {
     devices: usize,
     rounds: usize,
     codec: Codec,
+    aggregator: Aggregator,
+    byzantine: Vec<(usize, Behavior)>,
     checkpoint: Option<String>,
     resume: bool,
     halt_after: Option<usize>,
+}
+
+impl Options {
+    /// Per-device behavior table (`Honest` default, overridden by
+    /// `--byzantine device:behavior` entries).
+    fn behaviors(&self) -> Vec<Behavior> {
+        let mut table = vec![Behavior::Honest; self.devices];
+        for &(device, behavior) in &self.byzantine {
+            table[device] = behavior;
+        }
+        table
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -95,11 +119,50 @@ fn parse_args() -> Options {
         },
         None => Codec::Dense,
     };
+    let aggregator = match get("--aggregator") {
+        Some(name) => Aggregator::from_name(&name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown aggregator {name:?}; expected fedavg | trimmed_mean[:beta] | \
+                 median | norm_clipped[:tau]"
+            );
+            std::process::exit(2);
+        }),
+        None => Aggregator::FedAvg,
+    };
+    let devices = get("--devices").and_then(|v| v.parse().ok()).unwrap_or(4);
+    // `--byzantine device:behavior` may repeat — one entry per hostile device.
+    let byzantine: Vec<(usize, Behavior)> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == "--byzantine")
+        .map(|(i, _)| {
+            let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+            let parsed = spec.split_once(':').and_then(|(dev, behavior)| {
+                Some((dev.parse::<usize>().ok()?, Behavior::from_name(behavior)?))
+            });
+            match parsed {
+                Some((device, _)) if device >= devices => {
+                    eprintln!("--byzantine device {device} out of range (fleet has {devices})");
+                    std::process::exit(2);
+                }
+                Some(pair) => pair,
+                None => {
+                    eprintln!(
+                        "bad --byzantine spec {spec:?}; expected device:behavior, e.g. \
+                         1:sign_flip:8, 3:garbage, 2:replay, 0:handshake_drop"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        })
+        .collect();
     Options {
         mode,
-        devices: get("--devices").and_then(|v| v.parse().ok()).unwrap_or(4),
+        devices,
         rounds: get("--rounds").and_then(|v| v.parse().ok()).unwrap_or(6),
         codec,
+        aggregator,
+        byzantine,
         checkpoint: get("--checkpoint"),
         resume: has("--resume"),
         halt_after: get("--halt-after").and_then(|v| v.parse().ok()),
@@ -122,6 +185,7 @@ fn build_env(opts: &Options) -> ExperimentEnv {
     cfg.local_epochs = 1;
     cfg.seed = SEED;
     cfg.codec = opts.codec;
+    cfg.aggregator = opts.aggregator;
     ExperimentEnv::new(synth, cfg)
 }
 
@@ -129,11 +193,23 @@ fn model_spec() -> ModelSpec {
     ModelSpec::SmallCnn { width: 4, input: 8 }
 }
 
-/// Self-describing run header (transport, codec, checkpoint path).
+/// Self-describing run header (transport, codec, aggregator, adversaries,
+/// checkpoint path).
 fn print_header(transport: &str, opts: &Options) {
+    let byzantine = if opts.byzantine.is_empty() {
+        "-".to_string()
+    } else {
+        opts.byzantine
+            .iter()
+            .map(|(d, b)| format!("{d}:{}", b.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     println!(
-        "transport: {transport} | codec: {} | devices: {} | rounds: {} | checkpoint: {}{}",
+        "transport: {transport} | codec: {} | aggregator: {} | byzantine: {byzantine} | \
+         devices: {} | rounds: {} | checkpoint: {}{}",
         opts.codec.name(),
+        opts.aggregator.name(),
         opts.devices,
         opts.rounds,
         opts.checkpoint.as_deref().unwrap_or("-"),
@@ -162,6 +238,7 @@ fn run_server(transport: &mut TcpTransport, opts: &Options) -> (f32, Vec<f32>, C
             halt_after: opts.halt_after,
             hook_save: None,
             hook_load: None,
+            presence: None,
         },
     )
     .unwrap_or_else(|e| {
@@ -172,23 +249,63 @@ fn run_server(transport: &mut TcpTransport, opts: &Options) -> (f32, Vec<f32>, C
     (acc, flat_params(model.as_ref()), ledger)
 }
 
-/// The in-process reference run of the same seed (same checkpoint/halt
-/// schedule, separate checkpoint file so the two runs never collide).
+/// The in-process reference run of the same seed. A clean fleet takes the
+/// classic `run_federated_rounds` path; a hostile one replays the same
+/// adversary schedule through [`AdversarialTransport`], so the reference
+/// quarantines the identical bytes the TCP server saw.
 fn run_reference(opts: &Options) -> (f32, Vec<f32>, CostLedger) {
     let env = build_env(opts);
     let mut model = env.build_model(&model_spec());
     let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
     let mut ledger = CostLedger::new();
-    let history = run_federated_rounds(
-        model.as_mut(),
-        &mut mask,
-        &env,
-        0,
-        &mut ledger,
-        &mut no_hook(),
-    );
+    let history = if opts.byzantine.is_empty() {
+        run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+        )
+    } else {
+        let mut transport = AdversarialTransport::new(InProcess, opts.behaviors(), ADV_SEED);
+        let history = run_with(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+            RunOptions::new(&mut transport),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("reference run failed: {e}");
+            std::process::exit(1);
+        });
+        ledger.record_handshake_faults(transport.handshake_faults());
+        history
+    };
     let acc = history.last().copied().unwrap_or(f32::NAN);
     (acc, flat_params(model.as_ref()), ledger)
+}
+
+/// One machine-readable line of the server's fault ledger — the CI
+/// hostile-fleet job collects these as its quarantine-stats artifact.
+fn print_quarantine_stats(opts: &Options, ledger: &CostLedger) {
+    let f = ledger.faults();
+    println!(
+        "quarantine_stats: {{\"aggregator\":\"{}\",\"malformed_frames\":{},\"replays\":{},\
+         \"disconnects\":{},\"inflated_samples\":{},\"clipped_updates\":{},\
+         \"rejected_handshakes\":{},\"quarantined\":{}}}",
+        opts.aggregator.name(),
+        f.malformed_frames,
+        f.replays,
+        f.disconnects,
+        f.inflated_samples,
+        f.clipped_updates,
+        f.rejected_handshakes,
+        ledger.quarantined_updates(),
+    );
 }
 
 /// Compares the TCP run against the in-process reference and exits
@@ -216,6 +333,14 @@ fn assert_matches_reference(tcp: &(f32, Vec<f32>, CostLedger), opts: &Options) {
         "TCP run diverged from the in-process run — the byte boundary changed the math"
     );
     assert_eq!(tcp.0.to_bits(), reference.0.to_bits(), "accuracy drifted");
+    if !opts.byzantine.is_empty() {
+        assert_eq!(
+            tcp.2.faults(),
+            reference.2.faults(),
+            "TCP quarantine counters diverged from the in-process adversary twin"
+        );
+        print_quarantine_stats(opts, &tcp.2);
+    }
     println!(
         "ok: final aggregated model is bit-identical across the TCP byte boundary \
          ({:.1} simulated seconds, {:.1} KB measured uploads)",
@@ -230,11 +355,30 @@ fn main() {
         Mode::Connect { addr, device } => {
             print_header("tcp (device)", &opts);
             let env = build_env(&opts);
-            if let Err(e) = run_tcp_device(addr.as_str(), device, &env, &model_spec()) {
+            // A device listed in `--byzantine` runs the misbehaving client;
+            // everyone else speaks the honest protocol.
+            let behavior = opts
+                .byzantine
+                .iter()
+                .find(|(d, _)| *d == device)
+                .map(|(_, b)| *b)
+                .unwrap_or(Behavior::Honest);
+            let result = match behavior {
+                Behavior::Honest => run_tcp_device(addr.as_str(), device, &env, &model_spec()),
+                hostile => run_byzantine_tcp_device(
+                    addr.as_str(),
+                    device,
+                    &env,
+                    &model_spec(),
+                    hostile,
+                    ADV_SEED,
+                ),
+            };
+            if let Err(e) = result {
                 eprintln!("device {device} failed: {e}");
                 std::process::exit(1);
             }
-            println!("device {device}: done");
+            println!("device {device}: done ({})", behavior.name());
         }
         Mode::Listen(addr) => {
             print_header("tcp (server)", &opts);
@@ -242,12 +386,25 @@ fn main() {
                 "listening on {addr}, waiting for {} devices...",
                 opts.devices
             );
-            let mut transport =
+            // A hostile fleet needs the tolerant accept loop (handshake
+            // screening); a clean one keeps the strict listener.
+            let mut transport = if opts.byzantine.is_empty() {
                 TcpTransport::listen(addr.as_str(), opts.devices).unwrap_or_else(|e| {
                     eprintln!("listen failed: {e}");
                     std::process::exit(1);
+                })
+            } else {
+                let listener = TcpListener::bind(addr.as_str()).unwrap_or_else(|e| {
+                    eprintln!("listen failed: {e}");
+                    std::process::exit(1);
                 });
-            let tcp = run_server(&mut transport, &opts);
+                TcpTransport::accept_fleet_tolerant(listener, opts.devices).unwrap_or_else(|e| {
+                    eprintln!("accept failed: {e}");
+                    std::process::exit(1);
+                })
+            };
+            let mut tcp = run_server(&mut transport, &opts);
+            tcp.2.record_handshake_faults(transport.handshake_faults());
             assert_matches_reference(&tcp, &opts);
         }
         Mode::Demo => {
@@ -255,23 +412,42 @@ fn main() {
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
             let addr = listener.local_addr().expect("local addr");
             println!("loopback fleet on {addr}");
+            let behaviors = opts.behaviors();
             let client_opts = opts.clone();
             let clients: Vec<_> = (0..opts.devices)
                 .map(|k| {
                     let o = client_opts.clone();
+                    let behavior = behaviors[k];
                     std::thread::spawn(move || {
                         let env = build_env(&o);
-                        run_tcp_device(addr, k, &env, &model_spec())
-                            .unwrap_or_else(|e| panic!("device {k} failed: {e}"));
+                        match behavior {
+                            Behavior::Honest => run_tcp_device(addr, k, &env, &model_spec()),
+                            hostile => run_byzantine_tcp_device(
+                                addr,
+                                k,
+                                &env,
+                                &model_spec(),
+                                hostile,
+                                ADV_SEED,
+                            ),
+                        }
+                        .unwrap_or_else(|e| panic!("device {k} failed: {e}"));
                     })
                 })
                 .collect();
-            let mut transport =
+            let mut transport = if opts.byzantine.is_empty() {
                 TcpTransport::accept_fleet(&listener, opts.devices).unwrap_or_else(|e| {
                     eprintln!("accept failed: {e}");
                     std::process::exit(1);
-                });
-            let tcp = run_server(&mut transport, &opts);
+                })
+            } else {
+                TcpTransport::accept_fleet_tolerant(listener, opts.devices).unwrap_or_else(|e| {
+                    eprintln!("accept failed: {e}");
+                    std::process::exit(1);
+                })
+            };
+            let mut tcp = run_server(&mut transport, &opts);
+            tcp.2.record_handshake_faults(transport.handshake_faults());
             for c in clients {
                 c.join().expect("client thread");
             }

@@ -111,6 +111,7 @@ fn run_killed_and_resumed(
                 halt_after: Some(halt_after),
                 hook_save: None,
                 hook_load: None,
+                presence: None,
             },
         )
         .expect("halted run");
@@ -137,6 +138,7 @@ fn run_killed_and_resumed(
             halt_after: None,
             hook_save: None,
             hook_load: None,
+            presence: None,
         },
     )
     .expect("resumed run");
@@ -224,6 +226,7 @@ fn ckpt_mismatched_run_is_rejected_with_typed_error() {
                 halt_after: Some(1),
                 hook_save: None,
                 hook_load: None,
+                presence: None,
             },
         )
         .expect("halted run");
@@ -248,6 +251,7 @@ fn ckpt_mismatched_run_is_rejected_with_typed_error() {
             halt_after: None,
             hook_save: None,
             hook_load: None,
+            presence: None,
         },
     )
     .expect_err("mismatched checkpoint must be rejected");
@@ -281,6 +285,7 @@ fn ckpt_corrupt_file_is_rejected_not_panicking() {
             halt_after: None,
             hook_save: None,
             hook_load: None,
+            presence: None,
         },
     )
     .expect_err("corrupt checkpoint must be rejected");
@@ -425,6 +430,7 @@ fn ckpt_changed_hyperparameters_are_rejected() {
                 halt_after: Some(1),
                 hook_save: None,
                 hook_load: None,
+                presence: None,
             },
         )
         .expect("halted run");
@@ -449,6 +455,7 @@ fn ckpt_changed_hyperparameters_are_rejected() {
             halt_after: None,
             hook_save: None,
             hook_load: None,
+            presence: None,
         },
     )
     .expect_err("changed hyperparameters must refuse to resume");
