@@ -198,21 +198,27 @@ fn trajectory_benches(_c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     let threads_grid = [1usize, 2, 4];
     println!(
-        "\n{:<10} {:>12} {:>8} {:>8} {:>14} {:>10}",
-        "op", "shape", "density", "threads", "ns/iter", "GFLOP/s"
+        "\n{:<10} {:>12} {:>8} {:>9} {:>14} {:>10}",
+        "op", "shape", "density", "req/eff", "ns/iter", "GFLOP/s"
     );
     let emit = |report: &mut BenchReport,
                 op: &str,
                 shape: &str,
                 density: f64,
-                threads: usize,
+                rt: &Runtime,
                 ns: f64,
                 flops: f64| {
-        report.push(op, shape, density, threads, ns, flops);
+        report.push(op, shape, density, rt.requested(), rt.threads(), ns, flops);
         let r = report.records.last().expect("just pushed");
         println!(
-            "{:<10} {:>12} {:>8.2} {:>8} {:>14.0} {:>10.2}",
-            op, shape, density, threads, ns, r.gflops
+            "{:<10} {:>12} {:>8.2} {:>5}/{:<3} {:>14.0} {:>10.2}",
+            op,
+            shape,
+            density,
+            rt.requested(),
+            rt.threads(),
+            ns,
+            r.gflops
         );
     };
 
@@ -231,7 +237,7 @@ fn trajectory_benches(_c: &mut Criterion) {
                 matmul_into_rt(&rt, &a, &b, &mut out);
                 black_box(&out);
             });
-            emit(&mut report, "matmul", &shape, 1.0, t, ns, flops);
+            emit(&mut report, "matmul", &shape, 1.0, &rt, ns, flops);
         }
     }
 
@@ -250,7 +256,7 @@ fn trajectory_benches(_c: &mut Criterion) {
                 spmm_into_rt(&rt, csr.view(), &b, &mut out);
                 black_box(&out);
             });
-            emit(&mut report, "spmm", &shape, density, t, ns, flops);
+            emit(&mut report, "spmm", &shape, density, &rt, ns, flops);
         }
     }
 
@@ -270,7 +276,7 @@ fn trajectory_benches(_c: &mut Criterion) {
                 sddmm_nt_into_rt(&rt, csr.view(), &a, &b, &mut vals);
                 black_box(&vals);
             });
-            emit(&mut report, "sddmm_nt", &shape, density, t, ns, flops);
+            emit(&mut report, "sddmm_nt", &shape, density, &rt, ns, flops);
         }
     }
 

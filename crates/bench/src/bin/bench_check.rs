@@ -1,33 +1,51 @@
-//! CI gate over `BENCH_micro_ops.json`: fails when the parallel kernels
-//! stop delivering their speedups, so a PR cannot silently regress the
-//! runtime's wins.
+//! CI gate over `BENCH_micro_ops.json`: fails when the kernels stop
+//! delivering their wins, so a PR cannot silently regress them.
 //!
-//! Checks (scaled to what the measuring host can physically show):
+//! Two families of gates:
 //!
-//! - `host_threads >= 2`: dense matmul on shapes ≥ 256² must run ≥ 1.2x
-//!   faster at 2 threads than at 1 (hard failure below).
-//! - `host_threads >= 4`: dense matmul on 512² must reach ≥ 1.5x and spmm
-//!   on 512² ≥ 1.3x at 4 threads (hard failure below).
-//! - A single-core host (or a missing thread pair) skips the corresponding
-//!   check with a visible notice — speedup cannot exist without cores.
+//! - **Single-thread floor** (always evaluated, any host): the current
+//!   report's 1-thread GFLOP/s must stay above a required ratio of the
+//!   *committed baseline* (`BENCH_baseline_micro_ops.json`, measured before
+//!   the blocked/packed kernel rewrite). Missing records are a hard
+//!   failure — this family cannot be skipped, so the check can never pass
+//!   vacuously.
+//! - **Parallel speedup** (scaled to what the measuring host can physically
+//!   show): multi-thread records must beat the 1-thread record of the same
+//!   shape. Records are paired by `requested_threads` (what the bench asked
+//!   for), not the post-clamp effective count. A host with fewer cores than
+//!   a gate's thread count skips that gate with a visible notice — speedup
+//!   cannot exist without cores.
+//!
+//! If *zero* gates end up evaluated the check fails loudly: a gate file
+//! that checks nothing is indistinguishable from a regression.
 //!
 //! ```bash
-//! cargo run --release -p ft-bench --bin bench_check [path/to/BENCH_micro_ops.json]
+//! cargo run --release -p ft-bench --bin bench_check \
+//!     [path/to/BENCH_micro_ops.json [path/to/BENCH_baseline_micro_ops.json]]
 //! ```
 
 use ft_bench::trajectory::{BenchRecord, BenchReport};
+use std::path::Path;
 use std::process::ExitCode;
 
 /// Minimum square dimension a "dense matmul ≥ 256²" record must have.
 const MIN_GATED_DIM: usize = 256;
 
-/// One speedup requirement against the report.
-struct Gate {
+/// One parallel-speedup requirement against the report.
+struct SpeedupGate {
     op: &'static str,
     min_dim: usize,
     dense_only: bool,
     threads: usize,
     min_speedup: f64,
+}
+
+/// One single-thread throughput-ratio requirement against the baseline.
+struct FloorGate {
+    op: &'static str,
+    shape: &'static str,
+    density: f64,
+    min_ratio: f64,
 }
 
 /// Leading dimension of a `AxBxC` shape tag (0 when unparsable).
@@ -44,60 +62,122 @@ fn find<'a>(
     op: &str,
     shape: &str,
     density: f64,
-    threads: usize,
+    requested_threads: usize,
 ) -> Option<&'a BenchRecord> {
-    records
-        .iter()
-        .find(|r| r.op == op && r.shape == shape && r.density == density && r.threads == threads)
+    records.iter().find(|r| {
+        r.op == op
+            && r.shape == shape
+            && r.density == density
+            && r.requested_threads == requested_threads
+    })
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&json).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
 fn main() -> ExitCode {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .expect("workspace root")
-            .join("BENCH_micro_ops.json")
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        root.join("BENCH_micro_ops.json")
             .to_string_lossy()
             .into_owned()
     });
-    let json = match std::fs::read_to_string(&path) {
-        Ok(j) => j,
+    let baseline_path = args.next().unwrap_or_else(|| {
+        root.join("BENCH_baseline_micro_ops.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let report = match load_report(&path) {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("bench_check: cannot read {path}: {e}");
+            eprintln!("bench_check: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let report = match BenchReport::from_json(&json) {
+    let baseline = match load_report(&baseline_path) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("bench_check: cannot parse {path}: {e}");
+            eprintln!("bench_check: {e}");
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "bench_check: {path} ({} records, host_threads={}, quick={})",
+        "bench_check: {path} ({} records, host_threads={}, quick={}) vs baseline {baseline_path}",
         report.records.len(),
         report.host_threads,
         report.quick
     );
 
-    let gates = [
-        Gate {
+    let mut evaluated = 0usize;
+    let mut failed = false;
+
+    // -- Single-thread floors vs the committed baseline (never skipped) ----
+    let floor_gates = [
+        FloorGate {
+            op: "matmul",
+            shape: "512x512x512",
+            density: 1.0,
+            min_ratio: 3.0,
+        },
+        FloorGate {
+            op: "spmm",
+            shape: "512x512x512",
+            density: 0.2,
+            min_ratio: 1.5,
+        },
+    ];
+    for gate in &floor_gates {
+        let cur = find(&report.records, gate.op, gate.shape, gate.density, 1);
+        let base = find(&baseline.records, gate.op, gate.shape, gate.density, 1);
+        let (Some(cur), Some(base)) = (cur, base) else {
+            eprintln!(
+                "  FAIL {} {} d={:.2} @1t: record missing from {} — this gate cannot be skipped",
+                gate.op,
+                gate.shape,
+                gate.density,
+                if cur.is_none() { "report" } else { "baseline" },
+            );
+            failed = true;
+            continue;
+        };
+        evaluated += 1;
+        let ratio = cur.gflops / base.gflops.max(1e-9);
+        let verdict = if ratio >= gate.min_ratio {
+            "ok"
+        } else {
+            failed = true;
+            "FAIL"
+        };
+        println!(
+            "  {verdict:>4} {} {} d={:.2} @1t: {:.2} GFLOP/s vs baseline {:.2} = {ratio:.2}x (need >= {:.1}x)",
+            gate.op, gate.shape, gate.density, cur.gflops, base.gflops, gate.min_ratio
+        );
+    }
+
+    // -- Parallel speedups within the current report -----------------------
+    let speedup_gates = [
+        SpeedupGate {
             op: "matmul",
             min_dim: MIN_GATED_DIM,
             dense_only: true,
             threads: 2,
             min_speedup: 1.2,
         },
-        Gate {
+        SpeedupGate {
             op: "matmul",
             min_dim: 512,
             dense_only: true,
             threads: 4,
             min_speedup: 1.5,
         },
-        Gate {
+        SpeedupGate {
             op: "spmm",
             min_dim: 512,
             dense_only: false,
@@ -105,9 +185,7 @@ fn main() -> ExitCode {
             min_speedup: 1.3,
         },
     ];
-
-    let mut failed = false;
-    for gate in &gates {
+    for gate in &speedup_gates {
         if report.host_threads < gate.threads {
             println!(
                 "  SKIP {} @{}t >= {:.1}x: host has {} core(s); a speedup needs at least {}",
@@ -120,7 +198,7 @@ fn main() -> ExitCode {
         let mut checked = 0usize;
         for base in report.records.iter().filter(|r| {
             r.op == gate.op
-                && r.threads == 1
+                && r.requested_threads == 1
                 && lead_dim(&r.shape) >= gate.min_dim
                 && (!gate.dense_only || r.density == 1.0)
         }) {
@@ -134,6 +212,7 @@ fn main() -> ExitCode {
                 continue;
             };
             checked += 1;
+            evaluated += 1;
             let speedup = base.ns_per_iter / par.ns_per_iter.max(1.0);
             let verdict = if speedup >= gate.min_speedup {
                 "ok"
@@ -155,11 +234,15 @@ fn main() -> ExitCode {
         }
     }
 
+    if evaluated == 0 {
+        eprintln!("bench_check: ZERO gates evaluated — refusing to pass vacuously");
+        failed = true;
+    }
     if failed {
-        eprintln!("bench_check: parallel-throughput gate FAILED");
+        eprintln!("bench_check: throughput gate FAILED ({evaluated} gate(s) evaluated)");
         ExitCode::FAILURE
     } else {
-        println!("bench_check: all gates passed");
+        println!("bench_check: all gates passed ({evaluated} evaluated)");
         ExitCode::SUCCESS
     }
 }

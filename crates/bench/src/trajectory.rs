@@ -35,7 +35,7 @@ pub fn quick_mode() -> bool {
 }
 
 /// One measured configuration of one operation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct BenchRecord {
     /// Operation name (`"matmul"`, `"spmm"`, `"fleet_synchronous"`, ...).
     pub op: String,
@@ -44,12 +44,40 @@ pub struct BenchRecord {
     pub shape: String,
     /// Operand density (1.0 = dense).
     pub density: f64,
-    /// Worker threads the runtime fanned out over.
+    /// Worker threads the bench *asked* for. Gates pair records across
+    /// reports by this tag — it is stable across hosts, while `threads` is
+    /// what the oversubscription clamp let through.
+    pub requested_threads: usize,
+    /// Effective worker threads the runtime fanned out over (after the
+    /// oversubscription clamp).
     pub threads: usize,
     /// Median wall time of one iteration, in nanoseconds (warmup excluded).
     pub ns_per_iter: f64,
     /// Realized throughput: executed FLOPs / second / 1e9.
     pub gflops: f64,
+}
+
+// Hand-written so reports from before the `requested_threads` field (e.g.
+// the committed baseline) still parse: the field defaults to `threads`,
+// which is exactly what those reports measured. The derive shim has no
+// per-field defaults.
+impl Deserialize for BenchRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let threads: usize = Deserialize::from_value(v.field("threads")?)?;
+        let requested_threads = match v.field("requested_threads") {
+            Ok(f) => Deserialize::from_value(f)?,
+            Err(_) => threads,
+        };
+        Ok(BenchRecord {
+            op: Deserialize::from_value(v.field("op")?)?,
+            shape: Deserialize::from_value(v.field("shape")?)?,
+            density: Deserialize::from_value(v.field("density")?)?,
+            requested_threads,
+            threads,
+            ns_per_iter: Deserialize::from_value(v.field("ns_per_iter")?)?,
+            gflops: Deserialize::from_value(v.field("gflops")?)?,
+        })
+    }
 }
 
 /// A suite's full report: host facts plus the measured records.
@@ -81,11 +109,15 @@ impl BenchReport {
     }
 
     /// Appends one record, deriving GFLOP/s from `flops_per_iter`.
+    /// `requested_threads` is the pool size the bench asked for; `threads`
+    /// the effective size after the runtime's oversubscription clamp.
+    #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,
         op: &str,
         shape: &str,
         density: f64,
+        requested_threads: usize,
         threads: usize,
         ns_per_iter: f64,
         flops_per_iter: f64,
@@ -99,6 +131,7 @@ impl BenchReport {
             op: op.to_string(),
             shape: shape.to_string(),
             density,
+            requested_threads,
             threads,
             ns_per_iter,
             gflops,
@@ -196,14 +229,33 @@ mod tests {
     #[test]
     fn report_roundtrips_through_json() {
         let mut r = BenchReport::new("unit_test");
-        r.push("matmul", "8x8x8", 1.0, 2, 1000.0, 1024.0);
+        r.push("matmul", "8x8x8", 1.0, 4, 2, 1000.0, 1024.0);
         let json = serde_json::to_string(&r).expect("serializes");
         let back = BenchReport::from_json(&json).expect("parses");
         assert_eq!(back.suite, "unit_test");
         assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].requested_threads, 4);
         assert_eq!(back.records[0].threads, 2);
         // 1024 FLOPs in 1000ns ≈ 1.024 GFLOP/s.
         assert!((back.records[0].gflops - 1.024).abs() < 1e-9);
+    }
+
+    /// Reports written before the `requested_threads` field still parse;
+    /// the field defaults to the effective thread count.
+    #[test]
+    fn legacy_records_without_requested_threads_parse() {
+        let json = r#"{
+            "suite": "micro_ops",
+            "host_threads": 1,
+            "quick": true,
+            "records": [{
+                "op": "matmul", "shape": "8x8x8", "density": 1.0,
+                "threads": 2, "ns_per_iter": 1000.0, "gflops": 1.024
+            }]
+        }"#;
+        let back = BenchReport::from_json(json).expect("legacy report parses");
+        assert_eq!(back.records[0].requested_threads, 2);
+        assert_eq!(back.records[0].threads, 2);
     }
 
     #[test]

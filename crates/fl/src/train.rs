@@ -448,7 +448,7 @@ mod tests {
             3,
             &wire,
             &mut no_residuals(n),
-            &Runtime::new(4),
+            &Runtime::exact(4),
         );
         let b = train_devices_parallel(
             model.as_ref(),

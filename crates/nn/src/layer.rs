@@ -7,12 +7,12 @@
 
 use crate::param::{Param, ParamKind};
 use ft_runtime::Runtime;
-use ft_sparse::CsrMatrix;
+use ft_sparse::{BsrMatrix, CsrMatrix};
 use ft_tensor::{
-    avg_pool_global_backward, avg_pool_global_rt, col2im, dsmm_into_rt, dsmm_nt_into_rt, im2col_rt,
-    kaiming_normal, matmul_into_rt, matmul_nt_into_rt, matmul_tn_into_rt, max_pool2x2_backward,
-    max_pool2x2_rt, sddmm_nt_into_rt, sddmm_tn_into_rt, spmm_into_rt, spmm_tn_into_rt, ConvGeom,
-    Tensor,
+    avg_pool_global_backward, avg_pool_global_rt, bsr_dsmm_nt_into_rt, bsr_spmm_into_rt, col2im,
+    dsmm_into_rt, dsmm_nt_into_rt, im2col_rt, kaiming_normal, matmul_into_rt, matmul_nt_into_rt,
+    matmul_tn_into_rt, max_pool2x2_backward, max_pool2x2_rt, sddmm_nt_into_rt, sddmm_tn_into_rt,
+    spmm_into_rt, spmm_tn_into_rt, ConvGeom, Tensor,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -26,16 +26,39 @@ use serde::{Deserialize, Serialize};
 /// Override per model with [`crate::Model::set_sparse_crossover`].
 pub const DEFAULT_SPARSE_CROSSOVER: f32 = 0.5;
 
-/// Cached CSR packing of a layer weight, keyed by the mask epoch that
+/// Tile edge of the block-sparse (BSR) forward packing.
+///
+/// Matches the widest unrolled path of the `ft-tensor` BSR kernels; small
+/// enough that structured masks (whole channels / im2col rows pruned
+/// together) still produce mostly-full tiles.
+pub const BSR_BLOCK: usize = 4;
+
+/// Average tile fill (`nnz / stored`) the forward pass must *strictly
+/// exceed* to be routed through the BSR kernels instead of CSR.
+///
+/// At or below this, the explicit zeros inside partially-alive tiles cost
+/// more flops than the dense tile loops save in index traffic (at fill 0.5
+/// BSR already executes 2× CSR's multiply-accumulates); a scattered
+/// magnitude mask at density `d` has expected fill ≈ `d` and stays on CSR.
+pub const BSR_MIN_FILL: f32 = 0.5;
+
+/// Cached sparse packing of a layer weight, keyed by the mask epoch that
 /// produced its structure.
 ///
 /// The structure is rebuilt only when [`Param::mask_epoch`] changes (a new
 /// mask was applied); between optimizer steps only the values are
-/// re-gathered, which is `O(nnz)`.
+/// re-gathered, which is `O(nnz)` (plus `O(stored)` for the BSR tiles when
+/// present).
+///
+/// `csr` is always built: the backward pass (scatter/sampled-dense shapes)
+/// stays on it unconditionally. `bsr` is additionally built at rebuild time
+/// when the mask clusters — average tile fill strictly above
+/// [`BSR_MIN_FILL`] — and then takes over the *forward* GEMM only.
 #[derive(Clone, Debug)]
 struct SparsePlan {
     epoch: u64,
     csr: CsrMatrix,
+    bsr: Option<BsrMatrix>,
 }
 
 /// Decides the execution path for a weight and keeps `plan` fresh: returns
@@ -60,11 +83,18 @@ fn refresh_plan(
         return false;
     }
     match plan {
-        Some(p) if p.epoch == w.mask_epoch => p.csr.refresh_values(w.data.data()),
+        Some(p) if p.epoch == w.mask_epoch => {
+            p.csr.refresh_values(w.data.data());
+            if let Some(bsr) = &mut p.bsr {
+                bsr.refresh_values(w.data.data());
+            }
+        }
         _ => {
+            let bsr = BsrMatrix::from_mask_values(bits, w.data.data(), rows, cols, BSR_BLOCK);
             *plan = Some(SparsePlan {
                 epoch: w.mask_epoch,
                 csr: CsrMatrix::from_mask_values(bits, w.data.data(), rows, cols),
+                bsr: (bsr.fill() > BSR_MIN_FILL).then_some(bsr),
             });
         }
     }
@@ -250,17 +280,19 @@ impl Conv2d {
             let col_t = Tensor::from_vec(col_slice.to_vec(), &[cr, cc]);
             let mut out_mat = Tensor::zeros(&[self.out_c, cc]);
             match (&self.plan, &wmat) {
-                (Some(plan), _) if sparse => {
-                    spmm_into_rt(&self.runtime, plan.csr.view(), &col_t, &mut out_mat)
-                }
+                (Some(plan), _) if sparse => match &plan.bsr {
+                    Some(bsr) => bsr_spmm_into_rt(&self.runtime, bsr.view(), &col_t, &mut out_mat),
+                    None => spmm_into_rt(&self.runtime, plan.csr.view(), &col_t, &mut out_mat),
+                },
                 (_, Some(wmat)) => matmul_into_rt(&self.runtime, wmat, &col_t, &mut out_mat),
                 _ => unreachable!("dense path always has wmat"),
             }
             let dst = &mut out.data_mut()[i * self.out_c * cc..(i + 1) * self.out_c * cc];
             dst.copy_from_slice(out_mat.data());
         }
+        // BSR executes its tiles' explicit zeros, so it counts stored slots.
         let mac = match &self.plan {
-            Some(plan) if sparse => plan.csr.nnz(),
+            Some(plan) if sparse => plan.bsr.as_ref().map_or(plan.csr.nnz(), |b| b.stored()),
             _ => self.out_c * cr,
         };
         self.realized_flops += 2.0 * (n * cc * mac) as f64;
@@ -698,12 +730,15 @@ impl Linear {
         );
         let mut out = Tensor::zeros(&[n, self.out_dim]);
         match &self.plan {
-            // Y += X · Wᵀ with W in CSR.
-            Some(plan) if sparse => dsmm_nt_into_rt(&self.runtime, x, plan.csr.view(), &mut out),
+            // Y += X · Wᵀ with W in CSR (or BSR when the mask clusters).
+            Some(plan) if sparse => match &plan.bsr {
+                Some(bsr) => bsr_dsmm_nt_into_rt(&self.runtime, x, bsr.view(), &mut out),
+                None => dsmm_nt_into_rt(&self.runtime, x, plan.csr.view(), &mut out),
+            },
             _ => matmul_nt_into_rt(&self.runtime, x, &self.w.data, &mut out),
         }
         let mac = match &self.plan {
-            Some(plan) if sparse => plan.csr.nnz(),
+            Some(plan) if sparse => plan.bsr.as_ref().map_or(plan.csr.nnz(), |b| b.stored()),
             _ => self.out_dim * self.in_dim,
         };
         self.realized_flops += 2.0 * (n * mac) as f64;
@@ -1504,6 +1539,100 @@ mod tests {
         assert_eq!(l.realized_flops(), 2.0 * 200.0);
     }
 
+    /// Applies a *clustered* mask: the first `keep_rows` weight rows stay
+    /// fully alive, the rest are pruned. Whole BSR tiles end up fully alive
+    /// or fully dead, so the average tile fill is high.
+    fn mask_param_rows(w: &mut Param, cols: usize, keep_rows: usize) {
+        let bits: Vec<bool> = (0..w.len()).map(|i| i / cols < keep_rows).collect();
+        for (v, &alive) in w.data.data_mut().iter_mut().zip(bits.iter()) {
+            if !alive {
+                *v = 0.0;
+            }
+        }
+        w.note_mask(&bits);
+    }
+
+    /// A clustered mask (high tile fill) routes the forward pass through the
+    /// BSR kernels; the output matches the dense reference and the
+    /// realized-FLOPs counter switches to counting stored tile slots.
+    #[test]
+    fn clustered_mask_routes_linear_forward_through_bsr() {
+        let mut rng = rng();
+        let mut l = Linear::new(&mut rng, 16, 8, true, "fc");
+        let mut dense = l.clone();
+        mask_param_rows(&mut l.w, 16, 4);
+        mask_param_rows(&mut dense.w, 16, 4);
+        dense.set_sparse_crossover(0.0);
+        let x = ft_tensor::normal(&mut rng, &[3, 16], 0.0, 1.0);
+        let y = l.forward(&x, Mode::Train);
+        let plan = l.plan.as_ref().expect("sparse plan built");
+        let bsr = plan.bsr.as_ref().expect("clustered mask must engage BSR");
+        assert_eq!(bsr.fill(), 1.0);
+        assert_close(y.data(), dense.forward(&x, Mode::Train).data(), 1e-5);
+        // Block row 0 fully alive (4 rows × 16 cols), block row 1 unstored.
+        assert_eq!(bsr.stored(), 64);
+        assert_eq!(l.realized_flops(), 2.0 * 3.0 * 64.0);
+        // A scattered mask at the same density must stay on CSR.
+        let mut scattered = Linear::new(&mut rng, 16, 8, true, "fc");
+        mask_param(&mut scattered.w, 2);
+        let _ = scattered.forward(&x, Mode::Train);
+        let plan = scattered.plan.as_ref().expect("sparse plan built");
+        assert!(plan.bsr.is_none(), "scattered mask must not engage BSR");
+    }
+
+    #[test]
+    fn clustered_mask_routes_conv_forward_through_bsr() {
+        let mut rng = rng();
+        let mut c = Conv2d::new(&mut rng, 2, 8, 3, 1, 1, true, "c");
+        let mut dense = c.clone();
+        let cr = 2 * 3 * 3;
+        mask_param_rows(&mut c.w, cr, 4);
+        mask_param_rows(&mut dense.w, cr, 4);
+        dense.set_sparse_crossover(0.0);
+        let x = ft_tensor::normal(&mut rng, &[2, 2, 6, 6], 0.0, 1.0);
+        let y = c.forward(&x, Mode::Train);
+        let plan = c.plan.as_ref().expect("sparse plan built");
+        assert!(
+            plan.bsr.is_some(),
+            "clustered conv mask must engage BSR (fill {})",
+            BsrMatrix::from_mask_values(
+                c.w.mask_bits.as_ref().unwrap(),
+                c.w.data.data(),
+                8,
+                cr,
+                BSR_BLOCK,
+            )
+            .fill()
+        );
+        assert_close(y.data(), dense.forward(&x, Mode::Train).data(), 1e-4);
+        // Backward stays on CSR and still matches the dense gradients at
+        // alive coordinates.
+        let go = Tensor::ones(&[2, 8, 6, 6]);
+        let gx = c.backward(&go);
+        let gxd = dense.backward(&go);
+        assert_close(gx.data(), gxd.data(), 1e-4);
+    }
+
+    /// `refresh_plan` keeps the BSR values in sync with optimizer updates
+    /// between mask epochs (structure reused, values re-gathered).
+    #[test]
+    fn bsr_plan_refreshes_values_between_epochs() {
+        let mut rng = rng();
+        let mut l = Linear::new(&mut rng, 8, 8, true, "fc");
+        mask_param_rows(&mut l.w, 8, 4);
+        let x = Tensor::ones(&[1, 8]);
+        let _ = l.forward(&x, Mode::Train);
+        assert!(l.plan.as_ref().unwrap().bsr.is_some());
+        // Simulate an optimizer step on alive weights.
+        for v in l.w.data.data_mut().iter_mut() {
+            *v *= 2.0;
+        }
+        let y = l.forward(&x, Mode::Train);
+        let mut dense = l.clone();
+        dense.set_sparse_crossover(0.0);
+        assert_close(y.data(), dense.forward(&x, Mode::Train).data(), 1e-5);
+    }
+
     #[test]
     fn crossover_zero_forces_dense_even_when_fully_pruned() {
         // A zero-density layer must still take the dense path under
@@ -1558,7 +1687,7 @@ mod tests {
             }
             seq_stack.set_sparse_crossover(crossover);
             let mut par_stack = seq_stack.clone();
-            par_stack.set_runtime(Runtime::new(4).with_min_work(0));
+            par_stack.set_runtime(Runtime::exact(4).with_min_work(0));
 
             let x = ft_tensor::normal(&mut rng, &[3, 2, 8, 8], 0.0, 1.0);
             let ys = seq_stack.forward(&x, Mode::Train);

@@ -123,11 +123,17 @@ pub const PAR_WORK_MIN: usize = 1 << 18;
 /// assert!(rt.threads() >= 1);
 /// assert_eq!(Runtime::sequential().threads(), 1);
 /// // Kernels fan out only when the job is worth a thread spawn:
-/// let eager = Runtime::new(4).with_min_work(0);
+/// let eager = Runtime::exact(4).with_min_work(0);
 /// assert!(eager.should_parallelize(1));
+/// // `new` records the requested count even when the oversubscription
+/// // clamp caps the effective pool:
+/// let rt = Runtime::new(10_000);
+/// assert_eq!(rt.requested(), 10_000);
+/// assert!(rt.threads() >= 1);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Runtime {
+    requested: usize,
     threads: usize,
     min_work: usize,
 }
@@ -140,11 +146,48 @@ impl Default for Runtime {
     }
 }
 
+/// The host's available parallelism (≥ 1).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 impl Runtime {
-    /// A runtime with exactly `threads` workers (clamped to at least 1) and
-    /// the default [`PAR_WORK_MIN`] fan-out threshold.
+    /// A runtime with `threads` requested workers and the default
+    /// [`PAR_WORK_MIN`] fan-out threshold.
+    ///
+    /// The *effective* worker count is clamped to [`host_parallelism`]:
+    /// fanning 4 workers out on a 1-core host only adds spawn and switch
+    /// overhead (results are bit-identical either way, so the clamp changes
+    /// wall-clock only). When [`THREADS_ENV`] is set to a positive integer
+    /// the clamp is disabled and counts are taken exactly — the determinism
+    /// CI matrix oversubscribes on purpose to hunt thread-count-dependent
+    /// drift. [`Runtime::exact`] opts out of the clamp programmatically.
     pub fn new(threads: usize) -> Self {
+        let requested = threads.max(1);
+        let clamp = match std::env::var(THREADS_ENV) {
+            Ok(v) => !matches!(v.trim().parse::<usize>(), Ok(n) if n > 0),
+            Err(_) => true,
+        };
+        let threads = if clamp {
+            requested.min(host_parallelism())
+        } else {
+            requested
+        };
         Runtime {
+            requested,
+            threads,
+            min_work: PAR_WORK_MIN,
+        }
+    }
+
+    /// A runtime with exactly `threads` effective workers (clamped to at
+    /// least 1, never to the host's core count). For tests that must
+    /// exercise real fan-out regardless of the machine they run on.
+    pub fn exact(threads: usize) -> Self {
+        Runtime {
+            requested: threads.max(1),
             threads: threads.max(1),
             min_work: PAR_WORK_MIN,
         }
@@ -176,9 +219,16 @@ impl Runtime {
         Runtime::new(resolve_threads(0))
     }
 
-    /// Worker count.
+    /// Effective worker count (after the oversubscription clamp).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The worker count that was asked for, before the oversubscription
+    /// clamp. `requested() != threads()` exactly when [`Runtime::new`]
+    /// clamped an oversubscribed pool to the host's core count.
+    pub fn requested(&self) -> usize {
+        self.requested
     }
 
     /// Whether parallel regions actually fan out (more than one worker).
@@ -342,7 +392,37 @@ mod tests {
     fn threads_clamped_to_one() {
         assert_eq!(Runtime::new(0).threads(), 1);
         assert!(!Runtime::new(0).is_parallel());
-        assert!(Runtime::new(2).is_parallel());
+        assert!(Runtime::exact(2).is_parallel());
+    }
+
+    /// The oversubscription clamp: `new` never fans out beyond the host's
+    /// cores (a 4-worker pool on a 1-core host is strictly slower), while
+    /// `exact` and an explicit `FT_THREADS` keep exact counts for the
+    /// determinism suites. On the old code `new(host · 8)` reported
+    /// `host · 8` effective workers and the scatter really spawned them.
+    #[test]
+    fn new_clamps_oversubscribed_pools() {
+        let host = host_parallelism();
+        let rt = Runtime::new(host * 8);
+        assert_eq!(rt.requested(), host * 8);
+        let env_pinned = matches!(
+            std::env::var(THREADS_ENV).map(|v| v.trim().parse::<usize>()),
+            Ok(Ok(n)) if n > 0
+        );
+        if env_pinned {
+            // Determinism-matrix mode: counts are taken exactly.
+            assert_eq!(rt.threads(), host * 8);
+        } else {
+            assert_eq!(rt.threads(), host);
+        }
+        // `exact` always bypasses the clamp.
+        let rt = Runtime::exact(host * 8);
+        assert_eq!(rt.threads(), host * 8);
+        assert_eq!(rt.requested(), host * 8);
+        // Requests within the host budget are never reduced.
+        assert_eq!(Runtime::new(1).threads(), 1);
+        assert_eq!(Runtime::new(host).requested(), host);
+        assert_eq!(Runtime::new(host).threads(), host);
     }
 
     #[test]
@@ -354,7 +434,7 @@ mod tests {
     fn scatter_runs_every_job_once() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         for threads in [1usize, 2, 4, 16] {
-            let rt = Runtime::new(threads);
+            let rt = Runtime::exact(threads);
             let hits = AtomicUsize::new(0);
             rt.scatter((0..10).collect(), |_i: usize| {
                 hits.fetch_add(1, Ordering::SeqCst);
@@ -365,7 +445,7 @@ mod tests {
 
     #[test]
     fn scatter_with_more_threads_than_jobs() {
-        let rt = Runtime::new(64);
+        let rt = Runtime::exact(64);
         let mut data = vec![0u8; 3];
         let jobs: Vec<(usize, &mut u8)> = data.iter_mut().enumerate().collect();
         rt.scatter(jobs, |(i, v)| *v = i as u8 + 1);
@@ -376,7 +456,7 @@ mod tests {
     fn scatter_concurrency_never_exceeds_pool_size() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let threads = 3usize;
-        let rt = Runtime::new(threads);
+        let rt = Runtime::exact(threads);
         let current = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         rt.scatter((0..40).collect::<Vec<usize>>(), |_| {
@@ -392,13 +472,13 @@ mod tests {
 
     #[test]
     fn scatter_of_nothing_is_a_noop() {
-        let rt = Runtime::new(4);
+        let rt = Runtime::exact(4);
         rt.scatter(Vec::<usize>::new(), |_| panic!("no jobs to run"));
     }
 
     #[test]
     fn split_rows_matches_ranges() {
-        let rt = Runtime::new(3);
+        let rt = Runtime::exact(3);
         let mut data = vec![0f32; 10 * 4];
         let parts = rt.split_rows_mut(&mut data, 4);
         let ranges: Vec<_> = parts.iter().map(|(r, _)| r.clone()).collect();
@@ -410,7 +490,7 @@ mod tests {
 
     #[test]
     fn split_rows_empty_buffer() {
-        let rt = Runtime::new(4);
+        let rt = Runtime::exact(4);
         let mut data: Vec<f32> = Vec::new();
         assert!(rt.split_rows_mut(&mut data, 7).is_empty());
         assert!(rt.split_rows_mut(&mut data, 0).is_empty());
@@ -420,7 +500,7 @@ mod tests {
     fn split_at_offsets_handles_empty_rows() {
         // CSR-style split where some rows (and whole chunks) hold nothing —
         // the nnz = 0 edge case.
-        let rt = Runtime::new(4);
+        let rt = Runtime::exact(4);
         let row_ptr = [0usize, 0, 0, 0, 0];
         let mut vals: Vec<f32> = Vec::new();
         let parts = rt.split_at_offsets_mut(&mut vals, 4, |r| row_ptr[r]);
@@ -430,7 +510,7 @@ mod tests {
 
     #[test]
     fn split_at_offsets_uneven_rows() {
-        let rt = Runtime::new(2);
+        let rt = Runtime::exact(2);
         let row_ptr = [0usize, 3, 3, 7];
         let mut vals = vec![1f32; 7];
         let parts = rt.split_at_offsets_mut(&mut vals, 3, |r| row_ptr[r]);
@@ -443,7 +523,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not rows of")]
     fn split_rows_rejects_ragged_buffer() {
-        let rt = Runtime::new(2);
+        let rt = Runtime::exact(2);
         let mut data = vec![0f32; 7];
         let _ = rt.split_rows_mut(&mut data, 3);
     }
@@ -467,7 +547,7 @@ mod tests {
         };
         let seq = fill(&Runtime::sequential());
         for threads in [2usize, 3, 8, 200] {
-            assert_eq!(fill(&Runtime::new(threads)), seq, "threads={threads}");
+            assert_eq!(fill(&Runtime::exact(threads)), seq, "threads={threads}");
         }
     }
 }

@@ -1,0 +1,338 @@
+//! Owned block-sparse-row (BSR) weight storage.
+//!
+//! [`BsrMatrix`] is the tiled sibling of [`CsrMatrix`](crate::CsrMatrix): the
+//! weight is cut into square `block × block` tiles and every tile containing
+//! at least one mask-alive coordinate is stored dense. The `ft-tensor` BSR
+//! kernels then run dense inner loops over each tile — no per-entry index
+//! decode — which wins over CSR exactly when the mask clusters, i.e. when the
+//! average [`fill`](BsrMatrix::fill) of stored tiles is high. Dispatch in
+//! `ft-nn` measures that fill and only routes through BSR past a threshold;
+//! a scattered mask at the same density stays on CSR.
+//!
+//! Mask-dead slots inside a stored tile hold an explicit `0.0` and are
+//! tracked in a per-slot liveness bitmap, so
+//! [`refresh_values`](BsrMatrix::refresh_values) after an optimizer step
+//! re-gathers only live slots and dead slots can never leak a stale weight
+//! back into the compute.
+
+use ft_tensor::BsrView;
+
+/// An owned block-sparse-row weight matrix of square `block × block` tiles.
+///
+/// # Examples
+///
+/// ```
+/// use ft_sparse::BsrMatrix;
+///
+/// // A 2×4 weight whose alive coordinates all fall in the left 2×2 tile.
+/// let mask = [true, true, false, false, true, false, false, false];
+/// let w = [1.0, 2.0, 9.0, 9.0, 3.0, 9.0, 9.0, 9.0];
+/// let bsr = BsrMatrix::from_mask_values(&mask, &w, 2, 4, 2);
+/// assert_eq!(bsr.blocks(), 1); // the right tile is all-dead and not stored
+/// assert_eq!(bsr.nnz(), 3);
+/// assert_eq!(bsr.fill(), 0.75); // 3 live of 4 stored slots
+/// assert_eq!(bsr.to_dense(), vec![1.0, 2.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BsrMatrix {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+    /// Per-slot mask-aliveness, parallel to `vals`. Dead slots stay `0.0`
+    /// across every [`refresh_values`](BsrMatrix::refresh_values).
+    live: Vec<bool>,
+}
+
+impl BsrMatrix {
+    /// Packs a flat weight buffer into BSR tiles: every `block × block` tile
+    /// with at least one mask-alive coordinate is stored (alive slots take
+    /// their weight, dead slots an explicit `0.0`).
+    ///
+    /// Like CSR packing, aliveness comes from the mask alone — an alive
+    /// coordinate whose current weight is `0.0` stays live so it keeps
+    /// receiving updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0` or `mask` / `values` do not have
+    /// `rows * cols` entries.
+    pub fn from_mask_values(
+        mask: &[bool],
+        values: &[f32],
+        rows: usize,
+        cols: usize,
+        block: usize,
+    ) -> Self {
+        assert!(block > 0, "block edge must be positive");
+        assert_eq!(mask.len(), rows * cols, "mask length mismatch");
+        assert_eq!(values.len(), rows * cols, "values length mismatch");
+        let bcn = cols.div_ceil(block);
+        assert!(bcn <= u32::MAX as usize, "block-column count exceeds u32");
+        let brn = rows.div_ceil(block);
+        let mut row_ptr = Vec::with_capacity(brn + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        let mut live = Vec::new();
+        row_ptr.push(0);
+        for br in 0..brn {
+            for bc in 0..bcn {
+                let any_alive = (0..block).any(|r| {
+                    let gr = br * block + r;
+                    gr < rows
+                        && (0..block).any(|c| {
+                            let gc = bc * block + c;
+                            gc < cols && mask[gr * cols + gc]
+                        })
+                });
+                if !any_alive {
+                    continue;
+                }
+                col_idx.push(bc as u32);
+                for r in 0..block {
+                    for c in 0..block {
+                        let (gr, gc) = (br * block + r, bc * block + c);
+                        let alive = gr < rows && gc < cols && mask[gr * cols + gc];
+                        live.push(alive);
+                        vals.push(if alive { values[gr * cols + gc] } else { 0.0 });
+                    }
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        BsrMatrix {
+            rows,
+            cols,
+            block,
+            row_ptr,
+            col_idx,
+            vals,
+            live,
+        }
+    }
+
+    /// Re-gathers the live slots from a (possibly updated) flat weight
+    /// buffer without touching the structure; dead slots stay `0.0`.
+    /// `O(stored)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have `rows * cols` entries.
+    pub fn refresh_values(&mut self, values: &[f32]) {
+        assert_eq!(
+            values.len(),
+            self.rows * self.cols,
+            "values length mismatch"
+        );
+        let (bs, cols) = (self.block, self.cols);
+        for br in 0..self.row_ptr.len() - 1 {
+            for blk in self.row_ptr[br]..self.row_ptr[br + 1] {
+                let jb = self.col_idx[blk] as usize * bs;
+                let base = blk * bs * bs;
+                for r in 0..bs {
+                    for c in 0..bs {
+                        let slot = base + r * bs + c;
+                        if self.live[slot] {
+                            self.vals[slot] = values[(br * bs + r) * cols + jb + c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expands back to a flat dense buffer (dead coordinates are zero).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        let (bs, cols) = (self.block, self.cols);
+        for br in 0..self.row_ptr.len() - 1 {
+            for blk in self.row_ptr[br]..self.row_ptr[br + 1] {
+                let jb = self.col_idx[blk] as usize * bs;
+                let tile = &self.vals[blk * bs * bs..(blk + 1) * bs * bs];
+                for r in 0..bs {
+                    let gr = br * bs + r;
+                    if gr >= self.rows {
+                        break;
+                    }
+                    for (c, &v) in tile[r * bs..(r + 1) * bs].iter().enumerate() {
+                        if jb + c < cols {
+                            out[gr * cols + jb + c] = v;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Borrowed view for the `ft-tensor` BSR kernels.
+    pub fn view(&self) -> BsrView<'_> {
+        BsrView {
+            rows: self.rows,
+            cols: self.cols,
+            block: self.block,
+            row_ptr: &self.row_ptr,
+            col_idx: &self.col_idx,
+            vals: &self.vals,
+        }
+    }
+
+    /// Number of stored tiles.
+    pub fn blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Raw tile-row start offsets (`block_rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw block-column indices, one per stored tile.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Raw stored values, `block²` per tile.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
+    /// Number of mask-alive entries.
+    pub fn nnz(&self) -> usize {
+        self.live.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of stored slots including tile-internal zeros — the flop count
+    /// the BSR kernels actually execute.
+    pub fn stored(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Average fill of stored tiles: `nnz / stored`. This is the dispatch
+    /// signal — BSR beats CSR when alive coordinates cluster (high fill),
+    /// and wastes flops on explicit zeros when they scatter (low fill).
+    /// Returns `0.0` for a matrix with no stored tiles.
+    pub fn fill(&self) -> f32 {
+        if self.vals.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f32 / self.vals.len() as f32
+        }
+    }
+
+    /// Alive fraction of the full matrix: `nnz / (rows · cols)`. Returns
+    /// 1.0 for an empty matrix, matching `CsrMatrix::density`.
+    pub fn density(&self) -> f32 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            1.0
+        } else {
+            self.nnz() as f32 / total as f32
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile edge length.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    #[test]
+    fn clustered_mask_stores_few_full_tiles() {
+        // 4×4, block 2, alive = entire top-left tile.
+        let mut mask = [false; 16];
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            mask[r * 4 + c] = true;
+        }
+        let w: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let bsr = BsrMatrix::from_mask_values(&mask, &w, 4, 4, 2);
+        assert_eq!(bsr.blocks(), 1);
+        assert_eq!(bsr.fill(), 1.0);
+        assert_eq!(bsr.stored(), 4);
+        assert_eq!(bsr.density(), 0.25);
+    }
+
+    #[test]
+    fn scattered_mask_has_low_fill() {
+        // One alive coordinate per tile: fill = 1/block².
+        let mut mask = [false; 16];
+        for (r, c) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+            mask[r * 4 + c] = true;
+        }
+        let w = [1.0f32; 16];
+        let bsr = BsrMatrix::from_mask_values(&mask, &w, 4, 4, 2);
+        assert_eq!(bsr.blocks(), 4);
+        assert_eq!(bsr.fill(), 0.25);
+    }
+
+    #[test]
+    fn dense_roundtrip_matches_csr() {
+        // Ragged shape (not a multiple of block) with a mixed mask.
+        let (rows, cols, block) = (5, 7, 3);
+        let mask: Vec<bool> = (0..rows * cols).map(|i| i % 3 != 1).collect();
+        let w: Vec<f32> = (0..rows * cols).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let bsr = BsrMatrix::from_mask_values(&mask, &w, rows, cols, block);
+        let csr = CsrMatrix::from_mask_values(&mask, &w, rows, cols);
+        assert_eq!(bsr.to_dense(), csr.to_dense());
+        assert_eq!(bsr.nnz(), csr.nnz());
+        assert_eq!(bsr.density(), csr.density());
+    }
+
+    #[test]
+    fn refresh_updates_live_slots_only() {
+        let mask = [true, false, true, true];
+        let w0 = [1.0, 9.0, 3.0, 4.0];
+        let mut bsr = BsrMatrix::from_mask_values(&mask, &w0, 2, 2, 2);
+        // The dead slot's position in the weight buffer changes; the stored
+        // tile must keep reading 0.0 there.
+        let w1 = [10.0, 77.0, 30.0, 40.0];
+        bsr.refresh_values(&w1);
+        assert_eq!(bsr.to_dense(), vec![10.0, 0.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn alive_zero_weights_stay_live() {
+        let mask = [true, true];
+        let w = [0.0, 2.0];
+        let mut bsr = BsrMatrix::from_mask_values(&mask, &w, 1, 2, 2);
+        assert_eq!(bsr.nnz(), 2);
+        bsr.refresh_values(&[5.0, 6.0]);
+        assert_eq!(bsr.to_dense(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_matrix_is_consistent() {
+        let bsr = BsrMatrix::from_mask_values(&[], &[], 0, 0, 4);
+        assert_eq!(bsr.blocks(), 0);
+        assert_eq!(bsr.stored(), 0);
+        assert_eq!(bsr.fill(), 0.0);
+        assert_eq!(bsr.density(), 1.0);
+        assert!(bsr.to_dense().is_empty());
+    }
+
+    #[test]
+    fn view_validates() {
+        let mask = [true; 6];
+        let w = [1.0f32; 6];
+        let bsr = BsrMatrix::from_mask_values(&mask, &w, 2, 3, 2);
+        bsr.view().validate();
+        assert_eq!(bsr.view().blocks(), bsr.blocks());
+    }
+}

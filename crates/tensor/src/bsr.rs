@@ -1,0 +1,449 @@
+//! Block-sparse (BSR) kernels over a borrowed view.
+//!
+//! BSR stores a matrix as square `block × block` tiles: `row_ptr` walks
+//! *block rows*, `col_idx` names the *block column* of each stored tile, and
+//! `vals` holds each tile dense and row-major. For masks whose alive
+//! coordinates cluster into blocks (structured pruning), this buys the
+//! sparse path dense inner loops — no per-entry index decode, and each
+//! gathered `B` row is reused across the whole tile — at the cost of
+//! computing the explicit zeros inside partially-alive tiles.
+//!
+//! Dead slots inside a stored tile hold `0.0` and are *multiplied, not
+//! skipped*, exactly like the dense kernels treat pruned coordinates: a
+//! structural hole contributes nothing to finite arithmetic, while `0 × NaN`
+//! still propagates. CSR (which never touches dead coordinates) and BSR
+//! therefore agree on finite inputs but intentionally differ on non-finite
+//! ones — BSR matches the dense path's semantics.
+//!
+//! Kernels (only the forward-pass shapes; backward passes stay on CSR, whose
+//! scatter/sampled shapes don't benefit from tiles):
+//!
+//! - [`bsr_spmm_into`]: `C += S · B` (conv forward)
+//! - [`bsr_dsmm_nt_into`]: `C += A · Sᵀ` (linear forward)
+//!
+//! The `_rt` variants follow the workspace determinism contract: output rows
+//! are split at block-row boundaries (so no tile straddles two workers) and
+//! every worker runs the sequential loop body — parallel results are
+//! bit-identical to sequential for any thread count.
+
+use crate::Tensor;
+use ft_runtime::Runtime;
+use std::ops::Range;
+
+/// A borrowed block-sparse-row matrix of square `block × block` tiles.
+///
+/// `row_ptr` has `block_rows() + 1` entries; block row `b`'s tiles live at
+/// `row_ptr[b]..row_ptr[b + 1]` in `col_idx` / `vals`, with tile `t`'s
+/// values at `vals[t·block² ..][..block²]` (dense, row-major). Edge tiles
+/// past `rows`/`cols` are zero-padded.
+#[derive(Clone, Copy, Debug)]
+pub struct BsrView<'a> {
+    /// Number of rows of the logical dense matrix.
+    pub rows: usize,
+    /// Number of columns of the logical dense matrix.
+    pub cols: usize,
+    /// Tile edge length (tiles are `block × block`).
+    pub block: usize,
+    /// Tile-row start offsets (`block_rows() + 1` entries, last is the tile
+    /// count).
+    pub row_ptr: &'a [usize],
+    /// Block-column index of each stored tile.
+    pub col_idx: &'a [u32],
+    /// Tile values, `block²` consecutive floats per stored tile.
+    pub vals: &'a [f32],
+}
+
+impl<'a> BsrView<'a> {
+    /// Number of stored tiles.
+    pub fn blocks(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of tile rows (`rows` rounded up to whole tiles).
+    pub fn block_rows(&self) -> usize {
+        self.rows.div_ceil(self.block)
+    }
+
+    /// Number of tile columns (`cols` rounded up to whole tiles).
+    pub fn block_cols(&self) -> usize {
+        self.cols.div_ceil(self.block)
+    }
+
+    /// Stored values including a tile's explicit zeros — the flop count a
+    /// BSR kernel actually executes.
+    pub fn stored(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Checks the structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self) {
+        assert!(self.block > 0, "bsr block edge must be positive");
+        assert_eq!(
+            self.row_ptr.len(),
+            self.block_rows() + 1,
+            "bsr row_ptr must have block_rows + 1 entries"
+        );
+        assert_eq!(
+            self.vals.len(),
+            self.col_idx.len() * self.block * self.block,
+            "bsr vals must hold block² floats per stored tile"
+        );
+        assert_eq!(
+            *self.row_ptr.last().unwrap_or(&0),
+            self.col_idx.len(),
+            "bsr row_ptr must end at the tile count"
+        );
+        assert!(
+            self.row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "bsr row_ptr must be non-decreasing"
+        );
+        debug_assert!(
+            self.col_idx
+                .iter()
+                .all(|&c| (c as usize) < self.block_cols()),
+            "bsr block-column index out of range"
+        );
+    }
+}
+
+/// `C += S[m×k] · B[k×n]` with `S` in BSR form.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or the view is malformed.
+pub fn bsr_spmm_into(s: BsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    let n = check_bsr_spmm(&s, b, c);
+    bsr_spmm_brows(s, b.data(), n, 0..s.block_rows(), c.data_mut());
+}
+
+/// [`bsr_spmm_into`] with the output fanned out over `rt`'s workers, split
+/// at block-row boundaries. Bit-identical to the sequential kernel for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`bsr_spmm_into`].
+pub fn bsr_spmm_into_rt(rt: &Runtime, s: BsrView<'_>, b: &Tensor, c: &mut Tensor) {
+    let n = check_bsr_spmm(&s, b, c);
+    let brows = s.block_rows();
+    if !rt.should_parallelize(s.stored().saturating_mul(n)) || brows <= 1 {
+        return bsr_spmm_brows(s, b.data(), n, 0..brows, c.data_mut());
+    }
+    let bd = b.data();
+    let rows = s.rows;
+    let block = s.block;
+    let jobs = rt.split_at_offsets_mut(c.data_mut(), brows, |b| (b * block).min(rows) * n);
+    rt.scatter(jobs, |(range, cchunk)| {
+        bsr_spmm_brows(s, bd, n, range, cchunk);
+    });
+}
+
+fn check_bsr_spmm(s: &BsrView<'_>, b: &Tensor, c: &Tensor) -> usize {
+    s.validate();
+    let (k, n) = dims2(b, "B");
+    assert_eq!(k, s.cols, "bsr_spmm inner dims differ: {} vs {k}", s.cols);
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (s.rows, n), "bsr_spmm output shape mismatch");
+    n
+}
+
+/// `C += S · B` over the block-row range `brows`; `cchunk` holds exactly the
+/// logical `C` rows those block rows cover.
+///
+/// Per output element the accumulation order is: stored tiles ascending,
+/// then tile columns ascending — a pure function of the structure, never of
+/// the worker split. Full-width interior tiles take a four-column unrolled
+/// path (`C`'s row is loaded/stored once per tile instead of once per tile
+/// column); the unroll issues the same per-element add sequence as the
+/// column-at-a-time fallback, so both paths are bit-identical.
+fn bsr_spmm_brows(s: BsrView<'_>, bd: &[f32], n: usize, brows: Range<usize>, cchunk: &mut [f32]) {
+    let bs = s.block;
+    let row0 = (brows.start * bs).min(s.rows);
+    for bi in brows {
+        let rlo = bi * bs;
+        let rhi = ((bi + 1) * bs).min(s.rows);
+        for blk in s.row_ptr[bi]..s.row_ptr[bi + 1] {
+            let jb = s.col_idx[blk] as usize * bs;
+            let jw = (s.cols - jb).min(bs);
+            let tile = &s.vals[blk * bs * bs..(blk + 1) * bs * bs];
+            for r in rlo..rhi {
+                let crow = &mut cchunk[(r - row0) * n..(r - row0 + 1) * n];
+                let vrow = &tile[(r - rlo) * bs..][..jw];
+                if jw == 4 {
+                    let (v0, v1, v2, v3) = (vrow[0], vrow[1], vrow[2], vrow[3]);
+                    let b0 = &bd[jb * n..][..n];
+                    let b1 = &bd[(jb + 1) * n..][..n];
+                    let b2 = &bd[(jb + 2) * n..][..n];
+                    let b3 = &bd[(jb + 3) * n..][..n];
+                    for (idx, cv) in crow.iter_mut().enumerate() {
+                        let mut acc = *cv;
+                        acc += v0 * b0[idx];
+                        acc += v1 * b1[idx];
+                        acc += v2 * b2[idx];
+                        acc += v3 * b3[idx];
+                        *cv = acc;
+                    }
+                } else {
+                    for (cb, &v) in vrow.iter().enumerate() {
+                        let brow = &bd[(jb + cb) * n..(jb + cb + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += v * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C += A[m×k] · Sᵀ` with `S` in BSR form (`S` is `[n×k]`, consumed
+/// transposed).
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or the view is malformed.
+pub fn bsr_dsmm_nt_into(a: &Tensor, s: BsrView<'_>, c: &mut Tensor) {
+    let (m, k) = check_bsr_dsmm_nt(a, &s, c);
+    bsr_dsmm_nt_rows(a.data(), s, k, 0..m, c.data_mut());
+}
+
+/// [`bsr_dsmm_nt_into`] with the output rows fanned out over `rt`'s
+/// workers. Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`bsr_dsmm_nt_into`].
+pub fn bsr_dsmm_nt_into_rt(rt: &Runtime, a: &Tensor, s: BsrView<'_>, c: &mut Tensor) {
+    let (m, k) = check_bsr_dsmm_nt(a, &s, c);
+    if !rt.should_parallelize(m.saturating_mul(s.stored())) || m <= 1 {
+        return bsr_dsmm_nt_rows(a.data(), s, k, 0..m, c.data_mut());
+    }
+    let ad = a.data();
+    let jobs = rt.split_rows_mut(c.data_mut(), s.rows.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        bsr_dsmm_nt_rows(ad, s, k, rows, cchunk);
+    });
+}
+
+fn check_bsr_dsmm_nt(a: &Tensor, s: &BsrView<'_>, c: &Tensor) -> (usize, usize) {
+    s.validate();
+    let (m, k) = dims2(a, "A");
+    assert_eq!(
+        k, s.cols,
+        "bsr_dsmm_nt inner dims differ: {k} vs {}",
+        s.cols
+    );
+    let (cm, cn) = dims2(c, "C");
+    assert_eq!((cm, cn), (m, s.rows), "bsr_dsmm_nt output shape mismatch");
+    (m, k)
+}
+
+/// `C += A · Sᵀ` restricted to the output-row range `rows`: each stored tile
+/// contributes a dense `block`-wide dot slice gathered from `A`'s row.
+fn bsr_dsmm_nt_rows(ad: &[f32], s: BsrView<'_>, k: usize, rows: Range<usize>, cchunk: &mut [f32]) {
+    let bs = s.block;
+    for (local, i) in rows.enumerate() {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cchunk[local * s.rows..(local + 1) * s.rows];
+        for bi in 0..s.block_rows() {
+            let rlo = bi * bs;
+            let rhi = ((bi + 1) * bs).min(s.rows);
+            for blk in s.row_ptr[bi]..s.row_ptr[bi + 1] {
+                let jb = s.col_idx[blk] as usize * bs;
+                let jw = (s.cols - jb).min(bs);
+                let tile = &s.vals[blk * bs * bs..(blk + 1) * bs * bs];
+                let aslice = &arow[jb..jb + jw];
+                for (r, cv) in crow[rlo..rhi].iter_mut().enumerate() {
+                    let vrow = &tile[r * bs..][..jw];
+                    let mut acc = 0.0f32;
+                    for (&v, &av) in vrow.iter().zip(aslice.iter()) {
+                        acc += v * av;
+                    }
+                    *cv += acc;
+                }
+            }
+        }
+    }
+}
+
+fn dims2(t: &Tensor, name: &str) -> (usize, usize) {
+    assert_eq!(
+        t.shape().len(),
+        2,
+        "{name} must be rank-2, got shape {:?}",
+        t.shape()
+    );
+    (t.shape()[0], t.shape()[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assert_close, matmul_into, matmul_nt_into};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// An owned BSR fixture plus its dense equivalent: random tiles, some
+    /// slots inside each stored tile dead (explicit 0.0).
+    struct Fixture {
+        rows: usize,
+        cols: usize,
+        block: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f32>,
+        dense: Tensor,
+    }
+
+    impl Fixture {
+        fn random(rows: usize, cols: usize, block: usize, density: f64, seed: u64) -> Self {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let (brn, bcn) = (rows.div_ceil(block), cols.div_ceil(block));
+            let mut row_ptr = vec![0usize];
+            let mut col_idx = Vec::new();
+            let mut vals = Vec::new();
+            let mut dense = Tensor::zeros(&[rows, cols]);
+            for br in 0..brn {
+                for bc in 0..bcn {
+                    if rng.gen_range(0.0f64..1.0) >= density {
+                        continue;
+                    }
+                    col_idx.push(bc as u32);
+                    for r in 0..block {
+                        for c in 0..block {
+                            let (gr, gc) = (br * block + r, bc * block + c);
+                            let in_range = gr < rows && gc < cols;
+                            let alive = in_range && rng.gen_range(0.0f64..1.0) < 0.8;
+                            let v = if alive {
+                                rng.gen_range(-1.0f32..1.0)
+                            } else {
+                                0.0
+                            };
+                            vals.push(v);
+                            if in_range {
+                                dense.data_mut()[gr * cols + gc] = v;
+                            }
+                        }
+                    }
+                }
+                row_ptr.push(col_idx.len());
+            }
+            Fixture {
+                rows,
+                cols,
+                block,
+                row_ptr,
+                col_idx,
+                vals,
+                dense,
+            }
+        }
+
+        fn view(&self) -> BsrView<'_> {
+            BsrView {
+                rows: self.rows,
+                cols: self.cols,
+                block: self.block,
+                row_ptr: &self.row_ptr,
+                col_idx: &self.col_idx,
+                vals: &self.vals,
+            }
+        }
+    }
+
+    fn rand_t(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n: usize = shape.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(), shape)
+    }
+
+    /// BSR spmm agrees with the dense GEMM for full and ragged-edge shapes
+    /// (rows/cols not multiples of the tile edge) and non-4 tile sizes.
+    #[test]
+    fn bsr_spmm_matches_dense() {
+        for (rows, cols, block, seed) in [(8, 12, 4, 1u64), (10, 11, 4, 2), (9, 7, 3, 3)] {
+            let f = Fixture::random(rows, cols, block, 0.6, seed);
+            let b = rand_t(&[cols, 6], seed + 10);
+            let mut sparse = Tensor::ones(&[rows, 6]);
+            let mut dense = Tensor::ones(&[rows, 6]);
+            bsr_spmm_into(f.view(), &b, &mut sparse);
+            matmul_into(&f.dense, &b, &mut dense);
+            assert_close(sparse.data(), dense.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn bsr_dsmm_nt_matches_dense() {
+        for (rows, cols, block, seed) in [(8, 12, 4, 5u64), (10, 11, 4, 6), (9, 7, 3, 7)] {
+            let f = Fixture::random(rows, cols, block, 0.6, seed);
+            let a = rand_t(&[5, cols], seed + 10);
+            let mut sparse = Tensor::ones(&[5, rows]);
+            let mut dense = Tensor::ones(&[5, rows]);
+            bsr_dsmm_nt_into(&a, f.view(), &mut sparse);
+            matmul_nt_into(&a, &f.dense, &mut dense);
+            assert_close(sparse.data(), dense.data(), 1e-4);
+        }
+    }
+
+    /// The `_rt` variants are bit-identical to sequential at every thread
+    /// count, including pools far beyond the block-row count.
+    #[test]
+    fn rt_variants_are_bit_identical() {
+        let f = Fixture::random(13, 17, 4, 0.5, 11);
+        let b = rand_t(&[17, 9], 12);
+        let a = rand_t(&[6, 17], 13);
+        let mut seq_spmm = Tensor::ones(&[13, 9]);
+        bsr_spmm_into(f.view(), &b, &mut seq_spmm);
+        let mut seq_dsmm = Tensor::ones(&[6, 13]);
+        bsr_dsmm_nt_into(&a, f.view(), &mut seq_dsmm);
+        for threads in [1usize, 2, 3, 64] {
+            let rt = Runtime::exact(threads).with_min_work(0);
+            let mut par = Tensor::ones(&[13, 9]);
+            bsr_spmm_into_rt(&rt, f.view(), &b, &mut par);
+            assert_eq!(seq_spmm.data(), par.data(), "bsr_spmm t={threads}");
+            let mut par = Tensor::ones(&[6, 13]);
+            bsr_dsmm_nt_into_rt(&rt, &a, f.view(), &mut par);
+            assert_eq!(seq_dsmm.data(), par.data(), "bsr_dsmm_nt t={threads}");
+        }
+    }
+
+    /// Dead slots are explicit zeros: like the dense path, `0 × NaN`
+    /// propagates instead of being structurally skipped.
+    #[test]
+    fn dead_slots_multiply_like_dense() {
+        // One stored tile, all slots dead (0.0).
+        let row_ptr = [0usize, 1];
+        let col_idx = [0u32];
+        let vals = [0.0f32; 16];
+        let s = BsrView {
+            rows: 4,
+            cols: 4,
+            block: 4,
+            row_ptr: &row_ptr,
+            col_idx: &col_idx,
+            vals: &vals,
+        };
+        let b = Tensor::from_vec(vec![f32::NAN; 4 * 3], &[4, 3]);
+        let mut c = Tensor::zeros(&[4, 3]);
+        bsr_spmm_into(s, &b, &mut c);
+        assert!(c.data().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr")]
+    fn validate_rejects_malformed_view() {
+        let v = BsrView {
+            rows: 4,
+            cols: 4,
+            block: 4,
+            row_ptr: &[0],
+            col_idx: &[],
+            vals: &[],
+        };
+        v.validate();
+    }
+}

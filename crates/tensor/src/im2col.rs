@@ -327,7 +327,7 @@ mod tests {
         im2col(&x, &g, &mut seq);
         for threads in [1usize, 2, 5, 64] {
             let mut par = vec![0.0; seq.len()];
-            im2col_rt(&Runtime::new(threads).with_min_work(0), &x, &g, &mut par);
+            im2col_rt(&Runtime::exact(threads).with_min_work(0), &x, &g, &mut par);
             assert_eq!(seq, par, "threads={threads}");
         }
     }

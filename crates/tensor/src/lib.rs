@@ -26,6 +26,7 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod bsr;
 mod im2col;
 mod init;
 mod matmul;
@@ -36,6 +37,7 @@ mod quant;
 mod spmm;
 mod tensor;
 
+pub use bsr::{bsr_dsmm_nt_into, bsr_dsmm_nt_into_rt, bsr_spmm_into, bsr_spmm_into_rt, BsrView};
 pub use ft_runtime::Runtime;
 pub use im2col::{col2im, conv2d_direct, im2col, im2col_rt, ConvGeom};
 pub use init::{kaiming_normal, normal, uniform, xavier_uniform};

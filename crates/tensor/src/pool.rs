@@ -241,7 +241,7 @@ mod tests {
         let (seq_y, seq_arg) = max_pool2x2(&x);
         let seq_avg = avg_pool_global(&x);
         for threads in [1usize, 2, 5, 64] {
-            let rt = Runtime::new(threads).with_min_work(0);
+            let rt = Runtime::exact(threads).with_min_work(0);
             let (y, arg) = max_pool2x2_rt(&rt, &x);
             assert_eq!(y.data(), seq_y.data(), "maxpool threads={threads}");
             assert_eq!(arg, seq_arg, "argmax threads={threads}");

@@ -4,10 +4,10 @@
 #![cfg(test)]
 
 use crate::{
-    col2im, dsmm_into, dsmm_nt_into, im2col, matmul_into, matmul_nt_into, matmul_tn_into,
-    spmm_into, spmm_tn_into, ConvGeom, Tensor,
+    bsr_dsmm_nt_into, bsr_spmm_into, col2im, dsmm_into, dsmm_nt_into, im2col, matmul_into,
+    matmul_nt_into, matmul_tn_into, spmm_into, spmm_tn_into, ConvGeom, Tensor,
 };
-use ft_sparse::CsrMatrix;
+use ft_sparse::{BsrMatrix, CsrMatrix};
 use proptest::prelude::*;
 
 fn small_matrix(max: usize) -> impl Strategy<Value = Tensor> {
@@ -238,7 +238,7 @@ proptest! {
         n in 1usize..8,
         threads in 1usize..9,
     ) {
-        let rt = ft_runtime::Runtime::new(threads).with_min_work(0);
+        let rt = ft_runtime::Runtime::exact(threads).with_min_work(0);
         let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
         let dense = Tensor::from_vec(csr.to_dense(), &[rows, cols]);
 
@@ -265,6 +265,166 @@ proptest! {
         crate::sddmm_nt_into(view_of(&csr), &a, &bt, &mut seq);
         crate::sddmm_nt_into_rt(&rt, view_of(&csr), &a, &bt, &mut par);
         prop_assert_eq!(seq, par);
+    }
+}
+
+/// Dimensions adversarial to the blocked GEMM: 1, the register-tile edges
+/// and cache-block edges ± 1, and values straddling the packing panels —
+/// every combination exercises partial microtiles, partial panels, and
+/// tall-skinny / wide shapes.
+fn adversarial_dim() -> impl Strategy<Value = usize> {
+    const DIMS: [usize; 20] = [
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 97, 130, 255, 257,
+    ];
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Thread counts adversarial to the row-splitting fan-out: non-divisors of
+/// most row counts and a pool far larger than any test matrix.
+fn adversarial_threads() -> impl Strategy<Value = usize> {
+    (0usize..4).prop_map(|i| [1usize, 2, 3, 64][i])
+}
+
+/// Plain-triple-loop reference GEMM with `f64` accumulation.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += a[i * k + p] as f64 * b[p * n + j] as f64;
+            }
+            c[i * n + j] = acc as f32;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The blocked, packed GEMM agrees with a naive reference on shapes
+    /// chosen to straddle every tile and panel boundary, for all three
+    /// layouts.
+    #[test]
+    fn blocked_gemm_matches_naive_on_adversarial_shapes(
+        m in adversarial_dim(),
+        k in adversarial_dim(),
+        n in adversarial_dim(),
+        seed in 0u64..1_000,
+    ) {
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(k, n, seed ^ 0xDEAD);
+        let reference = naive_matmul(a.data(), b.data(), m, k, n);
+        let tol = 1e-4 * (k as f32).sqrt().max(1.0);
+
+        let mut c = Tensor::zeros(&[m, n]);
+        matmul_into(&a, &b, &mut c);
+        for (i, (x, y)) in c.data().iter().zip(reference.iter()).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "matmul index {}: {} vs {}", i, x, y);
+        }
+
+        let at = a.transposed();
+        let mut c = Tensor::zeros(&[m, n]);
+        matmul_tn_into(&at, &b, &mut c);
+        for (i, (x, y)) in c.data().iter().zip(reference.iter()).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "matmul_tn index {}: {} vs {}", i, x, y);
+        }
+
+        let bt = b.transposed();
+        let mut c = Tensor::zeros(&[m, n]);
+        matmul_nt_into(&a, &bt, &mut c);
+        for (i, (x, y)) in c.data().iter().zip(reference.iter()).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "matmul_nt index {}: {} vs {}", i, x, y);
+        }
+    }
+
+    /// The blocked dense `_rt` kernels stay bit-identical to sequential on
+    /// adversarial shapes at awkward thread counts (non-divisors of the row
+    /// count and pools larger than the matrix).
+    #[test]
+    fn blocked_gemm_rt_bit_equal_on_adversarial_shapes(
+        m in adversarial_dim(),
+        k in adversarial_dim(),
+        n in adversarial_dim(),
+        threads in adversarial_threads(),
+        seed in 0u64..1_000,
+    ) {
+        let rt = ft_runtime::Runtime::exact(threads).with_min_work(0);
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(k, n, seed ^ 0xBEEF);
+        let mut seq = Tensor::ones(&[m, n]);
+        let mut par = Tensor::ones(&[m, n]);
+        matmul_into(&a, &b, &mut seq);
+        crate::matmul_into_rt(&rt, &a, &b, &mut par);
+        prop_assert_eq!(seq.data(), par.data());
+    }
+}
+
+/// Rebuilds a `crate::BsrView` from a `BsrMatrix`'s raw parts (same
+/// dev-dependency double-build workaround as [`view_of`]).
+fn bsr_view_of(bsr: &BsrMatrix) -> crate::BsrView<'_> {
+    crate::BsrView {
+        rows: bsr.rows(),
+        cols: bsr.cols(),
+        block: bsr.block(),
+        row_ptr: bsr.row_ptr(),
+        col_idx: bsr.col_idx(),
+        vals: bsr.vals(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BSR and CSR pack the same mask + weights to the same dense matrix,
+    /// for arbitrary tile edges (including ones that don't divide the
+    /// shape).
+    #[test]
+    fn bsr_csr_pack_equivalence(
+        (rows, cols, mask, weights) in masked_weights(12),
+        block in 1usize..6,
+    ) {
+        let bsr = BsrMatrix::from_mask_values(&mask, &weights, rows, cols, block);
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        prop_assert_eq!(bsr.to_dense(), csr.to_dense());
+        prop_assert_eq!(bsr.nnz(), csr.nnz());
+    }
+
+    /// The BSR kernels agree with their CSR counterparts on the same mask,
+    /// and their `_rt` variants are bit-identical to sequential.
+    #[test]
+    fn bsr_kernels_match_csr(
+        (rows, cols, mask, weights) in masked_weights(9),
+        block in 1usize..6,
+        n in 1usize..8,
+        threads in adversarial_threads(),
+    ) {
+        let bsr = BsrMatrix::from_mask_values(&mask, &weights, rows, cols, block);
+        let csr = CsrMatrix::from_mask_values(&mask, &weights, rows, cols);
+        let rt = ft_runtime::Runtime::exact(threads).with_min_work(0);
+
+        // C += S · B
+        let b = rand_matrix(cols, n, 49);
+        let mut from_bsr = Tensor::ones(&[rows, n]);
+        let mut from_csr = Tensor::ones(&[rows, n]);
+        bsr_spmm_into(bsr_view_of(&bsr), &b, &mut from_bsr);
+        spmm_into(view_of(&csr), &b, &mut from_csr);
+        close(from_bsr.data(), from_csr.data());
+        let mut par = Tensor::ones(&[rows, n]);
+        crate::bsr_spmm_into_rt(&rt, bsr_view_of(&bsr), &b, &mut par);
+        prop_assert_eq!(from_bsr.data(), par.data());
+
+        // C += A · Sᵀ
+        let a = rand_matrix(n, cols, 50);
+        let mut from_bsr = Tensor::ones(&[n, rows]);
+        let mut from_csr = Tensor::ones(&[n, rows]);
+        bsr_dsmm_nt_into(&a, bsr_view_of(&bsr), &mut from_bsr);
+        dsmm_nt_into(&a, view_of(&csr), &mut from_csr);
+        close(from_bsr.data(), from_csr.data());
+        let mut par = Tensor::ones(&[n, rows]);
+        crate::bsr_dsmm_nt_into_rt(&rt, &a, bsr_view_of(&bsr), &mut par);
+        prop_assert_eq!(from_bsr.data(), par.data());
     }
 }
 
