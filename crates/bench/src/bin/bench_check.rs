@@ -16,12 +16,20 @@
 //!   a gate's thread count skips that gate with a visible notice — speedup
 //!   cannot exist without cores.
 //!
+//! A third family gates the Collect dataplane's allocation budget from
+//! `BENCH_fleet.json`: the `collect_alloc_steady` record (pooled frames +
+//! zero-copy decode + recycled aggregation scratch) must allocate **zero**
+//! bytes per round, or at worst 10% of the `collect_alloc_naive` record
+//! measured in the same run. Both records missing or unmeasured is a hard
+//! failure — the alloc-free claim may not silently rot out of the report.
+//!
 //! If *zero* gates end up evaluated the check fails loudly: a gate file
 //! that checks nothing is indistinguishable from a regression.
 //!
 //! ```bash
 //! cargo run --release -p ft-bench --bin bench_check \
-//!     [path/to/BENCH_micro_ops.json [path/to/BENCH_baseline_micro_ops.json]]
+//!     [path/to/BENCH_micro_ops.json [path/to/BENCH_baseline_micro_ops.json \
+//!     [path/to/BENCH_fleet.json]]]
 //! ```
 
 use ft_bench::trajectory::{BenchRecord, BenchReport};
@@ -94,6 +102,9 @@ fn main() -> ExitCode {
             .to_string_lossy()
             .into_owned()
     });
+    let fleet_path = args
+        .next()
+        .unwrap_or_else(|| root.join("BENCH_fleet.json").to_string_lossy().into_owned());
     let report = match load_report(&path) {
         Ok(r) => r,
         Err(e) => {
@@ -231,6 +242,51 @@ fn main() -> ExitCode {
                 gate.op, gate.threads, gate.threads
             );
             failed = true;
+        }
+    }
+
+    // -- Collect dataplane allocation budget (BENCH_fleet.json) ------------
+    match load_report(&fleet_path) {
+        Err(e) => {
+            eprintln!("  FAIL collect_alloc: {e} — the allocation gate cannot be skipped");
+            failed = true;
+        }
+        Ok(fleet) => {
+            let rec = |op: &str| fleet.records.iter().find(|r| r.op == op);
+            match (rec("collect_alloc_steady"), rec("collect_alloc_naive")) {
+                (Some(steady), Some(naive))
+                    if steady.alloc_bytes_per_round >= 0.0
+                        && naive.alloc_bytes_per_round >= 0.0 =>
+                {
+                    evaluated += 1;
+                    let budget = 0.1 * naive.alloc_bytes_per_round;
+                    let ok = steady.alloc_bytes_per_round == 0.0
+                        || steady.alloc_bytes_per_round <= budget;
+                    let verdict = if ok {
+                        "ok"
+                    } else {
+                        failed = true;
+                        "FAIL"
+                    };
+                    println!(
+                        "  {verdict:>4} collect_alloc: steady {:.1} B/round vs naive {:.1} \
+                         (need 0 or <= {budget:.1})",
+                        steady.alloc_bytes_per_round, naive.alloc_bytes_per_round
+                    );
+                }
+                (steady, naive) => {
+                    let missing = match (steady, naive) {
+                        (None, _) => "collect_alloc_steady record missing",
+                        (_, None) => "collect_alloc_naive record missing",
+                        _ => "alloc_bytes_per_round not measured",
+                    };
+                    eprintln!(
+                        "  FAIL collect_alloc: {missing} from {fleet_path} — \
+                         this gate cannot be skipped"
+                    );
+                    failed = true;
+                }
+            }
         }
     }
 

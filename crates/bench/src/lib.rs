@@ -11,11 +11,13 @@
 //! - `FT_SCALE=paper` — the paper's settings (K = 10, 300 rounds, width 1.0,
 //!   32 px); hours to days on a CPU, provided for completeness.
 
+pub mod alloc_count;
 pub mod methods;
 pub mod scale;
 pub mod table;
 pub mod trajectory;
 
+pub use alloc_count::{allocated_bytes, CountingAlloc};
 pub use methods::{run_method, Method};
 pub use scale::{Scale, ScaleKind};
 pub use table::Table;

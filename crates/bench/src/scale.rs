@@ -111,6 +111,7 @@ impl Scale {
             threads: 0,
             codec: ft_fl::Codec::Dense,
             aggregator: ft_fl::Aggregator::FedAvg,
+            collect_timeout_secs: 30.0,
             seed,
         }
     }

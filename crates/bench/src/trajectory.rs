@@ -55,18 +55,27 @@ pub struct BenchRecord {
     pub ns_per_iter: f64,
     /// Realized throughput: executed FLOPs / second / 1e9.
     pub gflops: f64,
+    /// Allocator traffic per iteration in bytes, for records measured
+    /// under the counting allocator ([`crate::CountingAlloc`]); `-1.0`
+    /// means "not measured" (throughput-only records and legacy reports).
+    pub alloc_bytes_per_round: f64,
 }
 
-// Hand-written so reports from before the `requested_threads` field (e.g.
-// the committed baseline) still parse: the field defaults to `threads`,
-// which is exactly what those reports measured. The derive shim has no
-// per-field defaults.
+// Hand-written so reports from before the `requested_threads` and
+// `alloc_bytes_per_round` fields (e.g. the committed baseline) still
+// parse: `requested_threads` defaults to `threads` (exactly what those
+// reports measured), `alloc_bytes_per_round` to the -1.0 "not measured"
+// sentinel. The derive shim has no per-field defaults.
 impl Deserialize for BenchRecord {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let threads: usize = Deserialize::from_value(v.field("threads")?)?;
         let requested_threads = match v.field("requested_threads") {
             Ok(f) => Deserialize::from_value(f)?,
             Err(_) => threads,
+        };
+        let alloc_bytes_per_round = match v.field("alloc_bytes_per_round") {
+            Ok(f) => Deserialize::from_value(f)?,
+            Err(_) => -1.0,
         };
         Ok(BenchRecord {
             op: Deserialize::from_value(v.field("op")?)?,
@@ -76,6 +85,7 @@ impl Deserialize for BenchRecord {
             threads,
             ns_per_iter: Deserialize::from_value(v.field("ns_per_iter")?)?,
             gflops: Deserialize::from_value(v.field("gflops")?)?,
+            alloc_bytes_per_round,
         })
     }
 }
@@ -135,6 +145,30 @@ impl BenchReport {
             threads,
             ns_per_iter,
             gflops,
+            alloc_bytes_per_round: -1.0,
+        });
+    }
+
+    /// Appends one allocation-budget record: `alloc_bytes_per_round` is
+    /// allocator traffic per iteration measured under the counting
+    /// allocator (throughput fields are left at "not applicable").
+    pub fn push_alloc(
+        &mut self,
+        op: &str,
+        shape: &str,
+        threads: usize,
+        ns_per_iter: f64,
+        alloc_bytes_per_round: f64,
+    ) {
+        self.records.push(BenchRecord {
+            op: op.to_string(),
+            shape: shape.to_string(),
+            density: 1.0,
+            requested_threads: threads,
+            threads,
+            ns_per_iter,
+            gflops: 0.0,
+            alloc_bytes_per_round,
         });
     }
 
@@ -256,6 +290,21 @@ mod tests {
         let back = BenchReport::from_json(json).expect("legacy report parses");
         assert_eq!(back.records[0].requested_threads, 2);
         assert_eq!(back.records[0].threads, 2);
+        assert_eq!(back.records[0].alloc_bytes_per_round, -1.0);
+    }
+
+    /// Allocation records round-trip and throughput records carry the
+    /// "not measured" sentinel.
+    #[test]
+    fn alloc_records_roundtrip() {
+        let mut r = BenchReport::new("unit_test");
+        r.push("matmul", "8x8x8", 1.0, 1, 1, 1000.0, 1024.0);
+        r.push_alloc("collect_alloc_steady", "K6", 1, 500.0, 0.0);
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back = BenchReport::from_json(&json).expect("parses");
+        assert_eq!(back.records[0].alloc_bytes_per_round, -1.0);
+        assert_eq!(back.records[1].op, "collect_alloc_steady");
+        assert_eq!(back.records[1].alloc_bytes_per_round, 0.0);
     }
 
     #[test]

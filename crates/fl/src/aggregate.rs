@@ -9,7 +9,8 @@
 
 use crate::config::ConfigError;
 use ft_nn::BnStats;
-use ft_sparse::{Payload, WireCtx};
+use ft_runtime::Runtime;
+use ft_sparse::{Payload, PayloadView, ShardPlan, WireCtx};
 use serde::{Deserialize, Serialize};
 
 /// Weighted average of flat parameter vectors (FedAvg).
@@ -630,6 +631,432 @@ fn norm_clipped_apply<'a>(
     }
 }
 
+/// An encoded update the sharded aggregation engine can drain: the owned
+/// [`Payload`] (the barrier loop's buffered updates) and the borrowed
+/// [`PayloadView`] (the zero-copy receive path) answer the same three
+/// questions, so [`Aggregator::aggregate_into`] serves both without a copy.
+pub trait ShardAccumulate: Sync {
+    /// Decoded flat length.
+    fn vec_len(&self) -> usize;
+    /// Adds `weight · value` for the coordinates of `plan`'s shard `s` into
+    /// the shard's accumulator slice (see [`Payload::accumulate_shard_into`]).
+    fn shard_accumulate(
+        &self,
+        weight: f64,
+        acc: &mut [f64],
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+    );
+    /// Dense decode into a caller-owned buffer (zero-filled first).
+    fn dense_decode_into(&self, out: &mut [f32], ctx: &WireCtx);
+}
+
+impl ShardAccumulate for Payload {
+    fn vec_len(&self) -> usize {
+        self.len()
+    }
+    fn shard_accumulate(
+        &self,
+        weight: f64,
+        acc: &mut [f64],
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+    ) {
+        self.accumulate_shard_into(weight, acc, ctx, plan, s);
+    }
+    fn dense_decode_into(&self, out: &mut [f32], ctx: &WireCtx) {
+        self.decode_into(out, ctx);
+    }
+}
+
+impl ShardAccumulate for PayloadView<'_> {
+    fn vec_len(&self) -> usize {
+        self.len()
+    }
+    fn shard_accumulate(
+        &self,
+        weight: f64,
+        acc: &mut [f64],
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+    ) {
+        self.accumulate_shard_into(weight, acc, ctx, plan, s);
+    }
+    fn dense_decode_into(&self, out: &mut [f32], ctx: &WireCtx) {
+        self.decode_into(out, ctx);
+    }
+}
+
+/// Round-persistent scratch for [`Aggregator::aggregate_into`]: every buffer
+/// the sharded engine touches lives here and is recycled round over round,
+/// so a steady-state round (same mask epoch, same cohort size) allocates
+/// nothing. The shard plan is the reuse key — it is rebuilt only when the
+/// mask epoch, model length, or shard count changes
+/// ([`ShardPlan::matches`]).
+#[derive(Debug, Default)]
+pub struct AggScratch {
+    /// `f64` delta accumulator, one slot per coordinate.
+    acc: Vec<f64>,
+    /// The produced global parameters (what [`AggregateRef::params`]
+    /// borrows).
+    params: Vec<f32>,
+    /// Decoded dense deltas for the robust rules, one per accepted update.
+    deltas: Vec<Vec<f32>>,
+    /// Screened normalized weights (`NormClipped`), aligned with `deltas`.
+    weights: Vec<f64>,
+    /// Per-worker sort columns for the rank-based rules.
+    cols: Vec<Vec<f32>>,
+    /// Cached shard plan, rebuilt on `(epoch, len, shard count)` change.
+    plan: Option<ShardPlan>,
+}
+
+impl AggScratch {
+    /// Empty scratch; buffers grow to steady-state sizes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached shard plan for `ctx` under `rt`'s deterministic coordinate
+    /// chunking, rebuilding it only when the reuse key changed.
+    fn plan(&mut self, ctx: &WireCtx, rt: &Runtime) -> &ShardPlan {
+        // `chunk_ranges(n, t)` produces min(t, n) ranges (none for n == 0);
+        // computed directly so the steady-state check allocates nothing.
+        let num_shards = rt.threads().min(ctx.len());
+        let stale = match &self.plan {
+            Some(p) => !p.matches(ctx, num_shards),
+            None => true,
+        };
+        if stale {
+            self.plan = Some(ShardPlan::build(ctx, rt.ranges(ctx.len())));
+        }
+        self.plan.as_ref().expect("plan was just ensured")
+    }
+}
+
+/// What [`Aggregator::aggregate_into`] produced for one round — the borrowed
+/// sibling of [`AggregateOutcome`]: `params` points into the caller's
+/// [`AggScratch`] instead of a fresh allocation.
+#[derive(Debug, PartialEq)]
+pub struct AggregateRef<'a> {
+    /// The new global parameters, or `None` to keep the previous global
+    /// (degenerate cohort), exactly as [`AggregateOutcome::params`].
+    pub params: Option<&'a [f32]>,
+    /// How many accepted updates were norm-clipped.
+    pub clipped: usize,
+}
+
+/// Element offset where shard `s` starts (`s == num_shards` → the end).
+fn shard_offset(plan: &ShardPlan, s: usize) -> usize {
+    if s == plan.num_shards() {
+        plan.len()
+    } else {
+        plan.range(s).start
+    }
+}
+
+/// Runs `f(s, shard slice)` for every shard of `plan` over `buf`, fanning
+/// shards out on `rt`. Shards are disjoint output ranges, so any schedule
+/// is race-free; with one shard (the sequential runtime) `f` runs inline on
+/// the calling thread with no spawn and no allocation.
+fn for_each_shard<T: Send>(
+    rt: &Runtime,
+    plan: &ShardPlan,
+    buf: &mut [T],
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert_eq!(buf.len(), plan.len(), "shard buffer length mismatch");
+    match plan.num_shards() {
+        0 => {}
+        1 => f(0, buf),
+        n => {
+            let jobs = rt.split_at_offsets_mut(buf, n, |s| shard_offset(plan, s));
+            rt.scatter(
+                jobs,
+                |(shards, slice): (std::ops::Range<usize>, &mut [T])| {
+                    let base = shard_offset(plan, shards.start);
+                    let mut rest = slice;
+                    let mut consumed = base;
+                    for s in shards {
+                        let end = shard_offset(plan, s + 1);
+                        let (head, tail) = rest.split_at_mut(end - consumed);
+                        consumed = end;
+                        rest = tail;
+                        f(s, head);
+                    }
+                },
+            );
+        }
+    }
+}
+
+impl Aggregator {
+    /// The allocation-free sharded engine behind [`aggregate`](Self::aggregate):
+    /// combines the surviving `(update, sample weight)` pairs against
+    /// `anchor`, decoding-and-accumulating each update shard-by-shard on
+    /// `rt`'s pool and reusing every buffer in `scratch` across rounds.
+    /// Accepts owned [`Payload`]s and borrowed [`PayloadView`]s alike
+    /// (anything [`ShardAccumulate`]).
+    ///
+    /// Bit-identical to [`aggregate`](Self::aggregate) for every rule and
+    /// any shard count: shards partition the *output coordinates*, so per
+    /// coordinate the same values are added in the same (cohort) order as
+    /// one sequential pass.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`aggregate`](Self::aggregate).
+    pub fn aggregate_into<'s, P: ShardAccumulate>(
+        &self,
+        updates: &[(&P, f64)],
+        anchor: &[f32],
+        ctx: &WireCtx,
+        rt: &Runtime,
+        scratch: &'s mut AggScratch,
+    ) -> AggregateRef<'s> {
+        match *self {
+            Aggregator::FedAvg => AggregateRef {
+                params: fedavg_into(updates, anchor, ctx, rt, scratch),
+                clipped: 0,
+            },
+            Aggregator::TrimmedMean { beta } => {
+                let n = updates.len();
+                let t = ((beta * n as f64).floor() as usize).min(n.saturating_sub(1) / 2);
+                AggregateRef {
+                    params: rank_into(updates, anchor, ctx, rt, scratch, move |col| {
+                        let kept = &col[t..n - t];
+                        kept.iter().map(|&v| v as f64).sum::<f64>() / kept.len() as f64
+                    }),
+                    clipped: 0,
+                }
+            }
+            Aggregator::CoordinateMedian => {
+                let n = updates.len();
+                AggregateRef {
+                    params: rank_into(updates, anchor, ctx, rt, scratch, move |col| {
+                        if n % 2 == 1 {
+                            col[n / 2] as f64
+                        } else {
+                            (col[n / 2 - 1] as f64 + col[n / 2] as f64) / 2.0
+                        }
+                    }),
+                    clipped: 0,
+                }
+            }
+            Aggregator::NormClipped { tau } => {
+                norm_clipped_into(updates, anchor, tau, ctx, rt, scratch)
+            }
+        }
+    }
+}
+
+/// Sharded [`try_fedavg_payloads`]: same screening, same asserts, same
+/// per-coordinate arithmetic — the accumulator is just filled shard-by-shard
+/// on the pool and recycled from `scratch`.
+fn fedavg_into<'s, P: ShardAccumulate>(
+    updates: &[(&P, f64)],
+    anchor: &[f32],
+    ctx: &WireCtx,
+    rt: &Runtime,
+    scratch: &'s mut AggScratch,
+) -> Option<&'s [f32]> {
+    let total_w: f64 = updates.iter().map(|(_, w)| *w).sum();
+    if updates.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return None;
+    }
+    for (p, _) in updates {
+        assert_eq!(
+            p.vec_len(),
+            anchor.len(),
+            "payload length differs from the global model"
+        );
+    }
+    scratch.plan(ctx, rt);
+    let AggScratch {
+        acc, params, plan, ..
+    } = scratch;
+    let plan = plan.as_ref().expect("plan ensured above");
+    acc.resize(anchor.len(), 0.0);
+    acc.fill(0.0);
+    for_each_shard(rt, plan, acc, |s, acc_s| {
+        for (p, w) in updates {
+            p.shard_accumulate(*w / total_w, acc_s, ctx, plan, s);
+        }
+    });
+    params.resize(anchor.len(), 0.0);
+    for_each_shard(rt, plan, params, |s, out| {
+        let start = plan.range(s).start;
+        for (k, o) in out.iter_mut().enumerate() {
+            let i = start + k;
+            *o = (anchor[i] as f64 + acc[i]) as f32;
+        }
+    });
+    Some(params)
+}
+
+/// Sharded [`rank_apply`] over recycled delta buffers: decodes every update
+/// into `scratch.deltas` (fanned out per update), then reduces sorted
+/// per-coordinate columns shard-parallel. Per coordinate the column is
+/// gathered in cohort order and sorted with `total_cmp` exactly as the
+/// sequential path does.
+fn rank_into<'s, P: ShardAccumulate>(
+    updates: &[(&P, f64)],
+    anchor: &[f32],
+    ctx: &WireCtx,
+    rt: &Runtime,
+    scratch: &'s mut AggScratch,
+    reduce: impl Fn(&[f32]) -> f64 + Sync,
+) -> Option<&'s [f32]> {
+    let n = updates.len();
+    if n == 0 {
+        return None;
+    }
+    scratch.plan(ctx, rt);
+    let AggScratch {
+        params,
+        deltas,
+        cols,
+        plan,
+        ..
+    } = scratch;
+    let plan = plan.as_ref().expect("plan ensured above");
+    deltas.resize_with(n, Vec::new);
+    for d in deltas.iter_mut() {
+        d.resize(anchor.len(), 0.0);
+    }
+    let decode_jobs: Vec<(&P, &mut Vec<f32>)> = updates
+        .iter()
+        .map(|(p, _)| *p)
+        .zip(deltas.iter_mut())
+        .collect();
+    rt.scatter(decode_jobs, |(p, d)| {
+        assert_eq!(
+            p.vec_len(),
+            anchor.len(),
+            "payload length differs from the global model"
+        );
+        p.dense_decode_into(d, ctx);
+    });
+    let deltas = &deltas[..n];
+    cols.resize_with(plan.num_shards().max(1), Vec::new);
+    for col in cols.iter_mut() {
+        col.resize(n, 0.0);
+    }
+    params.resize(anchor.len(), 0.0);
+    // One sort column per shard: shards are disjoint output ranges, and the
+    // scatter below hands shard `s` exactly `cols[s]`.
+    let col_slots: Vec<std::sync::Mutex<&mut Vec<f32>>> =
+        cols.iter_mut().map(std::sync::Mutex::new).collect();
+    for_each_shard(rt, plan, params, |s, out| {
+        let mut col = col_slots[s].lock().expect("column mutex poisoned");
+        let start = plan.range(s).start;
+        for (k, o) in out.iter_mut().enumerate() {
+            let i = start + k;
+            for (c, d) in col.iter_mut().zip(deltas.iter()) {
+                *c = d[i];
+            }
+            col.sort_unstable_by(|a, b| a.total_cmp(b));
+            *o = (anchor[i] as f64 + reduce(col.as_slice())) as f32;
+        }
+    });
+    Some(params)
+}
+
+/// Sharded [`norm_clipped_apply`] over recycled buffers: weights are
+/// screened before decode, norms are computed sequentially per delta (one
+/// full-vector `f64` sum each, exactly the sequential order), and only the
+/// final weighted accumulation + anchor add fan out shard-parallel.
+fn norm_clipped_into<'s, P: ShardAccumulate>(
+    updates: &[(&P, f64)],
+    anchor: &[f32],
+    tau: f64,
+    ctx: &WireCtx,
+    rt: &Runtime,
+    scratch: &'s mut AggScratch,
+) -> AggregateRef<'s> {
+    scratch.plan(ctx, rt);
+    let AggScratch {
+        acc,
+        params,
+        deltas,
+        weights,
+        plan,
+        ..
+    } = scratch;
+    let plan = plan.as_ref().expect("plan ensured above");
+    let usable: Vec<(&P, f64)> = updates
+        .iter()
+        .filter(|(_, w)| w.is_finite() && *w > 0.0)
+        .map(|&(p, w)| (p, w))
+        .collect();
+    let total_w: f64 = usable.iter().map(|(_, w)| *w).sum();
+    if usable.is_empty() || !total_w.is_finite() || total_w <= 0.0 {
+        return AggregateRef {
+            params: None,
+            clipped: 0,
+        };
+    }
+    let m = usable.len();
+    deltas.resize_with(m, Vec::new);
+    for d in deltas.iter_mut() {
+        d.resize(anchor.len(), 0.0);
+    }
+    let decode_jobs: Vec<(&P, &mut Vec<f32>)> = usable
+        .iter()
+        .map(|(p, _)| *p)
+        .zip(deltas.iter_mut())
+        .collect();
+    rt.scatter(decode_jobs, |(p, d)| {
+        assert_eq!(
+            p.vec_len(),
+            anchor.len(),
+            "payload length differs from the global model"
+        );
+        p.dense_decode_into(d, ctx);
+    });
+    let deltas = &deltas[..m];
+    let mut clipped = 0usize;
+    weights.clear();
+    for ((_, w), delta) in usable.iter().zip(deltas.iter()) {
+        let norm = delta
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt();
+        let scale = if norm.is_finite() && norm > tau {
+            clipped += 1;
+            tau / norm
+        } else {
+            1.0
+        };
+        weights.push((*w / total_w) * scale);
+    }
+    acc.resize(anchor.len(), 0.0);
+    acc.fill(0.0);
+    for_each_shard(rt, plan, acc, |s, acc_s| {
+        let r = plan.range(s);
+        for (delta, &wn) in deltas.iter().zip(weights.iter()) {
+            for (a, &d) in acc_s.iter_mut().zip(delta[r.clone()].iter()) {
+                *a += wn * d as f64;
+            }
+        }
+    });
+    params.resize(anchor.len(), 0.0);
+    for_each_shard(rt, plan, params, |s, out| {
+        let start = plan.range(s).start;
+        for (k, o) in out.iter_mut().enumerate() {
+            let i = start + k;
+            *o = (anchor[i] as f64 + acc[i]) as f32;
+        }
+    });
+    AggregateRef {
+        params: Some(params),
+        clipped,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -910,6 +1337,90 @@ mod tests {
         assert!(Aggregator::NormClipped { tau: f64::INFINITY }
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn sharded_aggregate_into_matches_aggregate_bit_exactly() {
+        // The engine the barrier loop now runs must be the exact math it
+        // replaced, for every rule, shard count, and codec — golden traces
+        // depend on it. Scratch is reused across calls to also exercise the
+        // recycled-buffer path (stale contents must not leak through).
+        use ft_sparse::Codec;
+        let n = 37; // awkward length: uneven shard splits
+        let mut ctx = ft_sparse::WireCtx::dense(n);
+        ctx.epoch = 5;
+        for (i, a) in ctx.alive.iter_mut().enumerate() {
+            *a = i % 3 != 1; // sparse mask for the MaskCsr/TopK codecs
+        }
+        let anchor: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let rules = [
+            Aggregator::FedAvg,
+            Aggregator::TrimmedMean { beta: 0.2 },
+            Aggregator::CoordinateMedian,
+            Aggregator::NormClipped { tau: 0.5 },
+        ];
+        for codec in [
+            Codec::Dense,
+            Codec::MaskCsr,
+            Codec::QuantInt8,
+            Codec::TopK {
+                k_frac: 0.25,
+                error_feedback: false,
+            },
+        ] {
+            let payloads: Vec<Payload> = (0..5)
+                .map(|d| {
+                    let delta: Vec<f32> = (0..n)
+                        .map(|i| {
+                            let v = ((d * 31 + i) as f32 * 0.11).cos() * (d as f32 - 2.0);
+                            if ctx.alive[i] {
+                                v
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    codec.encode(&delta, &ctx, ctx.epoch, None)
+                })
+                .collect();
+            let updates: Vec<(&Payload, f64)> = payloads
+                .iter()
+                .enumerate()
+                .map(|(d, p)| (p, 1.0 + d as f64))
+                .collect();
+            for rule in rules {
+                let reference = rule.aggregate(&updates, &anchor, &ctx);
+                for threads in [1usize, 3] {
+                    let rt = Runtime::exact(threads);
+                    let mut scratch = AggScratch::new();
+                    for pass in 0..2 {
+                        let got = rule.aggregate_into(&updates, &anchor, &ctx, &rt, &mut scratch);
+                        assert_eq!(got.clipped, reference.clipped);
+                        let got_bits: Option<Vec<u32>> =
+                            got.params.map(|p| p.iter().map(|v| v.to_bits()).collect());
+                        let ref_bits: Option<Vec<u32>> = reference
+                            .params
+                            .as_ref()
+                            .map(|p| p.iter().map(|v| v.to_bits()).collect());
+                        assert_eq!(
+                            got_bits,
+                            ref_bits,
+                            "{} diverged ({codec:?}, {threads} threads, pass {pass})",
+                            rule.name()
+                        );
+                    }
+                }
+            }
+        }
+        // Degenerate cohorts keep the previous global through the sharded
+        // path too.
+        let mut scratch = AggScratch::new();
+        let rt = Runtime::sequential();
+        for rule in rules {
+            let got = rule.aggregate_into::<Payload>(&[], &anchor, &ctx, &rt, &mut scratch);
+            assert_eq!(got.params, None, "{}", rule.name());
+            assert_eq!(got.clipped, 0);
+        }
     }
 
     #[test]

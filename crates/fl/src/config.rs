@@ -49,6 +49,13 @@ pub enum ConfigError {
         /// The rejected L2 threshold.
         tau: f64,
     },
+    /// `collect_timeout_secs` is non-finite or non-positive: a tolerant
+    /// Collect phase could never (or would instantly) time a silent device
+    /// out.
+    BadCollectTimeout {
+        /// The rejected per-stream quiet timeout, in wall seconds.
+        collect_timeout_secs: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -74,6 +81,14 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadClipNorm { tau } => {
                 write!(f, "clip norm tau = {tau} must be finite and positive")
             }
+            ConfigError::BadCollectTimeout {
+                collect_timeout_secs,
+            } => {
+                write!(
+                    f,
+                    "collect_timeout_secs = {collect_timeout_secs} must be finite and positive"
+                )
+            }
         }
     }
 }
@@ -81,7 +96,11 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Shared federated-learning knobs (Sec. IV-A1 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (the derive shim has no `#[serde(default)]`)
+/// so configs serialized before `collect_timeout_secs` existed still load,
+/// getting the legacy 30 s constant.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct FlConfig {
     /// Number of participating devices `K` (paper: 10).
     pub devices: usize,
@@ -124,8 +143,49 @@ pub struct FlConfig {
     /// sample-weighted averaging; the robust rules defend against poisoned
     /// cohort members at extra decode cost.
     pub aggregator: Aggregator,
+    /// Per-stream quiet timeout of a *tolerant* Collect phase, in wall
+    /// seconds: a device whose stream makes no read progress for this long
+    /// is quarantined as disconnected instead of hanging the round. Strict
+    /// transports (the bit-identity harness) ignore it and wait
+    /// indefinitely. Purely a liveness knob — it never changes what an
+    /// on-time fleet computes, so golden traces are unaffected. Large
+    /// fleets on slow links should raise it; absent from older configs it
+    /// deserializes to the legacy 30 s constant.
+    pub collect_timeout_secs: f64,
     /// Master seed for the whole run.
     pub seed: u64,
+}
+
+/// The pre-knob hardcoded tolerant-read timeout, kept as the deserialize
+/// default so existing configs and checkpoints keep their exact behavior.
+fn default_collect_timeout_secs() -> f64 {
+    30.0
+}
+
+impl Deserialize for FlConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(FlConfig {
+            devices: Deserialize::from_value(v.field("devices")?)?,
+            rounds: Deserialize::from_value(v.field("rounds")?)?,
+            local_epochs: Deserialize::from_value(v.field("local_epochs")?)?,
+            batch_size: Deserialize::from_value(v.field("batch_size")?)?,
+            sgd: Deserialize::from_value(v.field("sgd")?)?,
+            alpha: Deserialize::from_value(v.field("alpha")?)?,
+            dev_fraction: Deserialize::from_value(v.field("dev_fraction")?)?,
+            participation: Deserialize::from_value(v.field("participation")?)?,
+            prox_mu: Deserialize::from_value(v.field("prox_mu")?)?,
+            lr_decay: Deserialize::from_value(v.field("lr_decay")?)?,
+            parallel: Deserialize::from_value(v.field("parallel")?)?,
+            threads: Deserialize::from_value(v.field("threads")?)?,
+            codec: Deserialize::from_value(v.field("codec")?)?,
+            aggregator: Deserialize::from_value(v.field("aggregator")?)?,
+            collect_timeout_secs: match v.get("collect_timeout_secs") {
+                Some(t) => Deserialize::from_value(t)?,
+                None => default_collect_timeout_secs(),
+            },
+            seed: Deserialize::from_value(v.field("seed")?)?,
+        })
+    }
 }
 
 impl FlConfig {
@@ -151,6 +211,11 @@ impl FlConfig {
         }
         if self.participation.is_nan() {
             return Err(ConfigError::BadParticipation);
+        }
+        if !self.collect_timeout_secs.is_finite() || self.collect_timeout_secs <= 0.0 {
+            return Err(ConfigError::BadCollectTimeout {
+                collect_timeout_secs: self.collect_timeout_secs,
+            });
         }
         self.aggregator.validate()?;
         Ok(())
@@ -180,6 +245,7 @@ impl FlConfig {
             threads: 0,
             codec: Codec::Dense,
             aggregator: Aggregator::FedAvg,
+            collect_timeout_secs: default_collect_timeout_secs(),
             seed: 0,
         }
     }
@@ -206,6 +272,7 @@ impl FlConfig {
             threads: 0,
             codec: Codec::Dense,
             aggregator: Aggregator::FedAvg,
+            collect_timeout_secs: default_collect_timeout_secs(),
             seed: 0,
         }
     }
@@ -232,6 +299,7 @@ impl FlConfig {
             threads: 0,
             codec: Codec::Dense,
             aggregator: Aggregator::FedAvg,
+            collect_timeout_secs: default_collect_timeout_secs(),
             seed: 0,
         }
     }
@@ -286,6 +354,21 @@ mod tests {
         let mut c = base;
         c.aggregator = Aggregator::TrimmedMean { beta: 0.25 };
         assert_eq!(c.validate(), Ok(()));
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let mut c = base;
+            c.collect_timeout_secs = bad;
+            // NaN != NaN under the derived PartialEq, so match on the
+            // variant and compare the carried value bit-for-bit.
+            match c.validate() {
+                Err(ConfigError::BadCollectTimeout {
+                    collect_timeout_secs,
+                }) => assert_eq!(collect_timeout_secs.to_bits(), bad.to_bits()),
+                other => panic!("collect_timeout_secs = {bad} must be rejected, got {other:?}"),
+            }
+        }
+        let mut c = base;
+        c.collect_timeout_secs = 0.25; // sub-second is unusual but legal
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]
@@ -305,6 +388,33 @@ mod tests {
         assert!(ConfigError::BadClipNorm { tau: 0.0 }
             .to_string()
             .contains("0"));
+        assert!(ConfigError::BadCollectTimeout {
+            collect_timeout_secs: -3.0
+        }
+        .to_string()
+        .contains("-3"));
+    }
+
+    #[test]
+    fn collect_timeout_defaults_when_absent_from_serialized_config() {
+        let mut cfg = FlConfig::tiny_for_tests();
+        cfg.collect_timeout_secs = 7.5;
+        // Round-trips carry the knob through...
+        let back = FlConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back, cfg);
+        // ...and a pre-knob serialized config (no such key) gets the legacy
+        // 30 s constant instead of a missing-field error.
+        let legacy = match cfg.to_value() {
+            serde::Value::Map(pairs) => serde::Value::Map(
+                pairs
+                    .into_iter()
+                    .filter(|(k, _)| k != "collect_timeout_secs")
+                    .collect(),
+            ),
+            other => panic!("FlConfig must serialize to a map, got {other:?}"),
+        };
+        let loaded = FlConfig::from_value(&legacy).unwrap();
+        assert_eq!(loaded.collect_timeout_secs, 30.0);
     }
 
     #[test]

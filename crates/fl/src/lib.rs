@@ -66,7 +66,8 @@ pub use adversary::{
 pub use aggregate::{
     aggregate_bn_stats, fedavg, fedavg_or_previous, fedavg_payloads, staleness_fedavg,
     staleness_fedavg_payloads, staleness_weight, try_aggregate_bn_stats, try_fedavg,
-    try_fedavg_payloads, try_staleness_fedavg_payloads, AggregateOutcome, Aggregator,
+    try_fedavg_payloads, try_staleness_fedavg_payloads, AggScratch, AggregateOutcome, AggregateRef,
+    Aggregator, ShardAccumulate,
 };
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec};
 pub use config::{ConfigError, FlConfig, MAX_THREADS};
@@ -87,6 +88,6 @@ pub use train::{
     train_one_device, DeviceUpdate, WireSpec,
 };
 pub use transport::{
-    run_tcp_device, Delivery, FaultKind, InProcess, RoundRequest, SimTime, TcpTransport, Transport,
-    TransportError,
+    run_tcp_device, run_tcp_devices, Delivery, FaultKind, InProcess, RoundRequest, SimTime,
+    TcpTransport, Transport, TransportError,
 };

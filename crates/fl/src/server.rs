@@ -261,6 +261,7 @@ pub fn run_with(
         residuals: vec![Vec::new(); env.num_devices()],
         history: Vec::new(),
         applied_mask: mask.clone(),
+        agg_scratch: crate::aggregate::AggScratch::new(),
     };
     let mut buffered_resume: Option<BufferedState> = None;
     if let Some(ck) = resumed {
@@ -330,6 +331,10 @@ struct ServerState<'e> {
     /// checkpointed separately from the current mask because a hook may
     /// move the mask without re-applying it.
     applied_mask: Mask,
+    /// Recycled buffers of the sharded Aggregate phase: accumulators,
+    /// produced params, robust-rule delta buffers, and the shard plan keyed
+    /// by mask epoch. Steady-state rounds aggregate without allocating.
+    agg_scratch: crate::aggregate::AggScratch,
 }
 
 /// Scratch state of one in-flight barrier round, threaded through the
@@ -463,6 +468,7 @@ impl ServerState<'_> {
                             rs.as_mut().expect("collect ran"),
                             global,
                             mask,
+                            &rt,
                             ledger,
                         );
                         RoundPhase::Advance
@@ -650,12 +656,15 @@ impl ServerState<'_> {
 
     /// Aggregate: fold the surviving payloads and BN statistics into the
     /// global model; an empty (or zero-weight) cohort leaves it untouched
-    /// and records a zero-progress round.
+    /// and records a zero-progress round. Runs the sharded engine
+    /// ([`Aggregator::aggregate_into`]) over `self.agg_scratch`'s recycled
+    /// buffers — bit-identical to the sequential path for any shard count.
     fn phase_aggregate(
         &mut self,
         rs: &mut BarrierRound,
         global: &mut dyn Model,
         mask: &Mask,
+        rt: &ft_runtime::Runtime,
         ledger: &mut CostLedger,
     ) {
         // Quarantine accounting first: every faulted delivery is a typed,
@@ -666,15 +675,13 @@ impl ServerState<'_> {
             }
         }
         let surviving = survivor_payload_updates(&rs.updates, &rs.alive);
-        let outcome = self
-            .env
-            .cfg
-            .aggregator
-            .aggregate(&surviving, &rs.anchor, &rs.ctx);
+        let aggregator = self.env.cfg.aggregator;
+        let outcome =
+            aggregator.aggregate_into(&surviving, &rs.anchor, &rs.ctx, rt, &mut self.agg_scratch);
         ledger.record_clipped(outcome.clipped);
         rs.progressed = match outcome.params {
             Some(new_params) => {
-                set_flat_params(global, &new_params);
+                set_flat_params(global, new_params);
                 let bn_updates: Vec<_> = rs
                     .updates
                     .iter()

@@ -589,11 +589,29 @@ pub struct TcpTransport {
     listener: Option<TcpListener>,
     /// Connection attempts refused during accept/rejoin.
     handshake_faults: usize,
+    /// Per-device receive buffers, recycled across rounds: the multiplexed
+    /// collect loop reads each UPDATE body straight into its device's slot
+    /// and the screen decodes from there — steady-state rounds reuse the
+    /// same capacity instead of allocating a fresh `Vec` per frame.
+    recv_bufs: Vec<Vec<u8>>,
+    /// Recycled per-recipient broadcast frame (cohort-position prefix +
+    /// shared snapshot), rebuilt in place for every cohort member.
+    broadcast_scratch: Vec<u8>,
+    /// HELLO-phase read timeout armed on tolerantly accepted streams (the
+    /// collect phase uses the config's `collect_timeout_secs` instead).
+    handshake_timeout: std::time::Duration,
 }
 
-/// Read timeout a tolerant server arms on every accepted stream, so one
-/// silent byzantine device cannot hang the whole round collection.
+/// Default read timeout a tolerant server arms on accepted streams for the
+/// handshake/rejoin phase, and the legacy value of the per-round collect
+/// timeout (now the `FlConfig::collect_timeout_secs` knob).
 const TOLERANT_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// How long the multiplexed collect loop sleeps when a full readiness sweep
+/// over every pending stream made no progress — long enough to stay off the
+/// CPU while the fleet trains, short enough to add negligible latency to a
+/// round.
+const MUX_IDLE_SLEEP: std::time::Duration = std::time::Duration::from_micros(500);
 
 impl TcpTransport {
     /// Binds `addr` and accepts exactly `devices` clients, each of which
@@ -626,6 +644,9 @@ impl TcpTransport {
             tolerant: false,
             listener: None,
             handshake_faults: 0,
+            recv_bufs: (0..devices).map(|_| Vec::new()).collect(),
+            broadcast_scratch: Vec::new(),
+            handshake_timeout: TOLERANT_READ_TIMEOUT,
         })
     }
 
@@ -649,6 +670,20 @@ impl TcpTransport {
         listener: TcpListener,
         devices: usize,
     ) -> Result<Self, TransportError> {
+        Self::accept_fleet_tolerant_with_timeout(listener, devices, TOLERANT_READ_TIMEOUT)
+    }
+
+    /// [`accept_fleet_tolerant`](Self::accept_fleet_tolerant) with an
+    /// explicit handshake read timeout, armed on every accepted stream so a
+    /// half-written rejoin HELLO cannot hang the server between rounds. The
+    /// per-round collect deadline is a separate knob
+    /// ([`FlConfig::collect_timeout_secs`]) and travels with the
+    /// [`RoundRequest`].
+    pub fn accept_fleet_tolerant_with_timeout(
+        listener: TcpListener,
+        devices: usize,
+        handshake_timeout: std::time::Duration,
+    ) -> Result<Self, TransportError> {
         let mut slots: Vec<Option<TcpStream>> = (0..devices).map(|_| None).collect();
         let mut connected = 0;
         let mut handshake_faults = 0;
@@ -656,7 +691,7 @@ impl TcpTransport {
             let (mut stream, _) = listener.accept()?;
             match read_hello(&mut stream, devices) {
                 Ok(device) => {
-                    let _ = stream.set_read_timeout(Some(TOLERANT_READ_TIMEOUT));
+                    let _ = stream.set_read_timeout(Some(handshake_timeout));
                     if slots[device].is_some() {
                         handshake_faults += 1;
                     } else {
@@ -672,6 +707,9 @@ impl TcpTransport {
             tolerant: true,
             listener: Some(listener),
             handshake_faults,
+            recv_bufs: (0..devices).map(|_| Vec::new()).collect(),
+            broadcast_scratch: Vec::new(),
+            handshake_timeout,
         })
     }
 
@@ -716,7 +754,7 @@ impl TcpTransport {
             let (mut stream, _) = listener.accept()?;
             match read_hello(&mut stream, self.streams.len()) {
                 Ok(device) if self.streams[device].is_none() => {
-                    let _ = stream.set_read_timeout(Some(TOLERANT_READ_TIMEOUT));
+                    let _ = stream.set_read_timeout(Some(self.handshake_timeout));
                     self.streams[device] = Some(stream);
                     waiting.retain(|&w| w != device);
                 }
@@ -747,6 +785,186 @@ fn read_hello(stream: &mut TcpStream, devices: usize) -> Result<usize, Transport
     Ok(device)
 }
 
+/// Per-stream progress of the multiplexed collect loop: where the next
+/// received byte lands (header or body) and when a tolerant server gives
+/// the stream up as silent.
+struct MuxRecv {
+    /// Index within this round's cohort (the slot in `outcomes`).
+    pos: usize,
+    /// Global device id: selects the stream and its receive buffer.
+    device: usize,
+    /// Frame header under assembly: `u32 body_len | u8 kind`.
+    header: [u8; 5],
+    /// Header bytes received so far.
+    header_filled: usize,
+    /// Body length parsed from the completed header.
+    body_len: usize,
+    /// Body bytes received so far.
+    body_filled: usize,
+    /// Instant after which a tolerant server quarantines the stream;
+    /// re-armed on every received byte. Ignored by strict servers.
+    deadline: std::time::Instant,
+}
+
+/// What the readiness loop settled for one pending cohort member.
+enum MuxOutcome {
+    /// A complete frame of this kind landed in the device's receive buffer.
+    Frame {
+        /// The frame kind byte from the header.
+        kind: u8,
+    },
+    /// The stream faulted mid-collect and was dropped.
+    Fault(FaultKind),
+}
+
+/// Reads exactly one frame from every `pending` stream through a single
+/// nonblocking readiness loop: each sweep polls every still-pending socket,
+/// draining whatever bytes the kernel has, and a sweep that moves no bytes
+/// at all sleeps [`MUX_IDLE_SLEEP`] before retrying. Frame bodies land in
+/// the per-device `recv_bufs` slot (recycled across rounds — a steady-state
+/// collect reuses the capacity instead of allocating per frame), and every
+/// pending member leaves with a [`MuxOutcome`] in its cohort slot.
+///
+/// Fault posture matches the old blocking loop exactly: a tolerant server
+/// converts EOF/io errors and oversize length prefixes into quarantine
+/// faults and kills the stream, and additionally quarantines any stream
+/// that stays silent past `timeout` (the [`FlConfig::collect_timeout_secs`]
+/// knob); a strict server aborts on the first io or framing error and never
+/// times out. Surviving streams are restored to blocking mode on exit so
+/// the next round's broadcast writes behave.
+fn collect_multiplexed(
+    streams: &mut [Option<TcpStream>],
+    recv_bufs: &mut [Vec<u8>],
+    pending: &[(usize, usize)],
+    outcomes: &mut [Option<MuxOutcome>],
+    tolerant: bool,
+    timeout: std::time::Duration,
+) -> Result<(), TransportError> {
+    let armed = std::time::Instant::now() + timeout;
+    let mut live: Vec<MuxRecv> = Vec::with_capacity(pending.len());
+    for &(pos, device) in pending {
+        let stream = streams[device].as_mut().expect("broadcast left it live");
+        stream.set_nonblocking(true)?;
+        live.push(MuxRecv {
+            pos,
+            device,
+            header: [0; 5],
+            header_filled: 0,
+            body_len: 0,
+            body_filled: 0,
+            deadline: armed,
+        });
+    }
+    while !live.is_empty() {
+        let mut progressed = false;
+        let mut hard: Option<TransportError> = None;
+        live.retain_mut(|st| {
+            if hard.is_some() {
+                return true; // aborting the round; survivors are moot
+            }
+            let stream = streams[st.device].as_mut().expect("registered live");
+            loop {
+                let res = if st.header_filled < st.header.len() {
+                    stream.read(&mut st.header[st.header_filled..])
+                } else {
+                    stream.read(&mut recv_bufs[st.device][st.body_filled..st.body_len])
+                };
+                match res {
+                    Ok(0) => {
+                        let e = std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-collect",
+                        );
+                        if !tolerant {
+                            hard = Some(e.into());
+                            return true;
+                        }
+                        streams[st.device] = None;
+                        outcomes[st.pos] =
+                            Some(MuxOutcome::Fault(FaultKind::Disconnected(e.to_string())));
+                        return false;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        st.deadline = std::time::Instant::now() + timeout;
+                        if st.header_filled < st.header.len() {
+                            st.header_filled += n;
+                            if st.header_filled == st.header.len() {
+                                let len =
+                                    u32::from_le_bytes(st.header[..4].try_into().expect("4 bytes"))
+                                        as usize;
+                                if len > 1 << 30 {
+                                    let msg = format!("frame of {len} bytes refused");
+                                    if !tolerant {
+                                        hard = Some(TransportError::Frame(msg));
+                                        return true;
+                                    }
+                                    streams[st.device] = None;
+                                    outcomes[st.pos] =
+                                        Some(MuxOutcome::Fault(FaultKind::MalformedFrame(msg)));
+                                    return false;
+                                }
+                                st.body_len = len;
+                                let buf = &mut recv_bufs[st.device];
+                                buf.clear();
+                                buf.resize(len, 0);
+                            }
+                        } else {
+                            st.body_filled += n;
+                        }
+                        if st.header_filled == st.header.len() && st.body_filled == st.body_len {
+                            outcomes[st.pos] = Some(MuxOutcome::Frame { kind: st.header[4] });
+                            return false;
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if tolerant && std::time::Instant::now() >= st.deadline {
+                            streams[st.device] = None;
+                            outcomes[st.pos] =
+                                Some(MuxOutcome::Fault(FaultKind::Disconnected(format!(
+                                    "no bytes for {:.1}s during collect",
+                                    timeout.as_secs_f64()
+                                ))));
+                            return false;
+                        }
+                        return true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        if !tolerant {
+                            hard = Some(e.into());
+                            return true;
+                        }
+                        streams[st.device] = None;
+                        outcomes[st.pos] =
+                            Some(MuxOutcome::Fault(FaultKind::Disconnected(e.to_string())));
+                        return false;
+                    }
+                }
+            }
+        });
+        if let Some(e) = hard {
+            return Err(e);
+        }
+        if !progressed && !live.is_empty() {
+            std::thread::sleep(MUX_IDLE_SLEEP);
+        }
+    }
+    // Collect is over: surviving cohort streams go back to blocking mode
+    // for the next round's broadcast writes (and the DONE frame).
+    for &(_, device) in pending {
+        if let Some(stream) = streams[device].as_mut() {
+            stream.set_nonblocking(false)?;
+        }
+    }
+    Ok(())
+}
+
 impl Transport for TcpTransport {
     fn name(&self) -> &'static str {
         "tcp"
@@ -763,12 +981,20 @@ impl Transport for TcpTransport {
         self.reconnect_rejoining(req.rejoining)?;
         let snapshot = take_snapshot(req.global);
         let shared = encode_round_frame(req.round, req.epoch, &snapshot, req.mask);
+        let Self {
+            streams,
+            recv_bufs,
+            broadcast_scratch,
+            tolerant,
+            ..
+        } = self;
+        let tolerant = *tolerant;
         // Broadcast phase: a member whose stream is dead (or dies on
         // write) is quarantined here and skipped during collection.
         let mut broadcast_faults: Vec<Option<FaultKind>> = vec![None; req.cohort.len()];
         for (pos, &k) in req.cohort.iter().enumerate() {
-            if !matches!(self.streams.get(k), Some(Some(_))) {
-                if self.tolerant {
+            if !matches!(streams.get(k), Some(Some(_))) {
+                if tolerant {
                     broadcast_faults[pos] = Some(FaultKind::Disconnected(format!(
                         "no live stream for device {k}"
                     )));
@@ -778,57 +1004,78 @@ impl Transport for TcpTransport {
             }
             // Per-recipient prefix: the device's position within this
             // round's cohort (the index the in-process loop trains it
-            // under), then the shared snapshot.
-            let mut frame = Vec::with_capacity(4 + shared.len());
-            put_u32(&mut frame, pos as u32);
-            frame.extend_from_slice(&shared);
-            let stream = self.streams[k].as_mut().expect("checked live above");
-            if let Err(e) = write_frame(stream, FRAME_ROUND, &frame) {
-                if self.tolerant {
-                    self.streams[k] = None;
+            // under), then the shared snapshot. The frame buffer is
+            // recycled across recipients and rounds.
+            broadcast_scratch.clear();
+            put_u32(broadcast_scratch, pos as u32);
+            broadcast_scratch.extend_from_slice(&shared);
+            let stream = streams[k].as_mut().expect("checked live above");
+            if let Err(e) = write_frame(stream, FRAME_ROUND, broadcast_scratch) {
+                if tolerant {
+                    streams[k] = None;
                     broadcast_faults[pos] = Some(FaultKind::Disconnected(e.to_string()));
                 } else {
                     return Err(e.into());
                 }
             }
         }
-        // Collection phase, in cohort order. Decode-level faults keep the
-        // stream (the length-prefixed framing is intact, so the connection
-        // can still carry next round); io/framing faults kill it.
+        // Collection phase: one readiness loop over every pending stream,
+        // reading whichever socket has bytes — no cohort member can stall
+        // the members behind it, and one server thread owns the whole
+        // fleet's sockets. Arrival order is whatever the kernel delivers;
+        // determinism is restored by screening in cohort order below.
+        let pending: Vec<(usize, usize)> = req
+            .cohort
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| broadcast_faults[pos].is_none())
+            .map(|(pos, &k)| (pos, k))
+            .collect();
+        let mut outcomes: Vec<Option<MuxOutcome>> = Vec::with_capacity(req.cohort.len());
+        outcomes.resize_with(req.cohort.len(), || None);
+        let timeout = std::time::Duration::from_secs_f64(req.cfg.collect_timeout_secs);
+        collect_multiplexed(
+            streams,
+            recv_bufs,
+            &pending,
+            &mut outcomes,
+            tolerant,
+            timeout,
+        )?;
+        // Screening phase, in cohort order, so delivery order — and with it
+        // the aggregation — is independent of arrival order. Decode-level
+        // faults keep the stream (the length-prefixed framing is intact, so
+        // the connection can still carry next round); io/framing faults
+        // killed it inside the readiness loop.
         let mut out = Vec::with_capacity(req.cohort.len());
         for (pos, &k) in req.cohort.iter().enumerate() {
             if let Some(fault) = broadcast_faults[pos].take() {
                 out.push(Delivery::Faulted(fault));
                 continue;
             }
-            let stream = self.streams[k].as_mut().expect("broadcast left it live");
-            let (kind, body) = match read_frame(stream) {
-                Ok(fb) => fb,
-                Err(e) => {
-                    if !self.tolerant {
-                        return Err(e);
-                    }
-                    self.streams[k] = None;
-                    out.push(Delivery::Faulted(match e {
-                        TransportError::Io(e) => FaultKind::Disconnected(e.to_string()),
-                        TransportError::Frame(msg) => FaultKind::MalformedFrame(msg),
-                    }));
+            let kind = match outcomes[pos]
+                .take()
+                .expect("readiness loop settles every member")
+            {
+                MuxOutcome::Fault(fault) => {
+                    out.push(Delivery::Faulted(fault));
                     continue;
                 }
+                MuxOutcome::Frame { kind } => kind,
             };
             if kind != FRAME_UPDATE {
                 let msg = format!("expected UPDATE from device {k}, got frame kind {kind}");
-                if !self.tolerant {
+                if !tolerant {
                     return Err(TransportError::Frame(msg));
                 }
                 out.push(Delivery::Faulted(FaultKind::MalformedFrame(msg)));
                 continue;
             }
             let cap = req.sample_caps.get(pos).map(|&c| c as u64);
-            match screen_update_frame(&body, req.ctx, k, req.round as u64, req.epoch, cap) {
+            match screen_update_frame(&recv_bufs[k], req.ctx, k, req.round as u64, req.epoch, cap) {
                 Ok(update) => out.push(Delivery::Update(update)),
                 Err(fault) => {
-                    if !self.tolerant {
+                    if !tolerant {
                         return Err(fault.into_frame_error());
                     }
                     out.push(Delivery::Faulted(fault));
@@ -922,6 +1169,101 @@ pub fn run_tcp_device(
                 return Err(TransportError::Frame(format!(
                     "unexpected frame kind {other} from server"
                 )))
+            }
+        }
+    }
+}
+
+/// Runs many devices' sides of the TCP protocol from one thread — the
+/// client half of a 10k-device loopback fleet, where a thread per device
+/// would exhaust the machine long before the transport does. Each device
+/// in `devices` gets its own socket (its own HELLO, its own error-feedback
+/// residual); they share one model instance and one training loop.
+///
+/// The sockets are served in lockstep device order, which is deadlock-free
+/// because the server's barrier protocol writes every cohort member's
+/// ROUND broadcast before reading any UPDATE, and its multiplexed collect
+/// loop drains earlier devices' replies while this loop is still working
+/// through later ones. Lockstep requires every device to appear in every
+/// cohort, so the config must run full participation; anything else would
+/// leave this loop blocked on a socket the server never wrote to.
+pub fn run_tcp_devices(
+    addr: impl ToSocketAddrs + Clone,
+    devices: std::ops::Range<usize>,
+    env: &crate::ExperimentEnv,
+    spec: &crate::ModelSpec,
+) -> Result<(), TransportError> {
+    if devices.is_empty() {
+        return Ok(());
+    }
+    if env.cfg.participation < 1.0 {
+        return Err(TransportError::Frame(format!(
+            "run_tcp_devices serves its sockets in lockstep and needs every device in \
+             every cohort: participation is {}, not 1.0 (use one run_tcp_device thread \
+             per device for partial participation)",
+            env.cfg.participation
+        )));
+    }
+    let mut streams = Vec::with_capacity(devices.len());
+    let mut hello = Vec::new();
+    for device in devices.clone() {
+        let mut stream = connect_with_retry(addr.clone())?;
+        hello.clear();
+        put_u32(&mut hello, device as u32);
+        write_frame(&mut stream, FRAME_HELLO, &hello)?;
+        streams.push(stream);
+    }
+    let mut model = env.build_model(spec);
+    let rt = env.cfg.runtime();
+    model.set_runtime(rt);
+    let needs_residual = env.cfg.codec.uses_error_feedback();
+    let mut residuals: Vec<Vec<f32>> = vec![Vec::new(); devices.len()];
+    loop {
+        for (i, device) in devices.clone().enumerate() {
+            let stream = &mut streams[i];
+            let (kind, body) = read_frame(stream)?;
+            match kind {
+                FRAME_DONE if i == 0 => return Ok(()),
+                FRAME_DONE => {
+                    return Err(TransportError::Frame(format!(
+                        "server hung up on device {device} mid-round"
+                    )))
+                }
+                FRAME_ROUND => {
+                    let (cohort_pos, round, epoch, snapshot, mask) = decode_round_frame(&body)?;
+                    restore_snapshot(model.as_mut(), &snapshot);
+                    apply_mask(model.as_mut(), &mask);
+                    let ctx = wire_ctx(model.as_ref(), &mask, epoch);
+                    let wire = WireSpec {
+                        codec: env.cfg.codec,
+                        ctx: &ctx,
+                        peer_epoch: epoch,
+                    };
+                    let data = env.parts.get(device).ok_or_else(|| {
+                        TransportError::Frame(format!(
+                            "device {device} has no partition in this env"
+                        ))
+                    })?;
+                    let update = crate::train::train_one_device(
+                        model.as_ref(),
+                        data,
+                        Some(&mask),
+                        &env.cfg,
+                        round,
+                        cohort_pos,
+                        0,
+                        &wire,
+                        needs_residual.then_some(&mut residuals[i]),
+                        &rt,
+                    );
+                    let frame = encode_update_frame(device, round as u64, epoch, &update, &ctx);
+                    write_frame(stream, FRAME_UPDATE, &frame)?;
+                }
+                other => {
+                    return Err(TransportError::Frame(format!(
+                        "unexpected frame kind {other} from server"
+                    )))
+                }
             }
         }
     }
@@ -1184,6 +1526,126 @@ mod tests {
                     .expect("tolerant accept never aborts on a bad handshake");
                 prop_assert_eq!(transport.devices(), 1);
                 let _sockets = client.join().expect("client thread");
+            }
+        }
+    }
+
+    /// Fuzzers driving corrupted frames through the *multiplexed* collect
+    /// loop over a real socket — not just the body screen: truncations and
+    /// mutations must land as typed quarantine deliveries, never a panic,
+    /// never a hang, and never a hard error on a tolerant server.
+    mod mux {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Runs one tolerant `exchange_round` against a fake device whose
+        /// raw UPDATE wire bytes are rewritten by `transform` (returning
+        /// the bytes to send and whether to drop the socket afterwards).
+        /// The valid input frame is stamped for device 0, round 0, epoch 5
+        /// — a clean pass yields `Delivery::Update`.
+        fn round_against(transform: impl FnOnce(Vec<u8>) -> (Vec<u8>, bool)) -> Vec<Delivery> {
+            let env = ExperimentEnv::tiny_for_tests(3);
+            let model = env.build_model(&ModelSpec::small_cnn_test());
+            let mask = Mask::ones(&sparse_layout(model.as_ref()));
+            let epoch = 5;
+            let ctx = wire_ctx(model.as_ref(), &mask, epoch);
+            let update = DeviceUpdate {
+                payload: Codec::MaskCsr.encode(&vec![0.125f32; ctx.len()], &ctx, epoch, None),
+                bn: model.bn_stats().into_iter().cloned().collect(),
+                samples: 7,
+                realized_flops: 1.0e6,
+                wall_secs: 0.25,
+            };
+            let body = encode_update_frame(0, 0, epoch, &update, &ctx);
+            let mut wire = Vec::with_capacity(5 + body.len());
+            wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            wire.push(FRAME_UPDATE);
+            wire.extend_from_slice(&body);
+            let (bytes, drop_socket) = transform(wire);
+
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let client = std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                write_frame(&mut stream, FRAME_HELLO, &0u32.to_le_bytes()).expect("hello");
+                stream.write_all(&bytes).expect("raw update bytes");
+                stream.flush().expect("flush");
+                // The device never reads its ROUND broadcast; the kernel
+                // buffers it. Dropping the stream here is the truncation
+                // EOF the server must survive.
+                if drop_socket {
+                    None
+                } else {
+                    Some(stream)
+                }
+            });
+            let mut transport =
+                TcpTransport::accept_fleet_tolerant(listener, 1).expect("tolerant accept");
+            // Join *before* the round: the corrupted bytes are already in
+            // the socket buffer, so the collect loop never waits on the
+            // quiet deadline.
+            let _socket = client.join().expect("client thread");
+            let mut cfg = FlConfig::tiny_for_tests();
+            cfg.collect_timeout_secs = 2.0;
+            let rt = Runtime::sequential();
+            let mut req = RoundRequest {
+                global: model.as_ref(),
+                mask: &mask,
+                ctx: &ctx,
+                epoch,
+                round: 0,
+                cohort: &[0],
+                parts: &[],
+                cfg: &cfg,
+                rt: &rt,
+                residuals: &mut [],
+                sample_caps: &[],
+                rejoining: &[],
+            };
+            transport
+                .exchange_round(&mut req)
+                .expect("tolerant round never hard-fails")
+        }
+
+        proptest! {
+            /// Cutting a valid UPDATE frame anywhere — inside the header,
+            /// inside the body — and closing the socket quarantines the
+            /// device with a typed fault; only the uncut frame passes.
+            #[test]
+            fn mux_truncated_frames_quarantine_typed(cut in 0usize..4096) {
+                let mut was_cut = false;
+                let out = round_against(|wire| {
+                    let cut = cut.min(wire.len());
+                    was_cut = cut < wire.len();
+                    (wire[..cut].to_vec(), true)
+                });
+                prop_assert_eq!(out.len(), 1);
+                match (&out[0], was_cut) {
+                    (Delivery::Faulted(FaultKind::Disconnected(_)), true) => {}
+                    (Delivery::Update(_), false) => {}
+                    (other, _) => prop_assert!(
+                        false,
+                        "cut={cut}: unexpected delivery {other:?}"
+                    ),
+                }
+            }
+
+            /// Flipping any single body byte still yields exactly one
+            /// typed delivery through the multiplexed path: a screened
+            /// update or a quarantine fault, never a panic or hang.
+            #[test]
+            fn mux_mutated_frames_settle_typed(idx in 0usize..4096, xor in 1usize..256) {
+                let out = round_against(|mut wire| {
+                    // Mutate the body only; the length prefix stays honest
+                    // so the frame still arrives complete.
+                    let body_len = wire.len() - 5;
+                    wire[5 + idx % body_len] ^= xor as u8;
+                    (wire, false)
+                });
+                prop_assert_eq!(out.len(), 1);
+                match &out[0] {
+                    Delivery::Update(_) | Delivery::Faulted(_) => {}
+                }
             }
         }
     }

@@ -349,9 +349,12 @@ impl Codec {
                 values: vector.to_vec(),
             },
             Codec::MaskCsr => {
-                let mut values = Vec::with_capacity(ctx.alive_count());
-                let mut indices = Vec::new();
+                let alive = ctx.alive_count();
                 let indexed = ctx.epoch != peer_epoch;
+                let mut values = Vec::with_capacity(alive);
+                // Reserve the exact index count up front: the alive count is
+                // known, so the push loop must never reallocate mid-encode.
+                let mut indices = Vec::with_capacity(if indexed { alive } else { 0 });
                 for (i, (&v, &a)) in vector.iter().zip(ctx.alive.iter()).enumerate() {
                     if a {
                         values.push(v);
@@ -637,103 +640,13 @@ impl Payload {
     /// payload can
     /// always be decoded/accumulated under `ctx` without hitting the panic
     /// paths of [`decode`](Self::decode).
+    ///
+    /// Implemented as [`PayloadView::parse`] followed by
+    /// [`PayloadView::to_payload`]: the borrowed zero-copy parser is the
+    /// single validation authority, so the owned and view decode paths can
+    /// never drift apart.
     pub fn from_bytes(bytes: &[u8], ctx: &WireCtx) -> Result<Payload, DecodeError> {
-        let mut r = WireReader::new(bytes);
-        let tag = r.u8()?;
-        if tag > 3 {
-            return Err(DecodeError::BadTag(tag));
-        }
-        let len = r.u32()? as usize;
-        if len != ctx.len() {
-            return Err(DecodeError::Inconsistent("length differs from context"));
-        }
-        let payload = match tag {
-            0 => Payload::Dense {
-                values: r.f32_vec(len)?,
-            },
-            1 => {
-                let epoch = r.u64()?;
-                let indexed = match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(DecodeError::Inconsistent("index flag not 0/1")),
-                };
-                let nnz = r.u32()? as usize;
-                if nnz > len {
-                    return Err(DecodeError::Inconsistent("more values than coordinates"));
-                }
-                if !indexed && epoch != ctx.epoch {
-                    return Err(DecodeError::StaleEpoch {
-                        got: epoch,
-                        want: ctx.epoch,
-                    });
-                }
-                if !indexed && nnz != ctx.alive_count() {
-                    return Err(DecodeError::Inconsistent(
-                        "values-only payload does not match the context's mask",
-                    ));
-                }
-                let values = r.f32_vec(nnz)?;
-                let indices = if indexed {
-                    Some(read_segment_indices(&mut r, &ctx.segments, nnz)?)
-                } else {
-                    None
-                };
-                Payload::MaskCsr {
-                    epoch,
-                    values,
-                    indices,
-                    len,
-                }
-            }
-            2 => {
-                let mut params = Vec::with_capacity(ctx.segments.len());
-                for _ in 0..ctx.segments.len() {
-                    params.push(QuantParams {
-                        scale: r.f32()?,
-                        min: r.f32()?,
-                    });
-                }
-                let codes: Vec<i8> = r.take(len)?.iter().map(|&b| b as i8).collect();
-                Payload::QuantInt8 { params, codes, len }
-            }
-            3 => {
-                let count = r.u32()? as usize;
-                if count > len {
-                    return Err(DecodeError::Inconsistent("more pairs than coordinates"));
-                }
-                // One 8-byte pair per entry; check before allocating.
-                if r.remaining() < 8 * count {
-                    return Err(DecodeError::Truncated {
-                        needed: 8 * count - r.remaining(),
-                        have: r.remaining(),
-                    });
-                }
-                let mut indices = Vec::with_capacity(count);
-                let mut values = Vec::with_capacity(count);
-                for _ in 0..count {
-                    let i = r.u32()?;
-                    if (i as usize) >= len {
-                        return Err(DecodeError::Inconsistent("pair index out of range"));
-                    }
-                    if indices.last().is_some_and(|&p| i <= p) {
-                        return Err(DecodeError::Inconsistent("pair indices not ascending"));
-                    }
-                    indices.push(i);
-                    values.push(r.f32()?);
-                }
-                Payload::TopK {
-                    indices,
-                    values,
-                    len,
-                }
-            }
-            t => return Err(DecodeError::BadTag(t)),
-        };
-        match r.remaining() {
-            0 => Ok(payload),
-            n => Err(DecodeError::TrailingBytes(n)),
-        }
+        Ok(PayloadView::parse(bytes, ctx)?.to_payload(ctx))
     }
 
     /// Decodes back to a full flat vector (untransmitted coordinates are
@@ -748,6 +661,21 @@ impl Payload {
         let mut out = vec![0.0f32; self.len()];
         self.for_each_coord(ctx, |i, v| out[i] = v);
         out
+    }
+
+    /// [`decode`](Self::decode) into a caller-owned buffer: zero-fills `out`
+    /// and writes every transmitted coordinate. Lets round-loop scratch
+    /// (robust rules' delta buffers) be reused across rounds instead of
+    /// reallocated.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`decode`](Self::decode), plus an `out` length
+    /// mismatch.
+    pub fn decode_into(&self, out: &mut [f32], ctx: &WireCtx) {
+        assert_eq!(out.len(), self.len(), "decode buffer length mismatch");
+        out.fill(0.0);
+        self.for_each_coord(ctx, |i, v| out[i] = v);
     }
 
     /// Adds `weight · value` into `acc` for every transmitted coordinate —
@@ -821,6 +749,675 @@ impl Payload {
             }
         }
     }
+
+    /// Adds `weight · value` into `acc` for every transmitted coordinate
+    /// inside `plan`'s shard `s` — the per-shard half of the sharded
+    /// aggregation path. `acc` is the accumulator *slice for that shard
+    /// only* (`acc.len() == plan.range(s).len()`, indexed relative to the
+    /// shard start). Per coordinate the visit order equals
+    /// [`accumulate_into`](Self::accumulate_into)'s, so summing a payload
+    /// shard-by-shard over a full plan is bit-identical to one full pass.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`decode`](Self::decode), plus `acc`/shard length
+    /// or plan/context mismatches.
+    pub fn accumulate_shard_into(
+        &self,
+        weight: f64,
+        acc: &mut [f64],
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+    ) {
+        let range = plan.range(s);
+        assert_eq!(acc.len(), range.len(), "shard accumulator length mismatch");
+        let start = range.start;
+        self.for_each_coord_in_range(ctx, plan, s, |i, v| acc[i - start] += weight * v as f64);
+    }
+
+    /// Visits every transmitted `(flat coordinate, value)` pair whose
+    /// coordinate falls inside `plan`'s shard `s`.
+    fn for_each_coord_in_range(
+        &self,
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+        mut f: impl FnMut(usize, f32),
+    ) {
+        plan.assert_matches(ctx);
+        let range = plan.range(s);
+        match self {
+            Payload::Dense { values } => {
+                assert_eq!(values.len(), ctx.len(), "payload/context length mismatch");
+                for (i, &v) in values[range.clone()].iter().enumerate() {
+                    f(range.start + i, v);
+                }
+            }
+            Payload::MaskCsr {
+                epoch,
+                values,
+                indices,
+                len,
+            } => match indices {
+                Some(idx) => {
+                    assert_eq!(idx.len(), values.len(), "index/value count mismatch");
+                    for (&i, &v) in idx.iter().zip(values.iter()) {
+                        if range.contains(&(i as usize)) {
+                            f(i as usize, v);
+                        }
+                    }
+                }
+                None => {
+                    assert_eq!(
+                        *epoch, ctx.epoch,
+                        "values-only MaskCsr payload decoded under a different mask epoch"
+                    );
+                    assert_eq!(*len, ctx.len(), "payload/context length mismatch");
+                    let mut cursor = plan.alive_before(s);
+                    for i in range {
+                        if ctx.alive[i] {
+                            let &v = values.get(cursor).expect("fewer values than alive coords");
+                            cursor += 1;
+                            f(i, v);
+                        }
+                    }
+                }
+            },
+            Payload::QuantInt8 { params, codes, .. } => {
+                assert_eq!(codes.len(), ctx.len(), "segment/code count mismatch");
+                let mut start = 0usize;
+                for (p, &seg) in params.iter().zip(ctx.segments.iter()) {
+                    let lo = start.max(range.start);
+                    let hi = (start + seg).min(range.end);
+                    if lo < hi {
+                        for (off, &code) in codes[lo..hi].iter().enumerate() {
+                            f(lo + off, dequantize_one(code, *p));
+                        }
+                    }
+                    start += seg;
+                }
+            }
+            Payload::TopK {
+                indices, values, ..
+            } => {
+                for (&i, &v) in indices.iter().zip(values.iter()) {
+                    if range.contains(&(i as usize)) {
+                        f(i as usize, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A *borrowed* parse of a payload wire frame: the exact validation of
+/// [`Payload::from_bytes`] (typed [`DecodeError`], never a panic) with zero
+/// copies — every variant holds slices straight into the receive buffer,
+/// and values are re-read with `f32::from_le_bytes` at visit time.
+///
+/// This is the steady-state decode path of the Collect dataplane: frames
+/// land in a pooled receive buffer, `parse` validates them in place, and
+/// [`accumulate_into`](Self::accumulate_into) /
+/// [`accumulate_shard_into`](Self::accumulate_shard_into) fold them into a
+/// reusable `f64` accumulator without materializing an owned [`Payload`].
+/// Anything `parse` accepts can be materialized with
+/// [`to_payload`](Self::to_payload) — [`Payload::from_bytes`] is exactly
+/// that composition, so the two paths cannot drift.
+#[derive(Clone, Copy, Debug)]
+pub enum PayloadView<'a> {
+    /// Every coordinate as raw little-endian `f32` bytes.
+    Dense {
+        /// `4·len` bytes of values.
+        values: &'a [u8],
+        /// Full flat length.
+        len: usize,
+    },
+    /// Values of mask-alive coordinates, optionally with encoded indices.
+    MaskCsr {
+        /// Mask epoch the sender encoded under.
+        epoch: u64,
+        /// `4·nnz` bytes of alive-coordinate values, in flat order.
+        values: &'a [u8],
+        /// The per-segment index encoding (validated at parse); `None` for
+        /// values-only payloads whose indices the shared mask implies.
+        index_bytes: Option<&'a [u8]>,
+        /// Number of transmitted values.
+        nnz: usize,
+        /// Full flat length of the decoded vector.
+        len: usize,
+    },
+    /// Per-segment affine int8 quantization.
+    QuantInt8 {
+        /// `8·segments` bytes of `(f32 scale, f32 min)` pairs.
+        params: &'a [u8],
+        /// One int8 code byte per coordinate.
+        codes: &'a [u8],
+        /// Full flat length.
+        len: usize,
+    },
+    /// Explicit sparse pairs, ascending by index.
+    TopK {
+        /// `8·count` bytes of `(u32 index, f32 value)` pairs.
+        pairs: &'a [u8],
+        /// Number of pairs.
+        count: usize,
+        /// Full flat length.
+        len: usize,
+    },
+}
+
+/// Reads the `k`-th little-endian `f32` out of a raw value slice.
+#[inline]
+fn f32_at(bytes: &[u8], k: usize) -> f32 {
+    f32::from_le_bytes(bytes[4 * k..4 * k + 4].try_into().expect("4 bytes"))
+}
+
+impl<'a> PayloadView<'a> {
+    /// Parses and fully validates a wire frame against `ctx` without
+    /// copying anything out of it. Accepts exactly the frames
+    /// [`Payload::from_bytes`] accepts and rejects everything else with the
+    /// same typed [`DecodeError`] (`from_bytes` *is* this parse followed by
+    /// [`to_payload`](Self::to_payload)). In particular the indexed
+    /// `MaskCsr` and `TopK` structures are walked once here, so the
+    /// accumulate methods can re-walk them infallibly.
+    pub fn parse(bytes: &'a [u8], ctx: &WireCtx) -> Result<PayloadView<'a>, DecodeError> {
+        let mut r = WireReader::new(bytes);
+        let tag = r.u8()?;
+        if tag > 3 {
+            return Err(DecodeError::BadTag(tag));
+        }
+        let len = r.u32()? as usize;
+        if len != ctx.len() {
+            return Err(DecodeError::Inconsistent("length differs from context"));
+        }
+        let view = match tag {
+            0 => {
+                let nbytes = len
+                    .checked_mul(4)
+                    .ok_or(DecodeError::Inconsistent("count overflow"))?;
+                PayloadView::Dense {
+                    values: r.take(nbytes)?,
+                    len,
+                }
+            }
+            1 => {
+                let epoch = r.u64()?;
+                let indexed = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::Inconsistent("index flag not 0/1")),
+                };
+                let nnz = r.u32()? as usize;
+                if nnz > len {
+                    return Err(DecodeError::Inconsistent("more values than coordinates"));
+                }
+                if !indexed && epoch != ctx.epoch {
+                    return Err(DecodeError::StaleEpoch {
+                        got: epoch,
+                        want: ctx.epoch,
+                    });
+                }
+                if !indexed && nnz != ctx.alive_count() {
+                    return Err(DecodeError::Inconsistent(
+                        "values-only payload does not match the context's mask",
+                    ));
+                }
+                let vbytes = nnz
+                    .checked_mul(4)
+                    .ok_or(DecodeError::Inconsistent("count overflow"))?;
+                let values = r.take(vbytes)?;
+                let index_bytes = if indexed {
+                    let start = r.pos;
+                    parse_segment_indices(&mut r, &ctx.segments, nnz, |_| {})?;
+                    Some(&bytes[start..r.pos])
+                } else {
+                    None
+                };
+                PayloadView::MaskCsr {
+                    epoch,
+                    values,
+                    index_bytes,
+                    nnz,
+                    len,
+                }
+            }
+            2 => {
+                let pbytes = ctx
+                    .segments
+                    .len()
+                    .checked_mul(8)
+                    .ok_or(DecodeError::Inconsistent("count overflow"))?;
+                let params = r.take(pbytes)?;
+                let codes = r.take(len)?;
+                PayloadView::QuantInt8 { params, codes, len }
+            }
+            3 => {
+                let count = r.u32()? as usize;
+                if count > len {
+                    return Err(DecodeError::Inconsistent("more pairs than coordinates"));
+                }
+                // One 8-byte pair per entry; check before taking the slice.
+                if r.remaining() < 8 * count {
+                    return Err(DecodeError::Truncated {
+                        needed: 8 * count - r.remaining(),
+                        have: r.remaining(),
+                    });
+                }
+                let pairs = r.take(8 * count)?;
+                let mut prev: Option<u32> = None;
+                for c in pairs.chunks_exact(8) {
+                    let i = u32::from_le_bytes(c[..4].try_into().expect("4 bytes"));
+                    if (i as usize) >= len {
+                        return Err(DecodeError::Inconsistent("pair index out of range"));
+                    }
+                    if prev.is_some_and(|p| i <= p) {
+                        return Err(DecodeError::Inconsistent("pair indices not ascending"));
+                    }
+                    prev = Some(i);
+                }
+                PayloadView::TopK { pairs, count, len }
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        match r.remaining() {
+            0 => Ok(view),
+            n => Err(DecodeError::TrailingBytes(n)),
+        }
+    }
+
+    /// Length of the decoded flat vector.
+    pub fn len(&self) -> usize {
+        match *self {
+            PayloadView::Dense { len, .. }
+            | PayloadView::MaskCsr { len, .. }
+            | PayloadView::QuantInt8 { len, .. }
+            | PayloadView::TopK { len, .. } => len,
+        }
+    }
+
+    /// Whether the decoded vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Name of the codec that produced this payload.
+    pub fn codec_name(&self) -> &'static str {
+        match self {
+            PayloadView::Dense { .. } => "dense",
+            PayloadView::MaskCsr { .. } => "mask_csr",
+            PayloadView::QuantInt8 { .. } => "quant_int8",
+            PayloadView::TopK { .. } => "top_k",
+        }
+    }
+
+    /// Materializes the owned [`Payload`] this view describes. Infallible:
+    /// everything fallible happened in [`parse`](Self::parse).
+    pub fn to_payload(&self, ctx: &WireCtx) -> Payload {
+        match *self {
+            PayloadView::Dense { values, .. } => Payload::Dense {
+                values: (0..values.len() / 4).map(|k| f32_at(values, k)).collect(),
+            },
+            PayloadView::MaskCsr {
+                epoch,
+                values,
+                index_bytes,
+                nnz,
+                len,
+            } => Payload::MaskCsr {
+                epoch,
+                values: (0..nnz).map(|k| f32_at(values, k)).collect(),
+                indices: index_bytes.map(|b| {
+                    let mut r = WireReader::new(b);
+                    read_segment_indices(&mut r, &ctx.segments, nnz)
+                        .expect("index bytes were validated at parse")
+                }),
+                len,
+            },
+            PayloadView::QuantInt8 { params, codes, len } => Payload::QuantInt8 {
+                params: params
+                    .chunks_exact(8)
+                    .map(|c| QuantParams {
+                        scale: f32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+                        min: f32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+                    })
+                    .collect(),
+                codes: codes.iter().map(|&b| b as i8).collect(),
+                len,
+            },
+            PayloadView::TopK { pairs, count, len } => {
+                let mut indices = Vec::with_capacity(count);
+                let mut values = Vec::with_capacity(count);
+                for c in pairs.chunks_exact(8) {
+                    indices.push(u32::from_le_bytes(c[..4].try_into().expect("4 bytes")));
+                    values.push(f32::from_le_bytes(c[4..].try_into().expect("4 bytes")));
+                }
+                Payload::TopK {
+                    indices,
+                    values,
+                    len,
+                }
+            }
+        }
+    }
+
+    /// Decodes to a full flat vector (untransmitted coordinates are zero) —
+    /// test/diagnostic convenience; the hot path accumulates instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view was parsed against a different context.
+    pub fn decode(&self, ctx: &WireCtx) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        self.for_each_coord(ctx, |i, v| out[i] = v);
+        out
+    }
+
+    /// [`decode`](Self::decode) into a caller-owned buffer: zero-fills `out`
+    /// and writes every transmitted coordinate, straight out of the receive
+    /// buffer. The alloc-free sibling of [`Payload::decode_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an `out` length mismatch or a context other than the one
+    /// the view was parsed against.
+    pub fn decode_into(&self, out: &mut [f32], ctx: &WireCtx) {
+        assert_eq!(out.len(), self.len(), "decode buffer length mismatch");
+        out.fill(0.0);
+        self.for_each_coord(ctx, |i, v| out[i] = v);
+    }
+
+    /// Adds `weight · value` into `acc` for every transmitted coordinate,
+    /// reading values straight out of the receive buffer — bit-identical to
+    /// [`Payload::accumulate_into`] on the materialized payload (per
+    /// coordinate, the same `f32` values arrive in the same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `acc` length mismatch or a context other than the one the
+    /// view was parsed against.
+    pub fn accumulate_into(&self, weight: f64, acc: &mut [f64], ctx: &WireCtx) {
+        assert_eq!(acc.len(), self.len(), "accumulator length mismatch");
+        self.for_each_coord(ctx, |i, v| acc[i] += weight * v as f64);
+    }
+
+    /// The shard-restricted sibling of [`accumulate_into`](Self::accumulate_into):
+    /// adds `weight · value` for the coordinates of `plan`'s shard `s` into
+    /// the shard's accumulator slice. See [`Payload::accumulate_shard_into`]
+    /// for the contract.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Payload::accumulate_shard_into`].
+    pub fn accumulate_shard_into(
+        &self,
+        weight: f64,
+        acc: &mut [f64],
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+    ) {
+        let range = plan.range(s);
+        assert_eq!(acc.len(), range.len(), "shard accumulator length mismatch");
+        let start = range.start;
+        self.for_each_coord_in_range(ctx, plan, s, |i, v| acc[i - start] += weight * v as f64);
+    }
+
+    /// Visits every transmitted `(flat coordinate, value)` pair.
+    fn for_each_coord(&self, ctx: &WireCtx, mut f: impl FnMut(usize, f32)) {
+        match *self {
+            PayloadView::Dense { values, len } => {
+                assert_eq!(values.len(), 4 * len, "value byte count mismatch");
+                for k in 0..len {
+                    f(k, f32_at(values, k));
+                }
+            }
+            PayloadView::MaskCsr {
+                epoch,
+                values,
+                index_bytes,
+                nnz,
+                len,
+            } => match index_bytes {
+                Some(b) => {
+                    let mut r = WireReader::new(b);
+                    let mut k = 0usize;
+                    parse_segment_indices(&mut r, &ctx.segments, nnz, |i| {
+                        f(i as usize, f32_at(values, k));
+                        k += 1;
+                    })
+                    .expect("index bytes were validated at parse");
+                }
+                None => {
+                    assert_eq!(
+                        epoch, ctx.epoch,
+                        "values-only MaskCsr payload decoded under a different mask epoch"
+                    );
+                    assert_eq!(len, ctx.len(), "payload/context length mismatch");
+                    let mut k = 0usize;
+                    for (i, &a) in ctx.alive.iter().enumerate() {
+                        if a {
+                            assert!(k < nnz, "fewer values than alive coordinates");
+                            f(i, f32_at(values, k));
+                            k += 1;
+                        }
+                    }
+                    assert_eq!(k, nnz, "more values than alive coordinates");
+                }
+            },
+            PayloadView::QuantInt8 { params, codes, .. } => {
+                assert_eq!(codes.len(), ctx.len(), "segment/code count mismatch");
+                assert_eq!(
+                    params.len(),
+                    8 * ctx.segments.len(),
+                    "segment/params count mismatch"
+                );
+                let mut start = 0usize;
+                for (si, &seg) in ctx.segments.iter().enumerate() {
+                    let p = QuantParams {
+                        scale: f32_at(params, 2 * si),
+                        min: f32_at(params, 2 * si + 1),
+                    };
+                    for (i, &c) in codes[start..start + seg].iter().enumerate() {
+                        f(start + i, dequantize_one(c as i8, p));
+                    }
+                    start += seg;
+                }
+            }
+            PayloadView::TopK { pairs, .. } => {
+                for c in pairs.chunks_exact(8) {
+                    let i = u32::from_le_bytes(c[..4].try_into().expect("4 bytes"));
+                    let v = f32::from_le_bytes(c[4..].try_into().expect("4 bytes"));
+                    f(i as usize, v);
+                }
+            }
+        }
+    }
+
+    /// Visits every transmitted `(flat coordinate, value)` pair whose
+    /// coordinate falls inside `plan`'s shard `s`.
+    fn for_each_coord_in_range(
+        &self,
+        ctx: &WireCtx,
+        plan: &ShardPlan,
+        s: usize,
+        mut f: impl FnMut(usize, f32),
+    ) {
+        plan.assert_matches(ctx);
+        let range = plan.range(s);
+        match *self {
+            PayloadView::Dense { values, len } => {
+                assert_eq!(values.len(), 4 * len, "value byte count mismatch");
+                for i in range {
+                    f(i, f32_at(values, i));
+                }
+            }
+            PayloadView::MaskCsr {
+                epoch,
+                values,
+                index_bytes,
+                nnz,
+                len,
+            } => match index_bytes {
+                Some(b) => {
+                    let mut r = WireReader::new(b);
+                    let mut k = 0usize;
+                    parse_segment_indices(&mut r, &ctx.segments, nnz, |i| {
+                        if range.contains(&(i as usize)) {
+                            f(i as usize, f32_at(values, k));
+                        }
+                        k += 1;
+                    })
+                    .expect("index bytes were validated at parse");
+                }
+                None => {
+                    assert_eq!(
+                        epoch, ctx.epoch,
+                        "values-only MaskCsr payload decoded under a different mask epoch"
+                    );
+                    assert_eq!(len, ctx.len(), "payload/context length mismatch");
+                    let mut cursor = plan.alive_before(s);
+                    for i in range {
+                        if ctx.alive[i] {
+                            assert!(cursor < nnz, "fewer values than alive coordinates");
+                            f(i, f32_at(values, cursor));
+                            cursor += 1;
+                        }
+                    }
+                }
+            },
+            PayloadView::QuantInt8 { params, codes, .. } => {
+                assert_eq!(codes.len(), ctx.len(), "segment/code count mismatch");
+                let mut start = 0usize;
+                for (si, &seg) in ctx.segments.iter().enumerate() {
+                    let lo = start.max(range.start);
+                    let hi = (start + seg).min(range.end);
+                    if lo < hi {
+                        let p = QuantParams {
+                            scale: f32_at(params, 2 * si),
+                            min: f32_at(params, 2 * si + 1),
+                        };
+                        for (off, &code) in codes[lo..hi].iter().enumerate() {
+                            f(lo + off, dequantize_one(code as i8, p));
+                        }
+                    }
+                    start += seg;
+                }
+            }
+            PayloadView::TopK { pairs, .. } => {
+                for c in pairs.chunks_exact(8) {
+                    let i = u32::from_le_bytes(c[..4].try_into().expect("4 bytes"));
+                    if range.contains(&(i as usize)) {
+                        f(
+                            i as usize,
+                            f32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The coordinate-sharding plan of the sharded aggregation path: a set of
+/// contiguous, disjoint coordinate ranges covering the flat vector, plus —
+/// per shard — the number of mask-alive coordinates *before* it (what a
+/// values-only `MaskCsr` payload needs to position its value cursor inside
+/// a shard without scanning from zero).
+///
+/// Shards are **output partitions**, never input partitions: each
+/// coordinate is accumulated entirely within one shard, and within a shard
+/// payloads are visited in the caller's order — so sharded accumulation is
+/// bit-identical to a single sequential pass, for any shard count. Built
+/// once per mask epoch and reused across rounds (the per-round scratch key
+/// is `(epoch, len, shard count)` via [`matches`](Self::matches)).
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    epoch: u64,
+    len: usize,
+    ranges: Vec<std::ops::Range<usize>>,
+    alive_before: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Builds a plan over `ctx` from contiguous `ranges` (typically a
+    /// runtime's deterministic chunking of `0..ctx.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges do not cover `0..ctx.len()` contiguously and in
+    /// order.
+    pub fn build(ctx: &WireCtx, ranges: Vec<std::ops::Range<usize>>) -> Self {
+        let mut alive_before = Vec::with_capacity(ranges.len());
+        let mut next = 0usize;
+        let mut alive = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, next, "shard ranges must be contiguous");
+            assert!(
+                r.end >= r.start && r.end <= ctx.len(),
+                "range out of bounds"
+            );
+            alive_before.push(alive);
+            alive += ctx.alive[r.clone()].iter().filter(|&&a| a).count();
+            next = r.end;
+        }
+        assert_eq!(next, ctx.len(), "shard ranges must cover the vector");
+        ShardPlan {
+            epoch: ctx.epoch,
+            len: ctx.len(),
+            ranges,
+            alive_before,
+        }
+    }
+
+    /// Whether this plan is still valid for `ctx` at `num_shards` shards —
+    /// the scratch-reuse key. The alive set is identified by the mask
+    /// epoch: callers that mutate aliveness without bumping the epoch must
+    /// rebuild explicitly.
+    pub fn matches(&self, ctx: &WireCtx, num_shards: usize) -> bool {
+        self.epoch == ctx.epoch && self.len == ctx.len() && self.ranges.len() == num_shards
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Coordinate range of shard `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.ranges[s].clone()
+    }
+
+    /// Number of mask-alive coordinates strictly before shard `s`.
+    pub fn alive_before(&self, s: usize) -> usize {
+        self.alive_before[s]
+    }
+
+    /// Mask epoch the plan was built against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Full flat length the plan covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan covers an empty vector.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn assert_matches(&self, ctx: &WireCtx) {
+        assert!(
+            self.epoch == ctx.epoch && self.len == ctx.len(),
+            "shard plan built for epoch {}/len {} used with epoch {}/len {}",
+            self.epoch,
+            self.len,
+            ctx.epoch,
+            ctx.len()
+        );
+    }
 }
 
 /// Bytes of the per-segment index encoding for sorted flat `indices`.
@@ -857,29 +1454,36 @@ fn write_segment_indices(indices: &[u32], segments: &[usize], out: &mut Vec<u8>)
     });
 }
 
-/// Parses the per-segment index encoding back into sorted flat indices —
-/// the inverse of [`write_segment_indices`]. Rejects any frame a real
+/// Walks the per-segment index encoding, handing every decoded flat index
+/// to `sink` in ascending order — the validation core behind both the
+/// owned decode ([`read_segment_indices`]) and the borrowed
+/// [`PayloadView`], which validates once at parse time and re-walks the
+/// same bytes allocation-free at accumulate time. Rejects any frame a real
 /// encoder could not have produced: out-of-range or unsorted offsets, a
 /// sparse-flagged segment that covers every entry, or a total index count
 /// that disagrees with the value count.
-fn read_segment_indices(
+fn parse_segment_indices(
     r: &mut WireReader<'_>,
     segments: &[usize],
     nnz: usize,
-) -> Result<Vec<u32>, DecodeError> {
-    let mut indices = Vec::new();
+    mut sink: impl FnMut(u32),
+) -> Result<(), DecodeError> {
     let mut start = 0u32;
+    let mut total = 0usize;
     for &seg in segments {
         match r.u8()? {
             1 => {
-                if indices.len() + seg > nnz {
+                if total + seg > nnz {
                     return Err(DecodeError::Inconsistent("index/value count mismatch"));
                 }
-                indices.extend(start..start + seg as u32);
+                for i in start..start + seg as u32 {
+                    sink(i);
+                }
+                total += seg;
             }
             0 => {
                 let count = r.u32()? as usize;
-                if count > seg || indices.len() + count > nnz {
+                if count > seg || total + count > nnz {
                     return Err(DecodeError::Inconsistent("index/value count mismatch"));
                 }
                 if count == seg && seg > 0 {
@@ -900,16 +1504,30 @@ fn read_segment_indices(
                         return Err(DecodeError::Inconsistent("segment offsets not ascending"));
                     }
                     prev = Some(offset);
-                    indices.push(start + offset);
+                    sink(start + offset);
                 }
+                total += count;
             }
             _ => return Err(DecodeError::Inconsistent("segment flag not 0/1")),
         }
         start += seg as u32;
     }
-    if indices.len() != nnz {
+    if total != nnz {
         return Err(DecodeError::Inconsistent("index/value count mismatch"));
     }
+    Ok(())
+}
+
+/// Parses the per-segment index encoding back into sorted flat indices —
+/// the inverse of [`write_segment_indices`]. The exact `nnz` capacity is
+/// reserved up front, so the sink never reallocates mid-decode.
+fn read_segment_indices(
+    r: &mut WireReader<'_>,
+    segments: &[usize],
+    nnz: usize,
+) -> Result<Vec<u32>, DecodeError> {
+    let mut indices = Vec::with_capacity(nnz);
+    parse_segment_indices(r, segments, nnz, |i| indices.push(i))?;
     Ok(indices)
 }
 
@@ -1363,6 +1981,111 @@ mod tests {
                 if d == 0.0 {
                     prop_assert!(v.abs() <= min_sent + 1e-6);
                 }
+            }
+        }
+
+        /// Zero-copy decode-accumulate is BIT-identical to the owned path:
+        /// for every codec × alive pattern × epoch, `PayloadView::parse`
+        /// accepts exactly what `Payload::from_bytes` accepts, materializes
+        /// the identical payload, and its accumulator matches bit for bit.
+        #[test]
+        fn codec_view_accumulate_bit_identical_to_owned(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            shared in 0usize..2,
+            weight in 0.1f64..4.0,
+        ) {
+            let peer = if shared == 1 { ctx.epoch } else { ctx.epoch.wrapping_add(1) };
+            let p = codec.encode(&values, &ctx, peer, Some(&mut Vec::new()));
+            let bytes = p.to_bytes(&ctx);
+            let owned = Payload::from_bytes(&bytes, &ctx).expect("valid frame");
+            let view = PayloadView::parse(&bytes, &ctx).expect("valid frame");
+            prop_assert_eq!(&view.to_payload(&ctx), &owned);
+            prop_assert_eq!(view.codec_name(), owned.codec_name());
+            prop_assert_eq!(view.len(), owned.len());
+
+            let mut acc_owned = vec![0.25f64; ctx.len()];
+            let mut acc_view = vec![0.25f64; ctx.len()];
+            owned.accumulate_into(weight, &mut acc_owned, &ctx);
+            view.accumulate_into(weight, &mut acc_view, &ctx);
+            for (a, b) in acc_owned.iter().zip(acc_view.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let dv = view.decode(&ctx);
+            for (a, b) in owned.decode(&ctx).iter().zip(dv.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        /// Every truncation prefix and single-byte mutation of a valid
+        /// frame yields the SAME typed `DecodeError` (never a panic) from
+        /// the borrowed parser as from the owned one, and anything the
+        /// borrowed parser accepts re-encodes canonically.
+        #[test]
+        fn codec_view_parse_never_panics_on_corruption(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            flip_pos in 0usize..4096,
+            flip_xor in 1u32..256,
+        ) {
+            let p = codec.encode(&values, &ctx, ctx.epoch, Some(&mut Vec::new()));
+            let bytes = p.to_bytes(&ctx);
+            for cut in 0..bytes.len() {
+                let e = PayloadView::parse(&bytes[..cut], &ctx)
+                    .map(|v| v.to_payload(&ctx));
+                prop_assert_eq!(e, Payload::from_bytes(&bytes[..cut], &ctx));
+                prop_assert!(PayloadView::parse(&bytes[..cut], &ctx).is_err());
+            }
+            let mut mutated = bytes.clone();
+            let pos = flip_pos % mutated.len();
+            mutated[pos] ^= flip_xor as u8;
+            match PayloadView::parse(&mutated, &ctx) {
+                Ok(v) => {
+                    let q = v.to_payload(&ctx);
+                    prop_assert_eq!(Payload::from_bytes(&mutated, &ctx), Ok(q.clone()));
+                    prop_assert_eq!(q.to_bytes(&ctx), mutated);
+                }
+                Err(e) => prop_assert_eq!(Payload::from_bytes(&mutated, &ctx), Err(e)),
+            }
+        }
+
+        /// Shard-by-shard accumulation over a `ShardPlan` is bit-identical
+        /// to one full sequential pass — for any shard count, for both the
+        /// owned payload and the borrowed view. This is the determinism
+        /// contract the sharded Collect dataplane rests on.
+        #[test]
+        fn codec_shard_accumulate_bit_identical_to_full(
+            (ctx, values) in arb_ctx(),
+            codec in arb_codec(),
+            shared in 0usize..2,
+            num_shards in 1usize..6,
+            weight in 0.1f64..4.0,
+        ) {
+            let peer = if shared == 1 { ctx.epoch } else { ctx.epoch.wrapping_add(1) };
+            let p = codec.encode(&values, &ctx, peer, Some(&mut Vec::new()));
+            let bytes = p.to_bytes(&ctx);
+            let view = PayloadView::parse(&bytes, &ctx).expect("valid frame");
+
+            let n = ctx.len();
+            let ranges: Vec<_> = (0..num_shards)
+                .map(|s| (s * n / num_shards)..((s + 1) * n / num_shards))
+                .collect();
+            let plan = ShardPlan::build(&ctx, ranges);
+            prop_assert!(plan.matches(&ctx, num_shards));
+
+            let mut full = vec![0.5f64; n];
+            p.accumulate_into(weight, &mut full, &ctx);
+
+            let mut sharded_owned = vec![0.5f64; n];
+            let mut sharded_view = vec![0.5f64; n];
+            for s in 0..plan.num_shards() {
+                let r = plan.range(s);
+                p.accumulate_shard_into(weight, &mut sharded_owned[r.clone()], &ctx, &plan, s);
+                view.accumulate_shard_into(weight, &mut sharded_view[r], &ctx, &plan, s);
+            }
+            for ((a, b), c) in full.iter().zip(sharded_owned.iter()).zip(sharded_view.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+                prop_assert_eq!(a.to_bits(), c.to_bits());
             }
         }
     }

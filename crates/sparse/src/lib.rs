@@ -46,8 +46,8 @@ mod topk;
 
 pub use bsr::BsrMatrix;
 pub use codec::{
-    sparse_index_width, topk_pairs_encoded_len, Codec, DecodeError, Payload, WireCtx, WireReader,
-    PAYLOAD_HEADER_BYTES,
+    sparse_index_width, topk_pairs_encoded_len, Codec, DecodeError, Payload, PayloadView,
+    ShardPlan, WireCtx, WireReader, PAYLOAD_HEADER_BYTES,
 };
 pub use layout::{CsrMatrix, LayerSpec, SparseLayout};
 pub use mask::Mask;

@@ -89,6 +89,7 @@ fn hostile_env(aggregator: Aggregator) -> ExperimentEnv {
         threads: 0,
         codec: Codec::Dense,
         aggregator,
+        collect_timeout_secs: 30.0,
         seed: SEED,
     };
     let synth = SynthConfig {
