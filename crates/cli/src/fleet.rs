@@ -1,0 +1,819 @@
+//! Fleet commands: `ft run`, `ft serve`, `ft device`, `ft resume`.
+//!
+//! These absorb what the `tcp_fleet` and `straggler_fleet` examples used to
+//! do: the same seeds, the same environments, the same reference-twin
+//! bit-identity assertions — one knob surface instead of two. The examples
+//! remain as thin wrappers that translate their legacy flags onto these
+//! subcommands.
+
+use crate::args::{die, Args};
+use ft_data::{DatasetProfile, SynthConfig};
+use ft_fl::{
+    fleet_spread_deadline, no_hook, resolve_threads, run_byzantine_tcp_device,
+    run_federated_rounds, run_tcp_device, run_with, AdversarialTransport, Aggregator, Behavior,
+    CheckpointSpec, Codec, CostLedger, DeviceProfile, ExperimentEnv, FlConfig, InProcess,
+    MetricsEndpoint, MetricsHub, ModelSpec, RunOptions, RunResult, Scheduler, TimelineEvent,
+};
+use ft_metrics::{device_memory_bytes, ExtraMemory};
+use ft_nn::{flat_params, sparse_layout};
+use ft_sparse::Mask;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+/// Seed of the demo/serve/device environments — shared with the in-process
+/// reference twin so the bit-identity assertion is meaningful.
+const DEMO_SEED: u64 = 23;
+/// Seed of the straggler preset's heterogeneous fleet.
+const STRAGGLER_SEED: u64 = 17;
+/// Seed of the lab preset (matches the benchmark harness).
+const LAB_SEED: u64 = 0;
+/// Seed of the adversary's corruption streams — shared by TCP clients and
+/// the in-process twin so both produce identical hostile bytes.
+const ADV_SEED: u64 = 4242;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Preset {
+    Demo,
+    Straggler,
+    Lab,
+}
+
+impl Preset {
+    fn name(self) -> &'static str {
+        match self {
+            Preset::Demo => "demo",
+            Preset::Straggler => "straggler",
+            Preset::Lab => "lab",
+        }
+    }
+}
+
+/// The knob surface shared by every fleet command.
+struct FleetOptions {
+    preset: Preset,
+    devices: usize,
+    rounds: usize,
+    codec: Codec,
+    aggregator: Aggregator,
+    byzantine: Vec<(usize, Behavior)>,
+    threads: usize,
+    checkpoint: Option<String>,
+    resume: bool,
+    halt_after: Option<usize>,
+    metrics: Option<String>,
+    no_verify: bool,
+}
+
+impl FleetOptions {
+    /// Parses the shared flags. `tcp` selects the TCP codec policy: `top_k`
+    /// defaults to error feedback ON, but error-feedback residuals live on
+    /// the device and cannot be rolled back over a remote transport (the
+    /// server refuses the combination) — TCP ends therefore run the
+    /// stateless variant.
+    fn parse(a: &Args<'_>, tcp: bool) -> FleetOptions {
+        let preset = match a.get("--preset") {
+            None => Preset::Demo,
+            Some("demo") => Preset::Demo,
+            Some("straggler") => Preset::Straggler,
+            Some("lab") => Preset::Lab,
+            Some(other) => die(&format!(
+                "unknown preset {other:?}; expected demo | straggler | lab"
+            )),
+        };
+        let devices = match preset {
+            Preset::Straggler => 6,
+            Preset::Lab => ft_bench::Scale::new(ft_bench::ScaleKind::Lab).devices,
+            Preset::Demo => a.get_parse("--devices").unwrap_or(4),
+        };
+        let default_rounds = match preset {
+            Preset::Straggler => 8,
+            Preset::Lab => ft_bench::Scale::new(ft_bench::ScaleKind::Lab).rounds,
+            Preset::Demo => 6,
+        };
+        let codec = match a.get("--codec") {
+            None => Codec::Dense,
+            Some(name) => match Codec::from_name(name) {
+                Some(Codec::TopK { k_frac, .. }) if tcp => Codec::TopK {
+                    k_frac,
+                    error_feedback: false,
+                },
+                Some(codec) => codec,
+                None => die(&format!(
+                    "unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k"
+                )),
+            },
+        };
+        let aggregator = match a.get("--aggregator") {
+            None => Aggregator::FedAvg,
+            Some(name) => Aggregator::from_name(name).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown aggregator {name:?}; expected fedavg | trimmed_mean[:beta] | \
+                     median | norm_clipped[:tau]"
+                ))
+            }),
+        };
+        let byzantine: Vec<(usize, Behavior)> = a
+            .get_all("--byzantine")
+            .iter()
+            .map(|spec| {
+                let parsed = spec.split_once(':').and_then(|(dev, behavior)| {
+                    Some((dev.parse::<usize>().ok()?, Behavior::from_name(behavior)?))
+                });
+                match parsed {
+                    Some((device, _)) if device >= devices => die(&format!(
+                        "--byzantine device {device} out of range (fleet has {devices})"
+                    )),
+                    Some(pair) => pair,
+                    None => die(&format!(
+                        "bad --byzantine spec {spec:?}; expected device:behavior, e.g. \
+                         1:sign_flip:8, 3:garbage, 2:replay, 0:handshake_drop"
+                    )),
+                }
+            })
+            .collect();
+        FleetOptions {
+            preset,
+            devices,
+            rounds: a.get_parse("--rounds").unwrap_or(default_rounds),
+            codec,
+            aggregator,
+            byzantine,
+            threads: a.get_parse("--threads").unwrap_or(0),
+            checkpoint: a.get("--checkpoint").map(String::from),
+            resume: a.has("--resume"),
+            halt_after: a.get_parse("--halt-after"),
+            metrics: a.get("--metrics").map(String::from),
+            no_verify: a.has("--no-verify"),
+        }
+    }
+
+    /// Per-device behavior table (`Honest` default, overridden by
+    /// `--byzantine device:behavior` entries).
+    fn behaviors(&self) -> Vec<Behavior> {
+        let mut table = vec![Behavior::Honest; self.devices];
+        for &(device, behavior) in &self.byzantine {
+            table[device] = behavior;
+        }
+        table
+    }
+
+    fn hostile(&self) -> bool {
+        !self.byzantine.is_empty()
+    }
+
+    /// The environment every end of this fleet derives from the preset's
+    /// seed — synthetic datasets are pure functions of it, so no training
+    /// data ever crosses a wire, only snapshots and update deltas.
+    fn build_env(&self, scheduler: Option<Scheduler>) -> ExperimentEnv {
+        let (synth, mut cfg) = match self.preset {
+            Preset::Lab => {
+                let scale = ft_bench::Scale::new(ft_bench::ScaleKind::Lab);
+                (
+                    scale.synth(DatasetProfile::Cifar10, LAB_SEED),
+                    scale.fl_config(LAB_SEED),
+                )
+            }
+            preset => {
+                let seed = if preset == Preset::Straggler {
+                    STRAGGLER_SEED
+                } else {
+                    DEMO_SEED
+                };
+                let synth = SynthConfig {
+                    profile: DatasetProfile::Cifar10,
+                    train_per_class: 12,
+                    test_per_class: 8,
+                    resolution: 8,
+                    channels: 3,
+                    seed,
+                };
+                let mut cfg = FlConfig::bench_default();
+                cfg.local_epochs = 1;
+                cfg.seed = seed;
+                (synth, cfg)
+            }
+        };
+        cfg.devices = self.devices;
+        cfg.rounds = self.rounds;
+        cfg.codec = self.codec;
+        cfg.aggregator = self.aggregator;
+        cfg.threads = self.threads;
+        let env = ExperimentEnv::new(synth, cfg);
+        let env = match self.preset {
+            Preset::Straggler => env.with_fleet(DeviceProfile::fleet_mixed(self.devices)),
+            _ => env,
+        };
+        match scheduler {
+            Some(s) => env.with_scheduler(s),
+            None => env,
+        }
+    }
+
+    fn model_spec(&self) -> ModelSpec {
+        match self.preset {
+            Preset::Lab => ft_bench::Scale::new(ft_bench::ScaleKind::Lab).small_cnn(),
+            _ => ModelSpec::SmallCnn { width: 4, input: 8 },
+        }
+    }
+
+    /// Self-describing run header (transport, codec, aggregator,
+    /// adversaries, checkpoint path) — same shape the examples printed.
+    fn print_header(&self, transport: &str) {
+        let byzantine = if self.byzantine.is_empty() {
+            "-".to_string()
+        } else {
+            self.byzantine
+                .iter()
+                .map(|(d, b)| format!("{d}:{}", b.name()))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "transport: {transport} | codec: {} | aggregator: {} | byzantine: {byzantine} | \
+             devices: {} | rounds: {} | checkpoint: {}{}",
+            self.codec.name(),
+            self.aggregator.name(),
+            self.devices,
+            self.rounds,
+            self.checkpoint.as_deref().unwrap_or("-"),
+            if self.resume { " (resume)" } else { "" },
+        );
+    }
+}
+
+/// Starts the metrics endpoint when `--metrics <addr>` was given. The
+/// returned endpoint owns the listener thread; dropping it stops serving.
+fn start_metrics(opts: &FleetOptions) -> Option<(Arc<MetricsHub>, MetricsEndpoint)> {
+    let addr = opts.metrics.as_deref()?;
+    let hub = MetricsHub::new();
+    match hub.serve(addr) {
+        Ok(endpoint) => {
+            println!("metrics: serving on {}", endpoint.local_addr());
+            Some((hub, endpoint))
+        }
+        Err(e) => die(&format!("--metrics {addr}: {e}")),
+    }
+}
+
+/// Publishes the process's allocation traffic per completed round. Only
+/// meaningful in the `ft` binary (which installs the counting allocator);
+/// in other hosts the counter stays 0 and the gauge stays "unmeasured".
+fn publish_alloc(hub: Option<&Arc<MetricsHub>>, alloc_before: u64, rounds: usize) {
+    let Some(hub) = hub else { return };
+    let delta = ft_bench::allocated_bytes().saturating_sub(alloc_before);
+    if delta > 0 && rounds > 0 {
+        hub.set_alloc_bytes_per_round(delta as f64 / rounds as f64);
+    }
+}
+
+/// One machine-readable line of the server's fault ledger — the CI
+/// hostile-fleet job collects these as its quarantine-stats artifact.
+fn print_quarantine_stats(aggregator: Aggregator, ledger: &CostLedger) {
+    let f = ledger.faults();
+    println!(
+        "quarantine_stats: {{\"aggregator\":\"{}\",\"malformed_frames\":{},\"replays\":{},\
+         \"disconnects\":{},\"inflated_samples\":{},\"clipped_updates\":{},\
+         \"rejected_handshakes\":{},\"quarantined\":{}}}",
+        aggregator.name(),
+        f.malformed_frames,
+        f.replays,
+        f.disconnects,
+        f.inflated_samples,
+        f.clipped_updates,
+        f.rejected_handshakes,
+        ledger.quarantined_updates(),
+    );
+}
+
+/// `ft run`: an in-process fleet. The straggler preset compares the three
+/// round schedulers; demo and lab run once and print the shared summary.
+pub fn cmd_run(argv: &[String]) -> i32 {
+    let a = Args::new(argv);
+    let opts = FleetOptions::parse(&a, false);
+    let metrics = start_metrics(&opts);
+    let hub = metrics.as_ref().map(|(h, _)| h);
+    match opts.preset {
+        Preset::Straggler => run_straggler(&opts, hub),
+        _ => run_single(&opts, hub),
+    }
+}
+
+/// `ft resume`: shorthand for `ft run --resume`; the checkpoint is
+/// mandatory (resuming without one would silently start fresh).
+pub fn cmd_resume(argv: &[String]) -> i32 {
+    let a = Args::new(argv);
+    let mut opts = FleetOptions::parse(&a, false);
+    if opts.checkpoint.is_none() {
+        die("ft resume requires --checkpoint <path>");
+    }
+    opts.resume = true;
+    let metrics = start_metrics(&opts);
+    let hub = metrics.as_ref().map(|(h, _)| h);
+    match opts.preset {
+        Preset::Straggler => run_straggler(&opts, hub),
+        _ => run_single(&opts, hub),
+    }
+}
+
+/// One in-process run on the preset's environment; prints the uniform
+/// run summary every method in the workspace reports.
+fn run_single(opts: &FleetOptions, hub: Option<&Arc<MetricsHub>>) -> i32 {
+    opts.print_header("in_process");
+    let env = opts.build_env(None);
+    let spec = opts.model_spec();
+    let mut model = env.build_model(&spec);
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let hostile = opts.hostile();
+    let mut plain = InProcess;
+    let mut adversarial = AdversarialTransport::new(InProcess, opts.behaviors(), ADV_SEED);
+    let alloc_before = ft_bench::allocated_bytes();
+    let history = run_with(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+        RunOptions {
+            transport: if hostile {
+                &mut adversarial
+            } else {
+                &mut plain
+            },
+            checkpoint: opts.checkpoint.as_ref().map(CheckpointSpec::every_round),
+            resume: opts.resume,
+            halt_after: opts.halt_after,
+            hook_save: None,
+            hook_load: None,
+            presence: None,
+            metrics: hub.cloned(),
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ft: run failed: {e}");
+        std::process::exit(1);
+    });
+    if hostile {
+        ledger.record_handshake_faults(adversarial.handshake_faults());
+    }
+    publish_alloc(hub, alloc_before, opts.rounds);
+    let arch = model.arch();
+    let densities = ft_metrics::densities_from_mask(&mask);
+    let result = RunResult::from_ledger(
+        format!("run:{}", opts.preset.name()),
+        history,
+        mask.density(),
+        device_memory_bytes(&arch, &densities, ExtraMemory::None),
+        env.cfg.codec.name(),
+        &ledger,
+    );
+    println!("{}", result.format_summary());
+    if hostile {
+        print_quarantine_stats(opts.aggregator, &ledger);
+    }
+    if let Some(halted) = opts.halt_after {
+        println!("halted after {halted} rounds — checkpoint saved");
+    }
+    0
+}
+
+/// The straggler comparison: the same fleet under the synchronous,
+/// deadline and buffered schedulers, plus the buffered timeline excerpt
+/// and the host-parallelism report (ports the `straggler_fleet` example).
+fn run_straggler(opts: &FleetOptions, hub: Option<&Arc<MetricsHub>>) -> i32 {
+    let resolved = resolve_threads(opts.threads);
+    let deadline_secs = {
+        let env = opts.build_env(Some(Scheduler::Synchronous));
+        let model = env.build_model(&opts.model_spec());
+        let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
+        fleet_spread_deadline(&env, &model.arch(), &densities)
+    };
+    let policies = [
+        Scheduler::Synchronous,
+        Scheduler::Deadline { deadline_secs },
+        Scheduler::Buffered { buffer_k: 3 },
+    ];
+    let byzantine_label = if opts.byzantine.is_empty() {
+        "-".to_string()
+    } else {
+        opts.byzantine
+            .iter()
+            .map(|(d, b)| format!("{d}:{}", b.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    println!(
+        "transport: in_process | wire codec: {} | aggregator: {} | byzantine: {byzantine_label} | \
+         worker threads: {resolved} | checkpoint: {}{}",
+        opts.codec.name(),
+        opts.aggregator.name(),
+        opts.checkpoint
+            .as_deref()
+            .map(|p| format!("{p}.<scheduler>"))
+            .unwrap_or_else(|| "-".into()),
+        if opts.resume { " (resume)" } else { "" },
+    );
+    println!(
+        "{:>12}  {:>6}  {:>14}  {:>10}  {:>8}  {:>7}  {:>10}",
+        "scheduler", "top1", "sim_makespan_s", "zero_prog", "dropped", "stale", "upload_kb"
+    );
+    let mut buffered_timeline: Vec<TimelineEvent> = Vec::new();
+    let mut sync_wall = None;
+    let alloc_before = ft_bench::allocated_bytes();
+    for policy in policies {
+        let (top1, ledger, wall) = straggler_run(opts, policy, opts.threads, true, hub);
+        if matches!(policy, Scheduler::Synchronous) {
+            sync_wall = Some((wall, ledger.sim_makespan_secs()));
+        }
+        let max_stale = ledger
+            .timeline()
+            .iter()
+            .map(|e| e.staleness)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{:>12}  {top1:>6.4}  {:>14.1}  {:>10}  {:>8}  {max_stale:>7}  {:>10.1}",
+            policy.name(),
+            ledger.sim_makespan_secs(),
+            ledger.zero_progress_rounds(),
+            ledger.dropped_updates(),
+            ledger.total_payload_upload_bytes() / 1e3,
+        );
+        if opts.hostile() {
+            let f = ledger.faults();
+            println!(
+                "{:>12}  quarantined {} (malformed {} | replays {} | disconnects {} | \
+                 inflated {}), clipped {}, rejected handshakes {}",
+                "", // aligns under the scheduler column
+                ledger.quarantined_updates(),
+                f.malformed_frames,
+                f.replays,
+                f.disconnects,
+                f.inflated_samples,
+                f.clipped_updates,
+                f.rejected_handshakes,
+            );
+        }
+        if matches!(policy, Scheduler::Buffered { .. }) {
+            buffered_timeline = ledger.timeline().to_vec();
+        }
+    }
+    publish_alloc(hub, alloc_before, opts.rounds * policies.len());
+
+    println!("\nbuffered timeline (first 12 arrivals):");
+    println!(
+        "{:>7}  {:>6}  {:>9}  {:>10}  {:>7}  {:>5}",
+        "device", "round", "start_s", "arrive_s", "applied", "stale"
+    );
+    for e in buffered_timeline.iter().take(12) {
+        println!(
+            "{:>7}  {:>6}  {:>9.1}  {:>10.1}  {:>7}  {:>5}",
+            e.device, e.round, e.start_secs, e.finish_secs, e.applied, e.staleness
+        );
+    }
+    println!(
+        "\nexpected shape: the synchronous barrier pays the slow tier's time every round;\n\
+         the deadline bounds each round at {deadline_secs:.1} simulated seconds by cutting\n\
+         stragglers; buffered aggregation keeps fast devices busy (smallest makespan)\n\
+         and absorbs slow devices' updates later, staleness-discounted."
+    );
+
+    // Host-parallelism report: rerun the synchronous fleet single-threaded
+    // and compare wall clocks. The *simulated* makespan must be identical
+    // bit-for-bit — the runtime only changes how fast the host computes it.
+    if resolved > 1 {
+        let (wall_n, sim_n) = sync_wall.expect("synchronous policy ran");
+        // The thread-count rerun never touches the checkpoint files: a
+        // resumed run would skip the rounds this comparison measures.
+        let (_, ledger_1, wall_1) = straggler_run(opts, Scheduler::Synchronous, 1, false, None);
+        assert_eq!(
+            ledger_1.sim_makespan_secs().to_bits(),
+            sim_n.to_bits(),
+            "simulated makespan drifted across thread counts"
+        );
+        println!(
+            "\nhost speedup (synchronous round loop): {:.2}x at {resolved} threads \
+             ({:.0} ms -> {:.0} ms; sim makespan identical at {:.1}s)",
+            wall_1 / wall_n.max(f64::MIN_POSITIVE),
+            wall_1 * 1e3,
+            wall_n * 1e3,
+            sim_n,
+        );
+    }
+    0
+}
+
+/// One scheduler's run for the straggler comparison; returns the final
+/// accuracy, the ledger, and the host wall-clock of the round loop.
+fn straggler_run(
+    opts: &FleetOptions,
+    scheduler: Scheduler,
+    threads: usize,
+    durable: bool,
+    hub: Option<&Arc<MetricsHub>>,
+) -> (f32, CostLedger, f64) {
+    let mut sub = FleetOptions {
+        preset: opts.preset,
+        devices: opts.devices,
+        rounds: opts.rounds,
+        codec: opts.codec,
+        aggregator: opts.aggregator,
+        byzantine: opts.byzantine.clone(),
+        threads,
+        checkpoint: None,
+        resume: opts.resume,
+        halt_after: None,
+        metrics: None,
+        no_verify: opts.no_verify,
+    };
+    if durable {
+        sub.checkpoint = opts.checkpoint.clone();
+    }
+    let env = sub.build_env(Some(scheduler));
+    let mut model = env.build_model(&sub.model_spec());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let started = std::time::Instant::now();
+    let hostile = sub.hostile();
+    let mut plain = InProcess;
+    let mut adversarial = AdversarialTransport::new(InProcess, sub.behaviors(), ADV_SEED);
+    let history = run_with(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+        RunOptions {
+            transport: if hostile {
+                &mut adversarial
+            } else {
+                &mut plain
+            },
+            // Each policy saves to its own `<path>.<scheduler>` file so
+            // the three runs never collide.
+            checkpoint: sub
+                .checkpoint
+                .as_deref()
+                .map(|p| CheckpointSpec::every_round(format!("{p}.{}", scheduler.name()))),
+            resume: sub.resume,
+            halt_after: None,
+            hook_save: None,
+            hook_load: None,
+            presence: None,
+            metrics: hub.cloned(),
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ft: run failed: {e}");
+        std::process::exit(1);
+    });
+    if hostile {
+        ledger.record_handshake_faults(adversarial.handshake_faults());
+    }
+    let wall = started.elapsed().as_secs_f64();
+    (*history.last().expect("nonempty history"), ledger, wall)
+}
+
+/// `ft serve`: the federation server end of a TCP fleet, either accepting
+/// real devices (`--listen addr`) or spinning up a loopback demo fleet of
+/// client threads. By default the final model is asserted bit-identical to
+/// the in-process reference run of the same seed (`--no-verify` skips it).
+pub fn cmd_serve(argv: &[String]) -> i32 {
+    let a = Args::new(argv);
+    let opts = FleetOptions::parse(&a, true);
+    if opts.preset != Preset::Demo {
+        die("ft serve runs the demo environment; --preset is not accepted here");
+    }
+    let metrics = start_metrics(&opts);
+    let hub = metrics.as_ref().map(|(h, _)| h);
+    match a.get("--listen") {
+        Some(addr) => {
+            opts.print_header("tcp (server)");
+            println!(
+                "listening on {addr}, waiting for {} devices...",
+                opts.devices
+            );
+            // A hostile fleet needs the tolerant accept loop (handshake
+            // screening); a clean one keeps the strict listener.
+            let mut transport = if opts.byzantine.is_empty() {
+                ft_fl::TcpTransport::listen(addr, opts.devices)
+                    .unwrap_or_else(|e| die(&format!("listen failed: {e}")))
+            } else {
+                let listener =
+                    TcpListener::bind(addr).unwrap_or_else(|e| die(&format!("listen failed: {e}")));
+                ft_fl::TcpTransport::accept_fleet_tolerant(listener, opts.devices)
+                    .unwrap_or_else(|e| die(&format!("accept failed: {e}")))
+            };
+            let mut tcp = run_server(&mut transport, &opts, hub);
+            tcp.2.record_handshake_faults(transport.handshake_faults());
+            assert_matches_reference(&tcp, &opts);
+            0
+        }
+        None => {
+            opts.print_header("tcp (demo: server + client threads)");
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            let addr = listener.local_addr().expect("local addr");
+            println!("loopback fleet on {addr}");
+            let behaviors = opts.behaviors();
+            let clients: Vec<_> = (0..opts.devices)
+                .map(|k| {
+                    let behavior = behaviors[k];
+                    let env = opts.build_env(None);
+                    let spec = opts.model_spec();
+                    std::thread::spawn(move || {
+                        match behavior {
+                            Behavior::Honest => run_tcp_device(addr, k, &env, &spec),
+                            hostile => {
+                                run_byzantine_tcp_device(addr, k, &env, &spec, hostile, ADV_SEED)
+                            }
+                        }
+                        .unwrap_or_else(|e| panic!("device {k} failed: {e}"));
+                    })
+                })
+                .collect();
+            let mut transport = if opts.byzantine.is_empty() {
+                ft_fl::TcpTransport::accept_fleet(&listener, opts.devices)
+                    .unwrap_or_else(|e| die(&format!("accept failed: {e}")))
+            } else {
+                ft_fl::TcpTransport::accept_fleet_tolerant(listener, opts.devices)
+                    .unwrap_or_else(|e| die(&format!("accept failed: {e}")))
+            };
+            let mut tcp = run_server(&mut transport, &opts, hub);
+            tcp.2.record_handshake_faults(transport.handshake_faults());
+            for c in clients {
+                c.join().expect("client thread");
+            }
+            assert_matches_reference(&tcp, &opts);
+            0
+        }
+    }
+}
+
+/// `ft device`: one TCP device (honest or, when listed in `--byzantine`,
+/// misbehaving) against a server started with `ft serve --listen`.
+pub fn cmd_device(argv: &[String]) -> i32 {
+    let a = Args::new(argv);
+    let opts = FleetOptions::parse(&a, true);
+    let Some(addr) = a.get("--connect") else {
+        die("ft device requires --connect <addr>");
+    };
+    let Some(device) = a.get_parse::<usize>("--device") else {
+        die("ft device requires --device <k>");
+    };
+    opts.print_header("tcp (device)");
+    let env = opts.build_env(None);
+    let behavior = opts
+        .byzantine
+        .iter()
+        .find(|(d, _)| *d == device)
+        .map(|(_, b)| *b)
+        .unwrap_or(Behavior::Honest);
+    let result = match behavior {
+        Behavior::Honest => run_tcp_device(addr, device, &env, &opts.model_spec()),
+        hostile => {
+            run_byzantine_tcp_device(addr, device, &env, &opts.model_spec(), hostile, ADV_SEED)
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("ft: device {device} failed: {e}");
+        return 1;
+    }
+    println!("device {device}: done ({})", behavior.name());
+    0
+}
+
+/// Runs the server rounds over an accepted TCP fleet and returns
+/// `(final accuracy, final params, ledger)`.
+fn run_server(
+    transport: &mut ft_fl::TcpTransport,
+    opts: &FleetOptions,
+    hub: Option<&Arc<MetricsHub>>,
+) -> (f32, Vec<f32>, CostLedger) {
+    let env = opts.build_env(None);
+    let mut model = env.build_model(&opts.model_spec());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let alloc_before = ft_bench::allocated_bytes();
+    let history = run_with(
+        model.as_mut(),
+        &mut mask,
+        &env,
+        0,
+        &mut ledger,
+        &mut no_hook(),
+        RunOptions {
+            transport,
+            checkpoint: opts.checkpoint.as_ref().map(CheckpointSpec::every_round),
+            resume: opts.resume,
+            halt_after: opts.halt_after,
+            hook_save: None,
+            hook_load: None,
+            presence: None,
+            metrics: hub.cloned(),
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ft: server run failed: {e}");
+        std::process::exit(1);
+    });
+    publish_alloc(hub, alloc_before, opts.rounds);
+    let acc = history.last().copied().unwrap_or(f32::NAN);
+    (acc, flat_params(model.as_ref()), ledger)
+}
+
+/// The in-process reference run of the same seed. A clean fleet takes the
+/// classic `run_federated_rounds` path; a hostile one replays the same
+/// adversary schedule through [`AdversarialTransport`], so the reference
+/// quarantines the identical bytes the TCP server saw.
+fn run_reference(opts: &FleetOptions) -> (f32, Vec<f32>, CostLedger) {
+    let env = opts.build_env(None);
+    let mut model = env.build_model(&opts.model_spec());
+    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
+    let mut ledger = CostLedger::new();
+    let history = if opts.byzantine.is_empty() {
+        run_federated_rounds(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+        )
+    } else {
+        let mut transport = AdversarialTransport::new(InProcess, opts.behaviors(), ADV_SEED);
+        let history = run_with(
+            model.as_mut(),
+            &mut mask,
+            &env,
+            0,
+            &mut ledger,
+            &mut no_hook(),
+            RunOptions::new(&mut transport),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("ft: reference run failed: {e}");
+            std::process::exit(1);
+        });
+        ledger.record_handshake_faults(transport.handshake_faults());
+        history
+    };
+    let acc = history.last().copied().unwrap_or(f32::NAN);
+    (acc, flat_params(model.as_ref()), ledger)
+}
+
+/// Compares the TCP run against the in-process reference and exits
+/// non-zero on any drift. Skipped for halted (checkpoint-partial) runs
+/// and under `--no-verify`.
+fn assert_matches_reference(tcp: &(f32, Vec<f32>, CostLedger), opts: &FleetOptions) {
+    if let Some(halted) = opts.halt_after {
+        println!("halted after {halted} rounds — checkpoint saved, reference comparison skipped");
+        return;
+    }
+    if opts.no_verify {
+        println!(
+            "tcp top1 {:.4} ({:.1} simulated seconds, {:.1} KB measured uploads; \
+             reference comparison skipped by --no-verify)",
+            tcp.0,
+            tcp.2.sim_makespan_secs(),
+            tcp.2.total_payload_upload_bytes() / 1e3,
+        );
+        if opts.hostile() {
+            print_quarantine_stats(opts.aggregator, &tcp.2);
+        }
+        return;
+    }
+    let reference = run_reference(opts);
+    let drifted = tcp
+        .1
+        .iter()
+        .zip(reference.1.iter())
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    println!(
+        "tcp top1 {:.4} | in_process top1 {:.4} | parameter drift: {drifted}/{} coordinates",
+        tcp.0,
+        reference.0,
+        reference.1.len(),
+    );
+    assert_eq!(
+        drifted, 0,
+        "TCP run diverged from the in-process run — the byte boundary changed the math"
+    );
+    assert_eq!(tcp.0.to_bits(), reference.0.to_bits(), "accuracy drifted");
+    if opts.hostile() {
+        assert_eq!(
+            tcp.2.faults(),
+            reference.2.faults(),
+            "TCP quarantine counters diverged from the in-process adversary twin"
+        );
+        print_quarantine_stats(opts.aggregator, &tcp.2);
+    }
+    println!(
+        "ok: final aggregated model is bit-identical across the TCP byte boundary \
+         ({:.1} simulated seconds, {:.1} KB measured uploads)",
+        tcp.2.sim_makespan_secs(),
+        tcp.2.total_payload_upload_bytes() / 1e3,
+    );
+}

@@ -1,0 +1,150 @@
+//! Help text for `ft` and every subcommand.
+//!
+//! These strings are part of the CLI's contract: an integration test pins
+//! them, and the CI lint job runs every `--help` and expects exit 0. Edit
+//! deliberately.
+
+pub const TOP: &str = "\
+ft — operate a federated-pruning fleet
+
+USAGE:
+    ft <command> [options]
+
+COMMANDS:
+    run      Run a fleet in-process (presets: demo | straggler | lab)
+    serve    Run the federation server over TCP (or a loopback demo fleet)
+    device   Run one TCP device against a listening server
+    resume   Continue a checkpointed run (shorthand for run --resume)
+    ckpt     Inspect checkpoints: list | inspect | diff
+    watch    Tail the live trace-frame stream of a --metrics endpoint
+    bench    Run the trajectory benches and the regression gate
+    help     Show this message, or `ft help <command>`
+
+Every command accepts --help. Fleet commands accept
+--metrics <addr> to serve live Prometheus-style metrics and the
+`ft watch` trace stream from the same listener.";
+
+pub const RUN: &str = "\
+ft run — run a fleet in-process
+
+USAGE:
+    ft run [--preset demo|straggler|lab] [options]
+
+PRESETS:
+    demo       4 devices x 6 rounds, dense wire, synchronous (default)
+    straggler  6-device fast/balanced/slow fleet compared across the
+               synchronous, deadline and buffered schedulers
+    lab        the CI lab scale: 4 devices x 24 rounds
+
+OPTIONS:
+    --devices <n>          Fleet size (demo preset only)
+    --rounds <n>           Round count override
+    --codec <name>         dense | mask_csr | quant_int8 | top_k
+    --aggregator <name>    fedavg | trimmed_mean[:beta] | median | norm_clipped[:tau]
+    --byzantine <d:b>      Hostile device (repeatable), e.g. 1:sign_flip:8
+    --threads <n>          Worker threads (0 = auto via FT_THREADS)
+    --checkpoint <path>    Save a checkpoint every round
+    --resume               Resume from --checkpoint if the file exists
+    --halt-after <n>       Stop after n rounds (kill emulation)
+    --metrics <addr>       Serve live metrics + trace stream, e.g. 127.0.0.1:9090";
+
+pub const SERVE: &str = "\
+ft serve — run the federation server over TCP
+
+USAGE:
+    ft serve [--listen <addr> | --demo] [options]
+
+MODES:
+    --listen <addr>   Accept real devices on addr (run them with `ft device`)
+    --demo            Loopback fleet: server + client threads in one process
+                      on an ephemeral port (the default)
+
+OPTIONS:
+    --devices <n>          Fleet size (default 4)
+    --rounds <n>           Round count (default 6)
+    --codec <name>         dense | mask_csr | quant_int8 | top_k
+                           (top_k runs without error feedback over TCP)
+    --aggregator <name>    fedavg | trimmed_mean[:beta] | median | norm_clipped[:tau]
+    --byzantine <d:b>      Hostile device (repeatable), e.g. 3:garbage
+    --checkpoint <path>    Save a checkpoint every round
+    --resume               Resume from --checkpoint if the file exists
+    --halt-after <n>       Stop after n rounds (kill emulation)
+    --metrics <addr>       Serve live metrics + trace stream
+    --no-verify            Skip the bit-identity check against the
+                           in-process reference run";
+
+pub const DEVICE: &str = "\
+ft device — run one TCP device against a listening server
+
+USAGE:
+    ft device --connect <addr> --device <k> [options]
+
+OPTIONS:
+    --devices <n>          Fleet size the server expects (default 4)
+    --rounds <n>           Round count (must match the server)
+    --codec <name>         Wire codec (must match the server)
+    --aggregator <name>    Aggregation rule (must match the server)
+    --byzantine <d:b>      Behavior table; if this device is listed it
+                           runs the misbehaving client";
+
+pub const RESUME: &str = "\
+ft resume — continue a checkpointed run
+
+USAGE:
+    ft resume --checkpoint <path> [run options]
+
+Shorthand for `ft run --resume --checkpoint <path>`: same presets and
+options as `ft run`; the checkpoint must have been written by a run with
+the same preset and knobs (the config fingerprint is validated).";
+
+pub const CKPT: &str = "\
+ft ckpt — inspect checkpoint files
+
+USAGE:
+    ft ckpt list <path>...          One summary line per checkpoint
+    ft ckpt inspect <path>          Deterministic field-by-field digest
+    ft ckpt diff <a> <b>            Field-level diff; exit 1 when they differ
+
+`inspect` prints only host-independent state (config fingerprint, round,
+mask epoch, fault counters, ...), so its output is stable across machines
+and thread counts.";
+
+pub const WATCH: &str = "\
+ft watch — tail the live trace-frame stream
+
+USAGE:
+    ft watch <addr> [--limit <n>]
+
+Connects to the --metrics endpoint of a running fleet and prints one line
+per device-round trace frame as it arrives. --limit exits after n frames
+(useful in scripts); otherwise watch runs until the server closes.";
+
+pub const BENCH: &str = "\
+ft bench — run the trajectory benches and the regression gate
+
+USAGE:
+    ft bench [--quick] [--bench <name>] [--check-only]
+
+OPTIONS:
+    --quick          Set FT_BENCH_QUICK=1 (the CI smoke configuration)
+    --bench <name>   Run one bench target (repeatable); default:
+                     micro_ops and fleet_trajectory
+    --check-only     Skip the benches, only run the bench_check gate
+
+Wraps `cargo bench -p ft-bench` and `cargo run -p ft-bench --bin
+bench_check`, so it must run from the workspace root.";
+
+/// Help text for `ft help <topic>`; unknown topics fall back to the
+/// top-level summary.
+pub fn for_topic(topic: Option<&str>) -> &'static str {
+    match topic {
+        Some("run") => RUN,
+        Some("serve") => SERVE,
+        Some("device") => DEVICE,
+        Some("resume") => RESUME,
+        Some("ckpt") => CKPT,
+        Some("watch") => WATCH,
+        Some("bench") => BENCH,
+        _ => TOP,
+    }
+}

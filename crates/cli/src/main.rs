@@ -1,0 +1,13 @@
+//! The `ft` binary: a thin shell around [`ft_cli::dispatch`].
+//!
+//! The counting allocator is installed here (not in the library) so the
+//! `--metrics` endpoint can report real allocation traffic per round while
+//! library consumers and tests keep the plain system allocator.
+
+#[global_allocator]
+static ALLOC: ft_bench::CountingAlloc = ft_bench::CountingAlloc;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ft_cli::dispatch(&argv));
+}

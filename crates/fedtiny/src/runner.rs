@@ -108,6 +108,9 @@ pub struct FedTinyRunOptions<'a> {
     pub resume: bool,
     /// Kill-emulation hook: stop after this many completed rounds.
     pub halt_after: Option<usize>,
+    /// Optional live-metrics hub, forwarded to the round loop. Strictly
+    /// observational; `None` and `Some` runs are bit-identical.
+    pub metrics: Option<std::sync::Arc<ft_fl::MetricsHub>>,
 }
 
 impl<'a> FedTinyRunOptions<'a> {
@@ -118,6 +121,7 @@ impl<'a> FedTinyRunOptions<'a> {
             checkpoint: None,
             resume: false,
             halt_after: None,
+            metrics: None,
         }
     }
 }
@@ -177,27 +181,18 @@ pub fn run_fedtiny_with(
     )?;
 
     // A run halted before its first evaluation point has an empty history
-    // (the checkpoint carries the real state); report NaN rather than
-    // panicking out of a Result-returning API.
-    let accuracy = history.last().copied().unwrap_or(f32::NAN);
+    // (the checkpoint carries the real state); `from_ledger` reports NaN
+    // rather than panicking out of a Result-returning API.
     let arch = global.arch();
     let densities = densities_from_mask(&mask);
-    Ok(RunResult {
-        method: method_name(cfg),
-        accuracy,
+    Ok(RunResult::from_ledger(
+        method_name(cfg),
         history,
-        final_density: mask.density(),
-        max_round_flops: ledger.max_round_flops(),
-        memory_bytes: device_memory_bytes(&arch, &densities, ExtraMemory::TopKBuffer(max_buffer)),
-        comm_bytes: ledger.total_comm_bytes(),
-        payload_comm_bytes: ledger.total_payload_bytes(),
-        payload_upload_bytes: ledger.total_payload_upload_bytes(),
-        codec: cfg.codec.name().into(),
-        extra_flops: ledger.extra_flops(),
-        realized_round_flops: ledger.max_realized_round_flops(),
-        train_wall_secs: ledger.total_train_wall_secs(),
-        sim_makespan_secs: ledger.sim_makespan_secs(),
-    })
+        mask.density(),
+        device_memory_bytes(&arch, &densities, ExtraMemory::TopKBuffer(max_buffer)),
+        cfg.codec.name(),
+        &ledger,
+    ))
 }
 
 /// Progressive-adjustment hook state that must survive a checkpoint: the
@@ -292,6 +287,7 @@ pub(crate) fn run_sparse_rounds_with(
                 hook_save: Some(&hook_save),
                 hook_load: Some(&hook_load),
                 presence: None,
+                metrics: opts.metrics.clone(),
             },
         )?
     };

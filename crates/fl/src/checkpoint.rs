@@ -167,6 +167,46 @@ pub struct Checkpoint {
     pub(crate) hook_state: Vec<u8>,
 }
 
+/// Deterministic, operator-facing digest of a [`Checkpoint`], produced by
+/// [`Checkpoint::summary`]. Everything here round-trips identically across
+/// hosts and `FT_THREADS` settings; host wall-clock totals are excluded on
+/// purpose so rendered output can be compared against committed goldens.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointSummary {
+    pub format_version: u32,
+    /// `"barrier"` or `"buffered"` depending on saved scheduler state.
+    pub kind: &'static str,
+    pub seed: u64,
+    pub devices: usize,
+    pub total_rounds: usize,
+    pub rounds_done: usize,
+    pub scheduler: String,
+    pub codec: String,
+    pub eval_every: usize,
+    pub mask_epoch: u64,
+    pub sim_now_secs: f64,
+    /// Accuracy history at the saved evaluation cadence.
+    pub history: Vec<f32>,
+    /// Flat parameter count of the saved model snapshot.
+    pub params: usize,
+    pub mask_density: f32,
+    pub applied_mask_density: f32,
+    /// Devices with a non-empty error-feedback residual.
+    pub residual_devices: usize,
+    pub timeline_events: usize,
+    pub zero_progress_rounds: usize,
+    pub payload_down_bytes: f64,
+    pub payload_up_bytes: f64,
+    pub analytic_comm_bytes: f64,
+    pub max_round_flops: f64,
+    pub faults: ft_metrics::FaultCounters,
+    /// Buffered-scheduler tasks still in flight (0 for barrier runs).
+    pub in_flight_tasks: usize,
+    pub hook_state_bytes: usize,
+    /// Canonical JSON of the full `FlConfig` the run was started with.
+    pub config_fingerprint: String,
+}
+
 impl Checkpoint {
     /// Rounds completed when this checkpoint was taken.
     pub fn rounds_done(&self) -> usize {
@@ -176,6 +216,243 @@ impl Checkpoint {
     /// Simulated seconds elapsed when this checkpoint was taken.
     pub fn sim_now_secs(&self) -> f64 {
         self.clock_now
+    }
+
+    /// Operator-facing view of the checkpoint (`ft ckpt inspect`). Every
+    /// field is deterministic across hosts and thread counts — host
+    /// wall-clock values inside the ledger are deliberately excluded — so
+    /// the rendered output can be pinned by a committed golden file.
+    pub fn summary(&self) -> CheckpointSummary {
+        let density = |layers: &[Vec<bool>]| -> f32 {
+            let total: usize = layers.iter().map(|l| l.len()).sum();
+            if total == 0 {
+                return 1.0;
+            }
+            let alive: usize = layers
+                .iter()
+                .map(|l| l.iter().filter(|&&a| a).count())
+                .sum();
+            alive as f32 / total as f32
+        };
+        CheckpointSummary {
+            format_version: VERSION,
+            kind: if self.buffered.is_some() {
+                "buffered"
+            } else {
+                "barrier"
+            },
+            seed: self.seed,
+            devices: self.devices,
+            total_rounds: self.total_rounds,
+            rounds_done: self.rounds_done,
+            scheduler: format!("{:?}", self.scheduler),
+            codec: self.codec.name().to_string(),
+            eval_every: self.eval_every,
+            mask_epoch: self.epoch,
+            sim_now_secs: self.clock_now,
+            history: self.history.clone(),
+            params: self.snapshot.params.len(),
+            mask_density: density(&self.mask_layers),
+            applied_mask_density: density(&self.applied_mask_layers),
+            residual_devices: self.residuals.iter().filter(|r| !r.is_empty()).count(),
+            timeline_events: self.ledger.timeline().len(),
+            zero_progress_rounds: self.ledger.zero_progress_rounds(),
+            payload_down_bytes: self.ledger.payload_down_history().iter().sum(),
+            payload_up_bytes: self.ledger.total_payload_upload_bytes(),
+            analytic_comm_bytes: self.ledger.total_comm_bytes(),
+            max_round_flops: self.ledger.max_round_flops(),
+            faults: *self.ledger.faults(),
+            in_flight_tasks: self.buffered.as_ref().map_or(0, |b| b.in_flight.len()),
+            hook_state_bytes: self.hook_state.len(),
+            config_fingerprint: self.cfg_json.clone(),
+        }
+    }
+
+    /// Field-level diff of two checkpoints (`ft ckpt diff`): one line per
+    /// differing field, empty when the checkpoints describe identical run
+    /// state. Bulk payloads (parameters, masks, residuals) are summarized
+    /// as differing-element counts rather than dumped.
+    pub fn diff(&self, other: &Checkpoint) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut scalar = |field: &str, a: String, b: String| {
+            if a != b {
+                out.push(format!("{field}: {a} != {b}"));
+            }
+        };
+        scalar("seed", self.seed.to_string(), other.seed.to_string());
+        scalar(
+            "devices",
+            self.devices.to_string(),
+            other.devices.to_string(),
+        );
+        scalar(
+            "total_rounds",
+            self.total_rounds.to_string(),
+            other.total_rounds.to_string(),
+        );
+        scalar(
+            "scheduler",
+            format!("{:?}", self.scheduler),
+            format!("{:?}", other.scheduler),
+        );
+        scalar(
+            "codec",
+            self.codec.name().to_string(),
+            other.codec.name().to_string(),
+        );
+        scalar(
+            "eval_every",
+            self.eval_every.to_string(),
+            other.eval_every.to_string(),
+        );
+        scalar(
+            "config_fingerprint",
+            self.cfg_json.clone(),
+            other.cfg_json.clone(),
+        );
+        scalar(
+            "rounds_done",
+            self.rounds_done.to_string(),
+            other.rounds_done.to_string(),
+        );
+        scalar(
+            "mask_epoch",
+            self.epoch.to_string(),
+            other.epoch.to_string(),
+        );
+        // Floats compare (and print) as exact bit patterns: the checkpoint
+        // format's whole point is bit-exact state.
+        scalar(
+            "sim_now_secs",
+            format!("{:?}", self.clock_now),
+            format!("{:?}", other.clock_now),
+        );
+        if self.history != other.history {
+            out.push(format!(
+                "history: {} vs {} eval points{}",
+                self.history.len(),
+                other.history.len(),
+                if self.history.len() == other.history.len() {
+                    let n = self
+                        .history
+                        .iter()
+                        .zip(&other.history)
+                        .filter(|(a, b)| a.to_bits() != b.to_bits())
+                        .count();
+                    format!(", {n} differ")
+                } else {
+                    String::new()
+                }
+            ));
+        }
+        if self.snapshot.params.len() != other.snapshot.params.len() {
+            out.push(format!(
+                "params: {} vs {} coordinates",
+                self.snapshot.params.len(),
+                other.snapshot.params.len()
+            ));
+        } else {
+            let n = self
+                .snapshot
+                .params
+                .iter()
+                .zip(&other.snapshot.params)
+                .filter(|(a, b)| a.to_bits() != b.to_bits())
+                .count();
+            if n > 0 {
+                out.push(format!(
+                    "params: {n}/{} coordinates differ",
+                    self.snapshot.params.len()
+                ));
+            }
+        }
+        if self.snapshot.bn != other.snapshot.bn {
+            out.push("bn_stats: differ".to_string());
+        }
+        let mask_bits = |a: &[Vec<bool>], b: &[Vec<bool>]| -> Option<usize> {
+            if a.len() != b.len() || a.iter().zip(b).any(|(x, y)| x.len() != y.len()) {
+                return None;
+            }
+            Some(
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| x.iter().zip(y).filter(|(p, q)| p != q).count())
+                    .sum(),
+            )
+        };
+        match mask_bits(&self.mask_layers, &other.mask_layers) {
+            None => out.push("mask: layouts differ".to_string()),
+            Some(0) => {}
+            Some(n) => out.push(format!("mask: {n} bits differ")),
+        }
+        match mask_bits(&self.applied_mask_layers, &other.applied_mask_layers) {
+            None => out.push("applied_mask: layouts differ".to_string()),
+            Some(0) => {}
+            Some(n) => out.push(format!("applied_mask: {n} bits differ")),
+        }
+        if self.residuals != other.residuals {
+            let n = self
+                .residuals
+                .iter()
+                .zip(&other.residuals)
+                .filter(|(a, b)| a != b)
+                .count()
+                .max(self.residuals.len().abs_diff(other.residuals.len()));
+            out.push(format!("residuals: differ for {n} devices"));
+        }
+        let (sa, sb) = (self.summary(), other.summary());
+        let mut ledger_scalar = |field: &str, a: String, b: String| {
+            if a != b {
+                out.push(format!("ledger.{field}: {a} != {b}"));
+            }
+        };
+        ledger_scalar(
+            "timeline_events",
+            sa.timeline_events.to_string(),
+            sb.timeline_events.to_string(),
+        );
+        ledger_scalar(
+            "zero_progress_rounds",
+            sa.zero_progress_rounds.to_string(),
+            sb.zero_progress_rounds.to_string(),
+        );
+        ledger_scalar(
+            "payload_down_bytes",
+            format!("{:?}", sa.payload_down_bytes),
+            format!("{:?}", sb.payload_down_bytes),
+        );
+        ledger_scalar(
+            "payload_up_bytes",
+            format!("{:?}", sa.payload_up_bytes),
+            format!("{:?}", sb.payload_up_bytes),
+        );
+        ledger_scalar(
+            "analytic_comm_bytes",
+            format!("{:?}", sa.analytic_comm_bytes),
+            format!("{:?}", sb.analytic_comm_bytes),
+        );
+        ledger_scalar(
+            "faults",
+            format!("{:?}", sa.faults),
+            format!("{:?}", sb.faults),
+        );
+        if sa.kind != sb.kind {
+            out.push(format!("kind: {} != {}", sa.kind, sb.kind));
+        }
+        if sa.in_flight_tasks != sb.in_flight_tasks {
+            out.push(format!(
+                "buffered.in_flight: {} != {}",
+                sa.in_flight_tasks, sb.in_flight_tasks
+            ));
+        }
+        if self.hook_state != other.hook_state {
+            out.push(format!(
+                "hook_state: {} vs {} bytes",
+                self.hook_state.len(),
+                other.hook_state.len()
+            ));
+        }
+        out
     }
 
     /// Canonical JSON fingerprint of a run configuration.

@@ -408,10 +408,70 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// The one shared constructor for every method runner: all
+    /// ledger-derived fields come straight from the ledger's accessors, so
+    /// runners can't drift in *which* total they report. The caller
+    /// supplies only what the ledger cannot know — the method name, the
+    /// accuracy history, the final mask density, the device memory model,
+    /// and the wire codec. An empty history reports `NaN` accuracy (the
+    /// halted-before-first-eval case of Result-returning runners).
+    pub fn from_ledger(
+        method: impl Into<String>,
+        history: Vec<f32>,
+        final_density: f32,
+        memory_bytes: f64,
+        codec: impl Into<String>,
+        ledger: &CostLedger,
+    ) -> Self {
+        RunResult {
+            method: method.into(),
+            accuracy: history.last().copied().unwrap_or(f32::NAN),
+            history,
+            final_density,
+            max_round_flops: ledger.max_round_flops(),
+            memory_bytes,
+            comm_bytes: ledger.total_comm_bytes(),
+            payload_comm_bytes: ledger.total_payload_bytes(),
+            payload_upload_bytes: ledger.total_payload_upload_bytes(),
+            codec: codec.into(),
+            extra_flops: ledger.extra_flops(),
+            realized_round_flops: ledger.max_realized_round_flops(),
+            train_wall_secs: ledger.total_train_wall_secs(),
+            sim_makespan_secs: ledger.sim_makespan_secs(),
+        }
+    }
+
     /// Best accuracy seen at any evaluation point (the paper reports final
     /// accuracy; best-seen is exposed for diagnostics).
     pub fn best_accuracy(&self) -> f32 {
         self.history.iter().cloned().fold(self.accuracy, f32::max)
+    }
+
+    /// The uniform human-readable run summary every operator surface
+    /// prints (`ft run`, the examples) — one formatter, so they can't
+    /// drift.
+    pub fn format_summary(&self) -> String {
+        format!(
+            "method: {} | codec: {}\n\
+             top1: {:.4} (best {:.4}) | density: {:.4}\n\
+             flops/round: {:.3e} analytic, {:.3e} realized (+{:.3e} extra)\n\
+             comm: {:.1} KB analytic, {:.1} KB measured ({:.1} KB uploads)\n\
+             memory: {:.1} KB/device | time: {:.1} s simulated, {:.2} s host training",
+            self.method,
+            self.codec,
+            self.accuracy,
+            self.best_accuracy(),
+            self.final_density,
+            self.max_round_flops,
+            self.realized_round_flops,
+            self.extra_flops,
+            self.comm_bytes / 1e3,
+            self.payload_comm_bytes / 1e3,
+            self.payload_upload_bytes / 1e3,
+            self.memory_bytes / 1e3,
+            self.sim_makespan_secs,
+            self.train_wall_secs,
+        )
     }
 }
 

@@ -69,10 +69,14 @@ pub use aggregate::{
     try_fedavg_payloads, try_staleness_fedavg_payloads, AggScratch, AggregateOutcome, AggregateRef,
     Aggregator, ShardAccumulate,
 };
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec, CheckpointSummary};
 pub use config::{ConfigError, FlConfig, MAX_THREADS};
 pub use env::ExperimentEnv;
-pub use ft_metrics::{DeviceProfile, FaultCounters, SimClock};
+pub use ft_metrics::{
+    decode_trace_frame, encode_trace_frame, read_trace_frame, DeviceProfile, FaultCounters,
+    MetricsEndpoint, MetricsHub, RoundStats, SimClock, TraceDecodeError, TraceEvent,
+    TraceStreamError, STALENESS_BUCKETS,
+};
 pub use ft_runtime::{resolve_threads, Runtime};
 pub use ft_sparse::{Codec, Payload, WireCtx};
 pub use ledger::{CostLedger, RunResult, TimelineEvent};

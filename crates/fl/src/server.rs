@@ -187,6 +187,14 @@ pub struct RunOptions<'a> {
     /// Barrier schedulers only — the buffered event loop has no round
     /// boundary for a device to leave at and ignores the schedule.
     pub presence: Option<PresenceSchedule>,
+    /// Live observability: at every round (barrier) or aggregation
+    /// (buffered) boundary the server publishes the ledger's cumulative
+    /// totals and any new [`TimelineEvent`]s to this hub, where a metrics
+    /// endpoint serves them to scrapers and `ft watch` subscribers.
+    /// Strictly observational — the hub only ever receives values the
+    /// ledger already computed, so `None` and `Some` runs are
+    /// bit-identical (golden traces included).
+    pub metrics: Option<std::sync::Arc<ft_metrics::MetricsHub>>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -200,6 +208,7 @@ impl<'a> RunOptions<'a> {
             hook_save: None,
             hook_load: None,
             presence: None,
+            metrics: None,
         }
     }
 }
@@ -262,6 +271,8 @@ pub fn run_with(
         history: Vec::new(),
         applied_mask: mask.clone(),
         agg_scratch: crate::aggregate::AggScratch::new(),
+        published_events: 0,
+        last_cohort: 0,
     };
     let mut buffered_resume: Option<BufferedState> = None;
     if let Some(ck) = resumed {
@@ -311,6 +322,10 @@ pub fn run_with(
             buffered_resume,
         ),
     };
+    // Final flush: trailing collect events (buffered arrivals that never
+    // aggregated) and zero-progress filler rounds reach the hub too, so a
+    // post-run scrape agrees with the finished ledger exactly.
+    state.publish_metrics(&opts, ledger);
     opts.transport.shutdown();
     result
 }
@@ -335,6 +350,13 @@ struct ServerState<'e> {
     /// produced params, robust-rule delta buffers, and the shard plan keyed
     /// by mask epoch. Steady-state rounds aggregate without allocating.
     agg_scratch: crate::aggregate::AggScratch,
+    /// Timeline entries already pushed to the metrics hub (a cursor into
+    /// `ledger.timeline()`); 0 on resume so the hub replays the resumed
+    /// history and its histogram still matches the ledger exactly.
+    published_events: usize,
+    /// Cohort size of the last aggregation, re-published by the final
+    /// flush so the gauge survives the end of the run.
+    last_cohort: usize,
 }
 
 /// Scratch state of one in-flight barrier round, threaded through the
@@ -358,6 +380,35 @@ struct BarrierRound {
 }
 
 impl ServerState<'_> {
+    /// Publishes new timeline events and the ledger's cumulative totals to
+    /// the hub in `opts.metrics`, if any. Read-only against the run state —
+    /// calling this more or less often cannot change what a run computes.
+    fn publish_metrics(&mut self, opts: &RunOptions<'_>, ledger: &CostLedger) {
+        let Some(hub) = &opts.metrics else { return };
+        let timeline = ledger.timeline();
+        for ev in &timeline[self.published_events.min(timeline.len())..] {
+            hub.record_event(&ft_metrics::TraceEvent {
+                device: ev.device as u64,
+                round: ev.round as u64,
+                start_secs: ev.start_secs,
+                finish_secs: ev.finish_secs,
+                applied: ev.applied,
+                staleness: ev.staleness as u64,
+            });
+        }
+        self.published_events = timeline.len();
+        hub.observe_round(ft_metrics::RoundStats {
+            rounds_completed: self.round as u64,
+            cohort_size: self.last_cohort as u64,
+            devices: self.env.num_devices() as u64,
+            payload_down_bytes: ledger.payload_down_history().iter().sum(),
+            payload_up_bytes: ledger.total_payload_upload_bytes(),
+            sim_makespan_secs: ledger.sim_makespan_secs(),
+            zero_progress_rounds: ledger.zero_progress_rounds() as u64,
+            faults: *ledger.faults(),
+        });
+    }
+
     /// Assembles the checkpoint for the current state.
     fn checkpoint(
         &self,
@@ -781,6 +832,8 @@ impl ServerState<'_> {
             self.history.push(crate::train::evaluate(global, &env.test));
         }
         self.round += 1;
+        self.last_cohort = rs.cohort.len();
+        self.publish_metrics(opts, ledger);
         self.checkpoint_and_halt(&*global, mask, ledger, opts, None)
     }
 
@@ -1040,6 +1093,8 @@ impl ServerState<'_> {
                     self.history.push(crate::train::evaluate(global, &env.test));
                 }
                 self.round += 1;
+                self.last_cohort = k_needed;
+                self.publish_metrics(opts, ledger);
                 aggregated = true;
             }
 

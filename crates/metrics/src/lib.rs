@@ -24,6 +24,7 @@
 mod comm;
 mod faults;
 mod flops;
+pub mod hub;
 mod memory;
 mod time;
 
@@ -33,6 +34,10 @@ pub use comm::{
 pub use faults::FaultCounters;
 pub use flops::{
     backward_flops, forward_flops, forward_flops_dense, layer_forward_flops, training_flops,
+};
+pub use hub::{
+    decode_trace_frame, encode_trace_frame, read_trace_frame, MetricsEndpoint, MetricsHub,
+    RoundStats, TraceDecodeError, TraceEvent, TraceStreamError, STALENESS_BUCKETS,
 };
 pub use memory::{
     device_memory_bytes, prunable_lens, total_params, unprunable_params, ExtraMemory,

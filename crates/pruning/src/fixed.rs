@@ -41,22 +41,14 @@ pub fn run_with_fixed_mask(
     );
     let arch = global.arch();
     let densities = densities_from_mask(&mask);
-    RunResult {
-        method: method.to_string(),
-        accuracy: *history.last().expect("nonempty history"),
+    RunResult::from_ledger(
+        method,
         history,
-        final_density: mask.density(),
-        max_round_flops: ledger.max_round_flops(),
-        memory_bytes: device_memory_bytes(&arch, &densities, extra_memory),
-        comm_bytes: ledger.total_comm_bytes(),
-        payload_comm_bytes: ledger.total_payload_bytes(),
-        payload_upload_bytes: ledger.total_payload_upload_bytes(),
-        codec: env.cfg.codec.name().into(),
-        extra_flops: ledger.extra_flops(),
-        realized_round_flops: ledger.max_realized_round_flops(),
-        train_wall_secs: ledger.total_train_wall_secs(),
-        sim_makespan_secs: ledger.sim_makespan_secs(),
-    }
+        mask.density(),
+        device_memory_bytes(&arch, &densities, extra_memory),
+        env.cfg.codec.name(),
+        &ledger,
+    )
 }
 
 /// The dense FedAvg upper bound (first row of Table I). Always exchanges

@@ -78,26 +78,21 @@ pub fn run_lotteryfl(
         3.0 * forward_flops_dense(&arch) * max_samples * env.cfg.local_epochs as f64;
     let dense_comm = 2.0 * dense_download_bytes(&arch) * env.cfg.rounds as f64;
 
-    RunResult {
-        method: "lotteryfl".into(),
-        accuracy: *history.last().expect("nonempty history"),
+    let mut result = RunResult::from_ledger(
+        "lotteryfl",
         history,
-        final_density: mask.density(),
-        max_round_flops: dense_round_flops,
-        memory_bytes: device_memory_bytes(
+        mask.density(),
+        device_memory_bytes(
             &arch,
             &vec![1.0; layout.num_layers()],
             ExtraMemory::DenseTraining,
         ),
-        comm_bytes: dense_comm,
-        payload_comm_bytes: ledger.total_payload_bytes(),
-        payload_upload_bytes: ledger.total_payload_upload_bytes(),
-        codec: env.cfg.codec.name().into(),
-        extra_flops: ledger.extra_flops(),
-        realized_round_flops: ledger.max_realized_round_flops(),
-        train_wall_secs: ledger.total_train_wall_secs(),
-        sim_makespan_secs: ledger.sim_makespan_secs(),
-    }
+        env.cfg.codec.name(),
+        &ledger,
+    );
+    result.max_round_flops = dense_round_flops;
+    result.comm_bytes = dense_comm;
+    result
 }
 
 #[cfg(test)]

@@ -72,16 +72,5 @@ fn main() {
         start_round: 2,
     });
     let result = run_fedtiny(&env, &ft);
-    println!(
-        "fedtiny: top-1 accuracy {:.4} at density {:.4} ({} evaluations)",
-        result.accuracy,
-        result.final_density,
-        result.history.len()
-    );
-    println!(
-        "costs: max round FLOPs {:.2e}, device memory {:.2} KB, communication {:.2} KB",
-        result.max_round_flops,
-        result.memory_bytes / 1e3,
-        result.comm_bytes / 1e3
-    );
+    println!("{}", result.format_summary());
 }

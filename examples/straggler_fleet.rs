@@ -1,371 +1,19 @@
 //! Straggler fleet: the same federated run under the three round
-//! schedulers on a heterogeneous fast/balanced/slow device fleet, showing
-//! accuracy against *simulated* fleet time (not host wall-clock) plus a
-//! per-device timeline excerpt of the buffered run.
+//! schedulers on a heterogeneous fast/balanced/slow device fleet. This
+//! example is now a thin wrapper over the `ft` operator CLI:
 //!
 //! ```bash
 //! cargo run --release --example straggler_fleet
-//! # pick the wire codec for the update exchange:
-//! cargo run --release --example straggler_fleet -- --codec quant_int8
-//! # codecs: dense (default) | mask_csr | quant_int8 | top_k
-//! # pick the host worker-thread count (0 = all cores):
-//! cargo run --release --example straggler_fleet -- --threads 4
-//! # checkpoint every round (one file per scheduler) and resume later:
-//! cargo run --release --example straggler_fleet -- --checkpoint /tmp/fleet.ckpt
-//! cargo run --release --example straggler_fleet -- --checkpoint /tmp/fleet.ckpt --resume
-//! # hostile fleet: device 1 sign-flips, device 4 replays; trim the poison:
-//! cargo run --release --example straggler_fleet -- \
-//!   --aggregator trimmed_mean:0.25 --byzantine 1:sign_flip:8 --byzantine 4:replay
+//! # equivalent: ft run --preset straggler
+//! cargo run --release --example straggler_fleet -- --codec quant_int8 --threads 4
+//! # equivalent: ft run --preset straggler --codec quant_int8 --threads 4
 //! ```
 //!
-//! Transfers are billed at the *measured* encoded payload size, so the
-//! codec choice changes the simulated makespans, not just a byte counter.
-//! `--threads N` runs the fleet on the shared `ft-runtime` pool and prints
-//! the host wall-clock speedup against a single-thread rerun — the
-//! *simulated* makespans are bit-identical either way (the runtime
-//! determinism contract), only the host gets faster.
-
-use fedtiny_suite::data::{DatasetProfile, SynthConfig};
-use fedtiny_suite::fl::{
-    no_hook, run_with, AdversarialTransport, Aggregator, Behavior, CheckpointSpec, Codec,
-    CostLedger, DeviceProfile, ExperimentEnv, FlConfig, InProcess, ModelSpec, RunOptions,
-    Scheduler, TimelineEvent,
-};
-use fedtiny_suite::nn::sparse_layout;
-use fedtiny_suite::sparse::Mask;
-
-const SEED: u64 = 17;
-/// Seed of the adversary's corruption streams (`--byzantine` devices).
-const ADV_SEED: u64 = 4242;
-const DEVICES: usize = 6;
-
-/// Parses `--codec <name>` from the command line (default: dense).
-fn codec_from_args() -> Codec {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--codec") {
-        Some(i) => {
-            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
-            Codec::from_name(name).unwrap_or_else(|| {
-                eprintln!("unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k");
-                std::process::exit(2);
-            })
-        }
-        None => Codec::Dense,
-    }
-}
-
-/// Parses `--checkpoint <path>` (default: no checkpointing). Each policy
-/// saves to its own `<path>.<scheduler>` file so the three runs never
-/// collide.
-fn checkpoint_from_args() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--checkpoint")
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Whether `--resume` was passed (resume each policy from its checkpoint
-/// file when one exists; a missing file starts fresh).
-fn resume_from_args() -> bool {
-    std::env::args().any(|a| a == "--resume")
-}
-
-/// Parses `--aggregator <name>` (default: fedavg). Robust rules defend the
-/// mean against the `--byzantine` devices' poisoned updates.
-fn aggregator_from_args() -> Aggregator {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--aggregator") {
-        Some(i) => {
-            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
-            Aggregator::from_name(name).unwrap_or_else(|| {
-                eprintln!(
-                    "unknown aggregator {name:?}; expected fedavg | trimmed_mean[:beta] | \
-                     median | norm_clipped[:tau]"
-                );
-                std::process::exit(2);
-            })
-        }
-        None => Aggregator::FedAvg,
-    }
-}
-
-/// Parses every `--byzantine device:behavior` occurrence into the
-/// per-device behavior table (`Honest` where unlisted).
-fn behaviors_from_args() -> Vec<Behavior> {
-    let args: Vec<String> = std::env::args().collect();
-    let mut table = vec![Behavior::Honest; DEVICES];
-    for (i, _) in args
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| a.as_str() == "--byzantine")
-    {
-        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
-        let parsed = spec.split_once(':').and_then(|(dev, behavior)| {
-            Some((dev.parse::<usize>().ok()?, Behavior::from_name(behavior)?))
-        });
-        match parsed {
-            Some((device, behavior)) if device < DEVICES => table[device] = behavior,
-            Some((device, _)) => {
-                eprintln!("--byzantine device {device} out of range (fleet has {DEVICES})");
-                std::process::exit(2);
-            }
-            None => {
-                eprintln!(
-                    "bad --byzantine spec {spec:?}; expected device:behavior, e.g. \
-                     1:sign_flip:8, 3:garbage, 2:replay"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    table
-}
-
-/// Parses `--threads <n>` (default 0 = auto: `FT_THREADS`, else all cores).
-fn threads_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--threads") {
-        Some(i) => args
-            .get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--threads expects a non-negative integer");
-                std::process::exit(2);
-            }),
-        None => 0,
-    }
-}
-
-fn build_env(
-    scheduler: Scheduler,
-    codec: Codec,
-    threads: usize,
-    aggregator: Aggregator,
-) -> ExperimentEnv {
-    let synth = SynthConfig {
-        profile: DatasetProfile::Cifar10,
-        train_per_class: 12,
-        test_per_class: 8,
-        resolution: 8,
-        channels: 3,
-        seed: SEED,
-    };
-    let mut cfg = FlConfig::bench_default();
-    cfg.devices = DEVICES;
-    cfg.rounds = 8;
-    cfg.local_epochs = 1;
-    cfg.seed = SEED;
-    cfg.codec = codec;
-    cfg.threads = threads;
-    cfg.aggregator = aggregator;
-    let env = ExperimentEnv::new(synth, cfg);
-    let fleet = DeviceProfile::fleet_mixed(env.num_devices());
-    env.with_fleet(fleet).with_scheduler(scheduler)
-}
-
-/// One full run; returns the final accuracy, the ledger, and the host
-/// wall-clock seconds of the round loop (environment setup excluded).
-/// With `checkpoint` set, the run saves to `<path>.<scheduler>` every round
-/// and `resume` continues from an existing file.
-#[allow(clippy::too_many_arguments)]
-fn run(
-    scheduler: Scheduler,
-    codec: Codec,
-    threads: usize,
-    checkpoint: Option<&str>,
-    resume: bool,
-    aggregator: Aggregator,
-    behaviors: &[Behavior],
-) -> (f32, CostLedger, f64) {
-    let env = build_env(scheduler, codec, threads, aggregator);
-    let mut model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
-    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
-    let mut ledger = CostLedger::new();
-    let started = std::time::Instant::now();
-    // A hostile fleet routes every update through the adversary's
-    // corruption layer; a clean one takes the plain in-process path.
-    let hostile = behaviors.iter().any(|b| !matches!(b, Behavior::Honest));
-    let mut plain = InProcess;
-    let mut adversarial = AdversarialTransport::new(InProcess, behaviors.to_vec(), ADV_SEED);
-    let options = RunOptions {
-        transport: if hostile {
-            &mut adversarial
-        } else {
-            &mut plain
-        },
-        checkpoint: checkpoint
-            .map(|p| CheckpointSpec::every_round(format!("{p}.{}", scheduler.name()))),
-        resume,
-        halt_after: None,
-        hook_save: None,
-        hook_load: None,
-        presence: None,
-    };
-    let history = run_with(
-        model.as_mut(),
-        &mut mask,
-        &env,
-        0,
-        &mut ledger,
-        &mut no_hook(),
-        options,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("run failed: {e}");
-        std::process::exit(1);
-    });
-    if hostile {
-        ledger.record_handshake_faults(adversarial.handshake_faults());
-    }
-    let wall = started.elapsed().as_secs_f64();
-    (*history.last().expect("nonempty history"), ledger, wall)
-}
+//! All knobs (--codec, --threads, --checkpoint, --resume, --aggregator,
+//! --byzantine) pass through unchanged. See `ft help run`.
 
 fn main() {
-    let codec = codec_from_args();
-    let threads = threads_from_args();
-    let checkpoint = checkpoint_from_args();
-    let resume = resume_from_args();
-    let aggregator = aggregator_from_args();
-    let behaviors = behaviors_from_args();
-    let hostile = behaviors.iter().any(|b| !matches!(b, Behavior::Honest));
-    let resolved = fedtiny_suite::fl::resolve_threads(threads);
-    // A deadline inside the fleet's spread (geometric mean of the fastest
-    // and slowest device's simulated round time).
-    let deadline_secs = {
-        let env = build_env(Scheduler::Synchronous, codec, threads, aggregator);
-        let model = env.build_model(&ModelSpec::SmallCnn { width: 4, input: 8 });
-        let densities = vec![1.0f32; sparse_layout(model.as_ref()).num_layers()];
-        fedtiny_suite::fl::fleet_spread_deadline(&env, &model.arch(), &densities)
-    };
-    let policies = [
-        Scheduler::Synchronous,
-        Scheduler::Deadline { deadline_secs },
-        Scheduler::Buffered { buffer_k: 3 },
-    ];
-    // Self-describing run header: transport, wire codec, worker pool, and
-    // where (if anywhere) the run checkpoints.
-    let byzantine_label = if hostile {
-        behaviors
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| !matches!(b, Behavior::Honest))
-            .map(|(d, b)| format!("{d}:{}", b.name()))
-            .collect::<Vec<_>>()
-            .join(",")
-    } else {
-        "-".to_string()
-    };
-    println!(
-        "transport: in_process | wire codec: {} | aggregator: {} | byzantine: {byzantine_label} | \
-         worker threads: {resolved} | checkpoint: {}{}",
-        codec.name(),
-        aggregator.name(),
-        checkpoint
-            .as_deref()
-            .map(|p| format!("{p}.<scheduler>"))
-            .unwrap_or_else(|| "-".into()),
-        if resume { " (resume)" } else { "" },
-    );
-    println!(
-        "{:>12}  {:>6}  {:>14}  {:>10}  {:>8}  {:>7}  {:>10}",
-        "scheduler", "top1", "sim_makespan_s", "zero_prog", "dropped", "stale", "upload_kb"
-    );
-    let mut buffered_timeline: Vec<TimelineEvent> = Vec::new();
-    let mut sync_wall = None;
-    for policy in policies {
-        let (top1, ledger, wall) = run(
-            policy,
-            codec,
-            threads,
-            checkpoint.as_deref(),
-            resume,
-            aggregator,
-            &behaviors,
-        );
-        if matches!(policy, Scheduler::Synchronous) {
-            sync_wall = Some((wall, ledger.sim_makespan_secs()));
-        }
-        let max_stale = ledger
-            .timeline()
-            .iter()
-            .map(|e| e.staleness)
-            .max()
-            .unwrap_or(0);
-        println!(
-            "{:>12}  {top1:>6.4}  {:>14.1}  {:>10}  {:>8}  {max_stale:>7}  {:>10.1}",
-            policy.name(),
-            ledger.sim_makespan_secs(),
-            ledger.zero_progress_rounds(),
-            ledger.dropped_updates(),
-            ledger.total_payload_upload_bytes() / 1e3,
-        );
-        if hostile {
-            let f = ledger.faults();
-            println!(
-                "{:>12}  quarantined {} (malformed {} | replays {} | disconnects {} | \
-                 inflated {}), clipped {}, rejected handshakes {}",
-                "", // aligns under the scheduler column
-                ledger.quarantined_updates(),
-                f.malformed_frames,
-                f.replays,
-                f.disconnects,
-                f.inflated_samples,
-                f.clipped_updates,
-                f.rejected_handshakes,
-            );
-        }
-        if matches!(policy, Scheduler::Buffered { .. }) {
-            buffered_timeline = ledger.timeline().to_vec();
-        }
-    }
-
-    println!("\nbuffered timeline (first 12 arrivals):");
-    println!(
-        "{:>7}  {:>6}  {:>9}  {:>10}  {:>7}  {:>5}",
-        "device", "round", "start_s", "arrive_s", "applied", "stale"
-    );
-    for e in buffered_timeline.iter().take(12) {
-        println!(
-            "{:>7}  {:>6}  {:>9.1}  {:>10.1}  {:>7}  {:>5}",
-            e.device, e.round, e.start_secs, e.finish_secs, e.applied, e.staleness
-        );
-    }
-    println!(
-        "\nexpected shape: the synchronous barrier pays the slow tier's time every round;\n\
-         the deadline bounds each round at {deadline_secs:.1} simulated seconds by cutting\n\
-         stragglers; buffered aggregation keeps fast devices busy (smallest makespan)\n\
-         and absorbs slow devices' updates later, staleness-discounted."
-    );
-
-    // Host-parallelism report: rerun the synchronous fleet single-threaded
-    // and compare wall clocks. The *simulated* makespan must be identical
-    // bit-for-bit — the runtime only changes how fast the host computes it.
-    if resolved > 1 {
-        let (wall_n, sim_n) = sync_wall.expect("synchronous policy ran");
-        // The thread-count rerun never touches the checkpoint files: a
-        // resumed run would skip the rounds this comparison measures.
-        let (_, ledger_1, wall_1) = run(
-            Scheduler::Synchronous,
-            codec,
-            1,
-            None,
-            false,
-            aggregator,
-            &behaviors,
-        );
-        assert_eq!(
-            ledger_1.sim_makespan_secs().to_bits(),
-            sim_n.to_bits(),
-            "simulated makespan drifted across thread counts"
-        );
-        println!(
-            "\nhost speedup (synchronous round loop): {:.2}x at {resolved} threads \
-             ({:.0} ms -> {:.0} ms; sim makespan identical at {:.1}s)",
-            wall_1 / wall_n.max(f64::MIN_POSITIVE),
-            wall_1 * 1e3,
-            wall_n * 1e3,
-            sim_n,
-        );
-    }
+    let mut argv: Vec<String> = vec!["run".into(), "--preset".into(), "straggler".into()];
+    argv.extend(std::env::args().skip(1));
+    std::process::exit(ft_cli::dispatch(&argv));
 }

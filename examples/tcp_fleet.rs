@@ -1,12 +1,12 @@
 //! TCP fleet: the federation server and its devices on opposite ends of
-//! real sockets — every broadcast and every update crosses a length-prefixed
-//! frame on 127.0.0.1, and the final aggregated model is asserted
-//! **bit-identical** to the in-process run of the same seed.
+//! real sockets. This example is now a thin wrapper over the `ft` operator
+//! CLI — its legacy flags map directly onto `ft serve` / `ft device`:
 //!
 //! ```bash
-//! # Everything in one process (server + 4 client threads on an ephemeral
+//! # Everything in one process (server + client threads on an ephemeral
 //! # loopback port), asserting TCP == InProcess — the CI smoke mode:
 //! cargo run --release --example tcp_fleet -- --demo
+//! # equivalent: ft serve --demo
 //!
 //! # Or as separate processes:
 //! cargo run --release --example tcp_fleet -- --listen 127.0.0.1:7070 &
@@ -14,444 +14,24 @@
 //!   cargo run --release --example tcp_fleet -- --connect 127.0.0.1:7070 --device $k &
 //! done
 //! wait
-//!
-//! # Durability: checkpoint every round, kill at round 3, resume:
-//! cargo run --release --example tcp_fleet -- --demo --checkpoint /tmp/fleet.ckpt --halt-after 3
-//! cargo run --release --example tcp_fleet -- --demo --checkpoint /tmp/fleet.ckpt --resume
-//!
-//! # Hostile fleet: device 1 sign-flips its deltas, device 3 sends garbage,
-//! # the server trims the poison and quarantines the garbage — still
-//! # asserting TCP == in-process (both run the same adversary schedule):
-//! cargo run --release --example tcp_fleet -- --demo \
-//!   --aggregator trimmed_mean:0.25 --byzantine 1:sign_flip:8 --byzantine 3:garbage
+//! # equivalent: ft serve --listen ... / ft device --connect ... --device $k
 //! ```
 //!
-//! Both ends build the same [`ExperimentEnv`] from the shared seed — the
-//! synthetic datasets are pure functions of it, so no training data ever
-//! crosses the wire, only model snapshots and encoded update deltas.
-
-use fedtiny_suite::data::{DatasetProfile, SynthConfig};
-use fedtiny_suite::fl::{
-    no_hook, run_byzantine_tcp_device, run_federated_rounds, run_tcp_device, run_with,
-    AdversarialTransport, Aggregator, Behavior, CheckpointSpec, Codec, CostLedger, ExperimentEnv,
-    FlConfig, InProcess, ModelSpec, RunOptions, TcpTransport,
-};
-use fedtiny_suite::nn::{flat_params, sparse_layout};
-use fedtiny_suite::sparse::Mask;
-use std::net::TcpListener;
-
-const SEED: u64 = 23;
-/// Seed of the adversary's corruption streams — shared by the TCP clients
-/// and the in-process twin so both produce identical hostile bytes.
-const ADV_SEED: u64 = 4242;
-
-#[derive(Clone, Debug)]
-struct Options {
-    mode: Mode,
-    devices: usize,
-    rounds: usize,
-    codec: Codec,
-    aggregator: Aggregator,
-    byzantine: Vec<(usize, Behavior)>,
-    checkpoint: Option<String>,
-    resume: bool,
-    halt_after: Option<usize>,
-}
-
-impl Options {
-    /// Per-device behavior table (`Honest` default, overridden by
-    /// `--byzantine device:behavior` entries).
-    fn behaviors(&self) -> Vec<Behavior> {
-        let mut table = vec![Behavior::Honest; self.devices];
-        for &(device, behavior) in &self.byzantine {
-            table[device] = behavior;
-        }
-        table
-    }
-}
-
-#[derive(Clone, Debug)]
-enum Mode {
-    Demo,
-    Listen(String),
-    Connect { addr: String, device: usize },
-}
-
-fn parse_args() -> Options {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let get = |flag: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
-    };
-    let has = |flag: &str| args.iter().any(|a| a == flag);
-    let mode = if let Some(addr) = get("--listen") {
-        Mode::Listen(addr)
-    } else if let Some(addr) = get("--connect") {
-        let device = get("--device")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--connect requires --device <k>");
-                std::process::exit(2);
-            });
-        Mode::Connect { addr, device }
-    } else {
-        Mode::Demo
-    };
-    let codec = match get("--codec") {
-        Some(name) => match Codec::from_name(&name) {
-            // `top_k` defaults to error feedback ON, but error-feedback
-            // residuals live on the device and cannot be rolled back over
-            // a remote transport (the server refuses the combination) —
-            // the TCP fleet therefore runs the stateless variant.
-            Some(Codec::TopK { k_frac, .. }) => Codec::TopK {
-                k_frac,
-                error_feedback: false,
-            },
-            Some(codec) => codec,
-            None => {
-                eprintln!(
-                    "unknown codec {name:?}; expected dense | mask_csr | quant_int8 | top_k \
-                     (top_k runs without error feedback over TCP)"
-                );
-                std::process::exit(2);
-            }
-        },
-        None => Codec::Dense,
-    };
-    let aggregator = match get("--aggregator") {
-        Some(name) => Aggregator::from_name(&name).unwrap_or_else(|| {
-            eprintln!(
-                "unknown aggregator {name:?}; expected fedavg | trimmed_mean[:beta] | \
-                 median | norm_clipped[:tau]"
-            );
-            std::process::exit(2);
-        }),
-        None => Aggregator::FedAvg,
-    };
-    let devices = get("--devices").and_then(|v| v.parse().ok()).unwrap_or(4);
-    // `--byzantine device:behavior` may repeat — one entry per hostile device.
-    let byzantine: Vec<(usize, Behavior)> = args
-        .iter()
-        .enumerate()
-        .filter(|(_, a)| a.as_str() == "--byzantine")
-        .map(|(i, _)| {
-            let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
-            let parsed = spec.split_once(':').and_then(|(dev, behavior)| {
-                Some((dev.parse::<usize>().ok()?, Behavior::from_name(behavior)?))
-            });
-            match parsed {
-                Some((device, _)) if device >= devices => {
-                    eprintln!("--byzantine device {device} out of range (fleet has {devices})");
-                    std::process::exit(2);
-                }
-                Some(pair) => pair,
-                None => {
-                    eprintln!(
-                        "bad --byzantine spec {spec:?}; expected device:behavior, e.g. \
-                         1:sign_flip:8, 3:garbage, 2:replay, 0:handshake_drop"
-                    );
-                    std::process::exit(2);
-                }
-            }
-        })
-        .collect();
-    Options {
-        mode,
-        devices,
-        rounds: get("--rounds").and_then(|v| v.parse().ok()).unwrap_or(6),
-        codec,
-        aggregator,
-        byzantine,
-        checkpoint: get("--checkpoint"),
-        resume: has("--resume"),
-        halt_after: get("--halt-after").and_then(|v| v.parse().ok()),
-    }
-}
-
-/// The environment both ends derive from the shared seed.
-fn build_env(opts: &Options) -> ExperimentEnv {
-    let synth = SynthConfig {
-        profile: DatasetProfile::Cifar10,
-        train_per_class: 12,
-        test_per_class: 8,
-        resolution: 8,
-        channels: 3,
-        seed: SEED,
-    };
-    let mut cfg = FlConfig::bench_default();
-    cfg.devices = opts.devices;
-    cfg.rounds = opts.rounds;
-    cfg.local_epochs = 1;
-    cfg.seed = SEED;
-    cfg.codec = opts.codec;
-    cfg.aggregator = opts.aggregator;
-    ExperimentEnv::new(synth, cfg)
-}
-
-fn model_spec() -> ModelSpec {
-    ModelSpec::SmallCnn { width: 4, input: 8 }
-}
-
-/// Self-describing run header (transport, codec, aggregator, adversaries,
-/// checkpoint path).
-fn print_header(transport: &str, opts: &Options) {
-    let byzantine = if opts.byzantine.is_empty() {
-        "-".to_string()
-    } else {
-        opts.byzantine
-            .iter()
-            .map(|(d, b)| format!("{d}:{}", b.name()))
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    println!(
-        "transport: {transport} | codec: {} | aggregator: {} | byzantine: {byzantine} | \
-         devices: {} | rounds: {} | checkpoint: {}{}",
-        opts.codec.name(),
-        opts.aggregator.name(),
-        opts.devices,
-        opts.rounds,
-        opts.checkpoint.as_deref().unwrap_or("-"),
-        if opts.resume { " (resume)" } else { "" },
-    );
-}
-
-/// Runs the server rounds over an accepted TCP fleet and returns
-/// `(final accuracy, final params, ledger)`.
-fn run_server(transport: &mut TcpTransport, opts: &Options) -> (f32, Vec<f32>, CostLedger) {
-    let env = build_env(opts);
-    let mut model = env.build_model(&model_spec());
-    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
-    let mut ledger = CostLedger::new();
-    let history = run_with(
-        model.as_mut(),
-        &mut mask,
-        &env,
-        0,
-        &mut ledger,
-        &mut no_hook(),
-        RunOptions {
-            transport,
-            checkpoint: opts.checkpoint.as_ref().map(CheckpointSpec::every_round),
-            resume: opts.resume,
-            halt_after: opts.halt_after,
-            hook_save: None,
-            hook_load: None,
-            presence: None,
-        },
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("server run failed: {e}");
-        std::process::exit(1);
-    });
-    let acc = history.last().copied().unwrap_or(f32::NAN);
-    (acc, flat_params(model.as_ref()), ledger)
-}
-
-/// The in-process reference run of the same seed. A clean fleet takes the
-/// classic `run_federated_rounds` path; a hostile one replays the same
-/// adversary schedule through [`AdversarialTransport`], so the reference
-/// quarantines the identical bytes the TCP server saw.
-fn run_reference(opts: &Options) -> (f32, Vec<f32>, CostLedger) {
-    let env = build_env(opts);
-    let mut model = env.build_model(&model_spec());
-    let mut mask = Mask::ones(&sparse_layout(model.as_ref()));
-    let mut ledger = CostLedger::new();
-    let history = if opts.byzantine.is_empty() {
-        run_federated_rounds(
-            model.as_mut(),
-            &mut mask,
-            &env,
-            0,
-            &mut ledger,
-            &mut no_hook(),
-        )
-    } else {
-        let mut transport = AdversarialTransport::new(InProcess, opts.behaviors(), ADV_SEED);
-        let history = run_with(
-            model.as_mut(),
-            &mut mask,
-            &env,
-            0,
-            &mut ledger,
-            &mut no_hook(),
-            RunOptions::new(&mut transport),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("reference run failed: {e}");
-            std::process::exit(1);
-        });
-        ledger.record_handshake_faults(transport.handshake_faults());
-        history
-    };
-    let acc = history.last().copied().unwrap_or(f32::NAN);
-    (acc, flat_params(model.as_ref()), ledger)
-}
-
-/// One machine-readable line of the server's fault ledger — the CI
-/// hostile-fleet job collects these as its quarantine-stats artifact.
-fn print_quarantine_stats(opts: &Options, ledger: &CostLedger) {
-    let f = ledger.faults();
-    println!(
-        "quarantine_stats: {{\"aggregator\":\"{}\",\"malformed_frames\":{},\"replays\":{},\
-         \"disconnects\":{},\"inflated_samples\":{},\"clipped_updates\":{},\
-         \"rejected_handshakes\":{},\"quarantined\":{}}}",
-        opts.aggregator.name(),
-        f.malformed_frames,
-        f.replays,
-        f.disconnects,
-        f.inflated_samples,
-        f.clipped_updates,
-        f.rejected_handshakes,
-        ledger.quarantined_updates(),
-    );
-}
-
-/// Compares the TCP run against the in-process reference and exits
-/// non-zero on any drift. Skipped for halted (checkpoint-partial) runs.
-fn assert_matches_reference(tcp: &(f32, Vec<f32>, CostLedger), opts: &Options) {
-    if let Some(halted) = opts.halt_after {
-        println!("halted after {halted} rounds — checkpoint saved, reference comparison skipped");
-        return;
-    }
-    let reference = run_reference(opts);
-    let drifted = tcp
-        .1
-        .iter()
-        .zip(reference.1.iter())
-        .filter(|(a, b)| a.to_bits() != b.to_bits())
-        .count();
-    println!(
-        "tcp top1 {:.4} | in_process top1 {:.4} | parameter drift: {drifted}/{} coordinates",
-        tcp.0,
-        reference.0,
-        reference.1.len(),
-    );
-    assert_eq!(
-        drifted, 0,
-        "TCP run diverged from the in-process run — the byte boundary changed the math"
-    );
-    assert_eq!(tcp.0.to_bits(), reference.0.to_bits(), "accuracy drifted");
-    if !opts.byzantine.is_empty() {
-        assert_eq!(
-            tcp.2.faults(),
-            reference.2.faults(),
-            "TCP quarantine counters diverged from the in-process adversary twin"
-        );
-        print_quarantine_stats(opts, &tcp.2);
-    }
-    println!(
-        "ok: final aggregated model is bit-identical across the TCP byte boundary \
-         ({:.1} simulated seconds, {:.1} KB measured uploads)",
-        tcp.2.sim_makespan_secs(),
-        tcp.2.total_payload_upload_bytes() / 1e3,
-    );
-}
+//! All knobs (--codec, --aggregator, --byzantine, --checkpoint, --resume,
+//! --halt-after, --devices, --rounds) pass through unchanged. See
+//! `ft help serve` and `ft help device`.
 
 fn main() {
-    let opts = parse_args();
-    match opts.mode.clone() {
-        Mode::Connect { addr, device } => {
-            print_header("tcp (device)", &opts);
-            let env = build_env(&opts);
-            // A device listed in `--byzantine` runs the misbehaving client;
-            // everyone else speaks the honest protocol.
-            let behavior = opts
-                .byzantine
-                .iter()
-                .find(|(d, _)| *d == device)
-                .map(|(_, b)| *b)
-                .unwrap_or(Behavior::Honest);
-            let result = match behavior {
-                Behavior::Honest => run_tcp_device(addr.as_str(), device, &env, &model_spec()),
-                hostile => run_byzantine_tcp_device(
-                    addr.as_str(),
-                    device,
-                    &env,
-                    &model_spec(),
-                    hostile,
-                    ADV_SEED,
-                ),
-            };
-            if let Err(e) = result {
-                eprintln!("device {device} failed: {e}");
-                std::process::exit(1);
-            }
-            println!("device {device}: done ({})", behavior.name());
-        }
-        Mode::Listen(addr) => {
-            print_header("tcp (server)", &opts);
-            println!(
-                "listening on {addr}, waiting for {} devices...",
-                opts.devices
-            );
-            // A hostile fleet needs the tolerant accept loop (handshake
-            // screening); a clean one keeps the strict listener.
-            let mut transport = if opts.byzantine.is_empty() {
-                TcpTransport::listen(addr.as_str(), opts.devices).unwrap_or_else(|e| {
-                    eprintln!("listen failed: {e}");
-                    std::process::exit(1);
-                })
-            } else {
-                let listener = TcpListener::bind(addr.as_str()).unwrap_or_else(|e| {
-                    eprintln!("listen failed: {e}");
-                    std::process::exit(1);
-                });
-                TcpTransport::accept_fleet_tolerant(listener, opts.devices).unwrap_or_else(|e| {
-                    eprintln!("accept failed: {e}");
-                    std::process::exit(1);
-                })
-            };
-            let mut tcp = run_server(&mut transport, &opts);
-            tcp.2.record_handshake_faults(transport.handshake_faults());
-            assert_matches_reference(&tcp, &opts);
-        }
-        Mode::Demo => {
-            print_header("tcp (demo: server + client threads)", &opts);
-            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
-            let addr = listener.local_addr().expect("local addr");
-            println!("loopback fleet on {addr}");
-            let behaviors = opts.behaviors();
-            let client_opts = opts.clone();
-            let clients: Vec<_> = (0..opts.devices)
-                .map(|k| {
-                    let o = client_opts.clone();
-                    let behavior = behaviors[k];
-                    std::thread::spawn(move || {
-                        let env = build_env(&o);
-                        match behavior {
-                            Behavior::Honest => run_tcp_device(addr, k, &env, &model_spec()),
-                            hostile => run_byzantine_tcp_device(
-                                addr,
-                                k,
-                                &env,
-                                &model_spec(),
-                                hostile,
-                                ADV_SEED,
-                            ),
-                        }
-                        .unwrap_or_else(|e| panic!("device {k} failed: {e}"));
-                    })
-                })
-                .collect();
-            let mut transport = if opts.byzantine.is_empty() {
-                TcpTransport::accept_fleet(&listener, opts.devices).unwrap_or_else(|e| {
-                    eprintln!("accept failed: {e}");
-                    std::process::exit(1);
-                })
-            } else {
-                TcpTransport::accept_fleet_tolerant(listener, opts.devices).unwrap_or_else(|e| {
-                    eprintln!("accept failed: {e}");
-                    std::process::exit(1);
-                })
-            };
-            let mut tcp = run_server(&mut transport, &opts);
-            tcp.2.record_handshake_faults(transport.handshake_faults());
-            for c in clients {
-                c.join().expect("client thread");
-            }
-            assert_matches_reference(&tcp, &opts);
-        }
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    // Translate the legacy mode flags onto the `ft` subcommand surface;
+    // everything else passes through verbatim (`--demo` is `ft serve`'s
+    // default mode, so the bare flag is simply dropped).
+    let mut argv: Vec<String> = if has("--connect") {
+        vec!["device".into()]
+    } else {
+        vec!["serve".into()]
+    };
+    argv.extend(args.into_iter().filter(|a| a != "--demo"));
+    std::process::exit(ft_cli::dispatch(&argv));
 }

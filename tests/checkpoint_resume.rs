@@ -112,6 +112,7 @@ fn run_killed_and_resumed(
                 hook_save: None,
                 hook_load: None,
                 presence: None,
+                metrics: None,
             },
         )
         .expect("halted run");
@@ -139,6 +140,7 @@ fn run_killed_and_resumed(
             hook_save: None,
             hook_load: None,
             presence: None,
+            metrics: None,
         },
     )
     .expect("resumed run");
@@ -227,6 +229,7 @@ fn ckpt_mismatched_run_is_rejected_with_typed_error() {
                 hook_save: None,
                 hook_load: None,
                 presence: None,
+                metrics: None,
             },
         )
         .expect("halted run");
@@ -252,6 +255,7 @@ fn ckpt_mismatched_run_is_rejected_with_typed_error() {
             hook_save: None,
             hook_load: None,
             presence: None,
+            metrics: None,
         },
     )
     .expect_err("mismatched checkpoint must be rejected");
@@ -286,6 +290,7 @@ fn ckpt_corrupt_file_is_rejected_not_panicking() {
             hook_save: None,
             hook_load: None,
             presence: None,
+            metrics: None,
         },
     )
     .expect_err("corrupt checkpoint must be rejected");
@@ -312,6 +317,7 @@ fn ckpt_fedtiny_resume_matches_uninterrupted_run() {
             checkpoint: Some(CheckpointSpec::every_round(&path)),
             resume: false,
             halt_after: Some(2),
+            metrics: None,
         },
     )
     .expect("halted fedtiny run");
@@ -326,6 +332,7 @@ fn ckpt_fedtiny_resume_matches_uninterrupted_run() {
             checkpoint: Some(CheckpointSpec::every_round(&path)),
             resume: true,
             halt_after: None,
+            metrics: None,
         },
     )
     .expect("resumed fedtiny run");
@@ -379,6 +386,7 @@ fn ckpt_fedtiny_halt_before_first_eval_returns_nan_not_panic() {
             checkpoint: Some(CheckpointSpec::every_round(&path)),
             resume: false,
             halt_after: Some(1),
+            metrics: None,
         },
     )
     .expect("halted fedtiny run must not panic");
@@ -395,6 +403,7 @@ fn ckpt_fedtiny_halt_before_first_eval_returns_nan_not_panic() {
             checkpoint: Some(CheckpointSpec::every_round(&path)),
             resume: true,
             halt_after: None,
+            metrics: None,
         },
     )
     .expect("resumed fedtiny run");
@@ -431,6 +440,7 @@ fn ckpt_changed_hyperparameters_are_rejected() {
                 hook_save: None,
                 hook_load: None,
                 presence: None,
+                metrics: None,
             },
         )
         .expect("halted run");
@@ -456,6 +466,7 @@ fn ckpt_changed_hyperparameters_are_rejected() {
             hook_save: None,
             hook_load: None,
             presence: None,
+            metrics: None,
         },
     )
     .expect_err("changed hyperparameters must refuse to resume");
