@@ -23,6 +23,14 @@
 //! measured in the same run. Both records missing or unmeasured is a hard
 //! failure — the alloc-free claim may not silently rot out of the report.
 //!
+//! A fourth family gates the batched training engine from
+//! `BENCH_micro_ops.json`: the `train_step` record must show exactly zero
+//! allocator bytes per steady-state epoch and at least a 1.4x
+//! single-thread epoch-throughput floor over the `train_step_legacy`
+//! replica of the retired per-sample engine, measured interleaved in the
+//! same run (the committed baseline carries the same record so the floor
+//! stays documented). Missing records are hard failures.
+//!
 //! If *zero* gates end up evaluated the check fails loudly: a gate file
 //! that checks nothing is indistinguishable from a regression.
 //!
@@ -286,6 +294,77 @@ fn main() -> ExitCode {
                     );
                     failed = true;
                 }
+            }
+        }
+    }
+
+    // -- Training-engine floors (train_step) -------------------------------
+    // The batched alloc-free engine must (a) allocate zero bytes per epoch
+    // at steady state and (b) hold a 1.4x single-thread epoch-throughput
+    // floor over the committed pre-rewrite baseline. The in-run
+    // `train_step_legacy` replica re-measures the retired engine on the
+    // same host in the same interleaved run, so the ratio is host-fair;
+    // the committed baseline record documents the floor the replica must
+    // itself stay honest against. Any missing record is a hard failure.
+    {
+        let cur = report
+            .records
+            .iter()
+            .find(|r| r.op == "train_step" && r.requested_threads == 1);
+        let legacy = report
+            .records
+            .iter()
+            .find(|r| r.op == "train_step_legacy" && r.requested_threads == 1);
+        let base = baseline
+            .records
+            .iter()
+            .find(|r| r.op == "train_step" && r.requested_threads == 1);
+        match (cur, legacy, base) {
+            (Some(cur), Some(legacy), Some(base)) => {
+                if cur.shape != legacy.shape || cur.shape != base.shape {
+                    eprintln!(
+                        "  FAIL train_step: geometry mismatch (report {}, legacy {}, baseline {})",
+                        cur.shape, legacy.shape, base.shape
+                    );
+                    failed = true;
+                } else {
+                    evaluated += 1;
+                    let alloc_ok = cur.alloc_bytes_per_round == 0.0;
+                    if !alloc_ok {
+                        failed = true;
+                    }
+                    println!(
+                        "  {:>4} train_step {} alloc: {:.1} B/epoch (need exactly 0)",
+                        if alloc_ok { "ok" } else { "FAIL" },
+                        cur.shape,
+                        cur.alloc_bytes_per_round
+                    );
+                    evaluated += 1;
+                    let speedup = legacy.ns_per_iter / cur.ns_per_iter.max(1.0);
+                    let floor_ok = speedup >= 1.4;
+                    if !floor_ok {
+                        failed = true;
+                    }
+                    println!(
+                        "  {:>4} train_step {} @1t: {speedup:.2}x vs in-run legacy replica \
+                         (need >= 1.4x; committed baseline {:.0} ns/epoch)",
+                        if floor_ok { "ok" } else { "FAIL" },
+                        cur.shape,
+                        base.ns_per_iter
+                    );
+                }
+            }
+            (cur, legacy, base) => {
+                let missing = if cur.is_none() {
+                    "train_step record missing from report"
+                } else if legacy.is_none() {
+                    "train_step_legacy record missing from report"
+                } else {
+                    debug_assert!(base.is_none());
+                    "train_step record missing from baseline"
+                };
+                eprintln!("  FAIL train_step: {missing} — this gate cannot be skipped");
+                failed = true;
             }
         }
     }

@@ -82,27 +82,59 @@ impl Dataset {
     ///
     /// Panics if any index is out of range.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut buf = BatchBuf::default();
+        self.batch_into(indices, &mut buf);
+        (buf.images, buf.labels)
+    }
+
+    /// [`Dataset::batch`] writing into a caller-owned [`BatchBuf`], reusing
+    /// its buffers: repeated batching (the training loop, the eval cadence)
+    /// allocates nothing at steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch_into(&self, indices: &[usize], buf: &mut BatchBuf) {
         let sample = self.channels * self.height * self.width;
-        let mut data = Vec::with_capacity(indices.len() * sample);
-        let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
+        buf.images
+            .resize_for_overwrite(&[indices.len(), self.channels, self.height, self.width]);
+        let data = buf.images.data_mut();
+        buf.labels.clear();
+        for (slot, &i) in indices.iter().enumerate() {
             assert!(i < self.len(), "sample index {i} out of range");
-            data.extend_from_slice(&self.images[i * sample..(i + 1) * sample]);
-            labels.push(self.labels[i]);
+            data[slot * sample..(slot + 1) * sample]
+                .copy_from_slice(&self.images[i * sample..(i + 1) * sample]);
+            buf.labels.push(self.labels[i]);
         }
-        (
-            Tensor::from_vec(
-                data,
-                &[indices.len(), self.channels, self.height, self.width],
-            ),
-            labels,
-        )
+    }
+
+    /// Batches the contiguous index range `start..end` without an index
+    /// vector — the shape of every sequential eval sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn batch_range_into(&self, start: usize, end: usize, buf: &mut BatchBuf) {
+        assert!(
+            start <= end && end <= self.len(),
+            "bad range {start}..{end}"
+        );
+        let sample = self.channels * self.height * self.width;
+        let n = end - start;
+        buf.images
+            .resize_for_overwrite(&[n, self.channels, self.height, self.width]);
+        buf.images
+            .data_mut()
+            .copy_from_slice(&self.images[start * sample..end * sample]);
+        buf.labels.clear();
+        buf.labels.extend_from_slice(&self.labels[start..end]);
     }
 
     /// The whole dataset as one batch.
     pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
-        let idx: Vec<usize> = (0..self.len()).collect();
-        self.batch(&idx)
+        let mut buf = BatchBuf::default();
+        self.batch_range_into(0, self.len(), &mut buf);
+        (buf.images, buf.labels)
     }
 
     /// A new dataset containing only the samples at `indices`.
@@ -173,6 +205,20 @@ impl Dataset {
     }
 }
 
+/// Reusable batch assembly buffers for [`Dataset::batch_into`] /
+/// [`Dataset::batch_range_into`].
+///
+/// Holds the `[n, c, h, w]` image tensor and the label vector; both are
+/// resized in place, so one `BatchBuf` per training/eval loop amortizes all
+/// batching allocations away.
+#[derive(Clone, Debug, Default)]
+pub struct BatchBuf {
+    /// Batch images, `[n, c, h, w]`.
+    pub images: Tensor,
+    /// Batch labels, length `n`.
+    pub labels: Vec<usize>,
+}
+
 /// Iterator over shuffled mini-batches of a [`Dataset`].
 pub struct BatchIter<'a> {
     dataset: &'a Dataset,
@@ -214,6 +260,45 @@ mod tests {
         assert_eq!(x.shape(), &[2, 1, 2, 2]);
         assert_eq!(y, vec![1, 3]);
         assert_eq!(x.data()[0], 4.0); // first pixel of sample 1
+    }
+
+    #[test]
+    fn batch_into_reuses_buffers_and_matches_batch() {
+        let d = ds();
+        let mut buf = BatchBuf::default();
+        d.batch_into(&[1, 3], &mut buf);
+        let (x, y) = d.batch(&[1, 3]);
+        assert_eq!(buf.images.shape(), x.shape());
+        assert_eq!(buf.images.data(), x.data());
+        assert_eq!(buf.labels, y);
+        // Refill with a different geometry: no stale contents.
+        d.batch_into(&[0], &mut buf);
+        assert_eq!(buf.images.shape(), &[1, 1, 2, 2]);
+        assert_eq!(buf.labels, &[0]);
+        assert_eq!(buf.images.data()[0], 0.0);
+    }
+
+    #[test]
+    fn batch_range_matches_indexed_batch() {
+        let d = ds();
+        let mut buf = BatchBuf::default();
+        d.batch_range_into(1, 3, &mut buf);
+        let (x, y) = d.batch(&[1, 2]);
+        assert_eq!(buf.images.data(), x.data());
+        assert_eq!(buf.labels, y);
+        // Full range equals full_batch.
+        d.batch_range_into(0, d.len(), &mut buf);
+        let (fx, fy) = d.full_batch();
+        assert_eq!(buf.images.data(), fx.data());
+        assert_eq!(buf.labels, fy);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn batch_range_rejects_overrun() {
+        let d = ds();
+        let mut buf = BatchBuf::default();
+        d.batch_range_into(2, 5, &mut buf);
     }
 
     #[test]

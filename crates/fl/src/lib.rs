@@ -88,8 +88,8 @@ pub use sched::{
 pub use server::{run_with, RoundPhase, RunOptions, ServerError};
 pub use spec::ModelSpec;
 pub use train::{
-    device_rng_seed, eval_loss, evaluate, local_train, local_train_prox, train_devices_parallel,
-    train_one_device, DeviceUpdate, WireSpec,
+    device_rng_seed, eval_loss, evaluate, local_train, local_train_prox, local_train_scratch,
+    train_devices_parallel, train_one_device, DeviceUpdate, TrainScratch, WireSpec,
 };
 pub use transport::{
     run_tcp_device, run_tcp_devices, Delivery, FaultKind, InProcess, RoundRequest, SimTime,

@@ -1,14 +1,19 @@
 //! Device-side local training and model evaluation.
 
 use crate::config::FlConfig;
-use ft_data::Dataset;
-use ft_nn::loss::{cross_entropy_loss_only, softmax_cross_entropy};
+use ft_data::{BatchBuf, Dataset};
+use ft_nn::loss::{cross_entropy_loss_only, softmax_cross_entropy_into};
 use ft_nn::optim::Sgd;
-use ft_nn::{accuracy, flat_params, BnStats, Mode, Model};
+use ft_nn::{
+    accuracy, flat_params, flat_params_into, set_flat_params, ArchInfo, BnStats, Mode, Model,
+};
 use ft_runtime::Runtime;
 use ft_sparse::{Codec, Mask, Payload, WireCtx};
+use ft_tensor::Tensor;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 
 /// Everything the encoder side of the update pipeline needs: the codec, the
 /// wire context (aliveness, segments, mask epoch) and the receiver's known
@@ -80,6 +85,24 @@ impl LocalOutcome {
     }
 }
 
+/// Reusable buffers for the local-training loop: one of these per worker
+/// makes every epoch of [`local_train_scratch`] allocation-free at steady
+/// state (batch assembly, forward activations, loss gradient, proximal
+/// anchor all live here or inside the model's own arenas).
+#[derive(Clone, Debug, Default)]
+pub struct TrainScratch {
+    /// Shuffled sample order for the current epoch.
+    order: Vec<usize>,
+    /// Mini-batch assembly buffers.
+    buf: BatchBuf,
+    /// Forward logits.
+    logits: Tensor,
+    /// Loss gradient w.r.t. the logits.
+    grad: Tensor,
+    /// FedProx anchor (`θ_global` at entry); only filled when `mu > 0`.
+    prox_anchor: Vec<f32>,
+}
+
 /// Runs `epochs` of mini-batch SGD on `model` over `data`, with gradients
 /// masked by `mask` when given (Eq. 5). The RNG drives batch shuffling only.
 pub fn local_train(
@@ -109,18 +132,55 @@ pub fn local_train_prox(
     rng: &mut ChaCha8Rng,
     mu: f32,
 ) {
-    let anchor = if mu > 0.0 {
-        Some(flat_params(model))
-    } else {
-        None
-    };
+    let mut scratch = TrainScratch::default();
+    local_train_scratch(
+        model,
+        data,
+        mask,
+        epochs,
+        batch_size,
+        sgd,
+        rng,
+        mu,
+        &mut scratch,
+    );
+}
+
+/// [`local_train_prox`] running through caller-owned [`TrainScratch`]
+/// buffers. Bit-identical to the allocating form (same RNG draws, same
+/// batch order, same kernel sequence); a reused scratch just skips the
+/// per-batch allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn local_train_scratch(
+    model: &mut dyn Model,
+    data: &Dataset,
+    mask: Option<&Mask>,
+    epochs: usize,
+    batch_size: usize,
+    sgd: &mut Sgd,
+    rng: &mut ChaCha8Rng,
+    mu: f32,
+    scratch: &mut TrainScratch,
+) {
+    if mu > 0.0 {
+        flat_params_into(model, &mut scratch.prox_anchor);
+    }
+    let bs = batch_size.max(1);
     for _ in 0..epochs {
-        for (x, y) in data.iter_batches(rng, batch_size) {
-            let logits = model.forward(&x, Mode::Train);
-            let (_, grad) = softmax_cross_entropy(&logits, &y);
-            model.backward(&grad);
-            if let Some(anchor) = &anchor {
-                add_proximal_term(model, anchor, mu);
+        scratch.order.clear();
+        scratch.order.extend(0..data.len());
+        scratch.order.shuffle(rng);
+        let mut pos = 0;
+        while pos < scratch.order.len() {
+            let end = (pos + bs).min(scratch.order.len());
+            data.batch_into(&scratch.order[pos..end], &mut scratch.buf);
+            pos = end;
+            model.forward_into(&scratch.buf.images, &mut scratch.logits, Mode::Train);
+            let _ =
+                softmax_cross_entropy_into(&scratch.logits, &scratch.buf.labels, &mut scratch.grad);
+            model.backward_scratch(&scratch.grad);
+            if mu > 0.0 {
+                add_proximal_term(model, &scratch.prox_anchor, mu);
             }
             sgd.step(model, mask);
             model.zero_grad();
@@ -153,6 +213,73 @@ pub fn device_rng_seed(run_seed: u64, round: usize, device: usize) -> u64 {
     run_seed ^ (round as u64).wrapping_mul(0x9e37_79b9) ^ (device as u64) << 32
 }
 
+/// Per-worker cached device state: a device-local model restored from the
+/// global parameters each round instead of deep-cloned, plus the optimizer,
+/// training scratch and flat-vector arenas. One lives in each worker
+/// thread's TLS, so repeated rounds reuse every buffer (model weights,
+/// layer arenas, velocity, batch assembly) and the per-round cost drops to
+/// a handful of `memcpy`s.
+struct DeviceTrainer {
+    model: Box<dyn Model>,
+    sgd: Sgd,
+    scratch: TrainScratch,
+    anchor: Vec<f32>,
+    arch: ArchInfo,
+}
+
+thread_local! {
+    static DEVICE_TRAINER: RefCell<Option<DeviceTrainer>> = const { RefCell::new(None) };
+}
+
+impl DeviceTrainer {
+    /// Restores the cached model to an exact functional copy of `global`:
+    /// parameters, gradients, BN running statistics and mask state. Layer
+    /// scratch arenas and cached sparse plans survive (they re-key on batch
+    /// geometry and mask epoch), which is the whole point of the cache.
+    fn restore_from(&mut self, global: &dyn Model, rt: &Runtime) {
+        flat_params_into(global, &mut self.anchor);
+        set_flat_params(self.model.as_mut(), &self.anchor);
+        let src_bn = global.bn_stats();
+        let mut l = 0;
+        self.model.for_each_bn_stats_mut(&mut |dst| {
+            let s = src_bn.get(l).expect("BatchNorm layer count mismatch");
+            dst.mean.copy_from_slice(&s.mean);
+            dst.var.copy_from_slice(&s.var);
+            l += 1;
+        });
+        assert_eq!(l, src_bn.len(), "BatchNorm layer count mismatch");
+        let src_params = global.params();
+        let mut i = 0;
+        self.model.for_each_param_mut(&mut |p| {
+            let src = src_params[i];
+            p.grad.copy_from(&src.grad);
+            if let Some(bits) = &src.mask_bits {
+                p.note_mask(bits);
+            }
+            i += 1;
+        });
+        self.model.set_runtime(*rt);
+        self.model.reset_realized_flops();
+    }
+
+    /// Whether the cached model can impersonate `global` after a restore:
+    /// same architecture, and no stale mask recorded on a parameter the
+    /// global considers unmasked (masks can be asserted but not cleared).
+    fn can_restore(&self, global: &dyn Model, arch: &ArchInfo) -> bool {
+        if self.arch != *arch {
+            return false;
+        }
+        let src_params = global.params();
+        let mut ok = true;
+        let mut i = 0;
+        self.model.for_each_param(&mut |p| {
+            ok &= src_params[i].mask_bits.is_some() || p.mask_bits.is_none();
+            i += 1;
+        });
+        ok && i == src_params.len()
+    }
+}
+
 /// Trains one device from a snapshot of the global model and returns its
 /// *raw* outcome (the dense delta, not yet encoded). `round` selects the
 /// RNG stream and the decayed learning rate; `salt` further separates
@@ -162,6 +289,11 @@ pub fn device_rng_seed(run_seed: u64, round: usize, device: usize) -> u64 {
 /// untouched. `rt` is the runtime the device's *kernels* execute on
 /// (sequential when the caller already fans devices out across the pool;
 /// kernels are bit-identical either way).
+///
+/// The device model is not cloned: each worker thread keeps a cached
+/// [`DeviceTrainer`] and restores it from `global` (bit-identical to a
+/// fresh clone, since training state is a pure function of the restored
+/// parameters and the round RNG stream).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn train_one_device_raw(
     global: &dyn Model,
@@ -173,41 +305,55 @@ pub(crate) fn train_one_device_raw(
     salt: u64,
     rt: &Runtime,
 ) -> LocalOutcome {
-    let anchor = flat_params(global);
-    let mut model = global.clone_model();
-    model.set_runtime(*rt);
-    model.reset_realized_flops();
-    let mut sgd_cfg = cfg.sgd;
-    if cfg.lr_decay != 1.0 {
-        sgd_cfg.lr *= cfg.lr_decay.powi(round as i32);
-    }
-    let mut sgd = Sgd::new(sgd_cfg);
-    let mut rng = ChaCha8Rng::seed_from_u64(
-        device_rng_seed(cfg.seed, round, device) ^ salt.wrapping_mul(0xd1b5_4a32_d192_ed03),
-    );
-    let started = std::time::Instant::now();
-    local_train_prox(
-        model.as_mut(),
-        data,
-        mask,
-        cfg.local_epochs,
-        cfg.batch_size,
-        &mut sgd,
-        &mut rng,
-        cfg.prox_mu,
-    );
-    let wall_secs = started.elapsed().as_secs_f64();
-    let mut delta = flat_params(model.as_ref());
-    for (d, &a) in delta.iter_mut().zip(anchor.iter()) {
-        *d -= a;
-    }
-    LocalOutcome {
-        delta,
-        bn: model.bn_stats().into_iter().cloned().collect(),
-        samples: data.len(),
-        realized_flops: model.realized_flops(),
-        wall_secs,
-    }
+    DEVICE_TRAINER.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let arch = global.arch();
+        let reuse = slot.as_ref().is_some_and(|t| t.can_restore(global, &arch));
+        if !reuse {
+            *slot = Some(DeviceTrainer {
+                model: global.clone_model(),
+                sgd: Sgd::default(),
+                scratch: TrainScratch::default(),
+                anchor: Vec::new(),
+                arch,
+            });
+        }
+        let trainer = slot.as_mut().expect("trainer just installed");
+        trainer.restore_from(global, rt);
+
+        let mut sgd_cfg = cfg.sgd;
+        if cfg.lr_decay != 1.0 {
+            sgd_cfg.lr *= cfg.lr_decay.powi(round as i32);
+        }
+        trainer.sgd.reset_with(sgd_cfg);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            device_rng_seed(cfg.seed, round, device) ^ salt.wrapping_mul(0xd1b5_4a32_d192_ed03),
+        );
+        let started = std::time::Instant::now();
+        local_train_scratch(
+            trainer.model.as_mut(),
+            data,
+            mask,
+            cfg.local_epochs,
+            cfg.batch_size,
+            &mut trainer.sgd,
+            &mut rng,
+            cfg.prox_mu,
+            &mut trainer.scratch,
+        );
+        let wall_secs = started.elapsed().as_secs_f64();
+        let mut delta = flat_params(trainer.model.as_ref());
+        for (d, &a) in delta.iter_mut().zip(trainer.anchor.iter()) {
+            *d -= a;
+        }
+        LocalOutcome {
+            delta,
+            bn: trainer.model.bn_stats().into_iter().cloned().collect(),
+            samples: data.len(),
+            realized_flops: trainer.model.realized_flops(),
+            wall_secs,
+        }
+    })
 }
 
 /// Trains one device and encodes its update delta under `wire` — the full
@@ -353,19 +499,22 @@ pub(crate) fn train_devices_raw_parallel(
 }
 
 /// Top-1 accuracy on a dataset in `Eval` mode, batched to bound memory.
+/// Batches are assembled through a reused [`BatchBuf`] (no per-batch index
+/// vector or image copy allocation).
 pub fn evaluate(model: &mut dyn Model, data: &Dataset) -> f32 {
     assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
     let mut correct = 0.0f64;
     let mut seen = 0usize;
     let n = data.len();
     let bs = 64;
+    let mut buf = BatchBuf::default();
+    let mut logits = Tensor::default();
     let mut i = 0;
     while i < n {
-        let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
-        let (x, y) = data.batch(&idx);
-        let logits = model.forward(&x, Mode::Eval);
-        correct += accuracy(&logits, &y) as f64 * y.len() as f64;
-        seen += y.len();
+        data.batch_range_into(i, (i + bs).min(n), &mut buf);
+        model.forward_into(&buf.images, &mut logits, Mode::Eval);
+        correct += accuracy(&logits, &buf.labels) as f64 * buf.labels.len() as f64;
+        seen += buf.labels.len();
         i += bs;
     }
     (correct / seen as f64) as f32
@@ -378,13 +527,14 @@ pub fn eval_loss(model: &mut dyn Model, data: &Dataset) -> f32 {
     let mut seen = 0usize;
     let n = data.len();
     let bs = 64;
+    let mut buf = BatchBuf::default();
+    let mut logits = Tensor::default();
     let mut i = 0;
     while i < n {
-        let idx: Vec<usize> = (i..(i + bs).min(n)).collect();
-        let (x, y) = data.batch(&idx);
-        let logits = model.forward(&x, Mode::Eval);
-        total += cross_entropy_loss_only(&logits, &y) as f64 * y.len() as f64;
-        seen += y.len();
+        data.batch_range_into(i, (i + bs).min(n), &mut buf);
+        model.forward_into(&buf.images, &mut logits, Mode::Eval);
+        total += cross_entropy_loss_only(&logits, &buf.labels) as f64 * buf.labels.len() as f64;
+        seen += buf.labels.len();
         i += bs;
     }
     (total / seen as f64) as f32

@@ -9,9 +9,10 @@ use crate::param::{Param, ParamKind};
 use ft_runtime::Runtime;
 use ft_sparse::{BsrMatrix, CsrMatrix};
 use ft_tensor::{
-    avg_pool_global_backward, avg_pool_global_rt, bsr_dsmm_nt_into_rt, bsr_spmm_into_rt, col2im,
-    dsmm_into_rt, dsmm_nt_into_rt, im2col_rt, kaiming_normal, matmul_into_rt, matmul_nt_into_rt,
-    matmul_tn_into_rt, max_pool2x2_backward, max_pool2x2_rt, sddmm_nt_into_rt, sddmm_tn_into_rt,
+    avg_pool_global_backward_into, avg_pool_global_into_rt, bsr_dsmm_nt_into_rt, bsr_spmm_into_rt,
+    col2im_ld, conv2d_fused_into_rt, dsmm_into_rt, dsmm_nt_into_rt, im2col_batched_rt,
+    kaiming_normal, matmul_into_rt, matmul_nt_into_rt, matmul_nt_seg_into_rt, matmul_tn_into_rt,
+    max_pool2x2_backward_into, max_pool2x2_into_rt, sddmm_nt_seg_into_rt, sddmm_tn_into_rt,
     spmm_into_rt, spmm_tn_into_rt, ConvGeom, Tensor,
 };
 use rand::Rng;
@@ -156,16 +157,40 @@ pub struct Conv2d {
     runtime: Runtime,
     plan: Option<SparsePlan>,
     realized_flops: f64,
-    cache: Option<ConvCache>,
+    cache: Option<ConvMeta>,
+    scratch: ConvScratch,
 }
 
-#[derive(Clone, Debug)]
-struct ConvCache {
-    cols: Tensor, // [n, col_rows, col_cols]
+/// Per-layer scratch arena: every buffer the batched conv engine touches,
+/// sized on first use for a given batch geometry and reused across batches,
+/// epochs, and rounds (same idiom as `AggScratch` in `ft_fl`).
+#[derive(Clone, Debug, Default)]
+struct ConvScratch {
+    /// Batched column matrix `[cr, n·cc]`; sample `i` occupies columns
+    /// `i·cc..(i+1)·cc`. Materialized by the sparse forward, rebuilt from
+    /// `x_cache` in the dense backward (the dense forward packs B-panels
+    /// straight out of the image and never materializes it).
+    cols_b: Tensor,
+    /// Forward output staging `[oc, n·cc]` before the NCHW scatter.
+    out_b: Tensor,
+    /// Backward `dY` staging `[oc, n·cc]` (repacked from NCHW).
+    gob: Tensor,
+    /// Column-space input gradient `[cr, n·cc]`.
+    dcol_b: Tensor,
+    /// Input copy kept by the dense forward so backward can rebuild columns.
+    x_cache: Tensor,
+    /// Sparse-path `dW` values at the CSR structure.
+    grad_w_vals: Vec<f32>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ConvMeta {
     geom: ConvGeom,
     batch: usize,
     /// Whether the forward pass ran on the sparse path (backward must match).
     sparse: bool,
+    /// Whether `scratch.cols_b` already holds this batch's column matrix.
+    cols_valid: bool,
 }
 
 impl Conv2d {
@@ -202,6 +227,7 @@ impl Conv2d {
             plan: None,
             realized_flops: 0.0,
             cache: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -242,12 +268,30 @@ impl Conv2d {
         (self.in_c, self.out_c, self.kernel, self.stride, self.pad)
     }
 
-    /// Forward pass over `[n, in_c, h, w]`.
+    /// Forward pass over `[n, in_c, h, w]` (allocating wrapper around
+    /// [`Conv2d::forward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if the input is not rank-4 or the channel count differs.
-    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
+        out
+    }
+
+    /// Batched forward into a caller-owned output tensor. The whole batch
+    /// runs through a single kernel call: the dense path packs B-panels
+    /// straight out of the image (implicit GEMM, no column matrix), the
+    /// sparse path materializes the `[cr, n·cc]` column matrix into the
+    /// layer's scratch arena and runs CSR/BSR SpMM over it. Per-output
+    /// accumulation order is a pure function of the k-decomposition, so the
+    /// result is bit-identical to the per-sample composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank-4 or the channel count differs.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, mode: Mode) {
         let s = x.shape();
         assert_eq!(s.len(), 4, "conv input must be [n,c,h,w]");
         assert_eq!(
@@ -267,28 +311,79 @@ impl Conv2d {
         let (cr, cc) = (geom.col_rows(), geom.col_cols());
         let (oh, ow) = (geom.out_h(), geom.out_w());
         let sparse = refresh_plan(&mut self.plan, &self.w, self.crossover, self.out_c, cr);
-        let mut cols = Tensor::zeros(&[n, cr, cc]);
-        let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
-        // Reshaping copies the weight buffer — only pay for it on the path
-        // that uses it.
-        let wmat = (!sparse).then(|| self.w.data.reshaped(&[self.out_c, cr]));
-        let sample = self.in_c * h * w;
-        for i in 0..n {
-            let xi = &x.data()[i * sample..(i + 1) * sample];
-            let col_slice = &mut cols.data_mut()[i * cr * cc..(i + 1) * cr * cc];
-            im2col_rt(&self.runtime, xi, &geom, col_slice);
-            let col_t = Tensor::from_vec(col_slice.to_vec(), &[cr, cc]);
-            let mut out_mat = Tensor::zeros(&[self.out_c, cc]);
-            match (&self.plan, &wmat) {
-                (Some(plan), _) if sparse => match &plan.bsr {
-                    Some(bsr) => bsr_spmm_into_rt(&self.runtime, bsr.view(), &col_t, &mut out_mat),
-                    None => spmm_into_rt(&self.runtime, plan.csr.view(), &col_t, &mut out_mat),
-                },
-                (_, Some(wmat)) => matmul_into_rt(&self.runtime, wmat, &col_t, &mut out_mat),
-                _ => unreachable!("dense path always has wmat"),
+        out.resize_for_overwrite(&[n, self.out_c, oh, ow]);
+        let scratch = &mut self.scratch;
+        scratch.out_b.resize_zeroed(&[self.out_c, n * cc]);
+        let cols_valid;
+        if sparse {
+            scratch.cols_b.resize_for_overwrite(&[cr, n * cc]);
+            im2col_batched_rt(&self.runtime, x.data(), n, &geom, scratch.cols_b.data_mut());
+            let plan = self.plan.as_ref().expect("sparse path always has a plan");
+            match &plan.bsr {
+                Some(bsr) => bsr_spmm_into_rt(
+                    &self.runtime,
+                    bsr.view(),
+                    &scratch.cols_b,
+                    &mut scratch.out_b,
+                ),
+                None => spmm_into_rt(
+                    &self.runtime,
+                    plan.csr.view(),
+                    &scratch.cols_b,
+                    &mut scratch.out_b,
+                ),
             }
-            let dst = &mut out.data_mut()[i * self.out_c * cc..(i + 1) * self.out_c * cc];
-            dst.copy_from_slice(out_mat.data());
+            cols_valid = true;
+        } else if matches!(mode, Mode::Train) {
+            // Training forward materializes the column matrix up front — the
+            // backward dW GEMM needs it regardless — and runs a plain batched
+            // GEMM over it. The fused pack reads the same values in the same
+            // kernel order, so this is bit-identical while letting backward
+            // skip a full im2col rebuild.
+            scratch.cols_b.resize_for_overwrite(&[cr, n * cc]);
+            im2col_batched_rt(&self.runtime, x.data(), n, &geom, scratch.cols_b.data_mut());
+            self.w.data.reshape_in_place(&[self.out_c, cr]);
+            matmul_into_rt(
+                &self.runtime,
+                &self.w.data,
+                &scratch.cols_b,
+                &mut scratch.out_b,
+            );
+            self.w
+                .data
+                .reshape_in_place(&[self.out_c, self.in_c, self.kernel, self.kernel]);
+            cols_valid = true;
+        } else {
+            // Eval forward: implicit GEMM packs B-panels straight out of the
+            // image, never materializing the column matrix. Keep the input so
+            // a backward call could still rebuild it (im2col is a pure
+            // function of the input).
+            scratch.x_cache.copy_from(x);
+            // Zero-copy `[oc, cr]` view of the weight: reshape in place for
+            // the kernel call and restore after, instead of copying the
+            // whole buffer through `reshaped`.
+            self.w.data.reshape_in_place(&[self.out_c, cr]);
+            conv2d_fused_into_rt(
+                &self.runtime,
+                &self.w.data,
+                x.data(),
+                n,
+                &geom,
+                &mut scratch.out_b,
+            );
+            self.w
+                .data
+                .reshape_in_place(&[self.out_c, self.in_c, self.kernel, self.kernel]);
+            cols_valid = false;
+        }
+        // Scatter [oc, n·cc] back to NCHW [n, oc, oh, ow].
+        let ob = scratch.out_b.data();
+        let od = out.data_mut();
+        for i in 0..n {
+            for c in 0..self.out_c {
+                od[(i * self.out_c + c) * cc..][..cc]
+                    .copy_from_slice(&ob[c * n * cc + i * cc..][..cc]);
+            }
         }
         // BSR executes its tiles' explicit zeros, so it counts stored slots.
         let mac = match &self.plan {
@@ -296,91 +391,174 @@ impl Conv2d {
             _ => self.out_c * cr,
         };
         self.realized_flops += 2.0 * (n * cc * mac) as f64;
-        self.cache = Some(ConvCache {
-            cols,
+        self.cache = Some(ConvMeta {
             geom,
             batch: n,
             sparse,
+            cols_valid,
         });
-        out
     }
 
-    /// Backward pass: accumulates `w.grad` and returns the input gradient.
+    /// Backward pass: accumulates `w.grad` and returns the input gradient
+    /// (allocating wrapper around [`Conv2d::backward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Batched backward into a caller-owned input-gradient tensor. `dW` and
+    /// `dCol` each run as a single whole-batch kernel call; the weight
+    /// gradient accumulates straight into `w.grad` through a segmented-k
+    /// GEMM (one fresh accumulator per sample segment), which is
+    /// bit-identical to the per-sample loop followed by `add_assign`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        self.backward_impl(grad_out, Some(gx));
+    }
+
+    /// Backward pass that only accumulates the parameter gradients,
+    /// skipping the input gradient entirely (no dCol GEMM, no col2im).
+    /// For a network's leading convolution the input gradient is dead —
+    /// there is no layer before it — so the training engine drops roughly
+    /// half of the first conv's backward FLOPs by calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_params_only(&mut self, grad_out: &Tensor) {
+        self.backward_impl(grad_out, None);
+    }
+
+    fn backward_impl(&mut self, grad_out: &Tensor, gx: Option<&mut Tensor>) {
+        let meta = self
             .cache
             .take()
             .expect("Conv2d::backward called before forward");
-        let geom = cache.geom;
+        let geom = meta.geom;
         let (cr, cc) = (geom.col_rows(), geom.col_cols());
-        let n = cache.batch;
+        let n = meta.batch;
         assert_eq!(
             grad_out.shape(),
             &[n, self.out_c, geom.out_h(), geom.out_w()],
             "conv grad_out shape mismatch"
         );
-        let sparse_plan = if cache.sparse {
+        let sparse_plan = if meta.sparse {
             self.plan.as_ref()
         } else {
             None
         };
-        let wmat = sparse_plan
-            .is_none()
-            .then(|| self.w.data.reshaped(&[self.out_c, cr]));
-        let mut grad_w = Tensor::zeros(&[self.out_c, cr]);
-        let mut grad_w_vals = sparse_plan.map(|p| vec![0.0f32; p.csr.nnz()]);
-        let mut gx = Tensor::zeros(&[n, geom.in_c, geom.in_h, geom.in_w]);
-        let sample = geom.in_c * geom.in_h * geom.in_w;
-        for i in 0..n {
-            let go = Tensor::from_vec(
-                grad_out.data()[i * self.out_c * cc..(i + 1) * self.out_c * cc].to_vec(),
-                &[self.out_c, cc],
-            );
-            let col = Tensor::from_vec(
-                cache.cols.data()[i * cr * cc..(i + 1) * cr * cc].to_vec(),
-                &[cr, cc],
-            );
-            let mut grad_col = Tensor::zeros(&[cr, cc]);
-            match (sparse_plan, &mut grad_w_vals) {
-                (Some(plan), Some(vals)) => {
-                    // dW (mask-alive coordinates only) += dY · colᵀ sampled
-                    // at the CSR structure.
-                    sddmm_nt_into_rt(&self.runtime, plan.csr.view(), &go, &col, vals);
-                    // dCol = Wᵀ · dY through the sparse kernel.
-                    spmm_tn_into_rt(&self.runtime, plan.csr.view(), &go, &mut grad_col);
+        let scratch = &mut self.scratch;
+        // Repack dY from NCHW [n, oc, cc] to the batched layout [oc, n·cc].
+        scratch.gob.resize_for_overwrite(&[self.out_c, n * cc]);
+        {
+            let gd = grad_out.data();
+            let gob = scratch.gob.data_mut();
+            for i in 0..n {
+                for c in 0..self.out_c {
+                    gob[c * n * cc + i * cc..][..cc]
+                        .copy_from_slice(&gd[(i * self.out_c + c) * cc..][..cc]);
                 }
-                _ => {
-                    // dW += dY · colᵀ   ([oc,cc] x [cr,cc]ᵀ → [oc,cr])
-                    matmul_nt_into_rt(&self.runtime, &go, &col, &mut grad_w);
-                    // dCol = Wᵀ · dY    ([oc,cr]ᵀ x [oc,cc] → [cr,cc])
-                    matmul_tn_into_rt(
+            }
+        }
+        if !meta.cols_valid {
+            // The dense forward went through the fused pack; rebuild the
+            // column matrix from the cached input for the dW GEMM.
+            scratch.cols_b.resize_for_overwrite(&[cr, n * cc]);
+            im2col_batched_rt(
+                &self.runtime,
+                scratch.x_cache.data(),
+                n,
+                &geom,
+                scratch.cols_b.data_mut(),
+            );
+        }
+        let want_gx = gx.is_some();
+        if want_gx {
+            scratch.dcol_b.resize_zeroed(&[cr, n * cc]);
+        }
+        match sparse_plan {
+            Some(plan) => {
+                // dW (mask-alive coordinates only) += dY · colᵀ sampled at
+                // the CSR structure, one fresh accumulator per sample.
+                scratch.grad_w_vals.clear();
+                scratch.grad_w_vals.resize(plan.csr.nnz(), 0.0);
+                sddmm_nt_seg_into_rt(
+                    &self.runtime,
+                    plan.csr.view(),
+                    &scratch.gob,
+                    &scratch.cols_b,
+                    cc,
+                    &mut scratch.grad_w_vals,
+                );
+                if want_gx {
+                    // dCol = Wᵀ · dY through the sparse kernel.
+                    spmm_tn_into_rt(
                         &self.runtime,
-                        wmat.as_ref().expect("dense path has wmat"),
-                        &go,
-                        &mut grad_col,
+                        plan.csr.view(),
+                        &scratch.gob,
+                        &mut scratch.dcol_b,
                     );
                 }
+                plan.csr
+                    .scatter_add(&scratch.grad_w_vals, self.w.grad.data_mut());
+                let passes = if want_gx { 4.0 } else { 2.0 };
+                self.realized_flops += passes * (n * cc * plan.csr.nnz()) as f64;
             }
-            let gx_slice = &mut gx.data_mut()[i * sample..(i + 1) * sample];
-            col2im(grad_col.data(), &geom, gx_slice);
-        }
-        match (sparse_plan, grad_w_vals) {
-            (Some(plan), Some(vals)) => {
-                plan.csr.scatter_add(&vals, self.w.grad.data_mut());
-                self.realized_flops += 4.0 * (n * cc * plan.csr.nnz()) as f64;
-            }
-            _ => {
+            None => {
+                // dW += dY · colᵀ ([oc, n·cc] x [cr, n·cc]ᵀ → [oc, cr]),
+                // accumulated straight into the reshaped weight gradient.
+                self.w.grad.reshape_in_place(&[self.out_c, cr]);
+                matmul_nt_seg_into_rt(
+                    &self.runtime,
+                    &scratch.gob,
+                    &scratch.cols_b,
+                    cc,
+                    &mut self.w.grad,
+                );
                 self.w
                     .grad
-                    .add_assign(&grad_w.reshaped(self.w.data.shape()));
-                self.realized_flops += 4.0 * (n * cc * self.out_c * cr) as f64;
+                    .reshape_in_place(&[self.out_c, self.in_c, self.kernel, self.kernel]);
+                if want_gx {
+                    // dCol = Wᵀ · dY ([oc,cr]ᵀ x [oc, n·cc] → [cr, n·cc]).
+                    self.w.data.reshape_in_place(&[self.out_c, cr]);
+                    matmul_tn_into_rt(
+                        &self.runtime,
+                        &self.w.data,
+                        &scratch.gob,
+                        &mut scratch.dcol_b,
+                    );
+                    self.w.data.reshape_in_place(&[
+                        self.out_c,
+                        self.in_c,
+                        self.kernel,
+                        self.kernel,
+                    ]);
+                }
+                let passes = if want_gx { 4.0 } else { 2.0 };
+                self.realized_flops += passes * (n * cc * self.out_c * cr) as f64;
             }
         }
-        gx
+        let Some(gx) = gx else { return };
+        gx.resize_zeroed(&[n, geom.in_c, geom.in_h, geom.in_w]);
+        let sample = geom.in_c * geom.in_h * geom.in_w;
+        let dcol = scratch.dcol_b.data();
+        let gxd = gx.data_mut();
+        for i in 0..n {
+            col2im_ld(
+                &dcol[i * cc..],
+                n * cc,
+                &geom,
+                &mut gxd[i * sample..(i + 1) * sample],
+            );
+        }
     }
 }
 
@@ -405,18 +583,23 @@ pub struct BatchNorm2d {
     channels: usize,
     momentum: f32,
     eps: f32,
-    cache: Option<BnCache>,
+    /// `Some(batch_mode)` after a forward: whether normalization used batch
+    /// statistics (Train) — the backward pass then includes the
+    /// statistic-dependent terms — or fixed running statistics (Eval),
+    /// where the statistics are constants.
+    cache: Option<bool>,
+    scratch: BnScratch,
 }
 
-#[derive(Clone, Debug)]
-struct BnCache {
-    xhat: Tensor,
+/// Reused across batches: normalized activations, per-channel statistics,
+/// and the batch shape the backward pass validates against.
+#[derive(Clone, Debug, Default)]
+struct BnScratch {
+    mean: Vec<f32>,
+    var: Vec<f32>,
     inv_std: Vec<f32>,
+    xhat: Tensor,
     batch_shape: Vec<usize>,
-    /// Whether normalization used batch statistics (Train) — the backward
-    /// pass then includes the statistic-dependent terms — or fixed running
-    /// statistics (Eval), where the statistics are constants.
-    batch_mode: bool,
 }
 
 impl BatchNorm2d {
@@ -444,6 +627,7 @@ impl BatchNorm2d {
             momentum: 0.1,
             eps: 1e-5,
             cache: None,
+            scratch: BnScratch::default(),
         }
     }
 
@@ -461,36 +645,54 @@ impl BatchNorm2d {
         self.momentum = momentum.clamp(0.0, 1.0);
     }
 
-    /// Forward pass.
+    /// Forward pass (allocating wrapper around [`BatchNorm2d::forward_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not `[n, c, h, w]` with matching channels.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
+        out
+    }
+
+    /// Forward pass into a caller-owned output; statistics and normalized
+    /// activations land in the layer's scratch arena.
     ///
     /// # Panics
     ///
     /// Panics if the input is not `[n, c, h, w]` with matching channels.
     #[allow(clippy::needless_range_loop)] // index math mirrors the NCHW layout
-    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let s = x.shape().to_vec();
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, mode: Mode) {
+        let s = x.shape();
         assert_eq!(s.len(), 4, "batchnorm input must be [n,c,h,w]");
         assert_eq!(s[1], self.channels, "batchnorm channel mismatch");
         let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
         let plane = h * w;
         let count = (n * plane) as f32;
         let xd = x.data();
-        let mut out = Tensor::zeros(&s);
+        out.resize_for_overwrite(s);
+        let scratch = &mut self.scratch;
+        scratch.batch_shape.clear();
+        scratch.batch_shape.extend_from_slice(s);
+        scratch.xhat.resize_for_overwrite(s);
 
         match mode {
             Mode::Train => {
-                let mut mean = vec![0.0f32; c];
-                let mut var = vec![0.0f32; c];
+                scratch.mean.clear();
+                scratch.mean.resize(c, 0.0);
+                scratch.var.clear();
+                scratch.var.resize(c, 0.0);
                 for ci in 0..c {
                     let mut sum = 0.0f32;
                     for ni in 0..n {
                         let base = (ni * c + ci) * plane;
                         sum += xd[base..base + plane].iter().sum::<f32>();
                     }
-                    mean[ci] = sum / count;
+                    scratch.mean[ci] = sum / count;
                 }
                 for ci in 0..c {
-                    let m = mean[ci];
+                    let m = scratch.mean[ci];
                     let mut sq = 0.0f32;
                     for ni in 0..n {
                         let base = (ni * c + ci) * plane;
@@ -499,89 +701,86 @@ impl BatchNorm2d {
                             .map(|&v| (v - m) * (v - m))
                             .sum::<f32>();
                     }
-                    var[ci] = sq / count;
+                    scratch.var[ci] = sq / count;
                 }
                 for ci in 0..c {
-                    self.stats.mean[ci] =
-                        (1.0 - self.momentum) * self.stats.mean[ci] + self.momentum * mean[ci];
-                    self.stats.var[ci] =
-                        (1.0 - self.momentum) * self.stats.var[ci] + self.momentum * var[ci];
+                    self.stats.mean[ci] = (1.0 - self.momentum) * self.stats.mean[ci]
+                        + self.momentum * scratch.mean[ci];
+                    self.stats.var[ci] = (1.0 - self.momentum) * self.stats.var[ci]
+                        + self.momentum * scratch.var[ci];
                 }
-                let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-                let mut xhat = Tensor::zeros(&s);
-                {
-                    let xh = xhat.data_mut();
-                    let od = out.data_mut();
-                    for ni in 0..n {
-                        for ci in 0..c {
-                            let base = (ni * c + ci) * plane;
-                            let (m, is) = (mean[ci], inv_std[ci]);
-                            let (g, b) = (self.gamma.data.data()[ci], self.beta.data.data()[ci]);
-                            for idx in base..base + plane {
-                                let xn = (xd[idx] - m) * is;
-                                xh[idx] = xn;
-                                od[idx] = g * xn + b;
-                            }
+                scratch.inv_std.clear();
+                scratch
+                    .inv_std
+                    .extend(scratch.var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()));
+                let xh = scratch.xhat.data_mut();
+                let od = out.data_mut();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * plane;
+                        let (m, is) = (scratch.mean[ci], scratch.inv_std[ci]);
+                        let (g, b) = (self.gamma.data.data()[ci], self.beta.data.data()[ci]);
+                        for idx in base..base + plane {
+                            let xn = (xd[idx] - m) * is;
+                            xh[idx] = xn;
+                            od[idx] = g * xn + b;
                         }
                     }
                 }
-                self.cache = Some(BnCache {
-                    xhat,
-                    inv_std,
-                    batch_shape: s,
-                    batch_mode: true,
-                });
+                self.cache = Some(true);
             }
             Mode::Eval => {
-                let inv_std: Vec<f32> = self
-                    .stats
-                    .var
-                    .iter()
-                    .map(|&v| 1.0 / (v + self.eps).sqrt())
-                    .collect();
-                let mut xhat = Tensor::zeros(&s);
-                {
-                    let xh = xhat.data_mut();
-                    let od = out.data_mut();
-                    for ni in 0..n {
-                        for ci in 0..c {
-                            let base = (ni * c + ci) * plane;
-                            let m = self.stats.mean[ci];
-                            let is = inv_std[ci];
-                            let (g, b) = (self.gamma.data.data()[ci], self.beta.data.data()[ci]);
-                            for idx in base..base + plane {
-                                let xn = (xd[idx] - m) * is;
-                                xh[idx] = xn;
-                                od[idx] = g * xn + b;
-                            }
+                scratch.inv_std.clear();
+                scratch
+                    .inv_std
+                    .extend(self.stats.var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()));
+                let xh = scratch.xhat.data_mut();
+                let od = out.data_mut();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let base = (ni * c + ci) * plane;
+                        let m = self.stats.mean[ci];
+                        let is = scratch.inv_std[ci];
+                        let (g, b) = (self.gamma.data.data()[ci], self.beta.data.data()[ci]);
+                        for idx in base..base + plane {
+                            let xn = (xd[idx] - m) * is;
+                            xh[idx] = xn;
+                            od[idx] = g * xn + b;
                         }
                     }
                 }
-                self.cache = Some(BnCache {
-                    xhat,
-                    inv_std,
-                    batch_shape: s,
-                    batch_mode: false,
-                });
+                self.cache = Some(false);
             }
         }
-        out
     }
 
-    /// Backward pass. After a `Train`-mode forward the full batch-statistic
-    /// gradient is used; after an `Eval`-mode forward the running statistics
-    /// are constants, so `∂y/∂x = γ/σ` (used e.g. by SynFlow's linearized
-    /// probe).
+    /// Backward pass (allocating wrapper around
+    /// [`BatchNorm2d::backward_into`]). After a `Train`-mode forward the
+    /// full batch-statistic gradient is used; after an `Eval`-mode forward
+    /// the running statistics are constants, so `∂y/∂x = γ/σ` (used e.g. by
+    /// SynFlow's linearized probe).
     ///
     /// # Panics
     ///
     /// Panics if called without a preceding forward.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Backward pass into a caller-owned input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding forward.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        let batch_mode = self
             .cache
             .take()
             .expect("BatchNorm2d::backward requires a forward first");
-        let s = cache.batch_shape;
+        let scratch = &mut self.scratch;
+        let s = &scratch.batch_shape;
         assert_eq!(
             grad_out.shape(),
             &s[..],
@@ -591,9 +790,9 @@ impl BatchNorm2d {
         let plane = h * w;
         let count = (n * plane) as f32;
         let god = grad_out.data();
-        let xh = cache.xhat.data();
+        let xh = scratch.xhat.data();
 
-        let mut gx = Tensor::zeros(&s);
+        gx.resize_for_overwrite(s);
         for ci in 0..c {
             // Per-channel reductions.
             let mut sum_dy = 0.0f32;
@@ -608,12 +807,12 @@ impl BatchNorm2d {
             self.beta.grad.data_mut()[ci] += sum_dy;
             self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
             let g = self.gamma.data.data()[ci];
-            let is = cache.inv_std[ci];
+            let is = scratch.inv_std[ci];
             let gxd = gx.data_mut();
             for ni in 0..n {
                 let base = (ni * c + ci) * plane;
                 for idx in base..base + plane {
-                    gxd[idx] = if cache.batch_mode {
+                    gxd[idx] = if batch_mode {
                         g * is / count * (count * god[idx] - sum_dy - xh[idx] * sum_dy_xhat)
                     } else {
                         g * is * god[idx]
@@ -621,7 +820,6 @@ impl BatchNorm2d {
                 }
             }
         }
-        gx
     }
 }
 
@@ -645,7 +843,18 @@ pub struct Linear {
     runtime: Runtime,
     plan: Option<SparsePlan>,
     realized_flops: f64,
-    cache: Option<(Tensor, bool)>,
+    /// `Some(sparse)` after a forward: which path ran (backward must match).
+    cache: Option<bool>,
+    scratch: LinearScratch,
+}
+
+/// Per-layer scratch arena reused across batches.
+#[derive(Clone, Debug, Default)]
+struct LinearScratch {
+    /// Copy of the forward input, consumed by the dW GEMM in backward.
+    x_cache: Tensor,
+    /// Sparse-path `dW` values at the CSR structure.
+    vals: Vec<f32>,
 }
 
 impl Linear {
@@ -677,6 +886,7 @@ impl Linear {
             plan: None,
             realized_flops: 0.0,
             cache: None,
+            scratch: LinearScratch::default(),
         }
     }
 
@@ -712,12 +922,24 @@ impl Linear {
         self.realized_flops = 0.0;
     }
 
-    /// Forward pass over `[n, in]`.
+    /// Forward pass over `[n, in]` (allocating wrapper around
+    /// [`Linear::forward_into`]).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
+        out
+    }
+
+    /// Forward pass into a caller-owned output tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, _mode: Mode) {
         assert_eq!(x.shape().len(), 2, "linear input must be [n, in]");
         assert_eq!(x.shape()[1], self.in_dim, "linear input dim mismatch");
         let n = x.shape()[0];
@@ -728,14 +950,14 @@ impl Linear {
             self.out_dim,
             self.in_dim,
         );
-        let mut out = Tensor::zeros(&[n, self.out_dim]);
+        out.resize_zeroed(&[n, self.out_dim]);
         match &self.plan {
             // Y += X · Wᵀ with W in CSR (or BSR when the mask clusters).
             Some(plan) if sparse => match &plan.bsr {
-                Some(bsr) => bsr_dsmm_nt_into_rt(&self.runtime, x, bsr.view(), &mut out),
-                None => dsmm_nt_into_rt(&self.runtime, x, plan.csr.view(), &mut out),
+                Some(bsr) => bsr_dsmm_nt_into_rt(&self.runtime, x, bsr.view(), out),
+                None => dsmm_nt_into_rt(&self.runtime, x, plan.csr.view(), out),
             },
-            _ => matmul_nt_into_rt(&self.runtime, x, &self.w.data, &mut out),
+            _ => matmul_nt_into_rt(&self.runtime, x, &self.w.data, out),
         }
         let mac = match &self.plan {
             Some(plan) if sparse => plan.bsr.as_ref().map_or(plan.csr.nnz(), |b| b.stored()),
@@ -748,44 +970,63 @@ impl Linear {
                 od[i * self.out_dim + j] += bv;
             }
         }
-        self.cache = Some((x.clone(), sparse));
-        out
+        self.scratch.x_cache.copy_from(x);
+        self.cache = Some(sparse);
     }
 
-    /// Backward pass.
+    /// Backward pass (allocating wrapper around [`Linear::backward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (x, was_sparse) = self
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Backward pass into a caller-owned input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        let was_sparse = self
             .cache
             .take()
             .expect("Linear::backward called before forward");
-        let n = x.shape()[0];
+        let scratch = &mut self.scratch;
+        let n = scratch.x_cache.shape()[0];
         assert_eq!(
             grad_out.shape(),
             &[n, self.out_dim],
             "linear grad_out shape mismatch"
         );
         let sparse_plan = if was_sparse { self.plan.as_ref() } else { None };
-        let mut gx = Tensor::zeros(&[n, self.in_dim]);
+        gx.resize_zeroed(&[n, self.in_dim]);
         match sparse_plan {
             Some(plan) => {
                 // dW (mask-alive coordinates only) += dYᵀ · X sampled at the
                 // CSR structure.
-                let mut vals = vec![0.0f32; plan.csr.nnz()];
-                sddmm_tn_into_rt(&self.runtime, plan.csr.view(), grad_out, &x, &mut vals);
-                plan.csr.scatter_add(&vals, self.w.grad.data_mut());
+                scratch.vals.clear();
+                scratch.vals.resize(plan.csr.nnz(), 0.0);
+                sddmm_tn_into_rt(
+                    &self.runtime,
+                    plan.csr.view(),
+                    grad_out,
+                    &scratch.x_cache,
+                    &mut scratch.vals,
+                );
+                plan.csr.scatter_add(&scratch.vals, self.w.grad.data_mut());
                 // dX = dY · W through the sparse kernel.
-                dsmm_into_rt(&self.runtime, grad_out, plan.csr.view(), &mut gx);
+                dsmm_into_rt(&self.runtime, grad_out, plan.csr.view(), gx);
                 self.realized_flops += 4.0 * (n * plan.csr.nnz()) as f64;
             }
             None => {
                 // dW += dYᵀ · X   ([n,out]ᵀ x [n,in] → [out,in])
-                matmul_tn_into_rt(&self.runtime, grad_out, &x, &mut self.w.grad);
+                matmul_tn_into_rt(&self.runtime, grad_out, &scratch.x_cache, &mut self.w.grad);
                 // dX = dY · W   ([n,out] x [out,in] → [n,in])
-                matmul_into_rt(&self.runtime, grad_out, &self.w.data, &mut gx);
+                matmul_into_rt(&self.runtime, grad_out, &self.w.data, gx);
                 self.realized_flops += 4.0 * (n * self.out_dim * self.in_dim) as f64;
             }
         }
@@ -796,7 +1037,6 @@ impl Linear {
                 *b += g;
             }
         }
-        gx
     }
 }
 
@@ -807,41 +1047,65 @@ impl Linear {
 /// ReLU activation.
 #[derive(Clone, Debug, Default)]
 pub struct Relu {
-    cache: Option<Vec<bool>>,
+    /// Reused activation mask (arena).
+    mask: Vec<bool>,
+    primed: bool,
 }
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Relu { cache: None }
+        Relu::default()
     }
 
-    /// Forward pass (any shape).
-    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
-        let out = x.map(|v| v.max(0.0));
-        self.cache = Some(mask);
+    /// Forward pass (allocating wrapper around [`Relu::forward_into`]).
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
         out
     }
 
-    /// Backward pass.
+    /// Forward pass (any shape) into a caller-owned output tensor.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, _mode: Mode) {
+        self.mask.clear();
+        self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        out.resize_for_overwrite(x.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(x.data().iter()) {
+            *o = v.max(0.0);
+        }
+        self.primed = true;
+    }
+
+    /// Backward pass (allocating wrapper around [`Relu::backward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward` or with a mismatched shape.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self
-            .cache
-            .take()
-            .expect("Relu::backward called before forward");
-        assert_eq!(grad_out.numel(), mask.len(), "relu grad shape mismatch");
-        let mut g = grad_out.clone();
-        for (v, &alive) in g.data_mut().iter_mut().zip(mask.iter()) {
-            if !alive {
-                *v = 0.0;
-            }
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Backward pass into a caller-owned input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched shape.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        assert!(self.primed, "Relu::backward called before forward");
+        self.primed = false;
+        assert_eq!(
+            grad_out.numel(),
+            self.mask.len(),
+            "relu grad shape mismatch"
+        );
+        gx.copy_from(grad_out);
+        // Branchless select: the mask is ~50/50 in practice, so a
+        // conditional store would mispredict on half the elements.
+        for (v, &alive) in gx.data_mut().iter_mut().zip(self.mask.iter()) {
+            *v = if alive { *v } else { 0.0 };
         }
-        g
     }
 }
 
@@ -849,16 +1113,17 @@ impl Relu {
 #[derive(Clone, Debug, Default)]
 pub struct MaxPool2x2 {
     runtime: Runtime,
-    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+    /// Reused argmax indices (arena).
+    arg: Vec<usize>,
+    /// Reused input-shape record (arena).
+    in_shape: Vec<usize>,
+    primed: bool,
 }
 
 impl MaxPool2x2 {
     /// Creates a pooling layer.
     pub fn new() -> Self {
-        MaxPool2x2 {
-            runtime: Runtime::sequential(),
-            cache: None,
-        }
+        MaxPool2x2::default()
     }
 
     /// Sets the parallel runtime the pooling kernel executes on.
@@ -866,24 +1131,42 @@ impl MaxPool2x2 {
         self.runtime = rt;
     }
 
-    /// Forward pass over `[n, c, h, w]`.
-    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        let (out, arg) = max_pool2x2_rt(&self.runtime, x);
-        self.cache = Some((arg, x.shape().to_vec()));
+    /// Forward pass (allocating wrapper around [`MaxPool2x2::forward_into`]).
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
         out
     }
 
-    /// Backward pass.
+    /// Forward pass over `[n, c, h, w]` into a caller-owned output tensor.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, _mode: Mode) {
+        max_pool2x2_into_rt(&self.runtime, x, out, &mut self.arg);
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(x.shape());
+        self.primed = true;
+    }
+
+    /// Backward pass (allocating wrapper around
+    /// [`MaxPool2x2::backward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (arg, shape) = self
-            .cache
-            .take()
-            .expect("MaxPool2x2::backward before forward");
-        max_pool2x2_backward(grad_out, &arg, &shape)
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Backward pass into a caller-owned input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        assert!(self.primed, "MaxPool2x2::backward before forward");
+        self.primed = false;
+        max_pool2x2_backward_into(grad_out, &self.arg, &self.in_shape, gx);
     }
 }
 
@@ -891,16 +1174,15 @@ impl MaxPool2x2 {
 #[derive(Clone, Debug, Default)]
 pub struct GlobalAvgPool {
     runtime: Runtime,
-    cache: Option<Vec<usize>>,
+    /// Reused input-shape record (arena).
+    in_shape: Vec<usize>,
+    primed: bool,
 }
 
 impl GlobalAvgPool {
     /// Creates a pooling layer.
     pub fn new() -> Self {
-        GlobalAvgPool {
-            runtime: Runtime::sequential(),
-            cache: None,
-        }
+        GlobalAvgPool::default()
     }
 
     /// Sets the parallel runtime the pooling kernel executes on.
@@ -908,54 +1190,99 @@ impl GlobalAvgPool {
         self.runtime = rt;
     }
 
-    /// Forward pass.
-    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        self.cache = Some(x.shape().to_vec());
-        avg_pool_global_rt(&self.runtime, x)
+    /// Forward pass (allocating wrapper around
+    /// [`GlobalAvgPool::forward_into`]).
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
+        out
     }
 
-    /// Backward pass.
+    /// Forward pass into a caller-owned output tensor.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, _mode: Mode) {
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(x.shape());
+        avg_pool_global_into_rt(&self.runtime, x, out);
+        self.primed = true;
+    }
+
+    /// Backward pass (allocating wrapper around
+    /// [`GlobalAvgPool::backward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self
-            .cache
-            .take()
-            .expect("GlobalAvgPool::backward before forward");
-        avg_pool_global_backward(grad_out, &shape)
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Backward pass into a caller-owned input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        assert!(self.primed, "GlobalAvgPool::backward before forward");
+        self.primed = false;
+        avg_pool_global_backward_into(grad_out, &self.in_shape, gx);
     }
 }
 
 /// Flattens `[n, ...] → [n, prod(...)]`.
 #[derive(Clone, Debug, Default)]
 pub struct Flatten {
-    cache: Option<Vec<usize>>,
+    /// Reused input-shape record (arena).
+    in_shape: Vec<usize>,
+    primed: bool,
 }
 
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Flatten { cache: None }
+        Flatten::default()
     }
 
-    /// Forward pass.
-    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
-        self.cache = Some(x.shape().to_vec());
+    /// Forward pass (allocating wrapper around [`Flatten::forward_into`]).
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
+        out
+    }
+
+    /// Forward pass into a caller-owned output tensor.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, _mode: Mode) {
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(x.shape());
         let n = x.shape()[0];
         let rest: usize = x.shape()[1..].iter().product();
-        x.reshaped(&[n, rest])
+        out.copy_from(x);
+        out.reshape_in_place(&[n, rest]);
+        self.primed = true;
     }
 
-    /// Backward pass.
+    /// Backward pass (allocating wrapper around [`Flatten::backward_into`]).
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cache.take().expect("Flatten::backward before forward");
-        grad_out.reshaped(&shape)
+        let mut gx = Tensor::default();
+        self.backward_into(grad_out, &mut gx);
+        gx
+    }
+
+    /// Backward pass into a caller-owned input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward_into(&mut self, grad_out: &Tensor, gx: &mut Tensor) {
+        assert!(self.primed, "Flatten::backward before forward");
+        self.primed = false;
+        gx.copy_from(grad_out);
+        gx.reshape_in_place(&self.in_shape);
     }
 }
 
@@ -1007,6 +1334,66 @@ impl AnyLayer {
             AnyLayer::GlobalAvg(l) => l.backward(grad),
             AnyLayer::Flatten(l) => l.backward(grad),
             AnyLayer::Linear(l) => l.backward(grad),
+        }
+    }
+
+    /// Alloc-free forward dispatch into a caller-owned output tensor.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, mode: Mode) {
+        match self {
+            AnyLayer::Conv(l) => l.forward_into(x, out, mode),
+            AnyLayer::Bn(l) => l.forward_into(x, out, mode),
+            AnyLayer::Relu(l) => l.forward_into(x, out, mode),
+            AnyLayer::MaxPool(l) => l.forward_into(x, out, mode),
+            AnyLayer::GlobalAvg(l) => l.forward_into(x, out, mode),
+            AnyLayer::Flatten(l) => l.forward_into(x, out, mode),
+            AnyLayer::Linear(l) => l.forward_into(x, out, mode),
+        }
+    }
+
+    /// Alloc-free backward dispatch into a caller-owned gradient tensor.
+    pub fn backward_into(&mut self, grad: &Tensor, gx: &mut Tensor) {
+        match self {
+            AnyLayer::Conv(l) => l.backward_into(grad, gx),
+            AnyLayer::Bn(l) => l.backward_into(grad, gx),
+            AnyLayer::Relu(l) => l.backward_into(grad, gx),
+            AnyLayer::MaxPool(l) => l.backward_into(grad, gx),
+            AnyLayer::GlobalAvg(l) => l.backward_into(grad, gx),
+            AnyLayer::Flatten(l) => l.backward_into(grad, gx),
+            AnyLayer::Linear(l) => l.backward_into(grad, gx),
+        }
+    }
+
+    /// Visits the layer's parameters in the same order as
+    /// [`AnyLayer::params`] without allocating.
+    pub fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        match self {
+            AnyLayer::Conv(l) => f(&l.w),
+            AnyLayer::Bn(l) => {
+                f(&l.gamma);
+                f(&l.beta);
+            }
+            AnyLayer::Linear(l) => {
+                f(&l.w);
+                f(&l.b);
+            }
+            _ => {}
+        }
+    }
+
+    /// Visits the layer's parameters mutably, in the same order as
+    /// [`AnyLayer::params`], without allocating.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            AnyLayer::Conv(l) => f(&mut l.w),
+            AnyLayer::Bn(l) => {
+                f(&mut l.gamma);
+                f(&mut l.beta);
+            }
+            AnyLayer::Linear(l) => {
+                f(&mut l.w);
+                f(&mut l.b);
+            }
+            _ => {}
         }
     }
 
@@ -1094,16 +1481,22 @@ impl AnyLayer {
 }
 
 /// An ordered stack of layers executed front to back.
+///
+/// Activations flow through a pair of ping-pong tensors owned by the stack,
+/// so a full forward/backward pass allocates nothing once the buffers have
+/// grown to the batch geometry.
 #[derive(Clone, Debug, Default)]
 pub struct Sequential {
     /// The layers, in execution order.
     pub layers: Vec<AnyLayer>,
+    ping: Tensor,
+    pong: Tensor,
 }
 
 impl Sequential {
     /// Creates an empty stack.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
     }
 
     /// Appends a layer (builder style).
@@ -1112,22 +1505,117 @@ impl Sequential {
         self
     }
 
-    /// Forward through every layer.
+    /// Forward through every layer (allocating wrapper around
+    /// [`Sequential::forward_into`]).
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let mut cur = x.clone();
-        for l in &mut self.layers {
-            cur = l.forward(&cur, mode);
-        }
-        cur
+        let mut out = Tensor::default();
+        self.forward_into(x, &mut out, mode);
+        out
     }
 
-    /// Backward through every layer in reverse.
-    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let mut cur = grad.clone();
-        for l in self.layers.iter_mut().rev() {
-            cur = l.backward(&cur);
+    /// Forward through every layer into a caller-owned output tensor,
+    /// ping-ponging intermediate activations between two reused buffers.
+    pub fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, mode: Mode) {
+        let Sequential { layers, ping, pong } = self;
+        let n = layers.len();
+        if n == 0 {
+            out.copy_from(x);
+            return;
         }
-        cur
+        for (idx, l) in layers.iter_mut().enumerate() {
+            let src: &Tensor = if idx == 0 { x } else { &*ping };
+            if idx == n - 1 {
+                l.forward_into(src, out, mode);
+            } else {
+                l.forward_into(src, pong, mode);
+                std::mem::swap(ping, pong);
+            }
+        }
+    }
+
+    /// Backward through every layer in reverse (allocating wrapper around
+    /// [`Sequential::backward_into`]).
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut gx = Tensor::default();
+        self.backward_into(grad, &mut gx);
+        gx
+    }
+
+    /// Backward through every layer in reverse into a caller-owned
+    /// input-gradient tensor.
+    pub fn backward_into(&mut self, grad: &Tensor, gx: &mut Tensor) {
+        let Sequential { layers, ping, pong } = self;
+        let n = layers.len();
+        if n == 0 {
+            gx.copy_from(grad);
+            return;
+        }
+        for (idx, l) in layers.iter_mut().rev().enumerate() {
+            let src: &Tensor = if idx == 0 { grad } else { &*ping };
+            if idx == n - 1 {
+                l.backward_into(src, gx);
+            } else {
+                l.backward_into(src, pong);
+                std::mem::swap(ping, pong);
+            }
+        }
+    }
+
+    /// Backward through every layer in reverse, discarding the network
+    /// input gradient. The leading layer only accumulates its parameter
+    /// gradients — for a leading convolution this skips the dCol GEMM and
+    /// col2im entirely, since no layer sits before it to consume the
+    /// result. Parameter gradients are identical to
+    /// [`Sequential::backward_into`].
+    pub fn backward_discard_input(&mut self, grad: &Tensor) {
+        let Sequential { layers, ping, pong } = self;
+        let n = layers.len();
+        for (idx, l) in layers.iter_mut().rev().enumerate() {
+            let src: &Tensor = if idx == 0 { grad } else { &*ping };
+            if idx == n - 1 {
+                if let AnyLayer::Conv(c) = l {
+                    c.backward_params_only(src);
+                } else {
+                    l.backward_into(src, pong);
+                }
+            } else {
+                l.backward_into(src, pong);
+                std::mem::swap(ping, pong);
+            }
+        }
+    }
+
+    /// Visits every parameter in execution order without allocating.
+    pub fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        for l in &self.layers {
+            l.for_each_param(f);
+        }
+    }
+
+    /// Visits every parameter mutably, in execution order, without
+    /// allocating.
+    pub fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.for_each_param_mut(f);
+        }
+    }
+
+    /// Visits the BN statistics of every BatchNorm layer in order.
+    pub fn for_each_bn_stats(&self, f: &mut dyn FnMut(&BnStats)) {
+        for l in &self.layers {
+            if let Some(s) = l.bn_stats() {
+                f(s);
+            }
+        }
+    }
+
+    /// Visits the BN statistics of every BatchNorm layer, mutably, in order.
+    pub fn for_each_bn_stats_mut(&mut self, f: &mut dyn FnMut(&mut BnStats)) {
+        for l in &mut self.layers {
+            if let Some(s) = l.bn_stats_mut() {
+                f(s);
+            }
+        }
     }
 
     /// All parameters in execution order.

@@ -46,8 +46,8 @@ pub use layer::{
     Sequential, DEFAULT_SPARSE_CROSSOVER,
 };
 pub use model::{
-    accuracy, apply_mask, bn_stats_encoded_len, flat_params, mask_grads, prunable_param_indices,
-    restore_snapshot, set_flat_params, sparse_layout, take_snapshot, wire_ctx, ArchInfo, LayerArch,
-    Model, ModelSnapshot,
+    accuracy, apply_mask, bn_stats_encoded_len, flat_params, flat_params_into, mask_grads,
+    prunable_param_indices, restore_snapshot, set_flat_params, sparse_layout, take_snapshot,
+    wire_ctx, ArchInfo, LayerArch, Model, ModelSnapshot,
 };
 pub use param::{Param, ParamKind};

@@ -25,11 +25,26 @@ use ft_tensor::Tensor;
 /// assert_eq!(grad.shape(), &[2, 2]);
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let mut grad = Tensor::zeros(logits.shape());
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing the logits gradient into a
+/// caller-owned tensor (resized in place, reusing its buffer): the
+/// softmax numerator is staged in the gradient row itself, so the whole
+/// loss computation allocates nothing at steady state. Bit-identical to
+/// [`softmax_cross_entropy`].
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+pub fn softmax_cross_entropy_into(logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
     assert_eq!(logits.shape().len(), 2, "logits must be [n, classes]");
     let (n, c) = (logits.shape()[0], logits.shape()[1]);
     assert_eq!(labels.len(), n, "labels/batch size mismatch");
     assert!(n > 0, "empty batch");
-    let mut grad = Tensor::zeros(&[n, c]);
+    grad.resize_for_overwrite(&[n, c]);
     let mut loss = 0.0f64;
     let ld = logits.data();
     let gd = grad.data_mut();
@@ -38,16 +53,20 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
         let y = labels[i];
         assert!(y < c, "label {y} out of range for {c} classes");
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
+        // Stage exp(v - max) in the gradient row, then normalize in place.
+        let grow = &mut gd[i * c..(i + 1) * c];
+        for (g, &v) in grow.iter_mut().zip(row.iter()) {
+            *g = (v - max).exp();
+        }
+        let sum: f32 = grow.iter().sum();
         let log_sum = sum.ln() + max;
         loss += (log_sum - row[y]) as f64;
-        for j in 0..c {
-            let p = exps[j] / sum;
-            gd[i * c + j] = (p - if j == y { 1.0 } else { 0.0 }) / n as f32;
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = *g / sum;
+            *g = (p - if j == y { 1.0 } else { 0.0 }) / n as f32;
         }
     }
-    ((loss / n as f64) as f32, grad)
+    (loss / n as f64) as f32
 }
 
 /// Mean loss only (no gradient); used for candidate scoring in Alg. 1 where

@@ -75,11 +75,56 @@ pub trait Model: Send + Sync {
     /// [`Param::grad`].
     fn backward(&mut self, grad_logits: &Tensor);
 
+    /// Forward pass into a caller-owned logits tensor. The default
+    /// delegates to [`Model::forward`]; architectures with internal scratch
+    /// arenas override this to run allocation-free at steady state.
+    fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, mode: Mode) {
+        *out = self.forward(x, mode);
+    }
+
+    /// Backward pass that discards the input gradient. The default
+    /// delegates to [`Model::backward`]; arena-backed architectures
+    /// override this to avoid materializing the returned gradient.
+    fn backward_scratch(&mut self, grad_logits: &Tensor) {
+        self.backward(grad_logits);
+    }
+
     /// All parameters in deterministic execution order.
     fn params(&self) -> Vec<&Param>;
 
     /// All parameters, mutably, in the same order as [`Model::params`].
     fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Visits every parameter in [`Model::params`] order. The default
+    /// collects through [`Model::params`]; arena-backed models override it
+    /// to iterate without allocating.
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        for p in self.params() {
+            f(p);
+        }
+    }
+
+    /// Visits every parameter mutably, in [`Model::params`] order, without
+    /// allocating (when overridden).
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
+    /// Visits every BatchNorm layer's running statistics in execution order.
+    fn for_each_bn_stats(&self, f: &mut dyn FnMut(&BnStats)) {
+        for s in self.bn_stats() {
+            f(s);
+        }
+    }
+
+    /// Visits every BatchNorm layer's running statistics mutably.
+    fn for_each_bn_stats_mut(&mut self, f: &mut dyn FnMut(&mut BnStats)) {
+        for s in self.bn_stats_mut() {
+            f(s);
+        }
+    }
 
     /// Running statistics of every BatchNorm layer, in execution order.
     fn bn_stats(&self) -> Vec<&BnStats>;
@@ -132,9 +177,7 @@ pub trait Model: Send + Sync {
 
     /// Clears every gradient accumulator.
     fn zero_grad(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.for_each_param_mut(&mut |p| p.zero_grad());
     }
 }
 
@@ -167,10 +210,15 @@ pub(crate) fn contiguous_blocks(n: usize, blocks: usize) -> Vec<Vec<usize>> {
 /// [`Model::params`] order. The inverse is [`set_flat_params`].
 pub fn flat_params(model: &dyn Model) -> Vec<f32> {
     let mut out = Vec::new();
-    for p in model.params() {
-        out.extend_from_slice(p.data.data());
-    }
+    flat_params_into(model, &mut out);
     out
+}
+
+/// [`flat_params`] into a caller-owned vector: the vector is cleared and
+/// refilled, reusing its capacity, so steady-state callers allocate nothing.
+pub fn flat_params_into(model: &dyn Model, out: &mut Vec<f32>) {
+    out.clear();
+    model.for_each_param(&mut |p| out.extend_from_slice(p.data.data()));
 }
 
 /// Writes a flat vector produced by [`flat_params`] back into the model.
@@ -180,7 +228,7 @@ pub fn flat_params(model: &dyn Model) -> Vec<f32> {
 /// Panics if `flat.len()` differs from the model's total parameter count.
 pub fn set_flat_params(model: &mut dyn Model, flat: &[f32]) {
     let mut offset = 0;
-    for p in model.params_mut() {
+    model.for_each_param_mut(&mut |p| {
         let n = p.len();
         assert!(
             offset + n <= flat.len(),
@@ -190,7 +238,7 @@ pub fn set_flat_params(model: &mut dyn Model, flat: &[f32]) {
         );
         p.data.data_mut().copy_from_slice(&flat[offset..offset + n]);
         offset += n;
-    }
+    });
     assert_eq!(offset, flat.len(), "flat parameter vector too long");
 }
 
@@ -219,13 +267,13 @@ pub fn sparse_layout(model: &dyn Model) -> SparseLayout {
 /// Panics if the mask does not match the model's prunable layout.
 pub fn apply_mask(model: &mut dyn Model, mask: &Mask) {
     let mut l = 0;
-    for p in model.params_mut() {
+    model.for_each_param_mut(&mut |p| {
         if p.prunable {
             mask.apply_layer(l, p.data.data_mut());
             p.note_mask(mask.layer(l));
             l += 1;
         }
-    }
+    });
     assert_eq!(l, mask.num_layers(), "mask layer count mismatch");
 }
 
@@ -237,12 +285,12 @@ pub fn apply_mask(model: &mut dyn Model, mask: &Mask) {
 /// Panics if the mask does not match the model's prunable layout.
 pub fn mask_grads(model: &mut dyn Model, mask: &Mask) {
     let mut l = 0;
-    for p in model.params_mut() {
+    model.for_each_param_mut(&mut |p| {
         if p.prunable {
             mask.apply_layer(l, p.grad.data_mut());
             l += 1;
         }
-    }
+    });
     assert_eq!(l, mask.num_layers(), "mask layer count mismatch");
 }
 
@@ -316,12 +364,20 @@ pub fn take_snapshot(model: &dyn Model) -> ModelSnapshot {
 /// from the model's.
 pub fn restore_snapshot(model: &mut dyn Model, snap: &ModelSnapshot) {
     set_flat_params(model, &snap.params);
-    let stats = model.bn_stats_mut();
-    assert_eq!(stats.len(), snap.bn.len(), "BatchNorm layer count mismatch");
-    for (dst, src) in stats.into_iter().zip(snap.bn.iter()) {
+    let mut l = 0;
+    model.for_each_bn_stats_mut(&mut |dst| {
+        let src = snap
+            .bn
+            .get(l)
+            .expect("BatchNorm layer count mismatch: snapshot has too few");
         assert_eq!(dst.mean.len(), src.mean.len(), "BatchNorm channel mismatch");
-        *dst = src.clone();
-    }
+        // Element copies instead of `clone()` so the restore reuses the
+        // destination buffers.
+        dst.mean.copy_from_slice(&src.mean);
+        dst.var.copy_from_slice(&src.var);
+        l += 1;
+    });
+    assert_eq!(l, snap.bn.len(), "BatchNorm layer count mismatch");
 }
 
 /// Exact wire bytes of one full set of BatchNorm statistics (what a device

@@ -133,6 +133,14 @@ impl Model for SmallCnn {
         let _ = self.seq.backward(grad_logits);
     }
 
+    fn forward_into(&mut self, x: &Tensor, out: &mut Tensor, mode: Mode) {
+        self.seq.forward_into(x, out, mode);
+    }
+
+    fn backward_scratch(&mut self, grad_logits: &Tensor) {
+        self.seq.backward_discard_input(grad_logits);
+    }
+
     fn params(&self) -> Vec<&Param> {
         self.seq.params()
     }
@@ -141,12 +149,28 @@ impl Model for SmallCnn {
         self.seq.params_mut()
     }
 
+    fn for_each_param(&self, f: &mut dyn FnMut(&Param)) {
+        self.seq.for_each_param(f);
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.seq.for_each_param_mut(f);
+    }
+
     fn bn_stats(&self) -> Vec<&BnStats> {
         self.seq.bn_stats()
     }
 
     fn bn_stats_mut(&mut self) -> Vec<&mut BnStats> {
         self.seq.bn_stats_mut()
+    }
+
+    fn for_each_bn_stats(&self, f: &mut dyn FnMut(&BnStats)) {
+        self.seq.for_each_bn_stats(f);
+    }
+
+    fn for_each_bn_stats_mut(&mut self, f: &mut dyn FnMut(&mut BnStats)) {
+        self.seq.for_each_bn_stats_mut(f);
     }
 
     fn set_bn_momentum(&mut self, momentum: f32) {

@@ -58,6 +58,17 @@ impl Sgd {
         self.cfg.lr = lr;
     }
 
+    /// Re-arms the optimizer with a fresh configuration and zeroed velocity,
+    /// keeping the velocity buffers allocated. Equivalent to replacing the
+    /// optimizer with `Sgd::new(cfg)` but allocation-free, which is how the
+    /// per-device trainer cache starts each local round.
+    pub fn reset_with(&mut self, cfg: SgdConfig) {
+        self.cfg = cfg;
+        for v in &mut self.velocity {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
     /// One SGD step. When `mask` is given, the gradients of pruned weights
     /// are zeroed first (Eq. 5: `θ ← θ − η ∇L ⊙ m`), so pruned weights stay
     /// exactly zero.
@@ -72,15 +83,18 @@ impl Sgd {
         if self.cfg.clip_norm > 0.0 {
             clip_gradients(model, self.cfg.clip_norm);
         }
-        let params = model.params_mut();
-        if self.cfg.momentum > 0.0 && self.velocity.len() != params.len() {
-            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
-        }
-        for (i, p) in params.into_iter().enumerate() {
-            let wd = self.cfg.weight_decay;
-            let lr = self.cfg.lr;
-            if self.cfg.momentum > 0.0 {
-                let vel = &mut self.velocity[i];
+        let cfg = self.cfg;
+        let velocity = &mut self.velocity;
+        let mut i = 0;
+        model.for_each_param_mut(&mut |p| {
+            if cfg.momentum > 0.0 {
+                if velocity.len() <= i {
+                    velocity.push(vec![0.0; p.len()]);
+                } else if velocity[i].len() != p.len() {
+                    velocity[i].clear();
+                    velocity[i].resize(p.len(), 0.0);
+                }
+                let vel = &mut velocity[i];
                 for ((w, g), v) in p
                     .data
                     .data_mut()
@@ -88,32 +102,28 @@ impl Sgd {
                     .zip(p.grad.data().iter())
                     .zip(vel.iter_mut())
                 {
-                    let grad = g + wd * *w;
-                    *v = self.cfg.momentum * *v + grad;
-                    *w -= lr * *v;
+                    let grad = g + cfg.weight_decay * *w;
+                    *v = cfg.momentum * *v + grad;
+                    *w -= cfg.lr * *v;
                 }
             } else {
                 for (w, g) in p.data.data_mut().iter_mut().zip(p.grad.data().iter()) {
-                    *w -= lr * (g + wd * *w);
+                    *w -= cfg.lr * (g + cfg.weight_decay * *w);
                 }
             }
-        }
+            i += 1;
+        });
     }
 }
 
 /// Scales all gradients so their global L2 norm does not exceed `max_norm`.
 fn clip_gradients(model: &mut dyn Model, max_norm: f32) {
-    let total: f32 = model
-        .params()
-        .iter()
-        .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
-        .sum();
+    let mut total = 0.0f32;
+    model.for_each_param(&mut |p| total += p.grad.data().iter().map(|g| g * g).sum::<f32>());
     let norm = total.sqrt();
     if norm > max_norm && norm.is_finite() {
         let scale = max_norm / norm;
-        for p in model.params_mut() {
-            p.grad.scale(scale);
-        }
+        model.for_each_param_mut(&mut |p| p.grad.scale(scale));
     }
 }
 

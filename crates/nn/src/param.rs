@@ -87,13 +87,24 @@ impl Param {
     /// Records the mask layer that was just applied to this parameter and
     /// bumps the mask epoch (invalidating cached CSR structure).
     ///
+    /// Re-applying the bits already recorded is a no-op: the epoch stays
+    /// put, so layers keep their cached CSR structure, and nothing is
+    /// copied — federated rounds re-assert an unchanged mask every round.
+    ///
     /// # Panics
     ///
     /// Panics if `bits` does not have one entry per scalar.
     pub fn note_mask(&mut self, bits: &[bool]) {
         assert_eq!(bits.len(), self.len(), "mask bits length mismatch");
+        match &mut self.mask_bits {
+            Some(prev) if prev.as_slice() == bits => return,
+            Some(prev) => {
+                prev.clear();
+                prev.extend_from_slice(bits);
+            }
+            None => self.mask_bits = Some(bits.to_vec()),
+        }
         self.mask_alive = bits.iter().filter(|&&b| b).count();
-        self.mask_bits = Some(bits.to_vec());
         self.mask_epoch += 1;
     }
 

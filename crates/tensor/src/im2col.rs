@@ -1,5 +1,18 @@
 //! im2col / col2im transforms used to express convolution as matmul.
+//!
+//! Two layouts exist: the classic per-sample `[col_rows, col_cols]` matrix,
+//! and the *batched* layout `[col_rows, n · col_cols]` where sample `i`'s
+//! columns occupy the contiguous column slice `i·cc..(i+1)·cc` of every row.
+//! The batched layout lets one whole-batch GEMM replace a per-sample loop
+//! without changing any per-output-element accumulation order (the GEMM `k`
+//! dimension — `col_rows` — is untouched by batching).
+//!
+//! [`conv2d_fused_into_rt`] goes one step further and never materializes the
+//! column matrix at all: an implicit-GEMM pack source generates the batched
+//! im2col values directly into the GEMM's packed `B` panels, byte-identical
+//! to packing a materialized matrix.
 
+use crate::matmul::{gemm_src, GemmShape, PackBSource};
 use crate::Tensor;
 use ft_runtime::Runtime;
 use std::ops::Range;
@@ -109,30 +122,143 @@ fn check_im2col(x: &[f32], g: &ConvGeom, out: &[f32]) {
     );
 }
 
+/// Decodes a column-matrix row index into its `(channel, kh, kw)` tap.
+#[inline]
+fn decode_tap(g: &ConvGeom, row: usize) -> (usize, usize, usize) {
+    let taps = g.kernel * g.kernel;
+    (row / taps, (row % taps) / g.kernel, row % g.kernel)
+}
+
+/// Writes one sample's full `col_cols` span for the tap `(kh, kw)` of
+/// `plane` into `dst`.
+///
+/// For the ubiquitous `stride == 1` case each output row is a contiguous
+/// input run flanked by padding zeros, so the inner loop becomes one
+/// `copy_from_slice` plus two fills — every element is the same pure copy
+/// (or structural zero) the scalar loop writes, just written faster.
+#[inline]
+fn fill_tap(
+    plane: &[f32],
+    g: &ConvGeom,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    dst: &mut [f32],
+) {
+    if g.stride == 1 {
+        // ox + kw - pad must land in [0, in_w): zeros before `lead`, a
+        // contiguous copy until `hi`, zeros after.
+        let lead = g.pad.saturating_sub(kw).min(ow);
+        let hi = (g.in_w + g.pad).saturating_sub(kw).min(ow);
+        let ix0 = (kw + lead).saturating_sub(g.pad);
+        for oy in 0..oh {
+            let row = &mut dst[oy * ow..(oy + 1) * ow];
+            let iy = (oy + kh) as isize - g.pad as isize;
+            if iy < 0 || iy as usize >= g.in_h {
+                row.fill(0.0);
+                continue;
+            }
+            row[..lead].fill(0.0);
+            if hi > lead {
+                row[lead..hi].copy_from_slice(&plane[iy as usize * g.in_w + ix0..][..hi - lead]);
+            }
+            row[hi..].fill(0.0);
+        }
+        return;
+    }
+    let mut idx = 0usize;
+    for oy in 0..oh {
+        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+        for ox in 0..ow {
+            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+            dst[idx] = if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                plane[iy as usize * g.in_w + ix as usize]
+            } else {
+                0.0
+            };
+            idx += 1;
+        }
+    }
+}
+
 /// Unfolds the output-row range `rows` (each row is one `(c, kh, kw)` tap in
 /// lexicographic order); `chunk` holds exactly those rows.
 fn im2col_rows(x: &[f32], g: &ConvGeom, rows: Range<usize>, chunk: &mut [f32]) {
     let (oh, ow) = (g.out_h(), g.out_w());
     let cols = oh * ow;
-    let taps = g.kernel * g.kernel;
     for (local, row) in rows.enumerate() {
-        let c = row / taps;
-        let (kh, kw) = ((row % taps) / g.kernel, row % g.kernel);
+        let (c, kh, kw) = decode_tap(g, row);
         let plane = &x[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
-        let dst = &mut chunk[local * cols..(local + 1) * cols];
-        let mut idx = 0usize;
-        for oy in 0..oh {
-            let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-            for ox in 0..ow {
-                let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                dst[idx] = if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w
-                {
-                    plane[iy as usize * g.in_w + ix as usize]
-                } else {
-                    0.0
-                };
-                idx += 1;
-            }
+        fill_tap(
+            plane,
+            g,
+            oh,
+            ow,
+            kh,
+            kw,
+            &mut chunk[local * cols..(local + 1) * cols],
+        );
+    }
+}
+
+/// Unfolds a whole batch `x` of shape `[n, in_c, in_h, in_w]` (flat) into
+/// the batched column layout `[col_rows, n · col_cols]`: sample `i`'s
+/// per-sample im2col matrix occupies the column slice `i·cc..(i+1)·cc` of
+/// every row. Each output element is a pure copy (or structural zero), so
+/// the batched matrix is byte-identical to `n` per-sample [`im2col`] calls.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the geometry.
+pub fn im2col_batched(x: &[f32], n: usize, g: &ConvGeom, out: &mut [f32]) {
+    check_im2col_batched(x, n, g, out);
+    im2col_batched_rows(x, n, g, 0..g.col_rows(), out);
+}
+
+/// [`im2col_batched`] with the output rows fanned out over `rt`'s workers;
+/// bit-identical to the sequential form.
+///
+/// # Panics
+///
+/// Panics on the same length mismatches as [`im2col_batched`].
+pub fn im2col_batched_rt(rt: &Runtime, x: &[f32], n: usize, g: &ConvGeom, out: &mut [f32]) {
+    check_im2col_batched(x, n, g, out);
+    let rows = g.col_rows();
+    if !rt.should_parallelize(out.len()) || rows <= 1 {
+        return im2col_batched_rows(x, n, g, 0..rows, out);
+    }
+    let width = n * g.col_cols();
+    let jobs = rt.split_rows_mut(out, width.max(1));
+    rt.scatter(jobs, |(range, chunk)| {
+        im2col_batched_rows(x, n, g, range, chunk);
+    });
+}
+
+fn check_im2col_batched(x: &[f32], n: usize, g: &ConvGeom, out: &[f32]) {
+    assert_eq!(
+        x.len(),
+        n * g.in_c * g.in_h * g.in_w,
+        "im2col_batched input length mismatch"
+    );
+    assert_eq!(
+        out.len(),
+        g.col_rows() * n * g.col_cols(),
+        "im2col_batched output length mismatch"
+    );
+}
+
+fn im2col_batched_rows(x: &[f32], n: usize, g: &ConvGeom, rows: Range<usize>, chunk: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cc = oh * ow;
+    let plane_len = g.in_h * g.in_w;
+    let sample_len = g.in_c * plane_len;
+    for (local, row) in rows.enumerate() {
+        let (c, kh, kw) = decode_tap(g, row);
+        let dst_row = &mut chunk[local * n * cc..(local + 1) * n * cc];
+        for i in 0..n {
+            let plane = &x[i * sample_len + c * plane_len..][..plane_len];
+            fill_tap(plane, g, oh, ow, kh, kw, &mut dst_row[i * cc..(i + 1) * cc]);
         }
     }
 }
@@ -147,23 +273,64 @@ fn im2col_rows(x: &[f32], g: &ConvGeom, rows: Range<usize>, chunk: &mut [f32]) {
 /// Panics if slice lengths do not match the geometry.
 pub fn col2im(col: &[f32], g: &ConvGeom, out: &mut [f32]) {
     assert_eq!(
+        col.len(),
+        g.col_rows() * g.col_cols(),
+        "col2im input length mismatch"
+    );
+    col2im_ld(col, g.col_cols(), g, out);
+}
+
+/// [`col2im`] over a column matrix with row stride `ld ≥ col_cols`: row `r`
+/// occupies `col[r·ld..r·ld + col_cols]`. This folds one sample's slice out
+/// of a batched `[col_rows, n · col_cols]` gradient matrix (pass
+/// `ld = n · col_cols` and the slice starting at that sample's first
+/// column) without copying it into a per-sample buffer first. The
+/// accumulation order over taps is identical to [`col2im`].
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the geometry and stride.
+pub fn col2im_ld(col: &[f32], ld: usize, g: &ConvGeom, out: &mut [f32]) {
+    assert_eq!(
         out.len(),
         g.in_c * g.in_h * g.in_w,
         "col2im output length mismatch"
     );
     let (oh, ow) = (g.out_h(), g.out_w());
     let cols = oh * ow;
-    assert_eq!(
-        col.len(),
-        g.col_rows() * cols,
-        "col2im input length mismatch"
+    assert!(ld >= cols, "col2im_ld stride {ld} < col_cols {cols}");
+    assert!(
+        col.len() >= (g.col_rows() - 1) * ld + cols,
+        "col2im_ld input too short"
     );
     let mut row = 0usize;
     for c in 0..g.in_c {
         let base = c * g.in_h * g.in_w;
         for kh in 0..g.kernel {
             for kw in 0..g.kernel {
-                let src = &col[row * cols..(row + 1) * cols];
+                let src = &col[row * ld..row * ld + cols];
+                if g.stride == 1 {
+                    // Contiguous accumulate runs, mirroring `fill_tap`'s
+                    // window: each in-bounds output row receives one
+                    // `out[ix0..] += src[lead..hi]` sweep. Every target
+                    // element takes the same single add per tap row, in the
+                    // same ascending-`ox` order, as the scalar loop.
+                    let lead = g.pad.saturating_sub(kw).min(ow);
+                    let hi = (g.in_w + g.pad).saturating_sub(kw).min(ow);
+                    let ix0 = (kw + lead).saturating_sub(g.pad);
+                    for oy in 0..oh {
+                        let iy = (oy + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy as usize >= g.in_h || hi <= lead {
+                            continue;
+                        }
+                        let dst = &mut out[base + iy as usize * g.in_w + ix0..][..hi - lead];
+                        for (d, &v) in dst.iter_mut().zip(&src[oy * ow + lead..oy * ow + hi]) {
+                            *d += v;
+                        }
+                    }
+                    row += 1;
+                    continue;
+                }
                 let mut idx = 0usize;
                 for oy in 0..oh {
                     let iy = (oy * g.stride + kh) as isize - g.pad as isize;
@@ -179,6 +346,165 @@ pub fn col2im(col: &[f32], g: &ConvGeom, out: &mut [f32]) {
             }
         }
     }
+}
+
+/// Implicit-GEMM pack source: generates the batched im2col matrix
+/// `[col_rows, n · col_cols]` straight into the GEMM's packed `B` panels.
+/// Every generated value is the same pure copy (or structural zero) that
+/// [`im2col_batched`] would have written and that `pack_b` would then have
+/// copied, so the packed panels are byte-identical to the materialized
+/// path and the GEMM output is bit-identical.
+struct ImageCols<'a> {
+    x: &'a [f32],
+    g: ConvGeom,
+    oh: usize,
+    ow: usize,
+}
+
+impl ImageCols<'_> {
+    /// Fills `dst[..valid]` with batched-column values
+    /// `cols_b(row, j0..j0 + valid)` for the tap decoded from `row`,
+    /// walking the flat column index incrementally instead of dividing per
+    /// element.
+    #[inline]
+    fn fill_lane(&self, row: usize, j0: usize, valid: usize, dst: &mut [f32]) {
+        let g = &self.g;
+        let (c, kh, kw) = decode_tap(g, row);
+        let cc = self.oh * self.ow;
+        let plane_len = g.in_h * g.in_w;
+        let sample_len = g.in_c * plane_len;
+        let mut i = j0 / cc;
+        let jj = j0 % cc;
+        let mut oy = jj / self.ow;
+        let mut ox = jj - oy * self.ow;
+        if g.stride == 1 {
+            // Same run decomposition as `fill_tap`, chopped to the lane: a
+            // lane covers at most a few (sample, output-row) spans, each a
+            // zero-pad head, one contiguous copy, and a zero-pad tail.
+            let lead = g.pad.saturating_sub(kw).min(self.ow);
+            let hi = (g.in_w + g.pad).saturating_sub(kw).min(self.ow);
+            let mut done = 0usize;
+            while done < valid {
+                let run = (self.ow - ox).min(valid - done);
+                let seg = &mut dst[done..done + run];
+                let iy = (oy + kh) as isize - g.pad as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    seg.fill(0.0);
+                } else {
+                    // Clip the tap's [lead, hi) copy window to [ox, ox+run).
+                    let s = lead.clamp(ox, ox + run) - ox;
+                    let e = hi.clamp(ox, ox + run) - ox;
+                    seg[..s].fill(0.0);
+                    if e > s {
+                        let ix0 = (kw + ox + s).saturating_sub(g.pad);
+                        let base = i * sample_len + c * plane_len + iy as usize * g.in_w;
+                        seg[s..e].copy_from_slice(&self.x[base + ix0..][..e - s]);
+                    }
+                    seg[e..].fill(0.0);
+                }
+                done += run;
+                ox += run;
+                if ox == self.ow {
+                    ox = 0;
+                    oy += 1;
+                    if oy == self.oh {
+                        oy = 0;
+                        i += 1;
+                    }
+                }
+            }
+            return;
+        }
+        for d in dst[..valid].iter_mut() {
+            let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+            *d = if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                self.x[i * sample_len + c * plane_len + iy as usize * g.in_w + ix as usize]
+            } else {
+                0.0
+            };
+            ox += 1;
+            if ox == self.ow {
+                ox = 0;
+                oy += 1;
+                if oy == self.oh {
+                    oy = 0;
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+impl PackBSource for ImageCols<'_> {
+    fn pack(&self, nr: usize, kr: Range<usize>, cols: Range<usize>, out: &mut [f32]) {
+        let kc = kr.len();
+        let mut j0 = cols.start;
+        let mut strip = 0usize;
+        while j0 < cols.end {
+            let valid = (cols.end - j0).min(nr);
+            let panel = &mut out[strip * kc * nr..(strip + 1) * kc * nr];
+            for kk in 0..kc {
+                let dst = &mut panel[kk * nr..(kk + 1) * nr];
+                self.fill_lane(kr.start + kk, j0, valid, dst);
+                dst[valid..].fill(0.0);
+            }
+            j0 += nr;
+            strip += 1;
+        }
+    }
+}
+
+/// Fused dense convolution: `out += W · cols_b(x)` where `W` is the
+/// `[out_c, col_rows]` weight matrix and `cols_b(x)` is the batched im2col
+/// matrix of `x` (shape `[n, in_c, in_h, in_w]` flat) — except the column
+/// matrix is never materialized: the GEMM packs its `B` panels straight out
+/// of the images via [`ImageCols`]. Output shape is
+/// `[out_c, n · col_cols]`, accumulating like the other `_into` kernels,
+/// and the result is bit-identical to `matmul_into_rt(w, cols_b, out)` on a
+/// materialized batched column matrix.
+///
+/// # Panics
+///
+/// Panics if shapes do not match the geometry.
+pub fn conv2d_fused_into_rt(
+    rt: &Runtime,
+    w: &Tensor,
+    x: &[f32],
+    n: usize,
+    g: &ConvGeom,
+    out: &mut Tensor,
+) {
+    let cr = g.col_rows();
+    let ncc = n * g.col_cols();
+    assert_eq!(w.shape(), &[w.shape()[0], cr], "fused conv weight shape");
+    let oc = w.shape()[0];
+    assert_eq!(
+        x.len(),
+        n * g.in_c * g.in_h * g.in_w,
+        "fused conv input length mismatch"
+    );
+    assert_eq!(out.shape(), &[oc, ncc], "fused conv output shape");
+    let src = ImageCols {
+        x,
+        g: *g,
+        oh: g.out_h(),
+        ow: g.out_w(),
+    };
+    let shape = GemmShape {
+        k: cr,
+        n: ncc,
+        lda: cr,
+        ldb: ncc,
+    };
+    if !rt.should_parallelize(oc.saturating_mul(cr).saturating_mul(ncc)) || oc <= 1 {
+        return gemm_src::<false, _>(&shape, w.data(), &src, 0..oc, out.data_mut());
+    }
+    let wd = w.data();
+    let jobs = rt.split_rows_mut(out.data_mut(), ncc.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        gemm_src::<false, _>(&shape, wd, &src, rows, cchunk);
+    });
 }
 
 /// Reference direct convolution of one sample; used by tests to validate the
@@ -329,6 +655,108 @@ mod tests {
             let mut par = vec![0.0; seq.len()];
             im2col_rt(&Runtime::exact(threads).with_min_work(0), &x, &g, &mut par);
             assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    /// The batched layout must be byte-identical to per-sample im2col calls
+    /// interleaved into the `[cr, n·cc]` layout — the property that makes
+    /// whole-batch GEMMs trace-compatible with the per-sample loop.
+    #[test]
+    fn batched_matches_per_sample_exactly() {
+        for (n, stride, pad) in [(1usize, 1, 1), (2, 2, 1), (7, 1, 0)] {
+            let g = ConvGeom {
+                in_c: 3,
+                in_h: 7,
+                in_w: 5,
+                kernel: 3,
+                stride,
+                pad,
+            };
+            let (cr, cc) = (g.col_rows(), g.col_cols());
+            let sample = g.in_c * g.in_h * g.in_w;
+            let x = rand_vec(n * sample, 70 + n as u64);
+            let mut expect = vec![0.0f32; cr * n * cc];
+            let mut one = vec![0.0f32; cr * cc];
+            for i in 0..n {
+                im2col(&x[i * sample..(i + 1) * sample], &g, &mut one);
+                for r in 0..cr {
+                    expect[r * n * cc + i * cc..][..cc].copy_from_slice(&one[r * cc..][..cc]);
+                }
+            }
+            let mut got = vec![1.0f32; cr * n * cc]; // overwritten, not accumulated
+            im2col_batched(&x, n, &g, &mut got);
+            assert_eq!(got, expect, "n={n} stride={stride} pad={pad}");
+            for threads in [1usize, 2, 4, 64] {
+                let mut par = vec![1.0f32; cr * n * cc];
+                im2col_batched_rt(
+                    &Runtime::exact(threads).with_min_work(0),
+                    &x,
+                    n,
+                    &g,
+                    &mut par,
+                );
+                assert_eq!(par, expect, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    /// Folding a sample's slice of a batched gradient with `col2im_ld` must
+    /// be bit-identical to copying the slice out and running plain col2im.
+    #[test]
+    fn col2im_ld_matches_materialized_slice() {
+        let g = ConvGeom {
+            in_c: 2,
+            in_h: 6,
+            in_w: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let n = 3usize;
+        let (cr, cc) = (g.col_rows(), g.col_cols());
+        let batched = rand_vec(cr * n * cc, 81);
+        for i in 0..n {
+            let mut slice = vec![0.0f32; cr * cc];
+            for r in 0..cr {
+                slice[r * cc..][..cc].copy_from_slice(&batched[r * n * cc + i * cc..][..cc]);
+            }
+            let mut expect = vec![0.25f32; g.in_c * g.in_h * g.in_w];
+            col2im(&slice, &g, &mut expect);
+            let mut got = vec![0.25f32; g.in_c * g.in_h * g.in_w];
+            col2im_ld(&batched[i * cc..], n * cc, &g, &mut got);
+            assert_eq!(got, expect, "sample {i}");
+        }
+    }
+
+    /// The fused implicit-GEMM conv must be *bit-identical* to the GEMM over
+    /// a materialized batched column matrix, at every thread count —
+    /// the packed panels are byte-equal, so the arithmetic is too.
+    #[test]
+    fn fused_conv_is_bit_identical_to_materialized_gemm() {
+        use crate::matmul::matmul_into;
+        for (n, oc, stride, pad) in [(1usize, 1usize, 1, 0), (2, 4, 2, 1), (7, 5, 1, 1)] {
+            let g = ConvGeom {
+                in_c: 3,
+                in_h: 9,
+                in_w: 6,
+                kernel: 3,
+                stride,
+                pad,
+            };
+            let (cr, cc) = (g.col_rows(), g.col_cols());
+            let x = rand_vec(n * g.in_c * g.in_h * g.in_w, 90 + n as u64);
+            let w = Tensor::from_vec(rand_vec(oc * cr, 91 + oc as u64), &[oc, cr]);
+            let mut cols_b = vec![0.0f32; cr * n * cc];
+            im2col_batched(&x, n, &g, &mut cols_b);
+            let colst = Tensor::from_vec(cols_b, &[cr, n * cc]);
+            let mut expect = Tensor::ones(&[oc, n * cc]);
+            matmul_into(&w, &colst, &mut expect);
+            for threads in [1usize, 2, 4] {
+                let rt = Runtime::exact(threads).with_min_work(0);
+                let mut got = Tensor::ones(&[oc, n * cc]);
+                conv2d_fused_into_rt(&rt, &w, &x, n, &g, &mut got);
+                assert_eq!(got.data(), expect.data(), "n={n} oc={oc} threads={threads}");
+            }
         }
     }
 

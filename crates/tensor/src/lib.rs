@@ -39,23 +39,27 @@ mod tensor;
 
 pub use bsr::{bsr_dsmm_nt_into, bsr_dsmm_nt_into_rt, bsr_spmm_into, bsr_spmm_into_rt, BsrView};
 pub use ft_runtime::Runtime;
-pub use im2col::{col2im, conv2d_direct, im2col, im2col_rt, ConvGeom};
+pub use im2col::{
+    col2im, col2im_ld, conv2d_direct, conv2d_fused_into_rt, im2col, im2col_batched,
+    im2col_batched_rt, im2col_rt, ConvGeom,
+};
 pub use init::{kaiming_normal, normal, uniform, xavier_uniform};
 pub use matmul::{
-    matmul_into, matmul_into_rt, matmul_nt_into, matmul_nt_into_rt, matmul_tn_into,
-    matmul_tn_into_rt,
+    matmul_into, matmul_into_rt, matmul_nt_into, matmul_nt_into_rt, matmul_nt_seg_into,
+    matmul_nt_seg_into_rt, matmul_tn_into, matmul_tn_into_rt,
 };
 pub use pool::{
-    avg_pool_global, avg_pool_global_backward, avg_pool_global_rt, max_pool2x2,
-    max_pool2x2_backward, max_pool2x2_rt,
+    avg_pool_global, avg_pool_global_backward, avg_pool_global_backward_into,
+    avg_pool_global_into_rt, avg_pool_global_rt, max_pool2x2, max_pool2x2_backward,
+    max_pool2x2_backward_into, max_pool2x2_into_rt, max_pool2x2_rt,
 };
 pub use quant::{
     dequantize_affine_i8, dequantize_one, quant_error_bound, quantize_affine_i8, QuantParams,
 };
 pub use spmm::{
     dsmm_into, dsmm_into_rt, dsmm_nt_into, dsmm_nt_into_rt, sddmm_nt_into, sddmm_nt_into_rt,
-    sddmm_tn_into, sddmm_tn_into_rt, spmm_into, spmm_into_rt, spmm_tn_into, spmm_tn_into_rt,
-    CsrView,
+    sddmm_nt_seg_into, sddmm_nt_seg_into_rt, sddmm_tn_into, sddmm_tn_into_rt, spmm_into,
+    spmm_into_rt, spmm_tn_into, spmm_tn_into_rt, CsrView,
 };
 pub use tensor::Tensor;
 

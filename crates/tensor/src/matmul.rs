@@ -45,6 +45,7 @@
 
 use crate::Tensor;
 use ft_runtime::Runtime;
+use std::cell::RefCell;
 use std::ops::Range;
 
 /// Depth (`k`) blocking: one packed `A` strip (`KC × MR`) and one packed `B`
@@ -258,21 +259,56 @@ fn pack_b<const BT: bool>(
 /// Shape and stride bundle for one GEMM call; `lda`/`ldb` are the row
 /// strides of the *stored* operands (so `m` for a transposed `A`, `k` for a
 /// transposed `B`).
-struct GemmShape {
-    k: usize,
-    n: usize,
-    lda: usize,
-    ldb: usize,
+pub(crate) struct GemmShape {
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+    pub(crate) lda: usize,
+    pub(crate) ldb: usize,
+}
+
+/// A source of packed `B` panels for the blocked driver. The only
+/// implementation the driver itself uses is [`SliceB`] (a stored matrix
+/// packed by [`pack_b`]); the im2col module provides a source that generates
+/// convolution columns on the fly, byte-identical to packing a materialized
+/// `cols` matrix, so the dense conv path never builds `cols` at all.
+///
+/// `pack` must fill `out` with `NR`-column strips covering `cols` at depth
+/// `kr`, zero-padding column lanes past `cols.end` — the exact layout
+/// documented on [`pack_b`].
+pub(crate) trait PackBSource {
+    fn pack(&self, nr: usize, kr: Range<usize>, cols: Range<usize>, out: &mut [f32]);
+}
+
+/// The standard panel source: a stored `[k × n]` (or `[n × k]` when
+/// `BT = true`) matrix with row stride `ldb`.
+pub(crate) struct SliceB<'a, const BT: bool> {
+    pub(crate) bd: &'a [f32],
+    pub(crate) ldb: usize,
+}
+
+impl<const BT: bool> PackBSource for SliceB<'_, BT> {
+    #[inline]
+    fn pack(&self, nr: usize, kr: Range<usize>, cols: Range<usize>, out: &mut [f32]) {
+        pack_b::<BT>(self.bd, self.ldb, nr, kr, cols, out);
+    }
+}
+
+thread_local! {
+    /// Per-thread packing scratch (`bpack`, `apack`), reused across GEMM
+    /// calls so the steady-state training loop performs no allocations. The
+    /// packing routines fully overwrite every panel the driver reads, so
+    /// stale contents from a previous call are never observable.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 /// The blocked driver: `C[rows] += op(A) · op(B)` for the output-row range
 /// `rows`, where `cchunk` holds exactly those rows. Shared by every layout
 /// and every microkernel; see the module docs for the blocking scheme and
 /// the accumulation-order contract.
-fn gemm_with<M: Micro, const AT: bool, const BT: bool>(
+fn gemm_with<M: Micro, const AT: bool, B: PackBSource>(
     shape: &GemmShape,
     ad: &[f32],
-    bd: &[f32],
+    bsrc: &B,
     rows: Range<usize>,
     cchunk: &mut [f32],
 ) {
@@ -283,51 +319,71 @@ fn gemm_with<M: Micro, const AT: bool, const BT: bool>(
     let kc_max = k.min(KC);
     let bstrips = n.min(NC).div_ceil(M::NR);
     let astrips = rows.len().min(M::MC).div_ceil(M::MR);
-    let mut bpack = vec![0.0f32; bstrips * M::NR * kc_max];
-    let mut apack = vec![0.0f32; astrips * M::MR * kc_max];
-    let mut acc: Acc = [[0.0; NR_MAX]; MR_MAX];
+    PACK_SCRATCH.with(|scratch| {
+        let (bpack, apack) = &mut *scratch.borrow_mut();
+        bpack.resize(bstrips * M::NR * kc_max, 0.0);
+        apack.resize(astrips * M::MR * kc_max, 0.0);
+        let mut acc: Acc = [[0.0; NR_MAX]; MR_MAX];
 
-    let mut jc = 0;
-    while jc < n {
-        let nc = (n - jc).min(NC);
-        let mut pc = 0;
-        while pc < k {
-            let kc = (k - pc).min(KC);
-            pack_b::<BT>(bd, shape.ldb, M::NR, pc..pc + kc, jc..jc + nc, &mut bpack);
-            let mut ic = rows.start;
-            while ic < rows.end {
-                let mc = (rows.end - ic).min(M::MC);
-                pack_a::<AT>(ad, shape.lda, M::MR, ic..ic + mc, pc..pc + kc, &mut apack);
-                for jt in 0..nc.div_ceil(M::NR) {
-                    let bp = &bpack[jt * kc * M::NR..(jt + 1) * kc * M::NR];
-                    let j0 = jc + jt * M::NR;
-                    let jvalid = (jc + nc - j0).min(M::NR);
-                    for it in 0..mc.div_ceil(M::MR) {
-                        let ap = &apack[it * kc * M::MR..(it + 1) * kc * M::MR];
-                        let i0 = ic + it * M::MR;
-                        let ivalid = (ic + mc - i0).min(M::MR);
-                        for row in acc.iter_mut().take(M::MR) {
-                            row[..M::NR].fill(0.0);
-                        }
-                        M::kernel(kc, ap, bp, &mut acc);
-                        for (ir, accr) in acc.iter().enumerate().take(ivalid) {
-                            let at = (i0 - rows.start + ir) * n + j0;
-                            for (cv, &av) in cchunk[at..at + jvalid].iter_mut().zip(accr.iter()) {
-                                *cv += av;
+        let mut jc = 0;
+        while jc < n {
+            let nc = (n - jc).min(NC);
+            let mut pc = 0;
+            while pc < k {
+                let kc = (k - pc).min(KC);
+                bsrc.pack(M::NR, pc..pc + kc, jc..jc + nc, bpack);
+                let mut ic = rows.start;
+                while ic < rows.end {
+                    let mc = (rows.end - ic).min(M::MC);
+                    pack_a::<AT>(ad, shape.lda, M::MR, ic..ic + mc, pc..pc + kc, apack);
+                    for jt in 0..nc.div_ceil(M::NR) {
+                        let bp = &bpack[jt * kc * M::NR..(jt + 1) * kc * M::NR];
+                        let j0 = jc + jt * M::NR;
+                        let jvalid = (jc + nc - j0).min(M::NR);
+                        for it in 0..mc.div_ceil(M::MR) {
+                            let ap = &apack[it * kc * M::MR..(it + 1) * kc * M::MR];
+                            let i0 = ic + it * M::MR;
+                            let ivalid = (ic + mc - i0).min(M::MR);
+                            for row in acc.iter_mut().take(M::MR) {
+                                row[..M::NR].fill(0.0);
+                            }
+                            M::kernel(kc, ap, bp, &mut acc);
+                            for (ir, accr) in acc.iter().enumerate().take(ivalid) {
+                                let at = (i0 - rows.start + ir) * n + j0;
+                                for (cv, &av) in cchunk[at..at + jvalid].iter_mut().zip(accr.iter())
+                                {
+                                    *cv += av;
+                                }
                             }
                         }
                     }
+                    ic += mc;
                 }
-                ic += mc;
+                pc += kc;
             }
-            pc += kc;
+            jc += nc;
         }
-        jc += nc;
-    }
+    });
 }
 
 /// Selects the microkernel (explicit SIMD when compiled in and supported,
-/// portable otherwise) and runs the blocked driver.
+/// portable otherwise) and runs the blocked driver over an arbitrary packed
+/// `B` source.
+pub(crate) fn gemm_src<const AT: bool, B: PackBSource>(
+    shape: &GemmShape,
+    ad: &[f32],
+    bsrc: &B,
+    rows: Range<usize>,
+    cchunk: &mut [f32],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx::available() {
+        return gemm_with::<avx::AvxFma, AT, B>(shape, ad, bsrc, rows, cchunk);
+    }
+    gemm_with::<Portable, AT, B>(shape, ad, bsrc, rows, cchunk)
+}
+
+/// Dispatches a stored-matrix `B` through [`gemm_src`].
 fn gemm<const AT: bool, const BT: bool>(
     shape: &GemmShape,
     ad: &[f32],
@@ -335,11 +391,8 @@ fn gemm<const AT: bool, const BT: bool>(
     rows: Range<usize>,
     cchunk: &mut [f32],
 ) {
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if avx::available() {
-        return gemm_with::<avx::AvxFma, AT, BT>(shape, ad, bd, rows, cchunk);
-    }
-    gemm_with::<Portable, AT, BT>(shape, ad, bd, rows, cchunk)
+    let bsrc = SliceB::<BT> { bd, ldb: shape.ldb };
+    gemm_src::<AT, _>(shape, ad, &bsrc, rows, cchunk)
 }
 
 fn check_matmul(a: &Tensor, b: &Tensor, c: &Tensor) -> (usize, usize, usize) {
@@ -491,6 +544,160 @@ pub fn matmul_nt_into_rt(rt: &Runtime, a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
     rt.scatter(jobs, |(rows, cchunk)| {
         gemm::<false, true>(&shape, ad, bd, rows, cchunk);
+    });
+}
+
+/// Shared body of the segmented-`k` NT product. A naive implementation runs
+/// one full blocked GEMM per `seg`-wide depth segment; for the convolution
+/// weight gradient `seg` is one sample's column count, which can be single
+/// digits, and the per-call fixed costs (packing-buffer setup, block-loop
+/// bookkeeping, repacking the same panels) swamp the arithmetic. This driver
+/// instead packs each `A`/`B` panel once per cache block and walks the
+/// segments *inside* the register-tile loop: the accumulator tile restarts
+/// at every segment boundary and flushes into `C` per segment, which is the
+/// exact `C += panel_sum` sequence the per-segment GEMMs produce — same
+/// packed values, same microkernel, same flush points — so the result stays
+/// bit-identical while the packing and driver overheads amortize across
+/// `KC / seg` segments.
+fn gemm_nt_segments(
+    k: usize,
+    n: usize,
+    seg: usize,
+    ad: &[f32],
+    bd: &[f32],
+    rows: Range<usize>,
+    cchunk: &mut [f32],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx::available() {
+        return gemm_nt_seg_with::<avx::AvxFma>(k, n, seg, ad, bd, rows, cchunk);
+    }
+    gemm_nt_seg_with::<Portable>(k, n, seg, ad, bd, rows, cchunk)
+}
+
+/// [`gemm_nt_segments`] specialized to one microkernel. `A` is `[m, k]`
+/// stored (`lda = k`), `B` is `[n, k]` stored and consumed transposed
+/// (`ldb = k`).
+///
+/// Depth blocks never span a segment boundary: when `seg ≤ KC` a block
+/// covers `⌊KC / seg⌋` whole segments, otherwise a segment is cut into
+/// `KC`-deep blocks exactly like the blocked GEMM a per-segment call would
+/// run, so every accumulator-flush boundary matches the naive sequence.
+fn gemm_nt_seg_with<M: Micro>(
+    k: usize,
+    n: usize,
+    seg: usize,
+    ad: &[f32],
+    bd: &[f32],
+    rows: Range<usize>,
+    cchunk: &mut [f32],
+) {
+    if rows.is_empty() || n == 0 || k == 0 {
+        return;
+    }
+    let kc_max = k.min(KC.max(seg.min(KC)));
+    let bstrips = n.min(NC).div_ceil(M::NR);
+    let astrips = rows.len().min(M::MC).div_ceil(M::MR);
+    PACK_SCRATCH.with(|scratch| {
+        let (bpack, apack) = &mut *scratch.borrow_mut();
+        bpack.resize(bstrips * M::NR * kc_max, 0.0);
+        apack.resize(astrips * M::MR * kc_max, 0.0);
+        let mut acc: Acc = [[0.0; NR_MAX]; MR_MAX];
+
+        let mut jc = 0;
+        while jc < n {
+            let nc = (n - jc).min(NC);
+            let mut pc = 0;
+            while pc < k {
+                // Whole segments per block when they fit; otherwise a
+                // `KC`-deep slice of the current segment.
+                let kc = if seg <= KC {
+                    ((KC / seg) * seg).min(k - pc)
+                } else {
+                    (seg - pc % seg).min(KC)
+                };
+                let chunk = seg.min(kc);
+                pack_b::<true>(bd, k, M::NR, pc..pc + kc, jc..jc + nc, bpack);
+                let mut ic = rows.start;
+                while ic < rows.end {
+                    let mc = (rows.end - ic).min(M::MC);
+                    pack_a::<false>(ad, k, M::MR, ic..ic + mc, pc..pc + kc, apack);
+                    for jt in 0..nc.div_ceil(M::NR) {
+                        let bp = &bpack[jt * kc * M::NR..(jt + 1) * kc * M::NR];
+                        let j0 = jc + jt * M::NR;
+                        let jvalid = (jc + nc - j0).min(M::NR);
+                        for it in 0..mc.div_ceil(M::MR) {
+                            let ap = &apack[it * kc * M::MR..(it + 1) * kc * M::MR];
+                            let i0 = ic + it * M::MR;
+                            let ivalid = (ic + mc - i0).min(M::MR);
+                            let mut off = 0;
+                            while off < kc {
+                                let step = chunk.min(kc - off);
+                                for row in acc.iter_mut().take(M::MR) {
+                                    row[..M::NR].fill(0.0);
+                                }
+                                M::kernel(step, &ap[off * M::MR..], &bp[off * M::NR..], &mut acc);
+                                for (ir, accr) in acc.iter().enumerate().take(ivalid) {
+                                    let at = (i0 - rows.start + ir) * n + j0;
+                                    for (cv, &av) in
+                                        cchunk[at..at + jvalid].iter_mut().zip(accr.iter())
+                                    {
+                                        *cv += av;
+                                    }
+                                }
+                                off += step;
+                            }
+                        }
+                    }
+                    ic += mc;
+                }
+                pc += kc;
+            }
+            jc += nc;
+        }
+    });
+}
+
+/// `C += A · Bᵀ` (`A` is `[m, k]`, `B` is `[n, k]`) computed as one blocked
+/// GEMM per `seg`-wide segment of `k`, ascending: the accumulator for every
+/// output element restarts at each segment boundary, so the result is
+/// bit-identical to calling [`matmul_nt_into`] once per segment with the
+/// segment slices materialized as standalone matrices. This is the batched
+/// form of the per-sample weight-gradient loop (`seg` = one sample's
+/// columns), preserving the legacy accumulation order exactly.
+///
+/// # Panics
+///
+/// Panics on incompatible shapes or when `seg` is zero or does not divide
+/// `k`.
+pub fn matmul_nt_seg_into(a: &Tensor, b: &Tensor, seg: usize, c: &mut Tensor) {
+    let (m, k, n) = check_matmul_nt(a, b, c);
+    assert!(
+        seg > 0 && k % seg == 0,
+        "matmul_nt_seg: segment {seg} must divide k={k}"
+    );
+    gemm_nt_segments(k, n, seg, a.data(), b.data(), 0..m, c.data_mut());
+}
+
+/// [`matmul_nt_seg_into`] with the output rows fanned out over `rt`'s
+/// workers. Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`matmul_nt_seg_into`].
+pub fn matmul_nt_seg_into_rt(rt: &Runtime, a: &Tensor, b: &Tensor, seg: usize, c: &mut Tensor) {
+    let (m, k, n) = check_matmul_nt(a, b, c);
+    assert!(
+        seg > 0 && k % seg == 0,
+        "matmul_nt_seg: segment {seg} must divide k={k}"
+    );
+    if !rt.should_parallelize(m.saturating_mul(k).saturating_mul(n)) || m <= 1 {
+        return gemm_nt_segments(k, n, seg, a.data(), b.data(), 0..m, c.data_mut());
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_rows_mut(c.data_mut(), n.max(1));
+    rt.scatter(jobs, |(rows, cchunk)| {
+        gemm_nt_segments(k, n, seg, ad, bd, rows, cchunk);
     });
 }
 
@@ -730,6 +937,59 @@ mod tests {
                 assert_eq!(seq.data(), par.data(), "nt t={threads} {m}x{k}x{n}");
             }
         }
+    }
+
+    /// The segmented NT product must be *bit-identical* to running one
+    /// [`matmul_nt_into`] per materialized segment pair — that is the
+    /// contract that lets the batched weight-gradient path replace the
+    /// legacy per-sample loop without perturbing golden traces.
+    #[test]
+    fn nt_seg_matches_per_segment_calls_exactly() {
+        let cases = [
+            (5usize, 3usize, 4usize, 7usize), // m, seg, segs, n
+            (1, 8, 2, 1),
+            (13, 17, 7, 9),
+            (6, 300, 2, 33),
+        ];
+        for (ci, &(m, seg, segs, n)) in cases.iter().enumerate() {
+            let k = seg * segs;
+            let seed = 900 + ci as u64 * 10;
+            let a = rand_t(&[m, k], seed);
+            let b = rand_t(&[n, k], seed + 1);
+
+            let mut expect = Tensor::ones(&[m, n]);
+            for s in 0..segs {
+                let slice = |t: &Tensor, rows: usize| {
+                    let mut out = vec![0.0f32; rows * seg];
+                    for r in 0..rows {
+                        out[r * seg..(r + 1) * seg]
+                            .copy_from_slice(&t.data()[r * k + s * seg..][..seg]);
+                    }
+                    Tensor::from_vec(out, &[rows, seg])
+                };
+                matmul_nt_into(&slice(&a, m), &slice(&b, n), &mut expect);
+            }
+
+            let mut c = Tensor::ones(&[m, n]);
+            matmul_nt_seg_into(&a, &b, seg, &mut c);
+            assert_eq!(c.data(), expect.data(), "seq {m}x{k}({seg})x{n}");
+
+            for threads in [1usize, 2, 4, 9] {
+                let rt = Runtime::exact(threads).with_min_work(0);
+                let mut p = Tensor::ones(&[m, n]);
+                matmul_nt_seg_into_rt(&rt, &a, &b, seg, &mut p);
+                assert_eq!(p.data(), expect.data(), "t={threads} {m}x{k}({seg})x{n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn nt_seg_rejects_ragged_segments() {
+        let a = Tensor::zeros(&[2, 7]);
+        let b = Tensor::zeros(&[3, 7]);
+        let mut c = Tensor::zeros(&[2, 3]);
+        matmul_nt_seg_into(&a, &b, 3, &mut c);
     }
 
     #[test]

@@ -63,6 +63,21 @@ pub fn max_pool2x2(x: &Tensor) -> (Tensor, Vec<usize>) {
 ///
 /// Panics if `x` is not rank-4 or either spatial dim is < 2.
 pub fn max_pool2x2_rt(rt: &Runtime, x: &Tensor) -> (Tensor, Vec<usize>) {
+    let mut out = Tensor::default();
+    let mut arg = Vec::new();
+    max_pool2x2_into_rt(rt, x, &mut out, &mut arg);
+    (out, arg)
+}
+
+/// [`max_pool2x2_rt`] writing into caller-owned buffers: `out` and `arg`
+/// are resized to the pooled geometry (allocation-free once warm), so the
+/// training engine can reuse them across batches. Bit-identical to the
+/// allocating form.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4 or either spatial dim is < 2.
+pub fn max_pool2x2_into_rt(rt: &Runtime, x: &Tensor, out: &mut Tensor, arg: &mut Vec<usize>) {
     let s = x.shape();
     assert_eq!(s.len(), 4, "max_pool2x2 requires [n,c,h,w]");
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
@@ -71,18 +86,18 @@ pub fn max_pool2x2_rt(rt: &Runtime, x: &Tensor) -> (Tensor, Vec<usize>) {
         "max_pool2x2 needs spatial dims >= 2, got {h}x{w}"
     );
     let (oh, ow) = (h / 2, w / 2);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let mut arg = vec![0usize; n * c * oh * ow];
+    out.resize_for_overwrite(&[n, c, oh, ow]);
+    arg.clear();
+    arg.resize(n * c * oh * ow, 0);
     let xd = x.data();
     let planes = n * c;
     if !rt.should_parallelize(planes.saturating_mul(h * w)) || planes <= 1 {
-        max_pool_planes(xd, h, w, oh, ow, 0..planes, out.data_mut(), &mut arg);
-        return (out, arg);
+        return max_pool_planes(xd, h, w, oh, ow, 0..planes, out.data_mut(), arg);
     }
     // `split_rows_mut` chunks both buffers identically (same plane count,
     // same runtime), so zipping them pairs each range with its slices.
     let out_parts = rt.split_rows_mut(out.data_mut(), oh * ow);
-    let arg_parts = rt.split_rows_mut(&mut arg, oh * ow);
+    let arg_parts = rt.split_rows_mut(arg, oh * ow);
     let jobs: Vec<_> = out_parts
         .into_iter()
         .zip(arg_parts)
@@ -91,7 +106,6 @@ pub fn max_pool2x2_rt(rt: &Runtime, x: &Tensor) -> (Tensor, Vec<usize>) {
     rt.scatter(jobs, |(range, ochunk, achunk)| {
         max_pool_planes(xd, h, w, oh, ow, range, ochunk, achunk);
     });
-    (out, arg)
 }
 
 /// Backward pass of [`max_pool2x2`]: routes each output gradient to the
@@ -101,13 +115,29 @@ pub fn max_pool2x2_rt(rt: &Runtime, x: &Tensor) -> (Tensor, Vec<usize>) {
 ///
 /// Panics if `grad_out.numel() != arg.len()`.
 pub fn max_pool2x2_backward(grad_out: &Tensor, arg: &[usize], input_shape: &[usize]) -> Tensor {
+    let mut gx = Tensor::default();
+    max_pool2x2_backward_into(grad_out, arg, input_shape, &mut gx);
+    gx
+}
+
+/// [`max_pool2x2_backward`] writing into a caller-owned gradient tensor
+/// (resized and zeroed in place; allocation-free once warm).
+///
+/// # Panics
+///
+/// Panics if `grad_out.numel() != arg.len()`.
+pub fn max_pool2x2_backward_into(
+    grad_out: &Tensor,
+    arg: &[usize],
+    input_shape: &[usize],
+    gx: &mut Tensor,
+) {
     assert_eq!(grad_out.numel(), arg.len(), "argmax cache length mismatch");
-    let mut gx = Tensor::zeros(input_shape);
+    gx.resize_zeroed(input_shape);
     let gd = gx.data_mut();
     for (g, &idx) in grad_out.data().iter().zip(arg.iter()) {
         gd[idx] += g;
     }
-    gx
 }
 
 /// Global average pooling over a `[n, c, h, w]` tensor, producing `[n, c]`.
@@ -126,11 +156,23 @@ pub fn avg_pool_global(x: &Tensor) -> Tensor {
 ///
 /// Panics if `x` is not rank-4.
 pub fn avg_pool_global_rt(rt: &Runtime, x: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    avg_pool_global_into_rt(rt, x, &mut out);
+    out
+}
+
+/// [`avg_pool_global_rt`] writing into a caller-owned tensor (resized in
+/// place; allocation-free once warm). Bit-identical to the allocating form.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4.
+pub fn avg_pool_global_into_rt(rt: &Runtime, x: &Tensor, out: &mut Tensor) {
     let s = x.shape();
     assert_eq!(s.len(), 4, "avg_pool_global requires [n,c,h,w]");
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
     let area = (h * w) as f32;
-    let mut out = Tensor::zeros(&[n, c]);
+    out.resize_for_overwrite(&[n, c]);
     let xd = x.data();
     let pool_planes = |planes: Range<usize>, ochunk: &mut [f32]| {
         for (local, plane) in planes.enumerate() {
@@ -141,12 +183,10 @@ pub fn avg_pool_global_rt(rt: &Runtime, x: &Tensor) -> Tensor {
     };
     let planes = n * c;
     if !rt.should_parallelize(planes.saturating_mul(h * w)) || planes <= 1 {
-        pool_planes(0..planes, out.data_mut());
-        return out;
+        return pool_planes(0..planes, out.data_mut());
     }
     let jobs = rt.split_rows_mut(out.data_mut(), 1);
     rt.scatter(jobs, |(range, ochunk)| pool_planes(range, ochunk));
-    out
 }
 
 /// Backward pass of [`avg_pool_global`]: spreads each gradient uniformly over
@@ -156,6 +196,18 @@ pub fn avg_pool_global_rt(rt: &Runtime, x: &Tensor) -> Tensor {
 ///
 /// Panics if shapes are inconsistent.
 pub fn avg_pool_global_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    let mut gx = Tensor::default();
+    avg_pool_global_backward_into(grad_out, input_shape, &mut gx);
+    gx
+}
+
+/// [`avg_pool_global_backward`] writing into a caller-owned gradient tensor
+/// (resized in place; allocation-free once warm).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn avg_pool_global_backward_into(grad_out: &Tensor, input_shape: &[usize], gx: &mut Tensor) {
     assert_eq!(input_shape.len(), 4, "input shape must be [n,c,h,w]");
     let (n, c, h, w) = (
         input_shape[0],
@@ -165,7 +217,7 @@ pub fn avg_pool_global_backward(grad_out: &Tensor, input_shape: &[usize]) -> Ten
     );
     assert_eq!(grad_out.shape(), &[n, c], "grad_out must be [n,c]");
     let area = (h * w) as f32;
-    let mut gx = Tensor::zeros(input_shape);
+    gx.resize_for_overwrite(input_shape);
     let gd = gx.data_mut();
     for ni in 0..n {
         for ci in 0..c {
@@ -176,7 +228,6 @@ pub fn avg_pool_global_backward(grad_out: &Tensor, input_shape: &[usize]) -> Ten
             }
         }
     }
-    gx
 }
 
 #[cfg(test)]

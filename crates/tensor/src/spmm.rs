@@ -542,6 +542,87 @@ pub fn sddmm_nt_into_rt(rt: &Runtime, s: CsrView<'_>, a: &Tensor, b: &Tensor, va
     });
 }
 
+/// Segmented [`sddmm_nt_into`]: the dot product for every stored coordinate
+/// is evaluated one `seg`-wide column segment at a time (fresh accumulator
+/// per segment, `vals[nz] += acc` after each), ascending. Bit-identical to
+/// calling [`sddmm_nt_into`] once per materialized segment pair — the
+/// batched form of the per-sample masked weight-gradient loop (`seg` = one
+/// sample's columns).
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`sddmm_nt_into`], or when `seg`
+/// is zero or does not divide the inner dimension.
+pub fn sddmm_nt_seg_into(s: CsrView<'_>, a: &Tensor, b: &Tensor, seg: usize, vals: &mut [f32]) {
+    let c = check_sddmm_nt(&s, a, b, vals);
+    assert!(
+        seg > 0 && c.is_multiple_of(seg),
+        "sddmm_nt_seg: segment {seg} must divide c={c}"
+    );
+    sddmm_nt_seg_rows(s, a.data(), b.data(), c, seg, 0..s.rows, vals);
+}
+
+/// [`sddmm_nt_seg_into`] with the CSR rows fanned out over `rt`'s workers.
+/// Bit-identical to the sequential kernel for any thread count.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`sddmm_nt_seg_into`].
+pub fn sddmm_nt_seg_into_rt(
+    rt: &Runtime,
+    s: CsrView<'_>,
+    a: &Tensor,
+    b: &Tensor,
+    seg: usize,
+    vals: &mut [f32],
+) {
+    let c = check_sddmm_nt(&s, a, b, vals);
+    assert!(
+        seg > 0 && c.is_multiple_of(seg),
+        "sddmm_nt_seg: segment {seg} must divide c={c}"
+    );
+    if !rt.should_parallelize(s.nnz().saturating_mul(c)) || s.rows <= 1 {
+        return sddmm_nt_seg_rows(s, a.data(), b.data(), c, seg, 0..s.rows, vals);
+    }
+    let (ad, bd) = (a.data(), b.data());
+    let jobs = rt.split_at_offsets_mut(vals, s.rows, |r| s.row_ptr[r]);
+    rt.scatter(jobs, |(rows, chunk)| {
+        sddmm_nt_seg_rows(s, ad, bd, c, seg, rows, chunk);
+    });
+}
+
+/// Segmented sampled NT product over the CSR-row range `rows`: per stored
+/// entry, one fresh-accumulator dot per `seg`-wide segment, ascending —
+/// exactly the op sequence of per-segment [`sddmm_nt_rows`] calls.
+fn sddmm_nt_seg_rows(
+    s: CsrView<'_>,
+    ad: &[f32],
+    bd: &[f32],
+    c: usize,
+    seg: usize,
+    rows: Range<usize>,
+    vals_chunk: &mut [f32],
+) {
+    let base = s.row_ptr[rows.start];
+    for r in rows {
+        let arow = &ad[r * c..(r + 1) * c];
+        let range = s.row_ptr[r]..s.row_ptr[r + 1];
+        let local = range.start - base..range.end - base;
+        for (&j, val) in s.col_idx[range].iter().zip(&mut vals_chunk[local]) {
+            let brow = &bd[j as usize * c..(j as usize + 1) * c];
+            let mut off = 0usize;
+            while off < c {
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow[off..off + seg].iter().zip(brow[off..off + seg].iter()) {
+                    acc += av * bv;
+                }
+                *val += acc;
+                off += seg;
+            }
+        }
+    }
+}
+
 fn check_sddmm_nt(s: &CsrView<'_>, a: &Tensor, b: &Tensor, vals: &[f32]) -> usize {
     s.validate();
     let (m, c) = dims2(a, "A");
@@ -827,6 +908,43 @@ mod tests {
                         dense.at2(r, j)
                     );
                 }
+            }
+        }
+    }
+
+    /// The segmented SDDMM must be *bit-identical* to one [`sddmm_nt_into`]
+    /// call per materialized segment pair — the contract that lets the
+    /// batched masked weight-gradient path replace the per-sample loop.
+    #[test]
+    fn sddmm_nt_seg_matches_per_segment_calls_exactly() {
+        for (seed, seg, segs) in [(1u64, 3usize, 4usize), (2, 7, 1), (3, 5, 7)] {
+            let c = seg * segs;
+            let f = Fixture::random(6, 5, 0.5, seed);
+            let a = rand_t(&[6, c], seed + 700);
+            let b = rand_t(&[5, c], seed + 800);
+
+            let mut expect = vec![0.5f32; f.vals.len()];
+            for s in 0..segs {
+                let slice = |t: &Tensor, rows: usize| {
+                    let mut out = vec![0.0f32; rows * seg];
+                    for r in 0..rows {
+                        out[r * seg..(r + 1) * seg]
+                            .copy_from_slice(&t.data()[r * c + s * seg..][..seg]);
+                    }
+                    Tensor::from_vec(out, &[rows, seg])
+                };
+                sddmm_nt_into(f.view(), &slice(&a, 6), &slice(&b, 5), &mut expect);
+            }
+
+            let mut vals = vec![0.5f32; f.vals.len()];
+            sddmm_nt_seg_into(f.view(), &a, &b, seg, &mut vals);
+            assert_eq!(vals, expect, "seq seed={seed} seg={seg}");
+
+            for threads in [1usize, 2, 4, 64] {
+                let rt = Runtime::exact(threads).with_min_work(0);
+                let mut par = vec![0.5f32; f.vals.len()];
+                sddmm_nt_seg_into_rt(&rt, f.view(), &a, &b, seg, &mut par);
+                assert_eq!(par, expect, "threads={threads} seed={seed}");
             }
         }
     }

@@ -143,7 +143,8 @@ impl Tensor {
         }
     }
 
-    /// Reshapes in place (no copy).
+    /// Reshapes in place (no copy; reuses the shape buffer, so a
+    /// steady-state reshape performs no allocation).
     ///
     /// # Panics
     ///
@@ -151,7 +152,45 @@ impl Tensor {
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let n: usize = shape.iter().product();
         assert_eq!(n, self.data.len(), "reshape element count mismatch");
-        self.shape = shape.to_vec();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Resizes to `shape` with every element zeroed, reusing the existing
+    /// buffers: once a tensor has seen its largest geometry, repeated calls
+    /// allocate nothing. This is the arena-reset primitive behind the
+    /// training-engine scratch buffers.
+    pub fn resize_zeroed(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.resize(n, 0.0);
+    }
+
+    /// Resizes to `shape` like [`Tensor::resize_zeroed`] but skips the
+    /// zero-fill when the element count is unchanged, leaving the previous
+    /// contents in place. For buffers the caller fully overwrites before
+    /// reading (batch assembly, normalized activations, repack staging)
+    /// this removes a whole memset pass per call; buffers that are
+    /// *accumulated* into must keep using [`Tensor::resize_zeroed`].
+    pub fn resize_for_overwrite(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        if n != self.data.len() {
+            self.data.clear();
+            self.data.resize(n, 0.0);
+        }
+    }
+
+    /// Makes `self` an exact copy of `src` (shape and data), reusing the
+    /// existing buffers when capacity allows.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Element at a 2-D index.
